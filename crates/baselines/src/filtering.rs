@@ -1,0 +1,281 @@
+//! The filtering technique of Lattanzi, Moseley, Suri and Vassilvitskii
+//! (SPAA 2011) — reference \[27\] of the paper and the baseline its
+//! randomized local ratio descends from.
+//!
+//! Filtering samples edges to fit one machine, computes a maximal matching
+//! on the sample centrally, and *filters out* edges whose endpoints got
+//! matched; repeat until the residual graph fits centrally. Yields a
+//! maximal matching (2-approximation, unweighted) in `O(c/µ)` rounds, a
+//! 2-approximate unweighted vertex cover (the matched endpoints), and —
+//! with geometric weight layering — an 8-approximation for weighted
+//! matching.
+
+use mrlr_graph::{EdgeId, Graph, VertexId};
+use mrlr_mapreduce::rng::coin;
+use mrlr_mapreduce::{MrError, MrResult};
+
+/// Tag for the filtering sample coins.
+pub const FILTER_COIN_TAG: u64 = 0x4649_4c54;
+
+/// Result of a filtering run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilteringResult {
+    /// The maximal matching found.
+    pub matching: Vec<EdgeId>,
+    /// Sampling iterations (each costs `O(1)` MapReduce rounds).
+    pub iterations: usize,
+    /// Peak central sample size (words ∝ 3×).
+    pub peak_sample: usize,
+}
+
+fn greedy_maximal_on(
+    g: &Graph,
+    edges: impl Iterator<Item = EdgeId>,
+    used: &mut [bool],
+    matching: &mut Vec<EdgeId>,
+) {
+    for id in edges {
+        let e = g.edge(id);
+        if !used[e.u as usize] && !used[e.v as usize] {
+            used[e.u as usize] = true;
+            used[e.v as usize] = true;
+            matching.push(id);
+        }
+    }
+}
+
+/// Filtering maximal matching restricted to `active` edges (used directly
+/// and by the weighted layering). `eta` is the per-round sample budget.
+fn filtering_on_subset(
+    g: &Graph,
+    active: &mut [bool],
+    used: &mut [bool],
+    eta: usize,
+    seed: u64,
+    matching: &mut Vec<EdgeId>,
+) -> MrResult<(usize, usize)> {
+    let mut iterations = 0usize;
+    let mut peak = 0usize;
+    loop {
+        // Drop edges with a matched endpoint (the filtering step).
+        let mut alive: Vec<EdgeId> = Vec::new();
+        for (idx, act) in active.iter_mut().enumerate() {
+            if *act {
+                let e = g.edge(idx as EdgeId);
+                if used[e.u as usize] || used[e.v as usize] {
+                    *act = false;
+                } else {
+                    alive.push(idx as EdgeId);
+                }
+            }
+        }
+        if alive.is_empty() {
+            break;
+        }
+        iterations += 1;
+        if iterations > 64 + 2 * g.m() {
+            return Err(MrError::AlgorithmFailed {
+                round: iterations,
+                reason: "filtering failed to converge".into(),
+            });
+        }
+        if alive.len() <= eta {
+            peak = peak.max(alive.len());
+            greedy_maximal_on(g, alive.into_iter(), used, matching);
+            break;
+        }
+        let p = (eta as f64 / alive.len() as f64).min(1.0);
+        let sample: Vec<EdgeId> = alive
+            .iter()
+            .copied()
+            .filter(|&e| coin(seed, &[FILTER_COIN_TAG, iterations as u64, e as u64], p))
+            .collect();
+        peak = peak.max(sample.len());
+        greedy_maximal_on(g, sample.into_iter(), used, matching);
+    }
+    Ok((iterations, peak))
+}
+
+/// Filtering maximal matching (\[27\]): 2-approximate maximum (unweighted)
+/// matching, `O(c/µ)` sampling iterations with sample budget `eta`.
+pub fn filtering_maximal_matching(g: &Graph, eta: usize, seed: u64) -> MrResult<FilteringResult> {
+    if eta == 0 {
+        return Err(MrError::BadConfig("eta must be positive".into()));
+    }
+    let mut active = vec![true; g.m()];
+    let mut used = vec![false; g.n()];
+    let mut matching = Vec::new();
+    let (iterations, peak_sample) =
+        filtering_on_subset(g, &mut active, &mut used, eta, seed, &mut matching)?;
+    matching.sort_unstable();
+    Ok(FilteringResult {
+        matching,
+        iterations,
+        peak_sample,
+    })
+}
+
+/// Filtering vertex cover (\[27\]): the endpoints of a filtering maximal
+/// matching — a 2-approximate unweighted vertex cover.
+pub fn filtering_vertex_cover(g: &Graph, eta: usize, seed: u64) -> MrResult<(Vec<VertexId>, usize)> {
+    let r = filtering_maximal_matching(g, eta, seed)?;
+    let mut cover: Vec<VertexId> = r
+        .matching
+        .iter()
+        .flat_map(|&e| {
+            let edge = g.edge(e);
+            [edge.u, edge.v]
+        })
+        .collect();
+    cover.sort_unstable();
+    cover.dedup();
+    Ok((cover, r.iterations))
+}
+
+/// Layered filtering for *weighted* matching (\[27\], the 8-approximation
+/// scheme): bucket edges into geometric weight classes `[2^i, 2^{i+1})` and
+/// run filtering maximal matching per class, heaviest first, on the
+/// vertices still unmatched.
+pub fn layered_weighted_matching(g: &Graph, eta: usize, seed: u64) -> MrResult<FilteringResult> {
+    if eta == 0 {
+        return Err(MrError::BadConfig("eta must be positive".into()));
+    }
+    if g.m() == 0 {
+        return Ok(FilteringResult {
+            matching: vec![],
+            iterations: 0,
+            peak_sample: 0,
+        });
+    }
+    // Geometric classes by weight.
+    let mut class_of = vec![0i32; g.m()];
+    let mut max_class = i32::MIN;
+    let mut min_class = i32::MAX;
+    for (idx, e) in g.edges().iter().enumerate() {
+        let c = e.w.log2().floor() as i32;
+        class_of[idx] = c;
+        max_class = max_class.max(c);
+        min_class = min_class.min(c);
+    }
+    let mut used = vec![false; g.n()];
+    let mut matching = Vec::new();
+    let mut iterations = 0usize;
+    let mut peak = 0usize;
+    for c in (min_class..=max_class).rev() {
+        let mut active: Vec<bool> = (0..g.m()).map(|i| class_of[i] == c).collect();
+        if !active.iter().any(|&a| a) {
+            continue;
+        }
+        let (it, pk) = filtering_on_subset(
+            g,
+            &mut active,
+            &mut used,
+            eta,
+            seed ^ (c as u64).wrapping_mul(0x9E37_79B9),
+            &mut matching,
+        )?;
+        iterations += it;
+        peak = peak.max(pk);
+    }
+    matching.sort_unstable();
+    Ok(FilteringResult {
+        matching,
+        iterations,
+        peak_sample: peak,
+    })
+}
+
+/// Sequential greedy weighted matching (heaviest-first): the classical
+/// sequential 2-approximation, used as a quality reference.
+pub fn greedy_weighted_matching(g: &Graph) -> Vec<EdgeId> {
+    let mut order: Vec<EdgeId> = (0..g.m() as EdgeId).collect();
+    order.sort_by(|&a, &b| g.edge(b).w.total_cmp(&g.edge(a).w).then(a.cmp(&b)));
+    let mut used = vec![false; g.n()];
+    let mut matching = Vec::new();
+    greedy_maximal_on(g, order.into_iter(), &mut used, &mut matching);
+    matching.sort_unstable();
+    matching
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrlr_core::exact::max_weight_matching;
+    use mrlr_core::verify::{is_matching, is_vertex_cover, matching_weight};
+    use mrlr_graph::generators::{gnm, with_log_uniform_weights, with_uniform_weights};
+
+    fn is_maximal_matching(g: &Graph, matching: &[EdgeId]) -> bool {
+        if !is_matching(g, matching) {
+            return false;
+        }
+        let mut used = vec![false; g.n()];
+        for &e in matching {
+            used[g.edge(e).u as usize] = true;
+            used[g.edge(e).v as usize] = true;
+        }
+        g.edges()
+            .iter()
+            .all(|e| used[e.u as usize] || used[e.v as usize])
+    }
+
+    #[test]
+    fn filtering_matching_is_maximal() {
+        for seed in 0..6 {
+            let g = gnm(50, 400, seed);
+            let r = filtering_maximal_matching(&g, 40, seed).unwrap();
+            assert!(is_maximal_matching(&g, &r.matching), "seed {seed}");
+            assert!(r.peak_sample <= 40 + 400);
+        }
+    }
+
+    #[test]
+    fn filtering_iterations_shrink() {
+        let g = gnm(100, 3000, 3);
+        let r = filtering_maximal_matching(&g, 150, 3).unwrap();
+        assert!(r.iterations >= 2);
+        assert!(r.iterations <= 30, "iterations {}", r.iterations);
+    }
+
+    #[test]
+    fn filtering_cover_covers() {
+        for seed in 0..4 {
+            let g = gnm(40, 300, seed);
+            let (cover, _) = filtering_vertex_cover(&g, 30, seed).unwrap();
+            assert!(is_vertex_cover(&g, &cover), "seed {seed}");
+            // Maximal matching endpoints: at most 2·OPT vertices
+            // (unweighted), so never more than n.
+            assert!(cover.len() <= g.n());
+        }
+    }
+
+    #[test]
+    fn layered_matching_valid_and_reasonable() {
+        for seed in 0..5 {
+            let g = with_log_uniform_weights(&gnm(14, 40, seed), 0.5, 64.0, seed + 5);
+            let r = layered_weighted_matching(&g, 10, seed).unwrap();
+            assert!(is_matching(&g, &r.matching), "seed {seed}");
+            let (opt, _) = max_weight_matching(&g);
+            let got = matching_weight(&g, &r.matching);
+            assert!(8.0 * got + 1e-9 >= opt, "seed {seed}: {got} vs opt {opt}");
+        }
+    }
+
+    #[test]
+    fn greedy_weighted_is_half_opt() {
+        for seed in 0..5 {
+            let g = with_uniform_weights(&gnm(12, 30, seed), 1.0, 9.0, seed);
+            let m = greedy_weighted_matching(&g);
+            assert!(is_matching(&g, &m));
+            let (opt, _) = max_weight_matching(&g);
+            assert!(2.0 * matching_weight(&g, &m) + 1e-9 >= opt);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = gnm(30, 200, 1);
+        let a = filtering_maximal_matching(&g, 25, 9).unwrap();
+        let b = filtering_maximal_matching(&g, 25, 9).unwrap();
+        assert_eq!(a.matching, b.matching);
+    }
+}

@@ -1,0 +1,214 @@
+//! The Crouch–Stubbs weight-class technique (reference \[14\] of the paper,
+//! refined by Grigorescu, Monemizadeh and Zhou \[21\]): a `(4+ε)`-
+//! approximation for *weighted* matching built from unweighted maximal
+//! matchings.
+//!
+//! For every threshold `τ_i = w_min (1+ε)^i` the algorithm maintains a
+//! maximal matching `M_i` of the subgraph of edges with weight `≥ τ_i`
+//! (here: the filtering maximal matching of \[27\], which is the MapReduce
+//! instantiation the paper's Figure 1 cites). The final matching greedily
+//! merges `M_L, M_{L-1}, …, M_0` from the heaviest class down. Classes are
+//! independent, so in MapReduce they run in parallel: the round count is a
+//! single filtering run's, while space multiplies by the number of classes
+//! `L = O(log_{1+ε}(w_max/w_min))`.
+//!
+//! ```
+//! use mrlr_baselines::crouch_stubbs_matching;
+//! use mrlr_graph::generators;
+//!
+//! let g = generators::with_log_uniform_weights(
+//!     &generators::gnm(30, 150, 1), 0.5, 64.0, 2);
+//! let r = crouch_stubbs_matching(&g, 0.5, 50, 3).unwrap();
+//! assert!(mrlr_core::verify::is_matching(&g, &r.matching));
+//! assert!(r.classes >= 2); // several weight classes at this spread
+//! ```
+
+use mrlr_graph::{EdgeId, Graph};
+use mrlr_mapreduce::{MrError, MrResult};
+
+use crate::filtering::filtering_maximal_matching;
+
+/// Result of a Crouch–Stubbs run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayeredResult {
+    /// The merged matching.
+    pub matching: Vec<EdgeId>,
+    /// Total weight of the matching.
+    pub weight: f64,
+    /// Number of weight classes `L`.
+    pub classes: usize,
+    /// Maximum filtering iterations over all classes (the classes run in
+    /// parallel, so this is the round-relevant figure).
+    pub max_iterations: usize,
+    /// Sum of per-class peak sample sizes (the space-relevant figure: all
+    /// classes are resident at once).
+    pub total_peak_sample: usize,
+}
+
+/// Runs the Crouch–Stubbs `(4+ε)`-approximation for weighted matching.
+/// `eta` is the per-class filtering sample budget.
+///
+/// Guarantees (for the merge of maximal matchings over nested classes):
+/// the merged matching has weight at least `OPT / ((1+ε) · 4)` — see \[14\],
+/// Theorem 1; \[21\] tightens the constant to 3.5.
+pub fn crouch_stubbs_matching(g: &Graph, eps: f64, eta: usize, seed: u64) -> MrResult<LayeredResult> {
+    if !(eps > 0.0 && eps.is_finite()) {
+        return Err(MrError::BadConfig("eps must be positive".into()));
+    }
+    if eta == 0 {
+        return Err(MrError::BadConfig("eta must be positive".into()));
+    }
+    if g.m() == 0 {
+        return Ok(LayeredResult {
+            matching: vec![],
+            weight: 0.0,
+            classes: 0,
+            max_iterations: 0,
+            total_peak_sample: 0,
+        });
+    }
+    let w_min = g.edges().iter().map(|e| e.w).fold(f64::INFINITY, f64::min);
+    let w_max = g.edges().iter().map(|e| e.w).fold(0.0f64, f64::max);
+    // Thresholds τ_i = w_min (1+ε)^i for i = 0..L with τ_L ≤ w_max.
+    let classes = ((w_max / w_min).ln() / (1.0 + eps).ln()).floor() as usize + 1;
+
+    // One maximal matching per class, on the subgraph of weight ≥ τ_i.
+    // Classes are nested: class 0 is the whole graph.
+    let mut per_class: Vec<Vec<EdgeId>> = Vec::with_capacity(classes);
+    let mut max_iterations = 0usize;
+    let mut total_peak = 0usize;
+    for i in 0..classes {
+        let tau = w_min * (1.0 + eps).powi(i as i32);
+        // Build the class subgraph view: same vertex set, filtered edges.
+        // Edge ids must refer to `g`, so filter by marking.
+        let sub = class_subgraph(g, tau);
+        if sub.live == 0 {
+            per_class.push(vec![]);
+            continue;
+        }
+        let r = filtering_maximal_matching(&sub.graph, eta, seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))?;
+        max_iterations = max_iterations.max(r.iterations);
+        total_peak += r.peak_sample;
+        per_class.push(r.matching.iter().map(|&local| sub.to_parent[local as usize]).collect());
+    }
+
+    // Greedy merge, heaviest class first.
+    let mut used = vec![false; g.n()];
+    let mut matching = Vec::new();
+    let mut weight = 0.0;
+    for class in per_class.iter().rev() {
+        for &id in class {
+            let e = g.edge(id);
+            if !used[e.u as usize] && !used[e.v as usize] {
+                used[e.u as usize] = true;
+                used[e.v as usize] = true;
+                matching.push(id);
+                weight += e.w;
+            }
+        }
+    }
+    matching.sort_unstable();
+    Ok(LayeredResult {
+        matching,
+        weight,
+        classes,
+        max_iterations,
+        total_peak_sample: total_peak,
+    })
+}
+
+struct ClassSubgraph {
+    graph: Graph,
+    /// Maps the subgraph's edge id back to the parent graph's edge id.
+    to_parent: Vec<EdgeId>,
+    live: usize,
+}
+
+fn class_subgraph(g: &Graph, tau: f64) -> ClassSubgraph {
+    let mut edges = Vec::new();
+    let mut to_parent = Vec::new();
+    for (idx, e) in g.edges().iter().enumerate() {
+        if e.w >= tau {
+            edges.push(*e);
+            to_parent.push(idx as EdgeId);
+        }
+    }
+    let live = edges.len();
+    ClassSubgraph {
+        graph: Graph::new(g.n(), edges),
+        to_parent,
+        live,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrlr_core::exact::max_weight_matching;
+    use mrlr_core::verify::{is_matching, matching_weight};
+    use mrlr_graph::generators::{gnm, with_log_uniform_weights, with_uniform_weights};
+
+    #[test]
+    fn valid_matching_and_weight_consistent() {
+        for seed in 0..6 {
+            let g = with_log_uniform_weights(&gnm(40, 250, seed), 0.5, 128.0, seed + 9);
+            let r = crouch_stubbs_matching(&g, 0.5, 50, seed).unwrap();
+            assert!(is_matching(&g, &r.matching), "seed {seed}");
+            assert!((r.weight - matching_weight(&g, &r.matching)).abs() < 1e-9);
+            assert!(r.classes >= 1);
+        }
+    }
+
+    #[test]
+    fn ratio_within_4_plus_eps_of_exact() {
+        for seed in 0..8 {
+            let g = with_log_uniform_weights(&gnm(14, 45, seed), 0.5, 64.0, seed + 3);
+            let (opt, _) = max_weight_matching(&g);
+            let r = crouch_stubbs_matching(&g, 0.25, 12, seed).unwrap();
+            assert!(
+                (4.0 + 0.25 + 1e-9) * r.weight >= opt,
+                "seed {seed}: got {} opt {opt}",
+                r.weight
+            );
+        }
+    }
+
+    #[test]
+    fn beats_its_own_guarantee_typically() {
+        // On uniform weights the merge is usually far better than 4+ε; this
+        // guards against silent regressions that still satisfy the bound.
+        let g = with_uniform_weights(&gnm(60, 600, 2), 1.0, 8.0, 7);
+        let r = crouch_stubbs_matching(&g, 0.5, 80, 2).unwrap();
+        let greedy = crate::filtering::greedy_weighted_matching(&g);
+        let gw = matching_weight(&g, &greedy);
+        assert!(r.weight >= 0.5 * gw, "layered {} vs greedy {gw}", r.weight);
+    }
+
+    #[test]
+    fn class_count_tracks_spread() {
+        let narrow = with_uniform_weights(&gnm(20, 60, 1), 1.0, 1.1, 2);
+        let wide = with_log_uniform_weights(&gnm(20, 60, 1), 1.0, 1000.0, 2);
+        let rn = crouch_stubbs_matching(&narrow, 0.5, 30, 1).unwrap();
+        let rw = crouch_stubbs_matching(&wide, 0.5, 30, 1).unwrap();
+        assert!(rn.classes <= 2);
+        assert!(rw.classes > rn.classes, "{} vs {}", rw.classes, rn.classes);
+    }
+
+    #[test]
+    fn empty_graph_and_bad_config() {
+        let empty = Graph::new(5, vec![]);
+        let r = crouch_stubbs_matching(&empty, 0.5, 10, 0).unwrap();
+        assert!(r.matching.is_empty());
+        assert_eq!(r.classes, 0);
+        assert!(crouch_stubbs_matching(&gnm(5, 4, 0), 0.0, 10, 0).is_err());
+        assert!(crouch_stubbs_matching(&gnm(5, 4, 0), 0.5, 0, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = with_log_uniform_weights(&gnm(30, 150, 4), 0.5, 64.0, 11);
+        let a = crouch_stubbs_matching(&g, 0.3, 25, 5).unwrap();
+        let b = crouch_stubbs_matching(&g, 0.3, 25, 5).unwrap();
+        assert_eq!(a.matching, b.matching);
+    }
+}

@@ -1,0 +1,65 @@
+//! Baseline shoot-out (the comparison rows of Figure 1): our randomized
+//! local ratio matching vs filtering [27], layered filtering [27],
+//! Crouch–Stubbs [14], and the 2-round coreset [4], on the same
+//! weight-spread workload; plus the substrate partitioner throughput that
+//! all of them share.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use mrlr_baselines::{
+    coreset_matching, crouch_stubbs_matching, filtering_maximal_matching,
+    layered_weighted_matching,
+};
+use mrlr_core::rlr::approx_max_matching;
+use mrlr_graph::generators;
+use mrlr_mapreduce::partition::{split, BlockPartitioner, HashPartitioner};
+
+fn spread_graph(n: usize, seed: u64) -> mrlr_graph::Graph {
+    generators::with_log_uniform_weights(&generators::densified(n, 0.5, seed), 0.5, 256.0, seed + 1)
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching_baselines");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [150usize, 300] {
+        let g = spread_graph(n, 21);
+        let eta = (n as f64).powf(1.25).ceil() as usize;
+        group.bench_with_input(BenchmarkId::new("ours_thm_5_6", n), &n, |b, _| {
+            b.iter(|| approx_max_matching(&g, eta, 3).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("filtering_unweighted", n), &n, |b, _| {
+            b.iter(|| filtering_maximal_matching(&g, eta, 3).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("layered_8approx", n), &n, |b, _| {
+            b.iter(|| layered_weighted_matching(&g, eta, 3).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("crouch_stubbs_4eps", n), &n, |b, _| {
+            b.iter(|| crouch_stubbs_matching(&g, 0.5, eta, 3).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("coreset_2round", n), &n, |b, _| {
+            b.iter(|| coreset_matching(&g, (n as f64).sqrt() as usize, 3).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioners");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let items: Vec<u64> = (0..100_000u64).collect();
+    for machines in [16usize, 256] {
+        group.bench_with_input(BenchmarkId::new("hash", machines), &machines, |b, &m| {
+            let p = HashPartitioner::new(7, m);
+            b.iter(|| split(items.clone(), |&x| x, &p))
+        });
+        group.bench_with_input(BenchmarkId::new("block", machines), &machines, |b, &m| {
+            let p = BlockPartitioner::new(items.len() as u64, m);
+            b.iter(|| split(items.clone(), |&x| x, &p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines, bench_partitioners);
+criterion_main!(benches);

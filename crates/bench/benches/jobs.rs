@@ -1,0 +1,99 @@
+//! Substrate benches for the map → shuffle → reduce layer (§1.3): word-count
+//! throughput with and without the combiner optimization, and the underlying
+//! exchange primitive. The combiner's benefit is also visible in the metered
+//! message volume (asserted by unit tests); this bench adds the wall-clock
+//! side of the story.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use mrlr_mapreduce::job::{partition_by_hash, Emitter, MapReduceJob};
+use mrlr_mapreduce::{Cluster, ClusterConfig, DetRng};
+
+fn corpus(docs: usize, words_per_doc: usize, vocab: usize, seed: u64) -> Vec<String> {
+    let mut rng = DetRng::new(seed);
+    (0..docs)
+        .map(|_| {
+            (0..words_per_doc)
+                .map(|_| format!("w{}", rng.range_usize(vocab)))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect()
+}
+
+fn word_count_job() -> MapReduceJob<
+    String,
+    String,
+    u64,
+    (String, u64),
+    impl Fn(&String, &mut Emitter<String, u64>) + Sync,
+    impl Fn(&String, Vec<u64>) -> Vec<(String, u64)> + Sync,
+> {
+    MapReduceJob::new(
+        |doc: &String, em: &mut Emitter<String, u64>| {
+            for w in doc.split_whitespace() {
+                em.emit(w.to_string(), 1);
+            }
+        },
+        |k: &String, vs: Vec<u64>| vec![(k.clone(), vs.iter().sum::<u64>())],
+    )
+}
+
+fn bench_wordcount(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapreduce_jobs");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &vocab in &[50usize, 5000] {
+        let docs = corpus(200, 50, vocab, 7);
+        let inputs = partition_by_hash(docs, 8, 3);
+        let cfg = ClusterConfig::new(8, 1_000_000);
+        let job = word_count_job();
+        group.bench_with_input(BenchmarkId::new("wordcount_plain", vocab), &vocab, |b, _| {
+            b.iter(|| job.run(cfg.clone(), inputs.clone()).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("wordcount_combiner", vocab),
+            &vocab,
+            |b, _| {
+                b.iter(|| {
+                    job.run_with_combiner(cfg.clone(), inputs.clone(), |_, vs: Vec<u64>| {
+                        vs.iter().sum::<u64>()
+                    })
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange_primitive");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &machines in &[8usize, 64] {
+        group.bench_with_input(BenchmarkId::new("all_to_all", machines), &machines, |b, &m| {
+            b.iter(|| {
+                let states: Vec<Vec<u64>> = (0..m).map(|i| vec![i as u64; 64]).collect();
+                let mut cluster =
+                    Cluster::new(ClusterConfig::new(m, 1_000_000), states).unwrap();
+                cluster
+                    .exchange::<u64, _, _>(
+                        |id, s, out| {
+                            for dst in 0..m {
+                                out.send(dst, (id + s.len()) as u64);
+                            }
+                        },
+                        |_, s, inbox| {
+                            s.push(inbox.len() as u64);
+                        },
+                    )
+                    .unwrap();
+                cluster.rounds()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wordcount, bench_exchange);
+criterion_main!(benches);

@@ -1,0 +1,371 @@
+//! Regenerates **Figure 1** of the paper with measured columns.
+//!
+//! For every row the paper proves (and the baseline rows we implement),
+//! this binary runs the algorithm on the standard workload and reports:
+//! the theoretical approximation and round bounds, the *measured*
+//! approximation (certified by dual/stack certificates, plus exact ratios
+//! on small instances), the measured MapReduce rounds, and the measured
+//! peak words per machine against the `η = n^{1+µ}` budget.
+//!
+//! Usage: `cargo run --release -p mrlr-bench --bin figure1`
+
+use mrlr_baselines::{
+    coreset_matching, crouch_stubbs_matching, filtering_maximal_matching, filtering_vertex_cover,
+    layered_weighted_matching, luby_colouring, luby_mis,
+};
+use mrlr_bench::{max_ratio, min_ratio, render_table, vertex_weights, weighted_graph, Row};
+use mrlr_core::colouring::{colour_budget, group_count};
+use mrlr_core::exact;
+use mrlr_core::hungry::{HungryScParams, MisParams};
+use mrlr_core::mr::bmatching::mr_b_matching;
+use mrlr_core::mr::clique::mr_maximal_clique;
+use mrlr_core::mr::colouring::{mr_edge_colouring, mr_vertex_colouring};
+use mrlr_core::mr::matching::mr_matching;
+use mrlr_core::mr::mis::{mr_mis_fast, mr_mis_simple};
+use mrlr_core::mr::set_cover::mr_set_cover_f;
+use mrlr_core::mr::set_cover_greedy::mr_hungry_set_cover;
+use mrlr_core::mr::vertex_cover::mr_vertex_cover;
+use mrlr_core::mr::MrConfig;
+use mrlr_core::rlr::BMatchingParams;
+use mrlr_core::seq::{b_matching_multiplier, greedy_set_cover, harmonic};
+use mrlr_core::verify;
+use mrlr_setsys::generators as setgen;
+
+const N: usize = 300;
+const C: f64 = 0.5;
+const MU: f64 = 0.25;
+const SEED: u64 = 42;
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+    let g = weighted_graph(N, C, SEED);
+    let m = g.m();
+    let nf = N as f64;
+    let eta = nf.powf(1.0 + MU).ceil() as usize;
+    println!("# Figure 1 (measured)\n");
+    println!(
+        "Workload: n = {N}, m = n^(1+c) = {m} (c = {C}), mu = {MU}, eta = n^(1+mu) = {eta}, seed = {SEED}.\n"
+    );
+
+    // ---- Weighted vertex cover (Theorem 2.4, f = 2) ----
+    {
+        let w = vertex_weights(N, SEED);
+        let cfg = MrConfig::auto(N, m, MU, SEED);
+        let (r, met) = mr_vertex_cover(&g, &w, cfg).expect("vertex cover");
+        assert!(verify::is_vertex_cover(&g, &r.cover));
+        rows.push(Row(vec![
+            "Vertex Cover".into(),
+            "Y".into(),
+            "2".into(),
+            format!("{:.3}", min_ratio(r.weight, r.lower_bound)),
+            format!("O(c/mu) = {}", (C / MU).ceil() as usize + 1),
+            format!("{} it / {} rounds", r.iterations, met.rounds),
+            format!("{} (<= {}x eta)", met.peak_machine_words, met.peak_machine_words.div_ceil(eta)),
+            "Thm 2.4".into(),
+        ]));
+    }
+
+    // ---- Weighted set cover, f-approximation (Theorem 2.4) ----
+    {
+        let f = 3usize;
+        let sys = setgen::with_uniform_weights(
+            setgen::bounded_frequency(N, m, f, SEED),
+            1.0,
+            10.0,
+            SEED,
+        );
+        let cfg = MrConfig::auto(N, m, MU, SEED);
+        let (r, met) = mr_set_cover_f(&sys, cfg).expect("set cover f");
+        assert!(sys.covers(&r.cover));
+        rows.push(Row(vec![
+            "Set Cover".into(),
+            "Y".into(),
+            format!("f = {}", sys.max_frequency()),
+            format!("{:.3}", min_ratio(r.weight, r.lower_bound)),
+            "O((c/mu)^2)".into(),
+            format!("{} it / {} rounds", r.iterations, met.rounds),
+            format!("{}", met.peak_machine_words),
+            "Thm 2.4".into(),
+        ]));
+    }
+
+    // ---- Weighted set cover, (1+eps) ln Delta (Theorem 4.6) ----
+    {
+        let mu_sc = 0.4;
+        let universe = 200usize;
+        let sys = setgen::with_uniform_weights(
+            setgen::bounded_set_size(1500, universe, 20, SEED),
+            1.0,
+            10.0,
+            SEED,
+        );
+        let eps = 0.2;
+        let params = HungryScParams::new(universe, mu_sc, eps, SEED);
+        let cfg = MrConfig::auto(universe, sys.total_size(), mu_sc, SEED);
+        let (r, _, met) = mr_hungry_set_cover(&sys, params, cfg).expect("hungry set cover");
+        assert!(sys.covers(&r.cover));
+        let bound = (1.0 + eps) * harmonic(sys.max_set_size());
+        let greedy = greedy_set_cover(&sys).expect("greedy");
+        rows.push(Row(vec![
+            "Set Cover".into(),
+            "Y".into(),
+            format!("(1+e)H_D = {bound:.2}"),
+            format!("{:.3} (greedy pays {:.3})", min_ratio(r.weight, r.lower_bound), min_ratio(greedy.weight, r.lower_bound)),
+            "O(log-ish / mu^2)".into(),
+            format!("{} it / {} rounds", r.iterations, met.rounds),
+            format!("{}", met.peak_machine_words),
+            "Thm 4.6".into(),
+        ]));
+    }
+
+    // ---- Maximal independent set (Theorems 3.3, A.3) ----
+    {
+        let gu = g.unweighted();
+        let cfg = MrConfig::auto(N, m, MU, SEED);
+        let p1 = MisParams::mis1(N, MU, SEED);
+        let (r1, met1) = mr_mis_simple(&gu, p1, cfg).expect("mis1");
+        assert!(verify::is_maximal_independent_set(&gu, &r1.vertices));
+        rows.push(Row(vec![
+            "Maximal Indep. Set".into(),
+            "-".into(),
+            "maximal".into(),
+            "exact (verified)".into(),
+            "O(1/mu^2)".into(),
+            format!("{} it / {} rounds", r1.iterations, met1.rounds),
+            format!("{}", met1.peak_machine_words),
+            "Thm 3.3 (Alg 2)".into(),
+        ]));
+        let p2 = MisParams::mis2(N, MU, SEED);
+        let (r2, met2) = mr_mis_fast(&gu, p2, cfg).expect("mis2");
+        assert!(verify::is_maximal_independent_set(&gu, &r2.vertices));
+        rows.push(Row(vec![
+            "Maximal Indep. Set".into(),
+            "-".into(),
+            "maximal".into(),
+            "exact (verified)".into(),
+            "O(c/mu)".into(),
+            format!("{} it / {} rounds", r2.iterations, met2.rounds),
+            format!("{}", met2.peak_machine_words),
+            "Thm A.3 (Alg 6)".into(),
+        ]));
+        let luby = luby_mis(&gu, SEED);
+        assert!(verify::is_maximal_independent_set(&gu, &luby.vertices));
+        rows.push(Row(vec![
+            "Maximal Indep. Set".into(),
+            "-".into(),
+            "maximal".into(),
+            "exact (verified)".into(),
+            "O(log n)".into(),
+            format!("{} it", luby.rounds),
+            "-".into(),
+            "Luby [31] baseline".into(),
+        ]));
+    }
+
+    // ---- Maximal clique (Corollary B.1) ----
+    {
+        let dense = mrlr_graph::generators::gnp(120, 0.5, SEED);
+        let params = MisParams::mis2(120, 0.4, SEED);
+        let cfg = MrConfig::auto(120, dense.m(), 0.4, SEED);
+        let (r, met) = mr_maximal_clique(&dense, params, cfg).expect("clique");
+        assert!(verify::is_maximal_clique(&dense, &r.vertices));
+        rows.push(Row(vec![
+            "Maximal Clique".into(),
+            "-".into(),
+            "maximal".into(),
+            format!("exact (|K| = {})", r.vertices.len()),
+            "O(1/mu)".into(),
+            format!("{} it / {} rounds", r.iterations, met.rounds),
+            format!("{}", met.peak_machine_words),
+            "Cor B.1".into(),
+        ]));
+    }
+
+    // ---- Weighted matching (Theorem 5.6) + baselines ----
+    {
+        let cfg = MrConfig::auto(N, m, MU, SEED);
+        let (r, met) = mr_matching(&g, cfg).expect("matching");
+        assert!(verify::is_matching(&g, &r.matching));
+        rows.push(Row(vec![
+            "Matching".into(),
+            "Y".into(),
+            "2".into(),
+            format!("{:.3} (certified)", r.certified_ratio(2.0)),
+            format!("O(c/mu) = {}", (C / MU).ceil() as usize + 1),
+            format!("{} it / {} rounds", r.iterations, met.rounds),
+            format!("{}", met.peak_machine_words),
+            "Thm 5.6".into(),
+        ]));
+        // Unweighted filtering baseline.
+        let gu = g.unweighted();
+        let fr = filtering_maximal_matching(&gu, eta, SEED).expect("filtering");
+        rows.push(Row(vec![
+            "Matching".into(),
+            "-".into(),
+            "2".into(),
+            "maximal (verified)".into(),
+            "O(c/mu)".into(),
+            format!("{} it", fr.iterations),
+            format!("{}", 3 * fr.peak_sample),
+            "Filtering [27] baseline".into(),
+        ]));
+        let (fvc, fvc_it) = filtering_vertex_cover(&gu, eta, SEED).expect("filtering vc");
+        assert!(verify::is_vertex_cover(&gu, &fvc));
+        rows.push(Row(vec![
+            "Vertex Cover".into(),
+            "-".into(),
+            "2".into(),
+            format!("|C| = {}", fvc.len()),
+            "O(c/mu)".into(),
+            format!("{fvc_it} it"),
+            "-".into(),
+            "Filtering [27] baseline".into(),
+        ]));
+        // Weighted head-to-head: local ratio (2) vs layered filtering (8).
+        let lw = layered_weighted_matching(&g, eta, SEED).expect("layered");
+        let ours = verify::matching_weight(&g, &r.matching);
+        let theirs = verify::matching_weight(&g, &lw.matching);
+        rows.push(Row(vec![
+            "Matching".into(),
+            "Y".into(),
+            "8".into(),
+            format!("{:.3} of ours", theirs / ours),
+            "O((c/mu) log W)".into(),
+            format!("{} it", lw.iterations),
+            format!("{}", 3 * lw.peak_sample),
+            "Layered filtering [27] baseline".into(),
+        ]));
+        // Crouch-Stubbs weight classes (Figure 1 rows [14]/[21]).
+        let cs = crouch_stubbs_matching(&g, 0.5, eta, SEED).expect("crouch-stubbs");
+        rows.push(Row(vec![
+            "Matching".into(),
+            "Y".into(),
+            "4+e (3.5+e in [21])".into(),
+            format!("{:.3} of ours", cs.weight / ours),
+            "O(c/mu), classes parallel".into(),
+            format!("{} it (max class)", cs.max_iterations),
+            format!("{}", 3 * cs.total_peak_sample),
+            "Crouch-Stubbs [14] baseline".into(),
+        ]));
+        // Two-round coreset (Figure 1 row [4] flavour).
+        let machines = (nf.sqrt().ceil()) as usize;
+        let co = coreset_matching(&g, machines, SEED).expect("coreset");
+        rows.push(Row(vec![
+            "Matching".into(),
+            "Y".into(),
+            "O(1)".into(),
+            format!("{:.3} of ours", co.weight / ours),
+            "2".into(),
+            "2 rounds".into(),
+            format!("{} union edges central", co.union_size),
+            "2-round coreset [4] baseline".into(),
+        ]));
+    }
+
+    // ---- Weighted b-matching (Theorem D.3) ----
+    {
+        let b: Vec<u32> = (0..N).map(|v| 1 + (v % 3) as u32).collect();
+        let params = BMatchingParams {
+            eps: 0.25,
+            n_mu: nf.powf(MU),
+            eta,
+            seed: SEED,
+        };
+        let mut cfg = MrConfig::auto(N, m, MU, SEED);
+        cfg.eta = eta;
+        let (r, met) = mr_b_matching(&g, &b, params, cfg).expect("b-matching");
+        assert!(verify::is_b_matching(&g, &b, &r.matching));
+        let mult = b_matching_multiplier(&b, params.eps);
+        rows.push(Row(vec![
+            "b-Matching".into(),
+            "Y".into(),
+            format!("3-2/b+2e = {mult:.2}"),
+            format!("{:.3} (certified)", r.certified_ratio(mult)),
+            "O(c/mu)".into(),
+            format!("{} it / {} rounds", r.iterations, met.rounds),
+            format!("{}", met.peak_machine_words),
+            "Thm D.3".into(),
+        ]));
+    }
+
+    // ---- Vertex & edge colouring (Theorems 6.4, 6.6) ----
+    {
+        let kappa = group_count(N, m, MU);
+        let limit = (13.0 * nf.powf(1.0 + MU)).ceil() as usize;
+        let cfg = MrConfig::auto(N, m, MU, SEED);
+        let (r, met) = mr_vertex_colouring(&g, kappa, Some(limit), cfg).expect("vertex colouring");
+        assert!(verify::is_proper_colouring(&g, &r.colours));
+        let budget = colour_budget(N, g.max_degree(), MU);
+        rows.push(Row(vec![
+            "Vertex Colouring".into(),
+            "-".into(),
+            "(1+o(1))D".into(),
+            format!("{} cols, D = {}, budget {:.0}", r.num_colours, g.max_degree(), budget),
+            "O(1)".into(),
+            format!("{} rounds", met.rounds),
+            format!("{}", met.peak_machine_words),
+            "Thm 6.4".into(),
+        ]));
+        let (re, mete) = mr_edge_colouring(&g, kappa, Some(limit), cfg).expect("edge colouring");
+        assert!(verify::is_proper_edge_colouring(&g, &re.colours));
+        let delta = g.max_degree();
+        rows.push(Row(vec![
+            "Edge Colouring".into(),
+            "-".into(),
+            "(1+o(1))D".into(),
+            format!("{} cols, D = {}, budget {:.0}", re.num_colours, delta, colour_budget(N, delta, MU)),
+            "O(1)".into(),
+            format!("{} rounds", mete.rounds),
+            format!("{}", mete.peak_machine_words),
+            "Thm 6.6".into(),
+        ]));
+        // Luby-style (Delta+1) colouring baseline (reference [32]).
+        let luby = luby_colouring(&g, SEED);
+        assert!(verify::is_proper_colouring(&g, &luby.colours));
+        rows.push(Row(vec![
+            "Vertex Colouring".into(),
+            "-".into(),
+            "D+1".into(),
+            format!("{} cols, D = {delta}", luby.num_colours),
+            "O(log n)".into(),
+            format!("{} it", luby.rounds),
+            "-".into(),
+            "Luby [32] baseline".into(),
+        ]));
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Problem",
+                "Weighted?",
+                "Approx (theory)",
+                "Approx (measured)",
+                "Rounds (theory)",
+                "Rounds (measured)",
+                "Peak words/machine",
+                "Reference"
+            ],
+            &rows
+        )
+    );
+
+    // Small-instance exact cross-check.
+    println!("\n## Exact cross-check (n = 14, 50 seeds)\n");
+    let mut worst_match = 1.0f64;
+    let mut worst_vc = 1.0f64;
+    for seed in 0..50u64 {
+        let sg = weighted_graph(14, 0.4, seed);
+        let (opt, _) = exact::max_weight_matching(&sg);
+        let cfg = MrConfig::auto(14, sg.m(), 0.3, seed);
+        let (r, _) = mr_matching(&sg, cfg).expect("small matching");
+        worst_match = worst_match.max(max_ratio(r.weight, opt));
+        let w = vertex_weights(14, seed);
+        let (vc_opt, _) = exact::min_weight_vertex_cover(&sg, &w);
+        let (rc, _) = mr_vertex_cover(&sg, &w, cfg).expect("small vc");
+        worst_vc = worst_vc.max(min_ratio(rc.weight, vc_opt));
+    }
+    println!("worst matching ratio vs exact OPT: {worst_match:.4} (theory 2.0)");
+    println!("worst vertex cover ratio vs exact OPT: {worst_vc:.4} (theory 2.0)");
+}

@@ -1,0 +1,266 @@
+//! Section 6: `(1+o(1))Δ` vertex and edge colouring in `O(1)` rounds.
+//!
+//! Algorithm 5 randomly partitions the vertices into `κ = n^{(c−µ)/2}`
+//! groups; within a group the maximum induced degree is
+//! `(1 + n^{-µ/2}√(6 ln n))·Δ/κ` w.h.p. (Lemma 6.1) and the induced edge
+//! count is ≤ `13 n^{1+µ}` w.h.p. (Lemma 6.2), so one machine per group can
+//! greedily colour its subgraph with a private palette of `Δ_i + 1`
+//! colours. The union uses `κ(max_i Δ_i + 1) = (1+o(1))Δ` colours
+//! (Corollary 6.3). Remark 6.5: edge colouring works identically with
+//! *edges* partitioned and Misra–Gries (`Δ_i + 1` colours, Vizing) as the
+//! per-group subroutine.
+
+use mrlr_graph::{EdgeId, Graph, VertexId};
+use mrlr_mapreduce::rng::mix_tags;
+use mrlr_mapreduce::{MrError, MrResult};
+
+use crate::seq::greedy_graph::greedy_colouring_with_order;
+use crate::seq::misra_gries::misra_gries_edge_colouring;
+use crate::types::ColouringResult;
+
+/// Tag mixed into the group-assignment hashes (shared with the MR driver).
+pub const COLOUR_TAG: u64 = 0x434f_4c52;
+
+/// The paper's group count `κ = n^{(c−µ)/2}` for a graph with `m = n^{1+c}`
+/// edges and memory exponent `µ`. At least 1.
+pub fn group_count(n: usize, m: usize, mu: f64) -> usize {
+    if n < 2 || m == 0 {
+        return 1;
+    }
+    let nf = n as f64;
+    let c = ((m as f64).ln() / nf.ln() - 1.0).max(0.0);
+    nf.powf(((c - mu) / 2.0).max(0.0)).round().max(1.0) as usize
+}
+
+/// The group of vertex `v` — a pure hash, computable anywhere without
+/// communication.
+#[inline]
+pub fn vertex_group(seed: u64, v: VertexId, kappa: usize) -> usize {
+    (mix_tags(seed, &[COLOUR_TAG, v as u64]) % kappa as u64) as usize
+}
+
+/// The group of edge `e` — likewise a pure hash.
+#[inline]
+pub fn edge_group(seed: u64, e: EdgeId, kappa: usize) -> usize {
+    (mix_tags(seed, &[COLOUR_TAG, 0x6564_6765, e as u64]) % kappa as u64) as usize
+}
+
+/// Algorithm 5: `(1+o(1))Δ` vertex colouring with `kappa` random groups.
+/// `edge_limit` is the per-group edge bound of line 4 (`13 n^{1+µ}`);
+/// exceeding it triggers the paper's `fail`. Pass `None` to skip the check.
+pub fn vertex_colouring(
+    g: &Graph,
+    kappa: usize,
+    edge_limit: Option<usize>,
+    seed: u64,
+) -> MrResult<ColouringResult> {
+    if kappa == 0 {
+        return Err(MrError::BadConfig("kappa must be positive".into()));
+    }
+    let n = g.n();
+    let groups: Vec<usize> = (0..n as VertexId).map(|v| vertex_group(seed, v, kappa)).collect();
+
+    // Partition intra-group edges.
+    let mut group_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); kappa];
+    for (idx, e) in g.edges().iter().enumerate() {
+        let gu = groups[e.u as usize];
+        if gu == groups[e.v as usize] {
+            group_edges[gu].push(idx as EdgeId);
+        }
+    }
+    if let Some(limit) = edge_limit {
+        for (i, ge) in group_edges.iter().enumerate() {
+            if ge.len() > limit {
+                return Err(MrError::AlgorithmFailed {
+                    round: 0,
+                    reason: format!("group {i} has {} > {limit} edges (Lemma 6.2 guard)", ge.len()),
+                });
+            }
+        }
+    }
+
+    // Colour each group greedily with a private palette; offset palettes so
+    // colours are globally distinct per group.
+    let mut colours = vec![0u32; n];
+    let mut next_palette_start = 0u32;
+    let mut total_colours = 0usize;
+    for gi in 0..kappa {
+        let members: Vec<VertexId> =
+            (0..n as VertexId).filter(|&v| groups[v as usize] == gi).collect();
+        if members.is_empty() {
+            continue;
+        }
+        // The induced subgraph keeps original vertex ids, so the greedy
+        // subroutine colours members directly.
+        let sub = g.induced(|v| groups[v as usize] == gi);
+        let local = greedy_colouring_with_order(&sub, &members);
+        let mut used = 0u32;
+        for &v in &members {
+            let c = local.colours[v as usize];
+            colours[v as usize] = next_palette_start + c;
+            used = used.max(c + 1);
+        }
+        next_palette_start += used;
+        total_colours += used as usize;
+    }
+
+    Ok(ColouringResult {
+        colours,
+        num_colours: total_colours,
+        groups: kappa,
+    })
+}
+
+/// Remark 6.5: `(1+o(1))Δ` edge colouring — random *edge* groups, each
+/// coloured by Misra–Gries with a private palette of `Δ_i + 1` colours.
+pub fn edge_colouring(
+    g: &Graph,
+    kappa: usize,
+    edge_limit: Option<usize>,
+    seed: u64,
+) -> MrResult<ColouringResult> {
+    if kappa == 0 {
+        return Err(MrError::BadConfig("kappa must be positive".into()));
+    }
+    let m = g.m();
+    let groups: Vec<usize> = (0..m as EdgeId).map(|e| edge_group(seed, e, kappa)).collect();
+    if let Some(limit) = edge_limit {
+        let mut counts = vec![0usize; kappa];
+        for &gi in &groups {
+            counts[gi] += 1;
+        }
+        if let Some((i, &cnt)) = counts.iter().enumerate().find(|&(_, &c)| c > limit) {
+            return Err(MrError::AlgorithmFailed {
+                round: 0,
+                reason: format!("edge group {i} has {cnt} > {limit} edges"),
+            });
+        }
+    }
+
+    let mut colours = vec![0u32; m];
+    let mut next_palette_start = 0u32;
+    let mut total_colours = 0usize;
+    for gi in 0..kappa {
+        let members: Vec<EdgeId> = (0..m as EdgeId).filter(|&e| groups[e as usize] == gi).collect();
+        if members.is_empty() {
+            continue;
+        }
+        // Subgraph containing exactly this group's edges (vertex ids kept).
+        let sub = Graph::new(g.n(), members.iter().map(|&e| *g.edge(e)).collect());
+        let local = misra_gries_edge_colouring(&sub);
+        let mut used = 0u32;
+        for (sub_idx, &orig) in members.iter().enumerate() {
+            let c = local.colours[sub_idx];
+            colours[orig as usize] = next_palette_start + c;
+            used = used.max(c + 1);
+        }
+        next_palette_start += used;
+        total_colours += used as usize;
+    }
+
+    Ok(ColouringResult {
+        colours,
+        num_colours: total_colours,
+        groups: kappa,
+    })
+}
+
+/// Corollary 6.3's colour budget
+/// `(1 + n^{-µ/2}√(6 ln n) + n^{-µ}) Δ` — the number the measured colour
+/// count is compared against in the experiments.
+pub fn colour_budget(n: usize, delta: usize, mu: f64) -> f64 {
+    if n < 2 {
+        return delta as f64 + 1.0;
+    }
+    let nf = n as f64;
+    (1.0 + nf.powf(-mu / 2.0) * (6.0 * nf.ln()).sqrt() + nf.powf(-mu)) * delta as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{is_proper_colouring, is_proper_edge_colouring};
+    use mrlr_graph::generators::{complete, densified, gnm};
+
+    #[test]
+    fn vertex_colouring_proper_all_kappa() {
+        let g = gnm(60, 400, 3);
+        for kappa in [1usize, 2, 4, 8] {
+            let r = vertex_colouring(&g, kappa, None, 7).unwrap();
+            assert!(is_proper_colouring(&g, &r.colours), "kappa {kappa}");
+            assert_eq!(r.groups, kappa);
+            // Union of per-group palettes ≤ κ(Δ+1) — and never more than n.
+            assert!(r.num_colours <= g.n());
+        }
+    }
+
+    #[test]
+    fn kappa_one_is_plain_greedy_bound() {
+        let g = gnm(40, 200, 1);
+        let r = vertex_colouring(&g, 1, None, 1).unwrap();
+        assert!(is_proper_colouring(&g, &r.colours));
+        assert!(r.num_colours <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn edge_colouring_proper_all_kappa() {
+        let g = gnm(40, 250, 5);
+        for kappa in [1usize, 3, 6] {
+            let r = edge_colouring(&g, kappa, None, 11).unwrap();
+            assert!(is_proper_edge_colouring(&g, &r.colours), "kappa {kappa}");
+        }
+    }
+
+    #[test]
+    fn edge_colouring_kappa_one_vizing() {
+        let g = complete(9);
+        let r = edge_colouring(&g, 1, None, 2).unwrap();
+        assert!(is_proper_edge_colouring(&g, &r.colours));
+        assert!(r.num_colours <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn colour_count_within_budget_on_dense_graphs() {
+        // Dense graph, moderate µ: measured colours ≤ (1+o(1))Δ budget.
+        let n = 120;
+        let g = densified(n, 0.6, 9);
+        let mu = 0.3;
+        let kappa = group_count(n, g.m(), mu);
+        assert!(kappa >= 2, "kappa {kappa}");
+        let r = vertex_colouring(&g, kappa, None, 5).unwrap();
+        assert!(is_proper_colouring(&g, &r.colours));
+        let budget = colour_budget(n, g.max_degree(), mu);
+        assert!(
+            (r.num_colours as f64) <= budget,
+            "{} colours > budget {budget}",
+            r.num_colours
+        );
+    }
+
+    #[test]
+    fn edge_limit_guard_fires() {
+        let g = complete(10); // 45 edges; kappa = 1 puts them all in one group
+        let err = vertex_colouring(&g, 1, Some(10), 3).unwrap_err();
+        assert!(matches!(err, MrError::AlgorithmFailed { .. }));
+        let err = edge_colouring(&g, 1, Some(10), 3).unwrap_err();
+        assert!(matches!(err, MrError::AlgorithmFailed { .. }));
+    }
+
+    #[test]
+    fn group_count_formula() {
+        // n = 100, m = n^1.5 → c = 0.5; µ = 0.1 → κ = n^0.2 ≈ 2.5.
+        let kappa = group_count(100, 1000, 0.1);
+        assert!((2..=3).contains(&kappa), "kappa {kappa}");
+        assert_eq!(group_count(1, 0, 0.2), 1);
+        // µ ≥ c → κ = 1.
+        assert_eq!(group_count(100, 1000, 0.8), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = gnm(30, 150, 2);
+        let a = vertex_colouring(&g, 4, None, 9).unwrap();
+        let b = vertex_colouring(&g, 4, None, 9).unwrap();
+        assert_eq!(a.colours, b.colours);
+    }
+}

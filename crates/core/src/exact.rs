@@ -1,0 +1,397 @@
+//! Exact solvers for small instances — the denominators of measured
+//! approximation ratios in tests and experiments.
+//!
+//! All solvers are exponential-time and assert hard instance-size limits;
+//! they exist to validate the approximation algorithms, not to compete with
+//! them.
+
+use mrlr_graph::{EdgeId, Graph};
+use mrlr_setsys::{SetId, SetSystem};
+
+/// Maximum vertices accepted by the bitmask matching/vertex-cover solvers.
+pub const EXACT_N_LIMIT: usize = 22;
+
+/// Exact maximum weight matching via bitmask DP over vertices.
+/// `O(2^n · n)` time, `O(2^n)` space; requires `n ≤ EXACT_N_LIMIT`.
+pub fn max_weight_matching(g: &Graph) -> (f64, Vec<EdgeId>) {
+    let n = g.n();
+    assert!(n <= EXACT_N_LIMIT, "exact matching limited to n <= {EXACT_N_LIMIT}");
+    if n == 0 {
+        return (0.0, vec![]);
+    }
+    let adj = g.adjacency();
+    let full = 1usize << n;
+    // value[mask]: best weight using only vertices NOT in `mask`.
+    let mut value = vec![f64::NAN; full];
+    let mut choice: Vec<Option<EdgeId>> = vec![None; full];
+    value[full - 1] = 0.0;
+    // Iterate masks descending: a mask's value depends on supersets.
+    for mask in (0..full - 1).rev() {
+        // Lowest unused vertex.
+        let u = (!mask).trailing_zeros() as usize;
+        // Option 1: leave u unmatched.
+        let mut best = value[mask | (1 << u)];
+        let mut pick: Option<EdgeId> = None;
+        // Option 2: match u with an unused neighbour.
+        for &(v, eid) in &adj[u] {
+            let v = v as usize;
+            if mask & (1 << v) == 0 && v != u {
+                let cand = g.edge(eid).w + value[mask | (1 << u) | (1 << v)];
+                if cand > best {
+                    best = cand;
+                    pick = Some(eid);
+                }
+            }
+        }
+        value[mask] = best;
+        choice[mask] = pick;
+    }
+    // Reconstruct.
+    let mut mask = 0usize;
+    let mut edges = Vec::new();
+    while mask != full - 1 {
+        let u = (!mask).trailing_zeros() as usize;
+        match choice[mask] {
+            None => mask |= 1 << u,
+            Some(eid) => {
+                let e = g.edge(eid);
+                edges.push(eid);
+                mask |= (1 << e.u as usize) | (1 << e.v as usize);
+            }
+        }
+    }
+    edges.sort_unstable();
+    (value[0], edges)
+}
+
+/// Exact maximum weight b-matching by branch-and-bound over edges.
+/// Requires `m ≤ 26`.
+pub fn max_weight_b_matching(g: &Graph, b: &[u32]) -> (f64, Vec<EdgeId>) {
+    assert!(g.m() <= 26, "exact b-matching limited to m <= 26");
+    assert_eq!(b.len(), g.n());
+    // Order edges by descending weight for better pruning.
+    let mut order: Vec<EdgeId> = (0..g.m() as EdgeId).collect();
+    order.sort_by(|&a, &bb| g.edge(bb).w.total_cmp(&g.edge(a).w));
+    let suffix: Vec<f64> = {
+        let mut s = vec![0.0; g.m() + 1];
+        for i in (0..g.m()).rev() {
+            s[i] = s[i + 1] + g.edge(order[i]).w;
+        }
+        s
+    };
+    struct Search<'a> {
+        g: &'a Graph,
+        order: &'a [EdgeId],
+        suffix: &'a [f64],
+        load: Vec<u32>,
+        b: &'a [u32],
+        best: f64,
+        best_set: Vec<EdgeId>,
+        current: Vec<EdgeId>,
+        current_w: f64,
+    }
+    impl Search<'_> {
+        fn rec(&mut self, idx: usize) {
+            if self.current_w > self.best {
+                self.best = self.current_w;
+                self.best_set = self.current.clone();
+            }
+            if idx == self.order.len() || self.current_w + self.suffix[idx] <= self.best {
+                return;
+            }
+            let eid = self.order[idx];
+            let e = self.g.edge(eid);
+            // Take it if capacities allow.
+            if self.load[e.u as usize] < self.b[e.u as usize]
+                && self.load[e.v as usize] < self.b[e.v as usize]
+            {
+                self.load[e.u as usize] += 1;
+                self.load[e.v as usize] += 1;
+                self.current.push(eid);
+                self.current_w += e.w;
+                self.rec(idx + 1);
+                self.current_w -= e.w;
+                self.current.pop();
+                self.load[e.u as usize] -= 1;
+                self.load[e.v as usize] -= 1;
+            }
+            // Skip it.
+            self.rec(idx + 1);
+        }
+    }
+    let mut s = Search {
+        g,
+        order: &order,
+        suffix: &suffix,
+        load: vec![0; g.n()],
+        b,
+        best: 0.0,
+        best_set: vec![],
+        current: vec![],
+        current_w: 0.0,
+    };
+    s.rec(0);
+    s.best_set.sort_unstable();
+    (s.best, s.best_set)
+}
+
+/// Exact minimum weight set cover. Uses element-mask DP when the universe
+/// is small (`m ≤ 20`), otherwise enumerates subsets of sets (`n ≤ 20`).
+pub fn min_weight_set_cover(sys: &SetSystem) -> Option<(f64, Vec<SetId>)> {
+    if !sys.is_coverable() {
+        return None;
+    }
+    let m = sys.universe();
+    let n = sys.n_sets();
+    if m <= 20 {
+        let full = (1usize << m) - 1;
+        let masks: Vec<usize> = sys
+            .sets()
+            .iter()
+            .map(|s| s.iter().fold(0usize, |acc, &j| acc | (1 << j)))
+            .collect();
+        let mut dp = vec![f64::INFINITY; full + 1];
+        let mut from: Vec<Option<(usize, SetId)>> = vec![None; full + 1];
+        dp[0] = 0.0;
+        for mask in 0..=full {
+            if dp[mask].is_infinite() {
+                continue;
+            }
+            // Cover the lowest uncovered element.
+            let j = (!mask & full).trailing_zeros() as usize;
+            if mask == full {
+                break;
+            }
+            for (i, &sm) in masks.iter().enumerate() {
+                if sm & (1 << j) != 0 {
+                    let nm = mask | sm;
+                    let cand = dp[mask] + sys.weight(i as SetId);
+                    if cand < dp[nm] {
+                        dp[nm] = cand;
+                        from[nm] = Some((mask, i as SetId));
+                    }
+                }
+            }
+        }
+        let mut cover = Vec::new();
+        let mut cur = full;
+        while cur != 0 {
+            let (prev, set) = from[cur].expect("coverable instance must reach full mask");
+            cover.push(set);
+            cur = prev;
+        }
+        cover.sort_unstable();
+        cover.dedup();
+        Some((dp[full], cover))
+    } else {
+        assert!(n <= 20, "exact set cover limited to m <= 20 or n <= 20");
+        let mut best = f64::INFINITY;
+        let mut best_sets: Vec<SetId> = Vec::new();
+        for mask in 0usize..(1 << n) {
+            let chosen: Vec<SetId> = (0..n as u32).filter(|i| mask & (1 << i) != 0).collect();
+            let w = sys.cover_weight(&chosen);
+            if w < best && sys.covers(&chosen) {
+                best = w;
+                best_sets = chosen;
+            }
+        }
+        Some((best, best_sets))
+    }
+}
+
+/// Exact minimum weight vertex cover (via the set-cover solver when small,
+/// or branch-and-bound on edges). Requires `n ≤ 30`.
+pub fn min_weight_vertex_cover(g: &Graph, weights: &[f64]) -> (f64, Vec<u32>) {
+    assert!(g.n() <= 30, "exact vertex cover limited to n <= 30");
+    assert_eq!(weights.len(), g.n());
+    // Branch and bound on an uncovered edge: either endpoint must be in.
+    struct Search<'a> {
+        g: &'a Graph,
+        w: &'a [f64],
+        in_cover: Vec<bool>,
+        excluded: Vec<bool>,
+        best: f64,
+        best_set: Vec<u32>,
+        cur_w: f64,
+        cur: Vec<u32>,
+    }
+    impl Search<'_> {
+        fn rec(&mut self) {
+            if self.cur_w >= self.best {
+                return;
+            }
+            // Find an uncovered edge whose endpoints are both undecided or
+            // violating (an excluded-excluded edge is infeasible).
+            let mut pick: Option<(u32, u32)> = None;
+            for e in self.g.edges() {
+                if self.in_cover[e.u as usize] || self.in_cover[e.v as usize] {
+                    continue;
+                }
+                if self.excluded[e.u as usize] && self.excluded[e.v as usize] {
+                    return; // infeasible branch
+                }
+                pick = Some((e.u, e.v));
+                break;
+            }
+            let Some((u, v)) = pick else {
+                self.best = self.cur_w;
+                self.best_set = self.cur.clone();
+                return;
+            };
+            let saved = (self.excluded[u as usize], self.excluded[v as usize]);
+            for take in [u, v] {
+                if self.excluded[take as usize] {
+                    continue;
+                }
+                self.in_cover[take as usize] = true;
+                self.cur.push(take);
+                self.cur_w += self.w[take as usize];
+                self.rec();
+                self.cur_w -= self.w[take as usize];
+                self.cur.pop();
+                self.in_cover[take as usize] = false;
+                // Next branch: `take` excluded (the edge then forces the
+                // other endpoint on recursion, or prunes as infeasible).
+                self.excluded[take as usize] = true;
+            }
+            self.excluded[u as usize] = saved.0;
+            self.excluded[v as usize] = saved.1;
+        }
+    }
+    let mut s = Search {
+        g,
+        w: weights,
+        in_cover: vec![false; g.n()],
+        excluded: vec![false; g.n()],
+        best: weights.iter().sum::<f64>() + 1.0,
+        best_set: (0..g.n() as u32).collect(),
+        cur_w: 0.0,
+        cur: vec![],
+    };
+    s.rec();
+    s.best_set.sort_unstable();
+    (s.best, s.best_set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{is_b_matching, is_matching, is_vertex_cover};
+    use mrlr_graph::generators::{complete, gnm, path, star, with_uniform_weights};
+    use mrlr_graph::Edge;
+
+    #[test]
+    fn matching_on_path() {
+        // Path 0-1-2-3 weights 1, 10, 1: optimum is the middle edge alone?
+        // No: {0-1, 2-3} = 2 < 10, so optimum = 10.
+        let g = Graph::new(
+            4,
+            vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 10.0), Edge::new(2, 3, 1.0)],
+        );
+        let (w, edges) = max_weight_matching(&g);
+        assert!((w - 10.0).abs() < 1e-12);
+        assert_eq!(edges, vec![1]);
+        // Unweighted path: two disjoint edges.
+        let (w, edges) = max_weight_matching(&path(4));
+        assert!((w - 2.0).abs() < 1e-12);
+        assert!(is_matching(&path(4), &edges));
+    }
+
+    #[test]
+    fn matching_on_complete() {
+        let g = with_uniform_weights(&complete(8), 1.0, 5.0, 3);
+        let (w, edges) = max_weight_matching(&g);
+        assert!(is_matching(&g, &edges));
+        assert_eq!(edges.len(), 4); // perfect matching exists and weights positive
+        let greedy: f64 = edges.iter().map(|&e| g.edge(e).w).sum();
+        assert!((greedy - w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn b_matching_reduces_to_matching_at_b1() {
+        for seed in 0..4 {
+            let g = with_uniform_weights(&gnm(10, 20, seed), 1.0, 7.0, seed);
+            let (w1, _) = max_weight_matching(&g);
+            let (wb, eb) = max_weight_b_matching(&g, &vec![1; g.n()]);
+            assert!((w1 - wb).abs() < 1e-9, "seed {seed}: {w1} vs {wb}");
+            assert!(is_b_matching(&g, &vec![1; g.n()], &eb));
+        }
+    }
+
+    #[test]
+    fn b_matching_uses_capacity() {
+        let g = star(5); // 4 unit edges at the centre
+        let (w, edges) = max_weight_b_matching(&g, &[3, 1, 1, 1, 1]);
+        assert!((w - 3.0).abs() < 1e-12);
+        assert_eq!(edges.len(), 3);
+    }
+
+    #[test]
+    fn set_cover_dp_and_enum_agree() {
+        let sys = SetSystem::new(
+            6,
+            vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5], vec![1, 4]],
+            vec![3.0, 1.5, 3.0, 2.0, 2.0],
+        );
+        let (w, cover) = min_weight_set_cover(&sys).unwrap();
+        assert!(sys.covers(&cover));
+        assert!((sys.cover_weight(&cover) - w).abs() < 1e-12);
+        // Cross-check with brute force over set subsets.
+        let n = sys.n_sets();
+        let mut best = f64::INFINITY;
+        for mask in 0usize..(1 << n) {
+            let chosen: Vec<SetId> = (0..n as u32).filter(|i| mask & (1 << i) != 0).collect();
+            if sys.covers(&chosen) {
+                best = best.min(sys.cover_weight(&chosen));
+            }
+        }
+        assert!((w - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_cover_infeasible_none() {
+        let sys = SetSystem::unit(3, vec![vec![0], vec![1]]);
+        assert!(min_weight_set_cover(&sys).is_none());
+    }
+
+    #[test]
+    fn vertex_cover_on_star() {
+        let g = star(6);
+        // Cheap centre: take it.
+        let w = vec![1.0, 5.0, 5.0, 5.0, 5.0, 5.0];
+        let (cost, cover) = min_weight_vertex_cover(&g, &w);
+        assert!((cost - 1.0).abs() < 1e-12);
+        assert_eq!(cover, vec![0]);
+        // Expensive centre: take the leaves.
+        let w = vec![100.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let (cost, cover) = min_weight_vertex_cover(&g, &w);
+        assert!((cost - 5.0).abs() < 1e-12);
+        assert!(is_vertex_cover(&g, &cover));
+    }
+
+    #[test]
+    fn vertex_cover_matches_set_cover_view() {
+        for seed in 0..4 {
+            let g = gnm(12, 25, seed);
+            let w: Vec<f64> = (0..12).map(|i| 1.0 + (i % 4) as f64).collect();
+            let (vc_cost, _) = min_weight_vertex_cover(&g, &w);
+            let sys = SetSystem::vertex_cover_of(&g, w.clone());
+            // m = 25 > 20, n = 12 <= 20 → subset enumeration path.
+            let (sc_cost, _) = min_weight_set_cover(&sys).unwrap();
+            assert!((vc_cost - sc_cost).abs() < 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_cases() {
+        let g = Graph::new(0, vec![]);
+        assert_eq!(max_weight_matching(&g).0, 0.0);
+        let g3 = Graph::new(3, vec![]);
+        let (w, edges) = max_weight_matching(&g3);
+        assert_eq!(w, 0.0);
+        assert!(edges.is_empty());
+        let (c, cover) = min_weight_vertex_cover(&g3, &[1.0, 1.0, 1.0]);
+        assert_eq!(c, 0.0);
+        assert!(cover.is_empty());
+    }
+}

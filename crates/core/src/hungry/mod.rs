@@ -1,0 +1,14 @@
+//! The hungry-greedy technique (Sections 3 and 4, Appendices A and B):
+//! sample *heavy* entities first — not to maximize an objective, but to
+//! disqualify a large fraction of candidates and shrink the instance
+//! geometrically, so the greedy method completes in a few rounds.
+
+pub mod clique;
+pub mod mis;
+pub mod preprocess;
+pub mod setcover;
+
+pub use clique::maximal_clique;
+pub use preprocess::{merge_cover, preprocess_weights, Preprocessed};
+pub use mis::{mis_fast, mis_simple, MisParams};
+pub use setcover::{hungry_set_cover, HungryScParams, HungryScTrace};

@@ -1,0 +1,32 @@
+//! # mrlr-core — the paper's algorithms
+//!
+//! Implementations of every algorithm in *"Greedy and Local Ratio
+//! Algorithms in the MapReduce Model"* (Harvey, Liaw, Liu; SPAA 2018):
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | Thm 2.1 sequential local-ratio set cover | [`seq::local_ratio_sc`] |
+//! | Alg 1 randomized local-ratio set cover (`f`-approx) | [`rlr::setcover`], [`mr::set_cover`] |
+//! | Thm 2.4 `f = 2` vertex cover fast path | [`mr::vertex_cover`] |
+//! | Alg 2 / Alg 6 hungry-greedy MIS | [`hungry::mis`], [`mr::mis`] |
+//! | App B maximal clique | [`hungry::clique`], [`mr::clique`] |
+//! | Alg 3 `(1+ε) ln Δ` set cover | [`hungry::setcover`], [`mr::set_cover_greedy`] |
+//! | Alg 4 / App C matching | [`rlr::matching`], [`mr::matching`] |
+//! | Alg 7 / App D b-matching | [`rlr::bmatching`], [`mr::bmatching`] |
+//! | Alg 5 vertex colouring, Rem 6.5 edge colouring | [`colouring`], [`mr::colouring`] |
+//!
+//! Plus: sequential baselines ([`seq`]), exact solvers ([`exact`]) and
+//! validators/certificates ([`verify`]).
+
+#![warn(missing_docs)]
+
+pub mod colouring;
+pub mod exact;
+pub mod hungry;
+pub mod mr;
+pub mod rlr;
+pub mod seq;
+pub mod types;
+pub mod verify;
+
+pub use types::{ColouringResult, CoverResult, MatchingResult, SelectionResult, POS_TOL};

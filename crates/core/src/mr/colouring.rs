@@ -1,0 +1,335 @@
+//! MapReduce implementation of Algorithm 5 and Remark 6.5 (Theorems 6.4
+//! and 6.6): `(1+o(1))Δ` vertex and edge colouring in `O(1)` rounds.
+//!
+//! Group membership is a pure hash — every machine evaluates it locally
+//! with zero communication. One exchange routes each intra-group edge to
+//! its group's machine (`group mod M`, the paper's "central machine `i`"),
+//! which colours its subgraph(s) locally: greedy `(Δ_i+1)` for vertex
+//! colouring, Misra–Gries for edge colouring. A final gather collects the
+//! colours. Total: 2 communication rounds.
+
+use mrlr_graph::{EdgeId, Graph, VertexId};
+use mrlr_mapreduce::{Cluster, Metrics, MrError, MrResult, WordSized};
+
+use crate::colouring::{edge_group, vertex_group};
+use crate::mr::MrConfig;
+use crate::seq::greedy_graph::greedy_colouring_with_order;
+use crate::seq::misra_gries::misra_gries_edge_colouring;
+use crate::types::ColouringResult;
+
+struct ColourChunk {
+    /// Input edges resident on this machine.
+    input: Vec<(EdgeId, VertexId, VertexId)>,
+    /// Received group edges, per group owned by this machine.
+    received: Vec<(u64, EdgeId, VertexId, VertexId)>,
+    /// Computed colours `(group, entity, colour)` — entity is a vertex for
+    /// vertex colouring, an edge for edge colouring.
+    colours: Vec<(u64, u32, u32)>,
+}
+
+impl WordSized for ColourChunk {
+    fn words(&self) -> usize {
+        3 + self.input.len() * 3 + self.received.len() * 4 + self.colours.len() * 3
+    }
+}
+
+fn build_chunks(g: &Graph, cfg: &MrConfig) -> Vec<ColourChunk> {
+    let mut chunks: Vec<ColourChunk> = (0..cfg.machines)
+        .map(|_| ColourChunk {
+            input: Vec::new(),
+            received: Vec::new(),
+            colours: Vec::new(),
+        })
+        .collect();
+    for (idx, e) in g.edges().iter().enumerate() {
+        chunks[cfg.place(idx as u64)].input.push((idx as EdgeId, e.u, e.v));
+    }
+    chunks
+}
+
+/// Algorithm 5 on the cluster. Output is bit-identical to
+/// [`crate::colouring::vertex_colouring`] with the same `(kappa, seed)`.
+pub fn mr_vertex_colouring(
+    g: &Graph,
+    kappa: usize,
+    edge_limit: Option<usize>,
+    cfg: MrConfig,
+) -> MrResult<(ColouringResult, Metrics)> {
+    if kappa == 0 {
+        return Err(MrError::BadConfig("kappa must be positive".into()));
+    }
+    let n = g.n();
+    let machines = cfg.machines;
+    let seed = cfg.seed;
+    let mut cluster = Cluster::new(cfg.cluster(), build_chunks(g, &cfg))?;
+
+    // Route intra-group edges to group machines (one round).
+    cluster.exchange::<(u64, EdgeId, VertexId, VertexId), _, _>(
+        |_, s, out| {
+            for &(e, u, v) in &s.input {
+                let gu = vertex_group(seed, u, kappa);
+                if gu == vertex_group(seed, v, kappa) {
+                    out.send(gu % machines, (gu as u64, e, u, v));
+                }
+            }
+            s.input.clear();
+        },
+        |_, s, inbox| {
+            s.received = inbox;
+        },
+    )?;
+
+    // Guard of line 4 (Lemma 6.2): per-group edge budget.
+    if let Some(limit) = edge_limit {
+        let worst = cluster.aggregate(
+            |_, s: &ColourChunk| {
+                let mut best: (u64, u64) = (0, 0); // (count, group)
+                let mut idx = 0usize;
+                let mut rec = s.received.clone();
+                rec.sort_unstable_by_key(|&(grp, e, _, _)| (grp, e));
+                while idx < rec.len() {
+                    let grp = rec[idx].0;
+                    let mut count = 0u64;
+                    while idx < rec.len() && rec[idx].0 == grp {
+                        count += 1;
+                        idx += 1;
+                    }
+                    if count > best.0 {
+                        best = (count, grp);
+                    }
+                }
+                best
+            },
+            |a, b| if a.0 >= b.0 { a } else { b },
+        )?;
+        if worst.0 as usize > limit {
+            return Err(cluster.fail(format!(
+                "group {} has {} > {limit} edges (Lemma 6.2 guard)",
+                worst.1, worst.0
+            )));
+        }
+    }
+
+    // Colour each owned group locally with the same greedy subroutine the
+    // in-memory driver uses.
+    cluster.local(move |_, s: &mut ColourChunk| {
+        let mut rec = std::mem::take(&mut s.received);
+        rec.sort_unstable_by_key(|&(grp, e, _, _)| (grp, e));
+        let mut idx = 0usize;
+        while idx < rec.len() {
+            let grp = rec[idx].0;
+            let mut edges = Vec::new();
+            while idx < rec.len() && rec[idx].0 == grp {
+                edges.push(mrlr_graph::Edge::new(rec[idx].2, rec[idx].3, 1.0));
+                idx += 1;
+            }
+            let sub = Graph::new(n, edges);
+            let mut members: Vec<VertexId> = sub
+                .edges()
+                .iter()
+                .flat_map(|e| [e.u, e.v])
+                .collect();
+            members.sort_unstable();
+            members.dedup();
+            let local = greedy_colouring_with_order(&sub, &members);
+            for &v in &members {
+                s.colours.push((grp, v, local.colours[v as usize]));
+            }
+        }
+    })?;
+
+    // Collect colours (one round).
+    let coloured: Vec<(u64, u32, u32)> = cluster.gather(|_, s: &mut ColourChunk| {
+        std::mem::take(&mut s.colours)
+    })?;
+
+    // Assemble exactly like the in-memory driver: groups ascending, private
+    // palettes offset sequentially; vertices without intra-group edges get
+    // local colour 0 of their group.
+    let mut local_colour = vec![0u32; n];
+    for &(_, v, c) in &coloured {
+        local_colour[v as usize] = c;
+    }
+    let mut colours = vec![0u32; n];
+    let mut next_palette = 0u32;
+    let mut total = 0usize;
+    for gi in 0..kappa {
+        let members: Vec<VertexId> = (0..n as VertexId)
+            .filter(|&v| vertex_group(seed, v, kappa) == gi)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let mut used = 0u32;
+        for &v in &members {
+            colours[v as usize] = next_palette + local_colour[v as usize];
+            used = used.max(local_colour[v as usize] + 1);
+        }
+        next_palette += used;
+        total += used as usize;
+    }
+
+    let (_, metrics) = cluster.into_parts();
+    Ok((
+        ColouringResult {
+            colours,
+            num_colours: total,
+            groups: kappa,
+        },
+        metrics,
+    ))
+}
+
+/// Remark 6.5 on the cluster. Output is bit-identical to
+/// [`crate::colouring::edge_colouring`] with the same `(kappa, seed)`.
+pub fn mr_edge_colouring(
+    g: &Graph,
+    kappa: usize,
+    edge_limit: Option<usize>,
+    cfg: MrConfig,
+) -> MrResult<(ColouringResult, Metrics)> {
+    if kappa == 0 {
+        return Err(MrError::BadConfig("kappa must be positive".into()));
+    }
+    let n = g.n();
+    let m = g.m();
+    let machines = cfg.machines;
+    let seed = cfg.seed;
+    let mut cluster = Cluster::new(cfg.cluster(), build_chunks(g, &cfg))?;
+
+    cluster.exchange::<(u64, EdgeId, VertexId, VertexId), _, _>(
+        |_, s, out| {
+            for &(e, u, v) in &s.input {
+                let grp = edge_group(seed, e, kappa);
+                out.send(grp % machines, (grp as u64, e, u, v));
+            }
+            s.input.clear();
+        },
+        |_, s, inbox| {
+            s.received = inbox;
+        },
+    )?;
+
+    if let Some(limit) = edge_limit {
+        let worst = cluster.aggregate(
+            |_, s: &ColourChunk| {
+                let mut counts: Vec<(u64, u64)> = Vec::new();
+                for &(grp, _, _, _) in &s.received {
+                    match counts.iter_mut().find(|(gg, _)| *gg == grp) {
+                        Some((_, c)) => *c += 1,
+                        None => counts.push((grp, 1)),
+                    }
+                }
+                counts.into_iter().map(|(gg, c)| (c, gg)).max().unwrap_or((0, 0))
+            },
+            |a, b| if a.0 >= b.0 { a } else { b },
+        )?;
+        if worst.0 as usize > limit {
+            return Err(cluster.fail(format!(
+                "edge group {} has {} > {limit} edges",
+                worst.1, worst.0
+            )));
+        }
+    }
+
+    cluster.local(move |_, s: &mut ColourChunk| {
+        let mut rec = std::mem::take(&mut s.received);
+        rec.sort_unstable_by_key(|&(grp, e, _, _)| (grp, e));
+        let mut idx = 0usize;
+        while idx < rec.len() {
+            let grp = rec[idx].0;
+            let mut ids: Vec<EdgeId> = Vec::new();
+            let mut edges = Vec::new();
+            while idx < rec.len() && rec[idx].0 == grp {
+                ids.push(rec[idx].1);
+                edges.push(mrlr_graph::Edge::new(rec[idx].2, rec[idx].3, 1.0));
+                idx += 1;
+            }
+            let sub = Graph::new(n, edges);
+            let local = misra_gries_edge_colouring(&sub);
+            for (pos, &orig) in ids.iter().enumerate() {
+                s.colours.push((grp, orig, local.colours[pos]));
+            }
+        }
+    })?;
+
+    let coloured: Vec<(u64, u32, u32)> =
+        cluster.gather(|_, s: &mut ColourChunk| std::mem::take(&mut s.colours))?;
+
+    let mut local_colour = vec![0u32; m];
+    for &(_, e, c) in &coloured {
+        local_colour[e as usize] = c;
+    }
+    let mut colours = vec![0u32; m];
+    let mut next_palette = 0u32;
+    let mut total = 0usize;
+    for gi in 0..kappa {
+        let members: Vec<EdgeId> = (0..m as EdgeId)
+            .filter(|&e| edge_group(seed, e, kappa) == gi)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let mut used = 0u32;
+        for &e in &members {
+            colours[e as usize] = next_palette + local_colour[e as usize];
+            used = used.max(local_colour[e as usize] + 1);
+        }
+        next_palette += used;
+        total += used as usize;
+    }
+
+    let (_, metrics) = cluster.into_parts();
+    Ok((
+        ColouringResult {
+            colours,
+            num_colours: total,
+            groups: kappa,
+        },
+        metrics,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::colouring::{edge_colouring, vertex_colouring};
+    use crate::verify::{is_proper_colouring, is_proper_edge_colouring};
+    use mrlr_graph::generators::densified;
+
+    #[test]
+    fn vertex_matches_driver_and_is_constant_round() {
+        for seed in 0..3 {
+            let g = densified(60, 0.5, seed);
+            let cfg = MrConfig::auto(60, g.m(), 0.3, seed);
+            let (mr, metrics) = mr_vertex_colouring(&g, 4, None, cfg).unwrap();
+            let seq = vertex_colouring(&g, 4, None, seed).unwrap();
+            assert_eq!(mr.colours, seq.colours, "seed {seed}");
+            assert_eq!(mr.num_colours, seq.num_colours);
+            assert!(is_proper_colouring(&g, &mr.colours));
+            // O(1) rounds: 1 exchange + 1 gather (+ limit aggregate if on).
+            assert!(metrics.rounds <= 3, "rounds {}", metrics.rounds);
+        }
+    }
+
+    #[test]
+    fn edge_matches_driver() {
+        for seed in 0..3 {
+            let g = densified(40, 0.4, seed);
+            let cfg = MrConfig::auto(40, g.m(), 0.3, seed);
+            let (mr, metrics) = mr_edge_colouring(&g, 3, None, cfg).unwrap();
+            let seq = edge_colouring(&g, 3, None, seed).unwrap();
+            assert_eq!(mr.colours, seq.colours, "seed {seed}");
+            assert!(is_proper_edge_colouring(&g, &mr.colours));
+            assert!(metrics.rounds <= 3);
+        }
+    }
+
+    #[test]
+    fn limit_guard_fires() {
+        let g = densified(30, 0.6, 1);
+        let cfg = MrConfig::auto(30, g.m(), 0.3, 1);
+        assert!(mr_vertex_colouring(&g, 1, Some(5), cfg).is_err());
+        assert!(mr_edge_colouring(&g, 1, Some(5), cfg).is_err());
+    }
+}

@@ -1,0 +1,488 @@
+//! MapReduce implementations of Algorithm 2 (`MIS1`, Theorem 3.3) and
+//! Algorithm 6 (`MIS2`, Theorem A.3): hungry-greedy maximal independent
+//! set.
+//!
+//! Layout: vertices with adjacency lists are hash-partitioned
+//! (`O(n^{1+µ})` words per machine w.h.p.); each machine also keeps a
+//! removed-set bitmap (`⌈n/64⌉` words) refreshed by broadcast deltas, from
+//! which alive degrees are maintained locally. Sampled heavy vertices send
+//! their *alive* neighbour lists to the central machine — bounded by their
+//! degree class — which is all the central machine needs to update
+//! `I`/`N⁺(I)` and re-evaluate candidates mid-round.
+
+use mrlr_graph::{Graph, VertexId};
+use mrlr_mapreduce::{Bitset, Cluster, Metrics, MrError, MrResult, WordSized};
+
+use crate::hungry::mis::{degree_class, group_choice, MisParams, MIS_RNG_TAG};
+use crate::mr::MrConfig;
+use crate::types::SelectionResult;
+
+pub(crate) struct VertexRec {
+    pub v: VertexId,
+    /// Sorted neighbour ids.
+    pub nbrs: Vec<VertexId>,
+    pub alive: bool,
+    pub d_alive: usize,
+}
+
+impl WordSized for VertexRec {
+    fn words(&self) -> usize {
+        3 + self.nbrs.words()
+    }
+}
+
+pub(crate) struct MisChunk {
+    pub recs: Vec<VertexRec>,
+    pub removed: Bitset,
+}
+
+impl WordSized for MisChunk {
+    fn words(&self) -> usize {
+        1 + self.recs.iter().map(WordSized::words).sum::<usize>() + self.removed.words()
+    }
+}
+
+impl MisChunk {
+    /// Applies a removal delta: marks removed vertices, zeroes their
+    /// degrees, decrements neighbours' alive degrees. `delta` sorted.
+    pub fn apply_delta(&mut self, delta: &[VertexId]) {
+        for &v in delta {
+            self.removed.set(v as usize);
+        }
+        for rec in &mut self.recs {
+            if !rec.alive {
+                continue;
+            }
+            if delta.binary_search(&rec.v).is_ok() {
+                rec.alive = false;
+                rec.d_alive = 0;
+            } else {
+                rec.d_alive -= rec
+                    .nbrs
+                    .iter()
+                    .filter(|x| delta.binary_search(x).is_ok())
+                    .count();
+            }
+        }
+    }
+
+    /// Alive neighbours of a record (uses the replicated removed bitmap).
+    pub fn alive_nbrs(&self, rec: &VertexRec) -> Vec<VertexId> {
+        rec.nbrs
+            .iter()
+            .copied()
+            .filter(|&w| !self.removed.get(w as usize))
+            .collect()
+    }
+}
+
+pub(crate) fn build_chunks(g: &Graph, cfg: &MrConfig) -> Vec<MisChunk> {
+    let adj = g.neighbours();
+    let mut chunks: Vec<MisChunk> = (0..cfg.machines)
+        .map(|_| MisChunk {
+            recs: Vec::new(),
+            removed: Bitset::new(g.n()),
+        })
+        .collect();
+    for v in 0..g.n() {
+        let mut nbrs = adj[v].clone();
+        nbrs.sort_unstable();
+        chunks[cfg.place(v as u64)].recs.push(VertexRec {
+            v: v as VertexId,
+            d_alive: nbrs.len(),
+            nbrs,
+            alive: true,
+        });
+    }
+    chunks
+}
+
+/// The central machine's view of this round's additions: processes a
+/// sampled group member, returning the removal delta it causes.
+struct CentralRound {
+    /// Vertices removed this round (sorted-insert not needed; use a flag
+    /// map for O(1) membership).
+    removed_now: Vec<bool>,
+    delta: Vec<VertexId>,
+    added: Vec<VertexId>,
+}
+
+impl CentralRound {
+    fn new(n: usize) -> Self {
+        CentralRound {
+            removed_now: vec![false; n],
+            delta: Vec::new(),
+            added: Vec::new(),
+        }
+    }
+
+    fn current_degree(&self, alive_list: &[VertexId]) -> usize {
+        alive_list
+            .iter()
+            .filter(|&&w| !self.removed_now[w as usize])
+            .count()
+    }
+
+    fn add(&mut self, v: VertexId, alive_list: &[VertexId]) {
+        debug_assert!(!self.removed_now[v as usize]);
+        self.added.push(v);
+        self.removed_now[v as usize] = true;
+        self.delta.push(v);
+        for &w in alive_list {
+            if !self.removed_now[w as usize] {
+                self.removed_now[w as usize] = true;
+                self.delta.push(w);
+            }
+        }
+    }
+}
+
+type SampleMsg = (u64, u64, VertexId, Vec<VertexId>); // (class, group, v, alive nbrs)
+
+/// Processes gathered samples group-by-group, `accept(class)` giving the
+/// degree threshold; returns the removal delta. Ordering matches the
+/// in-memory drivers: groups ascending, members ascending, max current
+/// degree wins (first max = smallest id).
+fn process_groups(
+    sample: &mut [SampleMsg],
+    round: &mut CentralRound,
+    accept: impl Fn(u64) -> f64,
+) {
+    sample.sort_unstable_by_key(|&(c, g, v, _)| (c, g, v));
+    let mut idx = 0usize;
+    while idx < sample.len() {
+        let (c, gid) = (sample[idx].0, sample[idx].1);
+        let mut best: Option<(usize, usize)> = None; // (degree, index)
+        while idx < sample.len() && sample[idx].0 == c && sample[idx].1 == gid {
+            let (_, _, v, ref list) = sample[idx];
+            if !round.removed_now[v as usize] {
+                let d = round.current_degree(list);
+                if (d as f64) >= accept(c) {
+                    best = match best {
+                        None => Some((d, idx)),
+                        Some((bd, _)) if d > bd => Some((d, idx)),
+                        other => {
+                            let _ = &other;
+                            other
+                        }
+                    };
+                }
+            }
+            idx += 1;
+        }
+        if let Some((_, bi)) = best {
+            let (_, _, v, list) = sample[bi].clone();
+            round.add(v, &list);
+        }
+    }
+}
+
+/// The final central round: gathers the residual graph and finishes with
+/// the greedy MIS in ascending vertex order. Returns the chosen vertices.
+fn central_finish(
+    cluster: &mut Cluster<MisChunk>,
+    n: usize,
+) -> MrResult<Vec<VertexId>> {
+    let mut residual: Vec<(VertexId, Vec<VertexId>)> = cluster.gather(|_, s: &mut MisChunk| {
+        let mut out = Vec::new();
+        for rec in &s.recs {
+            if rec.alive {
+                out.push((rec.v, s.alive_nbrs(rec)));
+            }
+        }
+        out
+    })?;
+    residual.sort_unstable_by_key(|&(v, _)| v);
+    let mut round = CentralRound::new(n);
+    let mut chosen = Vec::new();
+    for (v, list) in residual {
+        if !round.removed_now[v as usize] {
+            round.add(v, &list);
+            chosen.push(v);
+        }
+    }
+    Ok(chosen)
+}
+
+/// Algorithm 6 (`MIS2`) on the cluster. Output is bit-identical to
+/// [`crate::hungry::mis::mis_fast`] with the same parameters.
+pub fn mr_mis_fast(
+    g: &Graph,
+    params: MisParams,
+    cfg: MrConfig,
+) -> MrResult<(SelectionResult, Metrics)> {
+    if !(params.alpha > 0.0 && params.alpha <= 1.0) || params.group_size == 0 || params.eta == 0 {
+        return Err(MrError::BadConfig("invalid hungry-greedy parameters".into()));
+    }
+    let n = g.n();
+    if n == 0 {
+        return Ok((
+            SelectionResult {
+                vertices: vec![],
+                phases: 0,
+                iterations: 0,
+            },
+            Metrics::new(cfg.machines, cfg.capacity),
+        ));
+    }
+    let nf = (n.max(2)) as f64;
+    let num_classes = (1.0 / params.alpha).ceil() as usize;
+    let mut cluster = Cluster::new(cfg.cluster(), build_chunks(g, &cfg))?;
+    let mut in_i = vec![false; n];
+    cluster.charge_central(2 + n / 32)?;
+
+    let mut k = 0usize;
+    loop {
+        let alive_edges = cluster.aggregate_sum(|_, s: &MisChunk| {
+            s.recs.iter().filter(|r| r.alive).map(|r| r.d_alive).sum()
+        })? / 2;
+        if alive_edges < params.eta {
+            break;
+        }
+        k += 1;
+        if k > 64 + 4 * n {
+            return Err(cluster.fail("MIS2 round budget exhausted"));
+        }
+
+        // Class sizes up the tree, back down for local group choices.
+        let class_sizes: Vec<u64> = cluster.aggregate(
+            |_, s: &MisChunk| {
+                let mut counts = vec![0u64; num_classes + 1];
+                for r in &s.recs {
+                    if r.alive && r.d_alive > 0 {
+                        counts[degree_class(r.d_alive, nf, params.alpha, num_classes)] += 1;
+                    }
+                }
+                counts
+            },
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        )?;
+        cluster.broadcast(&class_sizes)?;
+
+        let seed = params.seed;
+        let alpha = params.alpha;
+        let gs = params.group_size;
+        let sizes = class_sizes.clone();
+        let mut sample: Vec<SampleMsg> = cluster.gather(move |_, s: &mut MisChunk| {
+            let mut out = Vec::new();
+            for r in &s.recs {
+                if !r.alive || r.d_alive == 0 {
+                    continue;
+                }
+                let i = degree_class(r.d_alive, nf, alpha, num_classes);
+                let groups_count = nf.powf((i + 1) as f64 * alpha).ceil() as usize;
+                if let Some(gid) = group_choice(
+                    seed,
+                    &[MIS_RNG_TAG, 0x6d32, k as u64, i as u64],
+                    r.v as u64,
+                    groups_count,
+                    gs,
+                    sizes[i] as usize,
+                ) {
+                    out.push((i as u64, gid as u64, r.v, s.alive_nbrs(r)));
+                }
+            }
+            out
+        })?;
+
+        let mut round = CentralRound::new(n);
+        process_groups(&mut sample, &mut round, |c| {
+            nf.powf(1.0 - (c as f64 + 1.0) * params.alpha)
+        });
+        for &v in &round.added {
+            in_i[v as usize] = true;
+        }
+
+        let mut delta = round.delta;
+        delta.sort_unstable();
+        cluster.broadcast(&delta)?;
+        cluster.local(move |_, s: &mut MisChunk| s.apply_delta(&delta))?;
+    }
+
+    for v in central_finish(&mut cluster, n)? {
+        in_i[v as usize] = true;
+    }
+    let result = SelectionResult {
+        vertices: (0..n as VertexId).filter(|&v| in_i[v as usize]).collect(),
+        phases: k,
+        iterations: k + 1,
+    };
+    let (_, metrics) = cluster.into_parts();
+    Ok((result, metrics))
+}
+
+/// Algorithm 2 (`MIS1`) on the cluster. Output is bit-identical to
+/// [`crate::hungry::mis::mis_simple`] with the same parameters.
+pub fn mr_mis_simple(
+    g: &Graph,
+    params: MisParams,
+    cfg: MrConfig,
+) -> MrResult<(SelectionResult, Metrics)> {
+    if !(params.alpha > 0.0 && params.alpha <= 1.0) || params.group_size == 0 || params.eta == 0 {
+        return Err(MrError::BadConfig("invalid hungry-greedy parameters".into()));
+    }
+    let n = g.n();
+    if n == 0 {
+        return Ok((
+            SelectionResult {
+                vertices: vec![],
+                phases: 0,
+                iterations: 0,
+            },
+            Metrics::new(cfg.machines, cfg.capacity),
+        ));
+    }
+    let nf = (n.max(2)) as f64;
+    let final_degree = (params.eta as f64 / nf).max(1.0);
+    let mut cluster = Cluster::new(cfg.cluster(), build_chunks(g, &cfg))?;
+    let mut in_i = vec![false; n];
+    cluster.charge_central(2 + n / 32)?;
+
+    let mut phases = 0usize;
+    let mut iterations = 0usize;
+    let mut i = 0usize;
+    loop {
+        i += 1;
+        let tau = nf.powf(1.0 - i as f64 * params.alpha);
+        if tau <= final_degree || tau < 1.0 {
+            break;
+        }
+        phases += 1;
+        let groups_target = nf.powf(i as f64 * params.alpha).ceil() as usize;
+        let mut guard = 0usize;
+        loop {
+            let heavy_count = cluster.aggregate_sum(move |_, s: &MisChunk| {
+                s.recs
+                    .iter()
+                    .filter(|r| r.alive && r.d_alive as f64 >= tau)
+                    .count()
+            })?;
+            if heavy_count < groups_target {
+                // Stragglers of this phase go to the central machine.
+                let mut stragglers: Vec<(VertexId, Vec<VertexId>)> =
+                    cluster.gather(move |_, s: &mut MisChunk| {
+                        s.recs
+                            .iter()
+                            .filter(|r| r.alive && r.d_alive as f64 >= tau)
+                            .map(|r| (r.v, s.alive_nbrs(r)))
+                            .collect::<Vec<_>>()
+                    })?;
+                stragglers.sort_unstable_by_key(|&(v, _)| v);
+                let mut round = CentralRound::new(n);
+                for (v, list) in stragglers {
+                    if !round.removed_now[v as usize] {
+                        round.add(v, &list);
+                        in_i[v as usize] = true;
+                    }
+                }
+                let mut delta = round.delta;
+                delta.sort_unstable();
+                cluster.broadcast(&delta)?;
+                cluster.local(move |_, s: &mut MisChunk| s.apply_delta(&delta))?;
+                iterations += 1;
+                break;
+            }
+            iterations += 1;
+            guard += 1;
+            if guard > 64 + 4 * n {
+                return Err(cluster.fail("MIS1 inner loop budget exhausted"));
+            }
+
+            let seed = params.seed;
+            let gs = params.group_size;
+            let mut sample: Vec<SampleMsg> = cluster.gather(move |_, s: &mut MisChunk| {
+                let mut out = Vec::new();
+                for r in &s.recs {
+                    if !r.alive || (r.d_alive as f64) < tau {
+                        continue;
+                    }
+                    if let Some(gid) = group_choice(
+                        seed,
+                        &[MIS_RNG_TAG, i as u64, guard as u64],
+                        r.v as u64,
+                        groups_target,
+                        gs,
+                        heavy_count,
+                    ) {
+                        out.push((0u64, gid as u64, r.v, s.alive_nbrs(r)));
+                    }
+                }
+                out
+            })?;
+
+            let mut round = CentralRound::new(n);
+            process_groups(&mut sample, &mut round, |_| tau);
+            for &v in &round.added {
+                in_i[v as usize] = true;
+            }
+            let mut delta = round.delta;
+            delta.sort_unstable();
+            cluster.broadcast(&delta)?;
+            cluster.local(move |_, s: &mut MisChunk| s.apply_delta(&delta))?;
+        }
+    }
+
+    for v in central_finish(&mut cluster, n)? {
+        in_i[v as usize] = true;
+    }
+    iterations += 1;
+    let result = SelectionResult {
+        vertices: (0..n as VertexId).filter(|&v| in_i[v as usize]).collect(),
+        phases,
+        iterations,
+    };
+    let (_, metrics) = cluster.into_parts();
+    Ok((result, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hungry::mis::{mis_fast, mis_simple};
+    use crate::verify::is_maximal_independent_set;
+    use mrlr_graph::generators::densified;
+
+    #[test]
+    fn mis2_matches_driver_bit_for_bit() {
+        for seed in 0..4 {
+            let g = densified(60, 0.4, seed);
+            let params = MisParams::mis2(60, 0.3, seed);
+            let cfg = MrConfig::auto(60, g.m(), 0.3, seed);
+            let (mr, metrics) = mr_mis_fast(&g, params, cfg).unwrap();
+            let seq = mis_fast(&g, params).unwrap();
+            assert_eq!(mr.vertices, seq.vertices, "seed {seed}");
+            assert_eq!(mr.phases, seq.phases);
+            assert!(is_maximal_independent_set(&g, &mr.vertices));
+            assert!(metrics.rounds > 0);
+        }
+    }
+
+    #[test]
+    fn mis1_matches_driver_bit_for_bit() {
+        for seed in 0..4 {
+            let g = densified(60, 0.4, seed);
+            let params = MisParams::mis1(60, 0.3, seed);
+            let cfg = MrConfig::auto(60, g.m(), 0.3, seed);
+            let (mr, _) = mr_mis_simple(&g, params, cfg).unwrap();
+            let seq = mis_simple(&g, params).unwrap();
+            assert_eq!(mr.vertices, seq.vertices, "seed {seed}");
+            assert!(is_maximal_independent_set(&g, &mr.vertices));
+        }
+    }
+
+    #[test]
+    fn capacity_guard_fires() {
+        let g = densified(50, 0.5, 1);
+        let params = MisParams::mis2(50, 0.3, 1);
+        let cfg = MrConfig::auto(50, g.m(), 0.3, 1).with_capacity(30);
+        assert!(matches!(
+            mr_mis_fast(&g, params, cfg),
+            Err(MrError::CapacityExceeded { .. })
+        ));
+    }
+}

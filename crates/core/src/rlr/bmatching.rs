@@ -1,0 +1,250 @@
+//! Algorithm 7: the randomized ε-adjusted local-ratio
+//! `(3 − 2/b + 2ε)`-approximation for maximum weight b-matching
+//! (Appendix D.2, Theorem D.3).
+//!
+//! Differences from Algorithm 4 (matching): each vertex samples a *fixed
+//! number* `b(v)·ln(1/δ)·n^µ` of alive incident edges (without
+//! replacement), the central machine pushes up to `b(v)·ln(1/δ)` edges per
+//! vertex per iteration using ε-adjusted reductions (`δ = ε/(1+ε)`), and an
+//! edge dies once `w ≤ (1+ε)(ϕ(u)+ϕ(v))`.
+
+use mrlr_graph::{EdgeId, Graph};
+use mrlr_mapreduce::rng::DetRng;
+use mrlr_mapreduce::{MrError, MrResult};
+
+use crate::seq::local_ratio_bmatching::BMatchingLocalRatio;
+use crate::types::MatchingResult;
+
+/// Tag mixed into Algorithm 7's sampling RNG (shared with the MR driver).
+pub const BMATCH_RNG_TAG: u64 = 0x424d_4154_4348;
+
+/// Parameters of Algorithm 7.
+#[derive(Debug, Clone, Copy)]
+pub struct BMatchingParams {
+    /// The adjustment `ε > 0`; the guarantee is `3 − 2/max{2,b} + 2ε`.
+    pub eps: f64,
+    /// The `n^µ` oversampling factor (how many times more edges are
+    /// sampled than will be pushed). Larger = fewer iterations.
+    pub n_mu: f64,
+    /// The space budget `η = n^{1+µ}`: when `|E_i| < 2 b_max ln(1/δ) η` the
+    /// residual graph is finished centrally.
+    pub eta: usize,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+/// Per-vertex central push budget `⌈b(v) · ln(1/δ)⌉`.
+pub fn push_budget(b_v: u32, eps: f64) -> usize {
+    let delta = eps / (1.0 + eps);
+    (b_v as f64 * (1.0 / delta).ln()).ceil().max(1.0) as usize
+}
+
+/// Runs Algorithm 7. `b[v] ≥ 1` is the per-vertex capacity.
+pub fn approx_b_matching(g: &Graph, b: &[u32], params: BMatchingParams) -> MrResult<MatchingResult> {
+    if params.eps <= 0.0 || !params.eps.is_finite() {
+        return Err(MrError::BadConfig("eps must be positive".into()));
+    }
+    if params.eta == 0 || params.n_mu < 1.0 {
+        return Err(MrError::BadConfig("eta must be positive and n_mu >= 1".into()));
+    }
+    assert_eq!(b.len(), g.n());
+    let n = g.n();
+    let adj = g.adjacency();
+    let delta = params.eps / (1.0 + params.eps);
+    let ln_inv_delta = (1.0 / delta).ln();
+    let b_max = b.iter().copied().max().unwrap_or(1) as f64;
+    let central_threshold = (2.0 * b_max * ln_inv_delta * params.eta as f64) as usize;
+
+    let mut lr = BMatchingLocalRatio::new(b, params.eps);
+    let mut alive: Vec<bool> = vec![true; g.m()];
+    let mut alive_count = g.m();
+    let mut iteration = 0usize;
+
+    while alive_count > 0 {
+        iteration += 1;
+        if alive_count < central_threshold.max(4 * params.eta) {
+            // Residual graph fits centrally: exhaustive ε-adjusted pass.
+            for (idx, e) in g.edges().iter().enumerate() {
+                if alive[idx] {
+                    lr.push(idx as EdgeId, e.u, e.v, e.w);
+                    alive[idx] = false;
+                }
+            }
+            break;
+        }
+
+        // Per-vertex sample of b(v)·ln(1/δ)·n^µ alive incident edges,
+        // without replacement, in deterministic per-vertex RNG streams.
+        let mut samples: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        for (v, nbrs) in adj.iter().enumerate() {
+            let alive_inc: Vec<EdgeId> = nbrs
+                .iter()
+                .map(|&(_, eid)| eid)
+                .filter(|&eid| alive[eid as usize])
+                .collect();
+            if alive_inc.is_empty() {
+                continue;
+            }
+            let k = (b[v] as f64 * ln_inv_delta * params.n_mu).ceil() as usize;
+            let mut rng = DetRng::derive(params.seed, &[BMATCH_RNG_TAG, iteration as u64, v as u64]);
+            samples[v] = rng
+                .sample_indices(alive_inc.len(), k)
+                .into_iter()
+                .map(|i| alive_inc[i])
+                .collect();
+        }
+
+        // Central: per vertex, push up to b(v)·ln(1/δ) heaviest-by-current-
+        // modified-weight sampled edges with ε-adjusted reductions.
+        for (v, sample) in samples.iter().enumerate() {
+            let budget = push_budget(b[v], params.eps);
+            let mut remaining: Vec<EdgeId> = sample.clone();
+            for _ in 0..budget {
+                let mut best: Option<(f64, usize)> = None;
+                for (pos, &eid) in remaining.iter().enumerate() {
+                    if !alive[eid as usize] {
+                        continue;
+                    }
+                    let e = g.edge(eid);
+                    if !lr.alive(e.u, e.v, e.w) {
+                        continue;
+                    }
+                    let m = lr.modified(e.u, e.v, e.w);
+                    let better = match best {
+                        None => true,
+                        Some((bm, bpos)) => m > bm || (m == bm && eid < remaining[bpos]),
+                    };
+                    if better {
+                        best = Some((m, pos));
+                    }
+                }
+                let Some((_, pos)) = best else { break };
+                let eid = remaining.swap_remove(pos);
+                let e = g.edge(eid);
+                if lr.push(eid, e.u, e.v, e.w) {
+                    alive[eid as usize] = false;
+                    alive_count -= 1;
+                }
+            }
+        }
+
+        // E_{i+1}: recompute ε-adjusted aliveness.
+        for (idx, e) in g.edges().iter().enumerate() {
+            if alive[idx] && !lr.alive(e.u, e.v, e.w) {
+                alive[idx] = false;
+                alive_count -= 1;
+            }
+        }
+
+        if iteration > 64 + 4 * g.m() {
+            return Err(MrError::AlgorithmFailed {
+                round: iteration,
+                reason: "iteration budget exhausted".into(),
+            });
+        }
+    }
+
+    let matching = lr.unwind(g);
+    let weight: f64 = matching.iter().map(|&e| g.edge(e).w).sum();
+    Ok(MatchingResult {
+        matching,
+        weight,
+        stack_gain: lr.gain(),
+        iterations: iteration,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::max_weight_b_matching;
+    use crate::seq::local_ratio_bmatching::b_matching_multiplier;
+    use crate::verify::is_b_matching;
+    use mrlr_graph::generators::{gnm, with_uniform_weights};
+
+    fn params(eta: usize, seed: u64) -> BMatchingParams {
+        BMatchingParams {
+            eps: 0.25,
+            n_mu: 2.0,
+            eta,
+            seed,
+        }
+    }
+
+    #[test]
+    fn valid_and_certified() {
+        for seed in 0..6 {
+            let g = with_uniform_weights(&gnm(30, 200, seed), 0.5, 8.0, seed + 3);
+            let b: Vec<u32> = (0..g.n()).map(|v| 1 + (v % 3) as u32).collect();
+            let p = params(10, seed);
+            let r = approx_b_matching(&g, &b, p).unwrap();
+            assert!(is_b_matching(&g, &b, &r.matching));
+            let mult = b_matching_multiplier(&b, p.eps);
+            assert!(r.certified_ratio(mult) <= mult + 1e-6);
+        }
+    }
+
+    #[test]
+    fn within_bound_of_exact_small() {
+        for seed in 0..6 {
+            let g = with_uniform_weights(&gnm(10, 20, seed), 1.0, 5.0, seed + 20);
+            let b: Vec<u32> = (0..g.n()).map(|v| 1 + (v % 2) as u32).collect();
+            let (opt, _) = max_weight_b_matching(&g, &b);
+            let p = params(4, seed);
+            let r = approx_b_matching(&g, &b, p).unwrap();
+            let mult = b_matching_multiplier(&b, p.eps);
+            assert!(
+                mult * r.weight + 1e-9 >= opt,
+                "seed {seed}: {} · {} < {}",
+                mult,
+                r.weight,
+                opt
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = with_uniform_weights(&gnm(20, 100, 1), 1.0, 6.0, 2);
+        let b = vec![2u32; g.n()];
+        let a = approx_b_matching(&g, &b, params(8, 5)).unwrap();
+        let c = approx_b_matching(&g, &b, params(8, 5)).unwrap();
+        assert_eq!(a.matching, c.matching);
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let g = gnm(4, 3, 0);
+        let b = vec![1u32; 4];
+        assert!(approx_b_matching(
+            &g,
+            &b,
+            BMatchingParams {
+                eps: 0.0,
+                n_mu: 2.0,
+                eta: 4,
+                seed: 0
+            }
+        )
+        .is_err());
+        assert!(approx_b_matching(
+            &g,
+            &b,
+            BMatchingParams {
+                eps: 0.2,
+                n_mu: 0.5,
+                eta: 4,
+                seed: 0
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn push_budget_values() {
+        // eps = e/(1-e)… δ = eps/(1+eps); budget = ceil(b ln(1/δ)).
+        let eps = 1.0; // δ = 0.5, ln 2 ≈ 0.693
+        assert_eq!(push_budget(1, eps), 1);
+        assert_eq!(push_budget(3, eps), (3.0f64 * 2.0f64.ln()).ceil() as usize);
+    }
+}

@@ -1,0 +1,195 @@
+//! Algorithm 4: the randomized local-ratio 2-approximation for maximum
+//! weight matching (Section 5.2, Theorems 5.5/5.6), including the `µ = 0`
+//! regime of Appendix C.
+//!
+//! Each iteration samples, for every vertex `v`, each alive incident edge
+//! into `E'_v` with probability `p = min(η/|E_i|, 1)`; the central machine
+//! scans vertices in order, pushing the heaviest sampled edge (by current
+//! modified weight) per vertex. When fewer than `4η` edges remain alive the
+//! whole residual graph moves to the central machine, which finishes the
+//! local-ratio pass exhaustively and unwinds the stack.
+//!
+//! Sampling coins are derived from `(seed, iteration, vertex, edge)`, so
+//! the MapReduce driver ([`crate::mr::matching`]) reproduces this exactly.
+
+use mrlr_graph::{EdgeId, Graph};
+use mrlr_mapreduce::rng::coin;
+use mrlr_mapreduce::{MrError, MrResult};
+
+use crate::seq::local_ratio_matching::{finish, MatchingLocalRatio};
+use crate::types::MatchingResult;
+
+/// Tag mixed into Algorithm 4's sampling coins (shared with the MR driver).
+pub const MATCH_COIN_TAG: u64 = 0x4d41_5443_4834;
+
+/// Runs Algorithm 4 with sample budget `eta` (`η = n^{1+µ}`; `η = n` gives
+/// the Appendix C `O(log n)` regime).
+///
+/// Fails with [`MrError::AlgorithmFailed`] when `Σ_v |E'_v| > 8η`
+/// (line 10 of Algorithm 4).
+pub fn approx_max_matching(g: &Graph, eta: usize, seed: u64) -> MrResult<MatchingResult> {
+    if eta == 0 {
+        return Err(MrError::BadConfig("eta must be positive".into()));
+    }
+    let n = g.n();
+    let adj = g.adjacency();
+    let mut lr = MatchingLocalRatio::new(n);
+    // alive[e] ⟺ e ∈ E_i (positive modified weight, not pushed).
+    let mut alive: Vec<bool> = vec![true; g.m()];
+    let mut alive_count = g.m();
+    let mut iteration = 0usize;
+
+    while alive_count > 0 {
+        iteration += 1;
+        if alive_count < 4 * eta {
+            // Final iteration: the whole residual graph fits centrally; one
+            // exhaustive local-ratio pass (any order) kills everything.
+            for (idx, e) in g.edges().iter().enumerate() {
+                if alive[idx] {
+                    lr.push(idx as EdgeId, e.u, e.v, e.w);
+                    alive[idx] = false;
+                }
+            }
+            break;
+        }
+
+        let p = (eta as f64 / alive_count as f64).min(1.0);
+        // E'_v per vertex; total sample volume guard.
+        let mut samples: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        let mut total = 0usize;
+        for (v, nbrs) in adj.iter().enumerate() {
+            for &(_, eid) in nbrs {
+                if alive[eid as usize]
+                    && coin(
+                        seed,
+                        &[MATCH_COIN_TAG, iteration as u64, v as u64, eid as u64],
+                        p,
+                    )
+                {
+                    samples[v].push(eid);
+                    total += 1;
+                }
+            }
+        }
+        if total > 8 * eta {
+            return Err(MrError::AlgorithmFailed {
+                round: iteration,
+                reason: format!("Σ|E'_v| = {total} > 8η = {}", 8 * eta),
+            });
+        }
+
+        // Central: per vertex in ascending order, push the heaviest sampled
+        // edge by *current* modified weight (ties: smaller edge id).
+        for sample in samples.iter() {
+            let mut best: Option<(f64, EdgeId)> = None;
+            for &eid in sample {
+                let e = g.edge(eid);
+                let m = lr.modified(e.u, e.v, e.w);
+                let better = match best {
+                    None => true,
+                    Some((bm, bid)) => m > bm || (m == bm && eid < bid),
+                };
+                if better {
+                    best = Some((m, eid));
+                }
+            }
+            if let Some((_, eid)) = best {
+                let e = g.edge(eid);
+                if lr.push(eid, e.u, e.v, e.w) {
+                    alive[eid as usize] = false;
+                    alive_count -= 1;
+                }
+            }
+        }
+
+        // E_{i+1}: recompute aliveness under the new potentials.
+        for (idx, e) in g.edges().iter().enumerate() {
+            if alive[idx] && !lr.alive(e.u, e.v, e.w) {
+                alive[idx] = false;
+                alive_count -= 1;
+            }
+        }
+
+        if iteration > 64 + 4 * g.m() {
+            return Err(MrError::AlgorithmFailed {
+                round: iteration,
+                reason: "iteration budget exhausted".into(),
+            });
+        }
+    }
+
+    Ok(finish(g, lr, iteration))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::max_weight_matching;
+    use crate::verify::is_matching;
+    use mrlr_graph::generators::{gnm, with_uniform_weights};
+
+    #[test]
+    fn valid_and_two_approx_certified() {
+        for seed in 0..6 {
+            let g = with_uniform_weights(&gnm(40, 300, seed), 0.5, 10.0, seed + 50);
+            let r = approx_max_matching(&g, 30, seed).unwrap();
+            assert!(is_matching(&g, &r.matching));
+            assert!(r.weight + 1e-6 >= r.stack_gain);
+            assert!(r.certified_ratio(2.0) <= 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn within_two_of_exact_on_small_graphs() {
+        for seed in 0..8 {
+            let g = with_uniform_weights(&gnm(14, 40, seed), 1.0, 9.0, seed + 7);
+            let (opt, _) = max_weight_matching(&g);
+            let r = approx_max_matching(&g, 8, seed).unwrap();
+            assert!(
+                2.0 * r.weight + 1e-9 >= opt,
+                "seed {seed}: matching {} vs OPT {}",
+                r.weight,
+                opt
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = with_uniform_weights(&gnm(30, 200, 3), 1.0, 5.0, 4);
+        let a = approx_max_matching(&g, 20, 11).unwrap();
+        let b = approx_max_matching(&g, 20, 11).unwrap();
+        assert_eq!(a.matching, b.matching);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn big_eta_single_iteration() {
+        let g = with_uniform_weights(&gnm(20, 60, 1), 1.0, 3.0, 2);
+        let r = approx_max_matching(&g, 100, 5).unwrap();
+        // 60 < 4·100: immediately the central pass.
+        assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn mu_zero_regime_terminates_logarithmically() {
+        // η = n (Appendix C): iterations should be O(log n), far below m/n.
+        let n = 60usize;
+        let g = with_uniform_weights(&gnm(n, 900, 2), 1.0, 4.0, 3);
+        let r = approx_max_matching(&g, n, 13).unwrap();
+        assert!(is_matching(&g, &r.matching));
+        assert!(
+            r.iterations <= 40,
+            "µ=0 regime took {} iterations",
+            r.iterations
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(4, vec![]);
+        let r = approx_max_matching(&g, 10, 1).unwrap();
+        assert!(r.matching.is_empty());
+        assert_eq!(r.iterations, 0);
+    }
+}

@@ -1,0 +1,17 @@
+//! The randomized local-ratio technique (Sections 2.1 and 5.2, Appendix D):
+//! sample i.i.d., run the sequential local-ratio algorithm on the sample
+//! centrally, and let the weight reductions eliminate unsampled elements.
+//!
+//! These drivers operate on in-memory instances; the [`crate::mr`] module
+//! contains the cluster implementations, which share these modules' coin
+//! streams and therefore produce identical output for identical seeds.
+
+pub mod ablation;
+pub mod bmatching;
+pub mod matching;
+pub mod setcover;
+
+pub use ablation::{approx_max_matching_pooled, degree_decay_trace, SamplingStrategy};
+pub use bmatching::{approx_b_matching, push_budget, BMatchingParams};
+pub use matching::approx_max_matching;
+pub use setcover::{approx_set_cover_f, predicted_rounds, sample_probability};

@@ -1,0 +1,135 @@
+//! Result types shared by sequential and MapReduce implementations.
+
+use mrlr_graph::{EdgeId, Graph, VertexId};
+use mrlr_setsys::SetId;
+
+/// Tolerance below which a residual weight counts as zero. Local-ratio
+/// reductions subtract floats; the argmin set lands on exactly `0.0`
+/// (`x - x == 0`), ties land on `0.0` too, but downstream arithmetic on
+/// `ϕ`-potentials accumulates rounding, so comparisons use this slack.
+pub const POS_TOL: f64 = 1e-9;
+
+/// Outcome of a set-cover algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverResult {
+    /// Chosen set indices (deduplicated, ascending).
+    pub cover: Vec<SetId>,
+    /// Total weight of the cover.
+    pub weight: f64,
+    /// A certified lower bound on the optimum (a feasible dual value):
+    /// local-ratio reductions `Σ_j ε_j` for Algorithms 1/2.1, or the
+    /// dual-fitting bound `Σ_j price_j / ((1+ε) H_Δ)` for greedy variants.
+    pub lower_bound: f64,
+    /// Iterations of the algorithm's outer sampling loop.
+    pub iterations: usize,
+}
+
+impl CoverResult {
+    /// The certified approximation factor `weight / lower_bound` — an upper
+    /// bound on the true ratio to optimum.
+    pub fn certified_ratio(&self) -> f64 {
+        if self.lower_bound <= 0.0 {
+            if self.weight <= 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.weight / self.lower_bound
+        }
+    }
+}
+
+/// Outcome of a matching algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchingResult {
+    /// Edge ids in the matching.
+    pub matching: Vec<EdgeId>,
+    /// Total weight of the matching.
+    pub weight: f64,
+    /// Sum of local-ratio gains `Σ m_e` over the stack. Theorem 5.1's proof
+    /// gives `OPT ≤ 2 Σ m_e` and `weight ≥ Σ m_e`, so
+    /// `2·stack_gain / weight` certifies the ratio (for b-matching the
+    /// multiplier is `3 − 2/b + 2ε`).
+    pub stack_gain: f64,
+    /// Iterations of the sampling loop.
+    pub iterations: usize,
+}
+
+impl MatchingResult {
+    /// Certified approximation factor against `multiplier · stack_gain`
+    /// (use 2.0 for matching, `3 − 2/b + 2ε` for b-matching).
+    pub fn certified_ratio(&self, multiplier: f64) -> f64 {
+        if self.weight <= 0.0 {
+            if self.stack_gain <= 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            multiplier * self.stack_gain / self.weight
+        }
+    }
+
+    /// Recomputes the weight of `matching` against `g` (sanity helper).
+    pub fn recompute_weight(&self, g: &Graph) -> f64 {
+        self.matching.iter().map(|&e| g.edge(e).w).sum()
+    }
+}
+
+/// Outcome of a maximal-independent-set / maximal-clique algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectionResult {
+    /// Chosen vertices, ascending.
+    pub vertices: Vec<VertexId>,
+    /// Number of hungry-greedy phases executed.
+    pub phases: usize,
+    /// Total central-processing rounds (inner while-loop iterations).
+    pub iterations: usize,
+}
+
+/// Outcome of a colouring algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColouringResult {
+    /// Colour of each vertex (vertex colouring) or each edge (edge
+    /// colouring), compacted to `0..num_colours`.
+    pub colours: Vec<u32>,
+    /// Number of distinct colours used.
+    pub num_colours: usize,
+    /// Number of random groups `κ`.
+    pub groups: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cover_certified_ratio() {
+        let r = CoverResult {
+            cover: vec![0],
+            weight: 4.0,
+            lower_bound: 2.0,
+            iterations: 1,
+        };
+        assert!((r.certified_ratio() - 2.0).abs() < 1e-12);
+        let degenerate = CoverResult {
+            cover: vec![],
+            weight: 0.0,
+            lower_bound: 0.0,
+            iterations: 0,
+        };
+        assert_eq!(degenerate.certified_ratio(), 1.0);
+    }
+
+    #[test]
+    fn matching_certified_ratio() {
+        let r = MatchingResult {
+            matching: vec![0],
+            weight: 5.0,
+            stack_gain: 4.0,
+            iterations: 1,
+        };
+        assert!((r.certified_ratio(2.0) - 1.6).abs() < 1e-12);
+    }
+}

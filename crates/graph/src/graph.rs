@@ -1,0 +1,280 @@
+//! Weighted simple graphs with edge-identity.
+//!
+//! The paper's graph algorithms treat edges as first-class records that are
+//! partitioned across machines, so [`Graph`] is edge-list centred: each edge
+//! has a stable [`EdgeId`] (its index), endpoints, and a positive weight.
+//! Adjacency views are derived on demand.
+
+use mrlr_mapreduce::words::WordSized;
+
+/// Vertex identifier: `0..n`.
+pub type VertexId = u32;
+
+/// Edge identifier: index into [`Graph::edges`].
+pub type EdgeId = u32;
+
+/// An undirected weighted edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// One endpoint.
+    pub u: VertexId,
+    /// The other endpoint.
+    pub v: VertexId,
+    /// Positive finite weight.
+    pub w: f64,
+}
+
+impl Edge {
+    /// Creates an edge; endpoints are stored in the given order.
+    pub fn new(u: VertexId, v: VertexId, w: f64) -> Self {
+        Edge { u, v, w }
+    }
+
+    /// The endpoint other than `x`. Panics if `x` is not an endpoint.
+    pub fn other(&self, x: VertexId) -> VertexId {
+        if x == self.u {
+            self.v
+        } else {
+            assert_eq!(x, self.v, "vertex {x} is not an endpoint");
+            self.u
+        }
+    }
+
+    /// True if `x` is an endpoint.
+    pub fn touches(&self, x: VertexId) -> bool {
+        self.u == x || self.v == x
+    }
+
+    /// Canonical endpoint pair `(min, max)`.
+    pub fn key(&self) -> (VertexId, VertexId) {
+        (self.u.min(self.v), self.u.max(self.v))
+    }
+}
+
+impl WordSized for Edge {
+    fn words(&self) -> usize {
+        3
+    }
+}
+
+/// An undirected weighted simple graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Builds a graph over `n` vertices, validating simplicity (no loops,
+    /// no parallel edges), endpoint ranges, and weight positivity.
+    ///
+    /// # Panics
+    /// Panics on invalid input; generators and tests construct graphs, so a
+    /// malformed graph is a programming error, not a runtime condition.
+    pub fn new(n: usize, edges: Vec<Edge>) -> Self {
+        for e in &edges {
+            assert!((e.u as usize) < n && (e.v as usize) < n, "endpoint out of range");
+            assert_ne!(e.u, e.v, "self-loop at {}", e.u);
+            assert!(e.w.is_finite() && e.w > 0.0, "weight must be positive and finite");
+        }
+        let mut keys: Vec<(VertexId, VertexId)> = edges.iter().map(Edge::key).collect();
+        keys.sort_unstable();
+        for pair in keys.windows(2) {
+            assert_ne!(pair[0], pair[1], "parallel edge {:?}", pair[0]);
+        }
+        Graph { n, edges }
+    }
+
+    /// Builds an unweighted (unit-weight) graph from endpoint pairs.
+    pub fn from_pairs(n: usize, pairs: &[(VertexId, VertexId)]) -> Self {
+        Graph::new(n, pairs.iter().map(|&(u, v)| Edge::new(u, v, 1.0)).collect())
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge list.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edge with identifier `e`.
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e as usize]
+    }
+
+    /// Total edge weight.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.w).sum()
+    }
+
+    /// Per-vertex adjacency: for each vertex, the `(neighbour, edge-id)`
+    /// pairs, in edge-id order.
+    pub fn adjacency(&self) -> Vec<Vec<(VertexId, EdgeId)>> {
+        let mut adj: Vec<Vec<(VertexId, EdgeId)>> = vec![Vec::new(); self.n];
+        for (i, e) in self.edges.iter().enumerate() {
+            adj[e.u as usize].push((e.v, i as EdgeId));
+            adj[e.v as usize].push((e.u, i as EdgeId));
+        }
+        adj
+    }
+
+    /// Per-vertex neighbour lists (no edge ids), in edge-id order.
+    pub fn neighbours(&self) -> Vec<Vec<VertexId>> {
+        let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); self.n];
+        for e in &self.edges {
+            adj[e.u as usize].push(e.v);
+            adj[e.v as usize].push(e.u);
+        }
+        adj
+    }
+
+    /// Vertex degrees.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.n];
+        for e in &self.edges {
+            deg[e.u as usize] += 1;
+            deg[e.v as usize] += 1;
+        }
+        deg
+    }
+
+    /// Maximum degree `Δ` (0 for edgeless graphs).
+    pub fn max_degree(&self) -> usize {
+        self.degrees().into_iter().max().unwrap_or(0)
+    }
+
+    /// Density exponent `c` such that `m = n^{1+c}` (meaningful for `n ≥ 2`,
+    /// `m ≥ 1`).
+    pub fn density_exponent(&self) -> f64 {
+        if self.n < 2 || self.edges.is_empty() {
+            return 0.0;
+        }
+        (self.m() as f64).ln() / (self.n as f64).ln() - 1.0
+    }
+
+    /// Replaces every weight with 1.0.
+    pub fn unweighted(&self) -> Graph {
+        Graph {
+            n: self.n,
+            edges: self.edges.iter().map(|e| Edge::new(e.u, e.v, 1.0)).collect(),
+        }
+    }
+
+    /// The subgraph induced by `keep` (a predicate on vertices). Vertex ids
+    /// are preserved; edges with a dropped endpoint are removed.
+    pub fn induced<F: Fn(VertexId) -> bool>(&self, keep: F) -> Graph {
+        Graph {
+            n: self.n,
+            edges: self
+                .edges
+                .iter()
+                .filter(|e| keep(e.u) && keep(e.v))
+                .copied()
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let g = Graph::from_pairs(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.degrees(), vec![2, 2, 2, 2]);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.total_weight() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_covers_both_directions() {
+        let g = Graph::from_pairs(3, &[(0, 1), (0, 2)]);
+        let adj = g.adjacency();
+        assert_eq!(adj[0], vec![(1, 0), (2, 1)]);
+        assert_eq!(adj[1], vec![(0, 0)]);
+        assert_eq!(adj[2], vec![(0, 1)]);
+    }
+
+    #[test]
+    fn edge_other_and_touches() {
+        let e = Edge::new(3, 7, 2.0);
+        assert_eq!(e.other(3), 7);
+        assert_eq!(e.other(7), 3);
+        assert!(e.touches(3) && e.touches(7) && !e.touches(5));
+        assert_eq!(e.key(), (3, 7));
+        assert_eq!(Edge::new(7, 3, 1.0).key(), (3, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        Graph::from_pairs(2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel edge")]
+    fn rejects_parallel_edges() {
+        Graph::from_pairs(3, &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_endpoint() {
+        Graph::from_pairs(2, &[(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_weight() {
+        Graph::new(2, vec![Edge::new(0, 1, 0.0)]);
+    }
+
+    #[test]
+    fn density_exponent_matches() {
+        // n = 100, m = n^{1.5} = 1000: complete-ish density check via a
+        // synthetic edge count (use a star-of-cliques shape irrelevant; just
+        // check the formula on a generated count).
+        let n = 100u32;
+        let mut pairs = Vec::new();
+        'outer: for u in 0..n {
+            for v in (u + 1)..n {
+                pairs.push((u, v));
+                if pairs.len() == 1000 {
+                    break 'outer;
+                }
+            }
+        }
+        let g = Graph::from_pairs(n as usize, &pairs);
+        assert!((g.density_exponent() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn induced_subgraph_filters_edges() {
+        let g = Graph::from_pairs(4, &[(0, 1), (1, 2), (2, 3)]);
+        let h = g.induced(|v| v != 2);
+        assert_eq!(h.m(), 1);
+        assert_eq!(h.edges()[0].key(), (0, 1));
+    }
+
+    #[test]
+    fn unweighted_resets_weights() {
+        let g = Graph::new(2, vec![Edge::new(0, 1, 5.0)]);
+        assert!((g.unweighted().edges()[0].w - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_word_size() {
+        assert_eq!(Edge::new(0, 1, 1.0).words(), 3);
+    }
+}

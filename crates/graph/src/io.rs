@@ -1,0 +1,208 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format (one record per line, `#`-prefixed comments and blank lines
+//! ignored):
+//!
+//! ```text
+//! # mrlr edge list
+//! n m
+//! u v w
+//! …
+//! ```
+//!
+//! The header gives the vertex and edge counts; each edge line gives the
+//! endpoints and a positive weight (weight may be omitted for unit-weight
+//! edges). Used by the examples to persist generated workloads and by the
+//! experiment harness to re-run a failing instance.
+
+use std::fmt::Write as _;
+
+use crate::graph::{Edge, Graph, VertexId};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line (0 for file-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serializes `g` as an edge list. Weights exactly equal to 1.0 are
+/// omitted; other weights are written with full round-trip precision.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::with_capacity(16 + 16 * g.m());
+    let _ = writeln!(out, "{} {}", g.n(), g.m());
+    for e in g.edges() {
+        if e.w == 1.0 {
+            let _ = writeln!(out, "{} {}", e.u, e.v);
+        } else {
+            // `{:?}` on f64 prints the shortest representation that
+            // round-trips exactly.
+            let _ = writeln!(out, "{} {} {:?}", e.u, e.v, e.w);
+        }
+    }
+    out
+}
+
+/// Parses an edge list produced by [`to_edge_list`] (or hand-written in the
+/// same format). Validates the header counts, endpoint ranges, weight
+/// positivity and graph simplicity.
+pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (hline, header) = lines.next().ok_or_else(|| err(0, "missing header line"))?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parts
+        .next()
+        .ok_or_else(|| err(hline, "header needs `n m`"))?
+        .parse()
+        .map_err(|_| err(hline, "bad vertex count"))?;
+    let m: usize = parts
+        .next()
+        .ok_or_else(|| err(hline, "header needs `n m`"))?
+        .parse()
+        .map_err(|_| err(hline, "bad edge count"))?;
+    if parts.next().is_some() {
+        return Err(err(hline, "trailing tokens after header"));
+    }
+
+    let mut edges: Vec<Edge> = Vec::with_capacity(m);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    for (lineno, line) in lines {
+        let mut toks = line.split_whitespace();
+        let u: VertexId = toks
+            .next()
+            .ok_or_else(|| err(lineno, "missing endpoint"))?
+            .parse()
+            .map_err(|_| err(lineno, "bad endpoint"))?;
+        let v: VertexId = toks
+            .next()
+            .ok_or_else(|| err(lineno, "missing second endpoint"))?
+            .parse()
+            .map_err(|_| err(lineno, "bad endpoint"))?;
+        let w: f64 = match toks.next() {
+            None => 1.0,
+            Some(t) => t.parse().map_err(|_| err(lineno, "bad weight"))?,
+        };
+        if toks.next().is_some() {
+            return Err(err(lineno, "trailing tokens after edge"));
+        }
+        if (u as usize) >= n || (v as usize) >= n {
+            return Err(err(lineno, format!("endpoint out of range 0..{n}")));
+        }
+        if u == v {
+            return Err(err(lineno, format!("self-loop at {u}")));
+        }
+        if !(w.is_finite() && w > 0.0) {
+            return Err(err(lineno, format!("weight {w} must be positive and finite")));
+        }
+        let (a, b) = (u.min(v), u.max(v));
+        if !seen.insert(((a as u64) << 32) | b as u64) {
+            return Err(err(lineno, format!("duplicate edge ({a}, {b})")));
+        }
+        edges.push(Edge::new(u, v, w));
+    }
+    if edges.len() != m {
+        return Err(err(
+            0,
+            format!("header promised {m} edges, found {}", edges.len()),
+        ));
+    }
+    Ok(Graph::new(n, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{gnm, with_uniform_weights};
+
+    #[test]
+    fn round_trip_unweighted() {
+        let g = gnm(20, 60, 3);
+        let text = to_edge_list(&g);
+        let h = parse_edge_list(&text).unwrap();
+        assert_eq!(g, h);
+        // Unit weights are omitted from the text.
+        assert!(text.lines().nth(1).unwrap().split_whitespace().count() == 2);
+    }
+
+    #[test]
+    fn round_trip_weighted_exact() {
+        let g = with_uniform_weights(&gnm(15, 40, 1), 0.5, 9.0, 2);
+        let h = parse_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(g.n(), h.n());
+        assert_eq!(g.m(), h.m());
+        for (a, b) in g.edges().iter().zip(h.edges()) {
+            assert_eq!(a.key(), b.key());
+            assert_eq!(a.w.to_bits(), b.w.to_bits(), "weights must round-trip bit-exactly");
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# workload\n\n3 2\n# ring piece\n0 1\n\n1 2 2.5\n";
+        let g = parse_edge_list(text).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        assert!((g.edge(1).w - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = Graph::new(5, vec![]);
+        assert_eq!(parse_edge_list(&to_edge_list(&g)).unwrap(), g);
+        let zero = Graph::new(0, vec![]);
+        assert_eq!(parse_edge_list(&to_edge_list(&zero)).unwrap(), zero);
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("", 0, "missing header"),
+            ("abc", 1, "bad vertex count"),
+            ("3", 1, "header needs"),
+            ("3 1 9", 1, "trailing tokens"),
+            ("3 1\n0", 2, "missing second endpoint"),
+            ("3 1\n0 9", 2, "out of range"),
+            ("3 1\n1 1", 2, "self-loop"),
+            ("3 1\n0 1 -2", 2, "must be positive"),
+            ("3 1\n0 1 x", 2, "bad weight"),
+            ("3 1\n0 1 1.0 7", 2, "trailing tokens"),
+            ("3 2\n0 1\n1 0", 3, "duplicate edge"),
+            ("3 2\n0 1", 0, "promised 2 edges"),
+        ];
+        for (text, line, needle) in cases {
+            let e = parse_edge_list(text).unwrap_err();
+            assert_eq!(e.line, *line, "case {text:?} gave {e}");
+            assert!(e.message.contains(needle), "case {text:?} gave {e}");
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = parse_edge_list("3 1\n0 9").unwrap_err();
+        let s = e.to_string();
+        assert!(s.contains("line 2"));
+        assert!(s.contains("out of range"));
+    }
+}

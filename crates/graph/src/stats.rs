@@ -1,0 +1,187 @@
+//! Graph statistics used by the experiment harness.
+
+use crate::graph::Graph;
+
+/// Summary statistics of a graph's degree sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree `Δ`.
+    pub max: usize,
+    /// Mean degree `2m/n`.
+    pub mean: f64,
+    /// Degree variance.
+    pub variance: f64,
+}
+
+/// Computes degree statistics. Returns zeros for the empty graph.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let deg = g.degrees();
+    if deg.is_empty() {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            variance: 0.0,
+        };
+    }
+    let min = *deg.iter().min().unwrap();
+    let max = *deg.iter().max().unwrap();
+    let mean = deg.iter().sum::<usize>() as f64 / deg.len() as f64;
+    let variance = deg.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / deg.len() as f64;
+    DegreeStats {
+        min,
+        max,
+        mean,
+        variance,
+    }
+}
+
+/// Histogram of degrees: `hist[d]` is the number of vertices of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let deg = g.degrees();
+    let max = deg.iter().copied().max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for d in deg {
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// The spread `w_max / w_min` of edge weights (1.0 for the empty graph).
+pub fn weight_spread(g: &Graph) -> f64 {
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    for e in g.edges() {
+        min = min.min(e.w);
+        max = max.max(e.w);
+    }
+    if g.m() == 0 {
+        1.0
+    } else {
+        max / min
+    }
+}
+
+/// Global clustering coefficient: `3 · triangles / wedges`, where a wedge
+/// is an unordered pair of edges sharing a vertex (`Σ_v C(d(v), 2)`).
+/// Social networks cluster strongly; Erdős–Rényi graphs of the same
+/// density do not — the workload-characterization statistic behind the
+/// paper's "social network" motivation. Returns 0 for wedge-free graphs.
+pub fn clustering_coefficient(g: &Graph) -> f64 {
+    let wedges: usize = g
+        .degrees()
+        .iter()
+        .map(|&d| d * d.saturating_sub(1) / 2)
+        .sum();
+    if wedges == 0 {
+        return 0.0;
+    }
+    3.0 * crate::algo::triangle_count(g) as f64 / wedges as f64
+}
+
+/// Degree assortativity (Pearson correlation of endpoint degrees over
+/// edges): positive when hubs attach to hubs, negative when hubs attach to
+/// leaves (typical for preferential-attachment graphs). Returns 0 when the
+/// degree sequence is constant or the graph has no edges.
+pub fn degree_assortativity(g: &Graph) -> f64 {
+    if g.m() == 0 {
+        return 0.0;
+    }
+    let deg = g.degrees();
+    // Correlation over the 2m directed endpoint pairs (x = tail degree,
+    // y = head degree), the standard Newman estimator.
+    let pairs: Vec<(f64, f64)> = g
+        .edges()
+        .iter()
+        .flat_map(|e| {
+            let (du, dv) = (deg[e.u as usize] as f64, deg[e.v as usize] as f64);
+            [(du, dv), (dv, du)]
+        })
+        .collect();
+    let n = pairs.len() as f64;
+    let mean_x: f64 = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+    let var: f64 = pairs.iter().map(|p| (p.0 - mean_x).powi(2)).sum::<f64>() / n;
+    if var < 1e-12 {
+        return 0.0;
+    }
+    let cov: f64 = pairs
+        .iter()
+        .map(|p| (p.0 - mean_x) * (p.1 - mean_x))
+        .sum::<f64>()
+        / n;
+    cov / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{star, with_uniform_weights};
+
+    #[test]
+    fn star_stats() {
+        let g = star(5);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert!(s.variance > 0.0);
+        let h = degree_histogram(&g);
+        assert_eq!(h[1], 4);
+        assert_eq!(h[4], 1);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Graph::new(0, Vec::new());
+        let s = degree_stats(&g);
+        assert_eq!((s.min, s.max), (0, 0));
+        assert_eq!(weight_spread(&g), 1.0);
+        assert_eq!(degree_histogram(&g), vec![0]);
+    }
+
+    #[test]
+    fn clustering_on_known_graphs() {
+        use crate::generators::{complete, cycle, gnp, planted_cliques};
+        // Complete graph: every wedge closes.
+        assert!((clustering_coefficient(&complete(6)) - 1.0).abs() < 1e-12);
+        // Long cycles have wedges but no triangles.
+        assert_eq!(clustering_coefficient(&cycle(8)), 0.0);
+        // Edgeless/star: no triangles.
+        assert_eq!(clustering_coefficient(&Graph::new(4, vec![])), 0.0);
+        assert_eq!(clustering_coefficient(&star(6)), 0.0);
+        // Planted cliques cluster far more than G(n, p) of similar density.
+        let cliquey = planted_cliques(6, 8, 0.02, 3);
+        let random = gnp(cliquey.n(), 2.0 * cliquey.m() as f64 / (cliquey.n() * (cliquey.n() - 1)) as f64, 4);
+        assert!(
+            clustering_coefficient(&cliquey) > 3.0 * clustering_coefficient(&random),
+            "{} vs {}",
+            clustering_coefficient(&cliquey),
+            clustering_coefficient(&random)
+        );
+    }
+
+    #[test]
+    fn assortativity_signs() {
+        use crate::generators::{barabasi_albert, complete};
+        // Star: hubs attach only to leaves — strongly negative.
+        assert!(degree_assortativity(&star(20)) < -0.9);
+        // Regular graphs have constant degree: defined as 0.
+        assert_eq!(degree_assortativity(&complete(6)), 0.0);
+        assert_eq!(degree_assortativity(&Graph::new(3, vec![])), 0.0);
+        // Preferential attachment is disassortative.
+        assert!(degree_assortativity(&barabasi_albert(300, 3, 5)) < 0.0);
+        // Correlation is bounded.
+        let g = crate::generators::gnm(50, 200, 9);
+        let a = degree_assortativity(&g);
+        assert!((-1.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn spread_bounds() {
+        let g = with_uniform_weights(&star(10), 2.0, 4.0, 3);
+        let s = weight_spread(&g);
+        assert!((1.0..2.0).contains(&s));
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests of the graph substrate: generators always produce
+//! valid simple graphs with the promised parameters.
+
+use proptest::prelude::*;
+
+use mrlr_graph::{degree_stats, generators, weight_spread};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gnm_exact(n in 2usize..80, frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let max_m = n * (n - 1) / 2;
+        let m = (frac * max_m as f64) as usize;
+        let g = generators::gnm(n, m, seed);
+        prop_assert_eq!(g.n(), n);
+        prop_assert_eq!(g.m(), m);
+        // Graph::new validated simplicity on construction.
+        let stats = degree_stats(&g);
+        prop_assert!(stats.max < n);
+    }
+
+    #[test]
+    fn densified_clamps(n in 2usize..60, c in 0.0f64..2.0, seed in any::<u64>()) {
+        let g = generators::densified(n, c, seed);
+        prop_assert!(g.m() <= n * (n - 1) / 2);
+        if g.m() > 2 && (g.m() as f64) < (n * (n - 1) / 2) as f64 * 0.9 {
+            prop_assert!((g.density_exponent() - c).abs() < 0.25);
+        }
+    }
+
+    #[test]
+    fn bipartite_no_internal_edges(l in 1usize..20, r in 1usize..20, frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let m = (frac * (l * r) as f64) as usize;
+        let g = generators::bipartite(l, r, m, seed);
+        prop_assert_eq!(g.m(), m);
+        for e in g.edges() {
+            let (a, b) = e.key();
+            prop_assert!((a as usize) < l && (b as usize) >= l);
+        }
+    }
+
+    #[test]
+    fn weights_bounded(n in 2usize..40, seed in any::<u64>(), lo in 0.1f64..5.0, span in 1.1f64..10.0) {
+        let hi = lo * span;
+        let base = generators::gnm(n, (n * (n - 1) / 4).min(60), seed);
+        let g = generators::with_uniform_weights(&base, lo, hi, seed);
+        for e in g.edges() {
+            prop_assert!(e.w >= lo && e.w < hi);
+        }
+        if g.m() > 0 {
+            prop_assert!(weight_spread(&g) <= span + 1e-9);
+        }
+        let glog = generators::with_log_uniform_weights(&base, lo, hi, seed);
+        for e in glog.edges() {
+            prop_assert!(e.w >= lo * 0.999 && e.w < hi * 1.001);
+        }
+    }
+
+    #[test]
+    fn chung_lu_valid(n in 20usize..80, seed in any::<u64>()) {
+        let m = n; // sparse enough for rejection headroom
+        let g = generators::chung_lu(n, m, 2.5, seed);
+        prop_assert_eq!(g.m(), m);
+        prop_assert_eq!(g.n(), n);
+    }
+}

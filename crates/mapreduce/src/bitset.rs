@@ -1,0 +1,188 @@
+//! A fixed-size bitset with exact word accounting.
+//!
+//! Used for the shared knowledge sets the paper's algorithms maintain on
+//! every machine (covered elements `C`, removed vertices `N⁺(I)`, the active
+//! set of the clique algorithm). A bitmap over `n` entities costs
+//! `⌈n/64⌉ + 1` words — for `n` vertices that is well within the
+//! `O(n^{1+µ})` budget, which is exactly why the paper can afford to keep
+//! these sets replicated.
+
+use crate::words::WordSized;
+
+/// Fixed-capacity bitset over ids `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitset {
+    len: usize,
+    bits: Vec<u64>,
+}
+
+impl Bitset {
+    /// All-zeros bitset over `len` ids.
+    pub fn new(len: usize) -> Self {
+        Bitset {
+            len,
+            bits: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// All-ones bitset over `len` ids.
+    pub fn full(len: usize) -> Self {
+        let mut b = Bitset::new(len);
+        for w in &mut b.bits {
+            *w = u64::MAX;
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(last) = b.bits.last_mut() {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+        b
+    }
+
+    /// Number of ids this bitset ranges over.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitset ranges over zero ids.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets bit `i`. Returns whether the bit was previously clear.
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let w = &mut self.bits[i / 64];
+        let mask = 1u64 << (i % 64);
+        let was_clear = *w & mask == 0;
+        *w |= mask;
+        was_clear
+    }
+
+    /// Clears bit `i`. Returns whether the bit was previously set.
+    #[inline]
+    pub fn clear(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let w = &mut self.bits[i / 64];
+        let mask = 1u64 << (i % 64);
+        let was_set = *w & mask != 0;
+        *w &= !mask;
+        was_set
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &Bitset) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &Bitset) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= b;
+        }
+    }
+}
+
+impl WordSized for Bitset {
+    fn words(&self) -> usize {
+        1 + self.bits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bitset::new(130);
+        assert!(!b.get(0));
+        assert!(b.set(0));
+        assert!(!b.set(0));
+        assert!(b.get(0));
+        assert!(b.set(129));
+        assert!(b.get(129));
+        assert_eq!(b.count(), 2);
+        assert!(b.clear(0));
+        assert!(!b.clear(0));
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn full_respects_length() {
+        let b = Bitset::full(70);
+        assert_eq!(b.count(), 70);
+        assert!(b.get(69));
+        let b64 = Bitset::full(64);
+        assert_eq!(b64.count(), 64);
+        let b0 = Bitset::full(0);
+        assert_eq!(b0.count(), 0);
+        assert!(b0.is_empty());
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut b = Bitset::new(200);
+        for i in [3usize, 64, 65, 199] {
+            b.set(i);
+        }
+        let ones: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(ones, vec![3, 64, 65, 199]);
+    }
+
+    #[test]
+    fn union_intersect() {
+        let mut a = Bitset::new(10);
+        let mut b = Bitset::new(10);
+        a.set(1);
+        a.set(2);
+        b.set(2);
+        b.set(3);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter_ones().collect::<Vec<_>>(), vec![1, 2, 3]);
+        a.intersect_with(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn word_accounting() {
+        assert_eq!(Bitset::new(0).words(), 1);
+        assert_eq!(Bitset::new(64).words(), 2);
+        assert_eq!(Bitset::new(65).words(), 3);
+        assert_eq!(Bitset::new(6400).words(), 101);
+    }
+}

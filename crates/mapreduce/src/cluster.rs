@@ -1,0 +1,701 @@
+//! The MPC/MapReduce cluster simulator.
+//!
+//! A [`Cluster`] owns one state value per machine and exposes the
+//! communication primitives the paper's algorithms are built from:
+//!
+//! * [`Cluster::local`] — machine-local computation (fused with the adjacent
+//!   communication round; costs no round of its own),
+//! * [`Cluster::exchange`] — one round of arbitrary point-to-point messages,
+//! * [`Cluster::gather`] — one round of all-machines-to-one,
+//! * [`Cluster::broadcast`] / [`Cluster::broadcast_words`] — central machine
+//!   to everyone through a fan-out-`t` tree (`⌈log_t M⌉` rounds, exactly the
+//!   broadcast tree of Section 2.2 / 4.1 of the paper),
+//! * [`Cluster::aggregate`] — the reverse tree, combining one value per
+//!   machine into a single value delivered to the central machine.
+//!
+//! Every primitive meters words moved and enforces the per-machine word
+//! budget. Driver control flow lives in ordinary Rust; any value a driver
+//! reads from the cluster went through a metered `gather`/`aggregate`, and
+//! any value it pushes into closures after a `broadcast` was metered there.
+//! See DESIGN.md ("Simulator honesty model").
+
+use rayon::prelude::*;
+
+use crate::error::{CapacityKind, MrError, MrResult};
+use crate::metrics::{Metrics, RoundKind, Violation};
+use crate::words::WordSized;
+
+/// Identifier of a simulated machine: `0..machines`.
+pub type MachineId = usize;
+
+/// Resident per-machine state.
+pub trait MachineState: Send + Sync {
+    /// Words of simulated memory this state occupies.
+    fn words(&self) -> usize;
+}
+
+impl<T: WordSized + Send + Sync> MachineState for T {
+    fn words(&self) -> usize {
+        WordSized::words(self)
+    }
+}
+
+/// What to do when a word budget is exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Enforcement {
+    /// Return [`MrError::CapacityExceeded`] immediately (the model's rule).
+    #[default]
+    Strict,
+    /// Record a [`Violation`] in the metrics and continue. Useful for
+    /// measuring how much memory an algorithm *would* need.
+    Record,
+}
+
+/// Cluster shape and budgets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of machines, `M`.
+    pub machines: usize,
+    /// Memory budget per machine in words (the paper's `O(n^{1+µ})`).
+    pub capacity: usize,
+    /// Budget enforcement mode.
+    pub enforcement: Enforcement,
+    /// Fan-out of broadcast/aggregation trees (the paper's `n^µ`).
+    pub tree_fanout: usize,
+    /// The designated central machine.
+    pub central: MachineId,
+}
+
+impl ClusterConfig {
+    /// A strict cluster with `machines` machines of `capacity` words and
+    /// tree fan-out chosen so a broadcast takes one hop when it fits.
+    pub fn new(machines: usize, capacity: usize) -> Self {
+        ClusterConfig {
+            machines,
+            capacity,
+            enforcement: Enforcement::Strict,
+            tree_fanout: machines.max(2),
+            central: 0,
+        }
+    }
+
+    /// Sets the broadcast/aggregation tree fan-out (the paper's `n^µ`).
+    pub fn with_fanout(mut self, fanout: usize) -> Self {
+        self.tree_fanout = fanout.max(2);
+        self
+    }
+
+    /// Sets the enforcement mode.
+    pub fn with_enforcement(mut self, e: Enforcement) -> Self {
+        self.enforcement = e;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> MrResult<()> {
+        if self.machines == 0 {
+            return Err(MrError::BadConfig("cluster needs at least one machine".into()));
+        }
+        if self.capacity == 0 {
+            return Err(MrError::BadConfig("capacity must be positive".into()));
+        }
+        if self.tree_fanout < 2 {
+            return Err(MrError::BadConfig("tree fan-out must be at least 2".into()));
+        }
+        if self.central >= self.machines {
+            return Err(MrError::BadConfig(format!(
+                "central machine {} out of range (M = {})",
+                self.central, self.machines
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Depth of a fan-out-`t` tree over `machines` nodes: the number of hops for
+/// a broadcast from the root to reach everyone. 0 when there is one machine.
+pub fn tree_depth(machines: usize, fanout: usize) -> usize {
+    debug_assert!(fanout >= 2);
+    let mut depth = 0;
+    let mut reach = 1usize;
+    while reach < machines {
+        reach = reach.saturating_mul(fanout + 1).min(machines);
+        // Each hop, every machine that already has the value sends to
+        // `fanout` new machines, so coverage multiplies by (fanout + 1).
+        depth += 1;
+    }
+    depth
+}
+
+/// Outgoing messages staged by one machine during a superstep.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    machines: usize,
+    msgs: Vec<(MachineId, M)>,
+}
+
+impl<M> Outbox<M> {
+    fn new(machines: usize) -> Self {
+        Outbox {
+            machines,
+            msgs: Vec::new(),
+        }
+    }
+
+    /// Stages `msg` for delivery to `dst` at the start of the next round.
+    pub fn send(&mut self, dst: MachineId, msg: M) {
+        assert!(dst < self.machines, "destination {dst} out of range");
+        self.msgs.push((dst, msg));
+    }
+
+    /// Number of staged messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// True if nothing has been staged.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
+/// The simulated cluster. `S` is the resident per-machine state.
+pub struct Cluster<S> {
+    cfg: ClusterConfig,
+    states: Vec<S>,
+    metrics: Metrics,
+    central_extra: usize,
+}
+
+impl<S: MachineState> Cluster<S> {
+    /// Creates a cluster with one state per machine.
+    pub fn new(cfg: ClusterConfig, states: Vec<S>) -> MrResult<Self> {
+        cfg.validate()?;
+        if states.len() != cfg.machines {
+            return Err(MrError::BadConfig(format!(
+                "{} states supplied for {} machines",
+                states.len(),
+                cfg.machines
+            )));
+        }
+        let metrics = Metrics::new(cfg.machines, cfg.capacity);
+        let mut cluster = Cluster {
+            cfg,
+            states,
+            metrics,
+            central_extra: 0,
+        };
+        cluster.check_states()?;
+        Ok(cluster)
+    }
+
+    /// The configuration this cluster runs under.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.cfg.machines
+    }
+
+    /// Communication rounds elapsed so far.
+    pub fn rounds(&self) -> usize {
+        self.metrics.rounds
+    }
+
+    /// Metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Immutable view of a machine's state.
+    pub fn state(&self, id: MachineId) -> &S {
+        &self.states[id]
+    }
+
+    /// Immutable view of all machine states.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Consumes the cluster, returning states and metrics.
+    pub fn into_parts(self) -> (Vec<S>, Metrics) {
+        (self.states, self.metrics)
+    }
+
+    /// Constructs the paper's `fail` error at the current round.
+    pub fn fail(&self, reason: impl Into<String>) -> MrError {
+        MrError::AlgorithmFailed {
+            round: self.metrics.rounds,
+            reason: reason.into(),
+        }
+    }
+
+    /// Charges `words` of resident driver-held state to the central machine
+    /// (e.g. the local-ratio stack). Replaces any previous charge.
+    pub fn charge_central(&mut self, words: usize) -> MrResult<()> {
+        self.central_extra = words;
+        let used = self.states[self.cfg.central].words() + words;
+        self.metrics.peak_central_words = self.metrics.peak_central_words.max(used);
+        self.budget(self.cfg.central, CapacityKind::CentralGather, used)
+    }
+
+    fn budget(&mut self, machine: MachineId, kind: CapacityKind, used: usize) -> MrResult<()> {
+        if used <= self.cfg.capacity {
+            return Ok(());
+        }
+        match self.cfg.enforcement {
+            Enforcement::Strict => Err(MrError::CapacityExceeded {
+                round: self.metrics.rounds,
+                machine,
+                kind,
+                used,
+                capacity: self.cfg.capacity,
+            }),
+            Enforcement::Record => {
+                self.metrics.violations.push(Violation {
+                    round: self.metrics.rounds,
+                    machine,
+                    kind,
+                    used,
+                    capacity: self.cfg.capacity,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn check_states(&mut self) -> MrResult<()> {
+        let sizes: Vec<usize> = self.states.par_iter().map(|s| s.words()).collect();
+        let peak = sizes.iter().copied().max().unwrap_or(0);
+        self.metrics.peak_machine_words = self.metrics.peak_machine_words.max(peak);
+        let central_used = sizes[self.cfg.central] + self.central_extra;
+        self.metrics.peak_central_words = self.metrics.peak_central_words.max(central_used);
+        for (id, used) in sizes.into_iter().enumerate() {
+            self.budget(id, CapacityKind::State, used)?;
+        }
+        Ok(())
+    }
+
+    /// Machine-local computation on every machine in parallel. Costs no
+    /// round (local work fuses with the surrounding communication rounds in
+    /// the MRC model); state budgets are re-checked afterwards.
+    pub fn local<F>(&mut self, f: F) -> MrResult<()>
+    where
+        F: Fn(MachineId, &mut S) + Sync,
+    {
+        self.metrics.supersteps += 1;
+        self.states.par_iter_mut().enumerate().for_each(|(id, s)| f(id, s));
+        self.check_states()
+    }
+
+    /// One round of point-to-point communication. `produce` runs on every
+    /// machine and stages messages; `consume` runs on every machine with the
+    /// messages addressed to it (ordered by sender id, then send order).
+    pub fn exchange<M, P, C>(&mut self, produce: P, consume: C) -> MrResult<()>
+    where
+        M: WordSized + Send,
+        P: Fn(MachineId, &mut S, &mut Outbox<M>) + Sync,
+        C: Fn(MachineId, &mut S, Vec<M>) + Sync,
+    {
+        self.metrics.supersteps += 1;
+        let machines = self.cfg.machines;
+        // Meter outgoing volume per machine while producing.
+        let (outboxes, out_words): (Vec<Outbox<M>>, Vec<usize>) = self
+            .states
+            .par_iter_mut()
+            .enumerate()
+            .map(|(id, s)| {
+                let mut out = Outbox::new(machines);
+                produce(id, s, &mut out);
+                let words = out.msgs.iter().map(|(_, m)| m.words()).sum::<usize>();
+                (out, words)
+            })
+            .unzip();
+
+        // Deliver: stable order (sender id, then send order within sender).
+        let mut inboxes: Vec<Vec<M>> = (0..machines).map(|_| Vec::new()).collect();
+        let mut in_words = vec![0usize; machines];
+        for outbox in outboxes {
+            for (dst, msg) in outbox.msgs {
+                in_words[dst] += msg.words();
+                inboxes[dst].push(msg);
+            }
+        }
+
+        let max_out = out_words.iter().copied().max().unwrap_or(0);
+        let max_in = in_words.iter().copied().max().unwrap_or(0);
+        let total: usize = out_words.iter().sum();
+        self.metrics.record_round(RoundKind::Exchange, max_out, max_in, total);
+
+        for (id, used) in out_words.into_iter().enumerate() {
+            self.budget(id, CapacityKind::Outbox, used)?;
+        }
+        for (id, used) in in_words.into_iter().enumerate() {
+            self.budget(id, CapacityKind::Inbox, used)?;
+        }
+
+        self.states
+            .par_iter_mut()
+            .zip(inboxes.into_par_iter())
+            .enumerate()
+            .for_each(|(id, (s, inbox))| consume(id, s, inbox));
+        self.check_states()
+    }
+
+    /// One round of all-machines-to-central. Returns the gathered messages
+    /// (ordered by sender id) to the driver, which stands in for the central
+    /// machine; the volume is budgeted against the central machine's memory
+    /// on top of its resident state.
+    pub fn gather<M, P>(&mut self, produce: P) -> MrResult<Vec<M>>
+    where
+        M: WordSized + Send,
+        P: Fn(MachineId, &mut S) -> Vec<M> + Sync,
+    {
+        self.metrics.supersteps += 1;
+        let central = self.cfg.central;
+        let (batches, out_words): (Vec<Vec<M>>, Vec<usize>) = self
+            .states
+            .par_iter_mut()
+            .enumerate()
+            .map(|(id, s)| {
+                let batch = produce(id, s);
+                let words = batch.iter().map(WordSized::words).sum::<usize>();
+                (batch, words)
+            })
+            .unzip();
+        let total: usize = out_words.iter().sum();
+        let max_out = out_words.iter().copied().max().unwrap_or(0);
+        self.metrics.record_round(RoundKind::Gather, max_out, total, total);
+
+        for (id, used) in out_words.into_iter().enumerate() {
+            self.budget(id, CapacityKind::Outbox, used)?;
+        }
+        let central_used = self.states[central].words() + self.central_extra + total;
+        self.metrics.peak_central_words = self.metrics.peak_central_words.max(central_used);
+        self.budget(central, CapacityKind::CentralGather, central_used)?;
+
+        Ok(batches.into_iter().flatten().collect())
+    }
+
+    /// Metered broadcast of a `words`-word payload from the central machine
+    /// to all machines through the fan-out tree. Returns the number of
+    /// rounds charged. The driver retains the actual value and may use it in
+    /// subsequent closures; this call accounts for its movement.
+    pub fn broadcast_words(&mut self, words: usize) -> MrResult<usize> {
+        self.metrics.supersteps += 1;
+        let depth = tree_depth(self.cfg.machines, self.cfg.tree_fanout);
+        let hop_out = words.saturating_mul(self.cfg.tree_fanout);
+        for _ in 0..depth {
+            self.metrics
+                .record_round(RoundKind::Broadcast, hop_out, words, hop_out);
+            self.budget(self.cfg.central, CapacityKind::BroadcastHop, hop_out)?;
+        }
+        self.metrics.total_message_words = self
+            .metrics
+            .total_message_words
+            // record_round already added hop volumes; adjust to the true
+            // total of `words * (M - 1)` delivered across the whole tree.
+            .saturating_sub(depth * hop_out)
+            + words * self.cfg.machines.saturating_sub(1);
+        Ok(depth)
+    }
+
+    /// Metered broadcast of `value` (see [`Cluster::broadcast_words`]).
+    pub fn broadcast<T: WordSized>(&mut self, value: &T) -> MrResult<usize> {
+        self.broadcast_words(value.words())
+    }
+
+    /// Aggregates one value per machine into a single value delivered to the
+    /// central machine (and returned to the driver), through the reverse
+    /// fan-out tree. `extract` runs in parallel; `combine` must be
+    /// associative and is applied in machine-id order, so non-commutative
+    /// folds are still deterministic.
+    pub fn aggregate<T, P, C>(&mut self, extract: P, combine: C) -> MrResult<T>
+    where
+        T: WordSized + Send,
+        P: Fn(MachineId, &S) -> T + Sync,
+        C: Fn(T, T) -> T,
+    {
+        self.metrics.supersteps += 1;
+        let mut values: Vec<T> = self
+            .states
+            .par_iter()
+            .enumerate()
+            .map(|(id, s)| extract(id, s))
+            .collect();
+
+        let max_words = values.iter().map(WordSized::words).max().unwrap_or(0);
+        let total: usize = values.iter().map(WordSized::words).sum();
+        let depth = tree_depth(self.cfg.machines, self.cfg.tree_fanout);
+        // In each hop an internal node receives up to `fanout` child values.
+        let hop_in = max_words.saturating_mul(self.cfg.tree_fanout);
+        for _ in 0..depth {
+            self.metrics
+                .record_round(RoundKind::Aggregate, max_words, hop_in, hop_in);
+            self.budget(self.cfg.central, CapacityKind::AggregateHop, hop_in)?;
+        }
+        self.metrics.total_message_words = self
+            .metrics
+            .total_message_words
+            .saturating_sub(depth * hop_in)
+            + total.saturating_sub(max_words);
+
+        let mut acc: Option<T> = None;
+        for v in values.drain(..) {
+            acc = Some(match acc {
+                None => v,
+                Some(a) => combine(a, v),
+            });
+        }
+        Ok(acc.expect("cluster has at least one machine"))
+    }
+
+    /// Convenience: sums a per-machine `usize` via [`Cluster::aggregate`].
+    pub fn aggregate_sum<P>(&mut self, extract: P) -> MrResult<usize>
+    where
+        P: Fn(MachineId, &S) -> usize + Sync,
+    {
+        self.aggregate(extract, |a, b| a + b)
+    }
+
+    /// Convenience: maximum of a per-machine `f64` via [`Cluster::aggregate`].
+    pub fn aggregate_max_f64<P>(&mut self, extract: P) -> MrResult<f64>
+    where
+        P: Fn(MachineId, &S) -> f64 + Sync,
+    {
+        self.aggregate(extract, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct VecState(Vec<u64>);
+    impl MachineState for VecState {
+        fn words(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    fn cluster(machines: usize, cap: usize) -> Cluster<VecState> {
+        let states = (0..machines).map(|i| VecState(vec![i as u64])).collect();
+        Cluster::new(ClusterConfig::new(machines, cap), states).unwrap()
+    }
+
+    #[test]
+    fn tree_depth_examples() {
+        assert_eq!(tree_depth(1, 2), 0);
+        assert_eq!(tree_depth(2, 2), 1);
+        assert_eq!(tree_depth(3, 2), 1);
+        assert_eq!(tree_depth(4, 2), 2);
+        assert_eq!(tree_depth(9, 2), 2);
+        assert_eq!(tree_depth(10, 2), 3);
+        assert_eq!(tree_depth(100, 99), 1);
+        // fanout 9: coverage 1 -> 10 -> 100 -> 1000
+        assert_eq!(tree_depth(100, 9), 2);
+        assert_eq!(tree_depth(101, 9), 3);
+        assert_eq!(tree_depth(1000, 9), 3);
+    }
+
+    #[test]
+    fn local_costs_no_round() {
+        let mut c = cluster(4, 100);
+        c.local(|id, s| s.0.push(id as u64)).unwrap();
+        assert_eq!(c.rounds(), 0);
+        assert_eq!(c.state(2).0, vec![2, 2]);
+    }
+
+    #[test]
+    fn exchange_delivers_in_sender_order() {
+        let mut c = cluster(3, 100);
+        c.exchange::<(u64, u64), _, _>(
+            |id, _s, out| {
+                // everyone sends (id, id*10) to machine 0
+                out.send(0, (id as u64, id as u64 * 10));
+            },
+            |id, s, inbox| {
+                if id == 0 {
+                    for (src, val) in inbox {
+                        s.0.push(src);
+                        s.0.push(val);
+                    }
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(c.rounds(), 1);
+        assert_eq!(c.state(0).0, vec![0, 0, 0, 1, 10, 2, 20]);
+    }
+
+    #[test]
+    fn exchange_meters_words() {
+        let mut c = cluster(2, 100);
+        c.exchange::<u64, _, _>(
+            |id, _s, out| {
+                if id == 1 {
+                    for _ in 0..5 {
+                        out.send(0, 7);
+                    }
+                }
+            },
+            |_, _, _| {},
+        )
+        .unwrap();
+        let m = c.metrics();
+        assert_eq!(m.total_message_words, 5);
+        assert_eq!(m.peak_out_words, 5);
+        assert_eq!(m.peak_in_words, 5);
+    }
+
+    #[test]
+    fn outbox_capacity_enforced() {
+        let mut c = cluster(2, 4);
+        let err = c
+            .exchange::<u64, _, _>(
+                |id, _s, out| {
+                    if id == 0 {
+                        for _ in 0..10 {
+                            out.send(1, 1);
+                        }
+                    }
+                },
+                |_, _, _| {},
+            )
+            .unwrap_err();
+        match err {
+            MrError::CapacityExceeded { kind, used, .. } => {
+                assert_eq!(kind, CapacityKind::Outbox);
+                assert_eq!(used, 10);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn state_capacity_enforced_after_local() {
+        let mut c = cluster(2, 3);
+        let err = c.local(|_, s| s.0.extend_from_slice(&[1, 2, 3, 4])).unwrap_err();
+        assert!(matches!(
+            err,
+            MrError::CapacityExceeded {
+                kind: CapacityKind::State,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn record_mode_logs_instead_of_failing() {
+        let cfg = ClusterConfig::new(2, 3).with_enforcement(Enforcement::Record);
+        let states = (0..2).map(|i| VecState(vec![i as u64])).collect();
+        let mut c = Cluster::new(cfg, states).unwrap();
+        c.local(|_, s| s.0.extend_from_slice(&[1, 2, 3, 4])).unwrap();
+        assert!(!c.metrics().violations.is_empty());
+        assert!(c.metrics().peak_machine_words >= 5);
+    }
+
+    #[test]
+    fn gather_returns_in_machine_order() {
+        let mut c = cluster(4, 100);
+        let got = c.gather(|id, _s| vec![id as u64, 100 + id as u64]).unwrap();
+        assert_eq!(got, vec![0, 100, 1, 101, 2, 102, 3, 103]);
+        assert_eq!(c.rounds(), 1);
+        assert!(c.metrics().peak_central_words >= 8);
+    }
+
+    #[test]
+    fn gather_overflow_detected() {
+        let mut c = cluster(4, 5);
+        let err = c.gather(|_, _| vec![0u64, 0, 0]).unwrap_err();
+        assert!(matches!(
+            err,
+            MrError::CapacityExceeded {
+                kind: CapacityKind::CentralGather,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn broadcast_counts_tree_rounds() {
+        let cfg = ClusterConfig::new(100, 1000).with_fanout(9);
+        let states = (0..100).map(|i| VecState(vec![i as u64])).collect();
+        let mut c = Cluster::new(cfg, states).unwrap();
+        let rounds = c.broadcast_words(10).unwrap();
+        // coverage: 1 -> 10 -> 100, two hops
+        assert_eq!(rounds, 2);
+        assert_eq!(c.rounds(), 2);
+        assert_eq!(c.metrics().total_message_words, 10 * 99);
+    }
+
+    #[test]
+    fn broadcast_hop_capacity() {
+        let cfg = ClusterConfig::new(100, 50).with_fanout(9);
+        let states = (0..100).map(|_| VecState(vec![])).collect();
+        let mut c = Cluster::new(cfg, states).unwrap();
+        // 10 words * fanout 9 = 90 > 50
+        let err = c.broadcast_words(10).unwrap_err();
+        assert!(matches!(
+            err,
+            MrError::CapacityExceeded {
+                kind: CapacityKind::BroadcastHop,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn aggregate_combines_deterministically() {
+        let mut c = cluster(8, 100);
+        let total = c.aggregate_sum(|id, _| id).unwrap();
+        assert_eq!(total, 28);
+        // one value per machine, tree fanout = machines => 1 hop
+        assert_eq!(c.rounds(), 1);
+        // Non-commutative combine is applied in machine order.
+        let concat = c
+            .aggregate(
+                |id, _| vec![id as u64],
+                |mut a, b| {
+                    a.extend(b);
+                    a
+                },
+            )
+            .unwrap();
+        assert_eq!(concat, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn charge_central_is_budgeted() {
+        let mut c = cluster(2, 10);
+        c.charge_central(5).unwrap();
+        assert!(c.charge_central(50).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ClusterConfig::new(0, 10).validate().is_err());
+        assert!(ClusterConfig::new(2, 0).validate().is_err());
+        let mut cfg = ClusterConfig::new(2, 10);
+        cfg.central = 5;
+        assert!(cfg.validate().is_err());
+        assert!(ClusterConfig::new(2, 10).validate().is_ok());
+    }
+
+    #[test]
+    fn wrong_state_count_rejected() {
+        let cfg = ClusterConfig::new(3, 10);
+        let states = vec![VecState(vec![])];
+        assert!(Cluster::new(cfg, states).is_err());
+    }
+
+    #[test]
+    fn single_machine_broadcast_free() {
+        let mut c = cluster(1, 100);
+        assert_eq!(c.broadcast_words(5).unwrap(), 0);
+        assert_eq!(c.rounds(), 0);
+    }
+}

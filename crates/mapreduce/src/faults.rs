@@ -1,0 +1,332 @@
+//! Fault-tolerance cost model: what crashes and stragglers do to a run.
+//!
+//! The paper motivates MapReduce partly by fault tolerance (§1): shuffle
+//! outputs are durable, so a machine crash loses only the current round's
+//! work, and the runtime re-executes the lost tasks while surviving machines
+//! wait. Stragglers do not change the round count but stretch wall-clock,
+//! because the model is bulk-synchronous — every round ends when its slowest
+//! machine does.
+//!
+//! This module prices a [`FaultPlan`] against the per-round records of a
+//! completed run. It is a *post-hoc cost model*, deliberately decoupled from
+//! the simulator: the algorithms' outputs are deterministic functions of the
+//! seed and are unaffected by faults (exactly the MapReduce recovery
+//! contract); only the round count and the makespan change. Assumptions,
+//! documented and tested:
+//!
+//! * A crash in round `r` adds one re-execution round per affected round
+//!   (re-executions of multiple machines in the same round run in parallel).
+//!   Crashes during re-execution are not modelled (second-order).
+//! * A straggler with slowdown `s ≥ 1` multiplies the duration of its round;
+//!   the round's duration is the maximum slowdown among its machines.
+//! * Fault events aimed at rounds the run never executed are ignored.
+//!
+//! ```
+//! use mrlr_mapreduce::faults::{apply, FaultEvent, FaultKind, FaultPlan};
+//! use mrlr_mapreduce::metrics::{Metrics, RoundKind};
+//!
+//! let mut m = Metrics::new(4, 1000);
+//! m.record_round(RoundKind::Exchange, 1, 1, 1);
+//! m.record_round(RoundKind::Exchange, 1, 1, 1);
+//! let plan = FaultPlan::new(vec![FaultEvent {
+//!     round: 1, machine: 0, kind: FaultKind::Crash,
+//! }]);
+//! let r = apply(&m, &plan);
+//! assert_eq!(r.effective_rounds, 3); // one re-execution round
+//! ```
+
+use crate::cluster::MachineId;
+use crate::metrics::Metrics;
+use crate::rng::DetRng;
+
+/// What goes wrong on one machine in one round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The machine dies mid-round; its round work is re-executed.
+    Crash,
+    /// The machine runs `slowdown ≥ 1` times slower this round.
+    Straggler(f64),
+}
+
+/// One fault event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// 1-based round the fault strikes in.
+    pub round: usize,
+    /// The affected machine.
+    pub machine: MachineId,
+    /// The failure mode.
+    pub kind: FaultKind,
+}
+
+/// A set of fault events to price against a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Creates a plan from explicit events.
+    ///
+    /// # Panics
+    /// Panics if any straggler slowdown is below 1 or not finite.
+    pub fn new(events: Vec<FaultEvent>) -> Self {
+        for e in &events {
+            if let FaultKind::Straggler(s) = e.kind {
+                assert!(s.is_finite() && s >= 1.0, "slowdown must be >= 1, got {s}");
+            }
+        }
+        FaultPlan { events }
+    }
+
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Draws a random plan: in each of `rounds` rounds, every one of
+    /// `machines` machines independently crashes with probability `crash_p`
+    /// and (if it survives) straggles with probability `straggle_p` at the
+    /// given `slowdown`. Deterministic in `seed`.
+    pub fn random(
+        machines: usize,
+        rounds: usize,
+        crash_p: f64,
+        straggle_p: f64,
+        slowdown: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(slowdown >= 1.0, "slowdown must be >= 1");
+        let mut rng = DetRng::derive(seed, &[0x0066_6175_6c74]);
+        let mut events = Vec::new();
+        for round in 1..=rounds {
+            for machine in 0..machines {
+                if rng.bernoulli(crash_p) {
+                    events.push(FaultEvent {
+                        round,
+                        machine,
+                        kind: FaultKind::Crash,
+                    });
+                } else if rng.bernoulli(straggle_p) {
+                    events.push(FaultEvent {
+                        round,
+                        machine,
+                        kind: FaultKind::Straggler(slowdown),
+                    });
+                }
+            }
+        }
+        FaultPlan { events }
+    }
+
+    /// The plan's events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of crash events.
+    pub fn crashes(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Crash))
+            .count()
+    }
+
+    /// Number of straggler events.
+    pub fn stragglers(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Straggler(_)))
+            .count()
+    }
+}
+
+/// Priced outcome of a fault plan over one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Rounds the fault-free run took.
+    pub base_rounds: usize,
+    /// Extra re-execution rounds caused by crashes (one per round with at
+    /// least one crash).
+    pub redo_rounds: usize,
+    /// `base_rounds + redo_rounds`.
+    pub effective_rounds: usize,
+    /// Wall-clock in round-units: each round contributes the maximum
+    /// straggler slowdown among its machines (1.0 if none), re-execution
+    /// rounds contribute 1.0 each.
+    pub makespan: f64,
+    /// Crash events that landed on executed rounds.
+    pub crashes_applied: usize,
+    /// Straggler events that landed on executed rounds.
+    pub stragglers_applied: usize,
+}
+
+impl RecoveryReport {
+    /// Makespan relative to the fault-free run (1.0 = no slowdown).
+    pub fn slowdown_factor(&self) -> f64 {
+        if self.base_rounds == 0 {
+            1.0
+        } else {
+            self.makespan / self.base_rounds as f64
+        }
+    }
+}
+
+/// Prices `plan` against the per-round records in `metrics`.
+pub fn apply(metrics: &Metrics, plan: &FaultPlan) -> RecoveryReport {
+    let base_rounds = metrics.rounds;
+    let mut round_slowdown = vec![1.0f64; base_rounds + 1];
+    let mut round_crashed = vec![false; base_rounds + 1];
+    let mut crashes_applied = 0usize;
+    let mut stragglers_applied = 0usize;
+    for e in plan.events() {
+        if e.round == 0 || e.round > base_rounds || e.machine >= metrics.machines {
+            continue;
+        }
+        match e.kind {
+            FaultKind::Crash => {
+                round_crashed[e.round] = true;
+                crashes_applied += 1;
+            }
+            FaultKind::Straggler(s) => {
+                round_slowdown[e.round] = round_slowdown[e.round].max(s);
+                stragglers_applied += 1;
+            }
+        }
+    }
+    let redo_rounds = round_crashed.iter().filter(|&&c| c).count();
+    let makespan: f64 = round_slowdown[1..].iter().sum::<f64>() + redo_rounds as f64;
+    RecoveryReport {
+        base_rounds,
+        redo_rounds,
+        effective_rounds: base_rounds + redo_rounds,
+        makespan,
+        crashes_applied,
+        stragglers_applied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Metrics, RoundKind};
+
+    fn run_of(rounds: usize, machines: usize) -> Metrics {
+        let mut m = Metrics::new(machines, 1000);
+        for _ in 0..rounds {
+            m.record_round(RoundKind::Exchange, 1, 1, 1);
+        }
+        m
+    }
+
+    #[test]
+    fn no_faults_no_overhead() {
+        let m = run_of(5, 4);
+        let r = apply(&m, &FaultPlan::none());
+        assert_eq!(r.base_rounds, 5);
+        assert_eq!(r.redo_rounds, 0);
+        assert_eq!(r.effective_rounds, 5);
+        assert!((r.makespan - 5.0).abs() < 1e-12);
+        assert!((r.slowdown_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crash_adds_one_redo_round_per_round() {
+        let m = run_of(5, 4);
+        // Two crashes in the same round: still one redo round (parallel
+        // re-execution); a third crash in another round adds another.
+        let plan = FaultPlan::new(vec![
+            FaultEvent { round: 2, machine: 0, kind: FaultKind::Crash },
+            FaultEvent { round: 2, machine: 3, kind: FaultKind::Crash },
+            FaultEvent { round: 4, machine: 1, kind: FaultKind::Crash },
+        ]);
+        let r = apply(&m, &plan);
+        assert_eq!(r.redo_rounds, 2);
+        assert_eq!(r.effective_rounds, 7);
+        assert_eq!(r.crashes_applied, 3);
+        assert!((r.makespan - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stragglers_stretch_makespan_not_rounds() {
+        let m = run_of(4, 4);
+        let plan = FaultPlan::new(vec![
+            FaultEvent { round: 1, machine: 0, kind: FaultKind::Straggler(3.0) },
+            FaultEvent { round: 1, machine: 1, kind: FaultKind::Straggler(2.0) },
+            FaultEvent { round: 3, machine: 2, kind: FaultKind::Straggler(1.5) },
+        ]);
+        let r = apply(&m, &plan);
+        assert_eq!(r.effective_rounds, 4);
+        // Round 1 runs at the max slowdown 3.0, round 3 at 1.5.
+        assert!((r.makespan - (3.0 + 1.0 + 1.5 + 1.0)).abs() < 1e-12);
+        assert_eq!(r.stragglers_applied, 3);
+        assert!(r.slowdown_factor() > 1.0);
+    }
+
+    #[test]
+    fn events_outside_run_ignored() {
+        let m = run_of(3, 2);
+        let plan = FaultPlan::new(vec![
+            FaultEvent { round: 9, machine: 0, kind: FaultKind::Crash },
+            FaultEvent { round: 0, machine: 0, kind: FaultKind::Crash },
+            FaultEvent { round: 1, machine: 99, kind: FaultKind::Crash },
+        ]);
+        let r = apply(&m, &plan);
+        assert_eq!(r.redo_rounds, 0);
+        assert_eq!(r.crashes_applied, 0);
+        assert_eq!(r.effective_rounds, 3);
+    }
+
+    #[test]
+    fn mixed_faults_compose() {
+        let m = run_of(2, 2);
+        let plan = FaultPlan::new(vec![
+            FaultEvent { round: 1, machine: 0, kind: FaultKind::Crash },
+            FaultEvent { round: 1, machine: 1, kind: FaultKind::Straggler(4.0) },
+        ]);
+        let r = apply(&m, &plan);
+        assert_eq!(r.effective_rounds, 3);
+        // round 1 at 4.0 + round 2 at 1.0 + one redo at 1.0
+        assert!((r.makespan - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_plan_deterministic_and_counted() {
+        let a = FaultPlan::random(8, 20, 0.05, 0.1, 2.0, 7);
+        let b = FaultPlan::random(8, 20, 0.05, 0.1, 2.0, 7);
+        assert_eq!(a, b);
+        let c = FaultPlan::random(8, 20, 0.05, 0.1, 2.0, 8);
+        assert_ne!(a, c);
+        assert_eq!(a.crashes() + a.stragglers(), a.events().len());
+        // With 160 trials at p=0.05 the expected crash count is 8; allow a
+        // wide deterministic band.
+        assert!(a.crashes() > 0);
+        assert!(a.crashes() < 40);
+    }
+
+    #[test]
+    fn random_plan_rates_scale() {
+        let none = FaultPlan::random(10, 50, 0.0, 0.0, 1.0, 3);
+        assert!(none.events().is_empty());
+        let all = FaultPlan::random(4, 10, 1.0, 0.0, 1.0, 3);
+        assert_eq!(all.crashes(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown")]
+    fn rejects_sub_unit_slowdown() {
+        FaultPlan::new(vec![FaultEvent {
+            round: 1,
+            machine: 0,
+            kind: FaultKind::Straggler(0.5),
+        }]);
+    }
+
+    #[test]
+    fn zero_round_run_degenerate() {
+        let m = run_of(0, 2);
+        let r = apply(&m, &FaultPlan::none());
+        assert_eq!(r.effective_rounds, 0);
+        assert!((r.slowdown_factor() - 1.0).abs() < 1e-12);
+    }
+}

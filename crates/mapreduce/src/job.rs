@@ -1,0 +1,392 @@
+//! A classic map → shuffle → reduce layer on top of the cluster simulator.
+//!
+//! This is the "eponymous map and reduce functions" interface of Karloff et
+//! al. (§1.3 of the paper): records are key-value pairs, the map function
+//! emits intermediate pairs, pairs are shuffled to reducers by key hash, and
+//! reducers fold each key group. One job costs exactly one communication
+//! round plus local work; chains of jobs compose through
+//! [`MapReduceJob::run`]'s output partitioning.
+
+use crate::cluster::{Cluster, ClusterConfig, MachineId};
+use crate::error::MrResult;
+use crate::metrics::Metrics;
+use crate::rng::mix2;
+use crate::words::WordSized;
+
+/// Keys must hash deterministically (for the shuffle) and order totally
+/// (for deterministic reduce-group ordering).
+pub trait Key: Ord + Clone + Send {
+    /// A deterministic 64-bit hash of the key.
+    fn key_hash(&self) -> u64;
+}
+
+impl Key for u32 {
+    fn key_hash(&self) -> u64 {
+        mix2(0x006b_6579_3332_u64, *self as u64)
+    }
+}
+
+impl Key for u64 {
+    fn key_hash(&self) -> u64 {
+        mix2(0x006b_6579_3634_u64, *self)
+    }
+}
+
+impl Key for usize {
+    fn key_hash(&self) -> u64 {
+        mix2(0x006b_6579_737a_u64, *self as u64)
+    }
+}
+
+impl Key for String {
+    fn key_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.bytes() {
+            h = mix2(h, b as u64);
+        }
+        h
+    }
+}
+
+impl<A: Key, B: Key> Key for (A, B) {
+    fn key_hash(&self) -> u64 {
+        mix2(self.0.key_hash(), self.1.key_hash())
+    }
+}
+
+/// Collector passed to map functions.
+pub struct Emitter<K, V> {
+    pairs: Vec<(K, V)>,
+}
+
+impl<K, V> Emitter<K, V> {
+    /// Emits one intermediate key-value pair.
+    pub fn emit(&mut self, key: K, value: V) {
+        self.pairs.push((key, value));
+    }
+}
+
+/// A single map → shuffle → reduce job.
+pub struct MapReduceJob<I, K, V, O, MF, RF>
+where
+    MF: Fn(&I, &mut Emitter<K, V>) + Sync,
+    RF: Fn(&K, Vec<V>) -> Vec<O> + Sync,
+{
+    map: MF,
+    reduce: RF,
+    _marker: JobMarker<I, K, V, O>,
+}
+
+/// Zero-sized marker tying a job to its record/key/value/output types.
+type JobMarker<I, K, V, O> = std::marker::PhantomData<fn(I) -> (K, V, O)>;
+
+impl<I, K, V, O, MF, RF> MapReduceJob<I, K, V, O, MF, RF>
+where
+    I: WordSized + Send + Sync,
+    K: Key + WordSized + Sync,
+    V: WordSized + Send + Sync,
+    O: WordSized + Send + Sync,
+    MF: Fn(&I, &mut Emitter<K, V>) + Sync,
+    RF: Fn(&K, Vec<V>) -> Vec<O> + Sync,
+{
+    /// Builds a job from a map function and a reduce function.
+    pub fn new(map: MF, reduce: RF) -> Self {
+        MapReduceJob {
+            map,
+            reduce,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs the job on pre-partitioned input. Returns the per-machine output
+    /// partitions (outputs live on the machine that reduced their key) and
+    /// the run metrics.
+    pub fn run(&self, cfg: ClusterConfig, inputs: Vec<Vec<I>>) -> MrResult<(Vec<Vec<O>>, Metrics)> {
+        self.run_inner::<fn(&K, Vec<V>) -> V>(cfg, inputs, None)
+    }
+
+    /// Runs the job with a **combiner**: before the shuffle, each mapper
+    /// locally folds the values it emitted per key through `combine`
+    /// (classic MapReduce pre-aggregation). Semantics are unchanged for any
+    /// associative-and-commutative-compatible reduce; the observable
+    /// difference is communication volume — the word-count example drops
+    /// from one message per occurrence to one per (machine, distinct word),
+    /// which the metrics make visible.
+    pub fn run_with_combiner<CF>(
+        &self,
+        cfg: ClusterConfig,
+        inputs: Vec<Vec<I>>,
+        combine: CF,
+    ) -> MrResult<(Vec<Vec<O>>, Metrics)>
+    where
+        CF: Fn(&K, Vec<V>) -> V + Sync,
+    {
+        self.run_inner(cfg, inputs, Some(combine))
+    }
+
+    fn run_inner<CF>(
+        &self,
+        cfg: ClusterConfig,
+        inputs: Vec<Vec<I>>,
+        combine: Option<CF>,
+    ) -> MrResult<(Vec<Vec<O>>, Metrics)>
+    where
+        CF: Fn(&K, Vec<V>) -> V + Sync,
+    {
+        #[derive(Debug)]
+        struct JobState<I, K, V, O> {
+            input: Vec<I>,
+            groups: Vec<(K, Vec<V>)>,
+            output: Vec<O>,
+            input_words: usize,
+        }
+        impl<I, K: WordSized, V: WordSized, O: WordSized> WordSized for JobState<I, K, V, O> {
+            fn words(&self) -> usize {
+                // Input words are cached (inputs are drained during map).
+                self.input_words
+                    + self.groups.words()
+                    + self.output.iter().map(WordSized::words).sum::<usize>()
+            }
+        }
+
+        let machines = cfg.machines;
+        let states: Vec<JobState<I, K, V, O>> = inputs
+            .into_iter()
+            .map(|input| {
+                let input_words = input.iter().map(WordSized::words).sum();
+                JobState {
+                    input,
+                    groups: Vec::new(),
+                    output: Vec::new(),
+                    input_words,
+                }
+            })
+            .collect();
+        let mut cluster = Cluster::new(cfg, states)?;
+
+        // Map + shuffle: one communication round.
+        let map = &self.map;
+        let combine = combine.as_ref();
+        cluster.exchange::<(K, V), _, _>(
+            |_, s, out| {
+                let mut em = Emitter { pairs: Vec::new() };
+                for rec in &s.input {
+                    map(rec, &mut em);
+                }
+                s.input.clear();
+                s.input_words = 0;
+                let mut pairs = em.pairs;
+                if let Some(comb) = combine {
+                    // Local pre-aggregation: one combined value per key.
+                    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                    let mut combined: Vec<(K, V)> = Vec::new();
+                    let mut pending: Option<(K, Vec<V>)> = None;
+                    for (k, v) in pairs {
+                        match &mut pending {
+                            Some((pk, vs)) if *pk == k => vs.push(v),
+                            _ => {
+                                if let Some((pk, vs)) = pending.take() {
+                                    combined.push((pk.clone(), comb(&pk, vs)));
+                                }
+                                pending = Some((k, vec![v]));
+                            }
+                        }
+                    }
+                    if let Some((pk, vs)) = pending.take() {
+                        combined.push((pk.clone(), comb(&pk, vs)));
+                    }
+                    pairs = combined;
+                }
+                for (k, v) in pairs {
+                    let dst = (k.key_hash() % machines as u64) as MachineId;
+                    out.send(dst, (k, v));
+                }
+            },
+            |_, s, inbox| {
+                // Group by key, deterministically (sort is stable; inbox
+                // arrives in sender order).
+                let mut pairs = inbox;
+                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                for (k, v) in pairs {
+                    match s.groups.last_mut() {
+                        Some((gk, vs)) if *gk == k => vs.push(v),
+                        _ => s.groups.push((k, vec![v])),
+                    }
+                }
+            },
+        )?;
+
+        // Reduce: local work.
+        let reduce = &self.reduce;
+        cluster.local(|_, s| {
+            for (k, vs) in s.groups.drain(..) {
+                s.output.extend(reduce(&k, vs));
+            }
+        })?;
+
+        let (states, metrics) = cluster.into_parts();
+        Ok((states.into_iter().map(|s| s.output).collect(), metrics))
+    }
+}
+
+/// Distributes `items` round-robin over `machines` partitions.
+pub fn partition_round_robin<T>(items: Vec<T>, machines: usize) -> Vec<Vec<T>> {
+    let mut parts: Vec<Vec<T>> = (0..machines).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        parts[i % machines].push(item);
+    }
+    parts
+}
+
+/// Distributes `items` over `machines` partitions by a deterministic hash of
+/// the item index (a balanced random-looking assignment, as the paper's
+/// "assigned arbitrarily/randomly to machines").
+pub fn partition_by_hash<T>(items: Vec<T>, machines: usize, seed: u64) -> Vec<Vec<T>> {
+    let mut parts: Vec<Vec<T>> = (0..machines).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        let dst = (mix2(seed, i as u64) % machines as u64) as usize;
+        parts[dst].push(item);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_count() {
+        // The canonical example: count words across machines.
+        let docs: Vec<String> = vec![
+            "the quick brown fox".into(),
+            "the lazy dog".into(),
+            "the quick dog".into(),
+            "brown dog brown dog".into(),
+        ];
+        let job = MapReduceJob::new(
+            |doc: &String, em: &mut Emitter<String, u64>| {
+                for w in doc.split_whitespace() {
+                    em.emit(w.to_string(), 1);
+                }
+            },
+            |k: &String, vs: Vec<u64>| vec![(k.clone(), vs.iter().sum::<u64>())],
+        );
+        let inputs = partition_round_robin(docs, 3);
+        let (outputs, metrics) = job.run(ClusterConfig::new(3, 10_000), inputs).unwrap();
+        let mut all: Vec<(String, u64)> = outputs.into_iter().flatten().collect();
+        all.sort();
+        assert_eq!(
+            all,
+            vec![
+                ("brown".to_string(), 3),
+                ("dog".to_string(), 4),
+                ("fox".to_string(), 1),
+                ("lazy".to_string(), 1),
+                ("quick".to_string(), 2),
+                ("the".to_string(), 3),
+            ]
+        );
+        assert_eq!(metrics.rounds, 1);
+    }
+
+    #[test]
+    fn combiner_preserves_output_and_cuts_communication() {
+        let docs: Vec<String> = (0..8)
+            .map(|i| {
+                // Skewed corpus: "the" everywhere, a few rare words.
+                format!("the the the the word{} the", i % 3)
+            })
+            .collect();
+        let job = MapReduceJob::new(
+            |doc: &String, em: &mut Emitter<String, u64>| {
+                for w in doc.split_whitespace() {
+                    em.emit(w.to_string(), 1);
+                }
+            },
+            |k: &String, vs: Vec<u64>| vec![(k.clone(), vs.iter().sum::<u64>())],
+        );
+        let inputs = partition_round_robin(docs, 4);
+        let (plain, m_plain) = job.run(ClusterConfig::new(4, 100_000), inputs.clone()).unwrap();
+        let (combined, m_comb) = job
+            .run_with_combiner(ClusterConfig::new(4, 100_000), inputs, |_, vs: Vec<u64>| {
+                vs.iter().sum::<u64>()
+            })
+            .unwrap();
+        let norm = |outs: Vec<Vec<(String, u64)>>| {
+            let mut all: Vec<(String, u64)> = outs.into_iter().flatten().collect();
+            all.sort();
+            all
+        };
+        assert_eq!(norm(plain), norm(combined));
+        assert!(
+            m_comb.total_message_words < m_plain.total_message_words,
+            "combiner moved {} words, plain {}",
+            m_comb.total_message_words,
+            m_plain.total_message_words
+        );
+        assert_eq!(m_comb.rounds, 1);
+    }
+
+    #[test]
+    fn combiner_on_empty_and_single_key_input() {
+        let job = MapReduceJob::new(
+            |x: &u64, em: &mut Emitter<u32, u64>| em.emit(0u32, *x),
+            |k: &u32, vs: Vec<u64>| vec![(*k, vs.iter().sum::<u64>())],
+        );
+        let inputs: Vec<Vec<u64>> = vec![vec![], vec![1, 2, 3], vec![]];
+        let (outs, _) = job
+            .run_with_combiner(ClusterConfig::new(3, 1000), inputs, |_, vs: Vec<u64>| {
+                vs.iter().sum::<u64>()
+            })
+            .unwrap();
+        let all: Vec<(u32, u64)> = outs.into_iter().flatten().collect();
+        assert_eq!(all, vec![(0, 6)]);
+    }
+
+    #[test]
+    fn reduce_groups_are_complete() {
+        // All values for one key meet at one reducer even when emitted from
+        // every machine.
+        let inputs: Vec<Vec<u64>> = (0..4).map(|m| vec![m as u64; 5]).collect();
+        let job = MapReduceJob::new(
+            |x: &u64, em: &mut Emitter<u32, u64>| em.emit((*x % 2) as u32, *x),
+            |k: &u32, vs: Vec<u64>| vec![(*k, vs.len() as u64)],
+        );
+        let (outputs, _) = job.run(ClusterConfig::new(4, 10_000), inputs).unwrap();
+        let mut all: Vec<(u32, u64)> = outputs.into_iter().flatten().collect();
+        all.sort();
+        assert_eq!(all, vec![(0, 10), (1, 10)]);
+    }
+
+    #[test]
+    fn partition_round_robin_balanced() {
+        let parts = partition_round_robin((0..10).collect::<Vec<u32>>(), 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], vec![0, 3, 6, 9]);
+        assert_eq!(parts[1], vec![1, 4, 7]);
+        assert_eq!(parts[2], vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn partition_by_hash_deterministic_and_complete() {
+        let a = partition_by_hash((0..100).collect::<Vec<u32>>(), 7, 42);
+        let b = partition_by_hash((0..100).collect::<Vec<u32>>(), 7, 42);
+        assert_eq!(a, b);
+        let total: usize = a.iter().map(Vec::len).sum();
+        assert_eq!(total, 100);
+        // Different seed gives a different assignment.
+        let c = partition_by_hash((0..100).collect::<Vec<u32>>(), 7, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn key_hashes_differ() {
+        assert_ne!(3u32.key_hash(), 4u32.key_hash());
+        assert_ne!(3u32.key_hash(), 3u64.key_hash());
+        assert_ne!(
+            String::from("ab").key_hash(),
+            String::from("ba").key_hash()
+        );
+        assert_ne!((1u32, 2u32).key_hash(), (2u32, 1u32).key_hash());
+    }
+}

@@ -1,0 +1,72 @@
+//! # mrlr-mapreduce — a deterministic MPC/MapReduce cluster simulator
+//!
+//! This crate is the substrate for the `mrlr` workspace's reproduction of
+//! *"Greedy and Local Ratio Algorithms in the MapReduce Model"* (Harvey,
+//! Liaw, Liu; SPAA 2018). The paper's model — the MRC formalization of
+//! Karloff, Suri and Vassilvitskii, refined by the MPC model of Beame et
+//! al. — gives each of `M` machines `O(n^{1+µ})` words of memory and charges
+//! one *round* per synchronous communication step; the round count is the
+//! primary cost measure.
+//!
+//! The simulator makes those constraints executable and measurable:
+//!
+//! * [`cluster::Cluster`] runs per-machine state through supersteps
+//!   ([`cluster::Cluster::local`], [`cluster::Cluster::exchange`],
+//!   [`cluster::Cluster::gather`], [`cluster::Cluster::broadcast`],
+//!   [`cluster::Cluster::aggregate`]) with strict word budgets, tree-depth
+//!   round accounting for broadcasts/aggregations (the paper's `n^µ`-ary
+//!   broadcast tree), and full [`metrics::Metrics`].
+//! * [`job::MapReduceJob`] layers the classic map → shuffle → reduce
+//!   interface on top.
+//! * [`rng`] provides partition-stable hash-derived randomness so that a
+//!   distributed run is bit-identical to its sequential counterpart.
+//! * [`bitset::Bitset`] and [`words::WordSized`] handle exact word-level
+//!   space accounting.
+//! * [`model::ComputeModel`] audits cluster shapes against the MRC/MPC side
+//!   conditions; [`partition`] provides hash/block/range placement;
+//!   [`trace::Timeline`] renders per-round traces (CSV/ASCII); and
+//!   [`faults`] prices crash/straggler plans against a completed run.
+//!
+//! Machines execute in parallel threads (rayon) but every observable —
+//! outputs, metrics, failures — is deterministic given the seed.
+//!
+//! ```
+//! use mrlr_mapreduce::cluster::{Cluster, ClusterConfig};
+//!
+//! // Four machines, 1000 words each; each holds a list of numbers.
+//! let states: Vec<Vec<u64>> = (0..4).map(|m| vec![m as u64; 10]).collect();
+//! let mut cluster = Cluster::new(ClusterConfig::new(4, 1000), states).unwrap();
+//!
+//! // One aggregation: total count across machines (costs tree-depth rounds).
+//! let total = cluster.aggregate_sum(|_, s| s.len()).unwrap();
+//! assert_eq!(total, 40);
+//! assert_eq!(cluster.rounds(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod cluster;
+pub mod error;
+pub mod faults;
+pub mod job;
+pub mod metrics;
+pub mod model;
+pub mod partition;
+pub mod rng;
+pub mod trace;
+pub mod words;
+
+pub use bitset::Bitset;
+pub use cluster::{tree_depth, Cluster, ClusterConfig, Enforcement, MachineId, MachineState, Outbox};
+pub use error::{CapacityKind, MrError, MrResult};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, RecoveryReport};
+pub use metrics::{Metrics, RoundKind, RoundRecord, Violation};
+pub use model::{paper_graph_regime, ComputeModel, ModelCheck};
+pub use partition::{
+    balance_stats, split, BalanceStats, BlockPartitioner, HashPartitioner, Partitioner,
+    RangePartitioner,
+};
+pub use rng::{coin, mix2, mix_tags, unit_f64, DetRng};
+pub use trace::{KindSummary, Timeline, TimelineRow};
+pub use words::{Payload, WordSized};

@@ -1,0 +1,196 @@
+//! Per-run metrics: the observables behind every claim in Figure 1.
+
+use std::fmt;
+
+use crate::cluster::MachineId;
+use crate::error::CapacityKind;
+
+/// The communication primitive a round belonged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundKind {
+    /// Arbitrary point-to-point exchange.
+    Exchange,
+    /// All machines send to one (usually the central machine).
+    Gather,
+    /// One hop of a broadcast tree.
+    Broadcast,
+    /// One hop of an aggregation tree.
+    Aggregate,
+}
+
+impl fmt::Display for RoundKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RoundKind::Exchange => "exchange",
+            RoundKind::Gather => "gather",
+            RoundKind::Broadcast => "broadcast",
+            RoundKind::Aggregate => "aggregate",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Record of one communication round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// 1-based round index.
+    pub round: usize,
+    /// Primitive that produced the round.
+    pub kind: RoundKind,
+    /// Maximum words sent by any machine this round.
+    pub max_out: usize,
+    /// Maximum words received by any machine this round.
+    pub max_in: usize,
+    /// Total words moved this round.
+    pub total: usize,
+}
+
+/// A recorded (non-fatal, in `Record` mode) capacity violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Round of the violation.
+    pub round: usize,
+    /// Offending machine.
+    pub machine: MachineId,
+    /// Budget violated.
+    pub kind: CapacityKind,
+    /// Words used.
+    pub used: usize,
+    /// Words allowed.
+    pub capacity: usize,
+}
+
+/// Aggregated metrics for one cluster run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Number of machines in the cluster.
+    pub machines: usize,
+    /// Word capacity per machine.
+    pub capacity: usize,
+    /// Total communication rounds (tree hops count individually).
+    pub rounds: usize,
+    /// Number of primitive invocations (an `O(1)`-round unit of the driver).
+    pub supersteps: usize,
+    /// Total words moved across the network over the whole run.
+    pub total_message_words: usize,
+    /// Peak resident words on any machine at any check point.
+    pub peak_machine_words: usize,
+    /// Peak words sent by a machine in one round.
+    pub peak_out_words: usize,
+    /// Peak words received by a machine in one round.
+    pub peak_in_words: usize,
+    /// Peak resident + gathered words on the central machine.
+    pub peak_central_words: usize,
+    /// Per-round detail.
+    pub per_round: Vec<RoundRecord>,
+    /// Violations observed (only populated in `Record` enforcement mode).
+    pub violations: Vec<Violation>,
+}
+
+impl Metrics {
+    /// Creates empty metrics for a cluster of `machines` machines with the
+    /// given per-machine `capacity`.
+    pub fn new(machines: usize, capacity: usize) -> Self {
+        Metrics {
+            machines,
+            capacity,
+            ..Metrics::default()
+        }
+    }
+
+    /// Records one communication round. Called by the cluster primitives;
+    /// public so tests and benches can construct synthetic run records for
+    /// the trace/fault tooling.
+    pub fn record_round(&mut self, kind: RoundKind, max_out: usize, max_in: usize, total: usize) {
+        self.rounds += 1;
+        self.total_message_words += total;
+        self.peak_out_words = self.peak_out_words.max(max_out);
+        self.peak_in_words = self.peak_in_words.max(max_in);
+        self.per_round.push(RoundRecord {
+            round: self.rounds,
+            kind,
+            max_out,
+            max_in,
+            total,
+        });
+    }
+
+    /// Peak space on any machine as a multiple of capacity (1.0 = at budget).
+    pub fn space_utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.peak_machine_words.max(self.peak_central_words) as f64 / self.capacity as f64
+        }
+    }
+
+    /// Number of rounds of each kind, in `(exchange, gather, broadcast,
+    /// aggregate)` order. Useful for checking tree-depth accounting.
+    pub fn rounds_by_kind(&self) -> (usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0);
+        for r in &self.per_round {
+            match r.kind {
+                RoundKind::Exchange => counts.0 += 1,
+                RoundKind::Gather => counts.1 += 1,
+                RoundKind::Broadcast => counts.2 += 1,
+                RoundKind::Aggregate => counts.3 += 1,
+            }
+        }
+        counts
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cluster: {} machines x {} words; rounds: {} ({} supersteps)",
+            self.machines, self.capacity, self.rounds, self.supersteps
+        )?;
+        writeln!(
+            f,
+            "peak words: machine {}, central {}, out {}, in {}",
+            self.peak_machine_words, self.peak_central_words, self.peak_out_words, self.peak_in_words
+        )?;
+        write!(
+            f,
+            "total communication: {} words; space utilization {:.3}",
+            self.total_message_words,
+            self.space_utilization()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_accumulates() {
+        let mut m = Metrics::new(4, 100);
+        m.record_round(RoundKind::Exchange, 10, 20, 30);
+        m.record_round(RoundKind::Broadcast, 5, 25, 40);
+        assert_eq!(m.rounds, 2);
+        assert_eq!(m.total_message_words, 70);
+        assert_eq!(m.peak_out_words, 10);
+        assert_eq!(m.peak_in_words, 25);
+        assert_eq!(m.per_round.len(), 2);
+        assert_eq!(m.rounds_by_kind(), (1, 0, 1, 0));
+    }
+
+    #[test]
+    fn utilization() {
+        let mut m = Metrics::new(2, 100);
+        m.peak_machine_words = 50;
+        assert!((m.space_utilization() - 0.5).abs() < 1e-12);
+        m.peak_central_words = 150;
+        assert!((m.space_utilization() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_rounds() {
+        let m = Metrics::new(2, 10);
+        let s = m.to_string();
+        assert!(s.contains("rounds"));
+    }
+}

@@ -1,0 +1,312 @@
+//! Data partitioners: how records are assigned to machines.
+//!
+//! The MRC model distributes the input "arbitrarily" across machines; the
+//! algorithms' guarantees must hold for *any* placement, and the randomized
+//! drivers additionally rely on hash placement for load balance (the
+//! Chernoff-bound space arguments in Theorems 2.4/3.3/5.6). This module
+//! makes placement a first-class, testable object: hash, contiguous-block
+//! and range partitioners behind one trait, plus balance diagnostics for the
+//! space experiments.
+//!
+//! ```
+//! use mrlr_mapreduce::partition::{split, HashPartitioner, Partitioner};
+//!
+//! let p = HashPartitioner::new(42, 4);
+//! let parts = split((0u64..100).collect(), |&x| x, &p);
+//! assert_eq!(parts.len(), 4);
+//! assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);
+//! assert_eq!(p.place(7), p.place(7)); // placement is pure
+//! ```
+
+use crate::cluster::MachineId;
+use crate::rng::mix2;
+
+/// Assigns 64-bit record keys to machines. Implementations must be pure:
+/// the same key always lands on the same machine.
+pub trait Partitioner: Sync {
+    /// The machine for `key`.
+    fn place(&self, key: u64) -> MachineId;
+
+    /// Number of machines being partitioned over.
+    fn machines(&self) -> usize;
+}
+
+/// Seeded hash placement — the default for all randomized drivers. Balanced
+/// w.h.p. for any key set (keys are mixed through SplitMix64, so adversarial
+/// key patterns do not skew placement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashPartitioner {
+    seed: u64,
+    machines: usize,
+}
+
+impl HashPartitioner {
+    /// Creates a hash partitioner over `machines` machines.
+    ///
+    /// # Panics
+    /// Panics if `machines == 0`.
+    pub fn new(seed: u64, machines: usize) -> Self {
+        assert!(machines > 0, "need at least one machine");
+        HashPartitioner { seed, machines }
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn place(&self, key: u64) -> MachineId {
+        (mix2(self.seed ^ 0x7061_7274, key) % self.machines as u64) as MachineId
+    }
+
+    fn machines(&self) -> usize {
+        self.machines
+    }
+}
+
+/// Contiguous-block placement: keys `0..items` are split into `machines`
+/// blocks of near-equal size, in key order. This is the "element `j` is
+/// assigned arbitrarily, `n^{1+µ}` elements per machine" layout of
+/// Theorem 2.4, and the worst case for any placement-sensitive logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockPartitioner {
+    items: u64,
+    machines: usize,
+}
+
+impl BlockPartitioner {
+    /// Creates a block partitioner for keys `0..items`.
+    ///
+    /// # Panics
+    /// Panics if `machines == 0`.
+    pub fn new(items: u64, machines: usize) -> Self {
+        assert!(machines > 0, "need at least one machine");
+        BlockPartitioner { items, machines }
+    }
+
+    /// The key range `[lo, hi)` owned by `machine`.
+    pub fn block(&self, machine: MachineId) -> (u64, u64) {
+        let m = self.machines as u64;
+        let base = self.items / m;
+        let extra = self.items % m;
+        let i = machine as u64;
+        // The first `extra` machines get one extra key.
+        let lo = i * base + i.min(extra);
+        let hi = lo + base + u64::from(i < extra);
+        (lo, hi)
+    }
+}
+
+impl Partitioner for BlockPartitioner {
+    fn place(&self, key: u64) -> MachineId {
+        assert!(key < self.items, "key {key} outside 0..{}", self.items);
+        let m = self.machines as u64;
+        let base = self.items / m;
+        let extra = self.items % m;
+        let boundary = extra * (base + 1);
+        let i = if key < boundary {
+            key / (base + 1)
+        } else {
+            extra + (key - boundary) / base.max(1)
+        };
+        i as MachineId
+    }
+
+    fn machines(&self) -> usize {
+        self.machines
+    }
+}
+
+/// Range placement over explicit upper bounds: machine `i` owns keys
+/// `< bounds[i]` not owned by an earlier machine; the last machine owns the
+/// rest. Used to model skewed or locality-preserving layouts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangePartitioner {
+    bounds: Vec<u64>,
+}
+
+impl RangePartitioner {
+    /// Creates a range partitioner with `bounds.len() + 1` machines.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is not strictly increasing.
+    pub fn new(bounds: Vec<u64>) -> Self {
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "bounds must be strictly increasing");
+        }
+        RangePartitioner { bounds }
+    }
+}
+
+impl Partitioner for RangePartitioner {
+    fn place(&self, key: u64) -> MachineId {
+        self.bounds.partition_point(|&b| b <= key)
+    }
+
+    fn machines(&self) -> usize {
+        self.bounds.len() + 1
+    }
+}
+
+/// Splits `items` into per-machine vectors under `part`, keying each item
+/// with `key`. Item order is preserved within each machine.
+pub fn split<T, K, P>(items: Vec<T>, key: K, part: &P) -> Vec<Vec<T>>
+where
+    K: Fn(&T) -> u64,
+    P: Partitioner + ?Sized,
+{
+    let mut out: Vec<Vec<T>> = (0..part.machines()).map(|_| Vec::new()).collect();
+    for item in items {
+        let m = part.place(key(&item));
+        out[m].push(item);
+    }
+    out
+}
+
+/// Load-balance summary of a placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalanceStats {
+    /// Smallest per-machine count.
+    pub min: usize,
+    /// Largest per-machine count.
+    pub max: usize,
+    /// Mean per-machine count.
+    pub mean: f64,
+    /// `max / mean` — 1.0 is perfectly balanced. 0 when there are no items.
+    pub imbalance: f64,
+}
+
+/// Computes [`BalanceStats`] for per-machine counts.
+pub fn balance_stats(counts: &[usize]) -> BalanceStats {
+    if counts.is_empty() {
+        return BalanceStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            imbalance: 0.0,
+        };
+    }
+    let min = counts.iter().copied().min().unwrap_or(0);
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let total: usize = counts.iter().sum();
+    let mean = total as f64 / counts.len() as f64;
+    let imbalance = if mean > 0.0 { max as f64 / mean } else { 0.0 };
+    BalanceStats {
+        min,
+        max,
+        mean,
+        imbalance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_bounded() {
+        let p = HashPartitioner::new(7, 13);
+        for key in 0..200u64 {
+            let a = p.place(key);
+            assert_eq!(a, p.place(key));
+            assert!(a < 13);
+        }
+        assert_eq!(p.machines(), 13);
+    }
+
+    #[test]
+    fn hash_balances_sequential_keys() {
+        let p = HashPartitioner::new(3, 8);
+        let mut counts = vec![0usize; 8];
+        for key in 0..8000u64 {
+            counts[p.place(key)] += 1;
+        }
+        let s = balance_stats(&counts);
+        assert!(s.imbalance < 1.15, "imbalance {}", s.imbalance);
+        assert!(s.min > 0);
+    }
+
+    #[test]
+    fn hash_seeds_differ() {
+        let a = HashPartitioner::new(1, 16);
+        let b = HashPartitioner::new(2, 16);
+        let same = (0..256u64).filter(|&k| a.place(k) == b.place(k)).count();
+        assert!(same < 64, "placements nearly identical across seeds: {same}");
+    }
+
+    #[test]
+    fn block_blocks_are_contiguous_and_exhaustive() {
+        for (items, machines) in [(10u64, 3usize), (7, 7), (100, 8), (5, 9)] {
+            let p = BlockPartitioner::new(items, machines);
+            let mut next = 0u64;
+            for m in 0..machines {
+                let (lo, hi) = p.block(m);
+                assert_eq!(lo, next, "items {items} machines {machines}");
+                assert!(hi >= lo);
+                for key in lo..hi {
+                    assert_eq!(p.place(key), m);
+                }
+                next = hi;
+            }
+            assert_eq!(next, items);
+        }
+    }
+
+    #[test]
+    fn block_sizes_near_equal() {
+        let p = BlockPartitioner::new(103, 10);
+        let sizes: Vec<u64> = (0..10).map(|m| {
+            let (lo, hi) = p.block(m);
+            hi - lo
+        })
+        .collect();
+        assert!(sizes.iter().all(|&s| s == 10 || s == 11));
+        assert_eq!(sizes.iter().sum::<u64>(), 103);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn block_rejects_out_of_range_key() {
+        BlockPartitioner::new(10, 2).place(10);
+    }
+
+    #[test]
+    fn range_partitions_by_bounds() {
+        let p = RangePartitioner::new(vec![10, 20, 30]);
+        assert_eq!(p.machines(), 4);
+        assert_eq!(p.place(0), 0);
+        assert_eq!(p.place(9), 0);
+        assert_eq!(p.place(10), 1);
+        assert_eq!(p.place(29), 2);
+        assert_eq!(p.place(30), 3);
+        assert_eq!(p.place(u64::MAX), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn range_rejects_unsorted_bounds() {
+        RangePartitioner::new(vec![5, 5]);
+    }
+
+    #[test]
+    fn split_preserves_order_within_machine() {
+        let p = BlockPartitioner::new(6, 2);
+        let parts = split(vec![5u64, 0, 3, 1, 4, 2], |&x| x, &p);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], vec![0, 1, 2]);
+        assert_eq!(parts[1], vec![5, 3, 4]);
+    }
+
+    #[test]
+    fn balance_stats_basics() {
+        let s = balance_stats(&[10, 10, 10, 10]);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 10);
+        assert!((s.imbalance - 1.0).abs() < 1e-12);
+        let skew = balance_stats(&[0, 0, 0, 40]);
+        assert_eq!(skew.min, 0);
+        assert!((skew.imbalance - 4.0).abs() < 1e-12);
+        let empty = balance_stats(&[]);
+        assert_eq!(empty.max, 0);
+        assert_eq!(empty.imbalance, 0.0);
+        let zeroes = balance_stats(&[0, 0]);
+        assert_eq!(zeroes.imbalance, 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Memory metering in machine *words*.
+//!
+//! The MRC model of Karloff et al. measures machine memory in words (8-byte
+//! units here). Every value that crosses the simulated network or resides in
+//! simulated machine state implements [`WordSized`] so the cluster can check
+//! the `O(n^{1+µ})` space bounds the paper's theorems assume.
+//!
+//! Conventions: every primitive scalar counts as one word (we deliberately do
+//! not pack sub-word fields — the paper's bounds are asymptotic and this
+//! keeps the accounting conservative); containers add one word of header.
+
+/// Types whose simulated size in 8-byte machine words is known.
+pub trait WordSized {
+    /// Number of machine words this value occupies in simulated memory.
+    fn words(&self) -> usize;
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty),* $(,)?) => {
+        $(impl WordSized for $t {
+            #[inline]
+            fn words(&self) -> usize { 1 }
+        })*
+    };
+}
+
+impl_scalar!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char);
+
+impl WordSized for () {
+    #[inline]
+    fn words(&self) -> usize {
+        0
+    }
+}
+
+impl<T: WordSized> WordSized for Option<T> {
+    #[inline]
+    fn words(&self) -> usize {
+        1 + self.as_ref().map_or(0, WordSized::words)
+    }
+}
+
+impl<T: WordSized> WordSized for Vec<T> {
+    #[inline]
+    fn words(&self) -> usize {
+        1 + self.iter().map(WordSized::words).sum::<usize>()
+    }
+}
+
+impl<T: WordSized> WordSized for [T] {
+    #[inline]
+    fn words(&self) -> usize {
+        self.iter().map(WordSized::words).sum::<usize>()
+    }
+}
+
+impl<T: WordSized> WordSized for &T {
+    #[inline]
+    fn words(&self) -> usize {
+        (*self).words()
+    }
+}
+
+impl WordSized for String {
+    #[inline]
+    fn words(&self) -> usize {
+        1 + self.len().div_ceil(8)
+    }
+}
+
+impl<A: WordSized, B: WordSized> WordSized for (A, B) {
+    #[inline]
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words()
+    }
+}
+
+impl<A: WordSized, B: WordSized, C: WordSized> WordSized for (A, B, C) {
+    #[inline]
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words() + self.2.words()
+    }
+}
+
+impl<A: WordSized, B: WordSized, C: WordSized, D: WordSized> WordSized for (A, B, C, D) {
+    #[inline]
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words() + self.2.words() + self.3.words()
+    }
+}
+
+impl<A: WordSized, B: WordSized, C: WordSized, D: WordSized, E: WordSized> WordSized
+    for (A, B, C, D, E)
+{
+    #[inline]
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words() + self.2.words() + self.3.words() + self.4.words()
+    }
+}
+
+/// An opaque payload of a fixed number of words, for metering data whose
+/// content the simulation does not need to materialize (e.g. a broadcast of
+/// `|C|` set indices that the driver already holds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Payload(pub usize);
+
+impl WordSized for Payload {
+    #[inline]
+    fn words(&self) -> usize {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_are_one_word() {
+        assert_eq!(3u32.words(), 1);
+        assert_eq!(3.5f64.words(), 1);
+        assert_eq!(true.words(), 1);
+        assert_eq!(().words(), 0);
+    }
+
+    #[test]
+    fn containers_add_header() {
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(v.words(), 4);
+        let empty: Vec<u64> = vec![];
+        assert_eq!(empty.words(), 1);
+        let nested: Vec<Vec<u32>> = vec![vec![1], vec![2, 3]];
+        assert_eq!(nested.words(), 1 + 2 + 3);
+    }
+
+    #[test]
+    fn tuples_sum() {
+        assert_eq!((1u32, 2u64).words(), 2);
+        assert_eq!((1u32, 2u64, 3.0f64).words(), 3);
+        assert_eq!((1u32, 2u64, 3.0f64, vec![1u32]).words(), 5);
+    }
+
+    #[test]
+    fn options_and_strings() {
+        assert_eq!(Some(7u64).words(), 2);
+        assert_eq!(None::<u64>.words(), 1);
+        assert_eq!(String::from("12345678").words(), 2);
+        assert_eq!(String::new().words(), 1);
+    }
+
+    #[test]
+    fn payload_is_opaque() {
+        assert_eq!(Payload(42).words(), 42);
+    }
+}

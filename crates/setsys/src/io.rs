@@ -1,0 +1,171 @@
+//! Plain-text serialization of set systems.
+//!
+//! Format (one set per line after the header; `#` comments and blank lines
+//! ignored):
+//!
+//! ```text
+//! # mrlr set system
+//! m n
+//! w j1 j2 j3 …
+//! …
+//! ```
+//!
+//! The header gives the universe size `m` and set count `n`; each set line
+//! starts with the weight followed by the sorted element list (possibly
+//! empty).
+
+use std::fmt::Write as _;
+
+use crate::system::{ElemId, SetSystem};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number (0 for file-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serializes `sys`. Weights use `{:?}` so they round-trip bit-exactly.
+pub fn to_text(sys: &SetSystem) -> String {
+    let mut out = String::with_capacity(16 + 8 * sys.total_size());
+    let _ = writeln!(out, "{} {}", sys.universe(), sys.n_sets());
+    for (i, set) in sys.sets().iter().enumerate() {
+        let _ = write!(out, "{:?}", sys.weight(i as u32));
+        for &j in set {
+            let _ = write!(out, " {j}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the format produced by [`to_text`]. Validates header counts,
+/// element ranges/sortedness and weight positivity.
+pub fn parse_text(text: &str) -> Result<SetSystem, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (hline, header) = lines.next().ok_or_else(|| err(0, "missing header line"))?;
+    let mut parts = header.split_whitespace();
+    let m: usize = parts
+        .next()
+        .ok_or_else(|| err(hline, "header needs `m n`"))?
+        .parse()
+        .map_err(|_| err(hline, "bad universe size"))?;
+    let n: usize = parts
+        .next()
+        .ok_or_else(|| err(hline, "header needs `m n`"))?
+        .parse()
+        .map_err(|_| err(hline, "bad set count"))?;
+    if parts.next().is_some() {
+        return Err(err(hline, "trailing tokens after header"));
+    }
+
+    let mut sets: Vec<Vec<ElemId>> = Vec::with_capacity(n);
+    let mut weights: Vec<f64> = Vec::with_capacity(n);
+    for (lineno, line) in lines {
+        let mut toks = line.split_whitespace();
+        let w: f64 = toks
+            .next()
+            .ok_or_else(|| err(lineno, "missing weight"))?
+            .parse()
+            .map_err(|_| err(lineno, "bad weight"))?;
+        if !(w.is_finite() && w > 0.0) {
+            return Err(err(lineno, format!("weight {w} must be positive and finite")));
+        }
+        let mut elems: Vec<ElemId> = Vec::new();
+        for t in toks {
+            let j: ElemId = t.parse().map_err(|_| err(lineno, "bad element"))?;
+            if (j as usize) >= m {
+                return Err(err(lineno, format!("element {j} out of range 0..{m}")));
+            }
+            if let Some(&last) = elems.last() {
+                if last >= j {
+                    return Err(err(lineno, "elements must be strictly increasing"));
+                }
+            }
+            elems.push(j);
+        }
+        weights.push(w);
+        sets.push(elems);
+    }
+    if sets.len() != n {
+        return Err(err(0, format!("header promised {n} sets, found {}", sets.len())));
+    }
+    Ok(SetSystem::new(m, sets, weights))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{bounded_frequency, with_log_uniform_weights};
+
+    #[test]
+    fn round_trip() {
+        let sys = with_log_uniform_weights(bounded_frequency(12, 80, 3, 4), 0.25, 16.0, 5);
+        let back = parse_text(&to_text(&sys)).unwrap();
+        assert_eq!(sys.universe(), back.universe());
+        assert_eq!(sys.sets(), back.sets());
+        for (a, b) in sys.weights().iter().zip(back.weights()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn comments_blanks_and_empty_sets() {
+        let text = "# instance\n3 2\n\n1.5 0 2\n2.0\n";
+        let sys = parse_text(text).unwrap();
+        assert_eq!(sys.universe(), 3);
+        assert_eq!(sys.n_sets(), 2);
+        assert_eq!(sys.set(0), &[0, 2]);
+        assert!(sys.set(1).is_empty());
+        assert!(!sys.is_coverable()); // element 1 uncovered
+    }
+
+    #[test]
+    fn errors_reported_with_lines() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("", 0, "missing header"),
+            ("x 1", 1, "bad universe"),
+            ("3", 1, "header needs"),
+            ("3 1 z", 1, "trailing"),
+            ("3 1\n-1 0", 2, "positive"),
+            ("3 1\nw 0", 2, "bad weight"),
+            ("3 1\n1.0 9", 2, "out of range"),
+            ("3 1\n1.0 1 1", 2, "strictly increasing"),
+            ("3 1\n1.0 2 1", 2, "strictly increasing"),
+            ("3 2\n1.0 0", 0, "promised 2 sets"),
+        ];
+        for (text, line, needle) in cases {
+            let e = parse_text(text).unwrap_err();
+            assert_eq!(e.line, *line, "case {text:?}: {e}");
+            assert!(e.message.contains(needle), "case {text:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn empty_system_round_trips() {
+        let sys = SetSystem::unit(0, vec![]);
+        assert_eq!(parse_text(&to_text(&sys)).unwrap(), sys);
+    }
+}

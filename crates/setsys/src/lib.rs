@@ -1,0 +1,25 @@
+//! # mrlr-setsys — weighted set system substrate
+//!
+//! Set systems for the set-cover algorithms of *"Greedy and Local Ratio
+//! Algorithms in the MapReduce Model"* (SPAA 2018): the primal/dual views
+//! (Section 2 works with the dual `T_j` representation), and generators with
+//! controlled frequency `f`, set size `Δ`, and weight spread.
+//!
+//! ```
+//! use mrlr_setsys::generators;
+//!
+//! let sys = generators::bounded_frequency(20, 500, 3, 42);
+//! assert!(sys.is_coverable());
+//! assert!(sys.max_frequency() <= 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod io;
+pub mod stats;
+pub mod system;
+
+pub use io::{parse_text, to_text, ParseError};
+pub use stats::{frequency_histogram, set_size_histogram, system_stats, SystemStats};
+pub use system::{ElemId, SetId, SetRec, SetSystem};

@@ -1,0 +1,296 @@
+//! Weighted set systems: the primal (`S_i ⊆ [m]`) and dual (`T_j = {i : j ∈
+//! S_i}`) views used by the paper's set-cover algorithms.
+
+use mrlr_mapreduce::words::WordSized;
+use mrlr_graph::Graph;
+
+/// Index of a set: `0..n_sets`.
+pub type SetId = u32;
+
+/// Index of a universe element: `0..universe`.
+pub type ElemId = u32;
+
+/// A weighted set system over universe `[m]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetSystem {
+    universe: usize,
+    sets: Vec<Vec<ElemId>>,
+    weights: Vec<f64>,
+}
+
+impl SetSystem {
+    /// Builds a set system, validating element ranges, sortedness and
+    /// distinctness of each set, and weight positivity.
+    ///
+    /// # Panics
+    /// Panics on malformed input (generators construct these; a bad system
+    /// is a programming error).
+    pub fn new(universe: usize, sets: Vec<Vec<ElemId>>, weights: Vec<f64>) -> Self {
+        assert_eq!(sets.len(), weights.len(), "one weight per set");
+        for (i, s) in sets.iter().enumerate() {
+            for pair in s.windows(2) {
+                assert!(pair[0] < pair[1], "set {i} not sorted-distinct");
+            }
+            if let Some(&last) = s.last() {
+                assert!((last as usize) < universe, "set {i} element out of range");
+            }
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(w.is_finite() && w > 0.0, "weight of set {i} must be positive");
+        }
+        SetSystem {
+            universe,
+            sets,
+            weights,
+        }
+    }
+
+    /// Builds a unit-weight system.
+    pub fn unit(universe: usize, sets: Vec<Vec<ElemId>>) -> Self {
+        let n = sets.len();
+        SetSystem::new(universe, sets, vec![1.0; n])
+    }
+
+    /// Replaces the weights.
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), self.sets.len());
+        for &w in &weights {
+            assert!(w.is_finite() && w > 0.0);
+        }
+        self.weights = weights;
+        self
+    }
+
+    /// Number of sets `n`.
+    pub fn n_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Universe size `m`.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// All sets.
+    pub fn sets(&self) -> &[Vec<ElemId>] {
+        &self.sets
+    }
+
+    /// Elements of set `i`.
+    pub fn set(&self, i: SetId) -> &[ElemId] {
+        &self.sets[i as usize]
+    }
+
+    /// All weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Weight of set `i`.
+    pub fn weight(&self, i: SetId) -> f64 {
+        self.weights[i as usize]
+    }
+
+    /// The dual view: `T_j` lists the sets containing element `j`, in
+    /// ascending set order.
+    pub fn dual(&self) -> Vec<Vec<SetId>> {
+        let mut t: Vec<Vec<SetId>> = vec![Vec::new(); self.universe];
+        for (i, s) in self.sets.iter().enumerate() {
+            for &j in s {
+                t[j as usize].push(i as SetId);
+            }
+        }
+        t
+    }
+
+    /// Maximum frequency `f = max_j |T_j|`.
+    pub fn max_frequency(&self) -> usize {
+        let mut freq = vec![0usize; self.universe];
+        for s in &self.sets {
+            for &j in s {
+                freq[j as usize] += 1;
+            }
+        }
+        freq.into_iter().max().unwrap_or(0)
+    }
+
+    /// Maximum set size `Δ = max_i |S_i|`.
+    pub fn max_set_size(&self) -> usize {
+        self.sets.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total input size `Σ |S_i|`.
+    pub fn total_size(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Weight spread `w_max / w_min` (1.0 when there are no sets).
+    pub fn weight_spread(&self) -> f64 {
+        if self.weights.is_empty() {
+            return 1.0;
+        }
+        let max = self.weights.iter().cloned().fold(0.0f64, f64::max);
+        let min = self.weights.iter().cloned().fold(f64::INFINITY, f64::min);
+        max / min
+    }
+
+    /// True if every element is contained in at least one set.
+    pub fn is_coverable(&self) -> bool {
+        let mut covered = vec![false; self.universe];
+        for s in &self.sets {
+            for &j in s {
+                covered[j as usize] = true;
+            }
+        }
+        covered.into_iter().all(|c| c)
+    }
+
+    /// True if the chosen sets cover the universe.
+    pub fn covers(&self, chosen: &[SetId]) -> bool {
+        let mut covered = vec![false; self.universe];
+        for &i in chosen {
+            for &j in self.set(i) {
+                covered[j as usize] = true;
+            }
+        }
+        covered.into_iter().all(|c| c)
+    }
+
+    /// Total weight of the chosen sets (each counted once even if repeated).
+    pub fn cover_weight(&self, chosen: &[SetId]) -> f64 {
+        let mut picked = vec![false; self.n_sets()];
+        let mut total = 0.0;
+        for &i in chosen {
+            if !picked[i as usize] {
+                picked[i as usize] = true;
+                total += self.weight(i);
+            }
+        }
+        total
+    }
+
+    /// The weighted **vertex cover** view of a graph: one set per vertex
+    /// (weight from `weights`), one universe element per edge. Frequency is
+    /// exactly 2 — the `f = 2` special case of Theorem 2.4.
+    pub fn vertex_cover_of(g: &Graph, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), g.n());
+        let mut sets: Vec<Vec<ElemId>> = vec![Vec::new(); g.n()];
+        for (j, e) in g.edges().iter().enumerate() {
+            sets[e.u as usize].push(j as ElemId);
+            sets[e.v as usize].push(j as ElemId);
+        }
+        // Edge ids were pushed in ascending order per vertex already.
+        SetSystem::new(g.m(), sets, weights)
+    }
+}
+
+/// A set record as held on a machine: id, weight, and elements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetRec {
+    /// The set's id.
+    pub id: SetId,
+    /// The set's weight.
+    pub w: f64,
+    /// The set's elements.
+    pub elems: Vec<ElemId>,
+}
+
+impl WordSized for SetRec {
+    fn words(&self) -> usize {
+        2 + self.elems.words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrlr_graph::generators::star;
+
+    fn toy() -> SetSystem {
+        SetSystem::new(
+            4,
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let s = toy();
+        assert_eq!(s.n_sets(), 4);
+        assert_eq!(s.universe(), 4);
+        assert_eq!(s.set(1), &[1, 2]);
+        assert_eq!(s.weight(3), 4.0);
+        assert_eq!(s.max_frequency(), 2);
+        assert_eq!(s.max_set_size(), 2);
+        assert_eq!(s.total_size(), 8);
+        assert!((s.weight_spread() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dual_inverts() {
+        let s = toy();
+        let t = s.dual();
+        assert_eq!(t[0], vec![0, 3]);
+        assert_eq!(t[1], vec![0, 1]);
+        assert_eq!(t[2], vec![1, 2]);
+        assert_eq!(t[3], vec![2, 3]);
+    }
+
+    #[test]
+    fn coverage_checks() {
+        let s = toy();
+        assert!(s.is_coverable());
+        assert!(s.covers(&[0, 2]));
+        assert!(!s.covers(&[0, 1]));
+        assert!((s.cover_weight(&[0, 2]) - 4.0).abs() < 1e-12);
+        // duplicates counted once
+        assert!((s.cover_weight(&[0, 0, 2]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncoverable_detected() {
+        let s = SetSystem::unit(3, vec![vec![0], vec![1]]);
+        assert!(!s.is_coverable());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted-distinct")]
+    fn rejects_unsorted() {
+        SetSystem::unit(3, vec![vec![1, 0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        SetSystem::unit(3, vec![vec![0, 5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_weight() {
+        SetSystem::new(2, vec![vec![0]], vec![-1.0]);
+    }
+
+    #[test]
+    fn vertex_cover_view() {
+        let g = star(4); // edges (0,1), (0,2), (0,3)
+        let s = SetSystem::vertex_cover_of(&g, vec![10.0, 1.0, 1.0, 1.0]);
+        assert_eq!(s.universe(), 3);
+        assert_eq!(s.max_frequency(), 2);
+        assert_eq!(s.set(0), &[0, 1, 2]);
+        assert!(s.covers(&[0]));
+        assert!(!s.covers(&[1, 2]));
+        assert!(s.covers(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn set_rec_words() {
+        let r = SetRec {
+            id: 1,
+            w: 2.0,
+            elems: vec![1, 2, 3],
+        };
+        assert_eq!(r.words(), 2 + 4);
+    }
+}

@@ -1,0 +1,45 @@
+//! The canonical MapReduce job — word count — on the metered cluster
+//! simulator, demonstrating the Karloff-et-al. key-value interface
+//! (Section 1.3 of the paper) and the metrics the model charges.
+//!
+//! Run with: `cargo run --release --example cluster_wordcount`
+
+use mrlr::mapreduce::cluster::ClusterConfig;
+use mrlr::mapreduce::job::{partition_by_hash, Emitter, MapReduceJob};
+
+fn main() {
+    // A synthetic corpus with a skewed word distribution.
+    let corpus: Vec<String> = (0..5000)
+        .map(|i| {
+            format!(
+                "the quick fox{} jumps over dog{} and cat{}",
+                i % 97,
+                i % 13,
+                i % 7
+            )
+        })
+        .collect();
+    println!("corpus: {} documents", corpus.len());
+
+    let machines = 16;
+    let job = MapReduceJob::new(
+        |doc: &String, em: &mut Emitter<String, u64>| {
+            for w in doc.split_whitespace() {
+                em.emit(w.to_string(), 1);
+            }
+        },
+        |word: &String, counts: Vec<u64>| vec![(word.clone(), counts.iter().sum::<u64>())],
+    );
+    let inputs = partition_by_hash(corpus, machines, 42);
+    let (outputs, metrics) = job
+        .run(ClusterConfig::new(machines, 1 << 20), inputs)
+        .expect("word count");
+
+    let mut all: Vec<(String, u64)> = outputs.into_iter().flatten().collect();
+    all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!("top words:");
+    for (word, count) in all.iter().take(8) {
+        println!("  {word:<10} {count}");
+    }
+    println!("\ncluster metrics:\n{metrics}");
+}

@@ -1,0 +1,68 @@
+//! Quickstart: run the paper's two headline algorithms — 2-approximate
+//! weighted vertex cover (Theorem 2.4) and 2-approximate weighted matching
+//! (Theorem 5.6) — on a simulated MapReduce cluster, and inspect the
+//! metrics the theorems bound.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mrlr::core::mr::matching::mr_matching;
+use mrlr::core::mr::vertex_cover::mr_vertex_cover;
+use mrlr::core::mr::MrConfig;
+use mrlr::core::verify;
+use mrlr::graph::generators;
+use mrlr::mapreduce::DetRng;
+
+fn main() {
+    // A graph with n = 200 vertices and m = n^{1+c} edges (c = 0.5), the
+    // paper's standing density assumption, with random edge weights.
+    let n = 200;
+    let g = generators::with_uniform_weights(&generators::densified(n, 0.5, 1), 1.0, 10.0, 2);
+    println!(
+        "graph: n = {}, m = {} (density exponent c = {:.2}), Delta = {}",
+        g.n(),
+        g.m(),
+        g.density_exponent(),
+        g.max_degree()
+    );
+
+    // Cluster shape: machine memory eta = n^{1+mu} words, mu = 0.25.
+    let cfg = MrConfig::auto(n, g.m(), 0.25, 42);
+    println!(
+        "cluster: {} machines x {} words (eta = {}), broadcast fan-out {}\n",
+        cfg.machines, cfg.capacity, cfg.eta, cfg.fanout
+    );
+
+    // --- Weighted vertex cover (randomized local ratio, f = 2) ---
+    let mut rng = DetRng::new(7);
+    let weights: Vec<f64> = (0..n).map(|_| rng.f64_range(1.0, 10.0)).collect();
+    let (cover, metrics) = mr_vertex_cover(&g, &weights, cfg).expect("vertex cover");
+    assert!(verify::is_vertex_cover(&g, &cover.cover));
+    println!("vertex cover (Thm 2.4):");
+    println!("  cover size {} of {} vertices, weight {:.1}", cover.cover.len(), n, cover.weight);
+    println!(
+        "  certified ratio {:.3} (theory: 2), {} sampling iterations, {} MapReduce rounds",
+        cover.certified_ratio(),
+        cover.iterations,
+        metrics.rounds
+    );
+    println!(
+        "  peak machine load {} words = {:.2} x eta\n",
+        metrics.peak_machine_words,
+        metrics.peak_machine_words as f64 / cfg.eta as f64
+    );
+
+    // --- Weighted matching (randomized local ratio) ---
+    let (matching, metrics) = mr_matching(&g, cfg).expect("matching");
+    assert!(verify::is_matching(&g, &matching.matching));
+    println!("maximum weight matching (Thm 5.6):");
+    println!(
+        "  {} edges, weight {:.1}, certified ratio {:.3} (theory: 2)",
+        matching.matching.len(),
+        matching.weight,
+        matching.certified_ratio(2.0)
+    );
+    println!(
+        "  {} sampling iterations, {} MapReduce rounds, {} words communicated",
+        matching.iterations, metrics.rounds, metrics.total_message_words
+    );
+}

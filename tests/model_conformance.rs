@@ -1,0 +1,126 @@
+//! Model-conformance and observability integration: every algorithm's
+//! cluster shape is audited against the MRC/MPC side conditions of §1.3,
+//! the per-round timeline agrees with the metrics, and the fault model
+//! prices real runs sensibly.
+
+use mrlr::core::mr::matching::mr_matching;
+use mrlr::core::mr::set_cover::mr_set_cover_f;
+use mrlr::core::mr::vertex_cover::mr_vertex_cover;
+use mrlr::core::mr::MrConfig;
+use mrlr::graph::generators;
+use mrlr::mapreduce::faults::{apply, FaultPlan};
+use mrlr::mapreduce::trace::Timeline;
+use mrlr::mapreduce::{ComputeModel, Enforcement};
+use mrlr::setsys::generators as setgen;
+
+/// The matching driver's auto-configuration must satisfy the MPC space
+/// regime (`S = O(N/M)` with constant slack, sublinear per-machine memory).
+/// Sublinearity is asymptotic — `MrConfig::auto`'s constant slack dominates
+/// toy inputs — so the audit runs at production scale (counts only; no
+/// graph is materialized) and the execution check runs at test scale.
+#[test]
+fn matching_cluster_shape_is_mpc_conformant() {
+    // Audit at scale: n = 200k vertices, c = 0.5, µ = 0.1.
+    let n = 200_000usize;
+    let m = (n as f64).powf(1.5) as usize;
+    let cfg = MrConfig::auto(n, m, 0.1, 5);
+    let input_words = 3 * m + n;
+    let model = ComputeModel::Mpc { slack: 80.0 };
+    let check = model.check(input_words, &cfg.cluster());
+    assert!(check.ok, "violations: {:?}", check.violations);
+
+    // Execute at test scale: the run must fit its Strict capacity.
+    let n = 90usize;
+    let g = generators::with_uniform_weights(&generators::densified(n, 0.5, 7), 1.0, 9.0, 1);
+    let cfg = MrConfig::auto(n, g.m(), 0.3, 5);
+    let (r, metrics) = mr_matching(&g, cfg).unwrap();
+    assert!(!r.matching.is_empty());
+    assert!(metrics.peak_machine_words <= cfg.capacity);
+    assert!(metrics.peak_central_words <= cfg.capacity);
+}
+
+/// The MRC audit (machines ≤ slack·N^δ, capacity ≤ slack·N^{1−δ}) holds
+/// for the paper's standing graph regime across a (c, µ) sweep.
+#[test]
+fn paper_regime_is_mrc_conformant_across_sweep() {
+    use mrlr::mapreduce::paper_graph_regime;
+    for &(n, c, mu) in &[(500usize, 0.5f64, 0.2f64), (1000, 0.4, 0.15), (2000, 0.3, 0.1)] {
+        let (machines, capacity, fanout) = paper_graph_regime(n, c, mu);
+        let records = (n as f64).powf(1.0 + c) as usize;
+        let delta = (c - mu) / (1.0 + c);
+        let cfg = mrlr::mapreduce::ClusterConfig::new(machines, capacity).with_fanout(fanout);
+        let check = ComputeModel::Mrc { delta, slack: 4.0 }.check(records, &cfg);
+        assert!(
+            check.ok,
+            "n={n} c={c} mu={mu}: violations {:?}",
+            check.violations
+        );
+    }
+}
+
+/// Timelines are a faithful view of the metrics: same round count, same
+/// total volume, CSV row per round, and kind summaries that add up.
+#[test]
+fn timeline_agrees_with_metrics() {
+    let sys = setgen::bounded_frequency(50, 700, 3, 3);
+    let cfg = MrConfig::auto(50, 700, 0.3, 9);
+    let (_, metrics) = mr_set_cover_f(&sys, cfg).unwrap();
+    let t = Timeline::from_metrics(&metrics);
+    assert_eq!(t.len(), metrics.rounds);
+    assert_eq!(t.total_words(), metrics.total_message_words);
+    assert_eq!(t.to_csv().lines().count(), metrics.rounds + 1);
+    let by_kind = t.summary_by_kind();
+    assert_eq!(by_kind.iter().map(|k| k.rounds).sum::<usize>(), metrics.rounds);
+    assert_eq!(
+        by_kind.iter().map(|k| k.words).sum::<usize>(),
+        metrics.total_message_words
+    );
+    // The ASCII render exists for every round.
+    assert_eq!(t.render_ascii(30).lines().count(), metrics.rounds);
+}
+
+/// Fault pricing on a real run: crashes extend rounds, stragglers extend
+/// makespan, and a fault-free plan is the identity.
+#[test]
+fn fault_model_prices_real_runs() {
+    let g = generators::densified(70, 0.5, 3);
+    let weights: Vec<f64> = (0..g.n()).map(|i| 1.0 + (i % 3) as f64).collect();
+    let cfg = MrConfig::auto(70, g.m(), 0.3, 2);
+    let (_, metrics) = mr_vertex_cover(&g, &weights, cfg).unwrap();
+    assert!(metrics.rounds > 0);
+
+    let clean = apply(&metrics, &FaultPlan::none());
+    assert_eq!(clean.effective_rounds, metrics.rounds);
+    assert!((clean.slowdown_factor() - 1.0).abs() < 1e-12);
+
+    let stormy = FaultPlan::random(metrics.machines, metrics.rounds, 0.2, 0.2, 3.0, 4);
+    let priced = apply(&metrics, &stormy);
+    assert!(priced.effective_rounds >= metrics.rounds);
+    assert!(priced.makespan >= metrics.rounds as f64);
+    assert_eq!(
+        priced.effective_rounds,
+        metrics.rounds + priced.redo_rounds
+    );
+    // With 20% crash probability per machine-round, some round crashed.
+    assert!(priced.crashes_applied > 0);
+}
+
+/// Record-enforcement runs of a deliberately undersized cluster must report
+/// violations while still computing the correct answer (the simulator's
+/// measurement mode), and the violation count must appear in the metrics.
+#[test]
+fn record_mode_reports_but_does_not_corrupt() {
+    let g = generators::with_uniform_weights(&generators::densified(60, 0.5, 12), 1.0, 9.0, 3);
+    let good = MrConfig::auto(60, g.m(), 0.3, 7);
+    let (reference, _) = mr_matching(&g, good).unwrap();
+    let tiny = good.with_capacity(50).recording();
+    let (r, metrics) = mr_matching(&g, tiny).unwrap();
+    assert_eq!(r.matching, reference.matching, "record mode changed the answer");
+    assert!(!metrics.violations.is_empty(), "50-word machines must violate");
+    assert_eq!(metrics.capacity, 50);
+    assert!(metrics.space_utilization() > 1.0);
+    // Strict mode on the same shape fails instead.
+    let strict = good.with_capacity(50);
+    assert_eq!(strict.enforcement, Enforcement::Strict);
+    assert!(mr_matching(&g, strict).is_err());
+}

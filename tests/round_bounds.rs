@@ -1,0 +1,146 @@
+//! Round-complexity assertions: the paper's headline claims, as tests.
+//!
+//! Figure 1 promises `O(c/µ)` rounds for the randomized local ratio
+//! algorithms, `O(c/µ)` for hungry-greedy MIS (Algorithm 6), `O(log n)`
+//! iterations for matching at `µ = 0` (Theorem C.2) and `O(1)` rounds for
+//! colouring (Theorems 6.4/6.6). These tests run parameter sweeps and
+//! assert the measured iteration/round counts against the theory formulas
+//! with generous constants — the point is the *growth shape*, not the
+//! constant.
+
+use mrlr::core::hungry::{mis_fast, MisParams};
+use mrlr::core::mr::colouring::{mr_edge_colouring, mr_vertex_colouring};
+use mrlr::core::mr::MrConfig;
+use mrlr::core::rlr::{approx_max_matching, approx_set_cover_f, predicted_rounds};
+use mrlr::core::colouring::group_count;
+use mrlr::graph::generators;
+use mrlr::setsys::generators as setgen;
+
+/// Density exponent of a generated graph (measured, not nominal).
+fn measured_c(n: usize, m: usize) -> f64 {
+    (m as f64).ln() / (n as f64).ln() - 1.0
+}
+
+#[test]
+fn set_cover_iterations_scale_as_c_over_mu() {
+    // Theorem 2.3: with η = n^{1+µ} and m ≤ n^{1+c}, Algorithm 1 finishes
+    // within ⌈c/µ⌉ (+1 for the final p = 1 pass) iterations w.h.p.
+    for &(n_sets, c) in &[(50usize, 0.4f64), (80, 0.5)] {
+        let m = (n_sets as f64).powf(1.0 + c).round() as usize;
+        for &mu in &[0.2f64, 0.35] {
+            let sys = setgen::bounded_frequency(n_sets, m, 3, 11);
+            let eta = (n_sets as f64).powf(1.0 + mu).ceil() as usize;
+            let r = approx_set_cover_f(&sys, eta, 11).unwrap();
+            let bound = (c / mu).ceil() as usize + 2;
+            assert!(
+                r.iterations <= bound,
+                "n={n_sets} c={c} mu={mu}: {} iterations > bound {bound}",
+                r.iterations
+            );
+            // The paper's own prediction formula should agree.
+            assert!(r.iterations <= predicted_rounds(n_sets, m, eta) + 2);
+        }
+    }
+}
+
+#[test]
+fn matching_iterations_scale_as_c_over_mu() {
+    // Theorem 5.5: O(c/µ) iterations with η = n^{1+µ}.
+    for &n in &[60usize, 120] {
+        let g = generators::with_uniform_weights(&generators::densified(n, 0.5, 3), 1.0, 9.0, 5);
+        let c = measured_c(g.n(), g.m());
+        for &mu in &[0.2f64, 0.35] {
+            let eta = (n as f64).powf(1.0 + mu).ceil() as usize;
+            let r = approx_max_matching(&g, eta, 7).unwrap();
+            let bound = (4.0 * c / mu).ceil() as usize + 6;
+            assert!(
+                r.iterations <= bound,
+                "n={n} mu={mu}: {} iterations > bound {bound}",
+                r.iterations
+            );
+        }
+    }
+}
+
+#[test]
+fn matching_mu_zero_iterations_logarithmic() {
+    // Theorem C.2: with η = n the iteration count is O(log n). Measure at
+    // two sizes and check both the absolute bound and that growth is far
+    // slower than linear.
+    let mut iters = Vec::new();
+    for &n in &[50usize, 200] {
+        let g = generators::with_uniform_weights(&generators::densified(n, 0.45, 9), 1.0, 5.0, 2);
+        let r = approx_max_matching(&g, n, 13).unwrap();
+        let bound = (20.0 * (n as f64).ln()).ceil() as usize + 10;
+        assert!(r.iterations <= bound, "n={n}: {} > {bound}", r.iterations);
+        iters.push(r.iterations);
+    }
+    // 4x the vertices must not cost anywhere near 4x the iterations.
+    assert!(
+        iters[1] <= iters[0].max(1) * 3,
+        "iterations grew too fast: {iters:?}"
+    );
+}
+
+#[test]
+fn mis_fast_phases_scale_as_c_over_mu() {
+    // Theorem A.3: Algorithm 6 runs O(c/µ) central iterations.
+    for &n in &[80usize, 140] {
+        let g = generators::densified(n, 0.45, 17);
+        let c = measured_c(g.n(), g.m());
+        for &mu in &[0.25f64, 0.4] {
+            let r = mis_fast(&g, MisParams::mis2(n, mu, 3)).unwrap();
+            let bound = (16.0 * c / mu).ceil() as usize + 6;
+            assert!(
+                r.iterations <= bound,
+                "n={n} mu={mu}: {} iterations > bound {bound}",
+                r.iterations
+            );
+        }
+    }
+}
+
+#[test]
+fn colouring_rounds_are_constant_in_n() {
+    // Theorems 6.4/6.6: O(1) MapReduce rounds. Measure the full round count
+    // (including broadcast-tree hops) at two sizes; it must stay under a
+    // fixed constant and not grow with n.
+    let mut vertex_rounds = Vec::new();
+    let mut edge_rounds = Vec::new();
+    for &n in &[70usize, 140] {
+        let g = generators::densified(n, 0.5, 21);
+        let mu = 0.3;
+        let kappa = group_count(g.n(), g.m(), mu).max(1);
+        let cfg = MrConfig::auto(n, g.m(), mu, 9);
+        let (res, metrics) = mr_vertex_colouring(&g, kappa, None, cfg).unwrap();
+        assert!(res.num_colours >= 1);
+        vertex_rounds.push(metrics.rounds);
+        let cfg = MrConfig::auto(n, g.m(), mu, 9);
+        let (_, metrics) = mr_edge_colouring(&g, kappa, None, cfg).unwrap();
+        edge_rounds.push(metrics.rounds);
+    }
+    for &r in vertex_rounds.iter().chain(&edge_rounds) {
+        assert!(r <= 24, "colouring took {r} rounds; expected O(1)");
+    }
+    // Doubling n must not double the rounds.
+    assert!(vertex_rounds[1] <= vertex_rounds[0] + 6, "{vertex_rounds:?}");
+    assert!(edge_rounds[1] <= edge_rounds[0] + 6, "{edge_rounds:?}");
+}
+
+#[test]
+fn smaller_mu_means_more_iterations() {
+    // The c/µ shape from the other side: shrinking µ (less memory) must not
+    // shrink the iteration count, and should typically grow it.
+    let n = 100usize;
+    let g = generators::with_uniform_weights(&generators::densified(n, 0.5, 31), 1.0, 9.0, 8);
+    let eta_hi = (n as f64).powf(1.35).ceil() as usize;
+    let eta_lo = (n as f64).powf(1.05).ceil() as usize;
+    let hi = approx_max_matching(&g, eta_hi, 3).unwrap();
+    let lo = approx_max_matching(&g, eta_lo, 3).unwrap();
+    assert!(
+        lo.iterations >= hi.iterations,
+        "eta {eta_lo} gave {} iterations, eta {eta_hi} gave {}",
+        lo.iterations,
+        hi.iterations
+    );
+}
