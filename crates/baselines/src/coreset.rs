@@ -134,7 +134,11 @@ mod tests {
             let g = with_uniform_weights(&gnm(16, 60, seed), 1.0, 9.0, seed + 1);
             let (opt, _) = max_weight_matching(&g);
             let r = coreset_matching(&g, 4, seed).unwrap();
-            assert!(3.0 * r.weight + 1e-9 >= opt, "seed {seed}: {} vs {opt}", r.weight);
+            assert!(
+                3.0 * r.weight + 1e-9 >= opt,
+                "seed {seed}: {} vs {opt}",
+                r.weight
+            );
         }
     }
 
@@ -146,7 +150,11 @@ mod tests {
         // keep this stable.
         let g = complete(20);
         let r = coreset_matching(&g, 5, 2).unwrap();
-        assert!(r.matching.len() >= 8, "matched only {} pairs", r.matching.len());
+        assert!(
+            r.matching.len() >= 8,
+            "matched only {} pairs",
+            r.matching.len()
+        );
         let one = coreset_matching(&g, 1, 2).unwrap();
         assert_eq!(one.matching.len(), 10, "single machine is maximal in K_n");
     }

@@ -117,7 +117,11 @@ pub fn filtering_maximal_matching(g: &Graph, eta: usize, seed: u64) -> MrResult<
 
 /// Filtering vertex cover (\[27\]): the endpoints of a filtering maximal
 /// matching — a 2-approximate unweighted vertex cover.
-pub fn filtering_vertex_cover(g: &Graph, eta: usize, seed: u64) -> MrResult<(Vec<VertexId>, usize)> {
+pub fn filtering_vertex_cover(
+    g: &Graph,
+    eta: usize,
+    seed: u64,
+) -> MrResult<(Vec<VertexId>, usize)> {
     let r = filtering_maximal_matching(g, eta, seed)?;
     let mut cover: Vec<VertexId> = r
         .matching

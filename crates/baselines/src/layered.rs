@@ -51,7 +51,12 @@ pub struct LayeredResult {
 /// Guarantees (for the merge of maximal matchings over nested classes):
 /// the merged matching has weight at least `OPT / ((1+ε) · 4)` — see \[14\],
 /// Theorem 1; \[21\] tightens the constant to 3.5.
-pub fn crouch_stubbs_matching(g: &Graph, eps: f64, eta: usize, seed: u64) -> MrResult<LayeredResult> {
+pub fn crouch_stubbs_matching(
+    g: &Graph,
+    eps: f64,
+    eta: usize,
+    seed: u64,
+) -> MrResult<LayeredResult> {
     if !(eps > 0.0 && eps.is_finite()) {
         return Err(MrError::BadConfig("eps must be positive".into()));
     }
@@ -86,10 +91,19 @@ pub fn crouch_stubbs_matching(g: &Graph, eps: f64, eta: usize, seed: u64) -> MrR
             per_class.push(vec![]);
             continue;
         }
-        let r = filtering_maximal_matching(&sub.graph, eta, seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))?;
+        let r = filtering_maximal_matching(
+            &sub.graph,
+            eta,
+            seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )?;
         max_iterations = max_iterations.max(r.iterations);
         total_peak += r.peak_sample;
-        per_class.push(r.matching.iter().map(|&local| sub.to_parent[local as usize]).collect());
+        per_class.push(
+            r.matching
+                .iter()
+                .map(|&local| sub.to_parent[local as usize])
+                .collect(),
+        );
     }
 
     // Greedy merge, heaviest class first.

@@ -55,7 +55,10 @@ pub fn luby_mis(g: &Graph, seed: u64) -> LubyResult {
                 winners.push(v);
             }
         }
-        debug_assert!(!winners.is_empty(), "alive subgraph always has a local minimum");
+        debug_assert!(
+            !winners.is_empty(),
+            "alive subgraph always has a local minimum"
+        );
         for &v in &winners {
             in_i[v] = true;
             if alive[v] {

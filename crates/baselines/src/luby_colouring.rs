@@ -52,8 +52,7 @@ pub fn luby_colouring(g: &Graph, seed: u64) -> LubyColouringResult {
             taken.dedup();
             let free = palette_size as usize - taken.len();
             debug_assert!(free > 0, "palette of size d(v)+1 cannot exhaust");
-            let mut rng =
-                DetRng::new(mix_tags(seed, &[0x6c63_6f6c, rounds as u64, v as u64]));
+            let mut rng = DetRng::new(mix_tags(seed, &[0x6c63_6f6c, rounds as u64, v as u64]));
             let pick = rng.range_usize(free) as u32;
             // The pick-th free colour in the palette.
             let mut c = 0u32;
@@ -90,7 +89,10 @@ pub fn luby_colouring(g: &Graph, seed: u64) -> LubyColouringResult {
         );
     }
 
-    let colours: Vec<u32> = colour.into_iter().map(|c| c.expect("all coloured")).collect();
+    let colours: Vec<u32> = colour
+        .into_iter()
+        .map(|c| c.expect("all coloured"))
+        .collect();
     let num_colours = {
         let mut cs = colours.clone();
         cs.sort_unstable();
@@ -149,7 +151,12 @@ mod tests {
         // rounds, far from 16x.
         let small = luby_colouring(&gnm(50, 200, 7), 7);
         let large = luby_colouring(&gnm(800, 3200, 7), 7);
-        assert!(large.rounds <= small.rounds + 12, "{} vs {}", large.rounds, small.rounds);
+        assert!(
+            large.rounds <= small.rounds + 12,
+            "{} vs {}",
+            large.rounds,
+            small.rounds
+        );
         assert!(large.rounds <= 40);
     }
 

@@ -8,8 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 use mrlr_baselines::{
-    coreset_matching, crouch_stubbs_matching, filtering_maximal_matching,
-    layered_weighted_matching,
+    coreset_matching, crouch_stubbs_matching, filtering_maximal_matching, layered_weighted_matching,
 };
 use mrlr_core::rlr::approx_max_matching;
 use mrlr_graph::generators;
@@ -21,7 +20,9 @@ fn spread_graph(n: usize, seed: u64) -> mrlr_graph::Graph {
 
 fn bench_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("matching_baselines");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [150usize, 300] {
         let g = spread_graph(n, 21);
         let eta = (n as f64).powf(1.25).ceil() as usize;
@@ -46,7 +47,9 @@ fn bench_baselines(c: &mut Criterion) {
 
 fn bench_partitioners(c: &mut Criterion) {
     let mut group = c.benchmark_group("partitioners");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let items: Vec<u64> = (0..100_000u64).collect();
     for machines in [16usize, 256] {
         group.bench_with_input(BenchmarkId::new("hash", machines), &machines, |b, &m| {

@@ -1,38 +1,34 @@
-//! Figure 1 / Appendix D: b-matching (Theorem D.3).
+//! Figure 1 / Appendix D: b-matching (Theorem D.3) across the registry
+//! driver's three backends.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 use mrlr_bench::weighted_graph;
-use mrlr_core::mr::bmatching::mr_b_matching;
+use mrlr_core::api::{BMatchingInstance, Backend, Instance, Registry};
 use mrlr_core::mr::MrConfig;
-use mrlr_core::rlr::{approx_b_matching, BMatchingParams};
-use mrlr_core::seq::local_ratio_b_matching;
 
 fn bench_bmatching(c: &mut Criterion) {
+    let registry = Registry::with_defaults();
     let mut group = c.benchmark_group("b_matching");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for b_cap in [2u32, 4] {
         let n = 200usize;
         let g = weighted_graph(n, 0.5, 3);
-        let b = vec![b_cap; n];
-        let params = BMatchingParams {
-            eps: 0.25,
-            n_mu: (n as f64).powf(0.25),
-            eta: (n as f64).powf(1.25).ceil() as usize,
-            seed: 3,
-        };
-        let mut cfg = MrConfig::auto(n, g.m(), 0.25, 3);
-        cfg.eta = params.eta;
-        group.bench_with_input(BenchmarkId::new("mr_theorem_d3", b_cap), &b_cap, |bch, _| {
-            bch.iter(|| mr_b_matching(&g, &b, params, cfg).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("rlr_driver", b_cap), &b_cap, |bch, _| {
-            bch.iter(|| approx_b_matching(&g, &b, params).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("seq_eps_adjusted", b_cap), &b_cap, |bch, _| {
-            bch.iter(|| local_ratio_b_matching(&g, &b, 0.25))
-        });
+        let cfg = MrConfig::auto(n, g.m(), 0.25, 3);
+        let inst = Instance::BMatching(BMatchingInstance::new(g, vec![b_cap; n], 0.25));
+        for (label, backend) in [
+            ("mr_theorem_d3", Backend::Mr),
+            ("rlr_driver", Backend::Rlr),
+            ("seq_eps_adjusted", Backend::Seq),
+        ] {
+            let driver = registry.get_backend("b-matching", backend).unwrap();
+            group.bench_with_input(BenchmarkId::new(label, b_cap), &b_cap, |bch, _| {
+                bch.iter(|| driver.solve(&inst, &cfg).unwrap())
+            });
+        }
     }
     group.finish();
 }

@@ -1,49 +1,59 @@
 //! Appendix B, maximal clique (Corollary B.1): the hungry-greedy clique
 //! algorithm on the cluster vs the in-memory driver vs the sequential
-//! greedy oracle, across graph densities (the complement-degree structure
-//! that makes the problem hard in MapReduce).
+//! greedy oracle (the registry driver's three backends), across graph
+//! densities (the complement-degree structure that makes the problem hard
+//! in MapReduce).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
+use mrlr_core::api::{Backend, Instance, Registry};
 use mrlr_core::hungry::{maximal_clique, MisParams};
-use mrlr_core::mr::clique::mr_maximal_clique;
 use mrlr_core::mr::MrConfig;
-use mrlr_core::seq::greedy_maximal_clique;
 use mrlr_graph::generators;
 
 fn bench_clique(c: &mut Criterion) {
+    let registry = Registry::with_defaults();
     let mut group = c.benchmark_group("maximal_clique");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &(n, p) in &[(100usize, 0.3f64), (150, 0.5), (200, 0.7)] {
         let g = generators::gnp(n, p, 13);
-        let params = MisParams::mis2(n, 0.4, 13);
         let cfg = MrConfig::auto(n, g.m().max(1), 0.4, 13);
+        let inst = Instance::Graph(g);
         let label = format!("n{n}_p{p}");
-        group.bench_with_input(BenchmarkId::new("mr_corollary_b1", &label), &n, |b, _| {
-            b.iter(|| mr_maximal_clique(&g, params, cfg).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("hungry_driver", &label), &n, |b, _| {
-            b.iter(|| maximal_clique(&g, params).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("seq_greedy", &label), &n, |b, _| {
-            b.iter(|| greedy_maximal_clique(&g))
-        });
+        for (name, backend) in [
+            ("mr_corollary_b1", Backend::Mr),
+            ("hungry_driver", Backend::Rlr),
+            ("seq_greedy", Backend::Seq),
+        ] {
+            let driver = registry.get_backend("clique", backend).unwrap();
+            group.bench_with_input(BenchmarkId::new(name, &label), &n, |b, _| {
+                b.iter(|| driver.solve(&inst, &cfg).unwrap())
+            });
+        }
     }
     group.finish();
 }
 
 fn bench_planted(c: &mut Criterion) {
     // Planted-clique family: the structure the Appendix B experiments use.
+    // Uses the instrumented in-memory entry point directly — the planted
+    // parameterization is an ablation, not a registry workload.
     let mut group = c.benchmark_group("maximal_clique_planted");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &cliques in &[5usize, 10] {
         let g = generators::planted_cliques(cliques, 12, 0.05, 7);
         let n = g.n();
         let params = MisParams::mis2(n, 0.4, 7);
-        group.bench_with_input(BenchmarkId::new("hungry_driver", cliques), &cliques, |b, _| {
-            b.iter(|| maximal_clique(&g, params).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hungry_driver", cliques),
+            &cliques,
+            |b, _| b.iter(|| maximal_clique(&g, params).unwrap()),
+        );
     }
     group.finish();
 }

@@ -1,36 +1,35 @@
 //! Figure 1, colouring rows: Algorithm 5 vertex colouring and the
-//! Misra–Gries-based edge colouring (Theorems 6.4/6.6) vs sequential
-//! greedy.
+//! Misra–Gries-based edge colouring (Theorems 6.4/6.6) vs their sequential
+//! backends — all through the registry drivers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 use mrlr_bench::weighted_graph;
-use mrlr_core::colouring::group_count;
-use mrlr_core::mr::colouring::{mr_edge_colouring, mr_vertex_colouring};
+use mrlr_core::api::{Backend, Instance, Registry};
 use mrlr_core::mr::MrConfig;
-use mrlr_core::seq::{greedy_colouring, misra_gries_edge_colouring};
 
 fn bench_colouring(c: &mut Criterion) {
+    let registry = Registry::with_defaults();
     let mut group = c.benchmark_group("colouring");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [200usize, 400] {
         let g = weighted_graph(n, 0.5, 11);
-        let mu = 0.25;
-        let kappa = group_count(n, g.m(), mu);
-        let cfg = MrConfig::auto(n, g.m(), mu, 11);
-        group.bench_with_input(BenchmarkId::new("mr_vertex_alg5", n), &n, |b, _| {
-            b.iter(|| mr_vertex_colouring(&g, kappa, None, cfg).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("mr_edge_rem65", n), &n, |b, _| {
-            b.iter(|| mr_edge_colouring(&g, kappa, None, cfg).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("greedy_vertex_seq", n), &n, |b, _| {
-            b.iter(|| greedy_colouring(&g))
-        });
-        group.bench_with_input(BenchmarkId::new("misra_gries_seq", n), &n, |b, _| {
-            b.iter(|| misra_gries_edge_colouring(&g))
-        });
+        let cfg = MrConfig::auto(n, g.m(), 0.25, 11);
+        let inst = Instance::Graph(g);
+        for (label, key, backend) in [
+            ("mr_vertex_alg5", "vertex-colouring", Backend::Mr),
+            ("mr_edge_rem65", "edge-colouring", Backend::Mr),
+            ("greedy_vertex_seq", "vertex-colouring", Backend::Seq),
+            ("misra_gries_seq", "edge-colouring", Backend::Seq),
+        ] {
+            let driver = registry.get_backend(key, backend).unwrap();
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| driver.solve(&inst, &cfg).unwrap())
+            });
+        }
     }
     group.finish();
 }

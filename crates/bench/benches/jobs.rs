@@ -22,11 +22,13 @@ fn corpus(docs: usize, words_per_doc: usize, vocab: usize, seed: u64) -> Vec<Str
         .collect()
 }
 
-fn word_count_job() -> MapReduceJob<
-    String,
-    String,
-    u64,
-    (String, u64),
+/// The word-count job's concrete `MapReduceJob` instantiation.
+type WordCountJob<M, R> = MapReduceJob<String, String, u64, (String, u64), M, R>;
+
+// The mapper/reducer closures are unnameable; the signature is as simple
+// as the `MapReduceJob` type family allows.
+#[allow(clippy::type_complexity)]
+fn word_count_job() -> WordCountJob<
     impl Fn(&String, &mut Emitter<String, u64>) + Sync,
     impl Fn(&String, Vec<u64>) -> Vec<(String, u64)> + Sync,
 > {
@@ -42,15 +44,19 @@ fn word_count_job() -> MapReduceJob<
 
 fn bench_wordcount(c: &mut Criterion) {
     let mut group = c.benchmark_group("mapreduce_jobs");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &vocab in &[50usize, 5000] {
         let docs = corpus(200, 50, vocab, 7);
         let inputs = partition_by_hash(docs, 8, 3);
         let cfg = ClusterConfig::new(8, 1_000_000);
         let job = word_count_job();
-        group.bench_with_input(BenchmarkId::new("wordcount_plain", vocab), &vocab, |b, _| {
-            b.iter(|| job.run(cfg.clone(), inputs.clone()).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("wordcount_plain", vocab),
+            &vocab,
+            |b, _| b.iter(|| job.run(cfg.clone(), inputs.clone()).unwrap()),
+        );
         group.bench_with_input(
             BenchmarkId::new("wordcount_combiner", vocab),
             &vocab,
@@ -69,28 +75,34 @@ fn bench_wordcount(c: &mut Criterion) {
 
 fn bench_exchange(c: &mut Criterion) {
     let mut group = c.benchmark_group("exchange_primitive");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &machines in &[8usize, 64] {
-        group.bench_with_input(BenchmarkId::new("all_to_all", machines), &machines, |b, &m| {
-            b.iter(|| {
-                let states: Vec<Vec<u64>> = (0..m).map(|i| vec![i as u64; 64]).collect();
-                let mut cluster =
-                    Cluster::new(ClusterConfig::new(m, 1_000_000), states).unwrap();
-                cluster
-                    .exchange::<u64, _, _>(
-                        |id, s, out| {
-                            for dst in 0..m {
-                                out.send(dst, (id + s.len()) as u64);
-                            }
-                        },
-                        |_, s, inbox| {
-                            s.push(inbox.len() as u64);
-                        },
-                    )
-                    .unwrap();
-                cluster.rounds()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("all_to_all", machines),
+            &machines,
+            |b, &m| {
+                b.iter(|| {
+                    let states: Vec<Vec<u64>> = (0..m).map(|i| vec![i as u64; 64]).collect();
+                    let mut cluster =
+                        Cluster::new(ClusterConfig::new(m, 1_000_000), states).unwrap();
+                    cluster
+                        .exchange::<u64, _, _>(
+                            |id, s, out| {
+                                for dst in 0..m {
+                                    out.send(dst, (id + s.len()) as u64);
+                                }
+                            },
+                            |_, s, inbox| {
+                                s.push(inbox.len() as u64);
+                            },
+                        )
+                        .unwrap();
+                    cluster.rounds()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,34 +1,39 @@
-//! Figure 1, matching rows: our weighted 2-approximation (Theorem 5.6) vs
-//! layered filtering (8-approx, [27]) vs sequential local ratio and greedy.
+//! Figure 1, matching rows: our weighted 2-approximation (Theorem 5.6) on
+//! all three backends of the registry driver, vs layered filtering
+//! (8-approx, [27]) and sequential greedy. Registry dispatch includes the
+//! report's independent verification — the full production path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 use mrlr_baselines::{greedy_weighted_matching, layered_weighted_matching};
 use mrlr_bench::weighted_graph;
-use mrlr_core::mr::matching::mr_matching;
+use mrlr_core::api::{Backend, Instance, Registry};
 use mrlr_core::mr::MrConfig;
-use mrlr_core::rlr::approx_max_matching;
-use mrlr_core::seq::local_ratio_matching;
 
 fn bench_matching(c: &mut Criterion) {
+    let registry = Registry::with_defaults();
     let mut group = c.benchmark_group("weighted_matching");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [150usize, 300] {
         let g = weighted_graph(n, 0.5, 9);
         let cfg = MrConfig::auto(n, g.m(), 0.25, 9);
-        group.bench_with_input(BenchmarkId::new("mr_theorem_5_6", n), &n, |b, _| {
-            b.iter(|| mr_matching(&g, cfg).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("rlr_driver", n), &n, |b, _| {
-            b.iter(|| approx_max_matching(&g, cfg.eta, 9).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("seq_local_ratio", n), &n, |b, _| {
-            b.iter(|| local_ratio_matching(&g))
-        });
-        group.bench_with_input(BenchmarkId::new("layered_filtering_8approx", n), &n, |b, _| {
-            b.iter(|| layered_weighted_matching(&g, cfg.eta, 9).unwrap())
-        });
+        let inst = Instance::Graph(g.clone());
+        for backend in [Backend::Mr, Backend::Rlr, Backend::Seq] {
+            let driver = registry.get_backend("matching", backend).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{backend}_driver"), n),
+                &n,
+                |b, _| b.iter(|| driver.solve(&inst, &cfg).unwrap()),
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("layered_filtering_8approx", n),
+            &n,
+            |b, _| b.iter(|| layered_weighted_matching(&g, cfg.eta, 9).unwrap()),
+        );
         group.bench_with_input(BenchmarkId::new("greedy_sequential", n), &n, |b, _| {
             b.iter(|| greedy_weighted_matching(&g))
         });
@@ -37,12 +42,19 @@ fn bench_matching(c: &mut Criterion) {
 }
 
 fn bench_mu_zero(c: &mut Criterion) {
+    let registry = Registry::with_defaults();
     let mut group = c.benchmark_group("matching_mu_zero");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [200usize, 400] {
         let g = weighted_graph(n, 0.45, 9);
+        // µ = 0 gives the Appendix C regime: η = n.
+        let cfg = MrConfig::auto(n, g.m(), 0.0, 9);
+        let inst = Instance::Graph(g);
+        let driver = registry.get_backend("matching", Backend::Rlr).unwrap();
         group.bench_with_input(BenchmarkId::new("appendix_c_eta_n", n), &n, |b, _| {
-            b.iter(|| approx_max_matching(&g, n, 9).unwrap())
+            b.iter(|| driver.solve(&inst, &cfg).unwrap())
         });
     }
     group.finish();

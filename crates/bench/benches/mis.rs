@@ -1,47 +1,57 @@
 //! Figure 1, MIS and clique rows: Algorithm 2 (`O(1/µ²)`), Algorithm 6
-//! (`O(c/µ)`), Luby's `O(log n)` baseline, and the Appendix B clique.
+//! (`O(c/µ)`), Luby's `O(log n)` baseline, and the sequential greedy
+//! backend — the paper's algorithms dispatched through the registry.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 use mrlr_baselines::luby_mis;
 use mrlr_bench::weighted_graph;
-use mrlr_core::hungry::MisParams;
-use mrlr_core::mr::clique::mr_maximal_clique;
-use mrlr_core::mr::mis::{mr_mis_fast, mr_mis_simple};
+use mrlr_core::api::{Backend, Instance, Registry};
 use mrlr_core::mr::MrConfig;
-use mrlr_core::seq::greedy_mis;
 
 fn bench_mis(c: &mut Criterion) {
+    let registry = Registry::with_defaults();
     let mut group = c.benchmark_group("mis");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [200usize, 400] {
         let g = weighted_graph(n, 0.4, 5).unweighted();
         let cfg = MrConfig::auto(n, g.m(), 0.3, 5);
+        let inst = Instance::Graph(g.clone());
+        let mis1 = registry.get_backend("mis1", Backend::Mr).unwrap();
         group.bench_with_input(BenchmarkId::new("mr_mis1_alg2", n), &n, |b, _| {
-            b.iter(|| mr_mis_simple(&g, MisParams::mis1(n, 0.3, 5), cfg).unwrap())
+            b.iter(|| mis1.solve(&inst, &cfg).unwrap())
         });
+        let mis2 = registry.get_backend("mis2", Backend::Mr).unwrap();
         group.bench_with_input(BenchmarkId::new("mr_mis2_alg6", n), &n, |b, _| {
-            b.iter(|| mr_mis_fast(&g, MisParams::mis2(n, 0.3, 5), cfg).unwrap())
+            b.iter(|| mis2.solve(&inst, &cfg).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("luby_baseline", n), &n, |b, _| {
             b.iter(|| luby_mis(&g, 5))
         });
+        let seq = registry.get_backend("mis1", Backend::Seq).unwrap();
         group.bench_with_input(BenchmarkId::new("greedy_sequential", n), &n, |b, _| {
-            b.iter(|| greedy_mis(&g))
+            b.iter(|| seq.solve(&inst, &cfg).unwrap())
         });
     }
     group.finish();
 }
 
 fn bench_clique(c: &mut Criterion) {
+    let registry = Registry::with_defaults();
     let mut group = c.benchmark_group("maximal_clique");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let n = 150usize;
     let g = mrlr_graph::generators::gnp(n, 0.6, 5);
     let cfg = MrConfig::auto(n, g.m(), 0.3, 5);
+    let inst = Instance::Graph(g);
+    let driver = registry.get_backend("clique", Backend::Mr).unwrap();
     group.bench_function("mr_appendix_b", |b| {
-        b.iter(|| mr_maximal_clique(&g, MisParams::mis2(n, 0.3, 5), cfg).unwrap())
+        b.iter(|| driver.solve(&inst, &cfg).unwrap())
     });
     group.finish();
 }

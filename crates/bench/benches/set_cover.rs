@@ -1,48 +1,52 @@
 //! Figure 1, set cover rows: the f-approximation (Theorem 2.4) and the
-//! (1+ε)·ln Δ hungry-greedy (Theorem 4.6) vs Chvátal's sequential greedy.
+//! (1+ε)·ln Δ hungry-greedy (Theorem 4.6) vs Chvátal's sequential greedy —
+//! each as a backend of its registry driver.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
-use mrlr_core::hungry::{hungry_set_cover, HungryScParams};
-use mrlr_core::mr::set_cover::mr_set_cover_f;
-use mrlr_core::mr::set_cover_greedy::mr_hungry_set_cover;
+use mrlr_core::api::{Backend, Instance, Registry};
 use mrlr_core::mr::MrConfig;
-use mrlr_core::seq::greedy_set_cover;
 use mrlr_setsys::generators as setgen;
 
 fn bench_set_cover_f(c: &mut Criterion) {
+    let registry = Registry::with_defaults();
     let mut group = c.benchmark_group("set_cover_f");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let driver = registry.get_backend("set-cover-f", Backend::Mr).unwrap();
     for f in [2usize, 4] {
         let n = 200usize;
         let m = 3000usize;
-        let sys =
-            setgen::with_uniform_weights(setgen::bounded_frequency(n, m, f, 5), 1.0, 10.0, 5);
+        let sys = setgen::with_uniform_weights(setgen::bounded_frequency(n, m, f, 5), 1.0, 10.0, 5);
         let cfg = MrConfig::auto(n, m, 0.25, 5);
+        let inst = Instance::SetSystem(sys);
         group.bench_with_input(BenchmarkId::new("mr_theorem_2_4", f), &f, |b, _| {
-            b.iter(|| mr_set_cover_f(&sys, cfg).unwrap())
+            b.iter(|| driver.solve(&inst, &cfg).unwrap())
         });
     }
     group.finish();
 }
 
 fn bench_set_cover_greedy(c: &mut Criterion) {
+    let registry = Registry::with_defaults();
     let mut group = c.benchmark_group("set_cover_ln_delta");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let m = 200usize;
     let sys = setgen::with_uniform_weights(setgen::bounded_set_size(1200, m, 16, 5), 1.0, 10.0, 5);
-    let params = HungryScParams::new(m, 0.4, 0.2, 5);
     let cfg = MrConfig::auto(m, sys.total_size(), 0.4, 5);
-    group.bench_function("mr_theorem_4_6", |b| {
-        b.iter(|| mr_hungry_set_cover(&sys, params, cfg).unwrap())
-    });
-    group.bench_function("hungry_driver", |b| {
-        b.iter(|| hungry_set_cover(&sys, params).unwrap())
-    });
-    group.bench_function("chvatal_greedy_baseline", |b| {
-        b.iter(|| greedy_set_cover(&sys).unwrap())
-    });
+    let inst = Instance::SetSystem(sys);
+    for (label, backend) in [
+        ("mr_theorem_4_6", Backend::Mr),
+        ("hungry_driver", Backend::Rlr),
+        ("chvatal_greedy_baseline", Backend::Seq),
+    ] {
+        let driver = registry.get_backend("set-cover-greedy", backend).unwrap();
+        group.bench_function(label, |b| b.iter(|| driver.solve(&inst, &cfg).unwrap()));
+    }
     group.finish();
 }
 

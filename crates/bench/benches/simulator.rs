@@ -9,7 +9,9 @@ use mrlr_mapreduce::job::{partition_round_robin, Emitter, MapReduceJob};
 
 fn bench_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for machines in [8usize, 32] {
         group.bench_with_input(
             BenchmarkId::new("exchange_allpairs", machines),
@@ -53,7 +55,9 @@ fn bench_primitives(c: &mut Criterion) {
 
 fn bench_word_count(c: &mut Criterion) {
     let mut group = c.benchmark_group("map_reduce_job");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let docs: Vec<String> = (0..2000)
         .map(|i| format!("word{} word{} word{}", i % 50, i % 7, i % 13))
         .collect();

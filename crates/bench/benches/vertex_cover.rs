@@ -1,34 +1,36 @@
 //! Figure 1, vertex cover rows: our weighted 2-approximation (Theorem 2.4,
-//! f = 2 fast path) vs sequential local ratio vs filtering (unweighted).
+//! f = 2 fast path) across the registry driver's backends vs filtering
+//! (unweighted).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 use mrlr_baselines::filtering_vertex_cover;
 use mrlr_bench::{vertex_weights, weighted_graph};
-use mrlr_core::mr::vertex_cover::mr_vertex_cover;
+use mrlr_core::api::{Backend, Instance, Registry, VertexWeightedGraph};
 use mrlr_core::mr::MrConfig;
-use mrlr_core::rlr::approx_set_cover_f;
-use mrlr_core::seq::local_ratio_set_cover;
-use mrlr_setsys::SetSystem;
 
 fn bench_vertex_cover(c: &mut Criterion) {
+    let registry = Registry::with_defaults();
     let mut group = c.benchmark_group("vertex_cover");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [150usize, 300] {
         let g = weighted_graph(n, 0.5, 7);
         let w = vertex_weights(n, 7);
         let cfg = MrConfig::auto(n, g.m(), 0.25, 7);
-        group.bench_with_input(BenchmarkId::new("mr_theorem_2_4", n), &n, |b, _| {
-            b.iter(|| mr_vertex_cover(&g, &w, cfg).unwrap())
-        });
-        let sys = SetSystem::vertex_cover_of(&g, w.clone());
-        group.bench_with_input(BenchmarkId::new("rlr_driver", n), &n, |b, _| {
-            b.iter(|| approx_set_cover_f(&sys, cfg.eta, 7).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("seq_local_ratio", n), &n, |b, _| {
-            b.iter(|| local_ratio_set_cover(&sys).unwrap())
-        });
+        let inst = Instance::VertexWeighted(VertexWeightedGraph::new(g.clone(), w));
+        for (label, backend) in [
+            ("mr_theorem_2_4", Backend::Mr),
+            ("rlr_driver", Backend::Rlr),
+            ("seq_local_ratio", Backend::Seq),
+        ] {
+            let driver = registry.get_backend("vertex-cover", backend).unwrap();
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| driver.solve(&inst, &cfg).unwrap())
+            });
+        }
         group.bench_with_input(BenchmarkId::new("filtering_baseline", n), &n, |b, _| {
             b.iter(|| filtering_vertex_cover(&g, cfg.eta, 7).unwrap())
         });

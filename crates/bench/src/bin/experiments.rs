@@ -1,78 +1,122 @@
-//! Per-lemma experiments E1–E10 (see DESIGN.md §4): the quantitative claims
-//! behind the paper's theorems, measured on the cluster simulator.
+//! Per-lemma experiments E1–E13: the quantitative claims behind the
+//! paper's theorems, measured on the cluster simulator.
+//!
+//! Every algorithm invocation dispatches through the
+//! [`mrlr_core::api::Registry`] — experiments only differ in the workloads
+//! they build and the columns they report. Ablation-only code paths
+//! (pooled sampling, decay traces, potential traces) use their dedicated
+//! instrumented entry points, which are not registry algorithms.
 //!
 //! Usage: `cargo run --release -p mrlr-bench --bin experiments [e1 e2 …]`
-//! (no arguments = run everything). Output is markdown, recorded in
-//! EXPERIMENTS.md.
+//! (no arguments = run everything). Output is markdown.
 
 use mrlr_baselines::{
-    coreset_matching, crouch_stubbs_matching, greedy_weighted_matching,
-    layered_weighted_matching, luby_mis,
+    coreset_matching, crouch_stubbs_matching, greedy_weighted_matching, layered_weighted_matching,
+    luby_mis,
 };
-use mrlr_mapreduce::faults::{apply, FaultPlan};
-use mrlr_mapreduce::trace::Timeline;
-use mrlr_bench::{geometric_mean, max_ratio, min_ratio, render_table, vertex_weights, weighted_graph, Row};
+use mrlr_bench::{
+    geometric_mean, max_ratio, min_ratio, render_table, vertex_weights, weighted_graph, Row,
+};
+use mrlr_core::api::{
+    BMatchingInstance, Backend, Instance, Registry, Report, Solution, VertexWeightedGraph,
+};
 use mrlr_core::colouring::{colour_budget, group_count};
 use mrlr_core::exact;
-use mrlr_core::hungry::{hungry_set_cover, HungryScParams, MisParams};
-use mrlr_core::mr::colouring::{mr_edge_colouring, mr_vertex_colouring};
-use mrlr_core::mr::matching::mr_matching;
-use mrlr_core::mr::mis::{mr_mis_fast, mr_mis_simple};
-use mrlr_core::mr::set_cover::mr_set_cover_f;
-use mrlr_core::mr::vertex_cover::mr_vertex_cover;
+use mrlr_core::hungry::{hungry_set_cover, HungryScParams};
 use mrlr_core::mr::MrConfig;
-use mrlr_core::rlr::{approx_b_matching, approx_max_matching, BMatchingParams};
 use mrlr_core::seq::b_matching_multiplier;
-use mrlr_core::verify;
+use mrlr_mapreduce::faults::{apply, FaultPlan};
+use mrlr_mapreduce::trace::Timeline;
 use mrlr_setsys::generators as setgen;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    let registry = Registry::with_defaults();
     if want("e1") {
-        e1_uncovered_decay();
+        e1_uncovered_decay(&registry);
     }
     if want("e2") {
-        e2_vc_rounds();
+        e2_vc_rounds(&registry);
     }
     if want("e3") {
-        e3_mis_rounds();
+        e3_mis_rounds(&registry);
     }
     if want("e4") {
         e4_potential_decay();
     }
     if want("e5") {
-        e5_matching();
+        e5_matching(&registry);
     }
     if want("e6") {
-        e6_mu_zero();
+        e6_mu_zero(&registry);
     }
     if want("e7") {
-        e7_bmatching();
+        e7_bmatching(&registry);
     }
     if want("e8") {
-        e8_colouring();
+        e8_colouring(&registry);
     }
     if want("e9") {
-        e9_baselines();
+        e9_baselines(&registry);
     }
     if want("e10") {
-        e10_clique();
+        e10_clique(&registry);
     }
     if want("e11") {
-        e11_fault_pricing();
+        e11_fault_pricing(&registry);
     }
     if want("e12") {
-        e12_eta_ablation();
+        e12_eta_ablation(&registry);
     }
     if want("e13") {
-        e13_sampling_ablation();
+        e13_sampling_ablation(&registry);
     }
+}
+
+/// Dispatches on the given backend and insists on a verified solution —
+/// every experiment's invariant, checked by the report's independent
+/// certificate.
+fn solve_on(
+    registry: &Registry,
+    algorithm: &str,
+    backend: Backend,
+    instance: &Instance,
+    cfg: &MrConfig,
+) -> Report<Solution> {
+    let report = registry
+        .solve_with(algorithm, backend, instance, cfg)
+        .unwrap_or_else(|e| panic!("{algorithm}: {e}"));
+    assert!(
+        report.certificate.feasible,
+        "{algorithm}: infeasible solution"
+    );
+    report
+}
+
+/// [`solve_on`] on the metered cluster backend.
+fn solve(
+    registry: &Registry,
+    algorithm: &str,
+    instance: &Instance,
+    cfg: &MrConfig,
+) -> Report<Solution> {
+    solve_on(registry, algorithm, Backend::Mr, instance, cfg)
+}
+
+/// [`solve_on`] on the in-memory `Rlr` backend (no cluster metering).
+fn solve_rlr(
+    registry: &Registry,
+    algorithm: &str,
+    instance: &Instance,
+    cfg: &MrConfig,
+) -> Report<Solution> {
+    solve_on(registry, algorithm, Backend::Rlr, instance, cfg)
 }
 
 /// E1 — Lemma 2.2 / Theorem 2.3: `|U_{r+1}| ≲ 2|U_r|/n^µ` and `⌈c/µ⌉`-ish
 /// iterations for the f-approximate set cover.
-fn e1_uncovered_decay() {
+fn e1_uncovered_decay(registry: &Registry) {
     println!("\n## E1 — set cover: uncovered-set decay (Lemma 2.2, Thm 2.3)\n");
     let mut rows = Vec::new();
     for (n, c, mu, f) in [
@@ -85,22 +129,27 @@ fn e1_uncovered_decay() {
         let m = (n as f64).powf(1.0 + c).round() as usize;
         let sys = setgen::with_uniform_weights(setgen::bounded_frequency(n, m, f, 7), 1.0, 10.0, 7);
         let cfg = MrConfig::auto(n, m, mu, 7);
-        let (r, met) = mr_set_cover_f(&sys, cfg).expect("e1");
-        assert!(sys.covers(&r.cover));
-        let predicted = (c / mu).ceil() as usize + 1;
+        let r = solve(registry, "set-cover-f", &Instance::SetSystem(sys), &cfg);
         rows.push(Row(vec![
             format!("n={n} m={m} f={f}"),
             format!("{mu}"),
-            format!("{predicted}"),
-            format!("{}", r.iterations),
-            format!("{}", met.rounds),
-            format!("{:.3}", min_ratio(r.weight, r.lower_bound)),
+            format!("{}", (c / mu).ceil() as usize + 1),
+            format!("{}", r.solution.iterations()),
+            format!("{}", r.rounds()),
+            format!("{:.3}", r.certificate.certified_ratio.unwrap_or(f64::NAN)),
         ]));
     }
     println!(
         "{}",
         render_table(
-            &["instance", "mu", "ceil(c/mu)+1", "iterations", "MR rounds", "certified ratio"],
+            &[
+                "instance",
+                "mu",
+                "ceil(c/mu)+1",
+                "iterations",
+                "MR rounds",
+                "certified ratio"
+            ],
             &rows
         )
     );
@@ -108,7 +157,7 @@ fn e1_uncovered_decay() {
 
 /// E2 — Theorem 2.4 (f = 2): weighted vertex cover rounds scale with c/µ,
 /// not with n.
-fn e2_vc_rounds() {
+fn e2_vc_rounds(registry: &Registry) {
     println!("\n## E2 — vertex cover: rounds scale with c/mu, ratio <= 2 (Thm 2.4)\n");
     let mut rows = Vec::new();
     for (n, c, mu) in [
@@ -120,23 +169,29 @@ fn e2_vc_rounds() {
         (600, 0.5, 0.25),
     ] {
         let g = weighted_graph(n, c, 11);
-        let w = vertex_weights(n, 11);
         let cfg = MrConfig::auto(n, g.m(), mu, 11);
-        let (r, met) = mr_vertex_cover(&g, &w, cfg).expect("e2");
-        assert!(verify::is_vertex_cover(&g, &r.cover));
+        let inst = Instance::VertexWeighted(VertexWeightedGraph::new(g, vertex_weights(n, 11)));
+        let r = solve(registry, "vertex-cover", &inst, &cfg);
         rows.push(Row(vec![
             format!("n={n} c={c} mu={mu}"),
             format!("{}", (c / mu).ceil() as usize + 1),
-            format!("{}", r.iterations),
-            format!("{}", met.rounds),
-            format!("{:.3}", min_ratio(r.weight, r.lower_bound)),
-            format!("{}", met.peak_machine_words),
+            format!("{}", r.solution.iterations()),
+            format!("{}", r.rounds()),
+            format!("{:.3}", r.certificate.certified_ratio.unwrap_or(f64::NAN)),
+            format!("{}", r.peak_words()),
         ]));
     }
     println!(
         "{}",
         render_table(
-            &["instance", "ceil(c/mu)+1", "iterations", "MR rounds", "certified ratio", "peak words"],
+            &[
+                "instance",
+                "ceil(c/mu)+1",
+                "iterations",
+                "MR rounds",
+                "certified ratio",
+                "peak words"
+            ],
             &rows
         )
     );
@@ -144,7 +199,7 @@ fn e2_vc_rounds() {
 
 /// E3 — Theorems 3.3 / A.3: MIS1 (`O(1/µ²)`) vs MIS2 (`O(c/µ)`) vs Luby
 /// (`O(log n)`).
-fn e3_mis_rounds() {
+fn e3_mis_rounds(registry: &Registry) {
     println!("\n## E3 — MIS: hungry-greedy rounds vs Luby (Thms 3.3, A.3)\n");
     let mut rows = Vec::new();
     for (n, c, mu) in [
@@ -155,15 +210,14 @@ fn e3_mis_rounds() {
     ] {
         let g = weighted_graph(n, c, 13).unweighted();
         let cfg = MrConfig::auto(n, g.m(), mu, 13);
-        let (r1, met1) = mr_mis_simple(&g, MisParams::mis1(n, mu, 13), cfg).expect("mis1");
-        let (r2, met2) = mr_mis_fast(&g, MisParams::mis2(n, mu, 13), cfg).expect("mis2");
-        assert!(verify::is_maximal_independent_set(&g, &r1.vertices));
-        assert!(verify::is_maximal_independent_set(&g, &r2.vertices));
+        let inst = Instance::Graph(g.clone());
+        let r1 = solve(registry, "mis1", &inst, &cfg);
+        let r2 = solve(registry, "mis2", &inst, &cfg);
         let luby = luby_mis(&g, 13);
         rows.push(Row(vec![
             format!("n={n} c={c} mu={mu}"),
-            format!("{} it / {} rds", r1.iterations, met1.rounds),
-            format!("{} it / {} rds", r2.iterations, met2.rounds),
+            format!("{} it / {} rds", r1.solution.iterations(), r1.rounds()),
+            format!("{} it / {} rds", r2.solution.iterations(), r2.rounds()),
             format!("{} it", luby.rounds),
             format!("{}", (n as f64).log2().ceil() as usize),
         ]));
@@ -178,6 +232,9 @@ fn e3_mis_rounds() {
 }
 
 /// E4 — Lemmas 4.3/4.4: potential decay of the hungry-greedy set cover.
+/// Uses the instrumented `hungry_set_cover` entry point directly — the
+/// per-round potential trace is ablation-only detail a uniform `Report`
+/// deliberately does not carry.
 fn e4_potential_decay() {
     println!("\n## E4 — set cover (1+e)lnD: potential decay (Lemma 4.3)\n");
     let mut rows = Vec::new();
@@ -210,7 +267,14 @@ fn e4_potential_decay() {
     println!(
         "{}",
         render_table(
-            &["instance", "inner rounds", "levels", "failed rounds", "geo-mean decay/round", "certified ratio"],
+            &[
+                "instance",
+                "inner rounds",
+                "levels",
+                "failed rounds",
+                "geo-mean decay/round",
+                "certified ratio"
+            ],
             &rows
         )
     );
@@ -218,7 +282,7 @@ fn e4_potential_decay() {
 
 /// E5 — Theorems 5.5/5.6: matching rounds `O(c/µ)`, ratio ≤ 2 (certified
 /// and vs exact on small instances).
-fn e5_matching() {
+fn e5_matching(registry: &Registry) {
     println!("\n## E5 — weighted matching: rounds O(c/mu), ratio <= 2 (Thm 5.6)\n");
     let mut rows = Vec::new();
     for (n, c, mu) in [
@@ -230,31 +294,38 @@ fn e5_matching() {
     ] {
         let g = weighted_graph(n, c, 19);
         let cfg = MrConfig::auto(n, g.m(), mu, 19);
-        let (r, met) = mr_matching(&g, cfg).expect("e5");
-        assert!(verify::is_matching(&g, &r.matching));
+        let r = solve(registry, "matching", &Instance::Graph(g), &cfg);
         rows.push(Row(vec![
             format!("n={n} c={c} mu={mu}"),
             format!("{}", (c / mu).ceil() as usize + 1),
-            format!("{}", r.iterations),
-            format!("{}", met.rounds),
-            format!("{:.3}", r.certified_ratio(2.0)),
-            format!("{}", met.peak_machine_words),
+            format!("{}", r.solution.iterations()),
+            format!("{}", r.rounds()),
+            format!("{:.3}", r.certificate.certified_ratio.unwrap_or(f64::NAN)),
+            format!("{}", r.peak_words()),
         ]));
     }
     println!(
         "{}",
         render_table(
-            &["instance", "ceil(c/mu)+1", "iterations", "MR rounds", "certified ratio", "peak words"],
+            &[
+                "instance",
+                "ceil(c/mu)+1",
+                "iterations",
+                "MR rounds",
+                "certified ratio",
+                "peak words"
+            ],
             &rows
         )
     );
-    // Exact ratios on small instances.
+    // Exact ratios on small instances (in-memory backend).
     let mut ratios = Vec::new();
     for seed in 0..40u64 {
         let g = weighted_graph(16, 0.4, seed);
         let (opt, _) = exact::max_weight_matching(&g);
-        let r = approx_max_matching(&g, 24, seed).expect("small");
-        ratios.push(max_ratio(r.weight, opt));
+        let cfg = MrConfig::auto(16, g.m(), 0.15, seed);
+        let r = solve_rlr(registry, "matching", &Instance::Graph(g), &cfg);
+        ratios.push(max_ratio(r.certificate.objective, opt));
     }
     let worst = ratios.iter().cloned().fold(1.0f64, f64::max);
     println!(
@@ -266,31 +337,36 @@ fn e5_matching() {
 
 /// E6 — Theorem C.2: `µ = 0` (η = n) matching terminates in `O(log n)`
 /// iterations.
-fn e6_mu_zero() {
+fn e6_mu_zero(registry: &Registry) {
     println!("\n## E6 — matching with eta = n (mu = 0): O(log n) iterations (Thm C.2)\n");
     println!("Heavy-tailed weights (log-uniform over 6 decades) slow the weight-\nreduction cascade, exposing the geometric edge decay of Lemma C.1.\n");
     let mut rows = Vec::new();
     for n in [100usize, 200, 400, 800] {
         let base = mrlr_graph::generators::densified(n, 0.55, 23);
         let g = mrlr_graph::generators::with_log_uniform_weights(&base, 1.0, 1e6, 23);
-        let r = approx_max_matching(&g, n, 23).expect("e6");
-        assert!(verify::is_matching(&g, &r.matching));
+        // µ = 0 makes auto derive η = n exactly — the Appendix C regime.
+        let cfg = MrConfig::auto(n, g.m(), 0.0, 23);
+        let m = g.m();
+        let r = solve_rlr(registry, "matching", &Instance::Graph(g), &cfg);
         rows.push(Row(vec![
             format!("{n}"),
-            format!("{}", g.m()),
-            format!("{}", r.iterations),
+            format!("{m}"),
+            format!("{}", r.solution.iterations()),
             format!("{:.1}", (n as f64).log2()),
-            format!("{:.3}", r.certified_ratio(2.0)),
+            format!("{:.3}", r.certificate.certified_ratio.unwrap_or(f64::NAN)),
         ]));
     }
     println!(
         "{}",
-        render_table(&["n", "m", "iterations", "log2 n", "certified ratio"], &rows)
+        render_table(
+            &["n", "m", "iterations", "log2 n", "certified ratio"],
+            &rows
+        )
     );
 }
 
 /// E7 — Theorem D.3: b-matching ratio ≤ `3 − 2/b + 2ε`.
-fn e7_bmatching() {
+fn e7_bmatching(registry: &Registry) {
     println!("\n## E7 — b-matching: ratio vs 3 - 2/b + 2e (Thm D.3)\n");
     let mut rows = Vec::new();
     for b_cap in [1u32, 2, 3, 5] {
@@ -300,39 +376,37 @@ fn e7_bmatching() {
             // m = 10^{1.35} ≈ 22 ≤ 26 keeps the exact solver applicable.
             let g = weighted_graph(10, 0.35, seed);
             let b = vec![b_cap; g.n()];
-            let params = BMatchingParams {
-                eps: 0.25,
-                n_mu: 2.0,
-                eta: 8,
-                seed,
-            };
-            let r = approx_b_matching(&g, &b, params).expect("e7");
-            assert!(verify::is_b_matching(&g, &b, &r.matching));
-            let mult = b_matching_multiplier(&b, params.eps);
-            certified.push(r.certified_ratio(mult));
-            let (opt, _) = exact::max_weight_b_matching(&g, &b);
-            exact_ratios.push(max_ratio(r.weight, opt));
+            // Tiny central budget η = 8 forces the sampling path; µ = 0.3
+            // gives the oversampling factor n^µ = 10^0.3 ≈ 2.
+            let mut cfg = MrConfig::auto(10, g.m(), 0.3, seed);
+            cfg.eta = 8;
+            let inst = Instance::BMatching(BMatchingInstance::new(g.clone(), b, 0.25));
+            let r = solve_rlr(registry, "b-matching", &inst, &cfg);
+            certified.push(r.certificate.certified_ratio.unwrap_or(f64::NAN));
+            let (opt, _) = exact::max_weight_b_matching(&g, &vec![b_cap; g.n()]);
+            exact_ratios.push(max_ratio(r.certificate.objective, opt));
         }
         let mult = b_matching_multiplier(&[b_cap.max(1)], 0.25);
         rows.push(Row(vec![
             format!("{b_cap}"),
             format!("{mult:.2}"),
             format!("{:.3}", geometric_mean(&certified)),
-            if exact_ratios.is_empty() {
-                "-".into()
-            } else {
-                format!(
-                    "{:.3} / {:.3}",
-                    geometric_mean(&exact_ratios),
-                    exact_ratios.iter().cloned().fold(1.0f64, f64::max)
-                )
-            },
+            format!(
+                "{:.3} / {:.3}",
+                geometric_mean(&exact_ratios),
+                exact_ratios.iter().cloned().fold(1.0f64, f64::max)
+            ),
         ]));
     }
     println!(
         "{}",
         render_table(
-            &["b", "theory 3-2/b+2e", "geo-mean certified", "exact geo-mean / worst"],
+            &[
+                "b",
+                "theory 3-2/b+2e",
+                "geo-mean certified",
+                "exact geo-mean / worst"
+            ],
             &rows
         )
     );
@@ -340,7 +414,7 @@ fn e7_bmatching() {
 
 /// E8 — Lemmas 6.1/6.2, Corollary 6.3: colour counts within `(1+o(1))Δ`,
 /// group edge bound, O(1) rounds.
-fn e8_colouring() {
+fn e8_colouring(registry: &Registry) {
     println!("\n## E8 — colouring: colours <= (1+o(1))D in O(1) rounds (Thms 6.4/6.6)\n");
     let mut rows = Vec::new();
     for (n, c, mu) in [
@@ -351,22 +425,27 @@ fn e8_colouring() {
     ] {
         let g = weighted_graph(n, c, 29);
         let kappa = group_count(n, g.m(), mu);
-        let limit = (13.0 * (n as f64).powf(1.0 + mu)).ceil() as usize;
         let cfg = MrConfig::auto(n, g.m(), mu, 29);
-        let (rv, metv) = mr_vertex_colouring(&g, kappa, Some(limit), cfg).expect("e8 v");
-        assert!(verify::is_proper_colouring(&g, &rv.colours));
-        let (re, mete) = mr_edge_colouring(&g, kappa, Some(limit), cfg).expect("e8 e");
-        assert!(verify::is_proper_edge_colouring(&g, &re.colours));
+        let inst = Instance::Graph(g.clone());
+        let rv = solve(registry, "vertex-colouring", &inst, &cfg);
+        let re = solve(registry, "edge-colouring", &inst, &cfg);
         let delta = g.max_degree();
         let luby = mrlr_baselines::luby_colouring(&g, 29);
-        assert!(verify::is_proper_colouring(&g, &luby.colours));
+        assert!(
+            mrlr_core::verify::is_proper_colouring(&g, &luby.colours),
+            "Luby baseline produced an improper colouring"
+        );
+        let (cv, ce) = (
+            rv.solution.as_colouring().unwrap(),
+            re.solution.as_colouring().unwrap(),
+        );
         rows.push(Row(vec![
             format!("n={n} c={c} mu={mu}"),
             format!("{kappa}"),
             format!("{delta}"),
             format!("{:.0}", colour_budget(n, delta, mu)),
-            format!("{} ({} rds)", rv.num_colours, metv.rounds),
-            format!("{} ({} rds)", re.num_colours, mete.rounds),
+            format!("{} ({} rds)", cv.num_colours, rv.rounds()),
+            format!("{} ({} rds)", ce.num_colours, re.rounds()),
             format!("{} ({} rds)", luby.num_colours, luby.rounds),
         ]));
     }
@@ -390,26 +469,41 @@ fn e8_colouring() {
 /// E9 — baseline head-to-head: our 2-approx weighted matching vs layered
 /// filtering (8-approx), Crouch–Stubbs (4+ε), the 2-round coreset, and
 /// sequential greedy, on the same graphs.
-fn e9_baselines() {
+fn e9_baselines(registry: &Registry) {
     println!("\n## E9 — weighted matching: local ratio vs the Figure-1 baselines\n");
     let mut rows = Vec::new();
     for (n, c) in [(200usize, 0.4f64), (300, 0.5), (500, 0.5)] {
         let g = weighted_graph(n, c, 31);
-        let eta = (n as f64).powf(1.25).ceil() as usize;
-        let ours = approx_max_matching(&g, eta, 31).expect("ours");
+        // µ = 0.25 gives the η = n^1.25 budget the baselines also get.
+        let cfg = MrConfig::auto(n, g.m(), 0.25, 31);
+        let eta = cfg.eta;
+        let ours = solve_rlr(registry, "matching", &Instance::Graph(g.clone()), &cfg);
         let layered = layered_weighted_matching(&g, eta, 31).expect("layered");
         let cs = crouch_stubbs_matching(&g, 0.5, eta, 31).expect("crouch-stubbs");
         let coreset = coreset_matching(&g, (n as f64).sqrt() as usize, 31).expect("coreset");
         let greedy = greedy_weighted_matching(&g);
-        let w_ours = ours.weight;
-        let w_lay = verify::matching_weight(&g, &layered.matching);
-        let w_greedy = verify::matching_weight(&g, &greedy);
+        let w_ours = ours.certificate.objective;
+        let w_lay = mrlr_core::verify::matching_weight(&g, &layered.matching);
+        let w_greedy = mrlr_core::verify::matching_weight(&g, &greedy);
         rows.push(Row(vec![
             format!("n={n} c={c}"),
-            format!("{w_ours:.0} ({} it)", ours.iterations),
-            format!("{w_lay:.0} ({:.3}x, {} it)", w_lay / w_ours, layered.iterations),
-            format!("{:.0} ({:.3}x, {} cls)", cs.weight, cs.weight / w_ours, cs.classes),
-            format!("{:.0} ({:.3}x, 2 rds)", coreset.weight, coreset.weight / w_ours),
+            format!("{w_ours:.0} ({} it)", ours.solution.iterations()),
+            format!(
+                "{w_lay:.0} ({:.3}x, {} it)",
+                w_lay / w_ours,
+                layered.iterations
+            ),
+            format!(
+                "{:.0} ({:.3}x, {} cls)",
+                cs.weight,
+                cs.weight / w_ours,
+                cs.classes
+            ),
+            format!(
+                "{:.0} ({:.3}x, 2 rds)",
+                coreset.weight,
+                coreset.weight / w_ours
+            ),
             format!("{w_greedy:.0} ({:.3}x)", w_greedy / w_ours),
         ]));
     }
@@ -434,13 +528,14 @@ fn e9_baselines() {
     for (n, c) in [(200usize, 0.4f64), (300, 0.5), (500, 0.5)] {
         let base = mrlr_graph::generators::densified(n, c, 33);
         let g = mrlr_graph::generators::with_log_uniform_weights(&base, 0.5, 256.0, 34);
-        let eta = (n as f64).powf(1.25).ceil() as usize;
-        let ours = approx_max_matching(&g, eta, 33).expect("ours");
+        let cfg = MrConfig::auto(n, g.m(), 0.25, 33);
+        let eta = cfg.eta;
+        let ours = solve_rlr(registry, "matching", &Instance::Graph(g.clone()), &cfg);
         let layered = layered_weighted_matching(&g, eta, 33).expect("layered");
         let cs = crouch_stubbs_matching(&g, 0.5, eta, 33).expect("cs");
         let coreset = coreset_matching(&g, (n as f64).sqrt() as usize, 33).expect("coreset");
-        let w_ours = ours.weight;
-        let w_lay = verify::matching_weight(&g, &layered.matching);
+        let w_ours = ours.certificate.objective;
+        let w_lay = mrlr_core::verify::matching_weight(&g, &layered.matching);
         rows.push(Row(vec![
             format!("n={n} c={c}"),
             format!("{w_ours:.0}"),
@@ -452,7 +547,39 @@ fn e9_baselines() {
     println!(
         "{}",
         render_table(
-            &["instance", "RLR weight", "layered/ours", "Crouch-Stubbs/ours", "coreset/ours"],
+            &[
+                "instance",
+                "RLR weight",
+                "layered/ours",
+                "Crouch-Stubbs/ours",
+                "coreset/ours"
+            ],
+            &rows
+        )
+    );
+}
+
+/// E10 — Corollary B.1: maximal clique rounds.
+fn e10_clique(registry: &Registry) {
+    println!("\n## E10 — maximal clique: hungry-greedy rounds (Cor B.1)\n");
+    let mut rows = Vec::new();
+    for (n, p, mu) in [(150usize, 0.5f64, 0.3f64), (150, 0.8, 0.3), (300, 0.5, 0.4)] {
+        let g = mrlr_graph::generators::gnp(n, p, 37);
+        let cfg = MrConfig::auto(n, g.m(), mu, 37);
+        let r = solve(registry, "clique", &Instance::Graph(g), &cfg);
+        let k = r.solution.as_selection().unwrap();
+        rows.push(Row(vec![
+            format!("n={n} p={p} mu={mu}"),
+            format!("{}", k.vertices.len()),
+            format!("{}", r.solution.iterations()),
+            format!("{}", r.rounds()),
+            format!("{}", r.peak_words()),
+        ]));
+    }
+    println!(
+        "{}",
+        render_table(
+            &["instance", "|K|", "iterations", "MR rounds", "peak words"],
             &rows
         )
     );
@@ -461,13 +588,13 @@ fn e9_baselines() {
 /// E11 — fault tolerance pricing (§1 motivation): crash/straggler plans
 /// priced against real runs; the algorithm's output is unchanged (the
 /// MapReduce recovery contract), only rounds/makespan stretch.
-fn e11_fault_pricing() {
+fn e11_fault_pricing(registry: &Registry) {
     println!("\n## E11 — fault pricing: crash/straggler overhead on real runs\n");
     let n = 300usize;
     let g = weighted_graph(n, 0.5, 41);
     let cfg = MrConfig::auto(n, g.m(), 0.2, 41);
-    let (r, met) = mr_matching(&g, cfg).expect("e11");
-    assert!(verify::is_matching(&g, &r.matching));
+    let r = solve(registry, "matching", &Instance::Graph(g), &cfg);
+    let met = r.metrics.expect("Mr backend meters");
     let t = Timeline::from_metrics(&met);
     println!(
         "base run: {} rounds, {} words moved, busiest round {} words\n",
@@ -487,7 +614,11 @@ fn e11_fault_pricing() {
         let plan = FaultPlan::random(met.machines, met.rounds, crash_p, straggle_p, slowdown, 43);
         let priced = apply(&met, &plan);
         rows.push(Row(vec![
-            format!("crash {:.0}% straggle {:.0}% x{slowdown}", crash_p * 100.0, straggle_p * 100.0),
+            format!(
+                "crash {:.0}% straggle {:.0}% x{slowdown}",
+                crash_p * 100.0,
+                straggle_p * 100.0
+            ),
             format!("{}", priced.crashes_applied + priced.stragglers_applied),
             format!("{} -> {}", priced.base_rounds, priced.effective_rounds),
             format!("{:.1}", priced.makespan),
@@ -497,7 +628,13 @@ fn e11_fault_pricing() {
     println!(
         "{}",
         render_table(
-            &["fault rates", "events", "rounds", "makespan (round-units)", "slowdown"],
+            &[
+                "fault rates",
+                "events",
+                "rounds",
+                "makespan (round-units)",
+                "slowdown"
+            ],
             &rows
         )
     );
@@ -507,35 +644,33 @@ fn e11_fault_pricing() {
 /// sweep shows iterations growing as η shrinks (the c/µ trade-off made
 /// concrete) while the certified ratio stays ≤ 2 throughout — correctness
 /// never depends on the budget.
-fn e12_eta_ablation() {
+fn e12_eta_ablation(registry: &Registry) {
     println!("\n## E12 — ablation: sampling budget eta vs iterations (Alg 4)\n");
     let n = 300usize;
     let g = weighted_graph(n, 0.5, 47);
     let mut rows = Vec::new();
     for exp in [1.05f64, 1.15, 1.25, 1.35, 1.45] {
-        let eta = (n as f64).powf(exp).ceil() as usize;
-        let r = approx_max_matching(&g, eta, 47).expect("e12");
-        assert!(verify::is_matching(&g, &r.matching));
+        // µ = exp − 1 makes auto derive η = n^exp.
+        let cfg = MrConfig::auto(n, g.m(), exp - 1.0, 47);
+        let r = solve_rlr(registry, "matching", &Instance::Graph(g.clone()), &cfg);
         rows.push(Row(vec![
-            format!("n^{exp} = {eta}"),
-            format!("{}", r.iterations),
-            format!("{:.3}", r.certified_ratio(2.0)),
-            format!("{:.0}", r.weight),
+            format!("n^{exp} = {}", cfg.eta),
+            format!("{}", r.solution.iterations()),
+            format!("{:.3}", r.certificate.certified_ratio.unwrap_or(f64::NAN)),
+            format!("{:.0}", r.certificate.objective),
         ]));
     }
     println!(
         "{}",
-        render_table(
-            &["eta", "iterations", "certified ratio", "weight"],
-            &rows
-        )
+        render_table(&["eta", "iterations", "certified ratio", "weight"], &rows)
     );
 }
 
 /// E13 — ablation: per-vertex vs pooled sampling (the design choice behind
 /// Lemma 5.4). Both are certified 2-approximations; per-vertex sampling is
-/// what makes hub degrees decay geometrically.
-fn e13_sampling_ablation() {
+/// what makes hub degrees decay geometrically. The pooled variant and the
+/// decay traces are ablation-only instrumented entry points.
+fn e13_sampling_ablation(registry: &Registry) {
     use mrlr_core::rlr::{approx_max_matching_pooled, degree_decay_trace, SamplingStrategy};
     println!("\n## E13 — ablation: per-vertex (Alg 4) vs pooled sampling\n");
     let mut rows = Vec::new();
@@ -543,11 +678,11 @@ fn e13_sampling_ablation() {
         // Hub-heavy weights: the regime where the design choice matters.
         let base = mrlr_graph::generators::densified(n, c, 51);
         let g = mrlr_graph::generators::with_degree_weights(&base, 0.5);
-        let eta = (n as f64).powf(1.15).ceil() as usize;
-        let pv = approx_max_matching(&g, eta, 53).expect("per-vertex");
+        let cfg = MrConfig::auto(n, g.m(), 0.15, 53);
+        let eta = cfg.eta;
+        let pv = solve_rlr(registry, "matching", &Instance::Graph(g.clone()), &cfg);
         let pl = approx_max_matching_pooled(&g, eta, 53).expect("pooled");
-        assert!(verify::is_matching(&g, &pv.matching));
-        assert!(verify::is_matching(&g, &pl.matching));
+        assert!(mrlr_core::verify::is_matching(&g, &pl.matching));
         let tv = degree_decay_trace(&g, eta, 53, SamplingStrategy::PerVertex).expect("trace pv");
         let tl = degree_decay_trace(&g, eta, 53, SamplingStrategy::Pooled).expect("trace pl");
         let fmt_trace = |t: &[usize]| {
@@ -559,7 +694,11 @@ fn e13_sampling_ablation() {
         };
         rows.push(Row(vec![
             format!("n={n} c={c}"),
-            format!("{} it, {:.0}w", pv.iterations, pv.weight),
+            format!(
+                "{} it, {:.0}w",
+                pv.solution.iterations(),
+                pv.certificate.objective
+            ),
             format!("{} it, {:.0}w", pl.iterations, pl.weight),
             fmt_trace(&tv),
             fmt_trace(&tl),
@@ -575,33 +714,6 @@ fn e13_sampling_ablation() {
                 "Delta_i per-vertex",
                 "Delta_i pooled"
             ],
-            &rows
-        )
-    );
-}
-
-/// E10 — Corollary B.1: maximal clique rounds.
-fn e10_clique() {
-    println!("\n## E10 — maximal clique: hungry-greedy rounds (Cor B.1)\n");
-    let mut rows = Vec::new();
-    for (n, p, mu) in [(150usize, 0.5f64, 0.3f64), (150, 0.8, 0.3), (300, 0.5, 0.4)] {
-        let g = mrlr_graph::generators::gnp(n, p, 37);
-        let params = MisParams::mis2(n, mu, 37);
-        let cfg = MrConfig::auto(n, g.m(), mu, 37);
-        let (r, met) = mrlr_core::mr::clique::mr_maximal_clique(&g, params, cfg).expect("e10");
-        assert!(verify::is_maximal_clique(&g, &r.vertices));
-        rows.push(Row(vec![
-            format!("n={n} p={p} mu={mu}"),
-            format!("{}", r.vertices.len()),
-            format!("{}", r.iterations),
-            format!("{}", met.rounds),
-            format!("{}", met.peak_machine_words),
-        ]));
-    }
-    println!(
-        "{}",
-        render_table(
-            &["instance", "|K|", "iterations", "MR rounds", "peak words"],
             &rows
         )
     );

@@ -70,16 +70,35 @@ pub fn min_ratio(weight: f64, lower_bound: f64) -> f64 {
     }
 }
 
+/// Cap applied by [`max_ratio`] when a maximization algorithm achieved
+/// nothing against a positive optimum: the true ratio is unbounded, and an
+/// `inf` would otherwise slam every downstream table/geomean. Flagged
+/// variants report the clamp explicitly via [`max_ratio_flagged`].
+pub const MAX_RATIO_CLAMP: f64 = 1e6;
+
 /// Measured approximation ratio of a maximization result: `opt / achieved`.
+///
+/// Degenerate cases: `achieved == 0 && opt == 0` (empty but feasible
+/// optimum) is a perfect `1.0`; `achieved == 0 && opt > 0` is clamped to
+/// [`MAX_RATIO_CLAMP`] instead of `inf`. Use [`max_ratio_flagged`] when the
+/// caller needs to know a clamp fired.
 pub fn max_ratio(achieved: f64, opt: f64) -> f64 {
+    max_ratio_flagged(achieved, opt).0
+}
+
+/// [`max_ratio`] plus a flag that is `true` iff the clamp fired — the
+/// algorithm achieved nothing (or astronomically little) against a
+/// positive optimum, so the reported value is the cap, not a measurement.
+pub fn max_ratio_flagged(achieved: f64, opt: f64) -> (f64, bool) {
     if achieved <= 0.0 {
         if opt <= 0.0 {
-            1.0
+            (1.0, false)
         } else {
-            f64::INFINITY
+            (MAX_RATIO_CLAMP, true)
         }
     } else {
-        opt / achieved
+        let ratio = opt / achieved;
+        (ratio.min(MAX_RATIO_CLAMP), ratio > MAX_RATIO_CLAMP)
     }
 }
 
@@ -125,5 +144,24 @@ mod tests {
         assert_eq!(max_ratio(0.0, 0.0), 1.0);
         let gm = geometric_mean(&[1.0, 4.0]);
         assert!((gm - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_ratio_clamps_and_flags_empty_against_positive_opt() {
+        // Empty-but-feasible solution against a positive optimum: finite,
+        // clamped, flagged — never inf.
+        let (r, clamped) = max_ratio_flagged(0.0, 5.0);
+        assert_eq!(r, MAX_RATIO_CLAMP);
+        assert!(clamped);
+        assert!(max_ratio(0.0, 5.0).is_finite());
+        // Healthy case is not flagged.
+        let (r, clamped) = max_ratio_flagged(5.0, 10.0);
+        assert!((r - 2.0).abs() < 1e-12);
+        assert!(!clamped);
+        // Astronomically bad—but nonzero—solutions also stay finite, and
+        // the clamp is reported there too.
+        let (r, clamped) = max_ratio_flagged(1e-300, 1e300);
+        assert_eq!(r, MAX_RATIO_CLAMP);
+        assert!(clamped);
     }
 }

@@ -1,0 +1,319 @@
+//! The eight problem families of the paper, as [`Problem`] implementations,
+//! plus the instance bundles and certificate types they share.
+
+use mrlr_graph::Graph;
+use mrlr_setsys::SetSystem;
+
+use super::{Certificate, Problem};
+use crate::seq::b_matching_multiplier;
+use crate::types::{ColouringResult, CoverResult, MatchingResult, SelectionResult};
+use crate::verify;
+
+/// A graph with per-vertex weights (vertex-cover instances).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VertexWeightedGraph {
+    /// The graph.
+    pub graph: Graph,
+    /// Weight of each vertex (`len == graph.n()`).
+    pub weights: Vec<f64>,
+}
+
+impl VertexWeightedGraph {
+    /// Bundles `graph` with `weights`, checking lengths.
+    pub fn new(graph: Graph, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), graph.n(), "one weight per vertex");
+        VertexWeightedGraph { graph, weights }
+    }
+
+    /// The equivalent set-cover view (vertices are sets, edges elements).
+    pub fn as_set_system(&self) -> SetSystem {
+        SetSystem::vertex_cover_of(&self.graph, self.weights.clone())
+    }
+}
+
+/// A graph with per-vertex capacities and the reduction slack `ε`
+/// (b-matching instances). `ε` is part of the instance spec so that a
+/// registry dispatch is fully determined by `(instance, cfg)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BMatchingInstance {
+    /// The graph.
+    pub graph: Graph,
+    /// Capacity `b(v) ≥ 1` of each vertex (`len == graph.n()`).
+    pub b: Vec<u32>,
+    /// The adjustment `ε > 0`; the guarantee is `3 − 2/max{2,b} + 2ε`.
+    pub eps: f64,
+}
+
+impl BMatchingInstance {
+    /// Bundles `graph` with capacities `b` at slack `eps`.
+    pub fn new(graph: Graph, b: Vec<u32>, eps: f64) -> Self {
+        assert_eq!(b.len(), graph.n(), "one capacity per vertex");
+        BMatchingInstance { graph, b, eps }
+    }
+
+    /// The approximation multiplier `3 − 2/max{2,b_max} + 2ε` certified by
+    /// Theorem D.3 for this instance.
+    pub fn multiplier(&self) -> f64 {
+        b_matching_multiplier(&self.b, self.eps)
+    }
+}
+
+/// Certificate of a cover-type solution: feasibility plus the dual lower
+/// bound the local-ratio/dual-fitting algorithms emit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverCertificate {
+    /// The chosen sets cover the universe.
+    pub feasible: bool,
+    /// Total cover weight.
+    pub weight: f64,
+    /// Certified lower bound on the optimum (a feasible dual value).
+    pub lower_bound: f64,
+}
+
+impl From<CoverCertificate> for Certificate {
+    fn from(c: CoverCertificate) -> Certificate {
+        let ratio = if c.lower_bound > 0.0 {
+            Some(c.weight / c.lower_bound)
+        } else if c.weight <= 0.0 {
+            Some(1.0)
+        } else {
+            None
+        };
+        Certificate {
+            feasible: c.feasible,
+            objective: c.weight,
+            certified_ratio: ratio,
+            detail: format!(
+                "cover weight {:.3}, dual lower bound {:.3}",
+                c.weight, c.lower_bound
+            ),
+        }
+    }
+}
+
+/// Certificate of a matching-type solution: feasibility plus the
+/// local-ratio stack bound (`OPT ≤ multiplier · stack_gain`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchingCertificate {
+    /// The chosen edges form a (b-)matching.
+    pub feasible: bool,
+    /// Total matching weight.
+    pub weight: f64,
+    /// Stack gain `Σ m_e`.
+    pub stack_gain: f64,
+    /// Problem multiplier (2 for matching, `3 − 2/b + 2ε` for b-matching).
+    pub multiplier: f64,
+}
+
+impl From<MatchingCertificate> for Certificate {
+    fn from(c: MatchingCertificate) -> Certificate {
+        let ratio = if c.weight > 0.0 {
+            Some(c.multiplier * c.stack_gain / c.weight)
+        } else if c.stack_gain <= 0.0 {
+            Some(1.0)
+        } else {
+            None
+        };
+        Certificate {
+            feasible: c.feasible,
+            objective: c.weight,
+            certified_ratio: ratio,
+            detail: format!(
+                "matching weight {:.3}, stack gain {:.3}, multiplier {:.2}",
+                c.weight, c.stack_gain, c.multiplier
+            ),
+        }
+    }
+}
+
+/// Certificate of a vertex-selection solution (MIS / maximal clique):
+/// the guarantee is structural (maximality), so `feasible` is the whole
+/// statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectionCertificate {
+    /// The selection passed its maximality validator.
+    pub feasible: bool,
+    /// Number of chosen vertices.
+    pub size: usize,
+}
+
+impl From<SelectionCertificate> for Certificate {
+    fn from(c: SelectionCertificate) -> Certificate {
+        Certificate {
+            feasible: c.feasible,
+            objective: c.size as f64,
+            certified_ratio: None,
+            detail: format!("|S| = {} (maximality verified)", c.size),
+        }
+    }
+}
+
+/// Certificate of a colouring solution: properness plus the colour count
+/// against the degree bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColouringCertificate {
+    /// The colouring is proper.
+    pub feasible: bool,
+    /// Colours used.
+    pub num_colours: usize,
+    /// Maximum degree of the instance (the `Δ` in `(1+o(1))Δ`).
+    pub max_degree: usize,
+}
+
+impl From<ColouringCertificate> for Certificate {
+    fn from(c: ColouringCertificate) -> Certificate {
+        Certificate {
+            feasible: c.feasible,
+            objective: c.num_colours as f64,
+            // Properness is a structural guarantee: there is no certified
+            // approximation bound (colours/Δ is *not* one — χ can be far
+            // below Δ), so per the contract this stays `None`.
+            certified_ratio: None,
+            detail: format!("{} colours, Δ = {}", c.num_colours, c.max_degree),
+        }
+    }
+}
+
+/// Weighted set cover (Theorems 2.4 and 4.6).
+#[derive(Debug, Clone, Copy)]
+pub enum SetCover {}
+
+impl Problem for SetCover {
+    type Instance = SetSystem;
+    type Solution = CoverResult;
+    type Certificate = CoverCertificate;
+    const NAME: &'static str = "set-cover";
+    fn certify(sys: &SetSystem, sol: &CoverResult) -> CoverCertificate {
+        CoverCertificate {
+            feasible: verify::is_cover(sys, &sol.cover),
+            weight: sol.weight,
+            lower_bound: sol.lower_bound,
+        }
+    }
+}
+
+/// Weighted vertex cover (Theorem 2.4, `f = 2`).
+#[derive(Debug, Clone, Copy)]
+pub enum VertexCover {}
+
+impl Problem for VertexCover {
+    type Instance = VertexWeightedGraph;
+    type Solution = CoverResult;
+    type Certificate = CoverCertificate;
+    const NAME: &'static str = "vertex-cover";
+    fn certify(inst: &VertexWeightedGraph, sol: &CoverResult) -> CoverCertificate {
+        CoverCertificate {
+            feasible: verify::is_vertex_cover(&inst.graph, &sol.cover),
+            weight: sol.weight,
+            lower_bound: sol.lower_bound,
+        }
+    }
+}
+
+/// Maximum weight matching (Theorems 5.5/5.6, Appendix C).
+#[derive(Debug, Clone, Copy)]
+pub enum Matching {}
+
+impl Problem for Matching {
+    type Instance = Graph;
+    type Solution = MatchingResult;
+    type Certificate = MatchingCertificate;
+    const NAME: &'static str = "matching";
+    fn certify(g: &Graph, sol: &MatchingResult) -> MatchingCertificate {
+        MatchingCertificate {
+            feasible: verify::is_matching(g, &sol.matching),
+            weight: sol.weight,
+            stack_gain: sol.stack_gain,
+            multiplier: 2.0,
+        }
+    }
+}
+
+/// Maximum weight b-matching (Theorem D.3).
+#[derive(Debug, Clone, Copy)]
+pub enum BMatching {}
+
+impl Problem for BMatching {
+    type Instance = BMatchingInstance;
+    type Solution = MatchingResult;
+    type Certificate = MatchingCertificate;
+    const NAME: &'static str = "b-matching";
+    fn certify(inst: &BMatchingInstance, sol: &MatchingResult) -> MatchingCertificate {
+        MatchingCertificate {
+            feasible: verify::is_b_matching(&inst.graph, &inst.b, &sol.matching),
+            weight: sol.weight,
+            stack_gain: sol.stack_gain,
+            multiplier: inst.multiplier(),
+        }
+    }
+}
+
+/// Maximal independent set (Theorems 3.3 and A.3).
+#[derive(Debug, Clone, Copy)]
+pub enum Mis {}
+
+impl Problem for Mis {
+    type Instance = Graph;
+    type Solution = SelectionResult;
+    type Certificate = SelectionCertificate;
+    const NAME: &'static str = "mis";
+    fn certify(g: &Graph, sol: &SelectionResult) -> SelectionCertificate {
+        SelectionCertificate {
+            feasible: verify::is_maximal_independent_set(g, &sol.vertices),
+            size: sol.vertices.len(),
+        }
+    }
+}
+
+/// Maximal clique (Appendix B).
+#[derive(Debug, Clone, Copy)]
+pub enum MaximalClique {}
+
+impl Problem for MaximalClique {
+    type Instance = Graph;
+    type Solution = SelectionResult;
+    type Certificate = SelectionCertificate;
+    const NAME: &'static str = "clique";
+    fn certify(g: &Graph, sol: &SelectionResult) -> SelectionCertificate {
+        SelectionCertificate {
+            feasible: verify::is_maximal_clique(g, &sol.vertices),
+            size: sol.vertices.len(),
+        }
+    }
+}
+
+/// Vertex colouring with `(1+o(1))Δ` colours (Theorem 6.4).
+#[derive(Debug, Clone, Copy)]
+pub enum VertexColouring {}
+
+impl Problem for VertexColouring {
+    type Instance = Graph;
+    type Solution = ColouringResult;
+    type Certificate = ColouringCertificate;
+    const NAME: &'static str = "vertex-colouring";
+    fn certify(g: &Graph, sol: &ColouringResult) -> ColouringCertificate {
+        ColouringCertificate {
+            feasible: verify::is_proper_colouring(g, &sol.colours),
+            num_colours: sol.num_colours,
+            max_degree: g.max_degree(),
+        }
+    }
+}
+
+/// Edge colouring with `(1+o(1))Δ` colours (Remark 6.5 / Theorem 6.6).
+#[derive(Debug, Clone, Copy)]
+pub enum EdgeColouring {}
+
+impl Problem for EdgeColouring {
+    type Instance = Graph;
+    type Solution = ColouringResult;
+    type Certificate = ColouringCertificate;
+    const NAME: &'static str = "edge-colouring";
+    fn certify(g: &Graph, sol: &ColouringResult) -> ColouringCertificate {
+        ColouringCertificate {
+            feasible: verify::is_proper_edge_colouring(g, &sol.colours),
+            num_colours: sol.num_colours,
+            max_degree: g.max_degree(),
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! The string-keyed driver [`Registry`]: type-erased dispatch over every
+//! algorithm × backend combination.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mrlr_graph::Graph;
+use mrlr_mapreduce::{MrError, MrResult};
+use mrlr_setsys::SetSystem;
+
+use super::drivers::{
+    BMatchingDriver, CliqueDriver, ColouringDriver, GreedySetCoverDriver, MatchingDriver,
+    MisDriver, MisVariant, SetCoverFDriver, VertexCoverDriver,
+};
+use super::problems::{BMatchingInstance, VertexWeightedGraph};
+use super::{Backend, Driver, MrConfig, Report};
+use crate::types::{ColouringResult, CoverResult, MatchingResult, SelectionResult};
+
+/// The shape of instance an algorithm consumes; lets data-driven harnesses
+/// build the right workload without knowing the algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceKind {
+    /// A (possibly weighted) graph.
+    Graph,
+    /// A graph with per-vertex weights.
+    VertexWeighted,
+    /// A graph with per-vertex capacities and reduction slack.
+    BMatching,
+    /// A weighted set system.
+    SetSystem,
+}
+
+impl fmt::Display for InstanceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InstanceKind::Graph => "graph",
+            InstanceKind::VertexWeighted => "vertex-weighted graph",
+            InstanceKind::BMatching => "b-matching instance",
+            InstanceKind::SetSystem => "set system",
+        })
+    }
+}
+
+/// A type-erased instance, for dispatch through the [`Registry`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instance {
+    /// A (possibly weighted) graph.
+    Graph(Graph),
+    /// A graph with per-vertex weights (vertex cover).
+    VertexWeighted(VertexWeightedGraph),
+    /// A graph with per-vertex capacities (b-matching).
+    BMatching(BMatchingInstance),
+    /// A weighted set system (set cover).
+    SetSystem(SetSystem),
+}
+
+impl Instance {
+    /// The kind tag of this instance.
+    pub fn kind(&self) -> InstanceKind {
+        match self {
+            Instance::Graph(_) => InstanceKind::Graph,
+            Instance::VertexWeighted(_) => InstanceKind::VertexWeighted,
+            Instance::BMatching(_) => InstanceKind::BMatching,
+            Instance::SetSystem(_) => InstanceKind::SetSystem,
+        }
+    }
+
+    /// The underlying graph, when there is one.
+    pub fn graph(&self) -> Option<&Graph> {
+        match self {
+            Instance::Graph(g) => Some(g),
+            Instance::VertexWeighted(vw) => Some(&vw.graph),
+            Instance::BMatching(bm) => Some(&bm.graph),
+            Instance::SetSystem(_) => None,
+        }
+    }
+}
+
+/// A type-erased solution returned by [`Registry`] dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Solution {
+    /// A set/vertex cover.
+    Cover(CoverResult),
+    /// A (b-)matching.
+    Matching(MatchingResult),
+    /// A vertex selection (MIS / clique).
+    Selection(SelectionResult),
+    /// A colouring.
+    Colouring(ColouringResult),
+}
+
+impl Solution {
+    /// The cover, if this is a cover solution.
+    pub fn as_cover(&self) -> Option<&CoverResult> {
+        match self {
+            Solution::Cover(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The matching, if this is a matching solution.
+    pub fn as_matching(&self) -> Option<&MatchingResult> {
+        match self {
+            Solution::Matching(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The selection, if this is a selection solution.
+    pub fn as_selection(&self) -> Option<&SelectionResult> {
+        match self {
+            Solution::Selection(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The colouring, if this is a colouring solution.
+    pub fn as_colouring(&self) -> Option<&ColouringResult> {
+        match self {
+            Solution::Colouring(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Iterations of the algorithm's outer loop, uniformly across
+    /// solution families (colourings run in a constant round budget and
+    /// report their group count instead).
+    pub fn iterations(&self) -> usize {
+        match self {
+            Solution::Cover(c) => c.iterations,
+            Solution::Matching(m) => m.iterations,
+            Solution::Selection(s) => s.iterations,
+            Solution::Colouring(c) => c.groups,
+        }
+    }
+}
+
+/// Typed instances that can be pulled out of an [`Instance`].
+pub trait FromInstance: Sized {
+    /// The kind tag this type corresponds to.
+    const KIND: InstanceKind;
+    /// Borrows the typed instance, if `inst` holds this kind.
+    fn from_instance(inst: &Instance) -> Option<&Self>;
+}
+
+impl FromInstance for Graph {
+    const KIND: InstanceKind = InstanceKind::Graph;
+    fn from_instance(inst: &Instance) -> Option<&Self> {
+        match inst {
+            Instance::Graph(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+impl FromInstance for VertexWeightedGraph {
+    const KIND: InstanceKind = InstanceKind::VertexWeighted;
+    fn from_instance(inst: &Instance) -> Option<&Self> {
+        match inst {
+            Instance::VertexWeighted(vw) => Some(vw),
+            _ => None,
+        }
+    }
+}
+
+impl FromInstance for BMatchingInstance {
+    const KIND: InstanceKind = InstanceKind::BMatching;
+    fn from_instance(inst: &Instance) -> Option<&Self> {
+        match inst {
+            Instance::BMatching(bm) => Some(bm),
+            _ => None,
+        }
+    }
+}
+
+impl FromInstance for SetSystem {
+    const KIND: InstanceKind = InstanceKind::SetSystem;
+    fn from_instance(inst: &Instance) -> Option<&Self> {
+        match inst {
+            Instance::SetSystem(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Typed solutions that can be erased into a [`Solution`].
+pub trait IntoSolution {
+    /// Wraps the typed solution.
+    fn into_solution(self) -> Solution;
+}
+
+impl IntoSolution for CoverResult {
+    fn into_solution(self) -> Solution {
+        Solution::Cover(self)
+    }
+}
+
+impl IntoSolution for MatchingResult {
+    fn into_solution(self) -> Solution {
+        Solution::Matching(self)
+    }
+}
+
+impl IntoSolution for SelectionResult {
+    fn into_solution(self) -> Solution {
+        Solution::Selection(self)
+    }
+}
+
+impl IntoSolution for ColouringResult {
+    fn into_solution(self) -> Solution {
+        Solution::Colouring(self)
+    }
+}
+
+/// Object-safe view of a registered [`Driver`].
+pub trait ErasedDriver: Send + Sync {
+    /// Registry key of the algorithm.
+    fn algorithm(&self) -> &'static str;
+    /// Backend this entry runs.
+    fn backend(&self) -> Backend;
+    /// The instance shape this algorithm consumes.
+    fn instance_kind(&self) -> InstanceKind;
+    /// Dispatches [`Driver::solve`], checking the instance kind.
+    fn solve(&self, instance: &Instance, cfg: &MrConfig) -> MrResult<Report<Solution>>;
+}
+
+struct Erased<D>(D);
+
+impl<D> ErasedDriver for Erased<D>
+where
+    D: Driver,
+    D::Instance: FromInstance,
+    D::Solution: IntoSolution,
+{
+    fn algorithm(&self) -> &'static str {
+        self.0.algorithm()
+    }
+
+    fn backend(&self) -> Backend {
+        self.0.backend()
+    }
+
+    fn instance_kind(&self) -> InstanceKind {
+        D::Instance::KIND
+    }
+
+    fn solve(&self, instance: &Instance, cfg: &MrConfig) -> MrResult<Report<Solution>> {
+        let typed = D::Instance::from_instance(instance).ok_or_else(|| {
+            MrError::BadConfig(format!(
+                "algorithm '{}' expects a {} instance, got a {}",
+                self.0.algorithm(),
+                D::Instance::KIND,
+                instance.kind()
+            ))
+        })?;
+        Ok(self.0.solve(typed, cfg)?.map(IntoSolution::into_solution))
+    }
+}
+
+/// String-keyed collection of every registered driver, for data-driven
+/// dispatch. See the [module docs](crate::api) for an example.
+pub struct Registry {
+    entries: BTreeMap<(&'static str, Backend), Box<dyn ErasedDriver>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// A registry holding all eight paper algorithms (ten registry keys —
+    /// MIS and colouring contribute two each) in every backend that
+    /// implements them.
+    pub fn with_defaults() -> Self {
+        let mut r = Registry::new();
+        for backend in Backend::ALL {
+            r.register(SetCoverFDriver { backend });
+            r.register(GreedySetCoverDriver::new(backend));
+            r.register(VertexCoverDriver { backend });
+            r.register(MatchingDriver { backend });
+            r.register(BMatchingDriver { backend });
+            r.register(MisDriver {
+                backend,
+                variant: MisVariant::Mis1,
+            });
+            r.register(MisDriver {
+                backend,
+                variant: MisVariant::Mis2,
+            });
+            r.register(CliqueDriver { backend });
+            r.register(ColouringDriver::vertex(backend));
+            r.register(ColouringDriver::edge(backend));
+        }
+        r
+    }
+
+    /// Registers `driver` under `(driver.algorithm(), driver.backend())`,
+    /// replacing any previous entry for that key.
+    pub fn register<D>(&mut self, driver: D)
+    where
+        D: Driver + 'static,
+        D::Instance: FromInstance,
+        D::Solution: IntoSolution,
+    {
+        self.entries.insert(
+            (driver.algorithm(), driver.backend()),
+            Box::new(Erased(driver)),
+        );
+    }
+
+    /// The cluster ([`Backend::Mr`]) driver registered under `algorithm`.
+    pub fn get(&self, algorithm: &str) -> Option<&dyn ErasedDriver> {
+        self.get_backend(algorithm, Backend::Mr)
+    }
+
+    /// The driver registered under `(algorithm, backend)`.
+    pub fn get_backend(&self, algorithm: &str, backend: Backend) -> Option<&dyn ErasedDriver> {
+        // The map is keyed by `&'static str`; a lookup by a short-lived
+        // `&str` can't borrow into the tuple key, and with ~30 entries a
+        // scan is as good as a tree descent.
+        self.entries
+            .iter()
+            .find(|((name, b), _)| *name == algorithm && *b == backend)
+            .map(|(_, d)| d.as_ref())
+    }
+
+    /// Dispatches `instance` to the [`Backend::Mr`] driver of `algorithm`.
+    pub fn solve(
+        &self,
+        algorithm: &str,
+        instance: &Instance,
+        cfg: &MrConfig,
+    ) -> MrResult<Report<Solution>> {
+        self.solve_with(algorithm, Backend::Mr, instance, cfg)
+    }
+
+    /// Dispatches `instance` to the `(algorithm, backend)` driver.
+    pub fn solve_with(
+        &self,
+        algorithm: &str,
+        backend: Backend,
+        instance: &Instance,
+        cfg: &MrConfig,
+    ) -> MrResult<Report<Solution>> {
+        let driver = self.get_backend(algorithm, backend).ok_or_else(|| {
+            MrError::BadConfig(format!(
+                "no driver registered for algorithm '{algorithm}' on backend '{backend}'"
+            ))
+        })?;
+        driver.solve(instance, cfg)
+    }
+
+    /// Distinct algorithm keys, sorted.
+    pub fn algorithms(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self.entries.keys().map(|(n, _)| *n).collect();
+        names.dedup();
+        names
+    }
+
+    /// Backends registered for `algorithm`, in `Seq < Rlr < Mr` order.
+    pub fn backends(&self, algorithm: &str) -> Vec<Backend> {
+        Backend::ALL
+            .into_iter()
+            .filter(|b| self.get_backend(algorithm, *b).is_some())
+            .collect()
+    }
+
+    /// All registered entries, ordered by `(algorithm, backend)`.
+    pub fn entries(&self) -> impl Iterator<Item = &dyn ErasedDriver> {
+        self.entries.values().map(AsRef::as_ref)
+    }
+
+    /// Number of registered `(algorithm, backend)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_defaults()
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("entries", &self.entries.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrlr_graph::generators;
+
+    #[test]
+    fn defaults_cover_all_algorithms_and_backends() {
+        let r = Registry::with_defaults();
+        assert_eq!(r.len(), 30);
+        let names = r.algorithms();
+        for name in [
+            "b-matching",
+            "clique",
+            "edge-colouring",
+            "matching",
+            "mis1",
+            "mis2",
+            "set-cover-f",
+            "set-cover-greedy",
+            "vertex-colouring",
+            "vertex-cover",
+        ] {
+            assert!(names.contains(&name), "missing {name}");
+            assert_eq!(r.backends(name), Backend::ALL.to_vec(), "{name}");
+            assert!(r.get(name).is_some(), "{name} has no Mr driver");
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_is_a_clean_error() {
+        let r = Registry::with_defaults();
+        let g = generators::densified(10, 0.3, 1);
+        let cfg = MrConfig::auto(10, g.m().max(1), 0.3, 1);
+        let err = r
+            .solve("set-cover-f", &Instance::Graph(g), &cfg)
+            .unwrap_err();
+        assert!(matches!(err, MrError::BadConfig(_)), "{err:?}");
+        assert!(err.to_string().contains("set system"), "{err}");
+    }
+
+    #[test]
+    fn unknown_algorithm_is_a_clean_error() {
+        let r = Registry::with_defaults();
+        let g = generators::densified(10, 0.3, 1);
+        let cfg = MrConfig::auto(10, g.m().max(1), 0.3, 1);
+        let err = r.solve("max-cut", &Instance::Graph(g), &cfg).unwrap_err();
+        assert!(err.to_string().contains("no driver"), "{err}");
+    }
+
+    #[test]
+    fn solve_runs_via_registry() {
+        let r = Registry::with_defaults();
+        let g = generators::with_uniform_weights(&generators::densified(30, 0.4, 3), 1.0, 9.0, 3);
+        let cfg = MrConfig::auto(30, g.m(), 0.3, 3);
+        let report = r.solve("matching", &Instance::Graph(g), &cfg).unwrap();
+        assert!(report.certificate.feasible);
+        assert!(report.solution.as_matching().is_some());
+        assert!(report.metrics.is_some());
+        assert_eq!(report.backend, Backend::Mr);
+    }
+}

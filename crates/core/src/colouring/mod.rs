@@ -58,7 +58,9 @@ pub fn vertex_colouring(
         return Err(MrError::BadConfig("kappa must be positive".into()));
     }
     let n = g.n();
-    let groups: Vec<usize> = (0..n as VertexId).map(|v| vertex_group(seed, v, kappa)).collect();
+    let groups: Vec<usize> = (0..n as VertexId)
+        .map(|v| vertex_group(seed, v, kappa))
+        .collect();
 
     // Partition intra-group edges.
     let mut group_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); kappa];
@@ -73,7 +75,10 @@ pub fn vertex_colouring(
             if ge.len() > limit {
                 return Err(MrError::AlgorithmFailed {
                     round: 0,
-                    reason: format!("group {i} has {} > {limit} edges (Lemma 6.2 guard)", ge.len()),
+                    reason: format!(
+                        "group {i} has {} > {limit} edges (Lemma 6.2 guard)",
+                        ge.len()
+                    ),
                 });
             }
         }
@@ -85,8 +90,9 @@ pub fn vertex_colouring(
     let mut next_palette_start = 0u32;
     let mut total_colours = 0usize;
     for gi in 0..kappa {
-        let members: Vec<VertexId> =
-            (0..n as VertexId).filter(|&v| groups[v as usize] == gi).collect();
+        let members: Vec<VertexId> = (0..n as VertexId)
+            .filter(|&v| groups[v as usize] == gi)
+            .collect();
         if members.is_empty() {
             continue;
         }
@@ -123,7 +129,9 @@ pub fn edge_colouring(
         return Err(MrError::BadConfig("kappa must be positive".into()));
     }
     let m = g.m();
-    let groups: Vec<usize> = (0..m as EdgeId).map(|e| edge_group(seed, e, kappa)).collect();
+    let groups: Vec<usize> = (0..m as EdgeId)
+        .map(|e| edge_group(seed, e, kappa))
+        .collect();
     if let Some(limit) = edge_limit {
         let mut counts = vec![0usize; kappa];
         for &gi in &groups {
@@ -141,7 +149,9 @@ pub fn edge_colouring(
     let mut next_palette_start = 0u32;
     let mut total_colours = 0usize;
     for gi in 0..kappa {
-        let members: Vec<EdgeId> = (0..m as EdgeId).filter(|&e| groups[e as usize] == gi).collect();
+        let members: Vec<EdgeId> = (0..m as EdgeId)
+            .filter(|&e| groups[e as usize] == gi)
+            .collect();
         if members.is_empty() {
             continue;
         }

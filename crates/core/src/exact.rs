@@ -15,7 +15,10 @@ pub const EXACT_N_LIMIT: usize = 22;
 /// `O(2^n · n)` time, `O(2^n)` space; requires `n ≤ EXACT_N_LIMIT`.
 pub fn max_weight_matching(g: &Graph) -> (f64, Vec<EdgeId>) {
     let n = g.n();
-    assert!(n <= EXACT_N_LIMIT, "exact matching limited to n <= {EXACT_N_LIMIT}");
+    assert!(
+        n <= EXACT_N_LIMIT,
+        "exact matching limited to n <= {EXACT_N_LIMIT}"
+    );
     if n == 0 {
         return (0.0, vec![]);
     }
@@ -286,7 +289,11 @@ mod tests {
         // No: {0-1, 2-3} = 2 < 10, so optimum = 10.
         let g = Graph::new(
             4,
-            vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 10.0), Edge::new(2, 3, 1.0)],
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 2, 10.0),
+                Edge::new(2, 3, 1.0),
+            ],
         );
         let (w, edges) = max_weight_matching(&g);
         assert!((w - 10.0).abs() < 1e-12);
@@ -330,7 +337,13 @@ mod tests {
     fn set_cover_dp_and_enum_agree() {
         let sys = SetSystem::new(
             6,
-            vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5], vec![1, 4]],
+            vec![
+                vec![0, 1, 2],
+                vec![2, 3],
+                vec![3, 4, 5],
+                vec![0, 5],
+                vec![1, 4],
+            ],
             vec![3.0, 1.5, 3.0, 2.0, 2.0],
         );
         let (w, cover) = min_weight_set_cover(&sys).unwrap();

@@ -114,7 +114,9 @@ impl CliqueState {
 /// active subgraph has fewer than `η` edges.
 pub fn maximal_clique(g: &Graph, params: MisParams) -> MrResult<SelectionResult> {
     if !(params.alpha > 0.0 && params.alpha <= 1.0) || params.group_size == 0 || params.eta == 0 {
-        return Err(MrError::BadConfig("invalid hungry-greedy parameters".into()));
+        return Err(MrError::BadConfig(
+            "invalid hungry-greedy parameters".into(),
+        ));
     }
     let n = g.n();
     if n == 0 {

@@ -346,7 +346,9 @@ fn validate(p: MisParams) -> MrResult<()> {
         return Err(MrError::BadConfig("alpha must be in (0, 1]".into()));
     }
     if p.group_size == 0 || p.eta == 0 {
-        return Err(MrError::BadConfig("group_size and eta must be positive".into()));
+        return Err(MrError::BadConfig(
+            "group_size and eta must be positive".into(),
+        ));
     }
     Ok(())
 }

@@ -9,6 +9,6 @@ pub mod preprocess;
 pub mod setcover;
 
 pub use clique::maximal_clique;
-pub use preprocess::{merge_cover, preprocess_weights, Preprocessed};
 pub use mis::{mis_fast, mis_simple, MisParams};
+pub use preprocess::{merge_cover, preprocess_weights, Preprocessed};
 pub use setcover::{hungry_set_cover, HungryScParams, HungryScTrace};

@@ -103,7 +103,10 @@ pub fn preprocess_weights(sys: &SetSystem, eps: f64) -> MrResult<Preprocessed> {
         weights.push(w);
     }
     let reduced = SetSystem::new(elem_ids.len(), sets, weights);
-    debug_assert!(reduced.is_coverable(), "preprocessing must keep coverability");
+    debug_assert!(
+        reduced.is_coverable(),
+        "preprocessing must keep coverability"
+    );
     Ok(Preprocessed {
         taken,
         taken_weight,
@@ -146,16 +149,11 @@ mod tests {
     #[test]
     fn spread_is_bounded_after_preprocessing() {
         for seed in 0..5 {
-            let sys = with_log_uniform_weights(
-                bounded_set_size(200, 80, 10, seed),
-                1e-6,
-                1e6,
-                seed,
-            );
+            let sys =
+                with_log_uniform_weights(bounded_set_size(200, 80, 10, seed), 1e-6, 1e6, seed);
             let eps = 0.25;
             let pre = preprocess_weights(&sys, eps).unwrap();
-            let bound =
-                sys.universe() as f64 * sys.n_sets() as f64 / eps * (1.0 + 1e-9);
+            let bound = sys.universe() as f64 * sys.n_sets() as f64 / eps * (1.0 + 1e-9);
             if pre.reduced.n_sets() > 0 {
                 assert!(
                     pre.reduced.weight_spread() <= bound,
@@ -170,12 +168,7 @@ mod tests {
     #[test]
     fn taken_sets_cost_at_most_eps_gamma() {
         for seed in 0..5 {
-            let sys = with_log_uniform_weights(
-                bounded_set_size(150, 60, 8, seed),
-                1e-5,
-                1e5,
-                seed,
-            );
+            let sys = with_log_uniform_weights(bounded_set_size(150, 60, 8, seed), 1e-5, 1e5, seed);
             let eps = 0.3;
             let pre = preprocess_weights(&sys, eps).unwrap();
             assert!(pre.taken_weight <= eps * pre.gamma * (1.0 + 1e-9));
@@ -185,12 +178,8 @@ mod tests {
     #[test]
     fn merged_cover_is_feasible_end_to_end() {
         for seed in 0..4 {
-            let sys = with_log_uniform_weights(
-                bounded_set_size(200, 80, 10, seed),
-                1e-4,
-                1e4,
-                seed,
-            );
+            let sys =
+                with_log_uniform_weights(bounded_set_size(200, 80, 10, seed), 1e-4, 1e4, seed);
             let pre = preprocess_weights(&sys, 0.25).unwrap();
             let cover = if pre.reduced.universe() == 0 {
                 merge_cover(&pre, &[])

@@ -98,12 +98,12 @@ pub fn hungry_set_cover(
     let mut k = 0usize;
 
     let add_set = |ell: usize,
-                       covered: &mut Vec<bool>,
-                       covered_count: &mut usize,
-                       uncov: &mut Vec<usize>,
-                       chosen_flag: &mut Vec<bool>,
-                       solution: &mut Vec<SetId>,
-                       price_sum: &mut f64| {
+                   covered: &mut Vec<bool>,
+                   covered_count: &mut usize,
+                   uncov: &mut Vec<usize>,
+                   chosen_flag: &mut Vec<bool>,
+                   solution: &mut Vec<SetId>,
+                   price_sum: &mut f64| {
         debug_assert!(!chosen_flag[ell] && uncov[ell] > 0);
         let price = sys.weight(ell as SetId) / uncov[ell] as f64;
         chosen_flag[ell] = true;
@@ -123,8 +123,9 @@ pub fn hungry_set_cover(
     while covered_count < m {
         // Inner loop for the current level L.
         loop {
-            let exists = (0..n)
-                .any(|l| !chosen_flag[l] && uncov[l] > 0 && ratio(l, &uncov) >= level / (1.0 + params.eps));
+            let exists = (0..n).any(|l| {
+                !chosen_flag[l] && uncov[l] > 0 && ratio(l, &uncov) >= level / (1.0 + params.eps)
+            });
             if !exists {
                 break;
             }

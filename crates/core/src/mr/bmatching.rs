@@ -69,7 +69,22 @@ impl WordSized for BMatchState {
 
 /// Runs Algorithm 7 on the cluster. Output is bit-identical to
 /// [`crate::rlr::bmatching::approx_b_matching`] with the same parameters.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `mrlr_core::api` (`Registry::get(\"b-matching\")` or `BMatchingDriver`)"
+)]
 pub fn mr_b_matching(
+    g: &Graph,
+    b: &[u32],
+    params: BMatchingParams,
+    cfg: MrConfig,
+) -> MrResult<(MatchingResult, Metrics)> {
+    run(g, b, params, cfg)
+}
+
+/// Implementation shared by the deprecated [`mr_b_matching`] wrapper and the
+/// [`crate::api::BMatchingDriver`].
+pub(crate) fn run(
     g: &Graph,
     b: &[u32],
     params: BMatchingParams,
@@ -79,15 +94,17 @@ pub fn mr_b_matching(
         return Err(MrError::BadConfig("eps must be positive".into()));
     }
     if params.eta == 0 || params.n_mu < 1.0 {
-        return Err(MrError::BadConfig("eta must be positive and n_mu >= 1".into()));
+        return Err(MrError::BadConfig(
+            "eta must be positive and n_mu >= 1".into(),
+        ));
     }
     assert_eq!(b.len(), g.n());
     let n = g.n();
     let delta_param = params.eps / (1.0 + params.eps);
     let ln_inv_delta = (1.0 / delta_param).ln();
     let b_max = b.iter().copied().max().unwrap_or(1) as f64;
-    let central_threshold =
-        ((2.0 * b_max * ln_inv_delta * params.eta as f64) as usize).max(4 * params.eta);
+    let central_threshold = ((2.0 * b_max * ln_inv_delta * params.eta as f64) as usize)
+        .max(crate::mr::CENTRAL_FINISH_SLACK * params.eta);
 
     let adj = g.adjacency();
     let mut states: Vec<BMatchState> = (0..cfg.machines)
@@ -218,7 +235,10 @@ pub fn mr_b_matching(
         pushed_now.sort_unstable();
 
         // Broadcast ϕ deltas and pushed edge ids; machines refresh.
-        let phi_delta: Vec<(VertexId, f64)> = touched.iter().map(|&v| (v, lr.phis()[v as usize])).collect();
+        let phi_delta: Vec<(VertexId, f64)> = touched
+            .iter()
+            .map(|&v| (v, lr.phis()[v as usize]))
+            .collect();
         cluster.broadcast(&(phi_delta.clone(), pushed_now.clone()))?;
         cluster.local(move |_, s: &mut BMatchState| {
             for &(v, phi) in &phi_delta {
@@ -252,6 +272,7 @@ pub fn mr_b_matching(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy wrappers are themselves under test
 mod tests {
     use super::*;
     use crate::rlr::bmatching::approx_b_matching;

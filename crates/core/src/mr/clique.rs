@@ -78,13 +78,29 @@ type SampleMsg = (u64, u64, VertexId, Vec<VertexId>); // (class, group, v, compl
 
 /// Appendix B's maximal clique on the cluster. Output is bit-identical to
 /// [`crate::hungry::clique::maximal_clique`] with the same parameters.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `mrlr_core::api` (`Registry::get(\"clique\")` or `CliqueDriver`)"
+)]
 pub fn mr_maximal_clique(
     g: &Graph,
     params: MisParams,
     cfg: MrConfig,
 ) -> MrResult<(SelectionResult, Metrics)> {
+    run(g, params, cfg)
+}
+
+/// Implementation shared by the deprecated [`mr_maximal_clique`] wrapper and the
+/// [`crate::api::CliqueDriver`].
+pub(crate) fn run(
+    g: &Graph,
+    params: MisParams,
+    cfg: MrConfig,
+) -> MrResult<(SelectionResult, Metrics)> {
     if !(params.alpha > 0.0 && params.alpha <= 1.0) || params.group_size == 0 || params.eta == 0 {
-        return Err(MrError::BadConfig("invalid hungry-greedy parameters".into()));
+        return Err(MrError::BadConfig(
+            "invalid hungry-greedy parameters".into(),
+        ));
     }
     let n = g.n();
     if n == 0 {
@@ -126,7 +142,8 @@ pub fn mr_maximal_clique(
         let comp_edges = {
             let (active_count, alive_sum) = cluster.aggregate(
                 |_, s: &CliqueChunk| {
-                    let active: usize = s.recs.iter().filter(|r| s.active.get(r.v as usize)).count();
+                    let active: usize =
+                        s.recs.iter().filter(|r| s.active.get(r.v as usize)).count();
                     let alive: usize = s
                         .recs
                         .iter()
@@ -249,13 +266,14 @@ pub fn mr_maximal_clique(
 
     // Final central round: greedy clique over the residual active set using
     // gathered complement lists (ascending vertex order).
-    let mut residual: Vec<(VertexId, Vec<VertexId>)> = cluster.gather(|_, s: &mut CliqueChunk| {
-        s.recs
-            .iter()
-            .filter(|r| s.active.get(r.v as usize))
-            .map(|r| (r.v, s.complement_list(r)))
-            .collect::<Vec<_>>()
-    })?;
+    let mut residual: Vec<(VertexId, Vec<VertexId>)> =
+        cluster.gather(|_, s: &mut CliqueChunk| {
+            s.recs
+                .iter()
+                .filter(|r| s.active.get(r.v as usize))
+                .map(|r| (r.v, s.complement_list(r)))
+                .collect::<Vec<_>>()
+        })?;
     residual.sort_unstable_by_key(|&(v, _)| v);
     let mut removed_now = vec![false; n];
     for (v, list) in residual {
@@ -280,6 +298,7 @@ pub fn mr_maximal_clique(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy wrappers are themselves under test
 mod tests {
     use super::*;
     use crate::hungry::clique::maximal_clique;

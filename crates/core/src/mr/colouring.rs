@@ -42,14 +42,31 @@ fn build_chunks(g: &Graph, cfg: &MrConfig) -> Vec<ColourChunk> {
         })
         .collect();
     for (idx, e) in g.edges().iter().enumerate() {
-        chunks[cfg.place(idx as u64)].input.push((idx as EdgeId, e.u, e.v));
+        chunks[cfg.place(idx as u64)]
+            .input
+            .push((idx as EdgeId, e.u, e.v));
     }
     chunks
 }
 
 /// Algorithm 5 on the cluster. Output is bit-identical to
 /// [`crate::colouring::vertex_colouring`] with the same `(kappa, seed)`.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `mrlr_core::api` (`Registry::get(\"vertex-colouring\")` or `ColouringDriver`)"
+)]
 pub fn mr_vertex_colouring(
+    g: &Graph,
+    kappa: usize,
+    edge_limit: Option<usize>,
+    cfg: MrConfig,
+) -> MrResult<(ColouringResult, Metrics)> {
+    run_vertex(g, kappa, edge_limit, cfg)
+}
+
+/// Implementation shared by the deprecated [`mr_vertex_colouring`] wrapper and the
+/// [`crate::api::ColouringDriver`].
+pub(crate) fn run_vertex(
     g: &Graph,
     kappa: usize,
     edge_limit: Option<usize>,
@@ -124,11 +141,7 @@ pub fn mr_vertex_colouring(
                 idx += 1;
             }
             let sub = Graph::new(n, edges);
-            let mut members: Vec<VertexId> = sub
-                .edges()
-                .iter()
-                .flat_map(|e| [e.u, e.v])
-                .collect();
+            let mut members: Vec<VertexId> = sub.edges().iter().flat_map(|e| [e.u, e.v]).collect();
             members.sort_unstable();
             members.dedup();
             let local = greedy_colouring_with_order(&sub, &members);
@@ -139,9 +152,8 @@ pub fn mr_vertex_colouring(
     })?;
 
     // Collect colours (one round).
-    let coloured: Vec<(u64, u32, u32)> = cluster.gather(|_, s: &mut ColourChunk| {
-        std::mem::take(&mut s.colours)
-    })?;
+    let coloured: Vec<(u64, u32, u32)> =
+        cluster.gather(|_, s: &mut ColourChunk| std::mem::take(&mut s.colours))?;
 
     // Assemble exactly like the in-memory driver: groups ascending, private
     // palettes offset sequentially; vertices without intra-group edges get
@@ -182,7 +194,22 @@ pub fn mr_vertex_colouring(
 
 /// Remark 6.5 on the cluster. Output is bit-identical to
 /// [`crate::colouring::edge_colouring`] with the same `(kappa, seed)`.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `mrlr_core::api` (`Registry::get(\"edge-colouring\")` or `ColouringDriver`)"
+)]
 pub fn mr_edge_colouring(
+    g: &Graph,
+    kappa: usize,
+    edge_limit: Option<usize>,
+    cfg: MrConfig,
+) -> MrResult<(ColouringResult, Metrics)> {
+    run_edge(g, kappa, edge_limit, cfg)
+}
+
+/// Implementation shared by the deprecated [`mr_edge_colouring`] wrapper and the
+/// [`crate::api::ColouringDriver`].
+pub(crate) fn run_edge(
     g: &Graph,
     kappa: usize,
     edge_limit: Option<usize>,
@@ -220,7 +247,11 @@ pub fn mr_edge_colouring(
                         None => counts.push((grp, 1)),
                     }
                 }
-                counts.into_iter().map(|(gg, c)| (c, gg)).max().unwrap_or((0, 0))
+                counts
+                    .into_iter()
+                    .map(|(gg, c)| (c, gg))
+                    .max()
+                    .unwrap_or((0, 0))
             },
             |a, b| if a.0 >= b.0 { a } else { b },
         )?;
@@ -291,6 +322,7 @@ pub fn mr_edge_colouring(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy wrappers are themselves under test
 mod tests {
     use super::*;
     use crate::colouring::{edge_colouring, vertex_colouring};

@@ -19,7 +19,7 @@ use mrlr_graph::{EdgeId, Graph, VertexId};
 use mrlr_mapreduce::rng::coin;
 use mrlr_mapreduce::{Cluster, Metrics, MrError, MrResult, WordSized};
 
-use crate::mr::MrConfig;
+use crate::mr::{MrConfig, CENTRAL_FINISH_SLACK, MATCHING_GATHER_SLACK};
 use crate::rlr::matching::MATCH_COIN_TAG;
 use crate::seq::local_ratio_matching::{finish, MatchingLocalRatio};
 use crate::types::{MatchingResult, POS_TOL};
@@ -71,7 +71,17 @@ impl WordSized for MatchState {
 
 /// Runs Algorithm 4 on the cluster. Output is bit-identical to
 /// [`crate::rlr::matching::approx_max_matching`] with `(cfg.eta, cfg.seed)`.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `mrlr_core::api` (`Registry::get(\"matching\")` or `MatchingDriver`)"
+)]
 pub fn mr_matching(g: &Graph, cfg: MrConfig) -> MrResult<(MatchingResult, Metrics)> {
+    run(g, cfg)
+}
+
+/// Implementation shared by the deprecated [`mr_matching`] wrapper and the
+/// [`crate::api::MatchingDriver`].
+pub(crate) fn run(g: &Graph, cfg: MrConfig) -> MrResult<(MatchingResult, Metrics)> {
     if cfg.eta == 0 {
         return Err(MrError::BadConfig("eta must be positive".into()));
     }
@@ -89,10 +99,7 @@ pub fn mr_matching(g: &Graph, cfg: MrConfig) -> MrResult<(MatchingResult, Metric
         let dst = cfg.place(v as u64);
         states[dst].vertices.push(VertexAdj {
             v: v as VertexId,
-            inc: nbrs
-                .iter()
-                .map(|&(o, e)| (e, o, g.edge(e).w))
-                .collect(),
+            inc: nbrs.iter().map(|&(o, e)| (e, o, g.edge(e).w)).collect(),
         });
     }
     // Adjacency lists come out in edge-id order per vertex; sort to be sure.
@@ -114,7 +121,7 @@ pub fn mr_matching(g: &Graph, cfg: MrConfig) -> MrResult<(MatchingResult, Metric
         }
         iteration += 1;
 
-        if alive < 4 * cfg.eta {
+        if alive < CENTRAL_FINISH_SLACK * cfg.eta {
             // Final central iteration: gather the residual graph once (the
             // copy at the smaller endpoint reports the edge) and run the
             // exhaustive pass in ascending edge order.
@@ -159,11 +166,12 @@ pub fn mr_matching(g: &Graph, cfg: MrConfig) -> MrResult<(MatchingResult, Metric
                 }
                 out
             })?;
-        if sample.len() > 8 * cfg.eta {
+        if sample.len() > MATCHING_GATHER_SLACK * cfg.eta {
             return Err(cluster.fail(format!(
-                "Σ|E'_v| = {} > 8η = {}",
+                "Σ|E'_v| = {} > {}η = {}",
                 sample.len(),
-                8 * cfg.eta
+                MATCHING_GATHER_SLACK,
+                MATCHING_GATHER_SLACK * cfg.eta
             )));
         }
 
@@ -220,6 +228,7 @@ pub fn mr_matching(g: &Graph, cfg: MrConfig) -> MrResult<(MatchingResult, Metric
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy wrappers are themselves under test
 mod tests {
     use super::*;
     use crate::rlr::matching::approx_max_matching;

@@ -143,11 +143,7 @@ type SampleMsg = (u64, u64, VertexId, Vec<VertexId>); // (class, group, v, alive
 /// degree threshold; returns the removal delta. Ordering matches the
 /// in-memory drivers: groups ascending, members ascending, max current
 /// degree wins (first max = smallest id).
-fn process_groups(
-    sample: &mut [SampleMsg],
-    round: &mut CentralRound,
-    accept: impl Fn(u64) -> f64,
-) {
+fn process_groups(sample: &mut [SampleMsg], round: &mut CentralRound, accept: impl Fn(u64) -> f64) {
     sample.sort_unstable_by_key(|&(c, g, v, _)| (c, g, v));
     let mut idx = 0usize;
     while idx < sample.len() {
@@ -179,10 +175,7 @@ fn process_groups(
 
 /// The final central round: gathers the residual graph and finishes with
 /// the greedy MIS in ascending vertex order. Returns the chosen vertices.
-fn central_finish(
-    cluster: &mut Cluster<MisChunk>,
-    n: usize,
-) -> MrResult<Vec<VertexId>> {
+fn central_finish(cluster: &mut Cluster<MisChunk>, n: usize) -> MrResult<Vec<VertexId>> {
     let mut residual: Vec<(VertexId, Vec<VertexId>)> = cluster.gather(|_, s: &mut MisChunk| {
         let mut out = Vec::new();
         for rec in &s.recs {
@@ -206,13 +199,29 @@ fn central_finish(
 
 /// Algorithm 6 (`MIS2`) on the cluster. Output is bit-identical to
 /// [`crate::hungry::mis::mis_fast`] with the same parameters.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `mrlr_core::api` (`Registry::get(\"mis2\")` or `MisDriver`)"
+)]
 pub fn mr_mis_fast(
     g: &Graph,
     params: MisParams,
     cfg: MrConfig,
 ) -> MrResult<(SelectionResult, Metrics)> {
+    run_fast(g, params, cfg)
+}
+
+/// Implementation shared by the deprecated [`mr_mis_fast`] wrapper and the
+/// [`crate::api::MisDriver`].
+pub(crate) fn run_fast(
+    g: &Graph,
+    params: MisParams,
+    cfg: MrConfig,
+) -> MrResult<(SelectionResult, Metrics)> {
     if !(params.alpha > 0.0 && params.alpha <= 1.0) || params.group_size == 0 || params.eta == 0 {
-        return Err(MrError::BadConfig("invalid hungry-greedy parameters".into()));
+        return Err(MrError::BadConfig(
+            "invalid hungry-greedy parameters".into(),
+        ));
     }
     let n = g.n();
     if n == 0 {
@@ -318,13 +327,29 @@ pub fn mr_mis_fast(
 
 /// Algorithm 2 (`MIS1`) on the cluster. Output is bit-identical to
 /// [`crate::hungry::mis::mis_simple`] with the same parameters.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `mrlr_core::api` (`Registry::get(\"mis1\")` or `MisDriver`)"
+)]
 pub fn mr_mis_simple(
     g: &Graph,
     params: MisParams,
     cfg: MrConfig,
 ) -> MrResult<(SelectionResult, Metrics)> {
+    run_simple(g, params, cfg)
+}
+
+/// Implementation shared by the deprecated [`mr_mis_simple`] wrapper and the
+/// [`crate::api::MisDriver`].
+pub(crate) fn run_simple(
+    g: &Graph,
+    params: MisParams,
+    cfg: MrConfig,
+) -> MrResult<(SelectionResult, Metrics)> {
     if !(params.alpha > 0.0 && params.alpha <= 1.0) || params.group_size == 0 || params.eta == 0 {
-        return Err(MrError::BadConfig("invalid hungry-greedy parameters".into()));
+        return Err(MrError::BadConfig(
+            "invalid hungry-greedy parameters".into(),
+        ));
     }
     let n = g.n();
     if n == 0 {
@@ -441,6 +466,7 @@ pub fn mr_mis_simple(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy wrappers are themselves under test
 mod tests {
     use super::*;
     use crate::hungry::mis::{mis_fast, mis_simple};

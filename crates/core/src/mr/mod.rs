@@ -19,6 +19,40 @@ pub mod vertex_cover;
 
 use mrlr_mapreduce::{ClusterConfig, Enforcement};
 
+/// Sampling slack of the local-ratio set-cover drivers: Algorithm 1 (and
+/// its `f = 2` vertex-cover fast path) declares `fail` when a gathered
+/// sample exceeds `SET_COVER_SAMPLE_SLACK · η`. Chernoff gives
+/// `|U'| ≤ 2η` w.h.p. at `p = 2η/|U_r|`; the 3× cushion keeps the failure
+/// probability negligible at experiment scale.
+pub const SET_COVER_SAMPLE_SLACK: usize = 6;
+
+/// Gather slack of the matching drivers (Algorithm 4): per-vertex sampling
+/// draws `O(η)` edge halves in expectation; the driver fails past
+/// `MATCHING_GATHER_SLACK · η` gathered words.
+pub const MATCHING_GATHER_SLACK: usize = 8;
+
+/// Central-finish threshold: once fewer than `CENTRAL_FINISH_SLACK · η`
+/// alive items remain, the matching/b-matching drivers ship the residual
+/// instance to the central machine and finish sequentially.
+pub const CENTRAL_FINISH_SLACK: usize = 4;
+
+/// Per-machine capacity charged per word of `η` by [`MrConfig::auto`]:
+/// `MATCHING_GATHER_SLACK · η` gathered halves, `SET_COVER_SAMPLE_SLACK·η`
+/// samples, doubled incidence lists plus their index mirror, and broadcast
+/// hop buffers — a constant multiple of `η` that 64 covers with room to
+/// spare. The theorems' `O(n^{1+µ})` hides exactly this constant.
+pub const CAPACITY_ETA_FACTOR: usize = 64;
+
+/// Capacity charged per unit of `scale` (`n` or `m`) by [`MrConfig::auto`]:
+/// replicated `ϕ`-potential vectors and resident bitmaps are `O(n)` words
+/// each; 8 covers the handful of such structures any driver keeps.
+pub const CAPACITY_SCALE_FACTOR: usize = 8;
+
+/// Flat capacity slack added by [`MrConfig::auto`] so that degenerate
+/// shapes (tiny `η`, tiny `n`) still fit control messages and per-round
+/// bookkeeping.
+pub const CAPACITY_BASE_SLACK: usize = 1024;
+
 /// Cluster-shape parameters shared by the MapReduce algorithms.
 ///
 /// The paper's regime: machine memory `η = n^{1+µ}` words, `M = n^{c-µ}`
@@ -34,6 +68,10 @@ pub struct MrConfig {
     pub fanout: usize,
     /// Sampling budget `η = n^{1+µ}`.
     pub eta: usize,
+    /// The memory exponent `µ` this shape was derived from. Drivers use it
+    /// to derive the paper's per-algorithm parameters (phase granularity
+    /// `α`, group sizes `n^{µ/2}`, colour-group counts `κ`).
+    pub mu: f64,
     /// Seed for all hash-derived randomness.
     pub seed: u64,
     /// Capacity enforcement mode.
@@ -45,20 +83,23 @@ impl MrConfig {
     /// number of vertices, or of sets/elements as appropriate),
     /// `input_records` the number of distributed records, and `mu` the
     /// memory exponent. Capacity is set with a constant-factor slack above
-    /// `η` — the theorems' `O(·)` hides exactly such constants (`6η`
-    /// samples, `8η` gathers, doubled adjacency, resident bitmaps), and the
-    /// *measured* peak words are what the experiments report.
+    /// `η` — the theorems' `O(·)` hides exactly such constants (see
+    /// [`CAPACITY_ETA_FACTOR`], [`CAPACITY_SCALE_FACTOR`],
+    /// [`CAPACITY_BASE_SLACK`]), and the *measured* peak words are what
+    /// the experiments report.
     pub fn auto(scale: usize, input_records: usize, mu: f64, seed: u64) -> Self {
         let nf = scale.max(2) as f64;
         let eta = nf.powf(1.0 + mu).ceil() as usize;
         let machines = input_records.div_ceil(eta).max(1);
         let fanout = (nf.powf(mu).ceil() as usize).max(2);
-        let capacity = 64 * eta + 8 * scale + 1024;
+        let capacity =
+            CAPACITY_ETA_FACTOR * eta + CAPACITY_SCALE_FACTOR * scale + CAPACITY_BASE_SLACK;
         MrConfig {
             machines,
             capacity,
             fanout,
             eta,
+            mu,
             seed,
             enforcement: Enforcement::Strict,
         }
@@ -111,7 +152,7 @@ mod tests {
         assert!((240..=260).contains(&cfg.eta), "eta {}", cfg.eta);
         assert_eq!(cfg.machines, 10_000usize.div_ceil(cfg.eta));
         assert!(cfg.fanout >= 2);
-        assert!(cfg.capacity > 6 * cfg.eta);
+        assert!(cfg.capacity > SET_COVER_SAMPLE_SLACK * cfg.eta);
         assert!(cfg.cluster().validate().is_ok());
     }
 

@@ -15,11 +15,11 @@
 //!    bound `O((c/µ)²)`);
 //! 5. machines drop every element with a chosen set in its `T_j`.
 
-use mrlr_mapreduce::{Bitset, Cluster, Metrics, MrError, MrResult, WordSized};
 use mrlr_mapreduce::rng::coin;
+use mrlr_mapreduce::{Bitset, Cluster, Metrics, MrError, MrResult, WordSized};
 use mrlr_setsys::{ElemId, SetId, SetSystem};
 
-use crate::mr::MrConfig;
+use crate::mr::{MrConfig, SET_COVER_SAMPLE_SLACK};
 use crate::rlr::setcover::{sample_probability, SC_COIN_TAG};
 use crate::seq::local_ratio_sc::ScLocalRatio;
 use crate::types::CoverResult;
@@ -51,7 +51,17 @@ impl WordSized for ElemChunk {
 /// Runs Algorithm 1 on the cluster simulator. Returns the cover and the
 /// cluster metrics. Output is bit-identical to
 /// [`crate::rlr::setcover::approx_set_cover_f`] with `(cfg.eta, cfg.seed)`.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `mrlr_core::api` (`Registry::get(\"set-cover-f\")` or `SetCoverFDriver`)"
+)]
 pub fn mr_set_cover_f(sys: &SetSystem, cfg: MrConfig) -> MrResult<(CoverResult, Metrics)> {
+    run(sys, cfg)
+}
+
+/// Implementation shared by the deprecated [`mr_set_cover_f`] wrapper and the
+/// [`crate::api::SetCoverFDriver`].
+pub(crate) fn run(sys: &SetSystem, cfg: MrConfig) -> MrResult<(CoverResult, Metrics)> {
     if !sys.is_coverable() {
         return Err(MrError::Infeasible(
             "set cover instance leaves an element uncovered".into(),
@@ -106,11 +116,12 @@ pub fn mr_set_cover_f(sys: &SetSystem, cfg: MrConfig) -> MrResult<(CoverResult, 
                 .map(|r| (r.id, r.tj.clone()))
                 .collect::<Vec<_>>()
         })?;
-        if sample.len() > 6 * cfg.eta {
+        if sample.len() > SET_COVER_SAMPLE_SLACK * cfg.eta {
             return Err(cluster.fail(format!(
-                "|U'| = {} > 6η = {}",
+                "|U'| = {} > {}η = {}",
                 sample.len(),
-                6 * cfg.eta
+                SET_COVER_SAMPLE_SLACK,
+                SET_COVER_SAMPLE_SLACK * cfg.eta
             )));
         }
 
@@ -164,6 +175,7 @@ pub fn mr_set_cover_f(sys: &SetSystem, cfg: MrConfig) -> MrResult<(CoverResult, 
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy wrappers are themselves under test
 mod tests {
     use super::*;
     use crate::rlr::setcover::approx_set_cover_f;

@@ -75,7 +75,21 @@ type SampleMsg = (u64, u64, SetId, f64, Vec<ElemId>);
 
 /// Algorithm 3 on the cluster. Output is bit-identical to
 /// [`crate::hungry::setcover::hungry_set_cover`] with the same parameters.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `mrlr_core::api` (`Registry::get(\"set-cover-greedy\")` or `GreedySetCoverDriver`)"
+)]
 pub fn mr_hungry_set_cover(
+    sys: &SetSystem,
+    params: HungryScParams,
+    cfg: MrConfig,
+) -> MrResult<(CoverResult, HungryScTrace, Metrics)> {
+    run(sys, params, cfg)
+}
+
+/// Implementation shared by the deprecated [`mr_hungry_set_cover`] wrapper and the
+/// [`crate::api::GreedySetCoverDriver`].
+pub(crate) fn run(
     sys: &SetSystem,
     params: HungryScParams,
     cfg: MrConfig,
@@ -287,9 +301,8 @@ pub fn mr_hungry_set_cover(
             covered_delta.sort_unstable();
             chosen_delta.sort_unstable();
             cluster.broadcast(&(covered_delta.clone(), chosen_delta.clone()))?;
-            cluster.local(move |_, s: &mut ScChunk| {
-                s.apply_delta(&covered_delta, &chosen_delta)
-            })?;
+            cluster
+                .local(move |_, s: &mut ScChunk| s.apply_delta(&covered_delta, &chosen_delta))?;
         }
         if covered_count < m {
             level /= 1.0 + params.eps;
@@ -312,6 +325,7 @@ pub fn mr_hungry_set_cover(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy wrappers are themselves under test
 mod tests {
     use super::*;
     use crate::hungry::setcover::hungry_set_cover;

@@ -15,7 +15,7 @@ use mrlr_graph::{EdgeId, Graph, VertexId};
 use mrlr_mapreduce::rng::coin;
 use mrlr_mapreduce::{Cluster, Metrics, MrError, MrResult, WordSized};
 
-use crate::mr::MrConfig;
+use crate::mr::{MrConfig, SET_COVER_SAMPLE_SLACK};
 use crate::rlr::setcover::{sample_probability, SC_COIN_TAG};
 use crate::seq::local_ratio_sc::ScLocalRatio;
 use crate::types::CoverResult;
@@ -60,11 +60,21 @@ impl WordSized for VcState {
 /// Runs the `f = 2` vertex-cover algorithm on the cluster. Output is
 /// bit-identical to running [`crate::rlr::setcover::approx_set_cover_f`] on
 /// [`mrlr_setsys::SetSystem::vertex_cover_of`]`(g, weights)`.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `mrlr_core::api` (`Registry::get(\"vertex-cover\")` or `VertexCoverDriver`)"
+)]
 pub fn mr_vertex_cover(
     g: &Graph,
     weights: &[f64],
     cfg: MrConfig,
 ) -> MrResult<(CoverResult, Metrics)> {
+    run(g, weights, cfg)
+}
+
+/// Implementation shared by the deprecated [`mr_vertex_cover`] wrapper and the
+/// [`crate::api::VertexCoverDriver`].
+pub(crate) fn run(g: &Graph, weights: &[f64], cfg: MrConfig) -> MrResult<(CoverResult, Metrics)> {
     assert_eq!(weights.len(), g.n());
     if cfg.eta == 0 {
         return Err(MrError::BadConfig("eta must be positive".into()));
@@ -125,15 +135,21 @@ pub fn mr_vertex_cover(
         cluster.broadcast_words(1)?;
 
         let seed = cfg.seed;
-        let mut sample: Vec<(EdgeId, VertexId, VertexId)> = cluster.gather(|_, s: &mut VcState| {
-            s.edges
-                .iter()
-                .filter(|r| r.alive && coin(seed, &[SC_COIN_TAG, round as u64, r.id as u64], p))
-                .map(|r| (r.id, r.u, r.v))
-                .collect::<Vec<_>>()
-        })?;
-        if sample.len() > 6 * cfg.eta {
-            return Err(cluster.fail(format!("|U'| = {} > 6η = {}", sample.len(), 6 * cfg.eta)));
+        let mut sample: Vec<(EdgeId, VertexId, VertexId)> =
+            cluster.gather(|_, s: &mut VcState| {
+                s.edges
+                    .iter()
+                    .filter(|r| r.alive && coin(seed, &[SC_COIN_TAG, round as u64, r.id as u64], p))
+                    .map(|r| (r.id, r.u, r.v))
+                    .collect::<Vec<_>>()
+            })?;
+        if sample.len() > SET_COVER_SAMPLE_SLACK * cfg.eta {
+            return Err(cluster.fail(format!(
+                "|U'| = {} > {}η = {}",
+                sample.len(),
+                SET_COVER_SAMPLE_SLACK,
+                SET_COVER_SAMPLE_SLACK * cfg.eta
+            )));
         }
         sample.sort_unstable_by_key(|(j, _, _)| *j);
         let mut newly_zero: Vec<VertexId> = Vec::new();
@@ -212,6 +228,7 @@ pub fn mr_vertex_cover(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy wrappers are themselves under test
 mod tests {
     use super::*;
     use crate::rlr::setcover::approx_set_cover_f;

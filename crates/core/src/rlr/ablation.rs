@@ -58,10 +58,15 @@ pub fn approx_max_matching_pooled(g: &Graph, eta: usize, seed: u64) -> MrResult<
                 pool.push(idx as EdgeId);
             }
         }
-        if pool.len() > 8 * eta {
+        if pool.len() > crate::mr::MATCHING_GATHER_SLACK * eta {
             return Err(MrError::AlgorithmFailed {
                 round: iteration,
-                reason: format!("|pool| = {} > 8η = {}", pool.len(), 8 * eta),
+                reason: format!(
+                    "|pool| = {} > {}η = {}",
+                    pool.len(),
+                    crate::mr::MATCHING_GATHER_SLACK,
+                    crate::mr::MATCHING_GATHER_SLACK * eta
+                ),
             });
         }
         // Central pass over the pool in edge-id order; `push` is a no-op on
@@ -180,8 +185,7 @@ pub fn degree_decay_trace(
                 // is not an option here.
                 #[allow(clippy::needless_range_loop)]
                 for idx in 0..alive.len() {
-                    if alive[idx]
-                        && coin(seed, &[POOLED_COIN_TAG, iteration as u64, idx as u64], p)
+                    if alive[idx] && coin(seed, &[POOLED_COIN_TAG, iteration as u64, idx as u64], p)
                     {
                         let e = g.edge(idx as EdgeId);
                         if lr.push(idx as EdgeId, e.u, e.v, e.w) {

@@ -40,12 +40,18 @@ pub fn push_budget(b_v: u32, eps: f64) -> usize {
 }
 
 /// Runs Algorithm 7. `b[v] ≥ 1` is the per-vertex capacity.
-pub fn approx_b_matching(g: &Graph, b: &[u32], params: BMatchingParams) -> MrResult<MatchingResult> {
+pub fn approx_b_matching(
+    g: &Graph,
+    b: &[u32],
+    params: BMatchingParams,
+) -> MrResult<MatchingResult> {
     if params.eps <= 0.0 || !params.eps.is_finite() {
         return Err(MrError::BadConfig("eps must be positive".into()));
     }
     if params.eta == 0 || params.n_mu < 1.0 {
-        return Err(MrError::BadConfig("eta must be positive and n_mu >= 1".into()));
+        return Err(MrError::BadConfig(
+            "eta must be positive and n_mu >= 1".into(),
+        ));
     }
     assert_eq!(b.len(), g.n());
     let n = g.n();
@@ -62,7 +68,7 @@ pub fn approx_b_matching(g: &Graph, b: &[u32], params: BMatchingParams) -> MrRes
 
     while alive_count > 0 {
         iteration += 1;
-        if alive_count < central_threshold.max(4 * params.eta) {
+        if alive_count < central_threshold.max(crate::mr::CENTRAL_FINISH_SLACK * params.eta) {
             // Residual graph fits centrally: exhaustive ε-adjusted pass.
             for (idx, e) in g.edges().iter().enumerate() {
                 if alive[idx] {
@@ -86,7 +92,8 @@ pub fn approx_b_matching(g: &Graph, b: &[u32], params: BMatchingParams) -> MrRes
                 continue;
             }
             let k = (b[v] as f64 * ln_inv_delta * params.n_mu).ceil() as usize;
-            let mut rng = DetRng::derive(params.seed, &[BMATCH_RNG_TAG, iteration as u64, v as u64]);
+            let mut rng =
+                DetRng::derive(params.seed, &[BMATCH_RNG_TAG, iteration as u64, v as u64]);
             samples[v] = rng
                 .sample_indices(alive_inc.len(), k)
                 .into_iter()

@@ -71,10 +71,14 @@ pub fn approx_max_matching(g: &Graph, eta: usize, seed: u64) -> MrResult<Matchin
                 }
             }
         }
-        if total > 8 * eta {
+        if total > crate::mr::MATCHING_GATHER_SLACK * eta {
             return Err(MrError::AlgorithmFailed {
                 round: iteration,
-                reason: format!("Σ|E'_v| = {total} > 8η = {}", 8 * eta),
+                reason: format!(
+                    "Σ|E'_v| = {total} > {}η = {}",
+                    crate::mr::MATCHING_GATHER_SLACK,
+                    crate::mr::MATCHING_GATHER_SLACK * eta
+                ),
             });
         }
 

@@ -61,10 +61,15 @@ pub fn approx_set_cover_f(sys: &SetSystem, eta: usize, seed: u64) -> MrResult<Co
         let sample: Vec<ElemId> = (0..m as ElemId)
             .filter(|&j| alive[j as usize] && coin(seed, &[SC_COIN_TAG, round as u64, j as u64], p))
             .collect();
-        if sample.len() > 6 * eta {
+        if sample.len() > crate::mr::SET_COVER_SAMPLE_SLACK * eta {
             return Err(MrError::AlgorithmFailed {
                 round,
-                reason: format!("|U'| = {} > 6η = {}", sample.len(), 6 * eta),
+                reason: format!(
+                    "|U'| = {} > {}η = {}",
+                    sample.len(),
+                    crate::mr::SET_COVER_SAMPLE_SLACK,
+                    crate::mr::SET_COVER_SAMPLE_SLACK * eta
+                ),
             });
         }
         // Central: local ratio on the sample (natural order).

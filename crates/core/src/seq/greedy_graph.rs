@@ -24,7 +24,9 @@ pub fn greedy_mis_with_order(g: &Graph, order: &[VertexId]) -> SelectionResult {
         }
     }
     SelectionResult {
-        vertices: (0..g.n() as VertexId).filter(|&v| chosen[v as usize]).collect(),
+        vertices: (0..g.n() as VertexId)
+            .filter(|&v| chosen[v as usize])
+            .collect(),
         phases: 1,
         iterations: 1,
     }

@@ -58,7 +58,10 @@ pub fn eps_greedy_set_cover(sys: &SetSystem, eps: f64, seed: u64) -> Result<Cove
             }
             best_ratio = best_ratio.max(d as f64 / sys.weight(i as SetId));
         }
-        debug_assert!(best_ratio > 0.0, "coverable instance must have a useful set");
+        debug_assert!(
+            best_ratio > 0.0,
+            "coverable instance must have a useful set"
+        );
         // Candidates within (1+eps) of the best; greedy (eps = 0) keeps the
         // argmax only.
         let threshold = best_ratio / (1.0 + eps);

@@ -88,7 +88,8 @@ impl BMatchingLocalRatio {
         let mut matching = Vec::new();
         for &(id, _) in self.stack.iter().rev() {
             let e = g.edge(id);
-            if load[e.u as usize] < self.b[e.u as usize] && load[e.v as usize] < self.b[e.v as usize]
+            if load[e.u as usize] < self.b[e.u as usize]
+                && load[e.v as usize] < self.b[e.v as usize]
             {
                 load[e.u as usize] += 1;
                 load[e.v as usize] += 1;
@@ -181,7 +182,10 @@ mod tests {
             let r = local_ratio_b_matching(&g, &b, eps);
             assert!(is_b_matching(&g, &b, &r.matching));
             assert!(r.weight > 0.0);
-            assert!(r.certified_ratio(b_matching_multiplier(&b, eps)) <= b_matching_multiplier(&b, eps) + 1e-6);
+            assert!(
+                r.certified_ratio(b_matching_multiplier(&b, eps))
+                    <= b_matching_multiplier(&b, eps) + 1e-6
+            );
         }
     }
 

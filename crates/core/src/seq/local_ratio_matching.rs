@@ -149,7 +149,11 @@ mod tests {
         // Path 0-1-2-3 with weights 1, 10, 1: optimum picks the middle.
         let g = Graph::new(
             4,
-            vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 10.0), Edge::new(2, 3, 1.0)],
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 2, 10.0),
+                Edge::new(2, 3, 1.0),
+            ],
         );
         let r = local_ratio_matching(&g);
         assert!(is_matching(&g, &r.matching));

@@ -81,12 +81,7 @@ pub fn misra_gries_edge_colouring(g: &Graph) -> ColouringResult {
         colour_edge(g, &adj, &mut p, eid);
     }
 
-    let num_colours = p
-        .colour
-        .iter()
-        .map(|&c| c as usize + 1)
-        .max()
-        .unwrap_or(0);
+    let num_colours = p.colour.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
     ColouringResult {
         colours: p.colour,
         num_colours,

@@ -12,8 +12,7 @@ pub mod local_ratio_sc;
 pub mod misra_gries;
 
 pub use greedy_graph::{
-    degeneracy_colouring,
-    greedy_colouring, greedy_colouring_with_order, greedy_maximal_clique,
+    degeneracy_colouring, greedy_colouring, greedy_colouring_with_order, greedy_maximal_clique,
     greedy_maximal_clique_with_order, greedy_mis, greedy_mis_with_order,
 };
 pub use greedy_sc::{eps_greedy_set_cover, greedy_set_cover, harmonic};

@@ -136,7 +136,10 @@ pub fn is_maximal_clique(g: &Graph, vs: &[VertexId]) -> bool {
 
 /// True if `colours` (one per vertex) is a proper vertex colouring.
 pub fn is_proper_colouring(g: &Graph, colours: &[u32]) -> bool {
-    colours.len() == g.n() && g.edges().iter().all(|e| colours[e.u as usize] != colours[e.v as usize])
+    colours.len() == g.n()
+        && g.edges()
+            .iter()
+            .all(|e| colours[e.u as usize] != colours[e.v as usize])
 }
 
 /// True if `colours` (one per edge) is a proper edge colouring: edges
@@ -165,7 +168,9 @@ pub fn is_vertex_cover(g: &Graph, chosen: &[VertexId]) -> bool {
         }
         picked[v as usize] = true;
     }
-    g.edges().iter().all(|e| picked[e.u as usize] || picked[e.v as usize])
+    g.edges()
+        .iter()
+        .all(|e| picked[e.u as usize] || picked[e.v as usize])
 }
 
 #[cfg(test)]

@@ -9,8 +9,8 @@ use mrlr_core::exact;
 use mrlr_core::hungry::{maximal_clique, mis_fast, mis_simple, MisParams};
 use mrlr_core::rlr::{approx_b_matching, approx_max_matching, approx_set_cover_f, BMatchingParams};
 use mrlr_core::seq::{
-    eps_greedy_set_cover, greedy_set_cover, harmonic, local_ratio_b_matching,
-    local_ratio_matching, local_ratio_set_cover, misra_gries_edge_colouring,
+    eps_greedy_set_cover, greedy_set_cover, harmonic, local_ratio_b_matching, local_ratio_matching,
+    local_ratio_set_cover, misra_gries_edge_colouring,
 };
 use mrlr_core::verify;
 use mrlr_graph::{Edge, Graph};

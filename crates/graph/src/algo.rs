@@ -65,7 +65,11 @@ pub fn triangle_count(g: &Graph) -> usize {
     let rank = |v: VertexId| (deg[v as usize], v);
     let mut out: Vec<Vec<VertexId>> = vec![Vec::new(); g.n()];
     for e in g.edges() {
-        let (a, b) = if rank(e.u) < rank(e.v) { (e.u, e.v) } else { (e.v, e.u) };
+        let (a, b) = if rank(e.u) < rank(e.v) {
+            (e.u, e.v)
+        } else {
+            (e.v, e.u)
+        };
         out[a as usize].push(b);
     }
     for list in &mut out {
@@ -73,7 +77,11 @@ pub fn triangle_count(g: &Graph) -> usize {
     }
     let mut triangles = 0usize;
     for e in g.edges() {
-        let (a, b) = if rank(e.u) < rank(e.v) { (e.u, e.v) } else { (e.v, e.u) };
+        let (a, b) = if rank(e.u) < rank(e.v) {
+            (e.u, e.v)
+        } else {
+            (e.v, e.u)
+        };
         // Count common out-neighbours of a and b.
         let (la, lb) = (&out[a as usize], &out[b as usize]);
         let (mut i, mut j) = (0usize, 0usize);
@@ -352,7 +360,10 @@ mod tests {
                     .iter()
                     .filter(|&&w| pos[w as usize] > pos[v as usize])
                     .count();
-                assert!(later <= d, "seed {seed}: vertex {v} has {later} later, degeneracy {d}");
+                assert!(
+                    later <= d,
+                    "seed {seed}: vertex {v} has {later} later, degeneracy {d}"
+                );
             }
         }
     }

@@ -83,7 +83,10 @@ pub fn densified(n: usize, c: f64, seed: u64) -> Graph {
 pub fn chung_lu(n: usize, m: usize, gamma: f64, seed: u64) -> Graph {
     assert!(gamma > 2.0, "gamma must exceed 2 for a bounded mean");
     let max_m = n * n.saturating_sub(1) / 2;
-    assert!(m <= max_m / 2, "Chung-Lu rejection needs headroom: m too close to complete");
+    assert!(
+        m <= max_m / 2,
+        "Chung-Lu rejection needs headroom: m too close to complete"
+    );
     let mut rng = DetRng::derive(seed, &[0x636c75]);
     let exponent = -1.0 / (gamma - 1.0);
     let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(exponent)).collect();
@@ -104,7 +107,10 @@ pub fn chung_lu(n: usize, m: usize, gamma: f64, seed: u64) -> Graph {
     let mut attempts = 0usize;
     while pairs.len() < m {
         attempts += 1;
-        assert!(attempts < 100 * m + 10_000, "Chung-Lu sampling not converging");
+        assert!(
+            attempts < 100 * m + 10_000,
+            "Chung-Lu sampling not converging"
+        );
         let u = draw(&mut rng);
         let v = draw(&mut rng);
         if u == v {
@@ -190,7 +196,9 @@ pub fn path(n: usize) -> Graph {
 /// Cycle on `n ≥ 3` vertices.
 pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle needs at least 3 vertices");
-    let mut pairs: Vec<(VertexId, VertexId)> = (0..n - 1).map(|i| (i as VertexId, i as VertexId + 1)).collect();
+    let mut pairs: Vec<(VertexId, VertexId)> = (0..n - 1)
+        .map(|i| (i as VertexId, i as VertexId + 1))
+        .collect();
     pairs.push((n as VertexId - 1, 0));
     Graph::from_pairs(n, &pairs)
 }
@@ -256,7 +264,9 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     }
     let mut rng = DetRng::derive(seed, &[0x0072_6567]);
     'attempt: for _ in 0..500 {
-        let mut stubs: Vec<VertexId> = (0..n as VertexId).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        let mut stubs: Vec<VertexId> = (0..n as VertexId)
+            .flat_map(|v| std::iter::repeat_n(v, d))
+            .collect();
         rng.shuffle(&mut stubs);
         let mut seen: HashSet<u64> = HashSet::with_capacity(n * d);
         let mut pairs = Vec::with_capacity(n * d / 2);
@@ -419,7 +429,12 @@ mod tests {
         let mut deg = g.degrees();
         deg.sort_unstable_by(|a, b| b.cmp(a));
         // Power-law: the top vertex should far exceed the median.
-        assert!(deg[0] >= 4 * deg[100].max(1), "top {} median {}", deg[0], deg[100]);
+        assert!(
+            deg[0] >= 4 * deg[100].max(1),
+            "top {} median {}",
+            deg[0],
+            deg[100]
+        );
     }
 
     #[test]

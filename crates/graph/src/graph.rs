@@ -73,9 +73,15 @@ impl Graph {
     /// malformed graph is a programming error, not a runtime condition.
     pub fn new(n: usize, edges: Vec<Edge>) -> Self {
         for e in &edges {
-            assert!((e.u as usize) < n && (e.v as usize) < n, "endpoint out of range");
+            assert!(
+                (e.u as usize) < n && (e.v as usize) < n,
+                "endpoint out of range"
+            );
             assert_ne!(e.u, e.v, "self-loop at {}", e.u);
-            assert!(e.w.is_finite() && e.w > 0.0, "weight must be positive and finite");
+            assert!(
+                e.w.is_finite() && e.w > 0.0,
+                "weight must be positive and finite"
+            );
         }
         let mut keys: Vec<(VertexId, VertexId)> = edges.iter().map(Edge::key).collect();
         keys.sort_unstable();
@@ -87,7 +93,10 @@ impl Graph {
 
     /// Builds an unweighted (unit-weight) graph from endpoint pairs.
     pub fn from_pairs(n: usize, pairs: &[(VertexId, VertexId)]) -> Self {
-        Graph::new(n, pairs.iter().map(|&(u, v)| Edge::new(u, v, 1.0)).collect())
+        Graph::new(
+            n,
+            pairs.iter().map(|&(u, v)| Edge::new(u, v, 1.0)).collect(),
+        )
     }
 
     /// Number of vertices.
@@ -164,7 +173,11 @@ impl Graph {
     pub fn unweighted(&self) -> Graph {
         Graph {
             n: self.n,
-            edges: self.edges.iter().map(|e| Edge::new(e.u, e.v, 1.0)).collect(),
+            edges: self
+                .edges
+                .iter()
+                .map(|e| Edge::new(e.u, e.v, 1.0))
+                .collect(),
         }
     }
 

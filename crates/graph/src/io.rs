@@ -114,7 +114,10 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
             return Err(err(lineno, format!("self-loop at {u}")));
         }
         if !(w.is_finite() && w > 0.0) {
-            return Err(err(lineno, format!("weight {w} must be positive and finite")));
+            return Err(err(
+                lineno,
+                format!("weight {w} must be positive and finite"),
+            ));
         }
         let (a, b) = (u.min(v), u.max(v));
         if !seen.insert(((a as u64) << 32) | b as u64) {
@@ -154,7 +157,11 @@ mod tests {
         assert_eq!(g.m(), h.m());
         for (a, b) in g.edges().iter().zip(h.edges()) {
             assert_eq!(a.key(), b.key());
-            assert_eq!(a.w.to_bits(), b.w.to_bits(), "weights must round-trip bit-exactly");
+            assert_eq!(
+                a.w.to_bits(),
+                b.w.to_bits(),
+                "weights must round-trip bit-exactly"
+            );
         }
     }
 

@@ -153,7 +153,11 @@ mod tests {
         assert_eq!(clustering_coefficient(&star(6)), 0.0);
         // Planted cliques cluster far more than G(n, p) of similar density.
         let cliquey = planted_cliques(6, 8, 0.02, 3);
-        let random = gnp(cliquey.n(), 2.0 * cliquey.m() as f64 / (cliquey.n() * (cliquey.n() - 1)) as f64, 4);
+        let random = gnp(
+            cliquey.n(),
+            2.0 * cliquey.m() as f64 / (cliquey.n() * (cliquey.n() - 1)) as f64,
+            4,
+        );
         assert!(
             clustering_coefficient(&cliquey) > 3.0 * clustering_coefficient(&random),
             "{} vs {}",

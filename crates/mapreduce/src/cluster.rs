@@ -19,10 +19,9 @@
 //! any value it pushes into closures after a `broadcast` was metered there.
 //! See DESIGN.md ("Simulator honesty model").
 
-use rayon::prelude::*;
-
 use crate::error::{CapacityKind, MrError, MrResult};
 use crate::metrics::{Metrics, RoundKind, Violation};
+use crate::par::{IntoParIter, ParSlice};
 use crate::words::WordSized;
 
 /// Identifier of a simulated machine: `0..machines`.
@@ -94,7 +93,9 @@ impl ClusterConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> MrResult<()> {
         if self.machines == 0 {
-            return Err(MrError::BadConfig("cluster needs at least one machine".into()));
+            return Err(MrError::BadConfig(
+                "cluster needs at least one machine".into(),
+            ));
         }
         if self.capacity == 0 {
             return Err(MrError::BadConfig("capacity must be positive".into()));
@@ -286,7 +287,10 @@ impl<S: MachineState> Cluster<S> {
         F: Fn(MachineId, &mut S) + Sync,
     {
         self.metrics.supersteps += 1;
-        self.states.par_iter_mut().enumerate().for_each(|(id, s)| f(id, s));
+        self.states
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(id, s)| f(id, s));
         self.check_states()
     }
 
@@ -327,7 +331,8 @@ impl<S: MachineState> Cluster<S> {
         let max_out = out_words.iter().copied().max().unwrap_or(0);
         let max_in = in_words.iter().copied().max().unwrap_or(0);
         let total: usize = out_words.iter().sum();
-        self.metrics.record_round(RoundKind::Exchange, max_out, max_in, total);
+        self.metrics
+            .record_round(RoundKind::Exchange, max_out, max_in, total);
 
         for (id, used) in out_words.into_iter().enumerate() {
             self.budget(id, CapacityKind::Outbox, used)?;
@@ -367,7 +372,8 @@ impl<S: MachineState> Cluster<S> {
             .unzip();
         let total: usize = out_words.iter().sum();
         let max_out = out_words.iter().copied().max().unwrap_or(0);
-        self.metrics.record_round(RoundKind::Gather, max_out, total, total);
+        self.metrics
+            .record_round(RoundKind::Gather, max_out, total, total);
 
         for (id, used) in out_words.into_iter().enumerate() {
             self.budget(id, CapacityKind::Outbox, used)?;
@@ -578,7 +584,9 @@ mod tests {
     #[test]
     fn state_capacity_enforced_after_local() {
         let mut c = cluster(2, 3);
-        let err = c.local(|_, s| s.0.extend_from_slice(&[1, 2, 3, 4])).unwrap_err();
+        let err = c
+            .local(|_, s| s.0.extend_from_slice(&[1, 2, 3, 4]))
+            .unwrap_err();
         assert!(matches!(
             err,
             MrError::CapacityExceeded {
@@ -593,7 +601,8 @@ mod tests {
         let cfg = ClusterConfig::new(2, 3).with_enforcement(Enforcement::Record);
         let states = (0..2).map(|i| VecState(vec![i as u64])).collect();
         let mut c = Cluster::new(cfg, states).unwrap();
-        c.local(|_, s| s.0.extend_from_slice(&[1, 2, 3, 4])).unwrap();
+        c.local(|_, s| s.0.extend_from_slice(&[1, 2, 3, 4]))
+            .unwrap();
         assert!(!c.metrics().violations.is_empty());
         assert!(c.metrics().peak_machine_words >= 5);
     }

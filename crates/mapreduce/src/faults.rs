@@ -236,9 +236,21 @@ mod tests {
         // Two crashes in the same round: still one redo round (parallel
         // re-execution); a third crash in another round adds another.
         let plan = FaultPlan::new(vec![
-            FaultEvent { round: 2, machine: 0, kind: FaultKind::Crash },
-            FaultEvent { round: 2, machine: 3, kind: FaultKind::Crash },
-            FaultEvent { round: 4, machine: 1, kind: FaultKind::Crash },
+            FaultEvent {
+                round: 2,
+                machine: 0,
+                kind: FaultKind::Crash,
+            },
+            FaultEvent {
+                round: 2,
+                machine: 3,
+                kind: FaultKind::Crash,
+            },
+            FaultEvent {
+                round: 4,
+                machine: 1,
+                kind: FaultKind::Crash,
+            },
         ]);
         let r = apply(&m, &plan);
         assert_eq!(r.redo_rounds, 2);
@@ -251,9 +263,21 @@ mod tests {
     fn stragglers_stretch_makespan_not_rounds() {
         let m = run_of(4, 4);
         let plan = FaultPlan::new(vec![
-            FaultEvent { round: 1, machine: 0, kind: FaultKind::Straggler(3.0) },
-            FaultEvent { round: 1, machine: 1, kind: FaultKind::Straggler(2.0) },
-            FaultEvent { round: 3, machine: 2, kind: FaultKind::Straggler(1.5) },
+            FaultEvent {
+                round: 1,
+                machine: 0,
+                kind: FaultKind::Straggler(3.0),
+            },
+            FaultEvent {
+                round: 1,
+                machine: 1,
+                kind: FaultKind::Straggler(2.0),
+            },
+            FaultEvent {
+                round: 3,
+                machine: 2,
+                kind: FaultKind::Straggler(1.5),
+            },
         ]);
         let r = apply(&m, &plan);
         assert_eq!(r.effective_rounds, 4);
@@ -267,9 +291,21 @@ mod tests {
     fn events_outside_run_ignored() {
         let m = run_of(3, 2);
         let plan = FaultPlan::new(vec![
-            FaultEvent { round: 9, machine: 0, kind: FaultKind::Crash },
-            FaultEvent { round: 0, machine: 0, kind: FaultKind::Crash },
-            FaultEvent { round: 1, machine: 99, kind: FaultKind::Crash },
+            FaultEvent {
+                round: 9,
+                machine: 0,
+                kind: FaultKind::Crash,
+            },
+            FaultEvent {
+                round: 0,
+                machine: 0,
+                kind: FaultKind::Crash,
+            },
+            FaultEvent {
+                round: 1,
+                machine: 99,
+                kind: FaultKind::Crash,
+            },
         ]);
         let r = apply(&m, &plan);
         assert_eq!(r.redo_rounds, 0);
@@ -281,8 +317,16 @@ mod tests {
     fn mixed_faults_compose() {
         let m = run_of(2, 2);
         let plan = FaultPlan::new(vec![
-            FaultEvent { round: 1, machine: 0, kind: FaultKind::Crash },
-            FaultEvent { round: 1, machine: 1, kind: FaultKind::Straggler(4.0) },
+            FaultEvent {
+                round: 1,
+                machine: 0,
+                kind: FaultKind::Crash,
+            },
+            FaultEvent {
+                round: 1,
+                machine: 1,
+                kind: FaultKind::Straggler(4.0),
+            },
         ]);
         let r = apply(&m, &plan);
         assert_eq!(r.effective_rounds, 3);

@@ -306,7 +306,9 @@ mod tests {
             |k: &String, vs: Vec<u64>| vec![(k.clone(), vs.iter().sum::<u64>())],
         );
         let inputs = partition_round_robin(docs, 4);
-        let (plain, m_plain) = job.run(ClusterConfig::new(4, 100_000), inputs.clone()).unwrap();
+        let (plain, m_plain) = job
+            .run(ClusterConfig::new(4, 100_000), inputs.clone())
+            .unwrap();
         let (combined, m_comb) = job
             .run_with_combiner(ClusterConfig::new(4, 100_000), inputs, |_, vs: Vec<u64>| {
                 vs.iter().sum::<u64>()
@@ -383,10 +385,7 @@ mod tests {
     fn key_hashes_differ() {
         assert_ne!(3u32.key_hash(), 4u32.key_hash());
         assert_ne!(3u32.key_hash(), 3u64.key_hash());
-        assert_ne!(
-            String::from("ab").key_hash(),
-            String::from("ba").key_hash()
-        );
+        assert_ne!(String::from("ab").key_hash(), String::from("ba").key_hash());
         assert_ne!((1u32, 2u32).key_hash(), (2u32, 1u32).key_hash());
     }
 }

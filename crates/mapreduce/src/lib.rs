@@ -27,8 +27,10 @@
 //!   [`trace::Timeline`] renders per-round traces (CSV/ASCII); and
 //!   [`faults`] prices crash/straggler plans against a completed run.
 //!
-//! Machines execute in parallel threads (rayon) but every observable —
-//! outputs, metrics, failures — is deterministic given the seed.
+//! Machine execution is written against parallel-iterator entry points
+//! ([`par`], a sequential stand-in for rayon in this offline build) and
+//! every observable — outputs, metrics, failures — is deterministic given
+//! the seed.
 //!
 //! ```
 //! use mrlr_mapreduce::cluster::{Cluster, ClusterConfig};
@@ -52,13 +54,16 @@ pub mod faults;
 pub mod job;
 pub mod metrics;
 pub mod model;
+pub mod par;
 pub mod partition;
 pub mod rng;
 pub mod trace;
 pub mod words;
 
 pub use bitset::Bitset;
-pub use cluster::{tree_depth, Cluster, ClusterConfig, Enforcement, MachineId, MachineState, Outbox};
+pub use cluster::{
+    tree_depth, Cluster, ClusterConfig, Enforcement, MachineId, MachineState, Outbox,
+};
 pub use error::{CapacityKind, MrError, MrResult};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, RecoveryReport};
 pub use metrics::{Metrics, RoundKind, RoundRecord, Violation};

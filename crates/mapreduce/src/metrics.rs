@@ -61,7 +61,7 @@ pub struct Violation {
 }
 
 /// Aggregated metrics for one cluster run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
     /// Number of machines in the cluster.
     pub machines: usize,
@@ -150,7 +150,10 @@ impl fmt::Display for Metrics {
         writeln!(
             f,
             "peak words: machine {}, central {}, out {}, in {}",
-            self.peak_machine_words, self.peak_central_words, self.peak_out_words, self.peak_in_words
+            self.peak_machine_words,
+            self.peak_central_words,
+            self.peak_out_words,
+            self.peak_in_words
         )?;
         write!(
             f,

@@ -73,9 +73,7 @@ impl ComputeModel {
                 }
                 (slack * n.powf(1.0 - delta)).ceil() as usize
             }
-            ComputeModel::Mpc { slack } => {
-                (slack * n / cfg.machines.max(1) as f64).ceil() as usize
-            }
+            ComputeModel::Mpc { slack } => (slack * n / cfg.machines.max(1) as f64).ceil() as usize,
         };
         if cfg.capacity > allowed_capacity {
             violations.push(format!(
@@ -156,7 +154,10 @@ mod tests {
 
     #[test]
     fn mrc_shape_passes_its_own_check() {
-        let model = ComputeModel::Mrc { delta: 0.4, slack: 2.0 };
+        let model = ComputeModel::Mrc {
+            delta: 0.4,
+            slack: 2.0,
+        };
         let n = 100_000;
         let cfg = model.shape(n, 0);
         let check = model.check(n, &cfg);
@@ -187,15 +188,15 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.contains("exceeds model bound")));
-        assert!(check
-            .violations
-            .iter()
-            .any(|v| v.contains("not sublinear")));
+        assert!(check.violations.iter().any(|v| v.contains("not sublinear")));
     }
 
     #[test]
     fn mrc_flags_too_many_machines() {
-        let model = ComputeModel::Mrc { delta: 0.3, slack: 1.0 };
+        let model = ComputeModel::Mrc {
+            delta: 0.3,
+            slack: 1.0,
+        };
         // N = 10_000 → allowed machines ≈ 10^{4·0.3} ≈ 16.
         let cfg = ClusterConfig::new(1000, 100);
         let check = model.check(10_000, &cfg);
@@ -209,15 +210,15 @@ mod tests {
         let cfg = ClusterConfig::new(2, 10);
         let check = model.check(1000, &cfg);
         assert!(!check.ok);
-        assert!(check
-            .violations
-            .iter()
-            .any(|v| v.contains("total memory")));
+        assert!(check.violations.iter().any(|v| v.contains("total memory")));
     }
 
     #[test]
     fn bad_delta_flagged() {
-        let model = ComputeModel::Mrc { delta: 1.5, slack: 1.0 };
+        let model = ComputeModel::Mrc {
+            delta: 1.5,
+            slack: 1.0,
+        };
         let cfg = ClusterConfig::new(2, 2);
         let check = model.check(16, &cfg);
         assert!(check.violations.iter().any(|v| v.contains("delta")));

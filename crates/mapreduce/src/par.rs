@@ -1,0 +1,47 @@
+//! Sequential stand-ins for the rayon parallel-iterator entry points the
+//! cluster uses (`par_iter`, `par_iter_mut`, `into_par_iter`).
+//!
+//! The build environment has no crates.io access, so rayon cannot be a
+//! dependency. Machine execution order is part of the determinism contract
+//! anyway (every observable is defined in machine-id order), so sequential
+//! execution is semantically identical — real parallelism is a drop-in
+//! swap: replace this import with `rayon::prelude::*` and the `Send + Sync`
+//! bounds already in place make the closures parallel-safe.
+
+use std::slice;
+use std::vec;
+
+/// `par_iter`/`par_iter_mut` over slices, sequentially.
+pub trait ParSlice<T> {
+    /// Sequential stand-in for `rayon`'s `par_iter`.
+    fn par_iter(&self) -> slice::Iter<'_, T>;
+    /// Sequential stand-in for `rayon`'s `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> slice::IterMut<'_, T>;
+}
+
+impl<T> ParSlice<T> for [T] {
+    fn par_iter(&self) -> slice::Iter<'_, T> {
+        self.iter()
+    }
+    fn par_iter_mut(&mut self) -> slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+}
+
+/// `into_par_iter`, sequentially.
+pub trait IntoParIter {
+    /// Element type.
+    type Item;
+    /// Underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Sequential stand-in for `rayon`'s `into_par_iter`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T> IntoParIter for Vec<T> {
+    type Item = T;
+    type Iter = vec::IntoIter<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}

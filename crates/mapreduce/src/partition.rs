@@ -228,7 +228,10 @@ mod tests {
         let a = HashPartitioner::new(1, 16);
         let b = HashPartitioner::new(2, 16);
         let same = (0..256u64).filter(|&k| a.place(k) == b.place(k)).count();
-        assert!(same < 64, "placements nearly identical across seeds: {same}");
+        assert!(
+            same < 64,
+            "placements nearly identical across seeds: {same}"
+        );
     }
 
     #[test]
@@ -252,11 +255,12 @@ mod tests {
     #[test]
     fn block_sizes_near_equal() {
         let p = BlockPartitioner::new(103, 10);
-        let sizes: Vec<u64> = (0..10).map(|m| {
-            let (lo, hi) = p.block(m);
-            hi - lo
-        })
-        .collect();
+        let sizes: Vec<u64> = (0..10)
+            .map(|m| {
+                let (lo, hi) = p.block(m);
+                hi - lo
+            })
+            .collect();
         assert!(sizes.iter().all(|&s| s == 10 || s == 11));
         assert_eq!(sizes.iter().sum::<u64>(), 103);
     }

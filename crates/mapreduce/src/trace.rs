@@ -125,7 +125,11 @@ impl Timeline {
                         words += r.total;
                     }
                 }
-                KindSummary { kind, rounds, words }
+                KindSummary {
+                    kind,
+                    rounds,
+                    words,
+                }
             })
             .collect()
     }

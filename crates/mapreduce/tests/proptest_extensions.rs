@@ -9,7 +9,7 @@ use mrlr_mapreduce::partition::{
     balance_stats, split, BlockPartitioner, HashPartitioner, Partitioner, RangePartitioner,
 };
 use mrlr_mapreduce::trace::Timeline;
-use mrlr_mapreduce::{ComputeModel, ClusterConfig};
+use mrlr_mapreduce::{ClusterConfig, ComputeModel};
 
 fn arb_metrics() -> impl Strategy<Value = Metrics> {
     proptest::collection::vec((0usize..4, 0usize..1000, 0usize..1000, 0usize..3000), 0..40)

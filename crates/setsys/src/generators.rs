@@ -95,7 +95,9 @@ pub fn with_log_uniform_weights(s: SetSystem, lo: f64, hi: f64, seed: u64) -> Se
     assert!(lo > 0.0 && hi > lo);
     let mut rng = DetRng::derive(seed, &[0x0073_6c77]);
     let n = s.n_sets();
-    let w = (0..n).map(|_| rng.f64_range(lo.ln(), hi.ln()).exp()).collect();
+    let w = (0..n)
+        .map(|_| rng.f64_range(lo.ln(), hi.ln()).exp())
+        .collect();
     s.with_weights(w)
 }
 
@@ -171,7 +173,11 @@ pub fn partition_system(m: usize, parts: usize, seed: u64) -> SetSystem {
     assert!(parts >= 1 && parts <= m, "need 1 <= parts <= m");
     let mut rng = DetRng::derive(seed, &[0x0070_7274]);
     // Choose parts-1 distinct cut points in 1..m.
-    let mut cuts: Vec<usize> = rng.sample_indices(m - 1, parts - 1).into_iter().map(|c| c + 1).collect();
+    let mut cuts: Vec<usize> = rng
+        .sample_indices(m - 1, parts - 1)
+        .into_iter()
+        .map(|c| c + 1)
+        .collect();
     cuts.sort_unstable();
     cuts.push(m);
     let mut sets = Vec::with_capacity(parts);
@@ -203,8 +209,14 @@ mod tests {
 
     #[test]
     fn bounded_frequency_deterministic() {
-        assert_eq!(bounded_frequency(10, 50, 2, 1), bounded_frequency(10, 50, 2, 1));
-        assert_ne!(bounded_frequency(10, 50, 2, 1), bounded_frequency(10, 50, 2, 2));
+        assert_eq!(
+            bounded_frequency(10, 50, 2, 1),
+            bounded_frequency(10, 50, 2, 1)
+        );
+        assert_ne!(
+            bounded_frequency(10, 50, 2, 1),
+            bounded_frequency(10, 50, 2, 2)
+        );
     }
 
     #[test]

@@ -91,7 +91,10 @@ pub fn parse_text(text: &str) -> Result<SetSystem, ParseError> {
             .parse()
             .map_err(|_| err(lineno, "bad weight"))?;
         if !(w.is_finite() && w > 0.0) {
-            return Err(err(lineno, format!("weight {w} must be positive and finite")));
+            return Err(err(
+                lineno,
+                format!("weight {w} must be positive and finite"),
+            ));
         }
         let mut elems: Vec<ElemId> = Vec::new();
         for t in toks {
@@ -110,7 +113,10 @@ pub fn parse_text(text: &str) -> Result<SetSystem, ParseError> {
         sets.push(elems);
     }
     if sets.len() != n {
-        return Err(err(0, format!("header promised {n} sets, found {}", sets.len())));
+        return Err(err(
+            0,
+            format!("header promised {n} sets, found {}", sets.len()),
+        ));
     }
     Ok(SetSystem::new(m, sets, weights))
 }

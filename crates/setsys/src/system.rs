@@ -1,8 +1,8 @@
 //! Weighted set systems: the primal (`S_i ⊆ [m]`) and dual (`T_j = {i : j ∈
 //! S_i}`) views used by the paper's set-cover algorithms.
 
-use mrlr_mapreduce::words::WordSized;
 use mrlr_graph::Graph;
+use mrlr_mapreduce::words::WordSized;
 
 /// Index of a set: `0..n_sets`.
 pub type SetId = u32;
@@ -36,7 +36,10 @@ impl SetSystem {
             }
         }
         for (i, &w) in weights.iter().enumerate() {
-            assert!(w.is_finite() && w > 0.0, "weight of set {i} must be positive");
+            assert!(
+                w.is_finite() && w > 0.0,
+                "weight of set {i} must be positive"
+            );
         }
         SetSystem {
             universe,

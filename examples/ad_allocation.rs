@@ -1,4 +1,5 @@
-//! Ad allocation as maximum weight b-matching (Appendix D).
+//! Ad allocation as maximum weight b-matching (Appendix D), through the
+//! unified [`Registry`] API.
 //!
 //! Advertisers bid on placement slots; an advertiser `a` can buy at most
 //! `b(a)` slots (campaign budget) and every slot carries at most one ad.
@@ -9,11 +10,8 @@
 //!
 //! Run with: `cargo run --release --example ad_allocation`
 
-use mrlr::core::mr::bmatching::mr_b_matching;
+use mrlr::core::api::{BMatchingInstance, Instance, Registry};
 use mrlr::core::mr::MrConfig;
-use mrlr::core::rlr::BMatchingParams;
-use mrlr::core::seq::b_matching_multiplier;
-use mrlr::core::verify;
 use mrlr::graph::generators;
 use mrlr::mapreduce::DetRng;
 
@@ -29,7 +27,13 @@ fn main() {
     // Budgets: advertisers can buy 1–6 slots; slots hold exactly 1 ad.
     let mut rng = DetRng::new(3);
     let b: Vec<u32> = (0..g.n() as u32)
-        .map(|v| if (v as usize) < advertisers { 1 + rng.range(6) as u32 } else { 1 })
+        .map(|v| {
+            if (v as usize) < advertisers {
+                1 + rng.range(6) as u32
+            } else {
+                1
+            }
+        })
         .collect();
     let budget_total: u32 = b[..advertisers].iter().sum();
     println!(
@@ -37,22 +41,22 @@ fn main() {
         g.m()
     );
 
-    // Run Algorithm 7 on the simulated cluster.
+    // Run Algorithm 7 on the simulated cluster, via the registry. ε is
+    // part of the instance spec; everything else derives from the regime.
     let n = g.n();
     let eps = 0.25;
-    let eta = (n as f64).powf(1.25).ceil() as usize;
-    let params = BMatchingParams {
-        eps,
-        n_mu: (n as f64).powf(0.25),
-        eta,
-        seed: 42,
-    };
-    let mut cfg = MrConfig::auto(n, g.m(), 0.25, 42);
-    cfg.eta = eta;
-    let (alloc, metrics) = mr_b_matching(&g, &b, params, cfg).expect("allocation");
-    assert!(verify::is_b_matching(&g, &b, &alloc.matching));
+    let cfg = MrConfig::auto(n, g.m(), 0.25, 42);
+    let bm = BMatchingInstance::new(g.clone(), b.clone(), eps);
+    let multiplier = bm.multiplier();
+    let report = Registry::with_defaults()
+        .solve("b-matching", &Instance::BMatching(bm), &cfg)
+        .expect("allocation");
+    assert!(
+        report.certificate.feasible,
+        "budgets verified by the report"
+    );
+    let alloc = report.solution.as_matching().expect("matching");
 
-    let mult = b_matching_multiplier(&b, eps);
     println!("\nallocation (Thm D.3, epsilon = {eps}):");
     println!(
         "  {} placements booked, total value ${:.2}",
@@ -61,12 +65,14 @@ fn main() {
     );
     println!(
         "  certified ratio {:.3} (theory: 3 - 2/b + 2e = {:.2})",
-        alloc.certified_ratio(mult),
-        mult
+        report.certificate.certified_ratio.unwrap_or(f64::NAN),
+        multiplier
     );
     println!(
         "  {} sampling iterations, {} MapReduce rounds, peak machine {} words",
-        alloc.iterations, metrics.rounds, metrics.peak_machine_words
+        alloc.iterations,
+        report.rounds(),
+        report.peak_words()
     );
 
     // Per-advertiser fill-rate summary.

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example cluster_observability`
 
-use mrlr::core::mr::matching::mr_matching;
+use mrlr::core::api::{Instance, Registry};
 use mrlr::core::mr::MrConfig;
 use mrlr::graph::generators;
 use mrlr::mapreduce::faults::{apply, FaultPlan};
@@ -21,7 +21,11 @@ fn main() {
     let n = 2000usize;
     let g = generators::with_uniform_weights(&generators::densified(n, 0.5, 3), 1.0, 10.0, 4);
     let cfg = MrConfig::auto(n, g.m(), 0.05, 42);
-    let (result, metrics) = mr_matching(&g, cfg).expect("matching");
+    let report = Registry::with_defaults()
+        .solve("matching", &Instance::Graph(g.clone()), &cfg)
+        .expect("matching");
+    let result = report.solution.as_matching().expect("matching");
+    let metrics = report.metrics.expect("Mr backend meters");
     println!(
         "matching: {} edges, weight {:.1}, {} iterations\n",
         result.matching.len(),
@@ -31,14 +35,26 @@ fn main() {
 
     // --- Per-round timeline ---
     let timeline = Timeline::from_metrics(&metrics);
-    println!("timeline ({} rounds, {} words moved):", timeline.len(), timeline.total_words());
+    println!(
+        "timeline ({} rounds, {} words moved):",
+        timeline.len(),
+        timeline.total_words()
+    );
     print!("{}", timeline.render_ascii(40));
     if let Some(busy) = timeline.busiest_round() {
-        println!("busiest: round {} ({}, {} words)\n", busy.round, busy.kind, busy.total);
+        println!(
+            "busiest: round {} ({}, {} words)\n",
+            busy.round, busy.kind, busy.total
+        );
     }
     println!("per-kind summary:");
     for k in timeline.summary_by_kind() {
-        println!("  {:<9} {:>3} rounds {:>9} words", k.kind.to_string(), k.rounds, k.words);
+        println!(
+            "  {:<9} {:>3} rounds {:>9} words",
+            k.kind.to_string(),
+            k.rounds,
+            k.words
+        );
     }
     println!("\nfirst CSV rows (feed to any plotting tool):");
     for line in timeline.to_csv().lines().take(4) {
@@ -49,7 +65,13 @@ fn main() {
     let input_words = 3 * g.m() + g.n();
     for (name, model) in [
         ("MPC (slack 64)", ComputeModel::Mpc { slack: 64.0 }),
-        ("MRC (delta 0.2, slack 64)", ComputeModel::Mrc { delta: 0.2, slack: 64.0 }),
+        (
+            "MRC (delta 0.2, slack 64)",
+            ComputeModel::Mrc {
+                delta: 0.2,
+                slack: 64.0,
+            },
+        ),
     ] {
         let check = model.check(input_words, &cfg.cluster());
         println!(

@@ -1,20 +1,21 @@
 //! Representative-subset selection ("selecting representative subsets" from
 //! the paper's introduction) as weighted set cover, solved with **both** of
-//! the paper's techniques and compared against Chvátal's sequential greedy:
+//! the paper's techniques through the unified [`Registry`] API and compared
+//! against Chvátal's sequential greedy (the same driver's `Seq` backend):
 //!
 //! * Algorithm 1 — randomized local ratio, `f`-approximation (Theorem 2.4);
 //! * Algorithm 3 — hungry greedy, `(1+ε) ln Δ`-approximation (Theorem 4.6).
 //!
 //! Run with: `cargo run --release --example coverage_catalog`
 
-use mrlr::core::hungry::HungryScParams;
-use mrlr::core::mr::set_cover::mr_set_cover_f;
-use mrlr::core::mr::set_cover_greedy::mr_hungry_set_cover;
+use mrlr::core::api::{Backend, Instance, Registry, DEFAULT_GREEDY_SC_EPS};
 use mrlr::core::mr::MrConfig;
-use mrlr::core::seq::{greedy_set_cover, harmonic};
+use mrlr::core::seq::harmonic;
 use mrlr::setsys::generators as setgen;
 
 fn main() {
+    let registry = Registry::with_defaults();
+
     // Regime 1 (n << m): few "catalogues", many items; every item appears
     // in at most f = 3 catalogues. Algorithm 1's home turf.
     let n_sets = 250;
@@ -31,20 +32,27 @@ fn main() {
         m_items,
         sys.max_frequency()
     );
+    let f = sys.max_frequency();
     let cfg = MrConfig::auto(n_sets, m_items, 0.3, 123);
-    let (cover, metrics) = mr_set_cover_f(&sys, cfg).expect("set cover f");
-    assert!(sys.covers(&cover.cover));
-    println!("  Algorithm 1 (f-approx, Thm 2.4):");
+    let report = registry
+        .solve("set-cover-f", &Instance::SetSystem(sys), &cfg)
+        .expect("set cover f");
+    assert!(
+        report.certificate.feasible,
+        "coverage verified by the report"
+    );
+    let cover = report.solution.as_cover().expect("cover");
+    println!("  Algorithm 1 (f-approx, Thm 2.4, registry key \"set-cover-f\"):");
     println!(
-        "    picked {} catalogues, weight {:.1}, certified ratio {:.3} (theory f = {})",
+        "    picked {} catalogues, weight {:.1}, certified ratio {:.3} (theory f = {f})",
         cover.cover.len(),
         cover.weight,
-        cover.certified_ratio(),
-        sys.max_frequency()
+        report.certificate.certified_ratio.unwrap_or(f64::NAN),
     );
     println!(
         "    {} sampling iterations, {} MapReduce rounds\n",
-        cover.iterations, metrics.rounds
+        cover.iterations,
+        report.rounds()
     );
 
     // Regime 2 (m << n): huge pool of candidate summaries over a small
@@ -64,30 +72,37 @@ fn main() {
         universe,
         sys2.max_set_size()
     );
-    let eps = 0.2;
-    let params = HungryScParams::new(universe, 0.4, eps, 77);
+    let bound = (1.0 + DEFAULT_GREEDY_SC_EPS) * harmonic(sys2.max_set_size());
     let cfg2 = MrConfig::auto(universe, sys2.total_size(), 0.4, 77);
-    let (cover2, trace, metrics2) = mr_hungry_set_cover(&sys2, params, cfg2).expect("hungry sc");
-    assert!(sys2.covers(&cover2.cover));
-    let bound = (1.0 + eps) * harmonic(sys2.max_set_size());
-    println!("  Algorithm 3 ((1+e)lnD, Thm 4.6):");
+    let instance2 = Instance::SetSystem(sys2);
+    let report2 = registry
+        .solve("set-cover-greedy", &instance2, &cfg2)
+        .expect("hungry sc");
+    assert!(report2.certificate.feasible);
+    let cover2 = report2.solution.as_cover().expect("cover");
+    println!("  Algorithm 3 ((1+e)lnD, Thm 4.6, registry key \"set-cover-greedy\"):");
     println!(
         "    picked {} summaries, weight {:.1}, certified ratio {:.3} (theory {:.2})",
         cover2.cover.len(),
         cover2.weight,
-        cover2.certified_ratio(),
+        report2.certificate.certified_ratio.unwrap_or(f64::NAN),
         bound
     );
     println!(
-        "    {} inner rounds over {} cost-ratio levels, {} MapReduce rounds",
-        cover2.iterations, trace.levels, metrics2.rounds
+        "    {} inner rounds, {} MapReduce rounds",
+        cover2.iterations,
+        report2.rounds()
     );
 
-    // Sequential reference: Chvátal's greedy pays the same H_Delta-style
-    // guarantee but needs as many sequential steps as sets chosen.
-    let greedy = greedy_set_cover(&sys2).expect("greedy");
+    // Sequential reference: the same driver's Seq backend runs Chvátal's
+    // greedy, which pays the H_Delta-style guarantee in as many inherently
+    // sequential steps as sets chosen.
+    let greedy = registry
+        .solve_with("set-cover-greedy", Backend::Seq, &instance2, &cfg2)
+        .expect("greedy");
+    let gcover = greedy.solution.as_cover().expect("cover");
     println!(
-        "    Chvatal greedy (sequential): weight {:.1} in {} inherently sequential steps",
-        greedy.weight, greedy.iterations
+        "    Chvatal greedy (Seq backend): weight {:.1} in {} inherently sequential steps",
+        gcover.weight, gcover.iterations
     );
 }

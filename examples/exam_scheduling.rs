@@ -1,20 +1,20 @@
-//! Exam timetabling as vertex colouring (Section 6).
+//! Exam timetabling as vertex colouring (Section 6), through the unified
+//! [`Registry`] API.
 //!
 //! Courses that share a student cannot sit their exams in the same slot:
 //! colour the conflict graph, one colour per slot. The paper's Algorithm 5
 //! uses `(1 + o(1))Δ` colours in O(1) MapReduce rounds; the sequential
-//! greedy baseline uses ≤ Δ+1 colours but is inherently sequential. The
-//! example also colours the *invigilator* assignment as an edge colouring
-//! (Remark 6.5): each pairwise conflict gets a distinct auditor slot among
-//! those shared by its two courses.
+//! greedy baseline (the same driver's `Seq` backend) uses ≤ Δ+1 colours
+//! but is inherently sequential. The example also colours the
+//! *invigilator* assignment as an edge colouring (Remark 6.5): each
+//! pairwise conflict gets a distinct auditor slot among those shared by
+//! its two courses.
 //!
 //! Run with: `cargo run --release --example exam_scheduling`
 
+use mrlr::core::api::{Backend, Instance, Registry};
 use mrlr::core::colouring::{colour_budget, group_count};
-use mrlr::core::mr::colouring::{mr_edge_colouring, mr_vertex_colouring};
 use mrlr::core::mr::MrConfig;
-use mrlr::core::seq::greedy_colouring;
-use mrlr::core::verify;
 use mrlr::graph::generators;
 
 fn main() {
@@ -30,18 +30,29 @@ fn main() {
         "conflict graph: {n} courses, {m} conflicts, max conflicts per course Delta = {delta}"
     );
 
+    let registry = Registry::with_defaults();
     let mu = 0.1;
     let kappa = group_count(g.n(), g.m(), mu).max(1);
     let cfg = MrConfig::auto(n, g.m(), mu, 5);
-    let (timetable, metrics) = mr_vertex_colouring(&g, kappa, None, cfg).expect("timetable");
-    assert!(verify::is_proper_colouring(&g, &timetable.colours));
+    let instance = Instance::Graph(g.clone());
+    let report = registry
+        .solve("vertex-colouring", &instance, &cfg)
+        .expect("timetable");
+    assert!(
+        report.certificate.feasible,
+        "properness verified by the report"
+    );
+    let timetable = report.solution.as_colouring().expect("colouring");
     println!("\ntimetable (Alg 5 / Thm 6.4, kappa = {kappa} random groups):");
     println!(
         "  {} exam slots used (Delta = {delta}; (1+o(1))Delta budget = {:.0})",
         timetable.num_colours,
         colour_budget(n, delta, mu)
     );
-    println!("  {} MapReduce rounds — constant, by Theorem 6.4", metrics.rounds);
+    println!(
+        "  {} MapReduce rounds — constant, by Theorem 6.4",
+        report.rounds()
+    );
 
     // Slot occupancy histogram (how many exams share each slot).
     let mut per_slot = vec![0usize; timetable.num_colours];
@@ -49,23 +60,36 @@ fn main() {
         per_slot[c as usize] += 1;
     }
     let busiest = per_slot.iter().copied().max().unwrap_or(0);
-    println!("  busiest slot hosts {busiest} exams; mean {:.1}", n as f64 / timetable.num_colours as f64);
-
-    // Sequential greedy baseline: fewer colours, but Θ(n) sequential steps.
-    let greedy = greedy_colouring(&g);
-    assert!(verify::is_proper_colouring(&g, &greedy.colours));
     println!(
-        "\nsequential greedy baseline: {} slots (<= Delta+1 = {}), but one vertex at a time",
-        greedy.num_colours,
+        "  busiest slot hosts {busiest} exams; mean {:.1}",
+        n as f64 / timetable.num_colours as f64
+    );
+
+    // Sequential greedy baseline — the same registry key, Seq backend:
+    // fewer colours, but Θ(n) sequential steps.
+    let greedy = registry
+        .solve_with("vertex-colouring", Backend::Seq, &instance, &cfg)
+        .expect("greedy");
+    assert!(greedy.certificate.feasible);
+    println!(
+        "\nsequential greedy baseline (Seq backend): {} slots (<= Delta+1 = {}), but one vertex at a time",
+        greedy.solution.as_colouring().expect("colouring").num_colours,
         delta + 1
     );
 
     // Invigilator assignment: proper edge colouring (Rem 6.5 / Thm 6.6).
     let cfg = MrConfig::auto(n, g.m(), mu, 7);
-    let (audit, metrics) = mr_edge_colouring(&g, kappa, None, cfg).expect("edge colouring");
-    assert!(verify::is_proper_edge_colouring(&g, &audit.colours));
+    let report = registry
+        .solve("edge-colouring", &instance, &cfg)
+        .expect("edge colouring");
+    assert!(report.certificate.feasible);
     println!(
         "\ninvigilation (edge colouring): {} auditor pools for {m} pairwise conflicts, {} rounds",
-        audit.num_colours, metrics.rounds
+        report
+            .solution
+            .as_colouring()
+            .expect("colouring")
+            .num_colours,
+        report.rounds()
     );
 }

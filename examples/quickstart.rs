@@ -1,14 +1,12 @@
 //! Quickstart: run the paper's two headline algorithms — 2-approximate
 //! weighted vertex cover (Theorem 2.4) and 2-approximate weighted matching
-//! (Theorem 5.6) — on a simulated MapReduce cluster, and inspect the
-//! metrics the theorems bound.
+//! (Theorem 5.6) — through the unified [`Registry`] API, and inspect the
+//! uniform [`Report`] the theorems bound.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use mrlr::core::mr::matching::mr_matching;
-use mrlr::core::mr::vertex_cover::mr_vertex_cover;
+use mrlr::core::api::{Instance, Registry, VertexWeightedGraph};
 use mrlr::core::mr::MrConfig;
-use mrlr::core::verify;
 use mrlr::graph::generators;
 use mrlr::mapreduce::DetRng;
 
@@ -25,44 +23,70 @@ fn main() {
         g.max_degree()
     );
 
-    // Cluster shape: machine memory eta = n^{1+mu} words, mu = 0.25.
+    // Cluster regime: machine memory eta = n^{1+mu} words, mu = 0.25.
     let cfg = MrConfig::auto(n, g.m(), 0.25, 42);
     println!(
         "cluster: {} machines x {} words (eta = {}), broadcast fan-out {}\n",
         cfg.machines, cfg.capacity, cfg.eta, cfg.fanout
     );
 
+    // Every algorithm is one registry key; `solve` returns a uniform
+    // report: solution + verification certificate + metrics + timing.
+    let registry = Registry::with_defaults();
+
     // --- Weighted vertex cover (randomized local ratio, f = 2) ---
     let mut rng = DetRng::new(7);
     let weights: Vec<f64> = (0..n).map(|_| rng.f64_range(1.0, 10.0)).collect();
-    let (cover, metrics) = mr_vertex_cover(&g, &weights, cfg).expect("vertex cover");
-    assert!(verify::is_vertex_cover(&g, &cover.cover));
-    println!("vertex cover (Thm 2.4):");
-    println!("  cover size {} of {} vertices, weight {:.1}", cover.cover.len(), n, cover.weight);
+    let instance = Instance::VertexWeighted(VertexWeightedGraph::new(g.clone(), weights));
+    let report = registry
+        .solve("vertex-cover", &instance, &cfg)
+        .expect("vertex cover");
+    let cover = report.solution.as_cover().expect("cover solution");
+    assert!(
+        report.certificate.feasible,
+        "independently verified by the report"
+    );
+    println!("vertex cover (Thm 2.4, registry key \"vertex-cover\"):");
     println!(
-        "  certified ratio {:.3} (theory: 2), {} sampling iterations, {} MapReduce rounds",
-        cover.certified_ratio(),
-        cover.iterations,
-        metrics.rounds
+        "  cover size {} of {} vertices, weight {:.1}",
+        cover.cover.len(),
+        n,
+        cover.weight
     );
     println!(
-        "  peak machine load {} words = {:.2} x eta\n",
-        metrics.peak_machine_words,
-        metrics.peak_machine_words as f64 / cfg.eta as f64
+        "  certified ratio {:.3} (theory: 2), {} sampling iterations, {} MapReduce rounds",
+        report.certificate.certified_ratio.unwrap_or(f64::NAN),
+        cover.iterations,
+        report.rounds()
+    );
+    println!(
+        "  peak machine load {} words = {:.2} x eta, solved in {:.1?}\n",
+        report.peak_words(),
+        report.peak_words() as f64 / cfg.eta as f64,
+        report.wall
     );
 
     // --- Weighted matching (randomized local ratio) ---
-    let (matching, metrics) = mr_matching(&g, cfg).expect("matching");
-    assert!(verify::is_matching(&g, &matching.matching));
-    println!("maximum weight matching (Thm 5.6):");
+    let report = registry
+        .solve("matching", &Instance::Graph(g), &cfg)
+        .expect("matching");
+    let matching = report.solution.as_matching().expect("matching solution");
+    assert!(report.certificate.feasible);
+    let metrics = report.metrics.as_ref().expect("Mr backend meters");
+    println!("maximum weight matching (Thm 5.6, registry key \"matching\"):");
     println!(
         "  {} edges, weight {:.1}, certified ratio {:.3} (theory: 2)",
         matching.matching.len(),
         matching.weight,
-        matching.certified_ratio(2.0)
+        report.certificate.certified_ratio.unwrap_or(f64::NAN)
     );
     println!(
         "  {} sampling iterations, {} MapReduce rounds, {} words communicated",
         matching.iterations, metrics.rounds, metrics.total_message_words
     );
+
+    // The same driver is available on the in-memory backends too:
+    // `Backend::Rlr` (bit-identical solution, no cluster) and
+    // `Backend::Seq` (deterministic reference). See `Registry::solve_with`.
+    println!("\nregistered algorithms: {:?}", registry.algorithms());
 }

@@ -1,18 +1,15 @@
 //! Social-network pipeline: the workloads the paper's introduction
 //! motivates — community-ish power-law graphs processed with maximal
 //! independent set (hungry greedy, Algorithm 6), `(1+o(1))Δ` vertex
-//! colouring (Algorithm 5), and weighted matching (Algorithm 4).
+//! colouring (Algorithm 5), and weighted matching (Algorithm 4), all
+//! dispatched through the unified [`Registry`] API.
 //!
 //! Run with: `cargo run --release --example social_network`
 
 use mrlr::baselines::luby_mis;
+use mrlr::core::api::{Instance, Registry};
 use mrlr::core::colouring::{colour_budget, group_count};
-use mrlr::core::hungry::MisParams;
-use mrlr::core::mr::colouring::mr_vertex_colouring;
-use mrlr::core::mr::matching::mr_matching;
-use mrlr::core::mr::mis::mr_mis_fast;
 use mrlr::core::mr::MrConfig;
-use mrlr::core::verify;
 use mrlr::graph::{clustering_coefficient, degree_assortativity, degree_stats, generators};
 
 fn main() {
@@ -38,48 +35,66 @@ fn main() {
         "cluster: {} machines x {} words, eta = {}\n",
         cfg.machines, cfg.capacity, cfg.eta
     );
+    let registry = Registry::with_defaults();
 
     // --- Maximal independent set: a spam-free "representative" set ---
-    let params = MisParams::mis2(n, mu, 99);
-    let (mis, metrics) = mr_mis_fast(&g, params, cfg).expect("mis");
-    assert!(verify::is_maximal_independent_set(&g, &mis.vertices));
+    let report = registry
+        .solve("mis2", &Instance::Graph(g.clone()), &cfg)
+        .expect("mis");
+    assert!(
+        report.certificate.feasible,
+        "maximality verified by the report"
+    );
+    let mis = report.solution.as_selection().expect("selection");
     let luby = luby_mis(&g, 99);
     println!("representatives (MIS, Alg 6 / Thm A.3):");
     println!(
         "  |I| = {} in {} hungry-greedy iterations ({} MapReduce rounds)",
         mis.vertices.len(),
         mis.iterations,
-        metrics.rounds
+        report.rounds()
     );
-    println!("  Luby's PRAM baseline needs {} synchronous rounds\n", luby.rounds);
+    println!(
+        "  Luby's PRAM baseline needs {} synchronous rounds\n",
+        luby.rounds
+    );
 
     // --- Vertex colouring: frequency assignment / scheduling ---
-    let kappa = group_count(n, g.m(), mu);
-    let (colouring, metrics) = mr_vertex_colouring(&g, kappa, None, cfg).expect("colouring");
-    assert!(verify::is_proper_colouring(&g, &colouring.colours));
+    let report = registry
+        .solve("vertex-colouring", &Instance::Graph(g.clone()), &cfg)
+        .expect("colouring");
+    assert!(report.certificate.feasible);
+    let colouring = report.solution.as_colouring().expect("colouring");
     println!("schedule (vertex colouring, Alg 5 / Thm 6.4):");
     println!(
         "  {} colours across {} random groups (Delta = {}, (1+o(1))Delta budget {:.0})",
         colouring.num_colours,
-        kappa,
+        group_count(n, g.m(), mu),
         g.max_degree(),
         colour_budget(n, g.max_degree(), mu)
     );
-    println!("  {} MapReduce rounds (constant by Thm 6.4)\n", metrics.rounds);
+    println!(
+        "  {} MapReduce rounds (constant by Thm 6.4)\n",
+        report.rounds()
+    );
 
     // --- Weighted matching: pairing users by affinity ---
     let weighted = generators::with_uniform_weights(&g, 0.5, 5.0, 7);
-    let (matching, metrics) = mr_matching(&weighted, cfg).expect("matching");
-    assert!(verify::is_matching(&weighted, &matching.matching));
+    let report = registry
+        .solve("matching", &Instance::Graph(weighted), &cfg)
+        .expect("matching");
+    assert!(report.certificate.feasible);
+    let matching = report.solution.as_matching().expect("matching");
     println!("affinity pairing (matching, Alg 4 / Thm 5.6):");
     println!(
         "  {} pairs, total affinity {:.1}, certified within {:.3} of optimal",
         matching.matching.len(),
         matching.weight,
-        matching.certified_ratio(2.0)
+        report.certificate.certified_ratio.unwrap_or(f64::NAN)
     );
     println!(
         "  {} iterations, {} MapReduce rounds",
-        matching.iterations, metrics.rounds
+        matching.iterations,
+        report.rounds()
     );
 }

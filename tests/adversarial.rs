@@ -4,6 +4,9 @@
 //! degree-oblivious sampling struggles, planted cliques, and the
 //! cross-checks between independent code paths (vertex cover vs the f = 2
 //! set-cover view; edge colouring vs vertex-colouring the line graph).
+// The legacy free-function entry points are deliberately exercised here;
+// new code dispatches through `mrlr::core::api` (see tests/registry_api.rs).
+#![allow(deprecated)]
 
 use mrlr::core::hungry::{maximal_clique, MisParams};
 use mrlr::core::mr::set_cover::mr_set_cover_f;
@@ -49,7 +52,10 @@ fn greedy_trap_gap_grows_logarithmically() {
         gaps.push(greedy.weight / lr.weight);
     }
     assert!(gaps[0] > 1.2, "trap did not trap: {gaps:?}");
-    assert!(gaps[2] > gaps[1] && gaps[1] > gaps[0], "gap not growing: {gaps:?}");
+    assert!(
+        gaps[2] > gaps[1] && gaps[1] > gaps[0],
+        "gap not growing: {gaps:?}"
+    );
 }
 
 /// The two vertex-cover code paths (the dedicated f = 2 fast path and the
@@ -153,11 +159,7 @@ fn hub_graphs_do_not_break_matching() {
         assert!(verify::is_matching(&g, &r.matching));
         assert!(r.certified_ratio(2.0) <= 2.0 + 1e-9);
         // The hub can be matched at most once.
-        let hub_edges = r
-            .matching
-            .iter()
-            .filter(|&&e| g.edge(e).touches(0))
-            .count();
+        let hub_edges = r.matching.iter().filter(|&&e| g.edge(e).touches(0)).count();
         assert!(hub_edges <= 1);
     }
 }

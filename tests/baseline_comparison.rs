@@ -1,6 +1,9 @@
 //! Head-to-head comparisons against the Figure 1 baseline rows: the paper's
 //! claims about *who wins and by roughly what factor* (the shape of the
 //! table), asserted on concrete instances.
+// The legacy free-function entry points are deliberately exercised here;
+// new code dispatches through `mrlr::core::api` (see tests/registry_api.rs).
+#![allow(deprecated)]
 
 use mrlr::baselines::{
     coreset_matching, crouch_stubbs_matching, filtering_vertex_cover, greedy_weighted_matching,
@@ -8,8 +11,8 @@ use mrlr::baselines::{
 };
 use mrlr::core::hungry::{mis_fast, MisParams};
 use mrlr::core::rlr::approx_max_matching;
-use mrlr::core::seq::greedy_set_cover;
 use mrlr::core::rlr::approx_set_cover_f;
+use mrlr::core::seq::greedy_set_cover;
 use mrlr::core::verify::{is_matching, matching_weight};
 use mrlr::graph::generators;
 use mrlr::setsys::generators as setgen;
@@ -106,7 +109,10 @@ fn coreset_trades_rounds_for_quality() {
         // Sanity: the coreset union really was bigger than one matching.
         assert!(coreset.union_size >= coreset.matching.len());
     }
-    assert!(ours_wins >= 3, "ours won only {ours_wins}/5 vs 2-round coreset");
+    assert!(
+        ours_wins >= 3,
+        "ours won only {ours_wins}/5 vs 2-round coreset"
+    );
 }
 
 /// Luby's MIS takes Θ(log n) rounds; hungry-greedy (Algorithm 6) takes
@@ -120,10 +126,20 @@ fn mis_iteration_comparison() {
         let g = generators::densified(100, 0.5, seed + 300);
         let luby = luby_mis(&g, seed);
         let ours = mis_fast(&g, MisParams::mis2(100, 0.35, seed)).unwrap();
-        assert!(is_maximal_independent_set(&g, &luby.vertices), "luby seed {seed}");
-        assert!(is_maximal_independent_set(&g, &ours.vertices), "ours seed {seed}");
+        assert!(
+            is_maximal_independent_set(&g, &luby.vertices),
+            "luby seed {seed}"
+        );
+        assert!(
+            is_maximal_independent_set(&g, &ours.vertices),
+            "ours seed {seed}"
+        );
         // O(c/µ) with c = 0.5, µ = 0.35 ⇒ a handful of iterations.
-        assert!(ours.iterations <= 30, "hungry-greedy took {}", ours.iterations);
+        assert!(
+            ours.iterations <= 30,
+            "hungry-greedy took {}",
+            ours.iterations
+        );
     }
 }
 
@@ -141,7 +157,9 @@ fn weighted_vertex_cover_beats_unweighted_baseline_on_skew() {
         // weighted optimum is (close to) the left side alone, which an
         // unweighted maximal-matching cover cannot see.
         let g = generators::bipartite(30, 30, 220, seed + 400);
-        let weights: Vec<f64> = (0..g.n()).map(|i| if i < 30 { 0.1 } else { 10.0 }).collect();
+        let weights: Vec<f64> = (0..g.n())
+            .map(|i| if i < 30 { 0.1 } else { 10.0 })
+            .collect();
         let cfg = MrConfig::auto(60, g.m(), 0.3, seed);
         let (ours, _) = mr_vertex_cover(&g, &weights, cfg).unwrap();
         let (baseline_cover, _) = filtering_vertex_cover(&g, 500, seed).unwrap();

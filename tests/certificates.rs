@@ -3,8 +3,12 @@
 
 use mrlr::core::exact;
 use mrlr::core::hungry::{hungry_set_cover, HungryScParams};
-use mrlr::core::rlr::{approx_b_matching, approx_max_matching, approx_set_cover_f, BMatchingParams};
-use mrlr::core::seq::{b_matching_multiplier, harmonic, local_ratio_matching, local_ratio_set_cover};
+use mrlr::core::rlr::{
+    approx_b_matching, approx_max_matching, approx_set_cover_f, BMatchingParams,
+};
+use mrlr::core::seq::{
+    b_matching_multiplier, harmonic, local_ratio_matching, local_ratio_set_cover,
+};
 use mrlr::core::verify;
 use mrlr::graph::generators;
 use mrlr::mapreduce::DetRng;
@@ -36,7 +40,12 @@ fn vertex_cover_within_two_of_optimum() {
         let sys = SetSystem::vertex_cover_of(&g, w.clone());
         let r = approx_set_cover_f(&sys, 6, seed).unwrap();
         assert!(sys.covers(&r.cover));
-        assert!(r.weight <= 2.0 * opt + 1e-9, "seed {seed}: {} > 2x{}", r.weight, opt);
+        assert!(
+            r.weight <= 2.0 * opt + 1e-9,
+            "seed {seed}: {} > 2x{}",
+            r.weight,
+            opt
+        );
     }
 }
 
@@ -112,10 +121,16 @@ fn lower_bound_certificates_are_sound() {
         );
         let (opt, _) = exact::min_weight_set_cover(&sys).unwrap();
         let lr = local_ratio_set_cover(&sys).unwrap();
-        assert!(lr.lower_bound <= opt + 1e-9, "dual exceeded OPT, seed {seed}");
+        assert!(
+            lr.lower_bound <= opt + 1e-9,
+            "dual exceeded OPT, seed {seed}"
+        );
         let g = small_graph(seed);
         let (opt_m, _) = exact::max_weight_matching(&g);
         let m = local_ratio_matching(&g);
-        assert!(2.0 * m.stack_gain + 1e-9 >= opt_m, "stack bound violated, seed {seed}");
+        assert!(
+            2.0 * m.stack_gain + 1e-9 >= opt_m,
+            "stack bound violated, seed {seed}"
+        );
     }
 }

@@ -1,4 +1,7 @@
 //! Cross-algorithm consistency checks and failure-injection tests.
+// The legacy free-function entry points are deliberately exercised here;
+// new code dispatches through `mrlr::core::api` (see tests/registry_api.rs).
+#![allow(deprecated)]
 
 use mrlr::core::hungry::MisParams;
 use mrlr::core::mr::colouring::mr_vertex_colouring;
@@ -49,8 +52,7 @@ fn matching_lower_bounds_vertex_cover() {
         let cfg = MrConfig::auto(60, g.m(), 0.3, seed);
         let (matching, _) = mr_matching(&g.unweighted(), cfg).unwrap();
         let w = vec![1.0; 60];
-        let (cover, _) =
-            mrlr::core::mr::vertex_cover::mr_vertex_cover(&g, &w, cfg).unwrap();
+        let (cover, _) = mrlr::core::mr::vertex_cover::mr_vertex_cover(&g, &w, cfg).unwrap();
         assert!(
             matching.matching.len() <= cover.cover.len(),
             "seed {seed}: matching {} > cover {}",

@@ -3,6 +3,9 @@
 //! machines in parallel threads), and across machine counts for the drivers
 //! the equivalence suite does not cover (vertex cover, b-matching, clique,
 //! colouring).
+// The legacy free-function entry points are deliberately exercised here;
+// new code dispatches through `mrlr::core::api` (see tests/registry_api.rs).
+#![allow(deprecated)]
 
 use mrlr::core::hungry::MisParams;
 use mrlr::core::mr::bmatching::mr_b_matching;
@@ -87,26 +90,21 @@ fn identical_runs_are_bit_identical_including_metrics() {
 }
 
 #[test]
-fn output_independent_of_thread_count() {
-    // The simulator executes machines with rayon; results must not depend
-    // on the pool size. Run the same job in 1-thread and 4-thread pools.
+fn output_independent_of_execution_schedule() {
+    // This test used to run the same job under 1-thread and 4-thread rayon
+    // pools. The offline build's `mrlr_mapreduce::par` stand-in is
+    // sequential, so there is no thread schedule to vary; what repeated
+    // runs DO still catch is per-process nondeterminism leaking into
+    // observables — e.g. a driver iterating a `HashMap` (whose hasher is
+    // randomly seeded per instance) in arbitrary order. When rayon returns
+    // at the `par` seam, restore the two-pool comparison here.
     let g = generators::with_uniform_weights(&generators::densified(60, 0.5, 8), 1.0, 9.0, 2);
     let cfg = MrConfig::auto(60, g.m(), 0.3, 29);
     let run = || {
         let (r, m) = mr_matching(&g, cfg).unwrap();
-        (r, m.rounds, m.total_message_words)
+        (r, m.rounds, m.total_message_words, m.per_round)
     };
-    let single = rayon::ThreadPoolBuilder::new()
-        .num_threads(1)
-        .build()
-        .unwrap()
-        .install(run);
-    let quad = rayon::ThreadPoolBuilder::new()
-        .num_threads(4)
-        .build()
-        .unwrap()
-        .install(run);
-    assert_eq!(single, quad);
+    assert_eq!(run(), run());
 }
 
 #[test]
@@ -115,8 +113,12 @@ fn seed_changes_propagate() {
     // against a driver accidentally ignoring cfg.seed. The instance must be
     // large relative to η so the sampling path actually runs.
     let g = generators::with_uniform_weights(&generators::densified(100, 0.5, 8), 1.0, 9.0, 2);
-    let a = mr_matching(&g, MrConfig::auto(100, g.m(), 0.1, 1)).unwrap().0;
-    let b = mr_matching(&g, MrConfig::auto(100, g.m(), 0.1, 2)).unwrap().0;
+    let a = mr_matching(&g, MrConfig::auto(100, g.m(), 0.1, 1))
+        .unwrap()
+        .0;
+    let b = mr_matching(&g, MrConfig::auto(100, g.m(), 0.1, 2))
+        .unwrap()
+        .0;
     assert!(
         a.matching != b.matching || a.iterations != b.iterations,
         "two seeds produced identical matchings — suspicious"

@@ -3,6 +3,9 @@
 //! failures, single-machine behaviour and the paper's explicit guard
 //! branches (the Lemma 6.2 `|E_i| > 13n^{1+µ}` edge limit, `η = 0`
 //! rejection, infeasibility).
+// The legacy free-function entry points are deliberately exercised here;
+// new code dispatches through `mrlr::core::api` (see tests/registry_api.rs).
+#![allow(deprecated)]
 
 use mrlr::core::hungry::{HungryScParams, MisParams};
 use mrlr::core::mr::bmatching::mr_b_matching;
@@ -67,7 +70,12 @@ fn metrics_invariants_hold_for_every_driver() {
     let (_, m) = mr_edge_colouring(&g, 3, None, cfg).unwrap();
     structural_invariants(&m, &cfg);
     let b: Vec<u32> = vec![2; n];
-    let params = BMatchingParams { eps: 0.25, n_mu: 2.0, eta: 300, seed: 7 };
+    let params = BMatchingParams {
+        eps: 0.25,
+        n_mu: 2.0,
+        eta: 300,
+        seed: 7,
+    };
     let (_, m) = mr_b_matching(&g, &b, params, cfg).unwrap();
     structural_invariants(&m, &cfg);
 
@@ -92,7 +100,12 @@ fn single_machine_runs_have_no_tree_hops() {
     let cfg = MrConfig::auto(n, g.m(), 0.3, 3).with_machines(1);
     let (_, m) = mr_matching(&g, cfg).unwrap();
     let (_, _, br, ag) = m.rounds_by_kind();
-    assert_eq!(br + ag, 0, "1-machine cluster charged {} tree rounds", br + ag);
+    assert_eq!(
+        br + ag,
+        0,
+        "1-machine cluster charged {} tree rounds",
+        br + ag
+    );
 }
 
 #[test]
@@ -105,7 +118,11 @@ fn degenerate_instances_run_cleanly() {
     let (r, _) = mr_vertex_cover(&g, &[1.0; 10], cfg).unwrap();
     assert!(r.cover.is_empty());
     let (r, _) = mr_mis_fast(&g, MisParams::mis2(10, 0.3, 1), cfg).unwrap();
-    assert_eq!(r.vertices.len(), 10, "all isolated vertices are independent");
+    assert_eq!(
+        r.vertices.len(),
+        10,
+        "all isolated vertices are independent"
+    );
     // Colours are (group, within-group colour) pairs, so κ groups use up
     // to κ colours even on an edgeless graph.
     let (r, _) = mr_vertex_colouring(&g, 2, None, cfg).unwrap();
@@ -135,7 +152,10 @@ fn every_driver_rejects_zero_eta() {
         Err(MrError::BadConfig(_))
     ));
     let sys = setgen::bounded_frequency(20, 100, 2, 1);
-    assert!(matches!(mr_set_cover_f(&sys, cfg), Err(MrError::BadConfig(_))));
+    assert!(matches!(
+        mr_set_cover_f(&sys, cfg),
+        Err(MrError::BadConfig(_))
+    ));
 }
 
 #[test]

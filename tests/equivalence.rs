@@ -3,6 +3,9 @@
 //! bit-identical solutions — all randomness is hash-derived and
 //! partition-stable, so distributing the data changes *where* work happens
 //! but not *what* is computed.
+// The legacy free-function entry points are deliberately exercised here;
+// new code dispatches through `mrlr::core::api` (see tests/registry_api.rs).
+#![allow(deprecated)]
 
 use mrlr::core::hungry::{hungry_set_cover, mis_fast, HungryScParams, MisParams};
 use mrlr::core::mr::matching::mr_matching;

@@ -2,6 +2,9 @@
 //! cluster shape is audited against the MRC/MPC side conditions of §1.3,
 //! the per-round timeline agrees with the metrics, and the fault model
 //! prices real runs sensibly.
+// The legacy free-function entry points are deliberately exercised here;
+// new code dispatches through `mrlr::core::api` (see tests/registry_api.rs).
+#![allow(deprecated)]
 
 use mrlr::core::mr::matching::mr_matching;
 use mrlr::core::mr::set_cover::mr_set_cover_f;
@@ -44,7 +47,11 @@ fn matching_cluster_shape_is_mpc_conformant() {
 #[test]
 fn paper_regime_is_mrc_conformant_across_sweep() {
     use mrlr::mapreduce::paper_graph_regime;
-    for &(n, c, mu) in &[(500usize, 0.5f64, 0.2f64), (1000, 0.4, 0.15), (2000, 0.3, 0.1)] {
+    for &(n, c, mu) in &[
+        (500usize, 0.5f64, 0.2f64),
+        (1000, 0.4, 0.15),
+        (2000, 0.3, 0.1),
+    ] {
         let (machines, capacity, fanout) = paper_graph_regime(n, c, mu);
         let records = (n as f64).powf(1.0 + c) as usize;
         let delta = (c - mu) / (1.0 + c);
@@ -70,7 +77,10 @@ fn timeline_agrees_with_metrics() {
     assert_eq!(t.total_words(), metrics.total_message_words);
     assert_eq!(t.to_csv().lines().count(), metrics.rounds + 1);
     let by_kind = t.summary_by_kind();
-    assert_eq!(by_kind.iter().map(|k| k.rounds).sum::<usize>(), metrics.rounds);
+    assert_eq!(
+        by_kind.iter().map(|k| k.rounds).sum::<usize>(),
+        metrics.rounds
+    );
     assert_eq!(
         by_kind.iter().map(|k| k.words).sum::<usize>(),
         metrics.total_message_words
@@ -97,10 +107,7 @@ fn fault_model_prices_real_runs() {
     let priced = apply(&metrics, &stormy);
     assert!(priced.effective_rounds >= metrics.rounds);
     assert!(priced.makespan >= metrics.rounds as f64);
-    assert_eq!(
-        priced.effective_rounds,
-        metrics.rounds + priced.redo_rounds
-    );
+    assert_eq!(priced.effective_rounds, metrics.rounds + priced.redo_rounds);
     // With 20% crash probability per machine-round, some round crashed.
     assert!(priced.crashes_applied > 0);
 }
@@ -115,8 +122,14 @@ fn record_mode_reports_but_does_not_corrupt() {
     let (reference, _) = mr_matching(&g, good).unwrap();
     let tiny = good.with_capacity(50).recording();
     let (r, metrics) = mr_matching(&g, tiny).unwrap();
-    assert_eq!(r.matching, reference.matching, "record mode changed the answer");
-    assert!(!metrics.violations.is_empty(), "50-word machines must violate");
+    assert_eq!(
+        r.matching, reference.matching,
+        "record mode changed the answer"
+    );
+    assert!(
+        !metrics.violations.is_empty(),
+        "50-word machines must violate"
+    );
     assert_eq!(metrics.capacity, 50);
     assert!(metrics.space_utilization() > 1.0);
     // Strict mode on the same shape fails instead.

@@ -1,5 +1,8 @@
 //! End-to-end pipelines: generator → MapReduce algorithm → verifier →
 //! metrics, for every algorithm in the paper, through the facade crate.
+// The legacy free-function entry points are deliberately exercised here;
+// new code dispatches through `mrlr::core::api` (see tests/registry_api.rs).
+#![allow(deprecated)]
 
 use mrlr::core::colouring::group_count;
 use mrlr::core::hungry::{HungryScParams, MisParams};

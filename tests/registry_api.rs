@@ -1,0 +1,237 @@
+//! Registry round-trip guarantees: every registered `Mr` driver returns
+//! bit-identical solutions and identical `Metrics` to its legacy
+//! free-function entry point on fixed seeds, and the `Rlr`/`Mr` backends of
+//! the same driver agree wherever the paper guarantees equivalence (they
+//! share the same hash-derived coin streams).
+#![allow(deprecated)] // the legacy entry points are the comparison targets
+
+use mrlr::core::api::{
+    BMatchingInstance, Backend, ColouringDriver, Instance, Registry, VertexWeightedGraph,
+    DEFAULT_GREEDY_SC_EPS,
+};
+use mrlr::core::colouring::group_count;
+use mrlr::core::hungry::{HungryScParams, MisParams};
+use mrlr::core::mr::bmatching::mr_b_matching;
+use mrlr::core::mr::clique::mr_maximal_clique;
+use mrlr::core::mr::colouring::{mr_edge_colouring, mr_vertex_colouring};
+use mrlr::core::mr::matching::mr_matching;
+use mrlr::core::mr::mis::{mr_mis_fast, mr_mis_simple};
+use mrlr::core::mr::set_cover::mr_set_cover_f;
+use mrlr::core::mr::set_cover_greedy::mr_hungry_set_cover;
+use mrlr::core::mr::vertex_cover::mr_vertex_cover;
+use mrlr::core::mr::MrConfig;
+use mrlr::core::rlr::BMatchingParams;
+use mrlr::graph::{generators, Graph};
+use mrlr::mapreduce::DetRng;
+use mrlr::setsys::generators as setgen;
+use mrlr::setsys::SetSystem;
+
+const SEED: u64 = 42;
+const MU: f64 = 0.3;
+
+fn graph(n: usize) -> Graph {
+    generators::with_uniform_weights(&generators::densified(n, 0.45, SEED), 1.0, 9.0, SEED ^ 0x77)
+}
+
+fn vertex_weights(n: usize) -> Vec<f64> {
+    let mut rng = DetRng::derive(SEED, &[0x0076_7773]);
+    (0..n).map(|_| rng.f64_range(1.0, 10.0)).collect()
+}
+
+fn set_system() -> SetSystem {
+    setgen::with_uniform_weights(setgen::bounded_frequency(40, 600, 3, SEED), 1.0, 8.0, SEED)
+}
+
+/// Every `(algorithm, instance, cfg)` triple the default registry covers,
+/// with instances sized so each Mr run takes milliseconds.
+fn workloads() -> Vec<(&'static str, Instance, MrConfig)> {
+    let g = graph(60);
+    let gcfg = MrConfig::auto(60, g.m(), MU, SEED);
+    let gu = g.unweighted();
+    let sys = set_system();
+    let scfg = MrConfig::auto(40, 600, 0.5, SEED);
+    let dense = generators::gnp(50, 0.5, SEED);
+    let dcfg = MrConfig::auto(50, dense.m(), 0.35, SEED);
+    vec![
+        ("set-cover-f", Instance::SetSystem(sys.clone()), scfg),
+        ("set-cover-greedy", Instance::SetSystem(sys), scfg),
+        (
+            "vertex-cover",
+            Instance::VertexWeighted(VertexWeightedGraph::new(g.clone(), vertex_weights(60))),
+            gcfg,
+        ),
+        ("matching", Instance::Graph(g.clone()), gcfg),
+        (
+            "b-matching",
+            Instance::BMatching(BMatchingInstance::new(
+                g.clone(),
+                (0..60u32).map(|v| 1 + v % 3).collect(),
+                0.25,
+            )),
+            gcfg,
+        ),
+        ("mis1", Instance::Graph(gu.clone()), gcfg),
+        ("mis2", Instance::Graph(gu), gcfg),
+        ("clique", Instance::Graph(dense), dcfg),
+        ("vertex-colouring", Instance::Graph(g.clone()), gcfg),
+        ("edge-colouring", Instance::Graph(g), gcfg),
+    ]
+}
+
+#[test]
+fn every_mr_driver_is_bit_identical_to_its_legacy_entry_point() {
+    let registry = Registry::with_defaults();
+    for (name, instance, cfg) in workloads() {
+        let report = registry
+            .get(name)
+            .unwrap_or_else(|| panic!("{name} not registered"))
+            .solve(&instance, &cfg)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(report.backend, Backend::Mr);
+        let metrics = report.metrics.as_ref().expect("Mr backend reports metrics");
+
+        // Invoke the legacy free function with the identically-derived
+        // parameters and demand bit-identical output.
+        match name {
+            "set-cover-f" => {
+                let sys = match &instance {
+                    Instance::SetSystem(s) => s,
+                    _ => unreachable!(),
+                };
+                let (legacy, lm) = mr_set_cover_f(sys, cfg).unwrap();
+                assert_eq!(report.solution.as_cover().unwrap(), &legacy, "{name}");
+                assert_eq!(metrics, &lm, "{name} metrics");
+            }
+            "set-cover-greedy" => {
+                let sys = match &instance {
+                    Instance::SetSystem(s) => s,
+                    _ => unreachable!(),
+                };
+                let params =
+                    HungryScParams::new(sys.universe(), cfg.mu, DEFAULT_GREEDY_SC_EPS, cfg.seed);
+                let (legacy, _trace, lm) = mr_hungry_set_cover(sys, params, cfg).unwrap();
+                assert_eq!(report.solution.as_cover().unwrap(), &legacy, "{name}");
+                assert_eq!(metrics, &lm, "{name} metrics");
+            }
+            "vertex-cover" => {
+                let vw = match &instance {
+                    Instance::VertexWeighted(vw) => vw,
+                    _ => unreachable!(),
+                };
+                let (legacy, lm) = mr_vertex_cover(&vw.graph, &vw.weights, cfg).unwrap();
+                assert_eq!(report.solution.as_cover().unwrap(), &legacy, "{name}");
+                assert_eq!(metrics, &lm, "{name} metrics");
+            }
+            "matching" => {
+                let g = instance.graph().unwrap();
+                let (legacy, lm) = mr_matching(g, cfg).unwrap();
+                assert_eq!(report.solution.as_matching().unwrap(), &legacy, "{name}");
+                assert_eq!(metrics, &lm, "{name} metrics");
+            }
+            "b-matching" => {
+                let bm = match &instance {
+                    Instance::BMatching(bm) => bm,
+                    _ => unreachable!(),
+                };
+                let params = BMatchingParams {
+                    eps: bm.eps,
+                    n_mu: (bm.graph.n() as f64).powf(cfg.mu),
+                    eta: cfg.eta,
+                    seed: cfg.seed,
+                };
+                let (legacy, lm) = mr_b_matching(&bm.graph, &bm.b, params, cfg).unwrap();
+                assert_eq!(report.solution.as_matching().unwrap(), &legacy, "{name}");
+                assert_eq!(metrics, &lm, "{name} metrics");
+            }
+            "mis1" => {
+                let g = instance.graph().unwrap();
+                let params = MisParams::mis1(g.n(), cfg.mu, cfg.seed);
+                let (legacy, lm) = mr_mis_simple(g, params, cfg).unwrap();
+                assert_eq!(report.solution.as_selection().unwrap(), &legacy, "{name}");
+                assert_eq!(metrics, &lm, "{name} metrics");
+            }
+            "mis2" => {
+                let g = instance.graph().unwrap();
+                let params = MisParams::mis2(g.n(), cfg.mu, cfg.seed);
+                let (legacy, lm) = mr_mis_fast(g, params, cfg).unwrap();
+                assert_eq!(report.solution.as_selection().unwrap(), &legacy, "{name}");
+                assert_eq!(metrics, &lm, "{name} metrics");
+            }
+            "clique" => {
+                let g = instance.graph().unwrap();
+                let params = MisParams::mis2(g.n(), cfg.mu, cfg.seed);
+                let (legacy, lm) = mr_maximal_clique(g, params, cfg).unwrap();
+                assert_eq!(report.solution.as_selection().unwrap(), &legacy, "{name}");
+                assert_eq!(metrics, &lm, "{name} metrics");
+            }
+            "vertex-colouring" => {
+                let g = instance.graph().unwrap();
+                let kappa = group_count(g.n(), g.m(), cfg.mu);
+                let limit = Some(ColouringDriver::paper_edge_limit(g.n(), cfg.mu));
+                let (legacy, lm) = mr_vertex_colouring(g, kappa, limit, cfg).unwrap();
+                assert_eq!(report.solution.as_colouring().unwrap(), &legacy, "{name}");
+                assert_eq!(metrics, &lm, "{name} metrics");
+            }
+            "edge-colouring" => {
+                let g = instance.graph().unwrap();
+                let kappa = group_count(g.n(), g.m(), cfg.mu);
+                let limit = Some(ColouringDriver::paper_edge_limit(g.n(), cfg.mu));
+                let (legacy, lm) = mr_edge_colouring(g, kappa, limit, cfg).unwrap();
+                assert_eq!(report.solution.as_colouring().unwrap(), &legacy, "{name}");
+                assert_eq!(metrics, &lm, "{name} metrics");
+            }
+            other => panic!("workload for unknown algorithm {other}"),
+        }
+    }
+}
+
+#[test]
+fn rlr_and_mr_backends_of_the_same_driver_agree() {
+    // The paper's equivalence: the cluster run shares the in-memory
+    // driver's coin streams, so for identical seeds the solutions are
+    // bit-identical (the Mr report additionally carries metrics).
+    let registry = Registry::with_defaults();
+    for (name, instance, cfg) in workloads() {
+        let rlr = registry
+            .solve_with(name, Backend::Rlr, &instance, &cfg)
+            .unwrap_or_else(|e| panic!("{name} rlr: {e}"));
+        let mr = registry
+            .solve_with(name, Backend::Mr, &instance, &cfg)
+            .unwrap_or_else(|e| panic!("{name} mr: {e}"));
+        assert_eq!(rlr.solution, mr.solution, "{name}: rlr vs mr diverged");
+        assert!(rlr.metrics.is_none(), "{name}: rlr backend has no cluster");
+        assert!(mr.metrics.is_some(), "{name}: mr backend must meter");
+    }
+}
+
+#[test]
+fn seq_backend_is_feasible_everywhere() {
+    // Seq twins run different (deterministic reference) algorithms, so no
+    // bit-equivalence — but every solution must pass the same validator.
+    let registry = Registry::with_defaults();
+    for (name, instance, cfg) in workloads() {
+        let seq = registry
+            .solve_with(name, Backend::Seq, &instance, &cfg)
+            .unwrap_or_else(|e| panic!("{name} seq: {e}"));
+        assert!(seq.certificate.feasible, "{name}: seq solution infeasible");
+    }
+}
+
+#[test]
+fn reports_are_uniform_across_the_registry() {
+    let registry = Registry::with_defaults();
+    for (name, instance, cfg) in workloads() {
+        let report = registry.solve(name, &instance, &cfg).unwrap();
+        assert_eq!(report.algorithm, name);
+        assert!(report.certificate.feasible, "{name}");
+        assert!(report.certificate.objective >= 0.0, "{name}");
+        if let Some(ratio) = report.certificate.certified_ratio {
+            // Every certified ratio upper-bounds an approximation factor;
+            // structural-guarantee problems (MIS, clique, colourings)
+            // report None instead.
+            assert!(ratio.is_finite() && ratio >= 1.0 - 1e-9, "{name}: {ratio}");
+        }
+        assert!(report.rounds() > 0, "{name}: cluster run took no rounds");
+        assert!(!report.certificate.detail.is_empty(), "{name}");
+    }
+}

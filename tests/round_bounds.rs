@@ -7,12 +7,15 @@
 //! assert the measured iteration/round counts against the theory formulas
 //! with generous constants — the point is the *growth shape*, not the
 //! constant.
+// The legacy free-function entry points are deliberately exercised here;
+// new code dispatches through `mrlr::core::api` (see tests/registry_api.rs).
+#![allow(deprecated)]
 
+use mrlr::core::colouring::group_count;
 use mrlr::core::hungry::{mis_fast, MisParams};
 use mrlr::core::mr::colouring::{mr_edge_colouring, mr_vertex_colouring};
 use mrlr::core::mr::MrConfig;
 use mrlr::core::rlr::{approx_max_matching, approx_set_cover_f, predicted_rounds};
-use mrlr::core::colouring::group_count;
 use mrlr::graph::generators;
 use mrlr::setsys::generators as setgen;
 
@@ -123,7 +126,10 @@ fn colouring_rounds_are_constant_in_n() {
         assert!(r <= 24, "colouring took {r} rounds; expected O(1)");
     }
     // Doubling n must not double the rounds.
-    assert!(vertex_rounds[1] <= vertex_rounds[0] + 6, "{vertex_rounds:?}");
+    assert!(
+        vertex_rounds[1] <= vertex_rounds[0] + 6,
+        "{vertex_rounds:?}"
+    );
     assert!(edge_rounds[1] <= edge_rounds[0] + 6, "{edge_rounds:?}");
 }
 
