@@ -1,4 +1,4 @@
-//! Per-lemma experiments E1–E13: the quantitative claims behind the
+//! Per-lemma experiments E1–E14: the quantitative claims behind the
 //! paper's theorems, measured on the cluster simulator.
 //!
 //! Every algorithm invocation dispatches through the
@@ -71,6 +71,9 @@ fn main() {
     }
     if want("e13") {
         e13_sampling_ablation(&registry);
+    }
+    if want("e14") {
+        e14_executor_scaling(&registry);
     }
 }
 
@@ -663,6 +666,106 @@ fn e12_eta_ablation(registry: &Registry) {
     println!(
         "{}",
         render_table(&["eta", "iterations", "certified ratio", "weight"], &rows)
+    );
+}
+
+/// E14 — executor scaling (the seam behind `Backend::Mr`): the same run
+/// under the sequential executor and 2/4/8-thread pools. Solutions and
+/// `Metrics` are asserted bit-identical at every thread count — the
+/// executor only moves wall-clock, and only on hosts with real cores
+/// (single-CPU hosts read flat; the substrate's rendezvous test proves
+/// the concurrency structurally). Ends with a `solve_batch` smoke run:
+/// one instance set across many `(algorithm, cfg)` jobs on warm pools.
+fn e14_executor_scaling(registry: &Registry) {
+    println!("\n## E14 — executor scaling: wall-clock vs threads, identical outputs\n");
+    let host = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("host parallelism: {host} (thread columns drop below seq only with real cores)\n");
+    // Pool thread spawns must not land inside the timed threaded cells.
+    for threads in [2usize, 4, 8] {
+        let _ = mrlr_mapreduce::executor_for(threads);
+    }
+    let mut rows = Vec::new();
+    for n in [1000usize, 2000] {
+        let g = weighted_graph(n, 0.5, 61);
+        // Small µ = many η-sized machines: the parallel-grain regime.
+        let cfg = MrConfig::auto(n, g.m(), 0.05, 61);
+        let inst = Instance::Graph(g);
+        // Warm-up run: one-off costs (page faults, pool spawn) must not
+        // land on the baseline column.
+        let _ = solve(registry, "matching", &inst, &cfg.with_threads(1));
+        let reference = solve(registry, "matching", &inst, &cfg.with_threads(1));
+        let ref_metrics = reference.metrics.clone().expect("Mr backend meters");
+        let mut cells = vec![
+            format!("matching n={n} M={}", cfg.machines),
+            format!("{}", reference.rounds()),
+            format!("{:.1}", reference.wall.as_secs_f64() * 1e3),
+        ];
+        for threads in [2usize, 4, 8] {
+            let r = solve(registry, "matching", &inst, &cfg.with_threads(threads));
+            assert_eq!(r.solution, reference.solution, "x{threads} diverged");
+            assert_eq!(
+                r.metrics.as_ref().expect("meters"),
+                &ref_metrics,
+                "x{threads} metrics diverged"
+            );
+            let speedup = reference.wall.as_secs_f64() / r.wall.as_secs_f64().max(1e-9);
+            cells.push(format!("{:.1} ({speedup:.2}x)", r.wall.as_secs_f64() * 1e3));
+        }
+        cells.push(format!("{:.2}", ref_metrics.max_straggler_skew()));
+        rows.push(Row(cells));
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "instance",
+                "MR rounds",
+                "seq ms",
+                "2 thr ms",
+                "4 thr ms",
+                "8 thr ms",
+                "straggler skew"
+            ],
+            &rows
+        )
+    );
+
+    // solve_batch smoke: one instance set across many (algorithm, cfg)
+    // jobs, pools pre-warmed once for the whole batch.
+    let ga = weighted_graph(300, 0.5, 67);
+    let gb = weighted_graph(200, 0.4, 68);
+    let cfg_a = MrConfig::auto(300, ga.m(), 0.25, 67);
+    let cfg_b = MrConfig::auto(200, gb.m(), 0.25, 68);
+    let instances = vec![Instance::Graph(ga), Instance::Graph(gb)];
+    let jobs = [
+        ("matching", cfg_a),
+        ("matching", cfg_a.with_threads(4)),
+        ("mis2", cfg_a),
+        ("vertex-colouring", cfg_b),
+    ];
+    let results = registry.solve_batch(&instances, &jobs);
+    let mut solved = 0usize;
+    for (i, per_instance) in results.iter().enumerate() {
+        for ((name, _), outcome) in jobs.iter().zip(per_instance) {
+            let report = outcome
+                .as_ref()
+                .unwrap_or_else(|e| panic!("batch {name} on instance {i}: {e}"));
+            assert!(report.certificate.feasible, "batch {name}: infeasible");
+            solved += 1;
+        }
+        // The two matching jobs differ only in thread count: identical
+        // solutions, identical metrics.
+        let (a, b) = (
+            per_instance[0].as_ref().unwrap(),
+            per_instance[1].as_ref().unwrap(),
+        );
+        assert_eq!(a.solution, b.solution, "batch: thread count changed output");
+        assert_eq!(a.metrics, b.metrics, "batch: thread count changed metrics");
+    }
+    println!(
+        "solve_batch smoke: {} instances x {} jobs = {solved} verified reports (thread-count twins bit-identical)\n",
+        instances.len(),
+        jobs.len()
     );
 }
 

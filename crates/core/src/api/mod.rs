@@ -20,6 +20,14 @@
 //!   (`"matching"`, `"vertex-cover"`, …) for data-driven dispatch: the
 //!   experiment binaries, benches and examples loop over the registry
 //!   instead of hand-wiring per-algorithm entry points.
+//!   [`Registry::solve_batch`] runs one instance set across many
+//!   `(algorithm, cfg)` jobs, pre-warming the executor pools the jobs
+//!   name once for the whole batch.
+//!
+//! `Backend::Mr` runs machine supersteps on the pluggable executor
+//! behind [`crate::mr::MrConfig::exec`] ([`crate::mr::ExecConfig`]):
+//! thread count changes wall-clock only — solutions and [`Metrics`] are
+//! bit-identical at every setting (see `tests/executor_determinism.rs`).
 //!
 //! ```
 //! use mrlr_core::api::{Backend, Instance, Registry};

@@ -338,6 +338,34 @@ impl Registry {
         self.solve_with(algorithm, Backend::Mr, instance, cfg)
     }
 
+    /// Dispatches every instance to every `(algorithm, cfg)` job on the
+    /// [`Backend::Mr`] drivers, returning `results[instance][job]`.
+    ///
+    /// The batch amortizes executor startup: the thread pools named by
+    /// the jobs' [`MrConfig::exec`] configs are spawned (or fetched warm
+    /// from the process-wide cache) once up front, so each solve pays
+    /// instance distribution and superstep work only — not thread spawns.
+    /// Per-pair failures (unknown key, instance-kind mismatch, capacity
+    /// exhaustion) land in that pair's slot without aborting the batch.
+    pub fn solve_batch(
+        &self,
+        instances: &[Instance],
+        jobs: &[(&str, MrConfig)],
+    ) -> Vec<Vec<MrResult<Report<Solution>>>> {
+        // Pre-warm every distinct pool the batch will use.
+        for (_, cfg) in jobs {
+            let _ = mrlr_mapreduce::executor_for(cfg.exec.threads);
+        }
+        instances
+            .iter()
+            .map(|instance| {
+                jobs.iter()
+                    .map(|(algorithm, cfg)| self.solve(algorithm, instance, cfg))
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Dispatches `instance` to the `(algorithm, backend)` driver.
     pub fn solve_with(
         &self,
@@ -446,6 +474,32 @@ mod tests {
         let cfg = MrConfig::auto(10, g.m().max(1), 0.3, 1);
         let err = r.solve("max-cut", &Instance::Graph(g), &cfg).unwrap_err();
         assert!(err.to_string().contains("no driver"), "{err}");
+    }
+
+    #[test]
+    fn solve_batch_covers_the_cross_product_and_isolates_failures() {
+        let r = Registry::with_defaults();
+        let g = generators::with_uniform_weights(&generators::densified(30, 0.4, 3), 1.0, 9.0, 3);
+        let cfg = MrConfig::auto(30, g.m(), 0.3, 3);
+        let instances = [Instance::Graph(g.clone()), Instance::Graph(g.unweighted())];
+        let jobs = [
+            ("matching", cfg),
+            ("matching", cfg.with_threads(2)),
+            ("set-cover-f", cfg), // kind mismatch: per-slot error
+            ("no-such-algo", cfg),
+        ];
+        let results = r.solve_batch(&instances, &jobs);
+        assert_eq!(results.len(), 2);
+        for per_instance in &results {
+            assert_eq!(per_instance.len(), 4);
+            let seq = per_instance[0].as_ref().unwrap();
+            let threaded = per_instance[1].as_ref().unwrap();
+            // Thread count is wall-clock only: solutions and metrics match.
+            assert_eq!(seq.solution, threaded.solution);
+            assert_eq!(seq.metrics, threaded.metrics);
+            assert!(per_instance[2].is_err(), "kind mismatch must error");
+            assert!(per_instance[3].is_err(), "unknown key must error");
+        }
     }
 
     #[test]

@@ -69,6 +69,11 @@ impl WordSized for BMatchState {
 
 /// Runs Algorithm 7 on the cluster. Output is bit-identical to
 /// [`crate::rlr::bmatching::approx_b_matching`] with the same parameters.
+///
+/// Deprecated entry point: dispatch `Registry::solve("b-matching", …)`
+/// from [`crate::api`] instead — same run, plus a verified [`Report`].
+///
+/// [`Report`]: crate::api::Report
 #[deprecated(
     since = "0.2.0",
     note = "dispatch through `mrlr_core::api` (`Registry::get(\"b-matching\")` or `BMatchingDriver`)"

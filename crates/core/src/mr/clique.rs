@@ -78,6 +78,11 @@ type SampleMsg = (u64, u64, VertexId, Vec<VertexId>); // (class, group, v, compl
 
 /// Appendix B's maximal clique on the cluster. Output is bit-identical to
 /// [`crate::hungry::clique::maximal_clique`] with the same parameters.
+///
+/// Deprecated entry point: dispatch `Registry::solve("clique", …)` from
+/// [`crate::api`] instead — same run, plus a verified [`Report`].
+///
+/// [`Report`]: crate::api::Report
 #[deprecated(
     since = "0.2.0",
     note = "dispatch through `mrlr_core::api` (`Registry::get(\"clique\")` or `CliqueDriver`)"

@@ -51,6 +51,12 @@ fn build_chunks(g: &Graph, cfg: &MrConfig) -> Vec<ColourChunk> {
 
 /// Algorithm 5 on the cluster. Output is bit-identical to
 /// [`crate::colouring::vertex_colouring`] with the same `(kappa, seed)`.
+///
+/// Deprecated entry point: dispatch `Registry::solve("vertex-colouring",
+/// …)` from [`crate::api`] instead — same run, plus a verified
+/// [`Report`].
+///
+/// [`Report`]: crate::api::Report
 #[deprecated(
     since = "0.2.0",
     note = "dispatch through `mrlr_core::api` (`Registry::get(\"vertex-colouring\")` or `ColouringDriver`)"
@@ -194,6 +200,12 @@ pub(crate) fn run_vertex(
 
 /// Remark 6.5 on the cluster. Output is bit-identical to
 /// [`crate::colouring::edge_colouring`] with the same `(kappa, seed)`.
+///
+/// Deprecated entry point: dispatch `Registry::solve("edge-colouring",
+/// …)` from [`crate::api`] instead — same run, plus a verified
+/// [`Report`].
+///
+/// [`Report`]: crate::api::Report
 #[deprecated(
     since = "0.2.0",
     note = "dispatch through `mrlr_core::api` (`Registry::get(\"edge-colouring\")` or `ColouringDriver`)"

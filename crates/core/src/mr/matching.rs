@@ -71,6 +71,11 @@ impl WordSized for MatchState {
 
 /// Runs Algorithm 4 on the cluster. Output is bit-identical to
 /// [`crate::rlr::matching::approx_max_matching`] with `(cfg.eta, cfg.seed)`.
+///
+/// Deprecated entry point: dispatch `Registry::solve("matching", …)` from
+/// [`crate::api`] instead — same run, plus a verified [`Report`].
+///
+/// [`Report`]: crate::api::Report
 #[deprecated(
     since = "0.2.0",
     note = "dispatch through `mrlr_core::api` (`Registry::get(\"matching\")` or `MatchingDriver`)"

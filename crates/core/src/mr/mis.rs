@@ -199,6 +199,11 @@ fn central_finish(cluster: &mut Cluster<MisChunk>, n: usize) -> MrResult<Vec<Ver
 
 /// Algorithm 6 (`MIS2`) on the cluster. Output is bit-identical to
 /// [`crate::hungry::mis::mis_fast`] with the same parameters.
+///
+/// Deprecated entry point: dispatch `Registry::solve("mis2", …)` from
+/// [`crate::api`] instead — same run, plus a verified [`Report`].
+///
+/// [`Report`]: crate::api::Report
 #[deprecated(
     since = "0.2.0",
     note = "dispatch through `mrlr_core::api` (`Registry::get(\"mis2\")` or `MisDriver`)"
@@ -327,6 +332,11 @@ pub(crate) fn run_fast(
 
 /// Algorithm 2 (`MIS1`) on the cluster. Output is bit-identical to
 /// [`crate::hungry::mis::mis_simple`] with the same parameters.
+///
+/// Deprecated entry point: dispatch `Registry::solve("mis1", …)` from
+/// [`crate::api`] instead — same run, plus a verified [`Report`].
+///
+/// [`Report`]: crate::api::Report
 #[deprecated(
     since = "0.2.0",
     note = "dispatch through `mrlr_core::api` (`Registry::get(\"mis1\")` or `MisDriver`)"

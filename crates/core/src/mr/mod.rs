@@ -7,6 +7,12 @@
 //! *bit-identical* solutions while additionally producing honest
 //! round/space/communication [`mrlr_mapreduce::Metrics`]. The equivalence
 //! is asserted by the integration tests.
+//!
+//! Machine supersteps execute on the simulator's pluggable executor
+//! ([`mrlr_mapreduce::executor`]); [`MrConfig::exec`] selects the thread
+//! count. This is wall-clock only — solutions and metrics are identical
+//! at every setting, a guarantee `tests/executor_determinism.rs` asserts
+//! for every registry key.
 
 pub mod bmatching;
 pub mod clique;
@@ -18,6 +24,40 @@ pub mod set_cover_greedy;
 pub mod vertex_cover;
 
 use mrlr_mapreduce::{ClusterConfig, Enforcement};
+
+/// Execution-substrate parameters of a cluster run: how many OS threads
+/// the simulator may use for machine supersteps. This never affects
+/// results — the executor contract guarantees bit-identical solutions and
+/// [`mrlr_mapreduce::Metrics`] at every thread count — only wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Executor threads: `0`/`1` = sequential, `t > 1` = a shared
+    /// `t`-thread pool ([`mrlr_mapreduce::executor`]).
+    pub threads: usize,
+}
+
+impl ExecConfig {
+    /// Sequential execution (the reference schedule).
+    pub const SEQ: ExecConfig = ExecConfig { threads: 1 };
+
+    /// A `threads`-thread pool.
+    pub fn threads(threads: usize) -> Self {
+        ExecConfig { threads }
+    }
+
+    /// The process default: `MRLR_THREADS` when set, else sequential.
+    pub fn from_env() -> Self {
+        ExecConfig {
+            threads: mrlr_mapreduce::default_threads(),
+        }
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig::from_env()
+    }
+}
 
 /// Sampling slack of the local-ratio set-cover drivers: Algorithm 1 (and
 /// its `f = 2` vertex-cover fast path) declares `fail` when a gathered
@@ -76,6 +116,9 @@ pub struct MrConfig {
     pub seed: u64,
     /// Capacity enforcement mode.
     pub enforcement: Enforcement,
+    /// Execution substrate (thread count). Never affects outputs or
+    /// metrics, only wall-clock.
+    pub exec: ExecConfig,
 }
 
 impl MrConfig {
@@ -102,12 +145,19 @@ impl MrConfig {
             mu,
             seed,
             enforcement: Enforcement::Strict,
+            exec: ExecConfig::from_env(),
         }
     }
 
     /// Overrides the machine count.
     pub fn with_machines(mut self, machines: usize) -> Self {
         self.machines = machines.max(1);
+        self
+    }
+
+    /// Overrides the executor thread count (see [`ExecConfig`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.exec = ExecConfig::threads(threads);
         self
     }
 
@@ -131,6 +181,7 @@ impl MrConfig {
             enforcement: self.enforcement,
             tree_fanout: self.fanout,
             central: 0,
+            threads: self.exec.threads,
         }
     }
 
@@ -154,6 +205,14 @@ mod tests {
         assert!(cfg.fanout >= 2);
         assert!(cfg.capacity > SET_COVER_SAMPLE_SLACK * cfg.eta);
         assert!(cfg.cluster().validate().is_ok());
+    }
+
+    #[test]
+    fn exec_config_threads_reach_the_cluster() {
+        let cfg = MrConfig::auto(50, 1000, 0.3, 1).with_threads(4);
+        assert_eq!(cfg.exec, ExecConfig::threads(4));
+        assert_eq!(cfg.cluster().threads, 4);
+        assert_eq!(ExecConfig::SEQ.threads, 1);
     }
 
     #[test]

@@ -51,6 +51,11 @@ impl WordSized for ElemChunk {
 /// Runs Algorithm 1 on the cluster simulator. Returns the cover and the
 /// cluster metrics. Output is bit-identical to
 /// [`crate::rlr::setcover::approx_set_cover_f`] with `(cfg.eta, cfg.seed)`.
+///
+/// Deprecated entry point: dispatch `Registry::solve("set-cover-f", …)`
+/// from [`crate::api`] instead — same run, plus a verified [`Report`].
+///
+/// [`Report`]: crate::api::Report
 #[deprecated(
     since = "0.2.0",
     note = "dispatch through `mrlr_core::api` (`Registry::get(\"set-cover-f\")` or `SetCoverFDriver`)"

@@ -75,6 +75,12 @@ type SampleMsg = (u64, u64, SetId, f64, Vec<ElemId>);
 
 /// Algorithm 3 on the cluster. Output is bit-identical to
 /// [`crate::hungry::setcover::hungry_set_cover`] with the same parameters.
+///
+/// Deprecated entry point: dispatch `Registry::solve("set-cover-greedy",
+/// …)` from [`crate::api`] instead — same run, plus a verified
+/// [`Report`].
+///
+/// [`Report`]: crate::api::Report
 #[deprecated(
     since = "0.2.0",
     note = "dispatch through `mrlr_core::api` (`Registry::get(\"set-cover-greedy\")` or `GreedySetCoverDriver`)"

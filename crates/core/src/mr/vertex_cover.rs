@@ -60,6 +60,11 @@ impl WordSized for VcState {
 /// Runs the `f = 2` vertex-cover algorithm on the cluster. Output is
 /// bit-identical to running [`crate::rlr::setcover::approx_set_cover_f`] on
 /// [`mrlr_setsys::SetSystem::vertex_cover_of`]`(g, weights)`.
+///
+/// Deprecated entry point: dispatch `Registry::solve("vertex-cover", …)`
+/// from [`crate::api`] instead — same run, plus a verified [`Report`].
+///
+/// [`Report`]: crate::api::Report
 #[deprecated(
     since = "0.2.0",
     note = "dispatch through `mrlr_core::api` (`Registry::get(\"vertex-cover\")` or `VertexCoverDriver`)"

@@ -19,9 +19,12 @@
 //! any value it pushes into closures after a `broadcast` was metered there.
 //! See DESIGN.md ("Simulator honesty model").
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use crate::error::{CapacityKind, MrError, MrResult};
+use crate::executor::{self, Executor};
 use crate::metrics::{Metrics, RoundKind, Violation};
-use crate::par::{IntoParIter, ParSlice};
 use crate::words::WordSized;
 
 /// Identifier of a simulated machine: `0..machines`.
@@ -63,11 +66,18 @@ pub struct ClusterConfig {
     pub tree_fanout: usize,
     /// The designated central machine.
     pub central: MachineId,
+    /// OS threads for machine supersteps: `0` or `1` selects the
+    /// sequential executor, `t > 1` a shared `t`-thread pool (see
+    /// [`crate::executor`]). Outputs and metrics are bit-identical either
+    /// way; only wall-clock changes.
+    pub threads: usize,
 }
 
 impl ClusterConfig {
     /// A strict cluster with `machines` machines of `capacity` words and
-    /// tree fan-out chosen so a broadcast takes one hop when it fits.
+    /// tree fan-out chosen so a broadcast takes one hop when it fits. The
+    /// thread count defaults to the `MRLR_THREADS` environment variable
+    /// ([`executor::default_threads`]).
     pub fn new(machines: usize, capacity: usize) -> Self {
         ClusterConfig {
             machines,
@@ -75,12 +85,19 @@ impl ClusterConfig {
             enforcement: Enforcement::Strict,
             tree_fanout: machines.max(2),
             central: 0,
+            threads: executor::default_threads(),
         }
     }
 
     /// Sets the broadcast/aggregation tree fan-out (the paper's `n^µ`).
     pub fn with_fanout(mut self, fanout: usize) -> Self {
         self.tree_fanout = fanout.max(2);
+        self
+    }
+
+    /// Sets the executor thread count (see [`ClusterConfig::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -166,11 +183,26 @@ pub struct Cluster<S> {
     states: Vec<S>,
     metrics: Metrics,
     central_extra: usize,
+    exec: Arc<dyn Executor>,
 }
 
 impl<S: MachineState> Cluster<S> {
-    /// Creates a cluster with one state per machine.
+    /// Creates a cluster with one state per machine, executing supersteps
+    /// on the executor selected by [`ClusterConfig::threads`].
     pub fn new(cfg: ClusterConfig, states: Vec<S>) -> MrResult<Self> {
+        let exec = executor::executor_for(cfg.threads);
+        Cluster::with_executor(cfg, states, exec)
+    }
+
+    /// Creates a cluster running machine supersteps on an explicit
+    /// [`Executor`] (overriding [`ClusterConfig::threads`]). Outputs and
+    /// [`Metrics`] are bit-identical across executors; only the
+    /// wall-clock [`crate::metrics::SuperstepTiming`]s differ.
+    pub fn with_executor(
+        cfg: ClusterConfig,
+        states: Vec<S>,
+        exec: Arc<dyn Executor>,
+    ) -> MrResult<Self> {
         cfg.validate()?;
         if states.len() != cfg.machines {
             return Err(MrError::BadConfig(format!(
@@ -185,9 +217,15 @@ impl<S: MachineState> Cluster<S> {
             states,
             metrics,
             central_extra: 0,
+            exec,
         };
         cluster.check_states()?;
         Ok(cluster)
+    }
+
+    /// The executor running this cluster's machine supersteps.
+    pub fn executor(&self) -> &Arc<dyn Executor> {
+        &self.exec
     }
 
     /// The configuration this cluster runs under.
@@ -268,7 +306,7 @@ impl<S: MachineState> Cluster<S> {
     }
 
     fn check_states(&mut self) -> MrResult<()> {
-        let sizes: Vec<usize> = self.states.par_iter().map(|s| s.words()).collect();
+        let sizes: Vec<usize> = executor::map_slice(&*self.exec, &self.states, |_, s| s.words());
         let peak = sizes.iter().copied().max().unwrap_or(0);
         self.metrics.peak_machine_words = self.metrics.peak_machine_words.max(peak);
         let central_used = sizes[self.cfg.central] + self.central_extra;
@@ -287,10 +325,14 @@ impl<S: MachineState> Cluster<S> {
         F: Fn(MachineId, &mut S) + Sync,
     {
         self.metrics.supersteps += 1;
-        self.states
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(id, s)| f(id, s));
+        let pass = Instant::now();
+        let durs = executor::map_slice_mut(&*self.exec, &mut self.states, |id, s| {
+            let t = Instant::now();
+            f(id, s);
+            t.elapsed().as_nanos() as u64
+        });
+        self.metrics
+            .record_timing(pass.elapsed().as_nanos() as u64, &durs);
         self.check_states()
     }
 
@@ -305,17 +347,23 @@ impl<S: MachineState> Cluster<S> {
     {
         self.metrics.supersteps += 1;
         let machines = self.cfg.machines;
-        // Meter outgoing volume per machine while producing.
-        let (outboxes, out_words): (Vec<Outbox<M>>, Vec<usize>) = self
-            .states
-            .par_iter_mut()
-            .enumerate()
-            .map(|(id, s)| {
-                let mut out = Outbox::new(machines);
-                produce(id, s, &mut out);
-                let words = out.msgs.iter().map(|(_, m)| m.words()).sum::<usize>();
-                (out, words)
-            })
+        // Meter outgoing volume per machine while producing. Machines run
+        // concurrently on the executor; results come back in machine-id
+        // order regardless of schedule.
+        let pass = Instant::now();
+        let produced = executor::map_slice_mut(&*self.exec, &mut self.states, |id, s| {
+            let t = Instant::now();
+            let mut out = Outbox::new(machines);
+            produce(id, s, &mut out);
+            let words = out.msgs.iter().map(|(_, m)| m.words()).sum::<usize>();
+            (out, words, t.elapsed().as_nanos() as u64)
+        });
+        let produce_wall = pass.elapsed().as_nanos() as u64;
+        let produce_durs: Vec<u64> = produced.iter().map(|&(_, _, d)| d).collect();
+        self.metrics.record_timing(produce_wall, &produce_durs);
+        let (outboxes, out_words): (Vec<Outbox<M>>, Vec<usize>) = produced
+            .into_iter()
+            .map(|(out, words, _)| (out, words))
             .unzip();
 
         // Deliver: stable order (sender id, then send order within sender).
@@ -341,11 +389,19 @@ impl<S: MachineState> Cluster<S> {
             self.budget(id, CapacityKind::Inbox, used)?;
         }
 
-        self.states
-            .par_iter_mut()
-            .zip(inboxes.into_par_iter())
-            .enumerate()
-            .for_each(|(id, (s, inbox))| consume(id, s, inbox));
+        // Consume concurrently: each machine owns its state and its inbox
+        // (delivery order above was fixed in sender-id order, so the
+        // executor schedule cannot leak into observables).
+        let pass = Instant::now();
+        let mut pairs: Vec<(&mut S, Vec<M>)> = self.states.iter_mut().zip(inboxes).collect();
+        let consume_durs = executor::map_slice_mut(&*self.exec, &mut pairs, |id, (s, inbox)| {
+            let t = Instant::now();
+            consume(id, s, std::mem::take(inbox));
+            t.elapsed().as_nanos() as u64
+        });
+        drop(pairs);
+        self.metrics
+            .record_timing(pass.elapsed().as_nanos() as u64, &consume_durs);
         self.check_states()
     }
 
@@ -360,15 +416,19 @@ impl<S: MachineState> Cluster<S> {
     {
         self.metrics.supersteps += 1;
         let central = self.cfg.central;
-        let (batches, out_words): (Vec<Vec<M>>, Vec<usize>) = self
-            .states
-            .par_iter_mut()
-            .enumerate()
-            .map(|(id, s)| {
-                let batch = produce(id, s);
-                let words = batch.iter().map(WordSized::words).sum::<usize>();
-                (batch, words)
-            })
+        let pass = Instant::now();
+        let produced = executor::map_slice_mut(&*self.exec, &mut self.states, |id, s| {
+            let t = Instant::now();
+            let batch = produce(id, s);
+            let words = batch.iter().map(WordSized::words).sum::<usize>();
+            (batch, words, t.elapsed().as_nanos() as u64)
+        });
+        let wall = pass.elapsed().as_nanos() as u64;
+        let durs: Vec<u64> = produced.iter().map(|&(_, _, d)| d).collect();
+        self.metrics.record_timing(wall, &durs);
+        let (batches, out_words): (Vec<Vec<M>>, Vec<usize>) = produced
+            .into_iter()
+            .map(|(batch, words, _)| (batch, words))
             .unzip();
         let total: usize = out_words.iter().sum();
         let max_out = out_words.iter().copied().max().unwrap_or(0);
@@ -425,12 +485,16 @@ impl<S: MachineState> Cluster<S> {
         C: Fn(T, T) -> T,
     {
         self.metrics.supersteps += 1;
-        let mut values: Vec<T> = self
-            .states
-            .par_iter()
-            .enumerate()
-            .map(|(id, s)| extract(id, s))
-            .collect();
+        let pass = Instant::now();
+        let extracted = executor::map_slice(&*self.exec, &self.states, |id, s| {
+            let t = Instant::now();
+            let v = extract(id, s);
+            (v, t.elapsed().as_nanos() as u64)
+        });
+        let wall = pass.elapsed().as_nanos() as u64;
+        let durs: Vec<u64> = extracted.iter().map(|&(_, d)| d).collect();
+        self.metrics.record_timing(wall, &durs);
+        let mut values: Vec<T> = extracted.into_iter().map(|(v, _)| v).collect();
 
         let max_words = values.iter().map(WordSized::words).max().unwrap_or(0);
         let total: usize = values.iter().map(WordSized::words).sum();
@@ -706,5 +770,74 @@ mod tests {
         let mut c = cluster(1, 100);
         assert_eq!(c.broadcast_words(5).unwrap(), 0);
         assert_eq!(c.rounds(), 0);
+    }
+
+    #[test]
+    fn supersteps_record_wall_clock_timings() {
+        let mut c = cluster(4, 1000);
+        c.local(|_, s| s.0.push(1)).unwrap();
+        c.exchange::<u64, _, _>(|id, _, out| out.send(0, id as u64), |_, _, _| {})
+            .unwrap();
+        // local = 1 pass, exchange = produce + consume = 2 passes.
+        assert_eq!(c.metrics().superstep_timings.len(), 3);
+        for t in &c.metrics().superstep_timings {
+            assert_eq!(t.tasks, 4);
+            assert!(t.wall_nanos > 0);
+        }
+        assert!(c.metrics().total_wall_nanos() > 0);
+    }
+
+    /// The executor contract end-to-end: a mixed workload (local, skewed
+    /// exchange, gather, broadcast, aggregate) is bit-identical — states
+    /// and `Metrics` — across the sequential executor and thread pools of
+    /// several sizes.
+    #[test]
+    fn threaded_run_is_bit_identical_to_sequential() {
+        use crate::executor::{SeqExecutor, ThreadPoolExecutor};
+
+        fn workload(exec: Arc<dyn Executor>) -> (Vec<Vec<u64>>, Metrics) {
+            let machines = 16;
+            let states: Vec<VecState> = (0..machines).map(|i| VecState(vec![i as u64])).collect();
+            let mut c = Cluster::with_executor(ClusterConfig::new(machines, 100_000), states, exec)
+                .unwrap();
+            // Skewed local work: machine i does O(i^2) pushes/pops.
+            c.local(|id, s| {
+                for k in 0..(id * id) as u64 {
+                    s.0.push(k);
+                }
+                s.0.truncate(id + 1);
+            })
+            .unwrap();
+            // All-to-all exchange with value-dependent destinations.
+            c.exchange::<(u64, u64), _, _>(
+                |id, s, out| {
+                    for (j, &v) in s.0.iter().enumerate() {
+                        out.send((id + j) % machines, (id as u64, v));
+                    }
+                },
+                |_, s, inbox| {
+                    for (src, v) in inbox {
+                        s.0.push(src * 1000 + v);
+                    }
+                },
+            )
+            .unwrap();
+            let gathered = c.gather(|id, s| vec![id as u64, s.0.len() as u64]).unwrap();
+            c.broadcast_words(gathered.len()).unwrap();
+            let sum = c.aggregate_sum(|_, s| s.0.len()).unwrap();
+            c.local(move |_, s| s.0.push(sum as u64)).unwrap();
+            let (states, metrics) = c.into_parts();
+            (states.into_iter().map(|s| s.0).collect(), metrics)
+        }
+
+        let (seq_states, seq_metrics) = workload(Arc::new(SeqExecutor));
+        for threads in [1usize, 2, 8] {
+            let (states, metrics) = workload(Arc::new(ThreadPoolExecutor::new(threads)));
+            assert_eq!(states, seq_states, "states diverged at {threads} threads");
+            assert_eq!(
+                metrics, seq_metrics,
+                "metrics diverged at {threads} threads"
+            );
+        }
     }
 }

@@ -1,0 +1,563 @@
+//! The pluggable execution substrate behind the cluster's supersteps.
+//!
+//! An [`Executor`] runs one task per simulated machine, possibly on real
+//! OS threads. The trait's only required operation, [`Executor::run`], is
+//! an *unordered* index-parallel for-loop; every ordered observable is
+//! reconstructed afterwards in machine-id order by the deterministic
+//! helpers in this module. The cluster's supersteps are built on
+//! [`map_slice`] and [`map_slice_mut`]; [`for_each_mut`] (mutation
+//! without results) and [`fold_slice`] (extract in parallel, combine
+//! sequentially in index order) round out the surface for external
+//! drivers that program against the executor directly. Because each task
+//! touches only its own machine's state and its own output slot, and all
+//! merges are index-ordered, a run is **bit-identical** across executors
+//! and thread counts — the determinism contract the equivalence suites
+//! assert.
+//!
+//! Two executors ship:
+//!
+//! * [`SeqExecutor`] — runs tasks inline in index order. Zero overhead;
+//!   the reference schedule.
+//! * [`ThreadPoolExecutor`] — a persistent pool built on [`std::thread`]
+//!   and [`std::sync::mpsc`] channels (the build environment has no
+//!   crates.io access, so rayon is not available; if it returns, a
+//!   `RayonExecutor` is a ~10-line impl of the same trait). Workers pull
+//!   indices from a shared atomic counter, so load balances across
+//!   machines with skewed state sizes; the submitting thread participates
+//!   in the work, so a 1-thread pool is simply the sequential schedule
+//!   with an atomic counter in the loop.
+//!
+//! [`executor_for`] caches one pool per thread count for the whole
+//! process, so batched solves ([`Registry::solve_batch`]-style harnesses)
+//! amortize thread spawning across runs. The default thread count comes
+//! from the `MRLR_THREADS` environment variable (unset or `1` = the
+//! sequential executor).
+//!
+//! [`Registry::solve_batch`]: https://docs.rs/mrlr-core
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Index-parallel task runner for machine supersteps.
+///
+/// Implementations must run `task(i)` exactly once for every
+/// `i in 0..count` and return only after all calls have completed. The
+/// order and interleaving are unspecified — callers own determinism by
+/// writing per-index outputs and merging in index order (see the module
+/// helpers).
+pub trait Executor: Send + Sync {
+    /// Short human-readable name (`"seq"`, `"threads(4)"`, …) for traces
+    /// and bench labels.
+    fn name(&self) -> String;
+
+    /// Number of OS threads that may run tasks concurrently (1 for the
+    /// sequential executor).
+    fn threads(&self) -> usize;
+
+    /// Runs `task(i)` for every `i in 0..count`, returning when all are
+    /// done.
+    fn run(&self, count: usize, task: &(dyn Fn(usize) + Sync));
+}
+
+/// The reference executor: tasks run inline, in index order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeqExecutor;
+
+impl Executor for SeqExecutor {
+    fn name(&self) -> String {
+        "seq".into()
+    }
+
+    fn threads(&self) -> usize {
+        1
+    }
+
+    fn run(&self, count: usize, task: &(dyn Fn(usize) + Sync)) {
+        for i in 0..count {
+            task(i);
+        }
+    }
+}
+
+/// One submitted superstep: a lifetime-erased task plus completion state.
+///
+/// `run` blocks until `completed == count`, so the erased borrow outlives
+/// every dereference — workers claim an index *before* calling the task
+/// and can never claim one after the counter is exhausted.
+struct Job {
+    /// The task, with its lifetime erased. Only dereferenced by threads
+    /// holding a claimed index, all of which complete before the
+    /// submitting `run` call returns.
+    task: *const (dyn Fn(usize) + Sync),
+    count: usize,
+    /// Next index to claim.
+    next: AtomicUsize,
+    /// Indices completed so far; the job is done at `count`.
+    completed: AtomicUsize,
+    /// First panic payload raised by a task, re-raised by the submitter.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    done: Mutex<bool>,
+    signal: Condvar,
+}
+
+// SAFETY: the raw task pointer is only dereferenced while the submitting
+// `ThreadPoolExecutor::run` frame is alive (it blocks on `done`), and the
+// pointee is `Sync`, so shared cross-thread calls are safe.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs indices until the counter is exhausted. Returns
+    /// whether this call completed the last index.
+    fn work(&self) -> bool {
+        let mut finished_last = false;
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.count {
+                break;
+            }
+            // SAFETY: the reference is formed only while holding claim
+            // `i < count`, which implies the submitter is still blocked in
+            // `run` (it cannot return before every claimed index
+            // completes), so the erased borrow is alive. A worker that
+            // dequeues the job late only ever sees an exhausted counter
+            // and never touches the pointer.
+            let task = unsafe { &*self.task };
+            // A panicking task must still count as completed, or the
+            // submitter would wait forever; the payload is re-raised on
+            // the submitting thread once the job drains.
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+                let mut slot = self.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            let done_so_far = self.completed.fetch_add(1, Ordering::AcqRel) + 1;
+            finished_last = done_so_far == self.count;
+        }
+        finished_last
+    }
+
+    fn mark_done(&self) {
+        let mut done = self.done.lock().unwrap();
+        *done = true;
+        self.signal.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap();
+        while !*done {
+            done = self.signal.wait(done).unwrap();
+        }
+    }
+}
+
+/// A persistent worker pool on `std::thread` + mpsc channels.
+///
+/// `new(threads)` spawns `threads - 1` workers; the thread calling
+/// [`Executor::run`] is the remaining participant. Concurrent `run` calls
+/// from different threads are safe: each submission is an independent
+/// [`Job`] queued to every worker, and completion is tracked per job.
+pub struct ThreadPoolExecutor {
+    threads: usize,
+    senders: Mutex<Vec<Sender<PoolMsg>>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+enum PoolMsg {
+    Job(Arc<Job>),
+    Shutdown,
+}
+
+impl ThreadPoolExecutor {
+    /// A pool where up to `threads` OS threads (including the submitter)
+    /// run tasks concurrently. `threads` is clamped to at least 1.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let mut senders = Vec::new();
+        let mut handles = Vec::new();
+        for w in 1..threads {
+            let (tx, rx) = channel::<PoolMsg>();
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mrlr-exec-{w}"))
+                    .spawn(move || {
+                        while let Ok(PoolMsg::Job(job)) = rx.recv() {
+                            if job.work() {
+                                job.mark_done();
+                            }
+                        }
+                    })
+                    .expect("spawning an executor worker thread"),
+            );
+        }
+        ThreadPoolExecutor {
+            threads,
+            senders: Mutex::new(senders),
+            handles,
+        }
+    }
+}
+
+impl Executor for ThreadPoolExecutor {
+    fn name(&self) -> String {
+        format!("threads({})", self.threads)
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn run(&self, count: usize, task: &(dyn Fn(usize) + Sync)) {
+        if count == 0 {
+            return;
+        }
+        if self.threads == 1 || count == 1 {
+            // Nothing to fan out; skip the queueing machinery.
+            for i in 0..count {
+                task(i);
+            }
+            return;
+        }
+        // SAFETY: `run` blocks on `job.wait()` below, so the borrow of
+        // `task` outlives every dereference (see `Job`).
+        let task_static: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&_, &'static (dyn Fn(usize) + Sync)>(task) };
+        let job = Arc::new(Job {
+            task: task_static,
+            count,
+            next: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            signal: Condvar::new(),
+        });
+        {
+            let senders = self.senders.lock().unwrap();
+            for tx in senders.iter() {
+                // A worker that exited (only possible at shutdown) is fine
+                // to skip: the submitter and remaining workers drain the
+                // job.
+                let _ = tx.send(PoolMsg::Job(Arc::clone(&job)));
+            }
+        }
+        // The submitting thread is a full participant.
+        if job.work() {
+            job.mark_done();
+        }
+        job.wait();
+        let payload = job.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ThreadPoolExecutor {
+    fn drop(&mut self) {
+        let senders = std::mem::take(&mut *self.senders.lock().unwrap());
+        for tx in &senders {
+            let _ = tx.send(PoolMsg::Shutdown);
+        }
+        drop(senders);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Pointer wrapper that lets disjoint-index tasks write into a shared
+/// buffer. Soundness: every task touches only its own index. Access goes
+/// through the method (not the field) so 2021-edition closures capture
+/// the `Sync` wrapper rather than the raw pointer inside it.
+struct RawSlots<T>(*mut T);
+unsafe impl<T: Send> Sync for RawSlots<T> {}
+
+impl<T> RawSlots<T> {
+    /// Pointer to slot `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds, and no two live accesses may alias.
+    unsafe fn slot(&self, i: usize) -> *mut T {
+        self.0.add(i)
+    }
+}
+
+/// Runs `f(i, &items[i])` on the executor and returns the results **in
+/// index order** regardless of schedule.
+pub fn map_slice<T, R, F>(exec: &dyn Executor, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    // `None`-initialized slots (not `MaybeUninit`): if a task panics,
+    // unwinding drops the vector normally and every already-computed
+    // result is freed rather than leaked.
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let slots = RawSlots(out.as_mut_ptr());
+    exec.run(n, &|i| {
+        // SAFETY: index `i` is claimed exactly once, so each slot is
+        // written exactly once with no aliasing.
+        unsafe { *slots.slot(i) = Some(f(i, &items[i])) };
+    });
+    out.into_iter()
+        .map(|s| s.expect("executor ran every index"))
+        .collect()
+}
+
+/// Runs `f(i, &mut items[i])` on the executor and returns the results **in
+/// index order** regardless of schedule.
+pub fn map_slice_mut<T, R, F>(exec: &dyn Executor, items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let slots = RawSlots(out.as_mut_ptr());
+    let states = RawSlots(items.as_mut_ptr());
+    exec.run(n, &|i| {
+        // SAFETY: disjoint indices — each task gets exclusive access to
+        // `items[i]` and writes its own output slot exactly once.
+        unsafe { *slots.slot(i) = Some(f(i, &mut *states.slot(i))) };
+    });
+    out.into_iter()
+        .map(|s| s.expect("executor ran every index"))
+        .collect()
+}
+
+/// Runs `f(i, &mut items[i])` on the executor for every index.
+pub fn for_each_mut<T, F>(exec: &dyn Executor, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let states = RawSlots(items.as_mut_ptr());
+    exec.run(items.len(), &|i| {
+        // SAFETY: disjoint indices give exclusive access to `items[i]`.
+        f(i, unsafe { &mut *states.slot(i) });
+    });
+}
+
+/// Extracts a value per item on the executor, then folds the extracted
+/// values **sequentially in index order** — non-commutative (and
+/// floating-point) combines stay deterministic across schedules.
+pub fn fold_slice<T, R, E, C>(exec: &dyn Executor, items: &[T], extract: E, combine: C) -> Option<R>
+where
+    T: Sync,
+    R: Send,
+    E: Fn(usize, &T) -> R + Sync,
+    C: Fn(R, R) -> R,
+{
+    map_slice(exec, items, extract).into_iter().reduce(combine)
+}
+
+/// The process-wide default thread count: `MRLR_THREADS` when set to a
+/// positive integer, else 1 (sequential). Read once and cached.
+pub fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("MRLR_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1)
+    })
+}
+
+/// The shared executor for `threads` threads: [`SeqExecutor`] for 0 or 1,
+/// else one process-wide cached [`ThreadPoolExecutor`] per thread count —
+/// repeated solves (and batched registry runs) reuse warm pools instead of
+/// respawning threads.
+pub fn executor_for(threads: usize) -> Arc<dyn Executor> {
+    static SEQ: OnceLock<Arc<SeqExecutor>> = OnceLock::new();
+    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<ThreadPoolExecutor>>>> = OnceLock::new();
+    if threads <= 1 {
+        return SEQ.get_or_init(|| Arc::new(SeqExecutor)).clone() as Arc<dyn Executor>;
+    }
+    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut pools = pools.lock().unwrap();
+    pools
+        .entry(threads)
+        .or_insert_with(|| Arc::new(ThreadPoolExecutor::new(threads)))
+        .clone()
+}
+
+/// [`executor_for`] at [`default_threads`] — what `Cluster::new` uses when
+/// no executor is supplied explicitly.
+pub fn default_executor() -> Arc<dyn Executor> {
+    executor_for(default_threads())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squares(exec: &dyn Executor, n: usize) -> Vec<usize> {
+        let items: Vec<usize> = (0..n).collect();
+        map_slice(exec, &items, |_, &x| x * x)
+    }
+
+    #[test]
+    fn seq_and_pool_agree_on_map() {
+        let seq = SeqExecutor;
+        let expected = squares(&seq, 1000);
+        for threads in [1usize, 2, 3, 8] {
+            let pool = ThreadPoolExecutor::new(threads);
+            assert_eq!(squares(&pool, 1000), expected, "threads = {threads}");
+            assert_eq!(pool.threads(), threads);
+        }
+    }
+
+    #[test]
+    fn map_mut_gives_exclusive_access_and_ordered_results() {
+        let pool = ThreadPoolExecutor::new(4);
+        let mut items: Vec<Vec<u64>> = (0..100).map(|i| vec![i as u64]).collect();
+        let lens = map_slice_mut(&pool, &mut items, |i, v| {
+            v.push(i as u64 * 2);
+            v.len()
+        });
+        assert_eq!(lens, vec![2; 100]);
+        assert_eq!(items[7], vec![7, 14]);
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        let pool = ThreadPoolExecutor::new(8);
+        let mut items = vec![0u64; 500];
+        for_each_mut(&pool, &mut items, |i, x| *x += i as u64 + 1);
+        for (i, x) in items.iter().enumerate() {
+            assert_eq!(*x, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn fold_is_index_ordered_even_threaded() {
+        let pool = ThreadPoolExecutor::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        // Non-commutative combine: concatenation.
+        let folded = fold_slice(
+            &pool,
+            &items,
+            |_, &x| vec![x],
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+        )
+        .unwrap();
+        assert_eq!(folded, items);
+        assert_eq!(
+            fold_slice(&pool, &Vec::<usize>::new(), |_, &x: &usize| x, |a, _| a),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_and_single_runs_are_fine() {
+        let pool = ThreadPoolExecutor::new(4);
+        pool.run(0, &|_| panic!("no tasks to run"));
+        let hits = AtomicUsize::new(0);
+        pool.run(1, &|i| {
+            assert_eq!(i, 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_survives_repeated_and_concurrent_use() {
+        let pool = Arc::new(ThreadPoolExecutor::new(4));
+        for _ in 0..50 {
+            let total = AtomicUsize::new(0);
+            pool.run(32, &|i| {
+                total.fetch_add(i, Ordering::Relaxed);
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 31 * 32 / 2);
+        }
+        // Concurrent submissions from several threads share the pool.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    let items: Vec<usize> = (0..200).collect();
+                    let out = map_slice(&*pool, &items, |_, &x| x + 1);
+                    assert_eq!(out, (1..=200).collect::<Vec<_>>());
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn pool_tasks_genuinely_overlap() {
+        // A rendezvous only two *concurrently live* tasks can pass: each
+        // blocks until the other arrives. A sequential executor would
+        // deadlock here; the pool (submitter + 1 worker, two OS threads)
+        // completes even on a single-CPU host via preemption. This is the
+        // structural proof that supersteps execute concurrently — the
+        // wall-clock speedup benches require multi-core hardware, this
+        // does not.
+        let pool = ThreadPoolExecutor::new(2);
+        let barrier = std::sync::Barrier::new(2);
+        let crossed = AtomicUsize::new(0);
+        pool.run(2, &|_| {
+            barrier.wait();
+            crossed.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(crossed.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn task_panics_propagate_to_the_submitter() {
+        let pool = ThreadPoolExecutor::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(16, &|i| {
+                if i == 11 {
+                    panic!("task 11 exploded");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool is still usable afterwards.
+        let hits = AtomicUsize::new(0);
+        pool.run(8, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn executor_for_caches_and_names() {
+        let a = executor_for(3);
+        let b = executor_for(3);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.name(), "threads(3)");
+        assert_eq!(executor_for(0).name(), "seq");
+        assert_eq!(executor_for(1).threads(), 1);
+    }
+
+    #[test]
+    fn work_skew_balances_across_threads() {
+        // Tasks with wildly different costs still all complete, and the
+        // per-index outputs land in the right slots.
+        let pool = ThreadPoolExecutor::new(4);
+        let items: Vec<usize> = (0..40).collect();
+        let out = map_slice(&pool, &items, |_, &x| {
+            let mut acc = 0u64;
+            for k in 0..(x * 1000) {
+                acc = acc.wrapping_add(k as u64);
+            }
+            (x, acc)
+        });
+        for (i, &(x, _)) in out.iter().enumerate() {
+            assert_eq!(i, x);
+        }
+    }
+}

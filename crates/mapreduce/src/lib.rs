@@ -24,13 +24,25 @@
 //!   space accounting.
 //! * [`model::ComputeModel`] audits cluster shapes against the MRC/MPC side
 //!   conditions; [`partition`] provides hash/block/range placement;
-//!   [`trace::Timeline`] renders per-round traces (CSV/ASCII); and
-//!   [`faults`] prices crash/straggler plans against a completed run.
+//!   [`trace::Timeline`] renders per-round traces (CSV/ASCII) including
+//!   per-superstep wall-clock and straggler skew; and [`faults`] prices
+//!   crash/straggler plans against a completed run.
 //!
-//! Machine execution is written against parallel-iterator entry points
-//! ([`par`], a sequential stand-in for rayon in this offline build) and
-//! every observable — outputs, metrics, failures — is deterministic given
-//! the seed.
+//! ## The executor seam
+//!
+//! Machine supersteps run on a pluggable [`executor::Executor`]:
+//! [`executor::SeqExecutor`] runs machines inline in id order, and
+//! [`executor::ThreadPoolExecutor`] (a persistent `std::thread` + channel
+//! pool — the offline build has no rayon) runs them genuinely
+//! concurrently. Every ordered observable — outputs, message delivery,
+//! metrics, failures — is merged in machine-id order after each pass, so
+//! a run is **bit-identical across executors and thread counts** given
+//! the seed; only the wall-clock [`metrics::SuperstepTiming`]s differ.
+//! Select the executor with [`cluster::ClusterConfig::threads`] (default:
+//! the `MRLR_THREADS` environment variable) or inject one through
+//! [`cluster::Cluster::with_executor`]. If crates.io access returns, a
+//! rayon-backed executor is a small impl of the same trait — no call
+//! sites change.
 //!
 //! ```
 //! use mrlr_mapreduce::cluster::{Cluster, ClusterConfig};
@@ -50,11 +62,11 @@
 pub mod bitset;
 pub mod cluster;
 pub mod error;
+pub mod executor;
 pub mod faults;
 pub mod job;
 pub mod metrics;
 pub mod model;
-pub mod par;
 pub mod partition;
 pub mod rng;
 pub mod trace;
@@ -65,8 +77,9 @@ pub use cluster::{
     tree_depth, Cluster, ClusterConfig, Enforcement, MachineId, MachineState, Outbox,
 };
 pub use error::{CapacityKind, MrError, MrResult};
+pub use executor::{default_threads, executor_for, Executor, SeqExecutor, ThreadPoolExecutor};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, RecoveryReport};
-pub use metrics::{Metrics, RoundKind, RoundRecord, Violation};
+pub use metrics::{Metrics, RoundKind, RoundRecord, SuperstepTiming, Violation};
 pub use model::{paper_graph_regime, ComputeModel, ModelCheck};
 pub use partition::{
     balance_stats, split, BalanceStats, BlockPartitioner, HashPartitioner, Partitioner,

@@ -45,6 +45,45 @@ pub struct RoundRecord {
     pub total: usize,
 }
 
+/// Wall-clock timing of one superstep (one primitive invocation's worth of
+/// machine-local work), recorded by the cluster around each executor pass.
+///
+/// Timing is an *observation of the host machine*, not of the simulated
+/// model — it varies run to run and across executors, so it is **excluded
+/// from [`Metrics`] equality** (the determinism suites compare threaded
+/// and sequential runs with `==`). What it buys: the trace can show real
+/// straggler skew (`max_machine_nanos` vs the per-machine mean) under the
+/// threaded executor, the experiments can report wall-clock speedup vs
+/// thread count, and the fault tooling gets empirically-grounded
+/// per-round costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuperstepTiming {
+    /// 1-based superstep index this pass belonged to (an `exchange`
+    /// records two passes — produce and consume — under one superstep).
+    pub superstep: usize,
+    /// Wall-clock nanoseconds for the whole executor pass.
+    pub wall_nanos: u64,
+    /// Nanoseconds spent by the slowest machine's task — the straggler.
+    pub max_machine_nanos: u64,
+    /// Total nanoseconds summed over all machine tasks.
+    pub sum_machine_nanos: u64,
+    /// Number of machine tasks in the pass.
+    pub tasks: usize,
+}
+
+impl SuperstepTiming {
+    /// Straggler skew: slowest machine over mean machine time (1.0 =
+    /// perfectly balanced). 0.0 when the pass had no tasks or no
+    /// measurable work.
+    pub fn skew(&self) -> f64 {
+        if self.tasks == 0 || self.sum_machine_nanos == 0 {
+            0.0
+        } else {
+            self.max_machine_nanos as f64 / (self.sum_machine_nanos as f64 / self.tasks as f64)
+        }
+    }
+}
+
 /// A recorded (non-fatal, in `Record` mode) capacity violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -61,7 +100,13 @@ pub struct Violation {
 }
 
 /// Aggregated metrics for one cluster run.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Equality compares every *model-level* observable (rounds, words,
+/// peaks, per-round detail, violations) and deliberately ignores
+/// [`Metrics::superstep_timings`] — host wall-clock is nondeterministic,
+/// and the executor-determinism suites assert `Metrics` equality between
+/// sequential and threaded runs.
+#[derive(Debug, Clone, Default)]
 pub struct Metrics {
     /// Number of machines in the cluster.
     pub machines: usize,
@@ -85,6 +130,42 @@ pub struct Metrics {
     pub per_round: Vec<RoundRecord>,
     /// Violations observed (only populated in `Record` enforcement mode).
     pub violations: Vec<Violation>,
+    /// Host wall-clock timings, one per executor pass (excluded from
+    /// `PartialEq`; see the type-level docs).
+    pub superstep_timings: Vec<SuperstepTiming>,
+}
+
+impl PartialEq for Metrics {
+    fn eq(&self, other: &Self) -> bool {
+        // Exhaustive destructuring (no `..`): adding a field to `Metrics`
+        // must fail to compile here, forcing an explicit decision about
+        // whether it joins the bit-identical determinism contract.
+        let Metrics {
+            machines,
+            capacity,
+            rounds,
+            supersteps,
+            total_message_words,
+            peak_machine_words,
+            peak_out_words,
+            peak_in_words,
+            peak_central_words,
+            per_round,
+            violations,
+            superstep_timings: _, // host wall-clock: excluded from equality
+        } = self;
+        *machines == other.machines
+            && *capacity == other.capacity
+            && *rounds == other.rounds
+            && *supersteps == other.supersteps
+            && *total_message_words == other.total_message_words
+            && *peak_machine_words == other.peak_machine_words
+            && *peak_out_words == other.peak_out_words
+            && *peak_in_words == other.peak_in_words
+            && *peak_central_words == other.peak_central_words
+            && *per_round == other.per_round
+            && *violations == other.violations
+    }
 }
 
 impl Metrics {
@@ -113,6 +194,34 @@ impl Metrics {
             max_in,
             total,
         });
+    }
+
+    /// Records the wall-clock timing of one executor pass over machine
+    /// tasks, attributed to the current superstep. `machine_nanos` holds
+    /// one entry per machine task; empty passes record zeroes.
+    pub fn record_timing(&mut self, wall_nanos: u64, machine_nanos: &[u64]) {
+        self.superstep_timings.push(SuperstepTiming {
+            superstep: self.supersteps,
+            wall_nanos,
+            max_machine_nanos: machine_nanos.iter().copied().max().unwrap_or(0),
+            sum_machine_nanos: machine_nanos.iter().sum(),
+            tasks: machine_nanos.len(),
+        });
+    }
+
+    /// Total host wall-clock nanoseconds across all executor passes (the
+    /// simulated run's compute time, excluding driver-side work).
+    pub fn total_wall_nanos(&self) -> u64 {
+        self.superstep_timings.iter().map(|t| t.wall_nanos).sum()
+    }
+
+    /// The worst straggler skew observed in any pass (see
+    /// [`SuperstepTiming::skew`]); 0.0 when nothing was timed.
+    pub fn max_straggler_skew(&self) -> f64 {
+        self.superstep_timings
+            .iter()
+            .map(SuperstepTiming::skew)
+            .fold(0.0, f64::max)
     }
 
     /// Peak space on any machine as a multiple of capacity (1.0 = at budget).
@@ -188,6 +297,36 @@ mod tests {
         assert!((m.space_utilization() - 0.5).abs() < 1e-12);
         m.peak_central_words = 150;
         assert!((m.space_utilization() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timings_record_and_are_ignored_by_equality() {
+        let mut a = Metrics::new(4, 100);
+        a.record_round(RoundKind::Exchange, 1, 2, 3);
+        let mut b = a.clone();
+        a.record_timing(1_000, &[400, 100, 100, 100]);
+        b.record_timing(9_999, &[1, 1, 1, 1]);
+        assert_eq!(a, b, "wall-clock must not affect metrics equality");
+        assert_eq!(a.total_wall_nanos(), 1_000);
+        let t = a.superstep_timings[0];
+        assert_eq!(t.max_machine_nanos, 400);
+        assert_eq!(t.sum_machine_nanos, 700);
+        assert_eq!(t.tasks, 4);
+        // Slowest machine took 400ns against a 175ns mean.
+        assert!((t.skew() - 400.0 / 175.0).abs() < 1e-12);
+        assert!((a.max_straggler_skew() - t.skew()).abs() < 1e-12);
+        // Model-level differences still break equality.
+        b.record_round(RoundKind::Gather, 1, 1, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_timing_is_zero() {
+        let mut m = Metrics::new(1, 10);
+        m.record_timing(5, &[]);
+        assert_eq!(m.superstep_timings[0].max_machine_nanos, 0);
+        assert_eq!(m.superstep_timings[0].skew(), 0.0);
+        assert_eq!(m.max_straggler_skew(), 0.0);
     }
 
     #[test]

@@ -6,6 +6,14 @@
 //! terminal inspection). A [`Timeline`] is a pure function of the metrics —
 //! it never affects the simulation.
 //!
+//! Alongside the model-level rounds, a timeline carries the host-level
+//! [`SuperstepTiming`]s the cluster records around every executor pass:
+//! per-pass wall-clock, the slowest machine's time, and the straggler
+//! skew (max/mean). Under the threaded executor these show where real
+//! time goes and which supersteps are skew-bound; they are rendered by
+//! [`Timeline::timing_csv`] and [`Timeline::render_timing_ascii`] and —
+//! like the metrics they come from — excluded from timeline equality.
+//!
 //! ```
 //! use mrlr_mapreduce::metrics::{Metrics, RoundKind};
 //! use mrlr_mapreduce::trace::Timeline;
@@ -21,7 +29,7 @@
 
 use std::fmt;
 
-use crate::metrics::{Metrics, RoundKind};
+use crate::metrics::{Metrics, RoundKind, SuperstepTiming};
 
 /// One row of a [`Timeline`]: a communication round plus running totals.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,10 +60,25 @@ pub struct KindSummary {
 }
 
 /// A per-round view of one cluster run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality compares the model-level rows only; the wall-clock
+/// [`SuperstepTiming`]s are host observations and vary run to run.
+#[derive(Debug, Clone)]
 pub struct Timeline {
     rows: Vec<TimelineRow>,
+    timings: Vec<SuperstepTiming>,
 }
+
+impl PartialEq for Timeline {
+    fn eq(&self, other: &Self) -> bool {
+        // Exhaustive destructuring: a new field must be explicitly
+        // classified as model-level (compared) or host-level (ignored).
+        let Timeline { rows, timings: _ } = self;
+        *rows == other.rows
+    }
+}
+
+impl Eq for Timeline {}
 
 impl Timeline {
     /// Builds the timeline for `metrics`.
@@ -76,7 +99,10 @@ impl Timeline {
                 }
             })
             .collect();
-        Timeline { rows }
+        Timeline {
+            rows,
+            timings: metrics.superstep_timings.clone(),
+        }
     }
 
     /// All rows, in round order.
@@ -164,6 +190,76 @@ impl Timeline {
             ));
         }
         s
+    }
+
+    /// The wall-clock timings of every executor pass, in execution order.
+    pub fn timings(&self) -> &[SuperstepTiming] {
+        &self.timings
+    }
+
+    /// Total host wall-clock nanoseconds across all executor passes.
+    pub fn total_wall_nanos(&self) -> u64 {
+        self.timings.iter().map(|t| t.wall_nanos).sum()
+    }
+
+    /// Worst straggler skew (slowest machine over mean machine time) of
+    /// any pass; 0.0 when nothing was timed.
+    pub fn max_straggler_skew(&self) -> f64 {
+        self.timings
+            .iter()
+            .map(SuperstepTiming::skew)
+            .fold(0.0, f64::max)
+    }
+
+    /// Serializes the executor-pass timings as CSV with a header row.
+    /// Stable column order:
+    /// `pass,superstep,wall_nanos,max_machine_nanos,sum_machine_nanos,tasks,skew`.
+    pub fn timing_csv(&self) -> String {
+        let mut s = String::from(
+            "pass,superstep,wall_nanos,max_machine_nanos,sum_machine_nanos,tasks,skew\n",
+        );
+        for (i, t) in self.timings.iter().enumerate() {
+            s.push_str(&format!(
+                "{},{},{},{},{},{},{:.3}\n",
+                i + 1,
+                t.superstep,
+                t.wall_nanos,
+                t.max_machine_nanos,
+                t.sum_machine_nanos,
+                t.tasks,
+                t.skew()
+            ));
+        }
+        s
+    }
+
+    /// Renders an ASCII bar chart of per-pass wall-clock, one line per
+    /// executor pass, bars scaled to `width` characters and annotated
+    /// with the straggler skew — the terminal view of where real time
+    /// goes under the threaded executor.
+    pub fn render_timing_ascii(&self, width: usize) -> String {
+        let width = width.max(1);
+        let max = self
+            .timings
+            .iter()
+            .map(|t| t.wall_nanos)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let mut out = String::new();
+        for (i, t) in self.timings.iter().enumerate() {
+            let bar_len = ((t.wall_nanos as usize) * width).div_ceil(max as usize);
+            let bar: String = std::iter::repeat_n('#', bar_len).collect();
+            out.push_str(&format!(
+                "{:>4} s{:<4} {:>10}ns skew {:>5.2} |{}\n",
+                i + 1,
+                t.superstep,
+                t.wall_nanos,
+                t.skew(),
+                bar
+            ));
+        }
+        out
     }
 
     /// Renders an ASCII bar chart of per-round volumes, one line per round,
@@ -292,6 +388,44 @@ mod tests {
         let first = art.lines().next().unwrap();
         // The busiest round gets the full-width bar.
         assert!(first.contains(&"#".repeat(20)), "got: {first}");
+    }
+
+    #[test]
+    fn timings_flow_into_the_timeline() {
+        let mut m = sample_metrics();
+        m.supersteps = 2;
+        m.record_timing(1_000, &[100, 900]);
+        m.record_timing(500, &[250, 250]);
+        let t = Timeline::from_metrics(&m);
+        assert_eq!(t.timings().len(), 2);
+        assert_eq!(t.total_wall_nanos(), 1_500);
+        // Pass 1: max 900 vs mean 500.
+        assert!((t.max_straggler_skew() - 1.8).abs() < 1e-12);
+        let csv = t.timing_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "pass,superstep,wall_nanos,max_machine_nanos,sum_machine_nanos,tasks,skew"
+        );
+        let first: Vec<&str> = lines.next().unwrap().split(',').collect();
+        assert_eq!(first, vec!["1", "2", "1000", "900", "1000", "2", "1.800"]);
+        let art = t.render_timing_ascii(10);
+        assert_eq!(art.lines().count(), 2);
+        assert!(art.lines().next().unwrap().contains(&"#".repeat(10)));
+    }
+
+    #[test]
+    fn timeline_equality_ignores_wall_clock() {
+        let m = sample_metrics();
+        let mut fast = m.clone();
+        let mut slow = m;
+        fast.record_timing(10, &[5, 5]);
+        slow.record_timing(99_999, &[99_999]);
+        assert_eq!(Timeline::from_metrics(&fast), Timeline::from_metrics(&slow));
+        assert_eq!(
+            Timeline::from_metrics(&fast).timing_csv().lines().count(),
+            2
+        );
     }
 
     #[test]

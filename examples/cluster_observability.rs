@@ -2,10 +2,13 @@
 //!
 //! Runs the weighted-matching algorithm, then exercises the simulator's
 //! observability surface: the per-round [`Timeline`] (ASCII + CSV), the
+//! per-superstep wall-clock/straggler trace recorded by the executor, the
 //! MRC/MPC model audit of the cluster shape, and the crash/straggler cost
 //! model that prices a fault plan against the completed run.
 //!
 //! Run with: `cargo run --release --example cluster_observability`
+//! (set `MRLR_THREADS=4` to watch the same run under the thread pool —
+//! identical timeline and metrics, different wall-clock trace).
 
 use mrlr::core::api::{Instance, Registry};
 use mrlr::core::mr::MrConfig;
@@ -59,6 +62,26 @@ fn main() {
     println!("\nfirst CSV rows (feed to any plotting tool):");
     for line in timeline.to_csv().lines().take(4) {
         println!("  {line}");
+    }
+
+    // --- Wall-clock / straggler trace (host time, not model rounds) ---
+    println!(
+        "\nexecutor wall-clock: {} passes, {:.2} ms total, worst straggler skew {:.2}",
+        timeline.timings().len(),
+        timeline.total_wall_nanos() as f64 / 1e6,
+        timeline.max_straggler_skew()
+    );
+    println!("slowest executor passes (superstep, wall, skew):");
+    let mut slowest: Vec<_> = timeline.timings().to_vec();
+    slowest.sort_by_key(|t| std::cmp::Reverse(t.wall_nanos));
+    for t in slowest.iter().take(3) {
+        println!(
+            "  superstep {:>3}: {:>9}ns over {} machines, skew {:.2}",
+            t.superstep,
+            t.wall_nanos,
+            t.tasks,
+            t.skew()
+        );
     }
 
     // --- Model audit ---

@@ -91,20 +91,23 @@ fn identical_runs_are_bit_identical_including_metrics() {
 
 #[test]
 fn output_independent_of_execution_schedule() {
-    // This test used to run the same job under 1-thread and 4-thread rayon
-    // pools. The offline build's `mrlr_mapreduce::par` stand-in is
-    // sequential, so there is no thread schedule to vary; what repeated
-    // runs DO still catch is per-process nondeterminism leaking into
-    // observables — e.g. a driver iterating a `HashMap` (whose hasher is
-    // randomly seeded per instance) in arbitrary order. When rayon returns
-    // at the `par` seam, restore the two-pool comparison here.
+    // The same job under the sequential executor and 2/4-thread pools
+    // (genuinely concurrent machine supersteps since the Executor seam
+    // landed) must be bit-identical: solution, rounds, volumes, per-round
+    // detail. Repeated runs additionally catch per-process nondeterminism
+    // leaking into observables — e.g. a driver iterating a `HashMap`
+    // (whose hasher is randomly seeded per instance) in arbitrary order.
     let g = generators::with_uniform_weights(&generators::densified(60, 0.5, 8), 1.0, 9.0, 2);
     let cfg = MrConfig::auto(60, g.m(), 0.3, 29);
-    let run = || {
-        let (r, m) = mr_matching(&g, cfg).unwrap();
+    let run = |threads: usize| {
+        let (r, m) = mr_matching(&g, cfg.with_threads(threads)).unwrap();
         (r, m.rounds, m.total_message_words, m.per_round)
     };
-    assert_eq!(run(), run());
+    let reference = run(1);
+    assert_eq!(run(1), reference, "repeated sequential run diverged");
+    for threads in [2usize, 4] {
+        assert_eq!(run(threads), reference, "{threads}-thread run diverged");
+    }
 }
 
 #[test]

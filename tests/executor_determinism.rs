@@ -1,0 +1,152 @@
+//! The executor contract, asserted end-to-end over the whole registry:
+//! for every algorithm key, `Backend::Mr` under the threaded executor (1,
+//! 2 and 8 threads) returns **bit-identical** solutions, certificates and
+//! model-level `Metrics` to the sequential executor on fixed seeds. Only
+//! host wall-clock (`superstep_timings`, `Report::wall`) may differ —
+//! and `Metrics`/`Timeline` equality deliberately exclude it.
+//!
+//! `MrConfig::with_threads(1)` resolves to the sequential executor;
+//! pools of 1..=8 threads driving a raw `Cluster` are covered by the
+//! substrate's own tests (`mrlr_mapreduce::cluster`), so here the
+//! interesting legs are the multi-thread pools behind the full drivers.
+
+use mrlr::core::api::{BMatchingInstance, Backend, Instance, Registry, VertexWeightedGraph};
+use mrlr::core::mr::MrConfig;
+use mrlr::graph::{generators, Graph};
+use mrlr::mapreduce::{executor_for, DetRng, Timeline};
+use mrlr::setsys::generators as setgen;
+
+const SEED: u64 = 42;
+const MU: f64 = 0.3;
+
+fn graph(n: usize) -> Graph {
+    generators::with_uniform_weights(&generators::densified(n, 0.45, SEED), 1.0, 9.0, SEED ^ 0x77)
+}
+
+fn vertex_weights(n: usize) -> Vec<f64> {
+    let mut rng = DetRng::derive(SEED, &[0x0076_7773]);
+    (0..n).map(|_| rng.f64_range(1.0, 10.0)).collect()
+}
+
+/// One workload per registry key, sized so every run takes milliseconds.
+fn workloads() -> Vec<(&'static str, Instance, MrConfig)> {
+    let g = graph(60);
+    let gcfg = MrConfig::auto(60, g.m(), MU, SEED);
+    let gu = g.unweighted();
+    let sys =
+        setgen::with_uniform_weights(setgen::bounded_frequency(40, 600, 3, SEED), 1.0, 8.0, SEED);
+    let scfg = MrConfig::auto(40, 600, 0.5, SEED);
+    let dense = generators::gnp(50, 0.5, SEED);
+    let dcfg = MrConfig::auto(50, dense.m(), 0.35, SEED);
+    vec![
+        ("set-cover-f", Instance::SetSystem(sys.clone()), scfg),
+        ("set-cover-greedy", Instance::SetSystem(sys), scfg),
+        (
+            "vertex-cover",
+            Instance::VertexWeighted(VertexWeightedGraph::new(g.clone(), vertex_weights(60))),
+            gcfg,
+        ),
+        ("matching", Instance::Graph(g.clone()), gcfg),
+        (
+            "b-matching",
+            Instance::BMatching(BMatchingInstance::new(
+                g.clone(),
+                (0..60u32).map(|v| 1 + v % 3).collect(),
+                0.25,
+            )),
+            gcfg,
+        ),
+        ("mis1", Instance::Graph(gu.clone()), gcfg),
+        ("mis2", Instance::Graph(gu), gcfg),
+        ("clique", Instance::Graph(dense), dcfg),
+        ("vertex-colouring", Instance::Graph(g.clone()), gcfg),
+        ("edge-colouring", Instance::Graph(g), gcfg),
+    ]
+}
+
+#[test]
+fn every_registry_key_is_bit_identical_across_thread_counts() {
+    let registry = Registry::with_defaults();
+    let mut keys_checked = 0usize;
+    for (name, instance, cfg) in workloads() {
+        let reference = registry
+            .solve(name, &instance, &cfg.with_threads(1))
+            .unwrap_or_else(|e| panic!("{name} seq: {e}"));
+        let ref_metrics = reference.metrics.as_ref().expect("Mr backend meters");
+        for threads in [2usize, 8] {
+            let threaded = registry
+                .solve(name, &instance, &cfg.with_threads(threads))
+                .unwrap_or_else(|e| panic!("{name} x{threads}: {e}"));
+            assert_eq!(
+                threaded.solution, reference.solution,
+                "{name}: solution diverged at {threads} threads"
+            );
+            assert_eq!(
+                threaded.certificate, reference.certificate,
+                "{name}: certificate diverged at {threads} threads"
+            );
+            let tm = threaded.metrics.as_ref().expect("Mr backend meters");
+            assert_eq!(
+                tm, ref_metrics,
+                "{name}: metrics diverged at {threads} threads"
+            );
+            // The model-level timeline is equal too (its equality, like
+            // Metrics', excludes wall-clock)...
+            assert_eq!(
+                Timeline::from_metrics(tm),
+                Timeline::from_metrics(ref_metrics),
+                "{name}: timeline diverged at {threads} threads"
+            );
+            // ...while the threaded run really did execute on a pool and
+            // recorded host timings for every executor pass.
+            assert_eq!(
+                tm.superstep_timings.len(),
+                ref_metrics.superstep_timings.len(),
+                "{name}: pass count diverged at {threads} threads"
+            );
+            assert!(tm.total_wall_nanos() > 0, "{name}: nothing was timed");
+        }
+        keys_checked += 1;
+    }
+    // All ten registry keys must have been exercised.
+    assert_eq!(keys_checked, Registry::with_defaults().algorithms().len());
+}
+
+#[test]
+fn repeated_threaded_runs_are_bit_identical_to_each_other() {
+    // Beyond seq-vs-threaded: two runs on the same 4-thread pool (whose
+    // schedules certainly differ) must also agree exactly.
+    let registry = Registry::with_defaults();
+    let g = graph(80);
+    let cfg = MrConfig::auto(80, g.m(), 0.2, 7).with_threads(4);
+    let inst = Instance::Graph(g);
+    let a = registry.solve("matching", &inst, &cfg).unwrap();
+    let b = registry.solve("matching", &inst, &cfg).unwrap();
+    assert_eq!(a.solution, b.solution);
+    assert_eq!(a.metrics, b.metrics);
+}
+
+#[test]
+fn rlr_mr_equivalence_survives_the_thread_pool() {
+    // The paper's Rlr/Mr bit-equivalence is seed-based; the executor must
+    // not perturb it.
+    let registry = Registry::with_defaults();
+    for (name, instance, cfg) in workloads() {
+        let rlr = registry
+            .solve_with(name, Backend::Rlr, &instance, &cfg)
+            .unwrap_or_else(|e| panic!("{name} rlr: {e}"));
+        let mr = registry
+            .solve(name, &instance, &cfg.with_threads(8))
+            .unwrap_or_else(|e| panic!("{name} mr x8: {e}"));
+        assert_eq!(rlr.solution, mr.solution, "{name}");
+    }
+}
+
+#[test]
+fn executor_selection_resolves_threads() {
+    assert_eq!(executor_for(1).name(), "seq");
+    assert_eq!(executor_for(4).name(), "threads(4)");
+    let cfg = MrConfig::auto(20, 100, 0.3, 1);
+    // Unset MRLR_THREADS (the test environment default) = sequential.
+    assert!(cfg.exec.threads >= 1);
+}
