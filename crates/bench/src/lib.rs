@@ -6,6 +6,8 @@
 
 #![warn(missing_docs)]
 
+pub mod workloads;
+
 use mrlr_core::exact;
 use mrlr_graph::{generators, Graph};
 use mrlr_mapreduce::DetRng;

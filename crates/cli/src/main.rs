@@ -1,0 +1,528 @@
+//! `mrlr` — the file-based front end over the algorithm registry.
+//!
+//! Every run in the workspace used to be compiled in; this binary drives
+//! the whole system through [`mrlr_core::api::Registry`] from files on
+//! disk instead:
+//!
+//! ```text
+//! mrlr list                         # algorithms × backends, gen families
+//! mrlr gen densified --n 80 --out g.inst
+//! mrlr solve matching --input g.inst --format json
+//! mrlr batch runs.manifest --format csv
+//! ```
+//!
+//! Instance files use the unified format of [`mrlr_core::io::instance`];
+//! manifests the format of [`mrlr_core::io::manifest`]; reports serialize
+//! via [`mrlr_core::io::report`] (`--mask-timings` zeroes host wall-clock
+//! so outputs are bit-identical across `MRLR_THREADS` settings — the CI
+//! smoke matrix diffs them against golden files).
+//!
+//! Exit codes: 0 success, 1 runtime failure (unreadable file, infeasible
+//! instance, solver error), 2 usage error.
+
+use std::process::ExitCode;
+
+use mrlr_bench::workloads::{self, GenParams};
+use mrlr_core::api::{Backend, Instance, Registry, Report, Solution};
+use mrlr_core::io::{self, Json, TimingMode};
+use mrlr_core::mr::MrConfig;
+use mrlr_mapreduce::Timeline;
+
+const USAGE: &str = "mrlr — greedy and local ratio algorithms in the MapReduce model
+
+USAGE:
+    mrlr list  [--format text|json]
+    mrlr gen   <family> [--n N] [--m M] [--c C] [--gamma G] [--f F]
+               [--delta D] [--max-len L] [--left L] [--w-min W] [--w-max W]
+               [--unweighted] [--eps E] [--b-max B] [--seed S] [--out PATH]
+    mrlr solve <algorithm> --input PATH [--backend seq|rlr|mr] [--mu MU]
+               [--seed S] [--threads N] [--machines M]
+               [--format text|json|csv] [--mask-timings]
+               [--timings-csv PATH] [--out PATH]
+    mrlr batch <manifest> [--format json|csv] [--mask-timings] [--out PATH]
+
+Run `mrlr list` for the algorithm keys and generator families. The cluster
+shape is auto-derived from the instance and `--mu` exactly as the paper
+parameterizes it; `--threads` (default: MRLR_THREADS, else sequential)
+changes wall-clock only — solutions and metrics are bit-identical.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match command {
+        "list" => cmd_list(rest),
+        "gen" => cmd_gen(rest),
+        "solve" => cmd_solve(rest),
+        "batch" => cmd_batch(rest),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(CliError::usage(format!("unknown command `{other}`"))),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mrlr {command}: {}", e.message);
+            if e.usage {
+                eprint!("\n{USAGE}");
+            }
+            ExitCode::from(if e.usage { 2 } else { 1 })
+        }
+    }
+}
+
+struct CliError {
+    message: String,
+    usage: bool,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            usage: true,
+        }
+    }
+
+    fn runtime(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            usage: false,
+        }
+    }
+}
+
+/// Parsed `--flag value` / `--switch` arguments plus positionals.
+struct Flags {
+    positional: Vec<String>,
+    named: Vec<(String, String)>,
+}
+
+impl Flags {
+    /// `switches` are value-less flags; every other `--flag` consumes the
+    /// next token as its value.
+    fn parse(args: &[String], switches: &[&str]) -> Result<Flags, CliError> {
+        let mut positional = Vec::new();
+        let mut named = Vec::new();
+        let mut it = args.iter();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if switches.contains(&name) {
+                    named.push((name.to_string(), "true".to_string()));
+                } else {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| CliError::usage(format!("flag --{name} needs a value")))?;
+                    named.push((name.to_string(), value.clone()));
+                }
+            } else {
+                positional.push(tok.clone());
+            }
+        }
+        Ok(Flags { positional, named })
+    }
+
+    fn take(&mut self, name: &str) -> Option<String> {
+        let idx = self.named.iter().position(|(n, _)| n == name)?;
+        Some(self.named.remove(idx).1)
+    }
+
+    fn take_parsed<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, CliError> {
+        match self.take(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::usage(format!("bad value `{raw}` for --{name}"))),
+        }
+    }
+
+    fn finish(self) -> Result<Vec<String>, CliError> {
+        if let Some((name, _)) = self.named.first() {
+            return Err(CliError::usage(format!("unknown flag --{name}")));
+        }
+        Ok(self.positional)
+    }
+}
+
+fn write_output(out: Option<String>, content: &str) -> Result<(), CliError> {
+    match out {
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+        Some(path) => std::fs::write(&path, content)
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}"))),
+    }
+}
+
+fn timing_mode(flags: &mut Flags) -> TimingMode {
+    if flags.take("mask-timings").is_some() {
+        TimingMode::Masked
+    } else {
+        TimingMode::Real
+    }
+}
+
+// ---------------------------------------------------------------- list --
+
+fn cmd_list(args: &[String]) -> Result<(), CliError> {
+    let mut flags = Flags::parse(args, &[])?;
+    let format = flags.take("format").unwrap_or_else(|| "text".into());
+    if !flags.finish()?.is_empty() {
+        return Err(CliError::usage("list takes no positional arguments"));
+    }
+    let registry = Registry::with_defaults();
+    match format.as_str() {
+        "text" => {
+            println!("algorithms (mrlr solve <key>):");
+            for name in registry.algorithms() {
+                let driver = registry.get(name).expect("Mr driver registered");
+                let backends: Vec<String> = registry
+                    .backends(name)
+                    .into_iter()
+                    .map(|b| b.to_string())
+                    .collect();
+                println!(
+                    "  {name:<18} {:<22} backends: {}",
+                    driver.instance_kind().to_string(),
+                    backends.join(",")
+                );
+            }
+            println!("\ngenerator families (mrlr gen <family>):");
+            for spec in workloads::FAMILIES {
+                println!(
+                    "  {:<18} {:<22} {}",
+                    spec.name,
+                    spec.kind.to_string(),
+                    spec.description
+                );
+            }
+            Ok(())
+        }
+        "json" => {
+            let algorithms = registry
+                .algorithms()
+                .into_iter()
+                .map(|name| {
+                    let driver = registry.get(name).expect("Mr driver registered");
+                    Json::Obj(vec![
+                        ("key", Json::str(name)),
+                        (
+                            "instance_kind",
+                            Json::str(driver.instance_kind().to_string()),
+                        ),
+                        (
+                            "backends",
+                            Json::Arr(
+                                registry
+                                    .backends(name)
+                                    .into_iter()
+                                    .map(|b| Json::str(b.to_string()))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect();
+            let families = workloads::FAMILIES
+                .iter()
+                .map(|spec| {
+                    Json::Obj(vec![
+                        ("name", Json::str(spec.name)),
+                        ("kind", Json::str(spec.kind.to_string())),
+                        ("description", Json::str(spec.description)),
+                    ])
+                })
+                .collect();
+            print!(
+                "{}",
+                Json::Obj(vec![
+                    ("algorithms", Json::Arr(algorithms)),
+                    ("families", Json::Arr(families)),
+                ])
+                .render()
+            );
+            Ok(())
+        }
+        other => Err(CliError::usage(format!("unknown format `{other}`"))),
+    }
+}
+
+// ----------------------------------------------------------------- gen --
+
+fn cmd_gen(args: &[String]) -> Result<(), CliError> {
+    let mut flags = Flags::parse(args, &["unweighted"])?;
+    let mut params = GenParams::default();
+    if let Some(n) = flags.take_parsed("n")? {
+        params.n = n;
+    }
+    params.m = flags.take_parsed("m")?;
+    if let Some(c) = flags.take_parsed("c")? {
+        params.c = c;
+    }
+    if let Some(g) = flags.take_parsed("gamma")? {
+        params.gamma = g;
+    }
+    if let Some(f) = flags.take_parsed("f")? {
+        params.f = f;
+    }
+    if let Some(d) = flags.take_parsed("delta")? {
+        params.delta = d;
+    }
+    if let Some(l) = flags.take_parsed("max-len")? {
+        params.max_len = l;
+    }
+    params.left = flags.take_parsed("left")?;
+    if let Some(w) = flags.take_parsed("w-min")? {
+        params.w_min = w;
+    }
+    if let Some(w) = flags.take_parsed("w-max")? {
+        params.w_max = w;
+    }
+    params.unweighted = flags.take("unweighted").is_some();
+    if let Some(e) = flags.take_parsed("eps")? {
+        params.eps = e;
+    }
+    if let Some(b) = flags.take_parsed("b-max")? {
+        params.b_max = b;
+    }
+    if let Some(s) = flags.take_parsed("seed")? {
+        params.seed = s;
+    }
+    let out = flags.take("out");
+    let positional = flags.finish()?;
+    let [family] = positional.as_slice() else {
+        return Err(CliError::usage("gen needs exactly one <family> argument"));
+    };
+    let instance = workloads::build(family, &params).map_err(CliError::usage)?;
+    write_output(out, &io::render_instance(&instance))
+}
+
+// --------------------------------------------------------------- solve --
+
+fn load_instance(path: &str) -> Result<Instance, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+    io::parse_instance(&text).map_err(|e| CliError::runtime(format!("{path}: {e}")))
+}
+
+fn configure(
+    instance: &Instance,
+    mu: f64,
+    seed: u64,
+    threads: Option<usize>,
+    machines: Option<usize>,
+) -> MrConfig {
+    let mut cfg = instance.auto_config(mu, seed);
+    if let Some(t) = threads {
+        cfg = cfg.with_threads(t);
+    }
+    if let Some(m) = machines {
+        cfg = cfg.with_machines(m);
+    }
+    cfg
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), CliError> {
+    let mut flags = Flags::parse(args, &["mask-timings"])?;
+    let timing = timing_mode(&mut flags);
+    let input = flags
+        .take("input")
+        .ok_or_else(|| CliError::usage("solve needs --input <path>"))?;
+    let backend = match flags.take("backend").as_deref() {
+        None | Some("mr") => Backend::Mr,
+        Some("rlr") => Backend::Rlr,
+        Some("seq") => Backend::Seq,
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown backend `{other}` (expected seq, rlr or mr)"
+            )));
+        }
+    };
+    let mu = flags.take_parsed("mu")?.unwrap_or(io::manifest::DEFAULT_MU);
+    if !(mu.is_finite() && mu > 0.0) {
+        return Err(CliError::usage(format!(
+            "--mu must be positive and finite (got {mu})"
+        )));
+    }
+    let seed = flags
+        .take_parsed("seed")?
+        .unwrap_or(io::manifest::DEFAULT_SEED);
+    let threads = flags.take_parsed("threads")?;
+    let machines = flags.take_parsed("machines")?;
+    let format = flags.take("format").unwrap_or_else(|| "text".into());
+    let timings_csv = flags.take("timings-csv");
+    let out = flags.take("out");
+    let positional = flags.finish()?;
+    let [algorithm] = positional.as_slice() else {
+        return Err(CliError::usage(
+            "solve needs exactly one <algorithm> argument",
+        ));
+    };
+
+    let instance = load_instance(&input)?;
+    let cfg = configure(&instance, mu, seed, threads, machines);
+    let report = Registry::with_defaults()
+        .solve_with(algorithm, backend, &instance, &cfg)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+
+    if let Some(path) = timings_csv {
+        let csv = report
+            .metrics
+            .as_ref()
+            .map(|m| Timeline::from_metrics(m).timing_csv())
+            .unwrap_or_else(|| {
+                "pass,superstep,wall_nanos,max_machine_nanos,sum_machine_nanos,tasks,skew\n"
+                    .to_string()
+            });
+        std::fs::write(&path, csv)
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+    }
+
+    let content = match format.as_str() {
+        "json" => io::report_json(&report, timing).render(),
+        "csv" => format!(
+            "{}\n{}\n",
+            io::REPORT_CSV_HEADER,
+            io::report_csv_row(&report, timing)
+        ),
+        "text" => io::report_text(&report, timing),
+        other => return Err(CliError::usage(format!("unknown format `{other}`"))),
+    };
+    write_output(out, &content)
+}
+
+// --------------------------------------------------------------- batch --
+
+fn job_cfg(instance: &Instance, job: &io::JobSpec) -> MrConfig {
+    configure(instance, job.mu, job.seed, job.threads, None)
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), CliError> {
+    let mut flags = Flags::parse(args, &["mask-timings"])?;
+    let timing = timing_mode(&mut flags);
+    let format = flags.take("format").unwrap_or_else(|| "json".into());
+    let out = flags.take("out");
+    let positional = flags.finish()?;
+    let [manifest_path] = positional.as_slice() else {
+        return Err(CliError::usage(
+            "batch needs exactly one <manifest> argument",
+        ));
+    };
+
+    let text = std::fs::read_to_string(manifest_path)
+        .map_err(|e| CliError::runtime(format!("cannot read {manifest_path}: {e}")))?;
+    let manifest = io::parse_manifest(&text)
+        .map_err(|e| CliError::runtime(format!("{manifest_path}: {e}")))?;
+
+    // Instance paths resolve relative to the manifest's directory, so a
+    // manifest and its workload files travel together.
+    let base = std::path::Path::new(manifest_path)
+        .parent()
+        .unwrap_or_else(|| std::path::Path::new("."));
+    let instances: Vec<Instance> = manifest
+        .instances
+        .iter()
+        .map(|rel| load_instance(&base.join(rel).to_string_lossy()))
+        .collect::<Result<_, _>>()?;
+
+    let registry = Registry::with_defaults();
+    // One solve_batch per instance: job cluster shapes are auto-derived
+    // from each instance, and the batch scope still amortizes executor
+    // warm-up and distribution across the jobs that share a shape.
+    let results: Vec<Vec<Result<Report<Solution>, String>>> = instances
+        .iter()
+        .map(|instance| {
+            let jobs: Vec<(&str, MrConfig)> = manifest
+                .jobs
+                .iter()
+                .map(|job| (job.algorithm.as_str(), job_cfg(instance, job)))
+                .collect();
+            registry
+                .solve_batch(std::slice::from_ref(instance), &jobs)
+                .remove(0)
+                .into_iter()
+                .map(|slot| slot.map_err(|e| e.to_string()))
+                .collect()
+        })
+        .collect();
+
+    let content = match format.as_str() {
+        "json" => {
+            let jobs_json = manifest
+                .jobs
+                .iter()
+                .map(|j| {
+                    Json::Obj(vec![
+                        ("algorithm", Json::str(&*j.algorithm)),
+                        ("mu", Json::F64(j.mu)),
+                        ("seed", Json::U64(j.seed)),
+                        (
+                            "threads",
+                            j.threads.map_or(Json::Null, |t| Json::U64(t as u64)),
+                        ),
+                    ])
+                })
+                .collect();
+            let results_json = results
+                .iter()
+                .map(|per_instance| {
+                    Json::Arr(
+                        per_instance
+                            .iter()
+                            .map(|slot| match slot {
+                                Ok(report) => io::report_json(report, timing),
+                                Err(e) => Json::Obj(vec![("error", Json::str(&**e))]),
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            Json::Obj(vec![
+                (
+                    "instances",
+                    Json::Arr(manifest.instances.iter().map(Json::str).collect()),
+                ),
+                ("jobs", Json::Arr(jobs_json)),
+                ("results", Json::Arr(results_json)),
+            ])
+            .render()
+        }
+        "csv" => {
+            let mut csv = format!("instance,{},error\n", io::REPORT_CSV_HEADER);
+            for (path, per_instance) in manifest.instances.iter().zip(&results) {
+                for (job, slot) in manifest.jobs.iter().zip(per_instance) {
+                    match slot {
+                        Ok(report) => {
+                            csv.push_str(&format!(
+                                "{path},{},\n",
+                                io::report_csv_row(report, timing)
+                            ));
+                        }
+                        Err(e) => {
+                            let empty = io::REPORT_CSV_HEADER.split(',').count() - 1;
+                            csv.push_str(&format!(
+                                "{path},{}{},{}\n",
+                                job.algorithm,
+                                ",".repeat(empty),
+                                e.replace([',', '\n'], ";")
+                            ));
+                        }
+                    }
+                }
+            }
+            csv
+        }
+        other => return Err(CliError::usage(format!("unknown format `{other}`"))),
+    };
+    write_output(out, &content)
+}

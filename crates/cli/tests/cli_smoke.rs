@@ -1,0 +1,239 @@
+//! End-to-end smoke tests of the `mrlr` binary: `gen → solve → batch` for
+//! every registry key, with masked JSON reports diffed against golden
+//! files and asserted bit-identical across `MRLR_THREADS={1,4}` — the
+//! same contract the CI smoke job enforces via `scripts/cli_smoke.sh`.
+//!
+//! Regenerate the golden files after an intentional format change with
+//! `MRLR_UPDATE_GOLDEN=1 cargo test -p mrlr-cli`.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const MATRIX: &str = include_str!("smoke_matrix.txt");
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn workdir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mrlr-cli-{test}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs `mrlr args…` with `MRLR_THREADS=threads`, asserting success.
+fn mrlr(dir: &Path, threads: &str, args: &[&str]) -> String {
+    let output = Command::new(env!("CARGO_BIN_EXE_mrlr"))
+        .args(args)
+        .current_dir(dir)
+        .env("MRLR_THREADS", threads)
+        .output()
+        .expect("spawn mrlr");
+    assert!(
+        output.status.success(),
+        "mrlr {args:?} failed (threads={threads}):\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf-8 stdout")
+}
+
+/// Compares `actual` against the checked-in golden file, or rewrites it
+/// when `MRLR_UPDATE_GOLDEN` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("MRLR_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name} ({e}); run with MRLR_UPDATE_GOLDEN=1"));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden file; if intentional, regenerate \
+         with MRLR_UPDATE_GOLDEN=1 cargo test -p mrlr-cli"
+    );
+}
+
+struct MatrixRow {
+    key: String,
+    family: String,
+    gen_args: Vec<String>,
+    solve_args: Vec<String>,
+}
+
+fn matrix() -> Vec<MatrixRow> {
+    let rows: Vec<MatrixRow> = MATRIX
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|line| {
+            let parts: Vec<&str> = line.split('|').collect();
+            assert_eq!(parts.len(), 4, "bad matrix line: {line}");
+            MatrixRow {
+                key: parts[0].trim().to_string(),
+                family: parts[1].trim().to_string(),
+                gen_args: parts[2].split_whitespace().map(String::from).collect(),
+                solve_args: parts[3].split_whitespace().map(String::from).collect(),
+            }
+        })
+        .collect();
+    assert_eq!(rows.len(), 10, "one matrix row per registry key");
+    rows
+}
+
+/// Generates every matrix instance into `dir` as `<key>.inst`.
+fn gen_all(dir: &Path) {
+    for row in matrix() {
+        let out = format!("{}.inst", row.key);
+        let mut args: Vec<&str> = vec!["gen", &row.family];
+        args.extend(row.gen_args.iter().map(String::as_str));
+        args.extend(["--out", &out]);
+        mrlr(dir, "1", &args);
+    }
+}
+
+#[test]
+fn gen_solve_matches_golden_and_is_thread_deterministic() {
+    let dir = workdir("solve");
+    gen_all(&dir);
+    for row in matrix() {
+        let input = format!("{}.inst", row.key);
+        let mut args: Vec<&str> = vec!["solve", &row.key, "--input", &input];
+        args.extend(row.solve_args.iter().map(String::as_str));
+        args.extend(["--format", "json", "--mask-timings"]);
+        let seq = mrlr(&dir, "1", &args);
+        let threaded = mrlr(&dir, "4", &args);
+        assert_eq!(
+            seq, threaded,
+            "{}: masked report diverged between MRLR_THREADS=1 and 4",
+            row.key
+        );
+        assert_golden(&format!("{}.json", row.key), &seq);
+    }
+}
+
+#[test]
+fn gen_output_is_deterministic_and_reparseable() {
+    let dir = workdir("gen");
+    for row in matrix() {
+        let mut args: Vec<&str> = vec!["gen", &row.family];
+        args.extend(row.gen_args.iter().map(String::as_str));
+        let a = mrlr(&dir, "1", &args);
+        let b = mrlr(&dir, "4", &args);
+        assert_eq!(a, b, "{}: gen must not depend on threads", row.family);
+        assert!(
+            a.starts_with("p "),
+            "{}: not the unified format",
+            row.family
+        );
+    }
+}
+
+#[test]
+fn batch_matches_golden_with_isolated_error_slots() {
+    let dir = workdir("batch");
+    gen_all(&dir);
+    std::fs::copy(
+        golden_dir().join("batch.manifest"),
+        dir.join("batch.manifest"),
+    )
+    .unwrap();
+    let args = ["batch", "batch.manifest", "--mask-timings"];
+    let seq = mrlr(&dir, "1", &args);
+    let threaded = mrlr(&dir, "4", &args);
+    assert_eq!(seq, threaded, "masked batch diverged across thread counts");
+    // Kind mismatches land as per-slot errors, not process failures.
+    assert!(seq.contains("\"error\""), "expected mismatch slots:\n{seq}");
+    assert_golden("batch.json", &seq);
+
+    let csv = mrlr(
+        &dir,
+        "1",
+        &[
+            "batch",
+            "batch.manifest",
+            "--mask-timings",
+            "--format",
+            "csv",
+        ],
+    );
+    assert_golden("batch.csv", &csv);
+}
+
+#[test]
+fn list_json_matches_golden() {
+    let dir = workdir("list");
+    assert_golden("list.json", &mrlr(&dir, "1", &["list", "--format", "json"]));
+}
+
+#[test]
+fn solve_writes_timing_csv() {
+    let dir = workdir("timings");
+    gen_all(&dir);
+    mrlr(
+        &dir,
+        "4",
+        &[
+            "solve",
+            "matching",
+            "--input",
+            "matching.inst",
+            "--format",
+            "csv",
+            "--timings-csv",
+            "timings.csv",
+        ],
+    );
+    let csv = std::fs::read_to_string(dir.join("timings.csv")).unwrap();
+    let mut lines = csv.lines();
+    assert_eq!(
+        lines.next().unwrap(),
+        "pass,superstep,wall_nanos,max_machine_nanos,sum_machine_nanos,tasks,skew"
+    );
+    assert!(
+        lines.next().is_some(),
+        "no executor passes recorded:\n{csv}"
+    );
+}
+
+#[test]
+fn usage_and_runtime_errors_have_distinct_exit_codes() {
+    let dir = workdir("errors");
+    let run = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_mrlr"))
+            .args(args)
+            .current_dir(&dir)
+            .output()
+            .expect("spawn mrlr")
+    };
+    // Usage errors: exit 2.
+    assert_eq!(run(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(run(&["gen", "no-such-family"]).status.code(), Some(2));
+    assert_eq!(
+        run(&["solve", "matching"]).status.code(),
+        Some(2),
+        "missing --input"
+    );
+    // Runtime errors: exit 1, with a positioned parse message.
+    std::fs::write(dir.join("bad.inst"), "p graph 3 1\ne 0 9\n").unwrap();
+    let out = run(&["solve", "matching", "--input", "bad.inst"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("line 2, column 5"),
+        "parse errors must carry line/column: {stderr}"
+    );
+    // Unknown algorithm on a good file is a runtime error too.
+    mrlr(
+        &dir,
+        "1",
+        &["gen", "densified", "--n", "20", "--out", "g.inst"],
+    );
+    assert_eq!(
+        run(&["solve", "max-cut", "--input", "g.inst"])
+            .status
+            .code(),
+        Some(1)
+    );
+}

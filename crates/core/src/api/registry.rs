@@ -74,6 +74,23 @@ impl Instance {
             Instance::SetSystem(_) => None,
         }
     }
+
+    /// The paper's auto-shaped cluster regime for this instance at memory
+    /// exponent `mu`: graphs play `n` vertices against `m` edge records,
+    /// set systems play `n` sets against the universe (the element records
+    /// Algorithm 1 distributes) — the same parameterization the experiment
+    /// binaries use. This is what makes a registry dispatch fully
+    /// file-driven: `(instance file, mu, seed)` determines the whole run.
+    pub fn auto_config(&self, mu: f64, seed: u64) -> MrConfig {
+        match self {
+            Instance::Graph(g) => MrConfig::auto(g.n(), g.m().max(1), mu, seed),
+            Instance::VertexWeighted(vw) => {
+                MrConfig::auto(vw.graph.n(), vw.graph.m().max(1), mu, seed)
+            }
+            Instance::BMatching(bm) => MrConfig::auto(bm.graph.n(), bm.graph.m().max(1), mu, seed),
+            Instance::SetSystem(s) => MrConfig::auto(s.n_sets(), s.universe().max(1), mu, seed),
+        }
+    }
 }
 
 /// A type-erased solution returned by [`Registry`] dispatch.
@@ -345,6 +362,13 @@ impl Registry {
     /// the jobs' [`MrConfig::exec`] configs are spawned (or fetched warm
     /// from the process-wide cache) once up front, so each solve pays
     /// instance distribution and superstep work only — not thread spawns.
+    /// Distribution itself is amortized too: each instance's jobs run
+    /// inside a `mrlr_core::mr::dist_cache` scope, so jobs sharing an
+    /// instance and a cluster shape (thread sweeps, MIS1/MIS2, the
+    /// colouring pair) clone
+    /// the first job's distributed per-machine snapshot instead of
+    /// re-distributing — bit-identical results either way, since
+    /// distribution is a pure function of `(instance, machines, seed)`.
     /// Per-pair failures (unknown key, instance-kind mismatch, capacity
     /// exhaustion) land in that pair's slot without aborting the batch.
     pub fn solve_batch(
@@ -359,9 +383,15 @@ impl Registry {
         instances
             .iter()
             .map(|instance| {
-                jobs.iter()
-                    .map(|(algorithm, cfg)| self.solve(algorithm, instance, cfg))
-                    .collect()
+                // One scope per instance: keys carry the instance address,
+                // so cross-instance hits are impossible and a narrower
+                // scope drops each snapshot as soon as its instance is
+                // done instead of holding all of them to the end.
+                crate::mr::dist_cache::scope(|| {
+                    jobs.iter()
+                        .map(|(algorithm, cfg)| self.solve(algorithm, instance, cfg))
+                        .collect()
+                })
             })
             .collect()
     }
@@ -500,6 +530,54 @@ mod tests {
             assert!(per_instance[2].is_err(), "kind mismatch must error");
             assert!(per_instance[3].is_err(), "unknown key must error");
         }
+    }
+
+    #[test]
+    fn solve_batch_distribution_cache_is_transparent() {
+        // Jobs sharing an instance + cluster shape hit the distribution
+        // cache inside the batch scope; results (solutions, certificates
+        // AND model-level Metrics) must be bit-identical to uncached
+        // standalone solves.
+        let r = Registry::with_defaults();
+        let g = generators::with_uniform_weights(&generators::densified(40, 0.4, 5), 1.0, 9.0, 5);
+        let cfg = MrConfig::auto(40, g.m(), 0.3, 5);
+        let instances = [Instance::Graph(g)];
+        let jobs = [
+            ("matching", cfg),
+            ("matching", cfg.with_threads(2)), // same shape: cache hit
+            ("mis1", cfg),
+            ("mis2", cfg), // shares the MIS partition with mis1
+            ("vertex-colouring", cfg),
+            ("edge-colouring", cfg), // shares the edge partition
+        ];
+        let batch = r.solve_batch(&instances, &jobs);
+        let (hits, misses) = crate::mr::dist_cache::stats();
+        assert!(hits >= 3, "expected cache hits in the batch, got {hits}");
+        assert!(misses >= 1);
+        for (i, (algorithm, job_cfg)) in jobs.iter().enumerate() {
+            let standalone = r.solve(algorithm, &instances[0], job_cfg).unwrap();
+            let cached = batch[0][i].as_ref().unwrap();
+            assert_eq!(cached.solution, standalone.solution, "{algorithm}");
+            assert_eq!(cached.certificate, standalone.certificate, "{algorithm}");
+            assert_eq!(cached.metrics, standalone.metrics, "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn auto_config_shapes_match_the_experiment_parameterization() {
+        let g = generators::densified(30, 0.4, 1);
+        let m = g.m();
+        let from_graph = Instance::Graph(g).auto_config(0.3, 9);
+        let direct = MrConfig::auto(30, m, 0.3, 9);
+        assert_eq!(from_graph.machines, direct.machines);
+        assert_eq!(from_graph.eta, direct.eta);
+        assert_eq!(from_graph.seed, 9);
+
+        let sys = mrlr_setsys::generators::bounded_frequency(20, 200, 3, 1);
+        let from_sys = Instance::SetSystem(sys).auto_config(0.25, 3);
+        let sdirect = MrConfig::auto(20, 200, 0.25, 3);
+        assert_eq!(from_sys.machines, sdirect.machines);
+        assert_eq!(from_sys.eta, sdirect.eta);
     }
 
     #[test]

@@ -1,0 +1,493 @@
+//! The unified, DIMACS-like instance format behind `mrlr gen`/`mrlr solve`.
+//!
+//! One line-oriented text format covers every [`Instance`] kind, so a file
+//! on disk is self-describing — the CLI (and any downstream tooling) can
+//! load it without knowing which algorithm will consume it. Comments are
+//! lines starting with `c` or `#`; blank lines are ignored. The first
+//! significant line is the problem line:
+//!
+//! ```text
+//! p graph <n> <m>                  # weighted graph
+//! p vertex-weighted <n> <m>        # graph + per-vertex weights
+//! p b-matching <n> <m> <eps>       # graph + per-vertex capacities
+//! p set-system <universe> <nsets>  # weighted set system
+//! ```
+//!
+//! Graph kinds then carry `m` edge lines `e <u> <v> [<w>]` (weight omitted
+//! means 1; weights print with `{:?}` so they round-trip bit-exactly) and —
+//! for `vertex-weighted` / `b-matching` — exactly one `n <id> <value>` line
+//! per vertex (a weight, resp. an integer capacity ≥ 1). A `set-system`
+//! carries `<nsets>` lines `s <w> [<elem> …]` with strictly increasing
+//! elements. Parsers report 1-based line *and column* positions; rendering
+//! then parsing is the identity on every well-formed instance (asserted by
+//! the round-trip proptests).
+
+use std::fmt::Write as _;
+
+use mrlr_graph::{Edge, Graph, VertexId};
+use mrlr_setsys::{ElemId, SetSystem};
+
+use super::{tokens, IoError};
+use crate::api::{BMatchingInstance, Instance, VertexWeightedGraph};
+
+fn err(line: usize, col: usize, message: impl Into<String>) -> IoError {
+    IoError {
+        line,
+        col,
+        message: message.into(),
+    }
+}
+
+/// A cursor over the tokens of one line, tracking columns for errors.
+struct Line<'a> {
+    no: usize,
+    toks: std::vec::IntoIter<(usize, &'a str)>,
+    /// Column just past the last token, for "missing token" errors.
+    end_col: usize,
+}
+
+impl<'a> Line<'a> {
+    fn new(no: usize, raw: &'a str) -> Self {
+        let toks = tokens(raw);
+        let end_col = toks.last().map_or(1, |(c, t)| c + t.len());
+        Line {
+            no,
+            toks: toks.into_iter(),
+            end_col,
+        }
+    }
+
+    fn next(&mut self, what: &str) -> Result<(usize, &'a str), IoError> {
+        self.toks
+            .next()
+            .ok_or_else(|| err(self.no, self.end_col, format!("missing {what}")))
+    }
+
+    fn maybe_next(&mut self) -> Option<(usize, &'a str)> {
+        self.toks.next()
+    }
+
+    fn finish(&mut self) -> Result<(), IoError> {
+        match self.toks.next() {
+            Some((col, tok)) => Err(err(self.no, col, format!("unexpected trailing `{tok}`"))),
+            None => Ok(()),
+        }
+    }
+
+    fn parse<T: std::str::FromStr>(&mut self, what: &str) -> Result<(usize, T), IoError> {
+        let (col, tok) = self.next(what)?;
+        let v = tok
+            .parse()
+            .map_err(|_| err(self.no, col, format!("bad {what} `{tok}`")))?;
+        Ok((col, v))
+    }
+}
+
+fn check_weight(w: f64, line: usize, col: usize, what: &str) -> Result<(), IoError> {
+    if w.is_finite() && w > 0.0 {
+        Ok(())
+    } else {
+        Err(err(
+            line,
+            col,
+            format!("{what} {w} must be positive and finite"),
+        ))
+    }
+}
+
+/// Serializes `inst` in the unified format. The output is canonical:
+/// parsing it back yields a bit-identical instance, and rendering that
+/// parse yields byte-identical text.
+pub fn render_instance(inst: &Instance) -> String {
+    let mut out = String::new();
+    match inst {
+        Instance::Graph(g) => {
+            let _ = writeln!(out, "p graph {} {}", g.n(), g.m());
+            render_edges(&mut out, g);
+        }
+        Instance::VertexWeighted(vw) => {
+            let _ = writeln!(out, "p vertex-weighted {} {}", vw.graph.n(), vw.graph.m());
+            render_edges(&mut out, &vw.graph);
+            for (v, w) in vw.weights.iter().enumerate() {
+                let _ = writeln!(out, "n {v} {w:?}");
+            }
+        }
+        Instance::BMatching(bm) => {
+            let _ = writeln!(
+                out,
+                "p b-matching {} {} {:?}",
+                bm.graph.n(),
+                bm.graph.m(),
+                bm.eps
+            );
+            render_edges(&mut out, &bm.graph);
+            for (v, b) in bm.b.iter().enumerate() {
+                let _ = writeln!(out, "n {v} {b}");
+            }
+        }
+        Instance::SetSystem(sys) => {
+            let _ = writeln!(out, "p set-system {} {}", sys.universe(), sys.n_sets());
+            for (i, set) in sys.sets().iter().enumerate() {
+                let _ = write!(out, "s {:?}", sys.weight(i as u32));
+                for &j in set {
+                    let _ = write!(out, " {j}");
+                }
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+fn render_edges(out: &mut String, g: &Graph) {
+    for e in g.edges() {
+        if e.w == 1.0 {
+            let _ = writeln!(out, "e {} {}", e.u, e.v);
+        } else {
+            let _ = writeln!(out, "e {} {} {:?}", e.u, e.v, e.w);
+        }
+    }
+}
+
+/// Parses the unified format produced by [`render_instance`] (or written
+/// by hand). Errors carry the 1-based line and column of the offending
+/// token.
+pub fn parse_instance(text: &str) -> Result<Instance, IoError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l))
+        .filter(|(_, l)| {
+            let t = l.trim_start();
+            let c_comment =
+                t == "c" || (t.starts_with('c') && t[1..].starts_with(char::is_whitespace));
+            !(t.is_empty() || t.starts_with('#') || c_comment)
+        })
+        .map(|(no, raw)| Line::new(no, raw));
+
+    let mut problem = lines
+        .next()
+        .ok_or_else(|| err(0, 0, "empty input: missing problem line `p <kind> …`"))?;
+    let (pcol, ptag) = problem.next("problem line")?;
+    if ptag != "p" {
+        return Err(err(
+            problem.no,
+            pcol,
+            format!("expected problem line `p <kind> …`, found `{ptag}`"),
+        ));
+    }
+    let (kcol, kind) = problem.next("instance kind")?;
+    match kind {
+        "graph" | "vertex-weighted" | "b-matching" => {
+            let (_, n) = problem.parse::<usize>("vertex count")?;
+            let (_, m) = problem.parse::<usize>("edge count")?;
+            let eps = if kind == "b-matching" {
+                let (ecol, eps) = problem.parse::<f64>("eps")?;
+                check_weight(eps, problem.no, ecol, "eps")?;
+                Some(eps)
+            } else {
+                None
+            };
+            problem.finish()?;
+            parse_graph_body(lines, kind, n, m, eps)
+        }
+        "set-system" => {
+            let (_, universe) = problem.parse::<usize>("universe size")?;
+            let (_, n_sets) = problem.parse::<usize>("set count")?;
+            problem.finish()?;
+            parse_set_body(lines, universe, n_sets)
+        }
+        other => Err(err(
+            problem.no,
+            kcol,
+            format!(
+                "unknown instance kind `{other}` \
+                 (expected graph, vertex-weighted, b-matching or set-system)"
+            ),
+        )),
+    }
+}
+
+fn parse_graph_body<'a>(
+    lines: impl Iterator<Item = Line<'a>>,
+    kind: &str,
+    n: usize,
+    m: usize,
+    eps: Option<f64>,
+) -> Result<Instance, IoError> {
+    let needs_vertex_data = kind != "graph";
+    let mut edges: Vec<Edge> = Vec::with_capacity(m);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    // One slot per vertex: weight (vertex-weighted) or capacity (b-matching).
+    let mut vertex_data: Vec<Option<f64>> = vec![None; n];
+    for mut line in lines {
+        let (tcol, tag) = line.next("record")?;
+        match tag {
+            "e" => {
+                let (ucol, u) = line.parse::<VertexId>("endpoint")?;
+                let (vcol, v) = line.parse::<VertexId>("endpoint")?;
+                let w = match line.maybe_next() {
+                    None => 1.0,
+                    Some((wcol, tok)) => {
+                        let w: f64 = tok
+                            .parse()
+                            .map_err(|_| err(line.no, wcol, format!("bad weight `{tok}`")))?;
+                        check_weight(w, line.no, wcol, "weight")?;
+                        w
+                    }
+                };
+                line.finish()?;
+                if (u as usize) >= n {
+                    return Err(err(
+                        line.no,
+                        ucol,
+                        format!("vertex {u} out of range 0..{n}"),
+                    ));
+                }
+                if (v as usize) >= n {
+                    return Err(err(
+                        line.no,
+                        vcol,
+                        format!("vertex {v} out of range 0..{n}"),
+                    ));
+                }
+                if u == v {
+                    return Err(err(line.no, vcol, format!("self-loop at vertex {u}")));
+                }
+                let (a, b) = (u.min(v), u.max(v));
+                if !seen.insert(((a as u64) << 32) | b as u64) {
+                    return Err(err(line.no, ucol, format!("duplicate edge ({a}, {b})")));
+                }
+                edges.push(Edge::new(u, v, w));
+            }
+            "n" if needs_vertex_data => {
+                let (vcol, v) = line.parse::<usize>("vertex id")?;
+                if v >= n {
+                    return Err(err(
+                        line.no,
+                        vcol,
+                        format!("vertex {v} out of range 0..{n}"),
+                    ));
+                }
+                let value = if kind == "b-matching" {
+                    let (bcol, b) = line.parse::<u32>("capacity")?;
+                    if b == 0 {
+                        return Err(err(line.no, bcol, "capacity must be at least 1"));
+                    }
+                    b as f64
+                } else {
+                    let (wcol, w) = line.parse::<f64>("vertex weight")?;
+                    check_weight(w, line.no, wcol, "vertex weight")?;
+                    w
+                };
+                line.finish()?;
+                if vertex_data[v].replace(value).is_some() {
+                    return Err(err(line.no, vcol, format!("duplicate data for vertex {v}")));
+                }
+            }
+            other => {
+                let expected = if needs_vertex_data {
+                    "`e` or `n`"
+                } else {
+                    "`e`"
+                };
+                return Err(err(
+                    line.no,
+                    tcol,
+                    format!("unexpected record `{other}` (expected {expected})"),
+                ));
+            }
+        }
+    }
+    if edges.len() != m {
+        return Err(err(
+            0,
+            0,
+            format!("problem line promised {m} edges, found {}", edges.len()),
+        ));
+    }
+    if needs_vertex_data {
+        if let Some(v) = vertex_data.iter().position(Option::is_none) {
+            return Err(err(0, 0, format!("vertex {v} has no `n` line")));
+        }
+    }
+    let graph = Graph::new(n, edges);
+    Ok(match kind {
+        "graph" => Instance::Graph(graph),
+        "vertex-weighted" => Instance::VertexWeighted(VertexWeightedGraph::new(
+            graph,
+            vertex_data.into_iter().map(|w| w.unwrap()).collect(),
+        )),
+        _ => Instance::BMatching(BMatchingInstance::new(
+            graph,
+            vertex_data.into_iter().map(|b| b.unwrap() as u32).collect(),
+            eps.expect("b-matching header carries eps"),
+        )),
+    })
+}
+
+fn parse_set_body<'a>(
+    lines: impl Iterator<Item = Line<'a>>,
+    universe: usize,
+    n_sets: usize,
+) -> Result<Instance, IoError> {
+    let mut sets: Vec<Vec<ElemId>> = Vec::with_capacity(n_sets);
+    let mut weights: Vec<f64> = Vec::with_capacity(n_sets);
+    for mut line in lines {
+        let (tcol, tag) = line.next("record")?;
+        if tag != "s" {
+            return Err(err(
+                line.no,
+                tcol,
+                format!("unexpected record `{tag}` (expected `s`)"),
+            ));
+        }
+        let (wcol, w) = line.parse::<f64>("set weight")?;
+        check_weight(w, line.no, wcol, "set weight")?;
+        let mut elems: Vec<ElemId> = Vec::new();
+        while let Some((ecol, tok)) = line.maybe_next() {
+            let j: ElemId = tok
+                .parse()
+                .map_err(|_| err(line.no, ecol, format!("bad element `{tok}`")))?;
+            if (j as usize) >= universe {
+                return Err(err(
+                    line.no,
+                    ecol,
+                    format!("element {j} out of range 0..{universe}"),
+                ));
+            }
+            if let Some(&last) = elems.last() {
+                if last >= j {
+                    return Err(err(
+                        line.no,
+                        ecol,
+                        format!("elements must be strictly increasing ({last} then {j})"),
+                    ));
+                }
+            }
+            elems.push(j);
+        }
+        weights.push(w);
+        sets.push(elems);
+    }
+    if sets.len() != n_sets {
+        return Err(err(
+            0,
+            0,
+            format!("problem line promised {n_sets} sets, found {}", sets.len()),
+        ));
+    }
+    Ok(Instance::SetSystem(SetSystem::new(universe, sets, weights)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrlr_graph::generators;
+    use mrlr_setsys::generators as setgen;
+
+    fn sample_graph() -> Graph {
+        generators::with_uniform_weights(&generators::densified(20, 0.4, 3), 1.0, 9.0, 3)
+    }
+
+    #[test]
+    fn all_kinds_round_trip() {
+        let g = sample_graph();
+        let n = g.n();
+        let cases = [
+            Instance::Graph(g.clone()),
+            Instance::Graph(g.unweighted()),
+            Instance::VertexWeighted(VertexWeightedGraph::new(
+                g.clone(),
+                (0..n).map(|v| 1.0 + v as f64 / 7.0).collect(),
+            )),
+            Instance::BMatching(BMatchingInstance::new(
+                g,
+                (0..n as u32).map(|v| 1 + v % 3).collect(),
+                0.25,
+            )),
+            Instance::SetSystem(setgen::with_log_uniform_weights(
+                setgen::bounded_frequency(12, 60, 3, 5),
+                0.25,
+                8.0,
+                5,
+            )),
+        ];
+        for inst in cases {
+            let text = render_instance(&inst);
+            let back = parse_instance(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+            assert_eq!(inst, back, "round trip failed for {:?}", inst.kind());
+            assert_eq!(text, render_instance(&back), "render not canonical");
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text =
+            "c DIMACS-style comment\nc\ttab comment\n# hash comment\n\np graph 3 2\ne 0 1\nc mid\ne 1 2 2.5\n";
+        let inst = parse_instance(text).unwrap();
+        let g = match inst {
+            Instance::Graph(g) => g,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!((g.n(), g.m()), (3, 2));
+        assert_eq!(g.edge(1).w, 2.5);
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let cases: &[(&str, usize, usize, &str)] = &[
+            ("", 0, 0, "empty input"),
+            ("q graph 2 1", 1, 1, "expected problem line"),
+            ("p torus 2 1", 1, 3, "unknown instance kind"),
+            ("p graph x 1", 1, 9, "bad vertex count"),
+            ("p graph 2", 1, 10, "missing edge count"),
+            ("p graph 2 1 extra", 1, 13, "unexpected trailing"),
+            ("p graph 3 1\nz 0 1", 2, 1, "unexpected record `z`"),
+            ("p graph 3 1\ne 0", 2, 4, "missing endpoint"),
+            ("p graph 3 1\ne 0 9", 2, 5, "out of range"),
+            ("p graph 3 1\ne 1 1", 2, 5, "self-loop"),
+            ("p graph 3 1\ne 0 1 -2", 2, 7, "must be positive"),
+            ("p graph 3 1\ne 0 1 x", 2, 7, "bad weight"),
+            ("p graph 3 2\ne 0 1\ne 1 0", 3, 3, "duplicate edge"),
+            ("p graph 3 2\ne 0 1", 0, 0, "promised 2 edges"),
+            (
+                "p vertex-weighted 2 1\ne 0 1",
+                0,
+                0,
+                "vertex 0 has no `n` line",
+            ),
+            (
+                "p vertex-weighted 2 0\nn 0 1.0\nn 0 2.0\nn 1 1.0",
+                3,
+                3,
+                "duplicate data",
+            ),
+            ("p b-matching 2 0 0.0", 1, 18, "must be positive"),
+            ("p b-matching 2 0 0.1\nn 0 0\nn 1 1", 2, 5, "at least 1"),
+            ("p set-system 3 1\ns 1.0 9", 2, 7, "out of range"),
+            ("p set-system 3 1\ns 1.0 2 1", 2, 9, "strictly increasing"),
+            ("p set-system 3 2\ns 1.0 0", 0, 0, "promised 2 sets"),
+        ];
+        for (text, line, col, needle) in cases {
+            let e = parse_instance(text).unwrap_err();
+            assert!(
+                e.message.contains(needle),
+                "case {text:?}: got {e} (wanted `{needle}`)"
+            );
+            assert_eq!((e.line, e.col), (*line, *col), "case {text:?}: got {e}");
+        }
+    }
+
+    #[test]
+    fn empty_shapes_round_trip() {
+        for inst in [
+            Instance::Graph(Graph::new(0, vec![])),
+            Instance::Graph(Graph::new(4, vec![])),
+            Instance::SetSystem(SetSystem::unit(0, vec![])),
+            Instance::VertexWeighted(VertexWeightedGraph::new(Graph::new(1, vec![]), vec![2.0])),
+        ] {
+            assert_eq!(parse_instance(&render_instance(&inst)).unwrap(), inst);
+        }
+    }
+}

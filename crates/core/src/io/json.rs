@@ -1,0 +1,211 @@
+//! A tiny, dependency-free JSON writer.
+//!
+//! The build environment has no crates.io access, so instead of serde this
+//! module provides a minimal [`Json`] value tree plus a deterministic
+//! pretty-printer. Object keys keep insertion order (no map reordering),
+//! floats print with `{:?}` (the shortest representation that round-trips
+//! exactly), and non-finite floats degrade to `null` — so two runs that
+//! produce bit-identical reports produce byte-identical JSON, which is what
+//! the CLI smoke tests diff against golden files.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Construct with the variant constructors and render with
+/// [`Json::render`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (printed without a decimal point).
+    U64(u64),
+    /// A float, printed via `{:?}` for exact round-tripping; non-finite
+    /// values render as `null` (JSON has no `inf`/`nan`).
+    F64(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// `U64` from any unsigned-ish count.
+    pub fn count(n: usize) -> Json {
+        Json::U64(n as u64)
+    }
+
+    /// `F64` when `x` is `Some`, else `Null`.
+    pub fn opt_f64(x: Option<f64>) -> Json {
+        x.map_or(Json::Null, Json::F64)
+    }
+
+    /// Renders with 2-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Renders without any whitespace (single line).
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    write_string(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render_compact(), "null");
+        assert_eq!(Json::Bool(true).render_compact(), "true");
+        assert_eq!(Json::U64(7).render_compact(), "7");
+        assert_eq!(Json::F64(2.5).render_compact(), "2.5");
+        assert_eq!(Json::F64(1.0).render_compact(), "1.0");
+        assert_eq!(Json::F64(f64::INFINITY).render_compact(), "null");
+        assert_eq!(Json::opt_f64(None).render_compact(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = Json::str("a\"b\\c\nd\u{1}");
+        assert_eq!(s.render_compact(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn pretty_is_stable_and_nested() {
+        let v = Json::Obj(vec![
+            ("name", Json::str("x")),
+            ("xs", Json::Arr(vec![Json::U64(1), Json::U64(2)])),
+            ("empty", Json::Arr(vec![])),
+            ("eobj", Json::Obj(vec![])),
+        ]);
+        let text = v.render();
+        assert!(text.ends_with('\n'));
+        assert!(text.contains("\"name\": \"x\""));
+        assert!(text.contains("\"empty\": []"));
+        assert!(text.contains("\"eobj\": {}"));
+        // Rendering is a pure function of the tree.
+        assert_eq!(text, v.render());
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [0.1, 1.0 / 3.0, 1e300, 5e-324, 123456.789] {
+            let printed = Json::F64(x).render_compact();
+            assert_eq!(printed.parse::<f64>().unwrap().to_bits(), x.to_bits());
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! File-based I/O for the solver API: the unified instance format, the
+//! batch manifest, and machine-readable [`Report`][crate::api::Report]
+//! serialization (JSON/CSV/text) — everything the `mrlr` CLI needs to
+//! drive the registry from files on disk, hand-rolled because the build
+//! environment has no crates.io access (no serde).
+//!
+//! * [`instance`] — one DIMACS-like text format covering every
+//!   [`Instance`][crate::api::Instance] kind, with line/column-reporting
+//!   parsers and canonical rendering (`parse(render(x)) == x`).
+//! * [`manifest`] — the `mrlr batch` manifest (instance set × job list),
+//!   mapping onto [`Registry::solve_batch`][crate::api::Registry::solve_batch].
+//! * [`report`] — deterministic JSON/CSV/text serialization of reports,
+//!   with [`report::TimingMode`] masking host wall-clock so outputs can be
+//!   diffed against golden files across thread counts.
+//! * [`json`] — the tiny no-deps JSON writer the above build on.
+
+pub mod instance;
+pub mod json;
+pub mod manifest;
+pub mod report;
+
+pub use instance::{parse_instance, render_instance};
+pub use json::Json;
+pub use manifest::{parse_manifest, JobSpec, Manifest};
+pub use report::{
+    metrics_json, report_csv_row, report_json, report_text, solution_json, TimingMode,
+    REPORT_CSV_HEADER,
+};
+
+/// A parse failure with its 1-based line and column position (`0` for
+/// file-level errors such as a count mismatch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoError {
+    /// 1-based line number (0 for file-level errors).
+    pub line: usize,
+    /// 1-based column of the offending token (0 for file-level errors).
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(
+                f,
+                "line {}, column {}: {}",
+                self.line, self.col, self.message
+            )
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Splits a line into `(1-based column, token)` pairs on whitespace —
+/// the shared tokenizer behind every line-oriented parser in this module
+/// (columns are byte-based, which coincides with characters for the
+/// ASCII formats defined here).
+pub(crate) fn tokens(line: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, ch) in line.char_indices() {
+        if ch.is_whitespace() {
+            if let Some(s) = start.take() {
+                out.push((s + 1, &line[s..i]));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        out.push((s + 1, &line[s..]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = IoError {
+            line: 3,
+            col: 7,
+            message: "bad weight".into(),
+        };
+        assert_eq!(e.to_string(), "line 3, column 7: bad weight");
+        let file_level = IoError {
+            line: 0,
+            col: 0,
+            message: "promised 2 edges".into(),
+        };
+        assert_eq!(file_level.to_string(), "promised 2 edges");
+    }
+}

@@ -15,7 +15,7 @@
 //! | Alg 2 hungry-greedy MIS (`MIS1`) | `"mis1"` | [`seq::greedy_graph`], [`hungry::mis`], [`mr::mis`] |
 //! | Alg 6 hungry-greedy MIS (`MIS2`) | `"mis2"` | [`seq::greedy_graph`], [`hungry::mis`], [`mr::mis`] |
 //! | App B maximal clique | `"clique"` | [`seq::greedy_graph`], [`hungry::clique`], [`mr::clique`] |
-//! | Alg 4 / App C matching | `"matching"` | [`seq::local_ratio_matching`], [`rlr::matching`], [`mr::matching`] |
+//! | Alg 4 / App C matching | `"matching"` | [`mod@seq::local_ratio_matching`], [`rlr::matching`], [`mr::matching`] |
 //! | Alg 7 / App D b-matching | `"b-matching"` | [`seq::local_ratio_bmatching`], [`rlr::bmatching`], [`mr::bmatching`] |
 //! | Alg 5 vertex colouring | `"vertex-colouring"` | [`seq::greedy_graph`], [`colouring`], [`mr::colouring`] |
 //! | Rem 6.5 edge colouring | `"edge-colouring"` | [`seq::misra_gries`], [`colouring`], [`mr::colouring`] |
@@ -44,6 +44,7 @@ pub mod api;
 pub mod colouring;
 pub mod exact;
 pub mod hungry;
+pub mod io;
 pub mod mr;
 pub mod rlr;
 pub mod seq;

@@ -16,11 +16,12 @@ use mrlr_graph::{EdgeId, Graph, VertexId};
 use mrlr_mapreduce::rng::DetRng;
 use mrlr_mapreduce::{Cluster, Metrics, MrError, MrResult, WordSized};
 
-use crate::mr::MrConfig;
+use crate::mr::{dist_cache, MrConfig};
 use crate::rlr::bmatching::{push_budget, BMatchingParams, BMATCH_RNG_TAG};
 use crate::seq::local_ratio_bmatching::BMatchingLocalRatio;
 use crate::types::{MatchingResult, POS_TOL};
 
+#[derive(Clone)]
 struct VertexAdj {
     v: VertexId,
     b: u32,
@@ -34,6 +35,7 @@ impl WordSized for VertexAdj {
     }
 }
 
+#[derive(Clone)]
 struct BMatchState {
     vertices: Vec<VertexAdj>,
     phi: Vec<f64>,
@@ -74,6 +76,33 @@ impl WordSized for BMatchState {
 /// from [`crate::api`] instead — same run, plus a verified [`Report`].
 ///
 /// [`Report`]: crate::api::Report
+///
+/// # Example
+///
+/// ```
+/// use mrlr_core::api::{BMatchingInstance, Instance, Registry};
+/// use mrlr_core::mr::MrConfig;
+/// use mrlr_core::rlr::BMatchingParams;
+/// use mrlr_graph::generators;
+///
+/// let g = generators::with_uniform_weights(&generators::densified(14, 0.3, 3), 1.0, 9.0, 3);
+/// let b: Vec<u32> = (0..14).map(|v| 1 + v % 2).collect();
+/// let cfg = MrConfig::auto(14, g.m(), 0.3, 3);
+/// let inst = BMatchingInstance::new(g.clone(), b.clone(), 0.25);
+/// let report = Registry::with_defaults()
+///     .solve("b-matching", &Instance::BMatching(inst), &cfg)
+///     .unwrap();
+/// // The registry derives the paper's parameters from (instance, cfg):
+/// let params = BMatchingParams {
+///     eps: 0.25,
+///     n_mu: (14f64).powf(cfg.mu).max(1.0),
+///     eta: cfg.eta,
+///     seed: cfg.seed,
+/// };
+/// #[allow(deprecated)]
+/// let (legacy, _metrics) = mrlr_core::mr::bmatching::mr_b_matching(&g, &b, params, cfg).unwrap();
+/// assert_eq!(report.solution.as_matching().unwrap(), &legacy);
+/// ```
 #[deprecated(
     since = "0.2.0",
     note = "dispatch through `mrlr_core::api` (`Registry::get(\"b-matching\")` or `BMatchingDriver`)"
@@ -111,32 +140,40 @@ pub(crate) fn run(
     let central_threshold = ((2.0 * b_max * ln_inv_delta * params.eta as f64) as usize)
         .max(crate::mr::CENTRAL_FINISH_SLACK * params.eta);
 
-    let adj = g.adjacency();
-    let mut states: Vec<BMatchState> = (0..cfg.machines)
-        .map(|_| BMatchState {
-            vertices: Vec::new(),
-            phi: vec![0.0; n],
-            eps: params.eps,
-            index: HashMap::new(),
-        })
-        .collect();
-    for v in 0..n {
-        let dst = cfg.place(v as u64);
-        let slot = states[dst].vertices.len();
-        let mut inc: Vec<(EdgeId, VertexId, f64, bool)> = adj[v]
-            .iter()
-            .map(|&(o, e)| (e, o, g.edge(e).w, false))
+    // The per-machine snapshot bakes in capacities and `ε`, so the cache
+    // key carries their fingerprint on top of the graph identity.
+    let key = dist_cache::DistKey::new(0x626d_6174, g, (n, g.m()), &cfg).with_salt(
+        dist_cache::fingerprint(b.iter().map(|&x| x as u64).chain([params.eps.to_bits()])),
+    );
+    let states: Vec<BMatchState> = dist_cache::get_or_build(key, || {
+        let adj = g.adjacency();
+        let mut states: Vec<BMatchState> = (0..cfg.machines)
+            .map(|_| BMatchState {
+                vertices: Vec::new(),
+                phi: vec![0.0; n],
+                eps: params.eps,
+                index: HashMap::new(),
+            })
             .collect();
-        inc.sort_unstable_by_key(|&(e, _, _, _)| e);
-        for (pos, &(e, _, _, _)) in inc.iter().enumerate() {
-            states[dst].index.entry(e).or_default().push((slot, pos));
+        for v in 0..n {
+            let dst = cfg.place(v as u64);
+            let slot = states[dst].vertices.len();
+            let mut inc: Vec<(EdgeId, VertexId, f64, bool)> = adj[v]
+                .iter()
+                .map(|&(o, e)| (e, o, g.edge(e).w, false))
+                .collect();
+            inc.sort_unstable_by_key(|&(e, _, _, _)| e);
+            for (pos, &(e, _, _, _)) in inc.iter().enumerate() {
+                states[dst].index.entry(e).or_default().push((slot, pos));
+            }
+            states[dst].vertices.push(VertexAdj {
+                v: v as VertexId,
+                b: b[v],
+                inc,
+            });
         }
-        states[dst].vertices.push(VertexAdj {
-            v: v as VertexId,
-            b: b[v],
-            inc,
-        });
-    }
+        states
+    });
     let mut cluster = Cluster::new(cfg.cluster(), states)?;
 
     let mut lr = BMatchingLocalRatio::new(b, params.eps);

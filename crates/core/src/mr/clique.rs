@@ -13,9 +13,10 @@ use mrlr_mapreduce::{Bitset, Cluster, Metrics, MrError, MrResult, WordSized};
 
 use crate::hungry::clique::CLIQUE_RNG_TAG;
 use crate::hungry::mis::{degree_class, group_choice, MisParams};
-use crate::mr::MrConfig;
+use crate::mr::{dist_cache, MrConfig};
 use crate::types::SelectionResult;
 
+#[derive(Clone)]
 struct CliqueRec {
     v: VertexId,
     /// Sorted neighbour ids.
@@ -30,6 +31,7 @@ impl WordSized for CliqueRec {
     }
 }
 
+#[derive(Clone)]
 struct CliqueChunk {
     recs: Vec<CliqueRec>,
     active: Bitset,
@@ -83,6 +85,29 @@ type SampleMsg = (u64, u64, VertexId, Vec<VertexId>); // (class, group, v, compl
 /// [`crate::api`] instead — same run, plus a verified [`Report`].
 ///
 /// [`Report`]: crate::api::Report
+///
+/// # Example
+///
+/// ```
+/// use mrlr_core::api::{Instance, Registry};
+/// use mrlr_core::hungry::MisParams;
+/// use mrlr_core::mr::MrConfig;
+/// use mrlr_graph::generators;
+///
+/// let g = generators::gnp(12, 0.5, 1);
+/// let cfg = MrConfig::auto(12, g.m().max(1), 0.35, 1);
+/// let report = Registry::with_defaults()
+///     .solve("clique", &Instance::Graph(g.clone()), &cfg)
+///     .unwrap();
+/// #[allow(deprecated)]
+/// let (legacy, _metrics) = mrlr_core::mr::clique::mr_maximal_clique(
+///     &g,
+///     MisParams::mis2(12, cfg.mu, cfg.seed),
+///     cfg,
+/// )
+/// .unwrap();
+/// assert_eq!(report.solution.as_selection().unwrap(), &legacy);
+/// ```
 #[deprecated(
     since = "0.2.0",
     note = "dispatch through `mrlr_core::api` (`Registry::get(\"clique\")` or `CliqueDriver`)"
@@ -121,23 +146,27 @@ pub(crate) fn run(
     let nf = (n.max(2)) as f64;
     let num_classes = (1.0 / params.alpha).ceil() as usize;
 
-    let adj = g.neighbours();
-    let mut chunks: Vec<CliqueChunk> = (0..cfg.machines)
-        .map(|_| CliqueChunk {
-            recs: Vec::new(),
-            active: Bitset::full(n),
-            active_count: n,
-        })
-        .collect();
-    for v in 0..n {
-        let mut nbrs = adj[v].clone();
-        nbrs.sort_unstable();
-        chunks[cfg.place(v as u64)].recs.push(CliqueRec {
-            v: v as VertexId,
-            g_alive: nbrs.len(),
-            nbrs,
-        });
-    }
+    let key = dist_cache::DistKey::new(0x0063_6c71, g, (n, g.m()), &cfg);
+    let chunks: Vec<CliqueChunk> = dist_cache::get_or_build(key, || {
+        let adj = g.neighbours();
+        let mut chunks: Vec<CliqueChunk> = (0..cfg.machines)
+            .map(|_| CliqueChunk {
+                recs: Vec::new(),
+                active: Bitset::full(n),
+                active_count: n,
+            })
+            .collect();
+        for v in 0..n {
+            let mut nbrs = adj[v].clone();
+            nbrs.sort_unstable();
+            chunks[cfg.place(v as u64)].recs.push(CliqueRec {
+                v: v as VertexId,
+                g_alive: nbrs.len(),
+                nbrs,
+            });
+        }
+        chunks
+    });
     let mut cluster = Cluster::new(cfg.cluster(), chunks)?;
     let mut clique: Vec<VertexId> = Vec::new();
     cluster.charge_central(2 + n / 32)?;

@@ -12,11 +12,12 @@ use mrlr_graph::{EdgeId, Graph, VertexId};
 use mrlr_mapreduce::{Cluster, Metrics, MrError, MrResult, WordSized};
 
 use crate::colouring::{edge_group, vertex_group};
-use crate::mr::MrConfig;
+use crate::mr::{dist_cache, MrConfig};
 use crate::seq::greedy_graph::greedy_colouring_with_order;
 use crate::seq::misra_gries::misra_gries_edge_colouring;
 use crate::types::ColouringResult;
 
+#[derive(Clone)]
 struct ColourChunk {
     /// Input edges resident on this machine.
     input: Vec<(EdgeId, VertexId, VertexId)>,
@@ -34,19 +35,24 @@ impl WordSized for ColourChunk {
 }
 
 fn build_chunks(g: &Graph, cfg: &MrConfig) -> Vec<ColourChunk> {
-    let mut chunks: Vec<ColourChunk> = (0..cfg.machines)
-        .map(|_| ColourChunk {
-            input: Vec::new(),
-            received: Vec::new(),
-            colours: Vec::new(),
-        })
-        .collect();
-    for (idx, e) in g.edges().iter().enumerate() {
-        chunks[cfg.place(idx as u64)]
-            .input
-            .push((idx as EdgeId, e.u, e.v));
-    }
-    chunks
+    // Vertex and edge colouring partition the edge list identically, so
+    // within a batch both registry keys share one cached snapshot.
+    let key = dist_cache::DistKey::new(0x0063_6f6c, g, (g.n(), g.m()), cfg);
+    dist_cache::get_or_build(key, || {
+        let mut chunks: Vec<ColourChunk> = (0..cfg.machines)
+            .map(|_| ColourChunk {
+                input: Vec::new(),
+                received: Vec::new(),
+                colours: Vec::new(),
+            })
+            .collect();
+        for (idx, e) in g.edges().iter().enumerate() {
+            chunks[cfg.place(idx as u64)]
+                .input
+                .push((idx as EdgeId, e.u, e.v));
+        }
+        chunks
+    })
 }
 
 /// Algorithm 5 on the cluster. Output is bit-identical to
@@ -57,6 +63,27 @@ fn build_chunks(g: &Graph, cfg: &MrConfig) -> Vec<ColourChunk> {
 /// [`Report`].
 ///
 /// [`Report`]: crate::api::Report
+///
+/// # Example
+///
+/// ```
+/// use mrlr_core::api::{ColouringDriver, Instance, Registry};
+/// use mrlr_core::colouring::group_count;
+/// use mrlr_core::mr::MrConfig;
+/// use mrlr_graph::generators;
+///
+/// let g = generators::densified(16, 0.3, 5);
+/// let cfg = MrConfig::auto(16, g.m().max(1), 0.3, 5);
+/// let report = Registry::with_defaults()
+///     .solve("vertex-colouring", &Instance::Graph(g.clone()), &cfg)
+///     .unwrap();
+/// // The registry derives κ and the Lemma 6.2 budget from (instance, cfg):
+/// let kappa = group_count(16, g.m().max(1), cfg.mu).max(1);
+/// let limit = Some(ColouringDriver::paper_edge_limit(16, cfg.mu));
+/// #[allow(deprecated)]
+/// let (legacy, _metrics) = mrlr_core::mr::colouring::mr_vertex_colouring(&g, kappa, limit, cfg).unwrap();
+/// assert_eq!(report.solution.as_colouring().unwrap(), &legacy);
+/// ```
 #[deprecated(
     since = "0.2.0",
     note = "dispatch through `mrlr_core::api` (`Registry::get(\"vertex-colouring\")` or `ColouringDriver`)"
@@ -206,6 +233,27 @@ pub(crate) fn run_vertex(
 /// [`Report`].
 ///
 /// [`Report`]: crate::api::Report
+///
+/// # Example
+///
+/// ```
+/// use mrlr_core::api::{ColouringDriver, Instance, Registry};
+/// use mrlr_core::colouring::group_count;
+/// use mrlr_core::mr::MrConfig;
+/// use mrlr_graph::generators;
+///
+/// let g = generators::densified(16, 0.3, 5);
+/// let cfg = MrConfig::auto(16, g.m().max(1), 0.3, 5);
+/// let report = Registry::with_defaults()
+///     .solve("edge-colouring", &Instance::Graph(g.clone()), &cfg)
+///     .unwrap();
+/// // The registry derives κ and the Lemma 6.2 budget from (instance, cfg):
+/// let kappa = group_count(16, g.m().max(1), cfg.mu).max(1);
+/// let limit = Some(ColouringDriver::paper_edge_limit(16, cfg.mu));
+/// #[allow(deprecated)]
+/// let (legacy, _metrics) = mrlr_core::mr::colouring::mr_edge_colouring(&g, kappa, limit, cfg).unwrap();
+/// assert_eq!(report.solution.as_colouring().unwrap(), &legacy);
+/// ```
 #[deprecated(
     since = "0.2.0",
     note = "dispatch through `mrlr_core::api` (`Registry::get(\"edge-colouring\")` or `ColouringDriver`)"

@@ -19,11 +19,12 @@ use mrlr_graph::{EdgeId, Graph, VertexId};
 use mrlr_mapreduce::rng::coin;
 use mrlr_mapreduce::{Cluster, Metrics, MrError, MrResult, WordSized};
 
-use crate::mr::{MrConfig, CENTRAL_FINISH_SLACK, MATCHING_GATHER_SLACK};
+use crate::mr::{dist_cache, MrConfig, CENTRAL_FINISH_SLACK, MATCHING_GATHER_SLACK};
 use crate::rlr::matching::MATCH_COIN_TAG;
 use crate::seq::local_ratio_matching::{finish, MatchingLocalRatio};
 use crate::types::{MatchingResult, POS_TOL};
 
+#[derive(Clone)]
 struct VertexAdj {
     v: VertexId,
     /// Incident edges `(edge id, other endpoint, original weight)`,
@@ -37,6 +38,7 @@ impl WordSized for VertexAdj {
     }
 }
 
+#[derive(Clone)]
 struct MatchState {
     vertices: Vec<VertexAdj>,
     /// Replicated potential vector (n words).
@@ -76,6 +78,23 @@ impl WordSized for MatchState {
 /// [`crate::api`] instead — same run, plus a verified [`Report`].
 ///
 /// [`Report`]: crate::api::Report
+///
+/// # Example
+///
+/// ```
+/// use mrlr_core::api::{Instance, Registry};
+/// use mrlr_core::mr::MrConfig;
+/// use mrlr_graph::generators;
+///
+/// let g = generators::with_uniform_weights(&generators::densified(16, 0.3, 1), 1.0, 9.0, 1);
+/// let cfg = MrConfig::auto(16, g.m(), 0.3, 1);
+/// let report = Registry::with_defaults()
+///     .solve("matching", &Instance::Graph(g.clone()), &cfg)
+///     .unwrap();
+/// #[allow(deprecated)]
+/// let (legacy, _metrics) = mrlr_core::mr::matching::mr_matching(&g, cfg).unwrap();
+/// assert_eq!(report.solution.as_matching().unwrap(), &legacy);
+/// ```
 #[deprecated(
     since = "0.2.0",
     note = "dispatch through `mrlr_core::api` (`Registry::get(\"matching\")` or `MatchingDriver`)"
@@ -92,27 +111,32 @@ pub(crate) fn run(g: &Graph, cfg: MrConfig) -> MrResult<(MatchingResult, Metrics
     }
     let n = g.n();
 
-    // Vertex-partitioned adjacency.
-    let adj = g.adjacency();
-    let mut states: Vec<MatchState> = (0..cfg.machines)
-        .map(|_| MatchState {
-            vertices: Vec::new(),
-            phi: vec![0.0; n],
-        })
-        .collect();
-    for (v, nbrs) in adj.iter().enumerate().take(n) {
-        let dst = cfg.place(v as u64);
-        states[dst].vertices.push(VertexAdj {
-            v: v as VertexId,
-            inc: nbrs.iter().map(|&(o, e)| (e, o, g.edge(e).w)).collect(),
-        });
-    }
-    // Adjacency lists come out in edge-id order per vertex; sort to be sure.
-    for s in &mut states {
-        for va in &mut s.vertices {
-            va.inc.sort_unstable_by_key(|&(e, _, _)| e);
+    // Vertex-partitioned adjacency; batch jobs sharing this instance and
+    // cluster shape reuse the distributed snapshot (`super::dist_cache`).
+    let key = dist_cache::DistKey::new(0x6d61_7463, g, (n, g.m()), &cfg);
+    let states: Vec<MatchState> = dist_cache::get_or_build(key, || {
+        let adj = g.adjacency();
+        let mut states: Vec<MatchState> = (0..cfg.machines)
+            .map(|_| MatchState {
+                vertices: Vec::new(),
+                phi: vec![0.0; n],
+            })
+            .collect();
+        for (v, nbrs) in adj.iter().enumerate().take(n) {
+            let dst = cfg.place(v as u64);
+            states[dst].vertices.push(VertexAdj {
+                v: v as VertexId,
+                inc: nbrs.iter().map(|&(o, e)| (e, o, g.edge(e).w)).collect(),
+            });
         }
-    }
+        // Adjacency lists come out in edge-id order per vertex; sort to be sure.
+        for s in &mut states {
+            for va in &mut s.vertices {
+                va.inc.sort_unstable_by_key(|&(e, _, _)| e);
+            }
+        }
+        states
+    });
     let mut cluster = Cluster::new(cfg.cluster(), states)?;
 
     let mut lr = MatchingLocalRatio::new(n);

@@ -14,9 +14,10 @@ use mrlr_graph::{Graph, VertexId};
 use mrlr_mapreduce::{Bitset, Cluster, Metrics, MrError, MrResult, WordSized};
 
 use crate::hungry::mis::{degree_class, group_choice, MisParams, MIS_RNG_TAG};
-use crate::mr::MrConfig;
+use crate::mr::{dist_cache, MrConfig};
 use crate::types::SelectionResult;
 
+#[derive(Clone)]
 pub(crate) struct VertexRec {
     pub v: VertexId,
     /// Sorted neighbour ids.
@@ -31,6 +32,7 @@ impl WordSized for VertexRec {
     }
 }
 
+#[derive(Clone)]
 pub(crate) struct MisChunk {
     pub recs: Vec<VertexRec>,
     pub removed: Bitset,
@@ -77,24 +79,29 @@ impl MisChunk {
 }
 
 pub(crate) fn build_chunks(g: &Graph, cfg: &MrConfig) -> Vec<MisChunk> {
-    let adj = g.neighbours();
-    let mut chunks: Vec<MisChunk> = (0..cfg.machines)
-        .map(|_| MisChunk {
-            recs: Vec::new(),
-            removed: Bitset::new(g.n()),
-        })
-        .collect();
-    for v in 0..g.n() {
-        let mut nbrs = adj[v].clone();
-        nbrs.sort_unstable();
-        chunks[cfg.place(v as u64)].recs.push(VertexRec {
-            v: v as VertexId,
-            d_alive: nbrs.len(),
-            nbrs,
-            alive: true,
-        });
-    }
-    chunks
+    // MIS1 and MIS2 partition vertices identically, so within a batch the
+    // two registry keys share one cached snapshot per instance + shape.
+    let key = dist_cache::DistKey::new(0x006d_6973, g, (g.n(), g.m()), cfg);
+    dist_cache::get_or_build(key, || {
+        let adj = g.neighbours();
+        let mut chunks: Vec<MisChunk> = (0..cfg.machines)
+            .map(|_| MisChunk {
+                recs: Vec::new(),
+                removed: Bitset::new(g.n()),
+            })
+            .collect();
+        for v in 0..g.n() {
+            let mut nbrs = adj[v].clone();
+            nbrs.sort_unstable();
+            chunks[cfg.place(v as u64)].recs.push(VertexRec {
+                v: v as VertexId,
+                d_alive: nbrs.len(),
+                nbrs,
+                alive: true,
+            });
+        }
+        chunks
+    })
 }
 
 /// The central machine's view of this round's additions: processes a
@@ -204,6 +211,25 @@ fn central_finish(cluster: &mut Cluster<MisChunk>, n: usize) -> MrResult<Vec<Ver
 /// [`crate::api`] instead — same run, plus a verified [`Report`].
 ///
 /// [`Report`]: crate::api::Report
+///
+/// # Example
+///
+/// ```
+/// use mrlr_core::api::{Instance, Registry};
+/// use mrlr_core::hungry::MisParams;
+/// use mrlr_core::mr::MrConfig;
+/// use mrlr_graph::generators;
+///
+/// let g = generators::densified(16, 0.3, 4);
+/// let cfg = MrConfig::auto(16, g.m().max(1), 0.3, 4);
+/// let report = Registry::with_defaults()
+///     .solve("mis2", &Instance::Graph(g.clone()), &cfg)
+///     .unwrap();
+/// #[allow(deprecated)]
+/// let (legacy, _metrics) =
+///     mrlr_core::mr::mis::mr_mis_fast(&g, MisParams::mis2(16, cfg.mu, cfg.seed), cfg).unwrap();
+/// assert_eq!(report.solution.as_selection().unwrap(), &legacy);
+/// ```
 #[deprecated(
     since = "0.2.0",
     note = "dispatch through `mrlr_core::api` (`Registry::get(\"mis2\")` or `MisDriver`)"
@@ -337,6 +363,25 @@ pub(crate) fn run_fast(
 /// [`crate::api`] instead — same run, plus a verified [`Report`].
 ///
 /// [`Report`]: crate::api::Report
+///
+/// # Example
+///
+/// ```
+/// use mrlr_core::api::{Instance, Registry};
+/// use mrlr_core::hungry::MisParams;
+/// use mrlr_core::mr::MrConfig;
+/// use mrlr_graph::generators;
+///
+/// let g = generators::densified(16, 0.3, 4);
+/// let cfg = MrConfig::auto(16, g.m().max(1), 0.3, 4);
+/// let report = Registry::with_defaults()
+///     .solve("mis1", &Instance::Graph(g.clone()), &cfg)
+///     .unwrap();
+/// #[allow(deprecated)]
+/// let (legacy, _metrics) =
+///     mrlr_core::mr::mis::mr_mis_simple(&g, MisParams::mis1(16, cfg.mu, cfg.seed), cfg).unwrap();
+/// assert_eq!(report.solution.as_selection().unwrap(), &legacy);
+/// ```
 #[deprecated(
     since = "0.2.0",
     note = "dispatch through `mrlr_core::api` (`Registry::get(\"mis1\")` or `MisDriver`)"

@@ -19,11 +19,12 @@ use mrlr_mapreduce::rng::coin;
 use mrlr_mapreduce::{Bitset, Cluster, Metrics, MrError, MrResult, WordSized};
 use mrlr_setsys::{ElemId, SetId, SetSystem};
 
-use crate::mr::{MrConfig, SET_COVER_SAMPLE_SLACK};
+use crate::mr::{dist_cache, MrConfig, SET_COVER_SAMPLE_SLACK};
 use crate::rlr::setcover::{sample_probability, SC_COIN_TAG};
 use crate::seq::local_ratio_sc::ScLocalRatio;
 use crate::types::CoverResult;
 
+#[derive(Clone)]
 struct ElemRec {
     id: ElemId,
     tj: Vec<SetId>,
@@ -36,6 +37,7 @@ impl WordSized for ElemRec {
     }
 }
 
+#[derive(Clone)]
 struct ElemChunk {
     recs: Vec<ElemRec>,
     in_cover: Bitset,
@@ -56,6 +58,22 @@ impl WordSized for ElemChunk {
 /// from [`crate::api`] instead — same run, plus a verified [`Report`].
 ///
 /// [`Report`]: crate::api::Report
+///
+/// # Example
+///
+/// ```
+/// use mrlr_core::api::{Instance, Registry};
+/// use mrlr_core::mr::MrConfig;
+///
+/// let sys = mrlr_setsys::generators::bounded_frequency(12, 60, 3, 1);
+/// let cfg = MrConfig::auto(12, 60, 0.5, 1);
+/// let report = Registry::with_defaults()
+///     .solve("set-cover-f", &Instance::SetSystem(sys.clone()), &cfg)
+///     .unwrap();
+/// #[allow(deprecated)]
+/// let (legacy, _metrics) = mrlr_core::mr::set_cover::mr_set_cover_f(&sys, cfg).unwrap();
+/// assert_eq!(report.solution.as_cover().unwrap(), &legacy);
+/// ```
 #[deprecated(
     since = "0.2.0",
     note = "dispatch through `mrlr_core::api` (`Registry::get(\"set-cover-f\")` or `SetCoverFDriver`)"
@@ -77,25 +95,30 @@ pub(crate) fn run(sys: &SetSystem, cfg: MrConfig) -> MrResult<(CoverResult, Metr
     }
     let m = sys.universe();
     let n_sets = sys.n_sets();
-    let dual_view = sys.dual();
 
-    // Distribute elements by hash.
-    let mut chunks: Vec<ElemChunk> = (0..cfg.machines)
-        .map(|_| ElemChunk {
-            recs: Vec::new(),
-            in_cover: Bitset::new(n_sets),
-            alive_count: 0,
-        })
-        .collect();
-    for (j, tj) in dual_view.iter().enumerate().take(m) {
-        let dst = cfg.place(j as u64);
-        chunks[dst].recs.push(ElemRec {
-            id: j as ElemId,
-            tj: tj.clone(),
-            alive: true,
-        });
-        chunks[dst].alive_count += 1;
-    }
+    // Distribute elements by hash; the dual (element → containing sets)
+    // view is only needed to build the snapshot, so cache hits skip it.
+    let key = dist_cache::DistKey::new(0x0073_6366, sys, (m, n_sets), &cfg);
+    let chunks: Vec<ElemChunk> = dist_cache::get_or_build(key, || {
+        let dual_view = sys.dual();
+        let mut chunks: Vec<ElemChunk> = (0..cfg.machines)
+            .map(|_| ElemChunk {
+                recs: Vec::new(),
+                in_cover: Bitset::new(n_sets),
+                alive_count: 0,
+            })
+            .collect();
+        for (j, tj) in dual_view.iter().enumerate().take(m) {
+            let dst = cfg.place(j as u64);
+            chunks[dst].recs.push(ElemRec {
+                id: j as ElemId,
+                tj: tj.clone(),
+                alive: true,
+            });
+            chunks[dst].alive_count += 1;
+        }
+        chunks
+    });
     let mut cluster = Cluster::new(cfg.cluster(), chunks)?;
 
     // Central state: residual weights (n words) + dual accumulator.

@@ -18,10 +18,11 @@ use mrlr_setsys::{ElemId, SetId, SetSystem};
 
 use crate::hungry::mis::{degree_class, group_choice};
 use crate::hungry::setcover::{HungryScParams, HungryScTrace, HSC_RNG_TAG};
-use crate::mr::MrConfig;
+use crate::mr::{dist_cache, MrConfig};
 use crate::seq::greedy_sc::harmonic;
 use crate::types::CoverResult;
 
+#[derive(Clone)]
 struct SetRecM {
     id: SetId,
     w: f64,
@@ -36,6 +37,7 @@ impl WordSized for SetRecM {
     }
 }
 
+#[derive(Clone)]
 struct ScChunk {
     recs: Vec<SetRecM>,
     covered: Bitset,
@@ -81,6 +83,26 @@ type SampleMsg = (u64, u64, SetId, f64, Vec<ElemId>);
 /// [`Report`].
 ///
 /// [`Report`]: crate::api::Report
+///
+/// # Example
+///
+/// ```
+/// use mrlr_core::api::{Instance, Registry, DEFAULT_GREEDY_SC_EPS};
+/// use mrlr_core::hungry::HungryScParams;
+/// use mrlr_core::mr::MrConfig;
+///
+/// let sys = mrlr_setsys::generators::bounded_set_size(20, 15, 4, 1);
+/// let cfg = MrConfig::auto(20, 15, 0.5, 1);
+/// let report = Registry::with_defaults()
+///     .solve("set-cover-greedy", &Instance::SetSystem(sys.clone()), &cfg)
+///     .unwrap();
+/// // The registry derives the paper's parameters from (instance, cfg):
+/// let params = HungryScParams::new(sys.universe(), cfg.mu, DEFAULT_GREEDY_SC_EPS, cfg.seed);
+/// #[allow(deprecated)]
+/// let (legacy, _trace, _metrics) =
+///     mrlr_core::mr::set_cover_greedy::mr_hungry_set_cover(&sys, params, cfg).unwrap();
+/// assert_eq!(report.solution.as_cover().unwrap(), &legacy);
+/// ```
 #[deprecated(
     since = "0.2.0",
     note = "dispatch through `mrlr_core::api` (`Registry::get(\"set-cover-greedy\")` or `GreedySetCoverDriver`)"
@@ -115,30 +137,35 @@ pub(crate) fn run(
     let mf = (m.max(2)) as f64;
     let num_classes = (1.0 / params.alpha).ceil() as usize;
 
-    // Distribute sets.
-    let mut chunks: Vec<ScChunk> = (0..cfg.machines)
-        .map(|_| ScChunk {
-            recs: Vec::new(),
-            covered: Bitset::new(m),
-            index: HashMap::new(),
-        })
-        .collect();
-    for l in 0..n {
-        let dst = cfg.place(l as u64);
-        let slot = chunks[dst].recs.len();
-        let elems = sys.set(l as SetId).to_vec();
-        for &j in &elems {
-            chunks[dst].index.entry(j).or_default().push(slot);
+    // Distribute sets; batch jobs sharing the instance + shape reuse the
+    // snapshot.
+    let key = dist_cache::DistKey::new(0x0073_6367, sys, (m, n), &cfg);
+    let chunks: Vec<ScChunk> = dist_cache::get_or_build(key, || {
+        let mut chunks: Vec<ScChunk> = (0..cfg.machines)
+            .map(|_| ScChunk {
+                recs: Vec::new(),
+                covered: Bitset::new(m),
+                index: HashMap::new(),
+            })
+            .collect();
+        for l in 0..n {
+            let dst = cfg.place(l as u64);
+            let slot = chunks[dst].recs.len();
+            let elems = sys.set(l as SetId).to_vec();
+            for &j in &elems {
+                chunks[dst].index.entry(j).or_default().push(slot);
+            }
+            chunks[dst].recs.push(SetRecM {
+                id: l as SetId,
+                w: sys.weight(l as SetId),
+                uncov: elems.len(),
+                elems,
+                chosen: false,
+            });
         }
-        chunks[dst].recs.push(SetRecM {
-            id: l as SetId,
-            w: sys.weight(l as SetId),
-            uncov: elems.len(),
-            elems,
-            chosen: false,
-        });
-    }
-    // recs are pushed in ascending id order per machine already.
+        // recs are pushed in ascending id order per machine already.
+        chunks
+    });
     let mut cluster = Cluster::new(cfg.cluster(), chunks)?;
 
     // Central state: covered bitmap + bookkeeping.

@@ -15,11 +15,12 @@ use mrlr_graph::{EdgeId, Graph, VertexId};
 use mrlr_mapreduce::rng::coin;
 use mrlr_mapreduce::{Cluster, Metrics, MrError, MrResult, WordSized};
 
-use crate::mr::{MrConfig, SET_COVER_SAMPLE_SLACK};
+use crate::mr::{dist_cache, MrConfig, SET_COVER_SAMPLE_SLACK};
 use crate::rlr::setcover::{sample_probability, SC_COIN_TAG};
 use crate::seq::local_ratio_sc::ScLocalRatio;
 use crate::types::CoverResult;
 
+#[derive(Clone)]
 struct EdgeRec {
     id: EdgeId,
     u: VertexId,
@@ -33,6 +34,7 @@ impl WordSized for EdgeRec {
     }
 }
 
+#[derive(Clone)]
 struct VertexRec {
     v: VertexId,
     edges: Vec<EdgeId>,
@@ -44,6 +46,7 @@ impl WordSized for VertexRec {
     }
 }
 
+#[derive(Clone)]
 struct VcState {
     edges: Vec<EdgeRec>,
     vertices: Vec<VertexRec>,
@@ -65,6 +68,26 @@ impl WordSized for VcState {
 /// from [`crate::api`] instead — same run, plus a verified [`Report`].
 ///
 /// [`Report`]: crate::api::Report
+///
+/// # Example
+///
+/// ```
+/// use mrlr_core::api::{Instance, Registry, VertexWeightedGraph};
+/// use mrlr_core::mr::MrConfig;
+/// use mrlr_graph::generators;
+///
+/// let g = generators::densified(14, 0.3, 2);
+/// let weights: Vec<f64> = (0..14).map(|v| 1.0 + v as f64).collect();
+/// let cfg = MrConfig::auto(14, g.m().max(1), 0.3, 2);
+/// let inst = VertexWeightedGraph::new(g.clone(), weights.clone());
+/// let report = Registry::with_defaults()
+///     .solve("vertex-cover", &Instance::VertexWeighted(inst), &cfg)
+///     .unwrap();
+/// #[allow(deprecated)]
+/// let (legacy, _metrics) =
+///     mrlr_core::mr::vertex_cover::mr_vertex_cover(&g, &weights, cfg).unwrap();
+/// assert_eq!(report.solution.as_cover().unwrap(), &legacy);
+/// ```
 #[deprecated(
     since = "0.2.0",
     note = "dispatch through `mrlr_core::api` (`Registry::get(\"vertex-cover\")` or `VertexCoverDriver`)"
@@ -96,32 +119,37 @@ pub(crate) fn run(g: &Graph, weights: &[f64], cfg: MrConfig) -> MrResult<(CoverR
         ));
     }
 
-    // Distribute edges (elements) and vertices (sets with adjacency).
-    let mut states: Vec<VcState> = (0..cfg.machines)
-        .map(|_| VcState {
-            edges: Vec::new(),
-            vertices: Vec::new(),
-            alive_count: 0,
-        })
-        .collect();
-    for (idx, e) in g.edges().iter().enumerate() {
-        let dst = cfg.place(idx as u64);
-        states[dst].edges.push(EdgeRec {
-            id: idx as EdgeId,
-            u: e.u,
-            v: e.v,
-            alive: true,
-        });
-        states[dst].alive_count += 1;
-    }
-    let adj = g.adjacency();
-    for (v, nbrs) in adj.iter().enumerate() {
-        let dst = cfg.place(0x0076_6377 ^ (v as u64).rotate_left(17));
-        states[dst].vertices.push(VertexRec {
-            v: v as VertexId,
-            edges: nbrs.iter().map(|&(_, e)| e).collect(),
-        });
-    }
+    // Distribute edges (elements) and vertices (sets with adjacency);
+    // batch jobs sharing the instance + shape reuse the snapshot.
+    let key = dist_cache::DistKey::new(0x0076_6363, g, (g.n(), g.m()), &cfg);
+    let states: Vec<VcState> = dist_cache::get_or_build(key, || {
+        let mut states: Vec<VcState> = (0..cfg.machines)
+            .map(|_| VcState {
+                edges: Vec::new(),
+                vertices: Vec::new(),
+                alive_count: 0,
+            })
+            .collect();
+        for (idx, e) in g.edges().iter().enumerate() {
+            let dst = cfg.place(idx as u64);
+            states[dst].edges.push(EdgeRec {
+                id: idx as EdgeId,
+                u: e.u,
+                v: e.v,
+                alive: true,
+            });
+            states[dst].alive_count += 1;
+        }
+        let adj = g.adjacency();
+        for (v, nbrs) in adj.iter().enumerate() {
+            let dst = cfg.place(0x0076_6377 ^ (v as u64).rotate_left(17));
+            states[dst].vertices.push(VertexRec {
+                v: v as VertexId,
+                edges: nbrs.iter().map(|&(_, e)| e).collect(),
+            });
+        }
+        states
+    });
     let mut cluster = Cluster::new(cfg.cluster(), states)?;
 
     let mut lr = ScLocalRatio::new(weights);

@@ -1,0 +1,140 @@
+//! Property-based round-trip tests of the unified instance format:
+//! `parse(render(x)) == x` bit-exactly for every instance kind on
+//! arbitrary random instances, plus golden error-message tests for
+//! malformed input.
+
+use proptest::prelude::*;
+
+use mrlr_core::api::{BMatchingInstance, Instance, VertexWeightedGraph};
+use mrlr_core::io::{parse_instance, render_instance};
+use mrlr_graph::{Edge, Graph};
+use mrlr_setsys::SetSystem;
+
+/// Strategy: an arbitrary weighted simple graph (non-dyadic weights, so
+/// the `{:?}` round-trip is exercised on long decimal expansions).
+fn arb_graph(nmax: usize, mmax: usize) -> impl Strategy<Value = Graph> {
+    (1usize..=nmax).prop_flat_map(move |n| {
+        proptest::collection::vec(((0..n as u32), (0..n as u32), 1u32..100_000), 0..=mmax).prop_map(
+            move |raw| {
+                let mut seen = std::collections::HashSet::new();
+                let mut edges = Vec::new();
+                for (a, b, w) in raw {
+                    if a == b {
+                        continue;
+                    }
+                    let key = (a.min(b), a.max(b));
+                    if seen.insert(key) {
+                        // Mix unit weights (rendered without the weight
+                        // column) with awkward fractions.
+                        let w = if w % 5 == 0 { 1.0 } else { w as f64 / 977.0 };
+                        edges.push(Edge::new(key.0, key.1, w));
+                    }
+                }
+                Graph::new(n, edges)
+            },
+        )
+    })
+}
+
+/// Strategy: an arbitrary weighted set system (possibly uncoverable,
+/// possibly with empty sets — the format does not require coverability).
+fn arb_system(nmax: usize, mmax: usize) -> impl Strategy<Value = SetSystem> {
+    (1usize..=nmax, 1usize..=mmax).prop_flat_map(|(n, m)| {
+        (
+            proptest::collection::vec(proptest::collection::vec(0u32..m as u32, 0..=m), n),
+            proptest::collection::vec(1u32..100_000, n),
+        )
+            .prop_map(move |(sets, weights)| {
+                let sets: Vec<Vec<u32>> = sets
+                    .into_iter()
+                    .map(|mut s| {
+                        s.sort_unstable();
+                        s.dedup();
+                        s
+                    })
+                    .collect();
+                let weights = weights.into_iter().map(|w| w as f64 / 977.0).collect();
+                SetSystem::new(m, sets, weights)
+            })
+    })
+}
+
+fn round_trips(inst: &Instance) {
+    let text = render_instance(inst);
+    let back = parse_instance(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    assert_eq!(inst, &back, "parse(render(x)) != x for {:?}", inst.kind());
+    // Rendering is canonical: a second trip is byte-identical.
+    assert_eq!(text, render_instance(&back));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graph_round_trips(g in arb_graph(24, 60)) {
+        round_trips(&Instance::Graph(g));
+    }
+
+    #[test]
+    fn vertex_weighted_round_trips(
+        g in arb_graph(16, 40),
+        raw in proptest::collection::vec(1u32..100_000, 16),
+    ) {
+        let weights = raw.iter().take(g.n()).map(|&w| w as f64 / 977.0).collect::<Vec<_>>();
+        prop_assume!(weights.len() == g.n());
+        round_trips(&Instance::VertexWeighted(VertexWeightedGraph::new(g, weights)));
+    }
+
+    #[test]
+    fn b_matching_round_trips(
+        g in arb_graph(16, 40),
+        raw in proptest::collection::vec(1u32..6, 16),
+        eps_num in 1u32..400,
+    ) {
+        let b = raw.iter().take(g.n()).copied().collect::<Vec<_>>();
+        prop_assume!(b.len() == g.n());
+        let eps = eps_num as f64 / 128.0;
+        round_trips(&Instance::BMatching(BMatchingInstance::new(g, b, eps)));
+    }
+
+    #[test]
+    fn set_system_round_trips(sys in arb_system(20, 30)) {
+        round_trips(&Instance::SetSystem(sys));
+    }
+}
+
+/// Golden error messages: malformed input fails with the documented
+/// position and message, not a panic or a silently-wrong instance.
+#[test]
+fn malformed_input_error_messages_are_stable() {
+    let cases: &[(&str, &str)] = &[
+        // Bad vertex id.
+        (
+            "p graph 3 1\ne 0 7",
+            "line 2, column 5: vertex 7 out of range 0..3",
+        ),
+        // Truncated edge line.
+        ("p graph 3 1\ne 0", "line 2, column 4: missing endpoint"),
+        // Duplicate edge (reversed orientation still counts).
+        (
+            "p graph 3 2\ne 0 1\ne 1 0",
+            "line 3, column 3: duplicate edge (0, 1)",
+        ),
+        // Truncated file: fewer records than the problem line promised.
+        (
+            "p graph 3 2\ne 0 1",
+            "problem line promised 2 edges, found 1",
+        ),
+        // Missing vertex data for a declared kind.
+        ("p vertex-weighted 1 0", "vertex 0 has no `n` line"),
+        // Malformed weight.
+        (
+            "p set-system 2 1\ns zero 0",
+            "line 2, column 3: bad set weight `zero`",
+        ),
+    ];
+    for (text, want) in cases {
+        let got = parse_instance(text).unwrap_err().to_string();
+        assert_eq!(&got, want, "input {text:?}");
+    }
+}

@@ -160,7 +160,7 @@ impl Job {
 /// `new(threads)` spawns `threads - 1` workers; the thread calling
 /// [`Executor::run`] is the remaining participant. Concurrent `run` calls
 /// from different threads are safe: each submission is an independent
-/// [`Job`] queued to every worker, and completion is tracked per job.
+/// `Job` queued to every worker, and completion is tracked per job.
 pub struct ThreadPoolExecutor {
     threads: usize,
     senders: Mutex<Vec<Sender<PoolMsg>>>,

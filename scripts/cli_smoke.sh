@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# CLI smoke loop: `mrlr gen → solve → batch` for every registry key,
+# diffing masked JSON reports against the checked-in golden files. Runs
+# the same matrix as crates/cli/tests/cli_smoke.rs (the matrix file is
+# the single source of truth for both); CI invokes this under
+# MRLR_THREADS=1 and MRLR_THREADS=4, so format *and* thread determinism
+# are pinned. Regenerate goldens after an intentional format change with
+# `MRLR_UPDATE_GOLDEN=1 cargo test -p mrlr-cli`.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+matrix="$root/crates/cli/tests/smoke_matrix.txt"
+golden="$root/crates/cli/tests/golden"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+mrlr() { cargo run -q --release -p mrlr-cli -- "$@"; }
+
+cd "$root"
+while IFS='|' read -r key family gen_args solve_args; do
+  case "$key" in ''|\#*) continue ;; esac
+  # shellcheck disable=SC2086  # word-splitting of the arg columns is the point
+  mrlr gen "$family" $gen_args --out "$work/$key.inst"
+  # shellcheck disable=SC2086
+  mrlr solve "$key" --input "$work/$key.inst" $solve_args \
+    --format json --mask-timings --out "$work/$key.json"
+  diff -u "$golden/$key.json" "$work/$key.json"
+  echo "ok: $key"
+done < "$matrix"
+
+cp "$golden/batch.manifest" "$work/batch.manifest"
+mrlr batch "$work/batch.manifest" --mask-timings --out "$work/batch.json"
+diff -u "$golden/batch.json" "$work/batch.json"
+mrlr batch "$work/batch.manifest" --mask-timings --format csv --out "$work/batch.csv"
+diff -u "$golden/batch.csv" "$work/batch.csv"
+echo "ok: batch"
+
+mrlr list --format json > "$work/list.json"
+diff -u "$golden/list.json" "$work/list.json"
+echo "ok: list"
+
+echo "cli smoke passed (MRLR_THREADS=${MRLR_THREADS:-unset})"
