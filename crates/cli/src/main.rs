@@ -7,7 +7,8 @@
 //! ```text
 //! mrlr list                         # algorithms × backends, gen families
 //! mrlr gen densified --n 80 --out g.inst
-//! mrlr solve matching --input g.inst --format json
+//! mrlr solve matching --input g.inst --format json --out r.json
+//! mrlr verify g.inst r.json         # re-check the stored certificate
 //! mrlr batch runs.manifest --format csv
 //! ```
 //!
@@ -15,16 +16,19 @@
 //! manifests the format of [`mrlr_core::io::manifest`]; reports serialize
 //! via [`mrlr_core::io::report`] (`--mask-timings` zeroes host wall-clock
 //! so outputs are bit-identical across `MRLR_THREADS` settings — the CI
-//! smoke matrix diffs them against golden files).
+//! smoke matrix diffs them against golden files). JSON reports embed the
+//! certificate witness by default (`--certificates full`); `mrlr verify`
+//! replays it offline via [`mrlr_core::api::witness::audit`] — no solver
+//! re-run.
 //!
 //! Exit codes: 0 success, 1 runtime failure (unreadable file, infeasible
-//! instance, solver error), 2 usage error.
+//! instance, solver error, failed verification), 2 usage error.
 
 use std::process::ExitCode;
 
 use mrlr_bench::workloads::{self, GenParams};
-use mrlr_core::api::{Backend, Instance, Registry, Report, Solution};
-use mrlr_core::io::{self, Json, TimingMode};
+use mrlr_core::api::{witness, Backend, Instance, Registry, Report, Solution};
+use mrlr_core::io::{self, CertificateMode, Json, TimingMode};
 use mrlr_core::mr::MrConfig;
 use mrlr_mapreduce::Timeline;
 
@@ -37,14 +41,23 @@ USAGE:
                [--unweighted] [--eps E] [--b-max B] [--seed S] [--out PATH]
     mrlr solve <algorithm> --input PATH [--backend seq|rlr|mr] [--mu MU]
                [--seed S] [--threads N] [--machines M]
-               [--format text|json|csv] [--mask-timings]
-               [--timings-csv PATH] [--out PATH]
-    mrlr batch <manifest> [--format json|csv] [--mask-timings] [--out PATH]
+               [--format text|json|csv] [--certificates full|summary]
+               [--mask-timings] [--timings-csv PATH] [--out PATH]
+    mrlr verify <instance> <report.json> [--quiet]
+    mrlr batch <manifest> [--format json|csv] [--certificates full|summary]
+               [--mask-timings] [--out PATH]
 
 Run `mrlr list` for the algorithm keys and generator families. The cluster
 shape is auto-derived from the instance and `--mu` exactly as the paper
 parameterizes it; `--threads` (default: MRLR_THREADS, else sequential)
 changes wall-clock only — solutions and metrics are bit-identical.
+
+JSON reports embed a re-checkable certificate witness (dual vectors,
+local-ratio stack transcripts, maximality blockers) unless
+`--certificates summary` trims it. `mrlr verify` replays a stored report
+against its instance — feasibility, witness, lower bound and ratio —
+without re-running the solver, exiting 1 with a located error on any
+mismatch.
 ";
 
 fn main() -> ExitCode {
@@ -60,6 +73,7 @@ fn main() -> ExitCode {
         "list" => cmd_list(rest),
         "gen" => cmd_gen(rest),
         "solve" => cmd_solve(rest),
+        "verify" => cmd_verify(rest),
         "batch" => cmd_batch(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
@@ -172,6 +186,16 @@ fn timing_mode(flags: &mut Flags) -> TimingMode {
     }
 }
 
+fn certificate_mode(flags: &mut Flags) -> Result<CertificateMode, CliError> {
+    match flags.take("certificates").as_deref() {
+        None | Some("full") => Ok(CertificateMode::Full),
+        Some("summary") => Ok(CertificateMode::Summary),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown certificate mode `{other}` (expected full or summary)"
+        ))),
+    }
+}
+
 // ---------------------------------------------------------------- list --
 
 fn cmd_list(args: &[String]) -> Result<(), CliError> {
@@ -191,10 +215,14 @@ fn cmd_list(args: &[String]) -> Result<(), CliError> {
                     .into_iter()
                     .map(|b| b.to_string())
                     .collect();
+                let info = registry.info(name).expect("paper key has an info row");
                 println!(
-                    "  {name:<18} {:<22} backends: {}",
+                    "  {name:<18} {:<22} backends: {:<10} {} (ratio {}, rounds {})",
                     driver.instance_kind().to_string(),
-                    backends.join(",")
+                    backends.join(","),
+                    info.theorem,
+                    info.ratio,
+                    info.rounds,
                 );
             }
             println!("\ngenerator families (mrlr gen <family>):");
@@ -214,6 +242,7 @@ fn cmd_list(args: &[String]) -> Result<(), CliError> {
                 .into_iter()
                 .map(|name| {
                     let driver = registry.get(name).expect("Mr driver registered");
+                    let info = registry.info(name).expect("paper key has an info row");
                     Json::Obj(vec![
                         ("key", Json::str(name)),
                         (
@@ -230,6 +259,11 @@ fn cmd_list(args: &[String]) -> Result<(), CliError> {
                                     .collect(),
                             ),
                         ),
+                        ("theorem", Json::str(info.theorem)),
+                        ("rounds", Json::str(info.rounds)),
+                        ("space", Json::str(info.space)),
+                        ("ratio", Json::str(info.ratio)),
+                        ("witness", Json::str(info.witness)),
                     ])
                 })
                 .collect();
@@ -335,6 +369,7 @@ fn configure(
 fn cmd_solve(args: &[String]) -> Result<(), CliError> {
     let mut flags = Flags::parse(args, &["mask-timings"])?;
     let timing = timing_mode(&mut flags);
+    let certificates = certificate_mode(&mut flags)?;
     let input = flags
         .take("input")
         .ok_or_else(|| CliError::usage("solve needs --input <path>"))?;
@@ -389,7 +424,7 @@ fn cmd_solve(args: &[String]) -> Result<(), CliError> {
     }
 
     let content = match format.as_str() {
-        "json" => io::report_json(&report, timing).render(),
+        "json" => io::report_json_with(&report, timing, certificates).render(),
         "csv" => format!(
             "{}\n{}\n",
             io::REPORT_CSV_HEADER,
@@ -401,6 +436,50 @@ fn cmd_solve(args: &[String]) -> Result<(), CliError> {
     write_output(out, &content)
 }
 
+// -------------------------------------------------------------- verify --
+
+fn cmd_verify(args: &[String]) -> Result<(), CliError> {
+    let mut flags = Flags::parse(args, &["quiet"])?;
+    let quiet = flags.take("quiet").is_some();
+    let positional = flags.finish()?;
+    let [instance_path, report_path] = positional.as_slice() else {
+        return Err(CliError::usage(
+            "verify needs exactly <instance> and <report.json> arguments",
+        ));
+    };
+
+    let instance = load_instance(instance_path)?;
+    let text = std::fs::read_to_string(report_path)
+        .map_err(|e| CliError::runtime(format!("cannot read {report_path}: {e}")))?;
+    let stored =
+        io::parse_report(&text).map_err(|e| CliError::runtime(format!("{report_path}: {e}")))?;
+
+    let Some(witness) = &stored.witness else {
+        return Err(CliError::runtime(format!(
+            "{report_path}: certificate has no witness — re-solve with --certificates full \
+             to produce a re-verifiable report"
+        )));
+    };
+    let checks = witness::audit(
+        &instance,
+        &stored.algorithm,
+        &stored.solution,
+        &stored.claims,
+        witness,
+    )
+    .map_err(|e| CliError::runtime(format!("{report_path}: {e}")))?;
+    if !quiet {
+        for check in &checks {
+            println!("ok: {check}");
+        }
+        println!(
+            "verified: {} ({}) report against {}",
+            stored.algorithm, stored.backend, instance_path
+        );
+    }
+    Ok(())
+}
+
 // --------------------------------------------------------------- batch --
 
 fn job_cfg(instance: &Instance, job: &io::JobSpec) -> MrConfig {
@@ -410,6 +489,7 @@ fn job_cfg(instance: &Instance, job: &io::JobSpec) -> MrConfig {
 fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     let mut flags = Flags::parse(args, &["mask-timings"])?;
     let timing = timing_mode(&mut flags);
+    let certificates = certificate_mode(&mut flags)?;
     let format = flags.take("format").unwrap_or_else(|| "json".into());
     let out = flags.take("out");
     let positional = flags.finish()?;
@@ -480,7 +560,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
                         per_instance
                             .iter()
                             .map(|slot| match slot {
-                                Ok(report) => io::report_json(report, timing),
+                                Ok(report) => io::report_json_with(report, timing, certificates),
                                 Err(e) => Json::Obj(vec![("error", Json::str(&**e))]),
                             })
                             .collect(),

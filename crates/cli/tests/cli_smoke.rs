@@ -1,7 +1,10 @@
-//! End-to-end smoke tests of the `mrlr` binary: `gen → solve → batch` for
-//! every registry key, with masked JSON reports diffed against golden
-//! files and asserted bit-identical across `MRLR_THREADS={1,4}` — the
-//! same contract the CI smoke job enforces via `scripts/cli_smoke.sh`.
+//! End-to-end smoke tests of the `mrlr` binary: `gen → solve → verify →
+//! batch` for every registry key, with masked JSON reports (full,
+//! re-verifiable certificates) diffed against golden files and asserted
+//! bit-identical across `MRLR_THREADS={1,4}` — the same contract the CI
+//! smoke job enforces via `scripts/cli_smoke.sh`. Every golden report is
+//! additionally re-verified offline by `mrlr verify`, so the checked-in
+//! artifacts stay independently auditable.
 //!
 //! Regenerate the golden files after an intentional format change with
 //! `MRLR_UPDATE_GOLDEN=1 cargo test -p mrlr-cli`.
@@ -111,6 +114,187 @@ fn gen_solve_matches_golden_and_is_thread_deterministic() {
         );
         assert_golden(&format!("{}.json", row.key), &seq);
     }
+}
+
+#[test]
+fn every_golden_report_verifies_offline_at_both_thread_counts() {
+    // The acceptance contract of the re-verifiable-certificate work:
+    // `mrlr verify` passes on every checked-in golden report, for every
+    // registry key, at MRLR_THREADS=1 and 4 (verification is read-only
+    // but must be thread-agnostic like everything else).
+    if std::env::var_os("MRLR_UPDATE_GOLDEN").is_some() {
+        return; // regeneration pass: goldens are being rewritten in parallel
+    }
+    let dir = workdir("verify");
+    gen_all(&dir);
+    for row in matrix() {
+        let golden = golden_dir().join(format!("{}.json", row.key));
+        let report = format!("{}.report.json", row.key);
+        std::fs::copy(&golden, dir.join(&report)).unwrap();
+        let input = format!("{}.inst", row.key);
+        for threads in ["1", "4"] {
+            let out = mrlr(&dir, threads, &["verify", &input, &report]);
+            assert!(
+                out.lines().last().unwrap_or("").starts_with("verified: "),
+                "{}: unexpected verify output:\n{out}",
+                row.key
+            );
+            assert!(
+                out.contains("ok: "),
+                "{}: verify printed no checks:\n{out}",
+                row.key
+            );
+        }
+    }
+}
+
+/// Doubles the value of the first `[id, value]` pair in the named witness
+/// array of a pretty-printed report, returning the tampered document.
+fn double_first_pair_value(text: &str, key: &str) -> String {
+    let arr_at = text
+        .find(&format!("\"{key}\": ["))
+        .unwrap_or_else(|| panic!("no `{key}` array in report"));
+    // Pair layout: `[\n  <pad>id,\n  <pad>value\n<pad>],` — the value is
+    // the line after the id's trailing comma.
+    let val_start = text[arr_at..].find(",\n").expect("pair id") + arr_at + 2;
+    let val_end = text[val_start..].find('\n').expect("pair value") + val_start;
+    let line = &text[val_start..val_end];
+    let value: f64 = line.trim().parse().expect("pair value parses");
+    let indent: String = line.chars().take_while(|c| c.is_whitespace()).collect();
+    let mut out = text.to_string();
+    out.replace_range(val_start..val_end, &format!("{indent}{:?}", value * 2.0));
+    out
+}
+
+#[test]
+fn verify_rejects_tampered_reports() {
+    // Mutation coverage for the offline checker: a tampered solution, a
+    // tampered dual, and a tampered stack transcript must each fail with
+    // exit code 1 and a located error message.
+    let dir = workdir("tamper");
+    gen_all(&dir);
+    let run = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_mrlr"))
+            .args(args)
+            .current_dir(&dir)
+            .env("MRLR_THREADS", "1")
+            .output()
+            .expect("spawn mrlr")
+    };
+    let expect_rejected = |instance: &str, report: &str, needle: &str| {
+        let out = run(&["verify", instance, report]);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{report} must fail verification"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(needle),
+            "{report}: error not located ({needle}):\n{stderr}"
+        );
+    };
+    mrlr(
+        &dir,
+        "1",
+        &[
+            "solve",
+            "matching",
+            "--input",
+            "matching.inst",
+            "--format",
+            "json",
+            "--mask-timings",
+            "--out",
+            "m.json",
+        ],
+    );
+    let m = std::fs::read_to_string(dir.join("m.json")).unwrap();
+
+    // Tampered solution: drop the first matched edge (the unwind check
+    // catches the mismatch).
+    let edges_at = m.find("\"edges\": [").expect("edges array");
+    let first_entry_end = m[edges_at..].find(',').unwrap() + edges_at;
+    let entry_start = m[..first_entry_end].rfind('\n').unwrap();
+    let mut tampered = m.clone();
+    tampered.replace_range(entry_start..first_entry_end + 1, "");
+    std::fs::write(dir.join("m_solution.json"), tampered).unwrap();
+    expect_rejected("matching.inst", "m_solution.json", "solution.");
+
+    // Tampered transcript: double the first stack reduction.
+    std::fs::write(
+        dir.join("m_stack.json"),
+        double_first_pair_value(&m, "stack"),
+    )
+    .unwrap();
+    expect_rejected("matching.inst", "m_stack.json", "witness.stack");
+
+    mrlr(
+        &dir,
+        "1",
+        &[
+            "solve",
+            "set-cover-f",
+            "--input",
+            "set-cover-f.inst",
+            "--mu",
+            "0.5",
+            "--format",
+            "json",
+            "--mask-timings",
+            "--out",
+            "sc.json",
+        ],
+    );
+    let sc = std::fs::read_to_string(dir.join("sc.json")).unwrap();
+    // Tampered dual: double the first dual value (breaks the sum against
+    // the claimed lower bound, and possibly per-set feasibility).
+    std::fs::write(
+        dir.join("sc_dual.json"),
+        double_first_pair_value(&sc, "dual"),
+    )
+    .unwrap();
+    expect_rejected("set-cover-f.inst", "sc_dual.json", "witness.dual");
+
+    // Out-of-range ids in the stored solution must be a located error,
+    // not a panic (untrusted bytes reach the validators).
+    let sets_at = sc.find("\"sets\": [").expect("sets array");
+    let id_start = sc[sets_at..].find('\n').unwrap() + sets_at + 1;
+    let id_end = sc[id_start..].find([',', '\n']).unwrap() + id_start;
+    let indent: String = sc[id_start..id_end]
+        .chars()
+        .take_while(|c| c.is_whitespace())
+        .collect();
+    let mut tampered = sc.clone();
+    tampered.replace_range(id_start..id_end, &format!("{indent}999999"));
+    std::fs::write(dir.join("sc_oob.json"), tampered).unwrap();
+    expect_rejected("set-cover-f.inst", "sc_oob.json", "solution.cover");
+
+    // A summary report cannot be verified at all.
+    mrlr(
+        &dir,
+        "1",
+        &[
+            "solve",
+            "set-cover-f",
+            "--input",
+            "set-cover-f.inst",
+            "--mu",
+            "0.5",
+            "--format",
+            "json",
+            "--certificates",
+            "summary",
+            "--out",
+            "sc_summary.json",
+        ],
+    );
+    let out = run(&["verify", "set-cover-f.inst", "sc_summary.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no witness"),
+        "summary reports must name the missing witness"
+    );
 }
 
 #[test]

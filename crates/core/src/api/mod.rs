@@ -46,6 +46,7 @@
 mod drivers;
 mod problems;
 mod registry;
+pub mod witness;
 
 use std::fmt;
 use std::time::Duration;
@@ -65,8 +66,10 @@ pub use problems::{
     VertexCover, VertexWeightedGraph,
 };
 pub use registry::{
-    ErasedDriver, FromInstance, Instance, InstanceKind, IntoSolution, Registry, Solution,
+    AlgorithmInfo, ErasedDriver, FromInstance, Instance, InstanceKind, IntoSolution, Registry,
+    Solution, ALGORITHM_INFO,
 };
+pub use witness::{audit, audit_report, AuditError, Claims, Witness};
 
 /// Which implementation of an algorithm a [`Driver`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -96,11 +99,19 @@ impl fmt::Display for Backend {
     }
 }
 
-/// Uniform verification summary carried by every [`Report`].
+/// Uniform verification record carried by every [`Report`]: the scalar
+/// summary (feasibility, objective, certified ratio) **plus** the typed
+/// [`Witness`] that makes the record independently re-checkable — the LP
+/// dual behind a cover's lower bound, the local-ratio stack behind a
+/// matching's gain, the blockers behind a maximality claim, the
+/// colour-class recount behind a properness claim.
 ///
 /// Problem-specific certificates ([`CoverCertificate`],
 /// [`MatchingCertificate`], …) convert into this via `Into`, so registry
-/// consumers can print one table without knowing the problem family.
+/// consumers can print one table without knowing the problem family. A
+/// serialized certificate (see [`crate::io::certificate`]) can be audited
+/// offline by [`witness::audit`] / `mrlr verify` without re-running the
+/// solver.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Certificate {
     /// The solution passed its independent feasibility validator
@@ -114,6 +125,8 @@ pub struct Certificate {
     pub certified_ratio: Option<f64>,
     /// Human-readable summary of what was checked.
     pub detail: String,
+    /// The re-checkable payload backing the scalars above.
+    pub witness: Witness,
 }
 
 /// Uniform outcome of one [`Driver::solve`] call.
@@ -218,6 +231,7 @@ mod tests {
                 objective: 41.0,
                 certified_ratio: None,
                 detail: String::new(),
+                witness: Witness::Maximality { blockers: vec![] },
             },
             metrics: None,
             wall: Duration::from_millis(1),

@@ -1,9 +1,10 @@
 //! The eight problem families of the paper, as [`Problem`] implementations,
 //! plus the instance bundles and certificate types they share.
 
-use mrlr_graph::Graph;
-use mrlr_setsys::SetSystem;
+use mrlr_graph::{EdgeId, Graph, VertexId};
+use mrlr_setsys::{ElemId, SetSystem};
 
+use super::witness::{self, Witness};
 use super::{Certificate, Problem};
 use crate::seq::b_matching_multiplier;
 use crate::types::{ColouringResult, CoverResult, MatchingResult, SelectionResult};
@@ -59,7 +60,8 @@ impl BMatchingInstance {
 }
 
 /// Certificate of a cover-type solution: feasibility plus the dual lower
-/// bound the local-ratio/dual-fitting algorithms emit.
+/// bound the local-ratio/dual-fitting algorithms emit, with the
+/// per-element dual vector as the re-checkable witness.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoverCertificate {
     /// The chosen sets cover the universe.
@@ -68,6 +70,9 @@ pub struct CoverCertificate {
     pub weight: f64,
     /// Certified lower bound on the optimum (a feasible dual value).
     pub lower_bound: f64,
+    /// The per-element dual `(j, y_j)` behind `lower_bound` (see
+    /// [`CoverResult::dual`]).
+    pub dual: Vec<(ElemId, f64)>,
 }
 
 impl From<CoverCertificate> for Certificate {
@@ -87,6 +92,7 @@ impl From<CoverCertificate> for Certificate {
                 "cover weight {:.3}, dual lower bound {:.3}",
                 c.weight, c.lower_bound
             ),
+            witness: Witness::CoverDual { dual: c.dual },
         }
     }
 }
@@ -103,6 +109,9 @@ pub struct MatchingCertificate {
     pub stack_gain: f64,
     /// Problem multiplier (2 for matching, `3 − 2/b + 2ε` for b-matching).
     pub multiplier: f64,
+    /// The push-order stack transcript behind `stack_gain` (see
+    /// [`MatchingResult::stack`]).
+    pub stack: Vec<(EdgeId, f64)>,
 }
 
 impl From<MatchingCertificate> for Certificate {
@@ -122,6 +131,7 @@ impl From<MatchingCertificate> for Certificate {
                 "matching weight {:.3}, stack gain {:.3}, multiplier {:.2}",
                 c.weight, c.stack_gain, c.multiplier
             ),
+            witness: Witness::Stack { stack: c.stack },
         }
     }
 }
@@ -135,6 +145,10 @@ pub struct SelectionCertificate {
     pub feasible: bool,
     /// Number of chosen vertices.
     pub size: usize,
+    /// Per-non-member maximality witnesses: `(v, blocking member)` —
+    /// a chosen neighbour for MIS, a chosen non-neighbour for clique
+    /// (see [`witness::mis_blockers`] / [`witness::clique_blockers`]).
+    pub blockers: Vec<(VertexId, VertexId)>,
 }
 
 impl From<SelectionCertificate> for Certificate {
@@ -144,6 +158,9 @@ impl From<SelectionCertificate> for Certificate {
             objective: c.size as f64,
             certified_ratio: None,
             detail: format!("|S| = {} (maximality verified)", c.size),
+            witness: Witness::Maximality {
+                blockers: c.blockers,
+            },
         }
     }
 }
@@ -158,6 +175,8 @@ pub struct ColouringCertificate {
     pub num_colours: usize,
     /// Maximum degree of the instance (the `Δ` in `(1+o(1))Δ`).
     pub max_degree: usize,
+    /// Colour-class sizes (see [`witness::colour_counts`]).
+    pub colour_counts: Vec<usize>,
 }
 
 impl From<ColouringCertificate> for Certificate {
@@ -170,6 +189,10 @@ impl From<ColouringCertificate> for Certificate {
             // below Δ), so per the contract this stays `None`.
             certified_ratio: None,
             detail: format!("{} colours, Δ = {}", c.num_colours, c.max_degree),
+            witness: Witness::Properness {
+                max_degree: c.max_degree,
+                colour_counts: c.colour_counts,
+            },
         }
     }
 }
@@ -188,6 +211,7 @@ impl Problem for SetCover {
             feasible: verify::is_cover(sys, &sol.cover),
             weight: sol.weight,
             lower_bound: sol.lower_bound,
+            dual: sol.dual.clone(),
         }
     }
 }
@@ -206,6 +230,7 @@ impl Problem for VertexCover {
             feasible: verify::is_vertex_cover(&inst.graph, &sol.cover),
             weight: sol.weight,
             lower_bound: sol.lower_bound,
+            dual: sol.dual.clone(),
         }
     }
 }
@@ -225,6 +250,7 @@ impl Problem for Matching {
             weight: sol.weight,
             stack_gain: sol.stack_gain,
             multiplier: 2.0,
+            stack: sol.stack.clone(),
         }
     }
 }
@@ -244,6 +270,7 @@ impl Problem for BMatching {
             weight: sol.weight,
             stack_gain: sol.stack_gain,
             multiplier: inst.multiplier(),
+            stack: sol.stack.clone(),
         }
     }
 }
@@ -261,6 +288,7 @@ impl Problem for Mis {
         SelectionCertificate {
             feasible: verify::is_maximal_independent_set(g, &sol.vertices),
             size: sol.vertices.len(),
+            blockers: witness::mis_blockers(g, &sol.vertices),
         }
     }
 }
@@ -278,6 +306,7 @@ impl Problem for MaximalClique {
         SelectionCertificate {
             feasible: verify::is_maximal_clique(g, &sol.vertices),
             size: sol.vertices.len(),
+            blockers: witness::clique_blockers(g, &sol.vertices),
         }
     }
 }
@@ -296,6 +325,7 @@ impl Problem for VertexColouring {
             feasible: verify::is_proper_colouring(g, &sol.colours),
             num_colours: sol.num_colours,
             max_degree: g.max_degree(),
+            colour_counts: witness::colour_counts(&sol.colours, sol.num_colours),
         }
     }
 }
@@ -314,6 +344,7 @@ impl Problem for EdgeColouring {
             feasible: verify::is_proper_edge_colouring(g, &sol.colours),
             num_colours: sol.num_colours,
             max_degree: g.max_degree(),
+            colour_counts: witness::colour_counts(&sol.colours, sol.num_colours),
         }
     }
 }

@@ -1,5 +1,32 @@
 //! The string-keyed driver [`Registry`]: type-erased dispatch over every
-//! algorithm × backend combination.
+//! algorithm × backend combination, plus the paper-bounds table
+//! ([`ALGORITHM_INFO`]) mapping each key to its theorem.
+//!
+//! # Registry keys and their theorems
+//!
+//! Every key is backed by a theorem of the paper (PAPER.md; Harvey–Liaw–Liu,
+//! SPAA 2018). `c` is the density exponent (`m = n^{1+c}` input records),
+//! `µ` the memory exponent (`n^{1+µ}` words per machine), `ε` the greedy /
+//! reduction slack:
+//!
+//! | key | theorem | rounds | space/machine | certified ratio | witness |
+//! |-----|---------|--------|---------------|-----------------|---------|
+//! | `set-cover-f` | Theorem 2.4 | `O((c/µ)²)` | `O(f·n^{1+µ})` | `f` | dual |
+//! | `set-cover-greedy` | Theorem 4.6 | `O((c/µ)·(1/µ)·log(Δ)/ε)` | `O(n^{1+µ})` | `(1+ε)·H_Δ` | dual |
+//! | `vertex-cover` | Theorem 2.4 (f = 2) | `O(c/µ)` | `O(n^{1+µ})` | `2` | dual |
+//! | `matching` | Theorems 5.5/5.6, App. C | `O(c/µ)`; `O(log n)` at `µ = 0` | `O(n^{1+µ})` | `2` | stack |
+//! | `b-matching` | Theorem D.3 | `O(c/µ · log(1/ε))` | `O(n^{1+µ})` | `3 − 2/max{2,b} + 2ε` | stack |
+//! | `mis1` | Theorem 3.3 | `O(1/µ²)` | `O(n^{1+µ})` | maximal | maximality |
+//! | `mis2` | Theorem A.3 | `O(c/µ)` | `O(n^{1+µ})` | maximal | maximality |
+//! | `clique` | Corollary B.1 | `O(c/µ)` | `O(n^{1+µ})` | maximal | maximality |
+//! | `vertex-colouring` | Theorem 6.4 | `O(1)` | `O(n^{1+µ})` | `(1+o(1))Δ` colours | properness |
+//! | `edge-colouring` | Theorem 6.6 | `O(1)` | `O(n^{1+µ})` | `(1+o(1))Δ` colours | properness |
+//!
+//! The same table is available programmatically as [`ALGORITHM_INFO`] /
+//! [`Registry::info`] and is served by `mrlr list --format json`. The
+//! *witness* column names the [`Witness`](super::Witness) kind each
+//! driver's [`Certificate`](super::Certificate) carries, re-checkable
+//! offline via [`super::witness::audit`] / `mrlr verify`.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -92,6 +119,115 @@ impl Instance {
         }
     }
 }
+
+/// Paper-derived metadata of one registry key: theorem number, round and
+/// space bounds, certified approximation ratio and witness kind. The
+/// bounds are the *symbolic* statements of the theorems (they depend on
+/// the regime `(c, µ, ε)`), kept as display strings for dashboards and
+/// `mrlr list --format json`; the module-level docs of
+/// `crates/core/src/api/registry.rs` carry the full key → theorem table
+/// with context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlgorithmInfo {
+    /// Registry key.
+    pub key: &'static str,
+    /// Theorem (or appendix result) of the paper backing the bounds.
+    pub theorem: &'static str,
+    /// Communication-round bound.
+    pub rounds: &'static str,
+    /// Per-machine space bound in words.
+    pub space: &'static str,
+    /// Certified approximation guarantee.
+    pub ratio: &'static str,
+    /// Witness kind the driver's certificate carries
+    /// (`cover-dual` / `stack` / `maximality` / `properness`).
+    pub witness: &'static str,
+}
+
+/// One [`AlgorithmInfo`] row per registry key, sorted by key (the order
+/// [`Registry::algorithms`] returns).
+pub const ALGORITHM_INFO: &[AlgorithmInfo] = &[
+    AlgorithmInfo {
+        key: "b-matching",
+        theorem: "Theorem D.3",
+        rounds: "O(c/µ · log(1/ε))",
+        space: "O(n^{1+µ})",
+        ratio: "3 − 2/max{2,b} + 2ε",
+        witness: "stack",
+    },
+    AlgorithmInfo {
+        key: "clique",
+        theorem: "Corollary B.1",
+        rounds: "O(c/µ)",
+        space: "O(n^{1+µ})",
+        ratio: "maximal",
+        witness: "maximality",
+    },
+    AlgorithmInfo {
+        key: "edge-colouring",
+        theorem: "Theorem 6.6",
+        rounds: "O(1)",
+        space: "O(n^{1+µ})",
+        ratio: "(1+o(1))Δ colours",
+        witness: "properness",
+    },
+    AlgorithmInfo {
+        key: "matching",
+        theorem: "Theorems 5.5/5.6, Appendix C",
+        rounds: "O(c/µ); O(log n) at µ = 0",
+        space: "O(n^{1+µ})",
+        ratio: "2",
+        witness: "stack",
+    },
+    AlgorithmInfo {
+        key: "mis1",
+        theorem: "Theorem 3.3",
+        rounds: "O(1/µ²)",
+        space: "O(n^{1+µ})",
+        ratio: "maximal",
+        witness: "maximality",
+    },
+    AlgorithmInfo {
+        key: "mis2",
+        theorem: "Theorem A.3",
+        rounds: "O(c/µ)",
+        space: "O(n^{1+µ})",
+        ratio: "maximal",
+        witness: "maximality",
+    },
+    AlgorithmInfo {
+        key: "set-cover-f",
+        theorem: "Theorem 2.4",
+        rounds: "O((c/µ)²)",
+        space: "O(f·n^{1+µ})",
+        ratio: "f",
+        witness: "cover-dual",
+    },
+    AlgorithmInfo {
+        key: "set-cover-greedy",
+        theorem: "Theorem 4.6",
+        rounds: "O((c/µ)·(1/µ)·log(Δ)/ε)",
+        space: "O(n^{1+µ})",
+        ratio: "(1+ε)·H_Δ",
+        witness: "cover-dual",
+    },
+    AlgorithmInfo {
+        key: "vertex-colouring",
+        theorem: "Theorem 6.4",
+        rounds: "O(1)",
+        space: "O(n^{1+µ})",
+        ratio: "(1+o(1))Δ colours",
+        witness: "properness",
+    },
+    AlgorithmInfo {
+        key: "vertex-cover",
+        theorem: "Theorem 2.4 (f = 2)",
+        rounds: "O(c/µ)",
+        space: "O(n^{1+µ})",
+        ratio: "2",
+        witness: "cover-dual",
+    },
+];
 
 /// A type-erased solution returned by [`Registry`] dispatch.
 #[derive(Debug, Clone, PartialEq)]
@@ -412,6 +548,12 @@ impl Registry {
         driver.solve(instance, cfg)
     }
 
+    /// The paper-bounds row of `algorithm` (theorem, round/space bounds,
+    /// ratio, witness kind), if the key is one of the ten paper keys.
+    pub fn info(&self, algorithm: &str) -> Option<&'static AlgorithmInfo> {
+        ALGORITHM_INFO.iter().find(|i| i.key == algorithm)
+    }
+
     /// Distinct algorithm keys, sorted.
     pub fn algorithms(&self) -> Vec<&'static str> {
         let mut names: Vec<&'static str> = self.entries.keys().map(|(n, _)| *n).collect();
@@ -483,6 +625,21 @@ mod tests {
             assert_eq!(r.backends(name), Backend::ALL.to_vec(), "{name}");
             assert!(r.get(name).is_some(), "{name} has no Mr driver");
         }
+    }
+
+    #[test]
+    fn info_table_covers_exactly_the_registry_keys() {
+        let r = Registry::with_defaults();
+        let keys = r.algorithms();
+        let info_keys: Vec<&str> = ALGORITHM_INFO.iter().map(|i| i.key).collect();
+        assert_eq!(keys, info_keys, "ALGORITHM_INFO must mirror the registry");
+        for key in keys {
+            let info = r.info(key).unwrap();
+            assert!(info.theorem.contains("eorem") || info.theorem.contains("orollary"));
+            assert!(info.rounds.starts_with('O'), "{key}");
+            assert!(!info.ratio.is_empty() && !info.witness.is_empty());
+        }
+        assert!(r.info("max-cut").is_none());
     }
 
     #[test]

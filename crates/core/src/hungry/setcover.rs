@@ -19,7 +19,7 @@ use mrlr_mapreduce::{MrError, MrResult};
 use mrlr_setsys::{SetId, SetSystem};
 
 use crate::hungry::mis::group_choice;
-use crate::seq::greedy_sc::harmonic;
+use crate::seq::greedy_sc::{fitted_dual, harmonic};
 use crate::types::CoverResult;
 
 /// Tag mixed into Algorithm 3's sampling RNG (shared with the MR driver).
@@ -91,19 +91,22 @@ pub fn hungry_set_cover(
     let mut chosen_flag = vec![false; n];
     let mut solution: Vec<SetId> = Vec::new();
     let mut price_sum = 0.0f64;
+    let mut prices: Vec<(mrlr_setsys::ElemId, f64)> = Vec::new();
     let mut trace = HungryScTrace::default();
 
     let ratio = |ell: usize, uncov: &[usize]| uncov[ell] as f64 / sys.weight(ell as SetId);
     let mut level = (0..n).map(|l| ratio(l, &uncov)).fold(0.0f64, f64::max);
     let mut k = 0usize;
 
+    #[allow(clippy::too_many_arguments)]
     let add_set = |ell: usize,
                    covered: &mut Vec<bool>,
                    covered_count: &mut usize,
                    uncov: &mut Vec<usize>,
                    chosen_flag: &mut Vec<bool>,
                    solution: &mut Vec<SetId>,
-                   price_sum: &mut f64| {
+                   price_sum: &mut f64,
+                   prices: &mut Vec<(mrlr_setsys::ElemId, f64)>| {
         debug_assert!(!chosen_flag[ell] && uncov[ell] > 0);
         let price = sys.weight(ell as SetId) / uncov[ell] as f64;
         chosen_flag[ell] = true;
@@ -113,6 +116,7 @@ pub fn hungry_set_cover(
                 covered[j as usize] = true;
                 *covered_count += 1;
                 *price_sum += price;
+                prices.push((j, price));
                 for &owner in &dual_view[j as usize] {
                     uncov[owner as usize] -= 1;
                 }
@@ -219,6 +223,7 @@ pub fn hungry_set_cover(
                         &mut chosen_flag,
                         &mut solution,
                         &mut price_sum,
+                        &mut prices,
                     );
                 }
             }
@@ -236,6 +241,7 @@ pub fn hungry_set_cover(
         cover: solution,
         weight,
         lower_bound: price_sum / ((1.0 + params.eps) * h),
+        dual: fitted_dual(&prices, params.eps, h),
         iterations: k,
     };
     Ok((result, trace))

@@ -1,4 +1,4 @@
-//! A tiny, dependency-free JSON writer.
+//! A tiny, dependency-free JSON writer **and reader**.
 //!
 //! The build environment has no crates.io access, so instead of serde this
 //! module provides a minimal [`Json`] value tree plus a deterministic
@@ -7,8 +7,16 @@
 //! exactly), and non-finite floats degrade to `null` — so two runs that
 //! produce bit-identical reports produce byte-identical JSON, which is what
 //! the CLI smoke tests diff against golden files.
+//!
+//! The reader side ([`JsonValue`], [`parse_json`]) exists so `mrlr verify`
+//! can re-load stored reports: numbers are kept as their **raw source
+//! token** and parsed to `u64`/`f64` on demand, which preserves the
+//! writer's exact-round-trip property — `parse(render(x))` recovers `x`
+//! bit-for-bit ([`crate::io::certificate`] relies on this for witnesses).
 
 use std::fmt::Write as _;
+
+use super::IoError;
 
 /// A JSON value. Construct with the variant constructors and render with
 /// [`Json::render`].
@@ -139,6 +147,292 @@ impl Json {
     }
 }
 
+/// A parsed JSON value ([`parse_json`]). Unlike the writer-side [`Json`],
+/// keys are owned strings and numbers keep their raw source token so the
+/// consumer chooses `u64` or `f64` without precision loss.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw source token (e.g. `"1.25"`, `"-3e5"`).
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; keys keep source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member `key` of an object, if present.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is an unsigned integer token.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (exact for tokens the writer printed via `{:?}`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> IoError {
+        IoError {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), IoError> {
+        match self.peek() {
+            Some(found) if found == b => {
+                self.bump();
+                Ok(())
+            }
+            found => Err(self.err(format!(
+                "expected '{}', found {}",
+                b as char,
+                found.map_or("end of input".into(), |f| format!("'{}'", f as char))
+            ))),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, IoError> {
+        for &b in word.as_bytes() {
+            if self.peek() != Some(b) {
+                return Err(self.err(format!("invalid literal (expected `{word}`)")));
+            }
+            self.bump();
+        }
+        Ok(value)
+    }
+
+    fn string(&mut self) -> Result<String, IoError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump().ok_or_else(|| self.err("unterminated string"))? {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.bump().ok_or_else(|| self.err("unterminated escape"))?;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let h = self
+                                    .bump()
+                                    .ok_or_else(|| self.err("unterminated \\u escape"))?;
+                                let digit = (h as char)
+                                    .to_digit(16)
+                                    .ok_or_else(|| self.err("bad hex digit in \\u escape"))?;
+                                code = code * 16 + digit;
+                            }
+                            // Surrogates are not produced by the writer;
+                            // map unpaired ones to U+FFFD rather than fail.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(self.err(format!("unknown escape '\\{}'", other as char)));
+                        }
+                    }
+                }
+                // Multi-byte UTF-8: pass the raw bytes through (the input
+                // is a &str, so sequences are valid).
+                b if b < 0x80 => out.push(b as char),
+                b => {
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    for _ in 1..len {
+                        self.bump();
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, IoError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.bump();
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if raw.parse::<f64>().is_err() {
+            return Err(self.err(format!("invalid number `{raw}`")));
+        }
+        Ok(JsonValue::Num(raw.to_string()))
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, IoError> {
+        if depth > 128 {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.keyword("null", JsonValue::Null),
+            Some(b't') => self.keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.keyword("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b'[') => {
+                self.bump();
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.bump();
+                    return Ok(JsonValue::Arr(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(JsonValue::Arr(items)),
+                        _ => return Err(self.err("expected ',' or ']' in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.bump();
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.bump();
+                    return Ok(JsonValue::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.value(depth + 1)?;
+                    fields.push((key, value));
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b'}') => return Ok(JsonValue::Obj(fields)),
+                        _ => return Err(self.err("expected ',' or '}' in object")),
+                    }
+                }
+            }
+            Some(other) => Err(self.err(format!("unexpected character '{}'", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+}
+
+/// Parses a JSON document into a [`JsonValue`], reporting the 1-based
+/// line/column of the first syntax error.
+pub fn parse_json(text: &str) -> Result<JsonValue, IoError> {
+    let mut p = Parser::new(text);
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.peek().is_some() {
+        return Err(p.err("trailing content after the JSON document"));
+    }
+    Ok(v)
+}
+
 fn pad(out: &mut String, indent: usize) {
     for _ in 0..indent {
         out.push_str("  ");
@@ -207,5 +501,41 @@ mod tests {
             let printed = Json::F64(x).render_compact();
             assert_eq!(printed.parse::<f64>().unwrap().to_bits(), x.to_bits());
         }
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let v = Json::Obj(vec![
+            ("name", Json::str("x \"quoted\"\n")),
+            ("xs", Json::Arr(vec![Json::U64(1), Json::F64(0.1)])),
+            ("flag", Json::Bool(true)),
+            ("nothing", Json::Null),
+            ("nested", Json::Obj(vec![("k", Json::F64(1.0 / 3.0))])),
+        ]);
+        for text in [v.render(), v.render_compact()] {
+            let parsed = parse_json(&text).unwrap();
+            assert_eq!(
+                parsed.get("name").unwrap().as_str().unwrap(),
+                "x \"quoted\"\n"
+            );
+            let xs = parsed.get("xs").unwrap().as_arr().unwrap();
+            assert_eq!(xs[0].as_u64(), Some(1));
+            assert_eq!(xs[1].as_f64().unwrap().to_bits(), 0.1f64.to_bits());
+            assert_eq!(parsed.get("flag").unwrap().as_bool(), Some(true));
+            assert_eq!(parsed.get("nothing"), Some(&JsonValue::Null));
+            let k = parsed.get("nested").unwrap().get("k").unwrap();
+            assert_eq!(k.as_f64().unwrap().to_bits(), (1.0f64 / 3.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn parser_reports_positions() {
+        let err = parse_json("{\n  \"a\": [1, }\n}").unwrap_err();
+        assert_eq!(err.line, 2, "{err}");
+        assert!(err.col > 0);
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json("{\"a\" 1}").is_err());
+        assert!(parse_json("[1e]").is_err());
     }
 }

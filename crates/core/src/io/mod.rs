@@ -12,19 +12,25 @@
 //! * [`report`] — deterministic JSON/CSV/text serialization of reports,
 //!   with [`report::TimingMode`] masking host wall-clock so outputs can be
 //!   diffed against golden files across thread counts.
-//! * [`json`] — the tiny no-deps JSON writer the above build on.
+//! * [`certificate`] — bit-exact witness serialization and report
+//!   re-parsing ([`certificate::StoredReport`]): what turns a stored run
+//!   into an offline-auditable artifact (`mrlr verify`).
+//! * [`json`] — the tiny no-deps JSON writer **and reader** the above
+//!   build on.
 
+pub mod certificate;
 pub mod instance;
 pub mod json;
 pub mod manifest;
 pub mod report;
 
+pub use certificate::{parse_report, parse_witness, witness_json, CertificateMode, StoredReport};
 pub use instance::{parse_instance, render_instance};
-pub use json::Json;
+pub use json::{parse_json, Json, JsonValue};
 pub use manifest::{parse_manifest, JobSpec, Manifest};
 pub use report::{
-    metrics_json, report_csv_row, report_json, report_text, solution_json, TimingMode,
-    REPORT_CSV_HEADER,
+    metrics_json, report_csv_row, report_json, report_json_with, report_text, solution_json,
+    TimingMode, REPORT_CSV_HEADER,
 };
 
 /// A parse failure with its 1-based line and column position (`0` for

@@ -12,6 +12,7 @@
 
 use mrlr_mapreduce::{Metrics, SuperstepTiming};
 
+use super::certificate::{witness_json, CertificateMode};
 use super::json::Json;
 use crate::api::{Report, Solution};
 
@@ -157,24 +158,40 @@ pub fn metrics_json(m: &Metrics, timing: TimingMode) -> Json {
     ])
 }
 
-/// One solved [`Report`] as a JSON object.
+/// One solved [`Report`] as a JSON object with a full (re-verifiable)
+/// certificate — shorthand for [`report_json_with`] at
+/// [`CertificateMode::Full`].
 pub fn report_json(report: &Report<Solution>, timing: TimingMode) -> Json {
+    report_json_with(report, timing, CertificateMode::Full)
+}
+
+/// One solved [`Report`] as a JSON object. With
+/// [`CertificateMode::Full`] the certificate embeds its
+/// [`Witness`](crate::api::Witness), making the document independently
+/// re-verifiable by `mrlr verify` ([`crate::api::witness::audit`]); with
+/// [`CertificateMode::Summary`] only the scalar summary is written.
+pub fn report_json_with(
+    report: &Report<Solution>,
+    timing: TimingMode,
+    certificates: CertificateMode,
+) -> Json {
+    let mut cert_fields = vec![
+        ("feasible", Json::Bool(report.certificate.feasible)),
+        ("objective", Json::F64(report.certificate.objective)),
+        (
+            "certified_ratio",
+            Json::opt_f64(report.certificate.certified_ratio),
+        ),
+        ("detail", Json::str(&*report.certificate.detail)),
+    ];
+    if certificates == CertificateMode::Full {
+        cert_fields.push(("witness", witness_json(&report.certificate.witness)));
+    }
     Json::Obj(vec![
         ("algorithm", Json::str(report.algorithm)),
         ("backend", Json::str(report.backend.to_string())),
         ("solution", solution_json(&report.solution)),
-        (
-            "certificate",
-            Json::Obj(vec![
-                ("feasible", Json::Bool(report.certificate.feasible)),
-                ("objective", Json::F64(report.certificate.objective)),
-                (
-                    "certified_ratio",
-                    Json::opt_f64(report.certificate.certified_ratio),
-                ),
-                ("detail", Json::str(&*report.certificate.detail)),
-            ]),
-        ),
+        ("certificate", Json::Obj(cert_fields)),
         (
             "metrics",
             report

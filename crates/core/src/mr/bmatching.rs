@@ -73,7 +73,9 @@ impl WordSized for BMatchState {
 /// [`crate::rlr::bmatching::approx_b_matching`] with the same parameters.
 ///
 /// Deprecated entry point: dispatch `Registry::solve("b-matching", …)`
-/// from [`crate::api`] instead — same run, plus a verified [`Report`].
+/// from [`crate::api`] instead — same run, plus a verified, witness-bearing [`Report`]
+/// whose [`Certificate`](crate::api::Certificate) can be re-checked
+/// offline (`mrlr verify`, [`crate::api::witness::audit`]).
 ///
 /// [`Report`]: crate::api::Report
 ///
@@ -307,6 +309,7 @@ pub(crate) fn run(
         matching,
         weight,
         stack_gain: lr.gain(),
+        stack: lr.stack().to_vec(),
         iterations: iteration,
     };
     let (_, metrics) = cluster.into_parts();

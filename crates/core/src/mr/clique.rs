@@ -82,7 +82,9 @@ type SampleMsg = (u64, u64, VertexId, Vec<VertexId>); // (class, group, v, compl
 /// [`crate::hungry::clique::maximal_clique`] with the same parameters.
 ///
 /// Deprecated entry point: dispatch `Registry::solve("clique", …)` from
-/// [`crate::api`] instead — same run, plus a verified [`Report`].
+/// [`crate::api`] instead — same run, plus a verified, witness-bearing [`Report`]
+/// whose [`Certificate`](crate::api::Certificate) can be re-checked
+/// offline (`mrlr verify`, [`crate::api::witness::audit`]).
 ///
 /// [`Report`]: crate::api::Report
 ///

@@ -59,8 +59,9 @@ fn build_chunks(g: &Graph, cfg: &MrConfig) -> Vec<ColourChunk> {
 /// [`crate::colouring::vertex_colouring`] with the same `(kappa, seed)`.
 ///
 /// Deprecated entry point: dispatch `Registry::solve("vertex-colouring",
-/// …)` from [`crate::api`] instead — same run, plus a verified
-/// [`Report`].
+/// …)` from [`crate::api`] instead — same run, plus a verified, witness-bearing [`Report`]
+/// whose [`Certificate`](crate::api::Certificate) can be re-checked
+/// offline (`mrlr verify`, [`crate::api::witness::audit`]).
 ///
 /// [`Report`]: crate::api::Report
 ///
@@ -229,8 +230,9 @@ pub(crate) fn run_vertex(
 /// [`crate::colouring::edge_colouring`] with the same `(kappa, seed)`.
 ///
 /// Deprecated entry point: dispatch `Registry::solve("edge-colouring",
-/// …)` from [`crate::api`] instead — same run, plus a verified
-/// [`Report`].
+/// …)` from [`crate::api`] instead — same run, plus a verified, witness-bearing [`Report`]
+/// whose [`Certificate`](crate::api::Certificate) can be re-checked
+/// offline (`mrlr verify`, [`crate::api::witness::audit`]).
 ///
 /// [`Report`]: crate::api::Report
 ///

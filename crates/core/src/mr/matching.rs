@@ -75,7 +75,9 @@ impl WordSized for MatchState {
 /// [`crate::rlr::matching::approx_max_matching`] with `(cfg.eta, cfg.seed)`.
 ///
 /// Deprecated entry point: dispatch `Registry::solve("matching", …)` from
-/// [`crate::api`] instead — same run, plus a verified [`Report`].
+/// [`crate::api`] instead — same run, plus a verified, witness-bearing [`Report`]
+/// whose [`Certificate`](crate::api::Certificate) can be re-checked
+/// offline (`mrlr verify`, [`crate::api::witness::audit`]).
 ///
 /// [`Report`]: crate::api::Report
 ///

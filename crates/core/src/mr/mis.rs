@@ -208,7 +208,9 @@ fn central_finish(cluster: &mut Cluster<MisChunk>, n: usize) -> MrResult<Vec<Ver
 /// [`crate::hungry::mis::mis_fast`] with the same parameters.
 ///
 /// Deprecated entry point: dispatch `Registry::solve("mis2", …)` from
-/// [`crate::api`] instead — same run, plus a verified [`Report`].
+/// [`crate::api`] instead — same run, plus a verified, witness-bearing [`Report`]
+/// whose [`Certificate`](crate::api::Certificate) can be re-checked
+/// offline (`mrlr verify`, [`crate::api::witness::audit`]).
 ///
 /// [`Report`]: crate::api::Report
 ///
@@ -360,7 +362,9 @@ pub(crate) fn run_fast(
 /// [`crate::hungry::mis::mis_simple`] with the same parameters.
 ///
 /// Deprecated entry point: dispatch `Registry::solve("mis1", …)` from
-/// [`crate::api`] instead — same run, plus a verified [`Report`].
+/// [`crate::api`] instead — same run, plus a verified, witness-bearing [`Report`]
+/// whose [`Certificate`](crate::api::Certificate) can be re-checked
+/// offline (`mrlr verify`, [`crate::api::witness::audit`]).
 ///
 /// [`Report`]: crate::api::Report
 ///

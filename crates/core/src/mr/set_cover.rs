@@ -55,7 +55,9 @@ impl WordSized for ElemChunk {
 /// [`crate::rlr::setcover::approx_set_cover_f`] with `(cfg.eta, cfg.seed)`.
 ///
 /// Deprecated entry point: dispatch `Registry::solve("set-cover-f", …)`
-/// from [`crate::api`] instead — same run, plus a verified [`Report`].
+/// from [`crate::api`] instead — same run, plus a verified, witness-bearing [`Report`]
+/// whose [`Certificate`](crate::api::Certificate) can be re-checked
+/// offline (`mrlr verify`, [`crate::api::witness::audit`]).
 ///
 /// [`Report`]: crate::api::Report
 ///
@@ -157,9 +159,9 @@ pub(crate) fn run(sys: &SetSystem, cfg: MrConfig) -> MrResult<(CoverResult, Metr
         // element order (matching the sequential driver).
         sample.sort_unstable_by_key(|(j, _)| *j);
         let mut newly_zero: Vec<SetId> = Vec::new();
-        for (_, tj) in &sample {
+        for (j, tj) in &sample {
             let zero_before: Vec<bool> = tj.iter().map(|&i| lr.in_cover(i)).collect();
-            if lr.process(tj).is_some() {
+            if lr.process(*j, tj).is_some() {
                 for (&i, was_zero) in tj.iter().zip(zero_before) {
                     if !was_zero && lr.in_cover(i) {
                         newly_zero.push(i);
@@ -196,6 +198,7 @@ pub(crate) fn run(sys: &SetSystem, cfg: MrConfig) -> MrResult<(CoverResult, Metr
         weight: sys.cover_weight(&cover),
         cover,
         lower_bound: lr.dual(),
+        dual: lr.dual_vector(),
         iterations: round,
     };
     let (_, metrics) = cluster.into_parts();

@@ -19,7 +19,7 @@ use mrlr_setsys::{ElemId, SetId, SetSystem};
 use crate::hungry::mis::{degree_class, group_choice};
 use crate::hungry::setcover::{HungryScParams, HungryScTrace, HSC_RNG_TAG};
 use crate::mr::{dist_cache, MrConfig};
-use crate::seq::greedy_sc::harmonic;
+use crate::seq::greedy_sc::{fitted_dual, harmonic};
 use crate::types::CoverResult;
 
 #[derive(Clone)]
@@ -79,8 +79,9 @@ type SampleMsg = (u64, u64, SetId, f64, Vec<ElemId>);
 /// [`crate::hungry::setcover::hungry_set_cover`] with the same parameters.
 ///
 /// Deprecated entry point: dispatch `Registry::solve("set-cover-greedy",
-/// …)` from [`crate::api`] instead — same run, plus a verified
-/// [`Report`].
+/// …)` from [`crate::api`] instead — same run, plus a verified, witness-bearing [`Report`]
+/// whose [`Certificate`](crate::api::Certificate) can be re-checked
+/// offline (`mrlr verify`, [`crate::api::witness::audit`]).
 ///
 /// [`Report`]: crate::api::Report
 ///
@@ -173,6 +174,7 @@ pub(crate) fn run(
     let mut covered_count = 0usize;
     let mut solution: Vec<SetId> = Vec::new();
     let mut price_sum = 0.0f64;
+    let mut prices: Vec<(ElemId, f64)> = Vec::new();
     let mut trace = HungryScTrace::default();
     cluster.charge_central(2 + m / 32)?;
 
@@ -327,6 +329,7 @@ pub(crate) fn run(
                             covered_count += 1;
                             covered_delta.push(j);
                             price_sum += price;
+                            prices.push((j, price));
                         }
                     }
                 }
@@ -351,6 +354,7 @@ pub(crate) fn run(
         cover: solution,
         weight,
         lower_bound: price_sum / ((1.0 + params.eps) * h),
+        dual: fitted_dual(&prices, params.eps, h),
         iterations: k,
     };
     let (_, metrics) = cluster.into_parts();

@@ -65,7 +65,9 @@ impl WordSized for VcState {
 /// [`mrlr_setsys::SetSystem::vertex_cover_of`]`(g, weights)`.
 ///
 /// Deprecated entry point: dispatch `Registry::solve("vertex-cover", …)`
-/// from [`crate::api`] instead — same run, plus a verified [`Report`].
+/// from [`crate::api`] instead — same run, plus a verified, witness-bearing [`Report`]
+/// whose [`Certificate`](crate::api::Certificate) can be re-checked
+/// offline (`mrlr verify`, [`crate::api::witness::audit`]).
 ///
 /// [`Report`]: crate::api::Report
 ///
@@ -113,6 +115,7 @@ pub(crate) fn run(g: &Graph, weights: &[f64], cfg: MrConfig) -> MrResult<(CoverR
                 cover: vec![],
                 weight: 0.0,
                 lower_bound: 0.0,
+                dual: vec![],
                 iterations: 0,
             },
             Metrics::new(cfg.machines, cfg.capacity),
@@ -186,10 +189,11 @@ pub(crate) fn run(g: &Graph, weights: &[f64], cfg: MrConfig) -> MrResult<(CoverR
         }
         sample.sort_unstable_by_key(|(j, _, _)| *j);
         let mut newly_zero: Vec<VertexId> = Vec::new();
-        for &(_, u, v) in &sample {
+        for &(j, u, v) in &sample {
             let tj = [u, v];
             let zero_before = [lr.in_cover(u), lr.in_cover(v)];
-            if lr.process(&tj).is_some() {
+            // Elements of the vertex-cover system are edge ids.
+            if lr.process(j, &tj).is_some() {
                 for (&i, was) in tj.iter().zip(zero_before) {
                     if !was && lr.in_cover(i) {
                         newly_zero.push(i);
@@ -254,6 +258,7 @@ pub(crate) fn run(g: &Graph, weights: &[f64], cfg: MrConfig) -> MrResult<(CoverR
         weight: cover.iter().map(|&v| weights[v as usize]).sum(),
         cover,
         lower_bound: lr.dual(),
+        dual: lr.dual_vector(),
         iterations: round,
     };
     let (_, metrics) = cluster.into_parts();

@@ -157,6 +157,7 @@ pub fn approx_b_matching(
         matching,
         weight,
         stack_gain: lr.gain(),
+        stack: lr.stack().to_vec(),
         iterations: iteration,
     })
 }

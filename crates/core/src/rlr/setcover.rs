@@ -74,7 +74,7 @@ pub fn approx_set_cover_f(sys: &SetSystem, eta: usize, seed: u64) -> MrResult<Co
         }
         // Central: local ratio on the sample (natural order).
         for &j in &sample {
-            lr.process(&dual_view[j as usize]);
+            lr.process(j, &dual_view[j as usize]);
         }
         // U_{r+1} = U_r \ S(C): drop every element some zero-weight set
         // covers.
@@ -100,6 +100,7 @@ pub fn approx_set_cover_f(sys: &SetSystem, eta: usize, seed: u64) -> MrResult<Co
         weight: sys.cover_weight(&cover),
         cover,
         lower_bound: lr.dual(),
+        dual: lr.dual_vector(),
         iterations: round,
     })
 }

@@ -7,13 +7,25 @@
 //! feasible dual, so their sum lower-bounds OPT.
 
 use mrlr_mapreduce::DetRng;
-use mrlr_setsys::{SetId, SetSystem};
+use mrlr_setsys::{ElemId, SetId, SetSystem};
 
 use crate::types::CoverResult;
 
 /// The harmonic number `H_k = Σ_{i=1..k} 1/i`.
 pub fn harmonic(k: usize) -> f64 {
     (1..=k).map(|i| 1.0 / i as f64).sum()
+}
+
+/// Scales raw greedy prices `(j, price_j)` into the fitted dual
+/// `(j, price_j / ((1+ε) h))`, sorted by element id — the re-checkable
+/// witness all three greedy set-cover implementations emit (`h = H_Δ`).
+/// Dual fitting (Lemma 4.2 / Chvátal's analysis) guarantees the fitted
+/// vector is feasible, so its sum lower-bounds OPT.
+pub fn fitted_dual(prices: &[(ElemId, f64)], eps: f64, h: f64) -> Vec<(ElemId, f64)> {
+    let norm = (1.0 + eps) * h;
+    let mut v: Vec<(ElemId, f64)> = prices.iter().map(|&(j, p)| (j, p / norm)).collect();
+    v.sort_unstable_by_key(|&(j, _)| j);
+    v
 }
 
 fn uncovered_count(set: &[u32], covered: &[bool]) -> usize {
@@ -41,6 +53,7 @@ pub fn eps_greedy_set_cover(sys: &SetSystem, eps: f64, seed: u64) -> Result<Cove
     let mut chosen: Vec<SetId> = Vec::new();
     let mut picked = vec![false; n];
     let mut price_sum = 0.0f64;
+    let mut prices: Vec<(ElemId, f64)> = Vec::new();
     let mut rng = DetRng::derive(seed, &[0x6567_7363]);
     let mut iterations = 0usize;
 
@@ -86,6 +99,7 @@ pub fn eps_greedy_set_cover(sys: &SetSystem, eps: f64, seed: u64) -> Result<Cove
                 covered[j as usize] = true;
                 covered_count += 1;
                 price_sum += price;
+                prices.push((j, price));
             }
         }
         picked[pick] = true;
@@ -99,6 +113,7 @@ pub fn eps_greedy_set_cover(sys: &SetSystem, eps: f64, seed: u64) -> Result<Cove
         cover: chosen,
         weight,
         lower_bound: price_sum / ((1.0 + eps) * h),
+        dual: fitted_dual(&prices, eps, h),
         iterations,
     })
 }

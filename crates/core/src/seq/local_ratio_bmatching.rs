@@ -77,6 +77,12 @@ impl BMatchingLocalRatio {
         self.stack.len()
     }
 
+    /// The stack transcript `(e, m_e)` in push order — the re-checkable
+    /// witness (see [`crate::api::witness::replay_b_matching_stack`]).
+    pub fn stack(&self) -> &[(EdgeId, f64)] {
+        &self.stack
+    }
+
     /// The potential vector.
     pub fn phis(&self) -> &[f64] {
         &self.phi
@@ -128,6 +134,7 @@ pub fn local_ratio_b_matching_with_order(
         matching,
         weight,
         stack_gain: lr.gain(),
+        stack: lr.stack,
         iterations: 1,
     }
 }

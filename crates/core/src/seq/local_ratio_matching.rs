@@ -79,6 +79,13 @@ impl MatchingLocalRatio {
         self.stack.len()
     }
 
+    /// The stack transcript `(e, m_e)` in push order — the re-checkable
+    /// witness: replaying it reproduces `ϕ`, the unwound matching and the
+    /// gain (see [`crate::api::witness::replay_matching_stack`]).
+    pub fn stack(&self) -> &[(EdgeId, f64)] {
+        &self.stack
+    }
+
     /// Total gain `Σ m_e` (the certificate: `OPT ≤ 2 ×` this).
     pub fn gain(&self) -> f64 {
         self.gain
@@ -133,6 +140,7 @@ pub(crate) fn finish(g: &Graph, lr: MatchingLocalRatio, iterations: usize) -> Ma
         matching,
         weight,
         stack_gain: lr.gain(),
+        stack: lr.stack,
         iterations,
     }
 }

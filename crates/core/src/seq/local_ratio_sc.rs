@@ -16,6 +16,7 @@ use crate::types::{CoverResult, POS_TOL};
 pub struct ScLocalRatio {
     residual: Vec<f64>,
     dual: f64,
+    reductions: Vec<(ElemId, f64)>,
 }
 
 impl ScLocalRatio {
@@ -24,6 +25,7 @@ impl ScLocalRatio {
         ScLocalRatio {
             residual: weights.to_vec(),
             dual: 0.0,
+            reductions: Vec::new(),
         }
     }
 
@@ -42,15 +44,15 @@ impl ScLocalRatio {
         self.dual
     }
 
-    /// Processes one element whose containing sets are `tj`. If every
+    /// Processes element `j`, whose containing sets are `tj`. If every
     /// containing set still has positive residual weight, performs the
-    /// local-ratio reduction and returns `Some(ε)`; if the element is
-    /// already covered (some containing set has zero residual), returns
-    /// `None`.
+    /// local-ratio reduction, records `(j, ε)` in the dual transcript and
+    /// returns `Some(ε)`; if the element is already covered (some
+    /// containing set has zero residual), returns `None`.
     ///
     /// # Panics
     /// Panics if `tj` is empty (an uncoverable element).
-    pub fn process(&mut self, tj: &[SetId]) -> Option<f64> {
+    pub fn process(&mut self, j: ElemId, tj: &[SetId]) -> Option<f64> {
         assert!(!tj.is_empty(), "element contained in no set");
         let mut eps = f64::INFINITY;
         for &i in tj {
@@ -64,7 +66,19 @@ impl ScLocalRatio {
             self.residual[i as usize] -= eps;
         }
         self.dual += eps;
+        self.reductions.push((j, eps));
         Some(eps)
+    }
+
+    /// The recorded reductions as a dual vector `(j, ε_j)`, sorted by
+    /// element id (each element is reduced at most once, so the order is
+    /// canonical). Feasibility — `Σ_{j ∈ S_i} ε_j ≤ w_i` for every set —
+    /// is what makes `Σ ε_j` a lower bound on OPT; see
+    /// [`crate::api::witness::check_cover_dual`].
+    pub fn dual_vector(&self) -> Vec<(ElemId, f64)> {
+        let mut v = self.reductions.clone();
+        v.sort_unstable_by_key(|&(j, _)| j);
+        v
     }
 
     /// All sets currently in the cover, ascending.
@@ -91,7 +105,7 @@ where
     let dual_view = sys.dual();
     let mut lr = ScLocalRatio::new(sys.weights());
     for j in order {
-        lr.process(&dual_view[j as usize]);
+        lr.process(j, &dual_view[j as usize]);
     }
     let cover = lr.cover();
     debug_assert!(sys.covers(&cover), "local ratio must produce a cover");
@@ -100,6 +114,7 @@ where
         cover,
         weight,
         lower_bound: lr.dual(),
+        dual: lr.dual_vector(),
         iterations: 1,
     })
 }
@@ -162,11 +177,13 @@ mod tests {
         let sys = SetSystem::new(2, vec![vec![0, 1]], vec![3.0]);
         let mut lr = ScLocalRatio::new(sys.weights());
         let t = sys.dual();
-        assert_eq!(lr.process(&t[0]), Some(3.0));
+        assert_eq!(lr.process(0, &t[0]), Some(3.0));
         // Element 1 is covered by the zero-weight set now.
-        assert_eq!(lr.process(&t[1]), None);
+        assert_eq!(lr.process(1, &t[1]), None);
         assert_eq!(lr.cover(), vec![0]);
         assert!((lr.dual() - 3.0).abs() < 1e-12);
+        // The transcript records the one reduction only.
+        assert_eq!(lr.dual_vector(), vec![(0, 3.0)]);
     }
 
     #[test]
@@ -178,6 +195,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "no set")]
     fn empty_tj_panics() {
-        ScLocalRatio::new(&[1.0]).process(&[]);
+        ScLocalRatio::new(&[1.0]).process(0, &[]);
     }
 }

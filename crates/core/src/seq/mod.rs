@@ -15,7 +15,7 @@ pub use greedy_graph::{
     degeneracy_colouring, greedy_colouring, greedy_colouring_with_order, greedy_maximal_clique,
     greedy_maximal_clique_with_order, greedy_mis, greedy_mis_with_order,
 };
-pub use greedy_sc::{eps_greedy_set_cover, greedy_set_cover, harmonic};
+pub use greedy_sc::{eps_greedy_set_cover, fitted_dual, greedy_set_cover, harmonic};
 pub use local_ratio_bmatching::{
     b_matching_multiplier, local_ratio_b_matching, local_ratio_b_matching_with_order,
     BMatchingLocalRatio,

@@ -1,7 +1,7 @@
 //! Result types shared by sequential and MapReduce implementations.
 
 use mrlr_graph::{EdgeId, Graph, VertexId};
-use mrlr_setsys::SetId;
+use mrlr_setsys::{ElemId, SetId};
 
 /// Tolerance below which a residual weight counts as zero. Local-ratio
 /// reductions subtract floats; the argmin set lands on exactly `0.0`
@@ -20,6 +20,13 @@ pub struct CoverResult {
     /// local-ratio reductions `Σ_j ε_j` for Algorithms 1/2.1, or the
     /// dual-fitting bound `Σ_j price_j / ((1+ε) H_Δ)` for greedy variants.
     pub lower_bound: f64,
+    /// The per-element dual values behind `lower_bound`, ascending by
+    /// element id: `(j, y_j)` with `Σ y_j = lower_bound` and, for every
+    /// set `S_i`, `Σ_{j ∈ S_i} y_j ≤ w_i` — the re-checkable witness
+    /// ([`crate::api::witness`]). Local-ratio runs record the raw
+    /// reductions `ε_j`; greedy runs record the *fitted* prices
+    /// `price_j / ((1+ε) H_Δ)`, so the same feasibility check covers both.
+    pub dual: Vec<(ElemId, f64)>,
     /// Iterations of the algorithm's outer sampling loop.
     pub iterations: usize,
 }
@@ -52,6 +59,11 @@ pub struct MatchingResult {
     /// `2·stack_gain / weight` certifies the ratio (for b-matching the
     /// multiplier is `3 − 2/b + 2ε`).
     pub stack_gain: f64,
+    /// The local-ratio stack transcript `(e, m_e)` in push order — the
+    /// re-checkable witness behind `stack_gain`: replaying the pushes
+    /// against the instance reproduces the potentials `ϕ`, the unwound
+    /// matching and the gain bit-for-bit ([`crate::api::witness`]).
+    pub stack: Vec<(EdgeId, f64)>,
     /// Iterations of the sampling loop.
     pub iterations: usize,
 }
@@ -110,6 +122,7 @@ mod tests {
             cover: vec![0],
             weight: 4.0,
             lower_bound: 2.0,
+            dual: vec![(0, 2.0)],
             iterations: 1,
         };
         assert!((r.certified_ratio() - 2.0).abs() < 1e-12);
@@ -117,6 +130,7 @@ mod tests {
             cover: vec![],
             weight: 0.0,
             lower_bound: 0.0,
+            dual: vec![],
             iterations: 0,
         };
         assert_eq!(degenerate.certified_ratio(), 1.0);
@@ -128,6 +142,7 @@ mod tests {
             matching: vec![0],
             weight: 5.0,
             stack_gain: 4.0,
+            stack: vec![(0, 4.0)],
             iterations: 1,
         };
         assert!((r.certified_ratio(2.0) - 1.6).abs() < 1e-12);

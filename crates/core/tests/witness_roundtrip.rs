@@ -1,0 +1,115 @@
+//! Property tests for the certificate witness serialization: every
+//! witness kind satisfies `parse(render(w)) == w` **bit-exactly** — the
+//! contract that makes a stored report replayable (a stack transcript
+//! re-parsed from JSON reproduces the original run's potentials
+//! bit-for-bit).
+
+use mrlr_core::api::Witness;
+use mrlr_core::io::{parse_json, parse_witness, witness_json};
+use proptest::prelude::*;
+
+fn round_trip(w: &Witness) -> Witness {
+    // Both the pretty and compact renderings must re-parse identically.
+    let pretty = witness_json(w).render();
+    let compact = witness_json(w).render_compact();
+    let a = parse_witness(&parse_json(&pretty).unwrap()).unwrap();
+    let b = parse_witness(&parse_json(&compact).unwrap()).unwrap();
+    assert_eq!(a, b, "pretty and compact renderings disagree");
+    a
+}
+
+/// Mixes the mantissa so values exercise the full shortest-representation
+/// printer, not just short decimal fractions.
+fn stretch(x: f64, salt: u64) -> f64 {
+    let noisy = f64::from_bits(x.to_bits() ^ (salt & 0x3ff));
+    if noisy.is_finite() && noisy > 0.0 {
+        noisy
+    } else {
+        x
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cover_dual_round_trips(
+        ids in proptest::collection::btree_set(0u32..10_000, 0..40),
+        base in 0.001f64..100.0,
+        salt in any::<u64>(),
+    ) {
+        // Strictly ascending ids (the canonical form the solvers emit).
+        let dual: Vec<(u32, f64)> = ids
+            .into_iter()
+            .enumerate()
+            .map(|(i, j)| (j, stretch(base + i as f64 * 0.37, salt ^ i as u64)))
+            .collect();
+        let w = Witness::CoverDual { dual };
+        prop_assert_eq!(round_trip(&w), w);
+    }
+
+    #[test]
+    fn stack_round_trips(
+        edges in proptest::collection::vec((0u32..5_000, 0.001f64..50.0), 0..40),
+        salt in any::<u64>(),
+    ) {
+        // Transcript order is significant and must survive as-is
+        // (duplicates included — the *parser* is format-only; semantic
+        // checks live in the auditor).
+        let stack: Vec<(u32, f64)> = edges
+            .into_iter()
+            .enumerate()
+            .map(|(i, (e, m))| (e, stretch(m, salt ^ (i as u64) << 3)))
+            .collect();
+        let w = Witness::Stack { stack };
+        prop_assert_eq!(round_trip(&w), w);
+    }
+
+    #[test]
+    fn maximality_round_trips(
+        blockers in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..60),
+    ) {
+        let w = Witness::Maximality { blockers };
+        prop_assert_eq!(round_trip(&w), w);
+    }
+
+    #[test]
+    fn properness_round_trips(
+        max_degree in 0usize..1_000_000,
+        colour_counts in proptest::collection::vec(0usize..1_000_000, 0..60),
+    ) {
+        let w = Witness::Properness { max_degree, colour_counts };
+        prop_assert_eq!(round_trip(&w), w);
+    }
+}
+
+#[test]
+fn adversarial_float_values_survive() {
+    // The printer/parser pair must hold at the awkward corners of f64.
+    let dual: Vec<(u32, f64)> = [
+        5e-324,            // smallest subnormal
+        f64::MIN_POSITIVE, // smallest normal
+        1.0 / 3.0,
+        0.1 + 0.2, // classic non-representable sum
+        1e300,
+        f64::MAX,
+        std::f64::consts::PI,
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, x)| (i as u32, x))
+    .collect();
+    let w = Witness::CoverDual { dual };
+    let text = witness_json(&w).render();
+    let back = parse_witness(&parse_json(&text).unwrap()).unwrap();
+    let Witness::CoverDual { dual: parsed } = back else {
+        panic!("kind changed in round trip")
+    };
+    let Witness::CoverDual { dual: original } = &w else {
+        unreachable!()
+    };
+    for ((ja, ya), (jb, yb)) in original.iter().zip(&parsed) {
+        assert_eq!(ja, jb);
+        assert_eq!(ya.to_bits(), yb.to_bits(), "{ya} lost bits");
+    }
+}

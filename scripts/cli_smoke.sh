@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# CLI smoke loop: `mrlr gen → solve → batch` for every registry key,
-# diffing masked JSON reports against the checked-in golden files. Runs
-# the same matrix as crates/cli/tests/cli_smoke.rs (the matrix file is
-# the single source of truth for both); CI invokes this under
-# MRLR_THREADS=1 and MRLR_THREADS=4, so format *and* thread determinism
-# are pinned. Regenerate goldens after an intentional format change with
+# CLI smoke loop: `mrlr gen → solve → verify → batch` for every registry
+# key, diffing masked JSON reports (full, re-verifiable certificates)
+# against the checked-in golden files AND re-verifying every golden
+# offline with `mrlr verify`. Runs the same matrix as
+# crates/cli/tests/cli_smoke.rs (the matrix file is the single source of
+# truth for both); CI invokes this under MRLR_THREADS=1 and
+# MRLR_THREADS=4, so format *and* thread determinism are pinned.
+# Regenerate goldens after an intentional format change with
 # `MRLR_UPDATE_GOLDEN=1 cargo test -p mrlr-cli`.
 set -euo pipefail
 
@@ -25,7 +27,10 @@ while IFS='|' read -r key family gen_args solve_args; do
   mrlr solve "$key" --input "$work/$key.inst" $solve_args \
     --format json --mask-timings --out "$work/$key.json"
   diff -u "$golden/$key.json" "$work/$key.json"
-  echo "ok: $key"
+  # Every stored report is an auditable artifact: replay the golden's
+  # certificate witness offline against the (regenerated) instance.
+  mrlr verify "$work/$key.inst" "$golden/$key.json" --quiet
+  echo "ok: $key (diff + verify)"
 done < "$matrix"
 
 cp "$golden/batch.manifest" "$work/batch.manifest"
