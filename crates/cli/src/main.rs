@@ -8,8 +8,10 @@
 //! mrlr list                         # algorithms × backends, gen families
 //! mrlr gen densified --n 80 --out g.inst
 //! mrlr solve matching --input g.inst --format json --out r.json
+//! mrlr solve matching --input g.inst --backend shard   # bit-identical
 //! mrlr verify g.inst r.json         # re-check the stored certificate
-//! mrlr batch runs.manifest --format csv
+//! mrlr batch runs.manifest --format json --out b.json
+//! mrlr verify b.json                # audit every slot of the batch
 //! ```
 //!
 //! Instance files use the unified format of [`mrlr_core::io::instance`];
@@ -39,25 +41,34 @@ USAGE:
     mrlr gen   <family> [--n N] [--m M] [--c C] [--gamma G] [--f F]
                [--delta D] [--max-len L] [--left L] [--w-min W] [--w-max W]
                [--unweighted] [--eps E] [--b-max B] [--seed S] [--out PATH]
-    mrlr solve <algorithm> --input PATH [--backend seq|rlr|mr] [--mu MU]
-               [--seed S] [--threads N] [--machines M]
+    mrlr solve <algorithm> --input PATH [--backend seq|rlr|mr|shard]
+               [--mu MU] [--seed S] [--threads N] [--machines M]
                [--format text|json|csv] [--certificates full|summary]
                [--mask-timings] [--timings-csv PATH] [--out PATH]
     mrlr verify <instance> <report.json> [--quiet]
-    mrlr batch <manifest> [--format json|csv] [--certificates full|summary]
-               [--mask-timings] [--out PATH]
+    mrlr verify <batch.json> [--instances-dir DIR] [--quiet]
+    mrlr batch <manifest> [--backend seq|rlr|mr|shard] [--format json|csv]
+               [--certificates full|summary] [--mask-timings] [--out PATH]
 
-Run `mrlr list` for the algorithm keys and generator families. The cluster
-shape is auto-derived from the instance and `--mu` exactly as the paper
-parameterizes it; `--threads` (default: MRLR_THREADS, else sequential)
-changes wall-clock only — solutions and metrics are bit-identical.
+Run `mrlr list` for the algorithm keys and generator families (with the
+backends each key supports). The cluster shape is auto-derived from the
+instance and `--mu` exactly as the paper parameterizes it; `--threads`
+(default: MRLR_THREADS, else sequential) changes wall-clock only, and the
+two cluster backends (`mr` on the classic engine, `shard` on the sharded
+runtime; MRLR_BACKEND sets the default engine for `mr`) return
+bit-identical solutions, metrics and witnesses.
 
 JSON reports embed a re-checkable certificate witness (dual vectors,
 local-ratio stack transcripts, maximality blockers) unless
 `--certificates summary` trims it. `mrlr verify` replays a stored report
 against its instance — feasibility, witness, lower bound and ratio —
 without re-running the solver, exiting 1 with a located error on any
-mismatch.
+mismatch. Given a batch document it audits every report slot against the
+instances the document names (manifest-relative paths, resolved against
+the document's directory — or --instances-dir when the document was
+written away from its manifest), skips slots that recorded an error
+(they claim nothing, matching `batch`'s exit-code semantics), and exits
+1 if any audited slot fails.
 ";
 
 fn main() -> ExitCode {
@@ -183,6 +194,20 @@ fn timing_mode(flags: &mut Flags) -> TimingMode {
         TimingMode::Masked
     } else {
         TimingMode::Real
+    }
+}
+
+/// `--backend` for `solve` and `batch`; `mr` (the default) and `shard`
+/// are the bit-identical cluster pair.
+fn parse_backend(flags: &mut Flags) -> Result<Backend, CliError> {
+    match flags.take("backend").as_deref() {
+        None | Some("mr") => Ok(Backend::Mr),
+        Some("shard") => Ok(Backend::Shard),
+        Some("rlr") => Ok(Backend::Rlr),
+        Some("seq") => Ok(Backend::Seq),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown backend `{other}` (expected seq, rlr, mr or shard)"
+        ))),
     }
 }
 
@@ -373,16 +398,7 @@ fn cmd_solve(args: &[String]) -> Result<(), CliError> {
     let input = flags
         .take("input")
         .ok_or_else(|| CliError::usage("solve needs --input <path>"))?;
-    let backend = match flags.take("backend").as_deref() {
-        None | Some("mr") => Backend::Mr,
-        Some("rlr") => Backend::Rlr,
-        Some("seq") => Backend::Seq,
-        Some(other) => {
-            return Err(CliError::usage(format!(
-                "unknown backend `{other}` (expected seq, rlr or mr)"
-            )));
-        }
-    };
+    let backend = parse_backend(&mut flags)?;
     let mu = flags.take_parsed("mu")?.unwrap_or(io::manifest::DEFAULT_MU);
     if !(mu.is_finite() && mu > 0.0) {
         return Err(CliError::usage(format!(
@@ -438,43 +454,148 @@ fn cmd_solve(args: &[String]) -> Result<(), CliError> {
 
 // -------------------------------------------------------------- verify --
 
-fn cmd_verify(args: &[String]) -> Result<(), CliError> {
-    let mut flags = Flags::parse(args, &["quiet"])?;
-    let quiet = flags.take("quiet").is_some();
-    let positional = flags.finish()?;
-    let [instance_path, report_path] = positional.as_slice() else {
-        return Err(CliError::usage(
-            "verify needs exactly <instance> and <report.json> arguments",
-        ));
-    };
-
-    let instance = load_instance(instance_path)?;
-    let text = std::fs::read_to_string(report_path)
-        .map_err(|e| CliError::runtime(format!("cannot read {report_path}: {e}")))?;
-    let stored =
-        io::parse_report(&text).map_err(|e| CliError::runtime(format!("{report_path}: {e}")))?;
-
+/// Audits one stored report against its instance, returning the check
+/// descriptions. `location` prefixes every error (a path, or a batch
+/// grid position).
+fn audit_stored(
+    instance: &Instance,
+    stored: &io::StoredReport,
+    location: &str,
+) -> Result<Vec<String>, CliError> {
     let Some(witness) = &stored.witness else {
         return Err(CliError::runtime(format!(
-            "{report_path}: certificate has no witness — re-solve with --certificates full \
+            "{location}: certificate has no witness — re-solve with --certificates full \
              to produce a re-verifiable report"
         )));
     };
-    let checks = witness::audit(
-        &instance,
+    witness::audit(
+        instance,
         &stored.algorithm,
         &stored.solution,
         &stored.claims,
         witness,
     )
-    .map_err(|e| CliError::runtime(format!("{report_path}: {e}")))?;
-    if !quiet {
-        for check in &checks {
-            println!("ok: {check}");
+    .map_err(|e| CliError::runtime(format!("{location}: {e}")))
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), CliError> {
+    let mut flags = Flags::parse(args, &["quiet"])?;
+    let quiet = flags.take("quiet").is_some();
+    let instances_dir = flags.take("instances-dir");
+    let positional = flags.finish()?;
+    match positional.as_slice() {
+        [instance_path, report_path] => {
+            if instances_dir.is_some() {
+                return Err(CliError::usage(
+                    "--instances-dir only applies to batch documents",
+                ));
+            }
+            let instance = load_instance(instance_path)?;
+            let text = std::fs::read_to_string(report_path)
+                .map_err(|e| CliError::runtime(format!("cannot read {report_path}: {e}")))?;
+            let stored = io::parse_report(&text)
+                .map_err(|e| CliError::runtime(format!("{report_path}: {e}")))?;
+            let checks = audit_stored(&instance, &stored, report_path)?;
+            if !quiet {
+                for check in &checks {
+                    println!("ok: {check}");
+                }
+                println!(
+                    "verified: {} ({}) report against {}",
+                    stored.algorithm, stored.backend, instance_path
+                );
+            }
+            Ok(())
         }
+        [batch_path] => verify_batch(batch_path, instances_dir.as_deref(), quiet),
+        _ => Err(CliError::usage(
+            "verify needs <instance> and <report.json> arguments (or one <batch.json>)",
+        )),
+    }
+}
+
+/// Audits every report slot of a batch document against the instances it
+/// names. The document records manifest-relative paths, so they resolve
+/// relative to the document's directory by default (the natural layout:
+/// the document written next to its manifest); when the document was
+/// written elsewhere (`batch --out` into another directory),
+/// `--instances-dir` points resolution at the manifest's directory
+/// instead. Error slots are skipped — the batch already isolated them
+/// and they make no claims — mirroring `batch`'s exit-code semantics;
+/// any *failing* audit exits 1 with its grid location.
+fn verify_batch(
+    batch_path: &str,
+    instances_dir: Option<&str>,
+    quiet: bool,
+) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(batch_path)
+        .map_err(|e| CliError::runtime(format!("cannot read {batch_path}: {e}")))?;
+    let root =
+        io::parse_json(&text).map_err(|e| CliError::runtime(format!("{batch_path}: {e}")))?;
+    if !io::is_batch_document(&root) {
+        return Err(CliError::runtime(format!(
+            "{batch_path} is a single report, not a batch document — pass its instance: \
+             mrlr verify <instance> {batch_path}"
+        )));
+    }
+    let batch =
+        io::parse_batch(&text).map_err(|e| CliError::runtime(format!("{batch_path}: {e}")))?;
+    let base = match instances_dir {
+        Some(dir) => std::path::Path::new(dir),
+        None => std::path::Path::new(batch_path)
+            .parent()
+            .unwrap_or_else(|| std::path::Path::new(".")),
+    };
+    let instances: Vec<Instance> = batch
+        .instances
+        .iter()
+        .map(|rel| load_instance(&base.join(rel).to_string_lossy()))
+        .collect::<Result<_, _>>()?;
+
+    let mut audited = 0usize;
+    let mut skipped = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for (i, per_instance) in batch.results.iter().enumerate() {
+        for (j, slot) in per_instance.iter().enumerate() {
+            let location = format!("{batch_path}: results[{i}][{j}]");
+            match slot {
+                io::BatchSlot::Error(e) => {
+                    skipped += 1;
+                    if !quiet {
+                        println!("skip: results[{i}][{j}] recorded error: {e}");
+                    }
+                }
+                io::BatchSlot::Report(stored) => {
+                    match audit_stored(&instances[i], stored, &location) {
+                        Ok(checks) => {
+                            audited += 1;
+                            if !quiet {
+                                for check in &checks {
+                                    println!("ok: results[{i}][{j}] {check}");
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("mrlr verify: {}", e.message);
+                            failures.push(format!("results[{i}][{j}] ({})", stored.algorithm));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if !failures.is_empty() {
+        return Err(CliError::runtime(format!(
+            "{} of {} report slots failed verification: {}",
+            failures.len(),
+            audited + failures.len(),
+            failures.join(", ")
+        )));
+    }
+    if !quiet {
         println!(
-            "verified: {} ({}) report against {}",
-            stored.algorithm, stored.backend, instance_path
+            "verified: {audited} report slots against {} instances ({skipped} error slots skipped)",
+            batch.instances.len()
         );
     }
     Ok(())
@@ -490,6 +611,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     let mut flags = Flags::parse(args, &["mask-timings"])?;
     let timing = timing_mode(&mut flags);
     let certificates = certificate_mode(&mut flags)?;
+    let backend = parse_backend(&mut flags)?;
     let format = flags.take("format").unwrap_or_else(|| "json".into());
     let out = flags.take("out");
     let positional = flags.finish()?;
@@ -528,7 +650,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
                 .map(|job| (job.algorithm.as_str(), job_cfg(instance, job)))
                 .collect();
             registry
-                .solve_batch(std::slice::from_ref(instance), &jobs)
+                .solve_batch_with(backend, std::slice::from_ref(instance), &jobs)
                 .remove(0)
                 .into_iter()
                 .map(|slot| slot.map_err(|e| e.to_string()))

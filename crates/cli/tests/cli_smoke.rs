@@ -298,6 +298,154 @@ fn verify_rejects_tampered_reports() {
 }
 
 #[test]
+fn shard_backend_output_is_bit_identical_modulo_tag() {
+    // `--backend shard` runs the sharded runtime; the masked report must
+    // equal the mr golden byte-for-byte except the backend tag, and the
+    // stored certificate must verify offline like any other.
+    let dir = workdir("shard");
+    gen_all(&dir);
+    for key in ["matching", "vertex-cover"] {
+        let input = format!("{key}.inst");
+        // Both matrix rows take no extra solve args, so the goldens are
+        // directly comparable.
+        let mut args = vec!["solve", key, "--input", &input];
+        args.extend(["--backend", "shard", "--format", "json", "--mask-timings"]);
+        let shard = mrlr(&dir, "4", &args);
+        assert!(shard.contains("\"backend\": \"shard\""), "{key}");
+        let golden = std::fs::read_to_string(golden_dir().join(format!("{key}.json"))).unwrap();
+        assert_eq!(
+            shard.replace("\"backend\": \"shard\"", "\"backend\": \"mr\""),
+            golden,
+            "{key}: shard payload diverged from the mr golden"
+        );
+        // The shard report is auditable too.
+        let report = format!("{key}.shard.json");
+        std::fs::write(dir.join(&report), &shard).unwrap();
+        let out = mrlr(&dir, "1", &["verify", &input, &report]);
+        assert!(out.lines().last().unwrap_or("").starts_with("verified: "));
+    }
+}
+
+#[test]
+fn verify_audits_batch_documents() {
+    // The batch-verify loop: `mrlr verify <batch.json>` audits every
+    // report slot against the instances the document names, skips the
+    // recorded error slots, and locates any failing slot by grid
+    // position with exit code 1.
+    let dir = workdir("batch-verify");
+    gen_all(&dir);
+    std::fs::copy(
+        golden_dir().join("batch.manifest"),
+        dir.join("batch.manifest"),
+    )
+    .unwrap();
+    mrlr(
+        &dir,
+        "1",
+        &[
+            "batch",
+            "batch.manifest",
+            "--mask-timings",
+            "--out",
+            "batch.json",
+        ],
+    );
+    let out = mrlr(&dir, "1", &["verify", "batch.json"]);
+    assert!(
+        out.contains("skip: results["),
+        "deliberate error slots must be skipped:\n{out}"
+    );
+    assert!(out.contains("ok: results[0][0]"), "{out}");
+    assert!(
+        out.lines().last().unwrap_or("").starts_with("verified: "),
+        "{out}"
+    );
+    // --quiet stays quiet on success.
+    assert_eq!(mrlr(&dir, "1", &["verify", "batch.json", "--quiet"]), "");
+
+    // A document written away from its manifest resolves instances via
+    // --instances-dir (without it, resolution against the document's own
+    // directory finds nothing).
+    std::fs::create_dir_all(dir.join("out")).unwrap();
+    mrlr(
+        &dir,
+        "1",
+        &[
+            "batch",
+            "batch.manifest",
+            "--mask-timings",
+            "--out",
+            "out/batch.json",
+        ],
+    );
+    assert_eq!(
+        mrlr(
+            &dir,
+            "1",
+            &[
+                "verify",
+                "out/batch.json",
+                "--instances-dir",
+                ".",
+                "--quiet"
+            ],
+        ),
+        ""
+    );
+
+    // A lone single-report path gets a pointed hint, not a confusing
+    // batch parse error.
+    mrlr(
+        &dir,
+        "1",
+        &[
+            "solve",
+            "matching",
+            "--input",
+            "matching.inst",
+            "--format",
+            "json",
+            "--out",
+            "single.json",
+        ],
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_mrlr"))
+        .args(["verify", "single.json"])
+        .current_dir(&dir)
+        .env("MRLR_THREADS", "1")
+        .output()
+        .expect("spawn mrlr");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("single report"),
+        "missing-instance hint expected:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Tamper one matched edge inside the first report slot: the audit
+    // must fail, name the slot, and exit 1.
+    let doc = std::fs::read_to_string(dir.join("batch.json")).unwrap();
+    let edges_at = doc.find("\"edges\": [").expect("edges array");
+    let first_entry_end = doc[edges_at..].find(',').unwrap() + edges_at;
+    let entry_start = doc[..first_entry_end].rfind('\n').unwrap();
+    let mut tampered = doc.clone();
+    tampered.replace_range(entry_start..first_entry_end + 1, "");
+    std::fs::write(dir.join("batch_tampered.json"), tampered).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_mrlr"))
+        .args(["verify", "batch_tampered.json"])
+        .current_dir(&dir)
+        .env("MRLR_THREADS", "1")
+        .output()
+        .expect("spawn mrlr");
+    assert_eq!(out.status.code(), Some(1), "tampered batch must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("results[0][0]"),
+        "failure not located by grid position:\n{stderr}"
+    );
+}
+
+#[test]
 fn gen_output_is_deterministic_and_reparseable() {
     let dir = workdir("gen");
     for row in matrix() {

@@ -10,7 +10,7 @@
 use std::time::Instant;
 
 use mrlr_graph::Graph;
-use mrlr_mapreduce::{Metrics, MrError, MrResult};
+use mrlr_mapreduce::{Metrics, MrError, MrResult, RuntimeKind};
 use mrlr_setsys::SetSystem;
 
 use super::problems::{
@@ -34,6 +34,19 @@ pub const DEFAULT_BMATCHING_EPS: f64 = 0.25;
 
 fn seq_err(e: String) -> MrError {
     MrError::Infeasible(e)
+}
+
+/// The cluster shape a `Mr`/`Shard` run uses: `Backend::Shard` forces the
+/// sharded runtime ([`RuntimeKind::Shard`]); `Backend::Mr` keeps the
+/// config's (env-default) runtime. This is the single shard-aware entry
+/// every cluster driver dispatches through — the run itself is the same
+/// `mr::*::run` either way, so Rlr/Mr/Shard reports (witnesses included)
+/// are bit-identical.
+fn cluster_cfg(backend: Backend, cfg: &MrConfig) -> MrConfig {
+    match backend {
+        Backend::Shard => cfg.with_runtime(RuntimeKind::Shard),
+        _ => *cfg,
+    }
 }
 
 /// Assembles a [`Report`], running the problem validator on the solution.
@@ -80,8 +93,8 @@ impl Driver for SetCoverFDriver {
         let (sol, metrics) = match self.backend {
             Backend::Seq => (seq::local_ratio_set_cover(sys).map_err(seq_err)?, None),
             Backend::Rlr => (rlr::approx_set_cover_f(sys, cfg.eta, cfg.seed)?, None),
-            Backend::Mr => {
-                let (s, m) = mr::set_cover::run(sys, *cfg)?;
+            Backend::Mr | Backend::Shard => {
+                let (s, m) = mr::set_cover::run(sys, cluster_cfg(self.backend, cfg))?;
                 (s, Some(m))
             }
         };
@@ -136,8 +149,9 @@ impl Driver for GreedySetCoverDriver {
                 let (s, _trace) = hungry::hungry_set_cover(sys, params)?;
                 (s, None)
             }
-            Backend::Mr => {
-                let (s, _trace, m) = mr::set_cover_greedy::run(sys, params, *cfg)?;
+            Backend::Mr | Backend::Shard => {
+                let (s, _trace, m) =
+                    mr::set_cover_greedy::run(sys, params, cluster_cfg(self.backend, cfg))?;
                 (s, Some(m))
             }
         };
@@ -182,8 +196,12 @@ impl Driver for VertexCoverDriver {
                 let sys = inst.as_set_system();
                 (rlr::approx_set_cover_f(&sys, cfg.eta, cfg.seed)?, None)
             }
-            Backend::Mr => {
-                let (s, m) = mr::vertex_cover::run(&inst.graph, &inst.weights, *cfg)?;
+            Backend::Mr | Backend::Shard => {
+                let (s, m) = mr::vertex_cover::run(
+                    &inst.graph,
+                    &inst.weights,
+                    cluster_cfg(self.backend, cfg),
+                )?;
                 (s, Some(m))
             }
         };
@@ -223,8 +241,8 @@ impl Driver for MatchingDriver {
         let (sol, metrics) = match self.backend {
             Backend::Seq => (seq::local_ratio_matching(g), None),
             Backend::Rlr => (rlr::approx_max_matching(g, cfg.eta, cfg.seed)?, None),
-            Backend::Mr => {
-                let (s, m) = mr::matching::run(g, *cfg)?;
+            Backend::Mr | Backend::Shard => {
+                let (s, m) = mr::matching::run(g, cluster_cfg(self.backend, cfg))?;
                 (s, Some(m))
             }
         };
@@ -282,9 +300,13 @@ impl Driver for BMatchingDriver {
                 rlr::approx_b_matching(&inst.graph, &inst.b, Self::params(inst, cfg))?,
                 None,
             ),
-            Backend::Mr => {
-                let (s, m) =
-                    mr::bmatching::run(&inst.graph, &inst.b, Self::params(inst, cfg), *cfg)?;
+            Backend::Mr | Backend::Shard => {
+                let (s, m) = mr::bmatching::run(
+                    &inst.graph,
+                    &inst.b,
+                    Self::params(inst, cfg),
+                    cluster_cfg(self.backend, cfg),
+                )?;
                 (s, Some(m))
             }
         };
@@ -349,12 +371,12 @@ impl Driver for MisDriver {
             (Backend::Seq, _) => (seq::greedy_mis(g), None),
             (Backend::Rlr, MisVariant::Mis1) => (hungry::mis_simple(g, params)?, None),
             (Backend::Rlr, MisVariant::Mis2) => (hungry::mis_fast(g, params)?, None),
-            (Backend::Mr, MisVariant::Mis1) => {
-                let (s, m) = mr::mis::run_simple(g, params, *cfg)?;
+            (Backend::Mr | Backend::Shard, MisVariant::Mis1) => {
+                let (s, m) = mr::mis::run_simple(g, params, cluster_cfg(self.backend, cfg))?;
                 (s, Some(m))
             }
-            (Backend::Mr, MisVariant::Mis2) => {
-                let (s, m) = mr::mis::run_fast(g, params, *cfg)?;
+            (Backend::Mr | Backend::Shard, MisVariant::Mis2) => {
+                let (s, m) = mr::mis::run_fast(g, params, cluster_cfg(self.backend, cfg))?;
                 (s, Some(m))
             }
         };
@@ -395,8 +417,8 @@ impl Driver for CliqueDriver {
         let (sol, metrics) = match self.backend {
             Backend::Seq => (seq::greedy_maximal_clique(g), None),
             Backend::Rlr => (hungry::maximal_clique(g, params)?, None),
-            Backend::Mr => {
-                let (s, m) = mr::clique::run(g, params, *cfg)?;
+            Backend::Mr | Backend::Shard => {
+                let (s, m) = mr::clique::run(g, params, cluster_cfg(self.backend, cfg))?;
                 (s, Some(m))
             }
         };
@@ -511,12 +533,14 @@ impl Driver for ColouringDriver {
                 None,
             ),
             (Backend::Rlr, true) => (colouring::edge_colouring(g, kappa, limit, cfg.seed)?, None),
-            (Backend::Mr, false) => {
-                let (s, m) = mr::colouring::run_vertex(g, kappa, limit, *cfg)?;
+            (Backend::Mr | Backend::Shard, false) => {
+                let (s, m) =
+                    mr::colouring::run_vertex(g, kappa, limit, cluster_cfg(self.backend, cfg))?;
                 (s, Some(m))
             }
-            (Backend::Mr, true) => {
-                let (s, m) = mr::colouring::run_edge(g, kappa, limit, *cfg)?;
+            (Backend::Mr | Backend::Shard, true) => {
+                let (s, m) =
+                    mr::colouring::run_edge(g, kappa, limit, cluster_cfg(self.backend, cfg))?;
                 (s, Some(m))
             }
         };

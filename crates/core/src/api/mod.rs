@@ -7,13 +7,16 @@
 //!
 //! * [`Problem`] names a problem family and ties together its instance,
 //!   solution and verification-certificate types.
-//! * [`Driver`] is one algorithm for one problem, available in up to three
+//! * [`Driver`] is one algorithm for one problem, available in up to four
 //!   [`Backend`]s: `Seq` (deterministic sequential reference), `Rlr` (the
 //!   paper's randomized in-memory driver from [`crate::rlr`],
-//!   [`crate::hungry`] or [`crate::colouring`]) and `Mr` (the cluster
-//!   implementation from [`crate::mr`]). For identical seeds the `Rlr` and
-//!   `Mr` backends return **bit-identical** solutions; `Mr` additionally
-//!   reports honest [`Metrics`].
+//!   [`crate::hungry`] or [`crate::colouring`]), `Mr` (the cluster
+//!   implementation from [`crate::mr`] on the classic engine) and `Shard`
+//!   (the same cluster implementation on the sharded runtime — static
+//!   shard→thread scheduling with per-destination batched routing). For
+//!   identical seeds the `Rlr`, `Mr` and `Shard` backends return
+//!   **bit-identical** solutions; the cluster backends additionally
+//!   report honest (and mutually identical) [`Metrics`].
 //! * [`Report`] uniformly bundles the solution with its certificate,
 //!   cluster metrics and wall-clock timing.
 //! * [`Registry`] enumerates every driver under a stable string key
@@ -67,7 +70,7 @@ pub use problems::{
 };
 pub use registry::{
     AlgorithmInfo, ErasedDriver, FromInstance, Instance, InstanceKind, IntoSolution, Registry,
-    Solution, ALGORITHM_INFO,
+    Solution, ALGORITHM_INFO, ALL_BACKENDS,
 };
 pub use witness::{audit, audit_report, AuditError, Claims, Witness};
 
@@ -79,14 +82,21 @@ pub enum Backend {
     /// The paper's randomized driver on an in-memory instance
     /// ([`crate::rlr`], [`crate::hungry`], [`crate::colouring`]).
     Rlr,
-    /// The cluster implementation ([`crate::mr`]), metered by the
-    /// simulator. Bit-identical to `Rlr` for identical seeds.
+    /// The cluster implementation ([`crate::mr`]) on the classic engine
+    /// (dynamic scheduling + merge routing), metered by the simulator.
+    /// Bit-identical to `Rlr` for identical seeds.
     Mr,
+    /// The cluster implementation on the sharded runtime
+    /// ([`mrlr_mapreduce::RuntimeKind::Shard`]: work-stealing-free
+    /// static shard→thread assignment + per-destination batched
+    /// routing). Same drivers, same coins — `Report`s (solution,
+    /// `Metrics`, witness) are **bit-identical** to `Mr`.
+    Shard,
 }
 
 impl Backend {
-    /// All backends, in `Seq < Rlr < Mr` order.
-    pub const ALL: [Backend; 3] = [Backend::Seq, Backend::Rlr, Backend::Mr];
+    /// All backends, in `Seq < Rlr < Mr < Shard` order.
+    pub const ALL: [Backend; 4] = [Backend::Seq, Backend::Rlr, Backend::Mr, Backend::Shard];
 }
 
 impl fmt::Display for Backend {
@@ -95,6 +105,7 @@ impl fmt::Display for Backend {
             Backend::Seq => "seq",
             Backend::Rlr => "rlr",
             Backend::Mr => "mr",
+            Backend::Shard => "shard",
         })
     }
 }
@@ -141,7 +152,9 @@ pub struct Report<S> {
     /// Verification certificate (computed by the problem's validator, not
     /// by the algorithm under test).
     pub certificate: Certificate,
-    /// Cluster metrics; `Some` exactly for the [`Backend::Mr`] backend.
+    /// Cluster metrics; `Some` exactly for the cluster backends
+    /// ([`Backend::Mr`] and [`Backend::Shard`], which report identical
+    /// metrics), `None` for the in-memory ones.
     pub metrics: Option<Metrics>,
     /// Wall-clock time of the solve call, including the certificate
     /// verification (the production path a registry consumer pays).
@@ -216,8 +229,10 @@ mod tests {
     #[test]
     fn backend_order_and_display() {
         assert!(Backend::Seq < Backend::Rlr && Backend::Rlr < Backend::Mr);
+        assert!(Backend::Mr < Backend::Shard);
         assert_eq!(Backend::Mr.to_string(), "mr");
-        assert_eq!(Backend::ALL.len(), 3);
+        assert_eq!(Backend::Shard.to_string(), "shard");
+        assert_eq!(Backend::ALL.len(), 4);
     }
 
     #[test]

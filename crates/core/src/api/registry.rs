@@ -26,7 +26,10 @@
 //! [`Registry::info`] and is served by `mrlr list --format json`. The
 //! *witness* column names the [`Witness`](super::Witness) kind each
 //! driver's [`Certificate`](super::Certificate) carries, re-checkable
-//! offline via [`super::witness::audit`] / `mrlr verify`.
+//! offline via [`super::witness::audit`] / `mrlr verify`. Every key runs
+//! on all four [`Backend`]s ([`AlgorithmInfo::backends`]); the two
+//! cluster backends (`mr` on the classic engine, `shard` on the sharded
+//! runtime) return bit-identical reports.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -142,7 +145,16 @@ pub struct AlgorithmInfo {
     /// Witness kind the driver's certificate carries
     /// (`cover-dual` / `stack` / `maximality` / `properness`).
     pub witness: &'static str,
+    /// Backends this key supports, in `Backend::ALL` order. Every paper
+    /// key runs on all four; the cluster pair (`mr`, `shard`) is
+    /// bit-identical (a cross-check against [`Registry::backends`] lives
+    /// in the tests).
+    pub backends: &'static [Backend],
 }
+
+/// The backend set every paper key supports (all of [`Backend::ALL`] —
+/// one source of truth; this is a slice view of that array).
+pub const ALL_BACKENDS: &[Backend] = &Backend::ALL;
 
 /// One [`AlgorithmInfo`] row per registry key, sorted by key (the order
 /// [`Registry::algorithms`] returns).
@@ -154,6 +166,7 @@ pub const ALGORITHM_INFO: &[AlgorithmInfo] = &[
         space: "O(n^{1+µ})",
         ratio: "3 − 2/max{2,b} + 2ε",
         witness: "stack",
+        backends: ALL_BACKENDS,
     },
     AlgorithmInfo {
         key: "clique",
@@ -162,6 +175,7 @@ pub const ALGORITHM_INFO: &[AlgorithmInfo] = &[
         space: "O(n^{1+µ})",
         ratio: "maximal",
         witness: "maximality",
+        backends: ALL_BACKENDS,
     },
     AlgorithmInfo {
         key: "edge-colouring",
@@ -170,6 +184,7 @@ pub const ALGORITHM_INFO: &[AlgorithmInfo] = &[
         space: "O(n^{1+µ})",
         ratio: "(1+o(1))Δ colours",
         witness: "properness",
+        backends: ALL_BACKENDS,
     },
     AlgorithmInfo {
         key: "matching",
@@ -178,6 +193,7 @@ pub const ALGORITHM_INFO: &[AlgorithmInfo] = &[
         space: "O(n^{1+µ})",
         ratio: "2",
         witness: "stack",
+        backends: ALL_BACKENDS,
     },
     AlgorithmInfo {
         key: "mis1",
@@ -186,6 +202,7 @@ pub const ALGORITHM_INFO: &[AlgorithmInfo] = &[
         space: "O(n^{1+µ})",
         ratio: "maximal",
         witness: "maximality",
+        backends: ALL_BACKENDS,
     },
     AlgorithmInfo {
         key: "mis2",
@@ -194,6 +211,7 @@ pub const ALGORITHM_INFO: &[AlgorithmInfo] = &[
         space: "O(n^{1+µ})",
         ratio: "maximal",
         witness: "maximality",
+        backends: ALL_BACKENDS,
     },
     AlgorithmInfo {
         key: "set-cover-f",
@@ -202,6 +220,7 @@ pub const ALGORITHM_INFO: &[AlgorithmInfo] = &[
         space: "O(f·n^{1+µ})",
         ratio: "f",
         witness: "cover-dual",
+        backends: ALL_BACKENDS,
     },
     AlgorithmInfo {
         key: "set-cover-greedy",
@@ -210,6 +229,7 @@ pub const ALGORITHM_INFO: &[AlgorithmInfo] = &[
         space: "O(n^{1+µ})",
         ratio: "(1+ε)·H_Δ",
         witness: "cover-dual",
+        backends: ALL_BACKENDS,
     },
     AlgorithmInfo {
         key: "vertex-colouring",
@@ -218,6 +238,7 @@ pub const ALGORITHM_INFO: &[AlgorithmInfo] = &[
         space: "O(n^{1+µ})",
         ratio: "(1+o(1))Δ colours",
         witness: "properness",
+        backends: ALL_BACKENDS,
     },
     AlgorithmInfo {
         key: "vertex-cover",
@@ -226,6 +247,7 @@ pub const ALGORITHM_INFO: &[AlgorithmInfo] = &[
         space: "O(n^{1+µ})",
         ratio: "2",
         witness: "cover-dual",
+        backends: ALL_BACKENDS,
     },
 ];
 
@@ -427,7 +449,7 @@ impl Registry {
 
     /// A registry holding all eight paper algorithms (ten registry keys —
     /// MIS and colouring contribute two each) in every backend that
-    /// implements them.
+    /// implements them: 40 entries, four [`Backend`]s per key.
     pub fn with_defaults() -> Self {
         let mut r = Registry::new();
         for backend in Backend::ALL {
@@ -512,10 +534,32 @@ impl Registry {
         instances: &[Instance],
         jobs: &[(&str, MrConfig)],
     ) -> Vec<Vec<MrResult<Report<Solution>>>> {
-        // Pre-warm every distinct pool the batch will use.
-        for (_, cfg) in jobs {
-            let _ = mrlr_mapreduce::executor_for(cfg.exec.threads);
-        }
+        self.solve_batch_with(Backend::Mr, instances, jobs)
+    }
+
+    /// [`Registry::solve_batch`] on an explicit backend (`Mr` and `Shard`
+    /// are the metered cluster pair and return bit-identical reports;
+    /// `Seq`/`Rlr` batches skip the cluster entirely but still share the
+    /// distribution-cache scope, which is simply idle for them).
+    pub fn solve_batch_with(
+        &self,
+        backend: Backend,
+        instances: &[Instance],
+        jobs: &[(&str, MrConfig)],
+    ) -> Vec<Vec<MrResult<Report<Solution>>>> {
+        // Warm each *distinct* thread count exactly once and pin the pool
+        // handles for the whole batch: consecutive jobs sharing a count
+        // reuse one cached pool instead of re-resolving it per job, and
+        // because the shard scheduler resolves its executor through the
+        // same process-wide cache, classic and sharded jobs in one batch
+        // share a single warm pool per count.
+        let mut counts: Vec<usize> = jobs.iter().map(|(_, cfg)| cfg.exec.threads).collect();
+        counts.sort_unstable();
+        counts.dedup();
+        let _pools: Vec<std::sync::Arc<dyn mrlr_mapreduce::Executor>> = counts
+            .into_iter()
+            .map(mrlr_mapreduce::executor_for)
+            .collect();
         instances
             .iter()
             .map(|instance| {
@@ -525,7 +569,7 @@ impl Registry {
                 // done instead of holding all of them to the end.
                 crate::mr::dist_cache::scope(|| {
                     jobs.iter()
-                        .map(|(algorithm, cfg)| self.solve(algorithm, instance, cfg))
+                        .map(|(algorithm, cfg)| self.solve_with(algorithm, backend, instance, cfg))
                         .collect()
                 })
             })
@@ -607,7 +651,7 @@ mod tests {
     #[test]
     fn defaults_cover_all_algorithms_and_backends() {
         let r = Registry::with_defaults();
-        assert_eq!(r.len(), 30);
+        assert_eq!(r.len(), 40);
         let names = r.algorithms();
         for name in [
             "b-matching",
@@ -638,6 +682,8 @@ mod tests {
             assert!(info.theorem.contains("eorem") || info.theorem.contains("orollary"));
             assert!(info.rounds.starts_with('O'), "{key}");
             assert!(!info.ratio.is_empty() && !info.witness.is_empty());
+            // The static backends column must mirror what is registered.
+            assert_eq!(info.backends, r.backends(key), "{key} backends drifted");
         }
         assert!(r.info("max-cut").is_none());
     }

@@ -301,6 +301,87 @@ pub fn parse_report_value(root: &JsonValue) -> Result<StoredReport, IoError> {
     })
 }
 
+/// One slot of a parsed batch document: either a stored report (the job
+/// succeeded and made claims) or the per-slot error the batch recorded
+/// (no claims to audit).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchSlot {
+    /// A stored report, auditable like any single-report document.
+    Report(StoredReport),
+    /// The error string the batch isolated into this slot.
+    Error(String),
+}
+
+/// A `mrlr batch --format json` document re-loaded from disk: the
+/// manifest-relative instance paths and the `results[instance][job]`
+/// grid. `mrlr verify` audits every report slot against its instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredBatch {
+    /// Instance paths as recorded by the batch (relative to the
+    /// manifest, hence to the document's own directory).
+    pub instances: Vec<String>,
+    /// One row per instance, one slot per job.
+    pub results: Vec<Vec<BatchSlot>>,
+}
+
+/// True if `root` looks like a batch document (has a `results` grid)
+/// rather than a single report.
+pub fn is_batch_document(root: &JsonValue) -> bool {
+    root.get("results").is_some()
+}
+
+/// Parses the JSON written by `mrlr batch --format json` back into a
+/// [`StoredBatch`]. Structural errors are located as
+/// `results[i][j]: …` so a bad slot in a big grid is findable.
+pub fn parse_batch(text: &str) -> Result<StoredBatch, IoError> {
+    let root = parse_json(text)?;
+    let instances = need_arr(&root, "instances", "batch")?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            v.as_str().map(str::to_string).ok_or_else(|| {
+                field_err(
+                    "batch.instances",
+                    &format!("entry {i} is not a path string"),
+                )
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let rows = need_arr(&root, "results", "batch")?;
+    if rows.len() != instances.len() {
+        return Err(field_err(
+            "batch",
+            &format!(
+                "{} result rows for {} instances",
+                rows.len(),
+                instances.len()
+            ),
+        ));
+    }
+    let results = rows
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let slots = row
+                .as_arr()
+                .ok_or_else(|| field_err("batch", &format!("results[{i}] is not an array")))?;
+            slots
+                .iter()
+                .enumerate()
+                .map(
+                    |(j, slot)| match slot.get("error").and_then(JsonValue::as_str) {
+                        Some(e) => Ok(BatchSlot::Error(e.to_string())),
+                        None => parse_report_value(slot)
+                            .map(BatchSlot::Report)
+                            .map_err(|e| field_err(&format!("results[{i}][{j}]"), &e.message)),
+                    },
+                )
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(StoredBatch { instances, results })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +421,54 @@ mod tests {
         assert!(err.message.contains("witness.dual"), "{err}");
         let unknown = parse_json("{\"kind\": \"seance\"}").unwrap();
         assert!(parse_witness(&unknown).is_err());
+    }
+
+    #[test]
+    fn batch_documents_parse_with_located_slots() {
+        use crate::api::{Instance, Registry};
+        use crate::io::report::{report_json_with, TimingMode};
+        use crate::io::Json;
+        use mrlr_graph::generators;
+
+        let g = generators::with_uniform_weights(&generators::densified(20, 0.4, 3), 1.0, 9.0, 3);
+        let cfg = crate::mr::MrConfig::auto(20, g.m(), 0.3, 3);
+        let report = Registry::with_defaults()
+            .solve("matching", &Instance::Graph(g), &cfg)
+            .unwrap();
+        let slot = report_json_with(&report, TimingMode::Masked, CertificateMode::Full);
+        let doc = Json::Obj(vec![
+            (
+                "instances",
+                Json::Arr(vec![Json::str("g.inst"), Json::str("h.inst")]),
+            ),
+            ("jobs", Json::Arr(vec![])),
+            (
+                "results",
+                Json::Arr(vec![
+                    Json::Arr(vec![
+                        slot.clone(),
+                        Json::Obj(vec![("error", Json::str("boom"))]),
+                    ]),
+                    Json::Arr(vec![slot]),
+                ]),
+            ),
+        ])
+        .render();
+        assert!(is_batch_document(&parse_json(&doc).unwrap()));
+        let batch = parse_batch(&doc).unwrap();
+        assert_eq!(batch.instances, vec!["g.inst", "h.inst"]);
+        assert_eq!(batch.results.len(), 2);
+        assert!(matches!(&batch.results[0][0], BatchSlot::Report(r) if r.algorithm == "matching"));
+        assert_eq!(batch.results[0][1], BatchSlot::Error("boom".into()));
+
+        // A single report is not a batch document.
+        let single = parse_json("{\"algorithm\": \"x\"}").unwrap();
+        assert!(!is_batch_document(&single));
+
+        // A mangled slot is located by its grid position.
+        let bad = doc.replace("\"solution\"", "\"solution_gone\"");
+        let err = parse_batch(&bad).unwrap_err();
+        assert!(err.message.contains("results[0][0]"), "{err}");
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //!   with [`report::TimingMode`] masking host wall-clock so outputs can be
 //!   diffed against golden files across thread counts.
 //! * [`certificate`] — bit-exact witness serialization and report
-//!   re-parsing ([`certificate::StoredReport`]): what turns a stored run
-//!   into an offline-auditable artifact (`mrlr verify`).
+//!   re-parsing ([`certificate::StoredReport`], and whole batch
+//!   documents via [`certificate::parse_batch`]): what turns a stored
+//!   run into an offline-auditable artifact (`mrlr verify`).
 //! * [`json`] — the tiny no-deps JSON writer **and reader** the above
 //!   build on.
 
@@ -24,7 +25,10 @@ pub mod json;
 pub mod manifest;
 pub mod report;
 
-pub use certificate::{parse_report, parse_witness, witness_json, CertificateMode, StoredReport};
+pub use certificate::{
+    is_batch_document, parse_batch, parse_report, parse_witness, witness_json, BatchSlot,
+    CertificateMode, StoredBatch, StoredReport,
+};
 pub use instance::{parse_instance, render_instance};
 pub use json::{parse_json, Json, JsonValue};
 pub use manifest::{parse_manifest, JobSpec, Manifest};

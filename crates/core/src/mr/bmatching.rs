@@ -119,7 +119,9 @@ pub fn mr_b_matching(
 }
 
 /// Implementation shared by the deprecated [`mr_b_matching`] wrapper and the
-/// [`crate::api::BMatchingDriver`].
+/// [`crate::api::BMatchingDriver`]. Serves both cluster backends: `Backend::Mr`
+/// runs it on the classic engine, `Backend::Shard` on the sharded
+/// runtime (`MrConfig::exec.runtime`) — bit-identical either way.
 pub(crate) fn run(
     g: &Graph,
     b: &[u32],

@@ -123,7 +123,9 @@ pub fn mr_maximal_clique(
 }
 
 /// Implementation shared by the deprecated [`mr_maximal_clique`] wrapper and the
-/// [`crate::api::CliqueDriver`].
+/// [`crate::api::CliqueDriver`]. Serves both cluster backends: `Backend::Mr`
+/// runs it on the classic engine, `Backend::Shard` on the sharded
+/// runtime (`MrConfig::exec.runtime`) — bit-identical either way.
 pub(crate) fn run(
     g: &Graph,
     params: MisParams,

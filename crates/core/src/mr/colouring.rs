@@ -99,7 +99,9 @@ pub fn mr_vertex_colouring(
 }
 
 /// Implementation shared by the deprecated [`mr_vertex_colouring`] wrapper and the
-/// [`crate::api::ColouringDriver`].
+/// [`crate::api::ColouringDriver`]. Serves both cluster backends: `Backend::Mr`
+/// runs it on the classic engine, `Backend::Shard` on the sharded
+/// runtime (`MrConfig::exec.runtime`) — bit-identical either way.
 pub(crate) fn run_vertex(
     g: &Graph,
     kappa: usize,
@@ -270,7 +272,9 @@ pub fn mr_edge_colouring(
 }
 
 /// Implementation shared by the deprecated [`mr_edge_colouring`] wrapper and the
-/// [`crate::api::ColouringDriver`].
+/// [`crate::api::ColouringDriver`]. Serves both cluster backends: `Backend::Mr`
+/// runs it on the classic engine, `Backend::Shard` on the sharded
+/// runtime (`MrConfig::exec.runtime`) — bit-identical either way.
 pub(crate) fn run_edge(
     g: &Graph,
     kappa: usize,

@@ -106,7 +106,9 @@ pub fn mr_matching(g: &Graph, cfg: MrConfig) -> MrResult<(MatchingResult, Metric
 }
 
 /// Implementation shared by the deprecated [`mr_matching`] wrapper and the
-/// [`crate::api::MatchingDriver`].
+/// [`crate::api::MatchingDriver`]. Serves both cluster backends: `Backend::Mr`
+/// runs it on the classic engine, `Backend::Shard` on the sharded
+/// runtime (`MrConfig::exec.runtime`) — bit-identical either way.
 pub(crate) fn run(g: &Graph, cfg: MrConfig) -> MrResult<(MatchingResult, Metrics)> {
     if cfg.eta == 0 {
         return Err(MrError::BadConfig("eta must be positive".into()));

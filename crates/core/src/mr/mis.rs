@@ -245,7 +245,9 @@ pub fn mr_mis_fast(
 }
 
 /// Implementation shared by the deprecated [`mr_mis_fast`] wrapper and the
-/// [`crate::api::MisDriver`].
+/// [`crate::api::MisDriver`]. Serves both cluster backends: `Backend::Mr`
+/// runs it on the classic engine, `Backend::Shard` on the sharded
+/// runtime (`MrConfig::exec.runtime`) — bit-identical either way.
 pub(crate) fn run_fast(
     g: &Graph,
     params: MisParams,
@@ -399,7 +401,9 @@ pub fn mr_mis_simple(
 }
 
 /// Implementation shared by the deprecated [`mr_mis_simple`] wrapper and the
-/// [`crate::api::MisDriver`].
+/// [`crate::api::MisDriver`]. Serves both cluster backends: `Backend::Mr`
+/// runs it on the classic engine, `Backend::Shard` on the sharded
+/// runtime (`MrConfig::exec.runtime`) — bit-identical either way.
 pub(crate) fn run_simple(
     g: &Graph,
     params: MisParams,

@@ -24,32 +24,47 @@ pub mod set_cover;
 pub mod set_cover_greedy;
 pub mod vertex_cover;
 
-use mrlr_mapreduce::{ClusterConfig, Enforcement};
+use mrlr_mapreduce::{ClusterConfig, Enforcement, RuntimeKind};
 
 /// Execution-substrate parameters of a cluster run: how many OS threads
-/// the simulator may use for machine supersteps. This never affects
-/// results — the executor contract guarantees bit-identical solutions and
-/// [`mrlr_mapreduce::Metrics`] at every thread count — only wall-clock.
+/// the simulator may use for machine supersteps, and which runtime
+/// (scheduler + routing plane) executes them. Neither knob ever affects
+/// results — the runtime contract guarantees bit-identical solutions and
+/// [`mrlr_mapreduce::Metrics`] at every setting — only wall-clock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecConfig {
     /// Executor threads: `0`/`1` = sequential, `t > 1` = a shared
     /// `t`-thread pool ([`mrlr_mapreduce::executor`]).
     pub threads: usize,
+    /// Cluster runtime: `Classic` (dynamic scheduling + merge routing)
+    /// or `Shard` (static shard→thread assignment + per-destination
+    /// batched routing — what `Backend::Shard` forces). Defaults to the
+    /// `MRLR_BACKEND` environment variable.
+    pub runtime: RuntimeKind,
 }
 
 impl ExecConfig {
-    /// Sequential execution (the reference schedule).
-    pub const SEQ: ExecConfig = ExecConfig { threads: 1 };
+    /// Sequential execution on the classic runtime (the reference
+    /// schedule).
+    pub const SEQ: ExecConfig = ExecConfig {
+        threads: 1,
+        runtime: RuntimeKind::Classic,
+    };
 
-    /// A `threads`-thread pool.
+    /// A `threads`-thread pool on the process-default runtime.
     pub fn threads(threads: usize) -> Self {
-        ExecConfig { threads }
+        ExecConfig {
+            threads,
+            runtime: mrlr_mapreduce::default_runtime(),
+        }
     }
 
-    /// The process default: `MRLR_THREADS` when set, else sequential.
+    /// The process default: `MRLR_THREADS` / `MRLR_BACKEND` when set,
+    /// else sequential on the classic runtime.
     pub fn from_env() -> Self {
         ExecConfig {
             threads: mrlr_mapreduce::default_threads(),
+            runtime: mrlr_mapreduce::default_runtime(),
         }
     }
 }
@@ -156,9 +171,18 @@ impl MrConfig {
         self
     }
 
-    /// Overrides the executor thread count (see [`ExecConfig`]).
+    /// Overrides the executor thread count (see [`ExecConfig`]),
+    /// keeping the configured runtime.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.exec = ExecConfig::threads(threads);
+        self.exec.threads = threads;
+        self
+    }
+
+    /// Overrides the cluster runtime (see [`ExecConfig::runtime`]). The
+    /// `Backend::Shard` drivers apply this with [`RuntimeKind::Shard`];
+    /// outputs and metrics are bit-identical either way.
+    pub fn with_runtime(mut self, runtime: RuntimeKind) -> Self {
+        self.exec.runtime = runtime;
         self
     }
 
@@ -183,6 +207,8 @@ impl MrConfig {
             tree_fanout: self.fanout,
             central: 0,
             threads: self.exec.threads,
+            runtime: self.exec.runtime,
+            seed: self.seed,
         }
     }
 
@@ -214,6 +240,17 @@ mod tests {
         assert_eq!(cfg.exec, ExecConfig::threads(4));
         assert_eq!(cfg.cluster().threads, 4);
         assert_eq!(ExecConfig::SEQ.threads, 1);
+    }
+
+    #[test]
+    fn exec_config_runtime_reaches_the_cluster() {
+        let cfg = MrConfig::auto(50, 1000, 0.3, 9).with_runtime(RuntimeKind::Shard);
+        assert_eq!(cfg.exec.runtime, RuntimeKind::Shard);
+        assert_eq!(cfg.cluster().runtime, RuntimeKind::Shard);
+        // The shard RNG seed travels with the paper seed…
+        assert_eq!(cfg.cluster().seed, 9);
+        // …and thread overrides keep the chosen runtime.
+        assert_eq!(cfg.with_threads(4).exec.runtime, RuntimeKind::Shard);
     }
 
     #[test]

@@ -85,7 +85,9 @@ pub fn mr_set_cover_f(sys: &SetSystem, cfg: MrConfig) -> MrResult<(CoverResult, 
 }
 
 /// Implementation shared by the deprecated [`mr_set_cover_f`] wrapper and the
-/// [`crate::api::SetCoverFDriver`].
+/// [`crate::api::SetCoverFDriver`]. Serves both cluster backends: `Backend::Mr`
+/// runs it on the classic engine, `Backend::Shard` on the sharded
+/// runtime (`MrConfig::exec.runtime`) — bit-identical either way.
 pub(crate) fn run(sys: &SetSystem, cfg: MrConfig) -> MrResult<(CoverResult, Metrics)> {
     if !sys.is_coverable() {
         return Err(MrError::Infeasible(

@@ -117,7 +117,9 @@ pub fn mr_hungry_set_cover(
 }
 
 /// Implementation shared by the deprecated [`mr_hungry_set_cover`] wrapper and the
-/// [`crate::api::GreedySetCoverDriver`].
+/// [`crate::api::GreedySetCoverDriver`]. Serves both cluster backends: `Backend::Mr`
+/// runs it on the classic engine, `Backend::Shard` on the sharded
+/// runtime (`MrConfig::exec.runtime`) — bit-identical either way.
 pub(crate) fn run(
     sys: &SetSystem,
     params: HungryScParams,

@@ -103,7 +103,9 @@ pub fn mr_vertex_cover(
 }
 
 /// Implementation shared by the deprecated [`mr_vertex_cover`] wrapper and the
-/// [`crate::api::VertexCoverDriver`].
+/// [`crate::api::VertexCoverDriver`]. Serves both cluster backends: `Backend::Mr`
+/// runs it on the classic engine, `Backend::Shard` on the sharded
+/// runtime (`MrConfig::exec.runtime`) — bit-identical either way.
 pub(crate) fn run(g: &Graph, weights: &[f64], cfg: MrConfig) -> MrResult<(CoverResult, Metrics)> {
     assert_eq!(weights.len(), g.n());
     if cfg.eta == 0 {

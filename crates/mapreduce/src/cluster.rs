@@ -1,7 +1,17 @@
-//! The MPC/MapReduce cluster simulator.
+//! The MPC/MapReduce cluster simulator — a thin facade over the three
+//! runtime layers:
 //!
-//! A [`Cluster`] owns one state value per machine and exposes the
-//! communication primitives the paper's algorithms are built from:
+//! * [`crate::shard`] — each machine's state, RNG and space accounting
+//!   live in a [`Shard`] that owns them exclusively;
+//! * [`crate::router`] — the routing plane that delivers exchanged
+//!   messages (sequential merge or per-destination batched buffers);
+//! * [`crate::superstep`] — the scheduler that lays shard tasks onto OS
+//!   threads (dynamic claiming or work-stealing-free static assignment).
+//!
+//! [`ClusterConfig::runtime`] picks the (schedule, router) pair; both
+//! [`RuntimeKind`]s are bit-identical in every model-level observable.
+//! What this facade itself owns is the *model*: the communication
+//! primitives and their metering —
 //!
 //! * [`Cluster::local`] — machine-local computation (fused with the adjacent
 //!   communication round; costs no round of its own),
@@ -20,27 +30,17 @@
 //! See DESIGN.md ("Simulator honesty model").
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use crate::error::{CapacityKind, MrError, MrResult};
 use crate::executor::{self, Executor};
 use crate::metrics::{Metrics, RoundKind, Violation};
+use crate::router::{self, RouterKind};
+use crate::shard::{shards_from_states, Shard};
+use crate::superstep::{self, RuntimeKind, Scheduler};
 use crate::words::WordSized;
 
-/// Identifier of a simulated machine: `0..machines`.
-pub type MachineId = usize;
-
-/// Resident per-machine state.
-pub trait MachineState: Send + Sync {
-    /// Words of simulated memory this state occupies.
-    fn words(&self) -> usize;
-}
-
-impl<T: WordSized + Send + Sync> MachineState for T {
-    fn words(&self) -> usize {
-        WordSized::words(self)
-    }
-}
+pub use crate::router::Outbox;
+pub use crate::shard::{MachineId, MachineState};
 
 /// What to do when a word budget is exceeded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,13 +71,21 @@ pub struct ClusterConfig {
     /// [`crate::executor`]). Outputs and metrics are bit-identical either
     /// way; only wall-clock changes.
     pub threads: usize,
+    /// Which runtime executes the supersteps (scheduler + routing plane).
+    /// Bit-identical either way; defaults to the `MRLR_BACKEND`
+    /// environment variable ([`superstep::default_runtime`]).
+    pub runtime: RuntimeKind,
+    /// Seed of the machine-local shard RNG streams
+    /// ([`Shard::rng_mut`](crate::shard::Shard::rng_mut)).
+    pub seed: u64,
 }
 
 impl ClusterConfig {
     /// A strict cluster with `machines` machines of `capacity` words and
     /// tree fan-out chosen so a broadcast takes one hop when it fits. The
     /// thread count defaults to the `MRLR_THREADS` environment variable
-    /// ([`executor::default_threads`]).
+    /// ([`executor::default_threads`]) and the runtime to `MRLR_BACKEND`
+    /// ([`superstep::default_runtime`]).
     pub fn new(machines: usize, capacity: usize) -> Self {
         ClusterConfig {
             machines,
@@ -86,6 +94,8 @@ impl ClusterConfig {
             tree_fanout: machines.max(2),
             central: 0,
             threads: executor::default_threads(),
+            runtime: superstep::default_runtime(),
+            seed: 0,
         }
     }
 
@@ -98,6 +108,18 @@ impl ClusterConfig {
     /// Sets the executor thread count (see [`ClusterConfig::threads`]).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the runtime (see [`ClusterConfig::runtime`]).
+    pub fn with_runtime(mut self, runtime: RuntimeKind) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Sets the shard-RNG seed (see [`ClusterConfig::seed`]).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 
@@ -145,50 +167,20 @@ pub fn tree_depth(machines: usize, fanout: usize) -> usize {
     depth
 }
 
-/// Outgoing messages staged by one machine during a superstep.
-#[derive(Debug)]
-pub struct Outbox<M> {
-    machines: usize,
-    msgs: Vec<(MachineId, M)>,
-}
-
-impl<M> Outbox<M> {
-    fn new(machines: usize) -> Self {
-        Outbox {
-            machines,
-            msgs: Vec::new(),
-        }
-    }
-
-    /// Stages `msg` for delivery to `dst` at the start of the next round.
-    pub fn send(&mut self, dst: MachineId, msg: M) {
-        assert!(dst < self.machines, "destination {dst} out of range");
-        self.msgs.push((dst, msg));
-    }
-
-    /// Number of staged messages.
-    pub fn len(&self) -> usize {
-        self.msgs.len()
-    }
-
-    /// True if nothing has been staged.
-    pub fn is_empty(&self) -> bool {
-        self.msgs.is_empty()
-    }
-}
-
 /// The simulated cluster. `S` is the resident per-machine state.
 pub struct Cluster<S> {
     cfg: ClusterConfig,
-    states: Vec<S>,
+    shards: Vec<Shard<S>>,
     metrics: Metrics,
     central_extra: usize,
-    exec: Arc<dyn Executor>,
+    sched: Scheduler,
+    router: RouterKind,
 }
 
 impl<S: MachineState> Cluster<S> {
     /// Creates a cluster with one state per machine, executing supersteps
-    /// on the executor selected by [`ClusterConfig::threads`].
+    /// on the executor selected by [`ClusterConfig::threads`] under the
+    /// runtime selected by [`ClusterConfig::runtime`].
     pub fn new(cfg: ClusterConfig, states: Vec<S>) -> MrResult<Self> {
         let exec = executor::executor_for(cfg.threads);
         Cluster::with_executor(cfg, states, exec)
@@ -196,8 +188,8 @@ impl<S: MachineState> Cluster<S> {
 
     /// Creates a cluster running machine supersteps on an explicit
     /// [`Executor`] (overriding [`ClusterConfig::threads`]). Outputs and
-    /// [`Metrics`] are bit-identical across executors; only the
-    /// wall-clock [`crate::metrics::SuperstepTiming`]s differ.
+    /// [`Metrics`] are bit-identical across executors and runtimes; only
+    /// the wall-clock [`crate::metrics::SuperstepTiming`]s differ.
     pub fn with_executor(
         cfg: ClusterConfig,
         states: Vec<S>,
@@ -212,12 +204,16 @@ impl<S: MachineState> Cluster<S> {
             )));
         }
         let metrics = Metrics::new(cfg.machines, cfg.capacity);
+        let sched = Scheduler::new(exec, cfg.runtime.schedule());
+        let router = cfg.runtime.router();
+        let shards = shards_from_states(states, cfg.seed);
         let mut cluster = Cluster {
             cfg,
-            states,
+            shards,
             metrics,
             central_extra: 0,
-            exec,
+            sched,
+            router,
         };
         cluster.check_states()?;
         Ok(cluster)
@@ -225,7 +221,7 @@ impl<S: MachineState> Cluster<S> {
 
     /// The executor running this cluster's machine supersteps.
     pub fn executor(&self) -> &Arc<dyn Executor> {
-        &self.exec
+        self.sched.executor()
     }
 
     /// The configuration this cluster runs under.
@@ -250,17 +246,28 @@ impl<S: MachineState> Cluster<S> {
 
     /// Immutable view of a machine's state.
     pub fn state(&self, id: MachineId) -> &S {
-        &self.states[id]
+        self.shards[id].state()
     }
 
-    /// Immutable view of all machine states.
-    pub fn states(&self) -> &[S] {
-        &self.states
+    /// Immutable view of all shards (machine id order).
+    pub fn shards(&self) -> &[Shard<S>] {
+        &self.shards
+    }
+
+    /// Exclusive access to one shard — the seam for machine-local RNG
+    /// draws ([`Shard::rng_mut`]) outside the metered passes. Mutating
+    /// resident state here bypasses no budget for long: every primitive
+    /// re-checks state budgets on its next pass.
+    pub fn shard_mut(&mut self, id: MachineId) -> &mut Shard<S> {
+        &mut self.shards[id]
     }
 
     /// Consumes the cluster, returning states and metrics.
     pub fn into_parts(self) -> (Vec<S>, Metrics) {
-        (self.states, self.metrics)
+        (
+            self.shards.into_iter().map(Shard::into_state).collect(),
+            self.metrics,
+        )
     }
 
     /// Constructs the paper's `fail` error at the current round.
@@ -275,7 +282,7 @@ impl<S: MachineState> Cluster<S> {
     /// (e.g. the local-ratio stack). Replaces any previous charge.
     pub fn charge_central(&mut self, words: usize) -> MrResult<()> {
         self.central_extra = words;
-        let used = self.states[self.cfg.central].words() + words;
+        let used = self.shards[self.cfg.central].words() + words;
         self.metrics.peak_central_words = self.metrics.peak_central_words.max(used);
         self.budget(self.cfg.central, CapacityKind::CentralGather, used)
     }
@@ -306,7 +313,7 @@ impl<S: MachineState> Cluster<S> {
     }
 
     fn check_states(&mut self) -> MrResult<()> {
-        let sizes: Vec<usize> = executor::map_slice(&*self.exec, &self.states, |_, s| s.words());
+        let sizes: Vec<usize> = self.sched.map_ref(&self.shards, |_, shard| shard.words());
         let peak = sizes.iter().copied().max().unwrap_or(0);
         self.metrics.peak_machine_words = self.metrics.peak_machine_words.max(peak);
         let central_used = sizes[self.cfg.central] + self.central_extra;
@@ -325,20 +332,19 @@ impl<S: MachineState> Cluster<S> {
         F: Fn(MachineId, &mut S) + Sync,
     {
         self.metrics.supersteps += 1;
-        let pass = Instant::now();
-        let durs = executor::map_slice_mut(&*self.exec, &mut self.states, |id, s| {
-            let t = Instant::now();
-            f(id, s);
-            t.elapsed().as_nanos() as u64
-        });
+        let pass = self
+            .sched
+            .timed_mut(&mut self.shards, |id, shard| f(id, shard.state_mut()));
         self.metrics
-            .record_timing(pass.elapsed().as_nanos() as u64, &durs);
+            .record_timing(pass.wall_nanos, &pass.task_nanos);
         self.check_states()
     }
 
     /// One round of point-to-point communication. `produce` runs on every
     /// machine and stages messages; `consume` runs on every machine with the
     /// messages addressed to it (ordered by sender id, then send order).
+    /// Delivery goes through the configured routing plane
+    /// ([`ClusterConfig::runtime`]); the inboxes are identical either way.
     pub fn exchange<M, P, C>(&mut self, produce: P, consume: C) -> MrResult<()>
     where
         M: WordSized + Send,
@@ -348,36 +354,24 @@ impl<S: MachineState> Cluster<S> {
         self.metrics.supersteps += 1;
         let machines = self.cfg.machines;
         // Meter outgoing volume per machine while producing. Machines run
-        // concurrently on the executor; results come back in machine-id
+        // concurrently on the scheduler; results come back in machine-id
         // order regardless of schedule.
-        let pass = Instant::now();
-        let produced = executor::map_slice_mut(&*self.exec, &mut self.states, |id, s| {
-            let t = Instant::now();
+        let pass = self.sched.timed_mut(&mut self.shards, |id, shard| {
             let mut out = Outbox::new(machines);
-            produce(id, s, &mut out);
-            let words = out.msgs.iter().map(|(_, m)| m.words()).sum::<usize>();
-            (out, words, t.elapsed().as_nanos() as u64)
+            produce(id, shard.state_mut(), &mut out);
+            let words = out.staged_words();
+            (out, words)
         });
-        let produce_wall = pass.elapsed().as_nanos() as u64;
-        let produce_durs: Vec<u64> = produced.iter().map(|&(_, _, d)| d).collect();
-        self.metrics.record_timing(produce_wall, &produce_durs);
-        let (outboxes, out_words): (Vec<Outbox<M>>, Vec<usize>) = produced
-            .into_iter()
-            .map(|(out, words, _)| (out, words))
-            .unzip();
+        self.metrics
+            .record_timing(pass.wall_nanos, &pass.task_nanos);
+        let (outboxes, out_words): (Vec<Outbox<M>>, Vec<usize>) = pass.results.into_iter().unzip();
 
-        // Deliver: stable order (sender id, then send order within sender).
-        let mut inboxes: Vec<Vec<M>> = (0..machines).map(|_| Vec::new()).collect();
-        let mut in_words = vec![0usize; machines];
-        for outbox in outboxes {
-            for (dst, msg) in outbox.msgs {
-                in_words[dst] += msg.words();
-                inboxes[dst].push(msg);
-            }
-        }
+        // Deliver: stable order (sender id, then send order within sender),
+        // identical across routing planes.
+        let delivery = router::route(self.router, &self.sched, machines, outboxes);
 
         let max_out = out_words.iter().copied().max().unwrap_or(0);
-        let max_in = in_words.iter().copied().max().unwrap_or(0);
+        let max_in = delivery.in_words.iter().copied().max().unwrap_or(0);
         let total: usize = out_words.iter().sum();
         self.metrics
             .record_round(RoundKind::Exchange, max_out, max_in, total);
@@ -385,23 +379,21 @@ impl<S: MachineState> Cluster<S> {
         for (id, used) in out_words.into_iter().enumerate() {
             self.budget(id, CapacityKind::Outbox, used)?;
         }
-        for (id, used) in in_words.into_iter().enumerate() {
+        for (id, used) in delivery.in_words.iter().copied().enumerate() {
             self.budget(id, CapacityKind::Inbox, used)?;
         }
 
-        // Consume concurrently: each machine owns its state and its inbox
-        // (delivery order above was fixed in sender-id order, so the
-        // executor schedule cannot leak into observables).
-        let pass = Instant::now();
-        let mut pairs: Vec<(&mut S, Vec<M>)> = self.states.iter_mut().zip(inboxes).collect();
-        let consume_durs = executor::map_slice_mut(&*self.exec, &mut pairs, |id, (s, inbox)| {
-            let t = Instant::now();
-            consume(id, s, std::mem::take(inbox));
-            t.elapsed().as_nanos() as u64
+        // Consume concurrently: each machine owns its shard and its inbox
+        // (delivery order above was fixed in sender-id order, so neither
+        // the schedule nor the routing plane can leak into observables).
+        let mut pairs: Vec<(&mut Shard<S>, Vec<M>)> =
+            self.shards.iter_mut().zip(delivery.inboxes).collect();
+        let pass = self.sched.timed_mut(&mut pairs, |id, (shard, inbox)| {
+            consume(id, shard.state_mut(), std::mem::take(inbox));
         });
         drop(pairs);
         self.metrics
-            .record_timing(pass.elapsed().as_nanos() as u64, &consume_durs);
+            .record_timing(pass.wall_nanos, &pass.task_nanos);
         self.check_states()
     }
 
@@ -416,20 +408,14 @@ impl<S: MachineState> Cluster<S> {
     {
         self.metrics.supersteps += 1;
         let central = self.cfg.central;
-        let pass = Instant::now();
-        let produced = executor::map_slice_mut(&*self.exec, &mut self.states, |id, s| {
-            let t = Instant::now();
-            let batch = produce(id, s);
+        let pass = self.sched.timed_mut(&mut self.shards, |id, shard| {
+            let batch = produce(id, shard.state_mut());
             let words = batch.iter().map(WordSized::words).sum::<usize>();
-            (batch, words, t.elapsed().as_nanos() as u64)
+            (batch, words)
         });
-        let wall = pass.elapsed().as_nanos() as u64;
-        let durs: Vec<u64> = produced.iter().map(|&(_, _, d)| d).collect();
-        self.metrics.record_timing(wall, &durs);
-        let (batches, out_words): (Vec<Vec<M>>, Vec<usize>) = produced
-            .into_iter()
-            .map(|(batch, words, _)| (batch, words))
-            .unzip();
+        self.metrics
+            .record_timing(pass.wall_nanos, &pass.task_nanos);
+        let (batches, out_words): (Vec<Vec<M>>, Vec<usize>) = pass.results.into_iter().unzip();
         let total: usize = out_words.iter().sum();
         let max_out = out_words.iter().copied().max().unwrap_or(0);
         self.metrics
@@ -438,7 +424,7 @@ impl<S: MachineState> Cluster<S> {
         for (id, used) in out_words.into_iter().enumerate() {
             self.budget(id, CapacityKind::Outbox, used)?;
         }
-        let central_used = self.states[central].words() + self.central_extra + total;
+        let central_used = self.shards[central].words() + self.central_extra + total;
         self.metrics.peak_central_words = self.metrics.peak_central_words.max(central_used);
         self.budget(central, CapacityKind::CentralGather, central_used)?;
 
@@ -485,16 +471,12 @@ impl<S: MachineState> Cluster<S> {
         C: Fn(T, T) -> T,
     {
         self.metrics.supersteps += 1;
-        let pass = Instant::now();
-        let extracted = executor::map_slice(&*self.exec, &self.states, |id, s| {
-            let t = Instant::now();
-            let v = extract(id, s);
-            (v, t.elapsed().as_nanos() as u64)
-        });
-        let wall = pass.elapsed().as_nanos() as u64;
-        let durs: Vec<u64> = extracted.iter().map(|&(_, d)| d).collect();
-        self.metrics.record_timing(wall, &durs);
-        let mut values: Vec<T> = extracted.into_iter().map(|(v, _)| v).collect();
+        let pass = self
+            .sched
+            .timed_ref(&self.shards, |id, shard| extract(id, shard.state()));
+        self.metrics
+            .record_timing(pass.wall_nanos, &pass.task_nanos);
+        let mut values: Vec<T> = pass.results;
 
         let max_words = values.iter().map(WordSized::words).max().unwrap_or(0);
         let total: usize = values.iter().map(WordSized::words).sum();
@@ -543,18 +525,9 @@ impl<S: MachineState> Cluster<S> {
 mod tests {
     use super::*;
 
-    #[derive(Debug)]
-    struct VecState(Vec<u64>);
-    impl MachineState for VecState {
-        fn words(&self) -> usize {
-            self.0.len()
-        }
-    }
-
-    fn cluster(machines: usize, cap: usize) -> Cluster<VecState> {
-        let states = (0..machines).map(|i| VecState(vec![i as u64])).collect();
-        Cluster::new(ClusterConfig::new(machines, cap), states).unwrap()
-    }
+    // The behavioural suite of the cluster primitives lives in
+    // `tests/cluster_api.rs` (it exercises only public API and covers
+    // both runtimes); here we keep the facade-level pieces.
 
     #[test]
     fn tree_depth_examples() {
@@ -572,183 +545,6 @@ mod tests {
     }
 
     #[test]
-    fn local_costs_no_round() {
-        let mut c = cluster(4, 100);
-        c.local(|id, s| s.0.push(id as u64)).unwrap();
-        assert_eq!(c.rounds(), 0);
-        assert_eq!(c.state(2).0, vec![2, 2]);
-    }
-
-    #[test]
-    fn exchange_delivers_in_sender_order() {
-        let mut c = cluster(3, 100);
-        c.exchange::<(u64, u64), _, _>(
-            |id, _s, out| {
-                // everyone sends (id, id*10) to machine 0
-                out.send(0, (id as u64, id as u64 * 10));
-            },
-            |id, s, inbox| {
-                if id == 0 {
-                    for (src, val) in inbox {
-                        s.0.push(src);
-                        s.0.push(val);
-                    }
-                }
-            },
-        )
-        .unwrap();
-        assert_eq!(c.rounds(), 1);
-        assert_eq!(c.state(0).0, vec![0, 0, 0, 1, 10, 2, 20]);
-    }
-
-    #[test]
-    fn exchange_meters_words() {
-        let mut c = cluster(2, 100);
-        c.exchange::<u64, _, _>(
-            |id, _s, out| {
-                if id == 1 {
-                    for _ in 0..5 {
-                        out.send(0, 7);
-                    }
-                }
-            },
-            |_, _, _| {},
-        )
-        .unwrap();
-        let m = c.metrics();
-        assert_eq!(m.total_message_words, 5);
-        assert_eq!(m.peak_out_words, 5);
-        assert_eq!(m.peak_in_words, 5);
-    }
-
-    #[test]
-    fn outbox_capacity_enforced() {
-        let mut c = cluster(2, 4);
-        let err = c
-            .exchange::<u64, _, _>(
-                |id, _s, out| {
-                    if id == 0 {
-                        for _ in 0..10 {
-                            out.send(1, 1);
-                        }
-                    }
-                },
-                |_, _, _| {},
-            )
-            .unwrap_err();
-        match err {
-            MrError::CapacityExceeded { kind, used, .. } => {
-                assert_eq!(kind, CapacityKind::Outbox);
-                assert_eq!(used, 10);
-            }
-            other => panic!("unexpected error {other:?}"),
-        }
-    }
-
-    #[test]
-    fn state_capacity_enforced_after_local() {
-        let mut c = cluster(2, 3);
-        let err = c
-            .local(|_, s| s.0.extend_from_slice(&[1, 2, 3, 4]))
-            .unwrap_err();
-        assert!(matches!(
-            err,
-            MrError::CapacityExceeded {
-                kind: CapacityKind::State,
-                ..
-            }
-        ));
-    }
-
-    #[test]
-    fn record_mode_logs_instead_of_failing() {
-        let cfg = ClusterConfig::new(2, 3).with_enforcement(Enforcement::Record);
-        let states = (0..2).map(|i| VecState(vec![i as u64])).collect();
-        let mut c = Cluster::new(cfg, states).unwrap();
-        c.local(|_, s| s.0.extend_from_slice(&[1, 2, 3, 4]))
-            .unwrap();
-        assert!(!c.metrics().violations.is_empty());
-        assert!(c.metrics().peak_machine_words >= 5);
-    }
-
-    #[test]
-    fn gather_returns_in_machine_order() {
-        let mut c = cluster(4, 100);
-        let got = c.gather(|id, _s| vec![id as u64, 100 + id as u64]).unwrap();
-        assert_eq!(got, vec![0, 100, 1, 101, 2, 102, 3, 103]);
-        assert_eq!(c.rounds(), 1);
-        assert!(c.metrics().peak_central_words >= 8);
-    }
-
-    #[test]
-    fn gather_overflow_detected() {
-        let mut c = cluster(4, 5);
-        let err = c.gather(|_, _| vec![0u64, 0, 0]).unwrap_err();
-        assert!(matches!(
-            err,
-            MrError::CapacityExceeded {
-                kind: CapacityKind::CentralGather,
-                ..
-            }
-        ));
-    }
-
-    #[test]
-    fn broadcast_counts_tree_rounds() {
-        let cfg = ClusterConfig::new(100, 1000).with_fanout(9);
-        let states = (0..100).map(|i| VecState(vec![i as u64])).collect();
-        let mut c = Cluster::new(cfg, states).unwrap();
-        let rounds = c.broadcast_words(10).unwrap();
-        // coverage: 1 -> 10 -> 100, two hops
-        assert_eq!(rounds, 2);
-        assert_eq!(c.rounds(), 2);
-        assert_eq!(c.metrics().total_message_words, 10 * 99);
-    }
-
-    #[test]
-    fn broadcast_hop_capacity() {
-        let cfg = ClusterConfig::new(100, 50).with_fanout(9);
-        let states = (0..100).map(|_| VecState(vec![])).collect();
-        let mut c = Cluster::new(cfg, states).unwrap();
-        // 10 words * fanout 9 = 90 > 50
-        let err = c.broadcast_words(10).unwrap_err();
-        assert!(matches!(
-            err,
-            MrError::CapacityExceeded {
-                kind: CapacityKind::BroadcastHop,
-                ..
-            }
-        ));
-    }
-
-    #[test]
-    fn aggregate_combines_deterministically() {
-        let mut c = cluster(8, 100);
-        let total = c.aggregate_sum(|id, _| id).unwrap();
-        assert_eq!(total, 28);
-        // one value per machine, tree fanout = machines => 1 hop
-        assert_eq!(c.rounds(), 1);
-        // Non-commutative combine is applied in machine order.
-        let concat = c
-            .aggregate(
-                |id, _| vec![id as u64],
-                |mut a, b| {
-                    a.extend(b);
-                    a
-                },
-            )
-            .unwrap();
-        assert_eq!(concat, vec![0, 1, 2, 3, 4, 5, 6, 7]);
-    }
-
-    #[test]
-    fn charge_central_is_budgeted() {
-        let mut c = cluster(2, 10);
-        c.charge_central(5).unwrap();
-        assert!(c.charge_central(50).is_err());
-    }
-
-    #[test]
     fn config_validation() {
         assert!(ClusterConfig::new(0, 10).validate().is_err());
         assert!(ClusterConfig::new(2, 0).validate().is_err());
@@ -759,85 +555,21 @@ mod tests {
     }
 
     #[test]
+    fn config_builders_set_runtime_and_seed() {
+        let cfg = ClusterConfig::new(4, 100)
+            .with_runtime(RuntimeKind::Shard)
+            .with_seed(7)
+            .with_threads(3);
+        assert_eq!(cfg.runtime, RuntimeKind::Shard);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.threads, 3);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
     fn wrong_state_count_rejected() {
         let cfg = ClusterConfig::new(3, 10);
-        let states = vec![VecState(vec![])];
+        let states = vec![vec![0u64]];
         assert!(Cluster::new(cfg, states).is_err());
-    }
-
-    #[test]
-    fn single_machine_broadcast_free() {
-        let mut c = cluster(1, 100);
-        assert_eq!(c.broadcast_words(5).unwrap(), 0);
-        assert_eq!(c.rounds(), 0);
-    }
-
-    #[test]
-    fn supersteps_record_wall_clock_timings() {
-        let mut c = cluster(4, 1000);
-        c.local(|_, s| s.0.push(1)).unwrap();
-        c.exchange::<u64, _, _>(|id, _, out| out.send(0, id as u64), |_, _, _| {})
-            .unwrap();
-        // local = 1 pass, exchange = produce + consume = 2 passes.
-        assert_eq!(c.metrics().superstep_timings.len(), 3);
-        for t in &c.metrics().superstep_timings {
-            assert_eq!(t.tasks, 4);
-            assert!(t.wall_nanos > 0);
-        }
-        assert!(c.metrics().total_wall_nanos() > 0);
-    }
-
-    /// The executor contract end-to-end: a mixed workload (local, skewed
-    /// exchange, gather, broadcast, aggregate) is bit-identical — states
-    /// and `Metrics` — across the sequential executor and thread pools of
-    /// several sizes.
-    #[test]
-    fn threaded_run_is_bit_identical_to_sequential() {
-        use crate::executor::{SeqExecutor, ThreadPoolExecutor};
-
-        fn workload(exec: Arc<dyn Executor>) -> (Vec<Vec<u64>>, Metrics) {
-            let machines = 16;
-            let states: Vec<VecState> = (0..machines).map(|i| VecState(vec![i as u64])).collect();
-            let mut c = Cluster::with_executor(ClusterConfig::new(machines, 100_000), states, exec)
-                .unwrap();
-            // Skewed local work: machine i does O(i^2) pushes/pops.
-            c.local(|id, s| {
-                for k in 0..(id * id) as u64 {
-                    s.0.push(k);
-                }
-                s.0.truncate(id + 1);
-            })
-            .unwrap();
-            // All-to-all exchange with value-dependent destinations.
-            c.exchange::<(u64, u64), _, _>(
-                |id, s, out| {
-                    for (j, &v) in s.0.iter().enumerate() {
-                        out.send((id + j) % machines, (id as u64, v));
-                    }
-                },
-                |_, s, inbox| {
-                    for (src, v) in inbox {
-                        s.0.push(src * 1000 + v);
-                    }
-                },
-            )
-            .unwrap();
-            let gathered = c.gather(|id, s| vec![id as u64, s.0.len() as u64]).unwrap();
-            c.broadcast_words(gathered.len()).unwrap();
-            let sum = c.aggregate_sum(|_, s| s.0.len()).unwrap();
-            c.local(move |_, s| s.0.push(sum as u64)).unwrap();
-            let (states, metrics) = c.into_parts();
-            (states.into_iter().map(|s| s.0).collect(), metrics)
-        }
-
-        let (seq_states, seq_metrics) = workload(Arc::new(SeqExecutor));
-        for threads in [1usize, 2, 8] {
-            let (states, metrics) = workload(Arc::new(ThreadPoolExecutor::new(threads)));
-            assert_eq!(states, seq_states, "states diverged at {threads} threads");
-            assert_eq!(
-                metrics, seq_metrics,
-                "metrics diverged at {threads} threads"
-            );
-        }
     }
 }

@@ -4,15 +4,17 @@
 //! OS threads. The trait's only required operation, [`Executor::run`], is
 //! an *unordered* index-parallel for-loop; every ordered observable is
 //! reconstructed afterwards in machine-id order by the deterministic
-//! helpers in this module. The cluster's supersteps are built on
-//! [`map_slice`] and [`map_slice_mut`]; [`for_each_mut`] (mutation
-//! without results) and [`fold_slice`] (extract in parallel, combine
-//! sequentially in index order) round out the surface for external
-//! drivers that program against the executor directly. Because each task
-//! touches only its own machine's state and its own output slot, and all
-//! merges are index-ordered, a run is **bit-identical** across executors
-//! and thread counts — the determinism contract the equivalence suites
-//! assert.
+//! helpers layered on top. The cluster's supersteps go through the
+//! scheduling layer ([`crate::superstep::Scheduler`]), which adds the
+//! dynamic-vs-static shard→thread policy; the direct helpers here —
+//! [`map_slice`] / [`map_slice_mut`] (index-ordered maps),
+//! [`for_each_mut`] (mutation without results) and [`fold_slice`]
+//! (extract in parallel, combine sequentially in index order) — remain
+//! the surface for external drivers that program against the executor
+//! directly. Because each task touches only its own machine's state and
+//! its own output slot, and all merges are index-ordered, a run is
+//! **bit-identical** across executors and thread counts — the
+//! determinism contract the equivalence suites assert.
 //!
 //! Two executors ship:
 //!
@@ -273,16 +275,24 @@ impl Drop for ThreadPoolExecutor {
 /// Pointer wrapper that lets disjoint-index tasks write into a shared
 /// buffer. Soundness: every task touches only its own index. Access goes
 /// through the method (not the field) so 2021-edition closures capture
-/// the `Sync` wrapper rather than the raw pointer inside it.
-struct RawSlots<T>(*mut T);
+/// the `Sync` wrapper rather than the raw pointer inside it. Shared with
+/// the scheduler and router layers ([`crate::superstep`],
+/// [`crate::router`]), which use the same disjoint-index discipline.
+pub(crate) struct RawSlots<T>(*mut T);
 unsafe impl<T: Send> Sync for RawSlots<T> {}
 
 impl<T> RawSlots<T> {
+    /// Wraps the base pointer of a buffer whose slots will be accessed
+    /// by disjoint indices.
+    pub(crate) fn new(base: *mut T) -> Self {
+        RawSlots(base)
+    }
+
     /// Pointer to slot `i`.
     ///
     /// # Safety
     /// `i` must be in bounds, and no two live accesses may alias.
-    unsafe fn slot(&self, i: usize) -> *mut T {
+    pub(crate) unsafe fn slot(&self, i: usize) -> *mut T {
         self.0.add(i)
     }
 }

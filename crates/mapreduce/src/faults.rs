@@ -21,6 +21,13 @@
 //!   the round's duration is the maximum slowdown among its machines.
 //! * Fault events aimed at rounds the run never executed are ignored.
 //!
+//! Straggler costs come in two flavours: [`apply`] uses the plan's
+//! synthetic multipliers, while [`apply_measured`] prices each straggler
+//! from the run's **measured** per-superstep wall-clock skew
+//! ([`Metrics::superstep_timings`]) and falls back to the synthetic
+//! multiplier only when the struck superstep carries no timing signal
+//! (e.g. masked timings).
+//!
 //! ```
 //! use mrlr_mapreduce::faults::{apply, FaultEvent, FaultKind, FaultPlan};
 //! use mrlr_mapreduce::metrics::{Metrics, RoundKind};
@@ -159,6 +166,11 @@ pub struct RecoveryReport {
     pub crashes_applied: usize,
     /// Straggler events that landed on executed rounds.
     pub stragglers_applied: usize,
+    /// Straggler events whose cost came from *measured*
+    /// [`Metrics::superstep_timings`] skew rather than the plan's
+    /// synthetic multiplier. Always 0 for [`apply`]; see
+    /// [`apply_measured`].
+    pub stragglers_measured: usize,
 }
 
 impl RecoveryReport {
@@ -172,13 +184,35 @@ impl RecoveryReport {
     }
 }
 
-/// Prices `plan` against the per-round records in `metrics`.
+/// Prices `plan` against the per-round records in `metrics`, costing
+/// every straggler at its event's synthetic multiplier.
 pub fn apply(metrics: &Metrics, plan: &FaultPlan) -> RecoveryReport {
+    price(metrics, plan, false)
+}
+
+/// Prices `plan` with **measured** straggler costs: a straggler striking
+/// round `r` slows that round by the worst skew
+/// ([`crate::metrics::SuperstepTiming::skew`]) actually observed in the
+/// executor passes of `r`'s superstep — the empirical "slowest machine
+/// over mean machine" ratio of the real run — clamped to at least 1.
+///
+/// The synthetic multiplier of the event is the *documented fallback*:
+/// it is used whenever the struck superstep carries no timing signal
+/// (timings masked to zero for golden-file determinism, synthetic
+/// `Metrics` built by [`Metrics::record_round`] alone, or passes with no
+/// measurable work). [`RecoveryReport::stragglers_measured`] counts how
+/// many events were priced from measurements.
+pub fn apply_measured(metrics: &Metrics, plan: &FaultPlan) -> RecoveryReport {
+    price(metrics, plan, true)
+}
+
+fn price(metrics: &Metrics, plan: &FaultPlan, measured: bool) -> RecoveryReport {
     let base_rounds = metrics.rounds;
     let mut round_slowdown = vec![1.0f64; base_rounds + 1];
     let mut round_crashed = vec![false; base_rounds + 1];
     let mut crashes_applied = 0usize;
     let mut stragglers_applied = 0usize;
+    let mut stragglers_measured = 0usize;
     for e in plan.events() {
         if e.round == 0 || e.round > base_rounds || e.machine >= metrics.machines {
             continue;
@@ -188,8 +222,23 @@ pub fn apply(metrics: &Metrics, plan: &FaultPlan) -> RecoveryReport {
                 round_crashed[e.round] = true;
                 crashes_applied += 1;
             }
-            FaultKind::Straggler(s) => {
-                round_slowdown[e.round] = round_slowdown[e.round].max(s);
+            FaultKind::Straggler(synthetic) => {
+                let slowdown = if measured {
+                    match metrics
+                        .per_round
+                        .get(e.round - 1)
+                        .and_then(|r| metrics.superstep_skew(r.superstep))
+                    {
+                        Some(skew) => {
+                            stragglers_measured += 1;
+                            skew.max(1.0)
+                        }
+                        None => synthetic,
+                    }
+                } else {
+                    synthetic
+                };
+                round_slowdown[e.round] = round_slowdown[e.round].max(slowdown);
                 stragglers_applied += 1;
             }
         }
@@ -203,6 +252,7 @@ pub fn apply(metrics: &Metrics, plan: &FaultPlan) -> RecoveryReport {
         makespan,
         crashes_applied,
         stragglers_applied,
+        stragglers_measured,
     }
 }
 
@@ -332,6 +382,70 @@ mod tests {
         assert_eq!(r.effective_rounds, 3);
         // round 1 at 4.0 + round 2 at 1.0 + one redo at 1.0
         assert!((r.makespan - 6.0).abs() < 1e-12);
+    }
+
+    /// A two-round run whose first superstep measured a 3× straggler
+    /// skew (one machine took 600ns against a 200ns mean).
+    fn measured_run() -> Metrics {
+        let mut m = Metrics::new(4, 1000);
+        m.supersteps = 1;
+        m.record_round(RoundKind::Exchange, 1, 1, 1);
+        m.record_timing(700, &[600, 100, 50, 50]);
+        m.supersteps = 2;
+        m.record_round(RoundKind::Gather, 1, 1, 1);
+        m.record_timing(100, &[25, 25, 25, 25]);
+        m
+    }
+
+    #[test]
+    fn measured_skew_prices_stragglers() {
+        let m = measured_run();
+        let plan = FaultPlan::new(vec![FaultEvent {
+            round: 1,
+            machine: 0,
+            kind: FaultKind::Straggler(10.0), // synthetic guess, ignored
+        }]);
+        let r = apply_measured(&m, &plan);
+        // Round 1's superstep measured skew 600 / (800/4) = 3.0; the
+        // synthetic 10× multiplier is not used.
+        assert_eq!(r.stragglers_measured, 1);
+        assert!((r.makespan - (3.0 + 1.0)).abs() < 1e-12, "{}", r.makespan);
+        // The synthetic path still prices the same plan at 10×.
+        let synthetic = apply(&m, &plan);
+        assert_eq!(synthetic.stragglers_measured, 0);
+        assert!((synthetic.makespan - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_skew_clamps_to_at_least_one() {
+        // Round 2's superstep is perfectly balanced (skew exactly 1.0):
+        // a measured straggler there cannot speed the round up.
+        let m = measured_run();
+        let plan = FaultPlan::new(vec![FaultEvent {
+            round: 2,
+            machine: 1,
+            kind: FaultKind::Straggler(5.0),
+        }]);
+        let r = apply_measured(&m, &plan);
+        assert_eq!(r.stragglers_measured, 1);
+        assert!((r.makespan - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_timings_fall_back_to_synthetic() {
+        // Synthetic metrics (record_round only, no timings) are exactly
+        // the masked case: apply_measured must price with the plan's
+        // multiplier and report zero measured events.
+        let m = run_of(3, 4);
+        let plan = FaultPlan::new(vec![FaultEvent {
+            round: 2,
+            machine: 0,
+            kind: FaultKind::Straggler(2.5),
+        }]);
+        let measured = apply_measured(&m, &plan);
+        assert_eq!(measured.stragglers_measured, 0);
+        assert_eq!(measured, apply(&m, &plan));
+        assert!((measured.makespan - 4.5).abs() < 1e-12);
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!   [`cluster::Cluster::gather`], [`cluster::Cluster::broadcast`],
 //!   [`cluster::Cluster::aggregate`]) with strict word budgets, tree-depth
 //!   round accounting for broadcasts/aggregations (the paper's `n^µ`-ary
-//!   broadcast tree), and full [`metrics::Metrics`].
+//!   broadcast tree), and full [`metrics::Metrics`]. It is a thin facade
+//!   over three owned runtime layers: [`shard`] (per-machine state, RNG
+//!   and space accounting), [`router`] (the message-delivery plane) and
+//!   [`superstep`] (shard→thread scheduling over the executor seam).
 //! * [`job::MapReduceJob`] layers the classic map → shuffle → reduce
 //!   interface on top.
 //! * [`rng`] provides partition-stable hash-derived randomness so that a
@@ -27,6 +30,17 @@
 //!   [`trace::Timeline`] renders per-round traces (CSV/ASCII) including
 //!   per-superstep wall-clock and straggler skew; and [`faults`] prices
 //!   crash/straggler plans against a completed run.
+//!
+//! ## The runtime seam
+//!
+//! [`cluster::ClusterConfig::runtime`] selects which of the two engines
+//! ([`superstep::RuntimeKind`]) executes the supersteps: `Classic`
+//! (dynamic index claiming + sequential global message merge) or `Shard`
+//! (work-stealing-free static shard→thread assignment +
+//! [`router::RouterKind::Batched`] per-destination routing — the engine
+//! behind the solver API's `Backend::Shard`). Both are **bit-identical**
+//! in every model-level observable; the `MRLR_BACKEND` environment
+//! variable sets the process default.
 //!
 //! ## The executor seam
 //!
@@ -69,6 +83,9 @@ pub mod metrics;
 pub mod model;
 pub mod partition;
 pub mod rng;
+pub mod router;
+pub mod shard;
+pub mod superstep;
 pub mod trace;
 pub mod words;
 
@@ -86,5 +103,8 @@ pub use partition::{
     RangePartitioner,
 };
 pub use rng::{coin, mix2, mix_tags, unit_f64, DetRng};
+pub use router::RouterKind;
+pub use shard::Shard;
+pub use superstep::{default_runtime, RuntimeKind, SchedulePolicy, Scheduler, StaticAssignment};
 pub use trace::{KindSummary, Timeline, TimelineRow};
 pub use words::{Payload, WordSized};

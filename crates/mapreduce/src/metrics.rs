@@ -35,6 +35,12 @@ impl fmt::Display for RoundKind {
 pub struct RoundRecord {
     /// 1-based round index.
     pub round: usize,
+    /// 1-based superstep (primitive invocation) this round belonged to —
+    /// the join key between per-round records and the wall-clock
+    /// [`SuperstepTiming`]s (a multi-hop broadcast charges several rounds
+    /// under one superstep). 0 for synthetic records built before any
+    /// superstep ran.
+    pub superstep: usize,
     /// Primitive that produced the round.
     pub kind: RoundKind,
     /// Maximum words sent by any machine this round.
@@ -189,6 +195,7 @@ impl Metrics {
         self.peak_in_words = self.peak_in_words.max(max_in);
         self.per_round.push(RoundRecord {
             round: self.rounds,
+            superstep: self.supersteps,
             kind,
             max_out,
             max_in,
@@ -222,6 +229,22 @@ impl Metrics {
             .iter()
             .map(SuperstepTiming::skew)
             .fold(0.0, f64::max)
+    }
+
+    /// The worst *measured* straggler skew among the executor passes of
+    /// one superstep (see [`SuperstepTiming::skew`]). `None` when the
+    /// superstep recorded no timing, or the timings carry no signal —
+    /// masked/zeroed wall-clock, or passes with no measurable work — so
+    /// callers can fall back to a synthetic model
+    /// ([`crate::faults::apply_measured`]).
+    pub fn superstep_skew(&self, superstep: usize) -> Option<f64> {
+        let max = self
+            .superstep_timings
+            .iter()
+            .filter(|t| t.superstep == superstep)
+            .map(SuperstepTiming::skew)
+            .fold(0.0, f64::max);
+        (max > 0.0).then_some(max)
     }
 
     /// Peak space on any machine as a multiple of capacity (1.0 = at budget).
@@ -318,6 +341,20 @@ mod tests {
         // Model-level differences still break equality.
         b.record_round(RoundKind::Gather, 1, 1, 1);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn superstep_skew_joins_rounds_to_timings() {
+        let mut m = Metrics::new(4, 100);
+        m.supersteps = 1;
+        m.record_round(RoundKind::Exchange, 1, 1, 1);
+        m.record_timing(1_000, &[400, 100, 100, 100]);
+        assert_eq!(m.per_round[0].superstep, 1);
+        assert!((m.superstep_skew(1).unwrap() - 400.0 / 175.0).abs() < 1e-12);
+        assert_eq!(m.superstep_skew(2), None, "untimed superstep has no skew");
+        m.supersteps = 2;
+        m.record_timing(0, &[0, 0]);
+        assert_eq!(m.superstep_skew(2), None, "masked timings carry no signal");
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! The routing plane: how staged messages travel between shards.
+//!
+//! A superstep's `exchange` has two halves — per-shard *staging* (each
+//! machine fills an [`Outbox`]) and *delivery* (every message lands in
+//! its destination's inbox). The model charges one round either way; what
+//! the router decides is how the host performs the shuffle:
+//!
+//! * [`RouterKind::Merge`] — one sequential global pass over all
+//!   outboxes, appending each message to its destination (the original
+//!   engine; the reference plane).
+//! * [`RouterKind::Batched`] — each sender first splits its outbox into
+//!   **per-destination batched buffers**, then every destination's inbox
+//!   is assembled independently (and concurrently, on the scheduler) by
+//!   concatenating the senders' buffers for that destination in
+//!   sender-id order. No global pass, no shared append point — the
+//!   shuffle parallelizes over destinations, which is how a real sharded
+//!   runtime moves data.
+//!
+//! Both planes deliver every inbox in exactly the same order — sender id
+//! ascending, send order within a sender — so routing is **bit-identical**
+//! across planes, schedules and thread counts. The equivalence is
+//! asserted here and end-to-end by the cluster's runtime tests.
+
+use crate::executor::RawSlots;
+use crate::shard::MachineId;
+use crate::superstep::Scheduler;
+use crate::words::WordSized;
+
+/// Which routing plane delivers exchanged messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouterKind {
+    /// Sequential global merge over all outboxes (the reference plane).
+    #[default]
+    Merge,
+    /// Per-destination batched buffers, assembled concurrently per
+    /// destination.
+    Batched,
+}
+
+impl RouterKind {
+    /// Short name for traces and bench labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            RouterKind::Merge => "merge",
+            RouterKind::Batched => "batched",
+        }
+    }
+}
+
+/// Outgoing messages staged by one machine during a superstep.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    machines: usize,
+    pub(crate) msgs: Vec<(MachineId, M)>,
+}
+
+impl<M> Outbox<M> {
+    /// An empty outbox addressing `machines` destinations.
+    pub(crate) fn new(machines: usize) -> Self {
+        Outbox {
+            machines,
+            msgs: Vec::new(),
+        }
+    }
+
+    /// Stages `msg` for delivery to `dst` at the start of the next round.
+    pub fn send(&mut self, dst: MachineId, msg: M) {
+        assert!(dst < self.machines, "destination {dst} out of range");
+        self.msgs.push((dst, msg));
+    }
+
+    /// Number of staged messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// True if nothing has been staged.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Total staged words (the sender's metered outgoing volume).
+    pub(crate) fn staged_words(&self) -> usize
+    where
+        M: WordSized,
+    {
+        self.msgs.iter().map(|(_, m)| m.words()).sum()
+    }
+}
+
+/// Delivered messages: one inbox per destination plus the per-destination
+/// word volume the cluster budgets against machine memory.
+pub(crate) struct Delivery<M> {
+    /// Per-destination inboxes, ordered by (sender id, send order).
+    pub inboxes: Vec<Vec<M>>,
+    /// Words received per destination.
+    pub in_words: Vec<usize>,
+}
+
+/// Routes all staged outboxes to their destinations under `kind`. The
+/// outboxes arrive in sender-id order (one per machine); the returned
+/// inboxes are identical for every plane.
+pub(crate) fn route<M: WordSized + Send>(
+    kind: RouterKind,
+    sched: &Scheduler,
+    machines: usize,
+    outboxes: Vec<Outbox<M>>,
+) -> Delivery<M> {
+    match kind {
+        RouterKind::Merge => route_merge(machines, outboxes),
+        RouterKind::Batched => route_batched(sched, machines, outboxes),
+    }
+}
+
+/// The reference plane: one sequential pass, stable by construction.
+fn route_merge<M: WordSized>(machines: usize, outboxes: Vec<Outbox<M>>) -> Delivery<M> {
+    let mut inboxes: Vec<Vec<M>> = (0..machines).map(|_| Vec::new()).collect();
+    let mut in_words = vec![0usize; machines];
+    for outbox in outboxes {
+        for (dst, msg) in outbox.msgs {
+            in_words[dst] += msg.words();
+            inboxes[dst].push(msg);
+        }
+    }
+    Delivery { inboxes, in_words }
+}
+
+/// The batched plane: split each outbox into per-destination buffers
+/// (concurrently over senders), then assemble each inbox (concurrently
+/// over destinations) by concatenating the senders' buffers for that
+/// destination in sender-id order — the same delivery order the merge
+/// plane produces, without its global sequential pass.
+///
+/// The buffer matrix costs `Θ(senders × machines)` cells per exchange,
+/// which only pays when there is enough traffic to amortize it: batching
+/// engages only when the average cell occupancy is at least 1/4 (matrix
+/// work `O(messages)`), and sparse rounds route through the
+/// `O(messages)` merge assembly instead. The cutoff is a pure function
+/// of the message counts and both paths deliver identically, so it
+/// cannot leak into observables.
+fn route_batched<M: WordSized + Send>(
+    sched: &Scheduler,
+    machines: usize,
+    outboxes: Vec<Outbox<M>>,
+) -> Delivery<M> {
+    let senders = outboxes.len();
+    let total: usize = outboxes.iter().map(Outbox::len).sum();
+    if total.saturating_mul(4) < senders.saturating_mul(machines) {
+        return route_merge(machines, outboxes);
+    }
+    // Stage 1: per-sender destination buffers. Row `s` holds sender `s`'s
+    // messages bucketed by destination, each bucket in send order.
+    let mut outboxes = outboxes;
+    let rows: Vec<Vec<Vec<M>>> = sched.map_mut(&mut outboxes, |_, outbox| {
+        let mut row: Vec<Vec<M>> = (0..machines).map(|_| Vec::new()).collect();
+        for (dst, msg) in outbox.msgs.drain(..) {
+            row[dst].push(msg);
+        }
+        row
+    });
+    // Flatten to a senders × machines buffer matrix; destination `d` owns
+    // exactly the cells `s * machines + d`.
+    let mut matrix: Vec<Vec<M>> = rows.into_iter().flatten().collect();
+    debug_assert_eq!(matrix.len(), senders * machines);
+    let cells = RawSlots::new(matrix.as_mut_ptr());
+    let assembled: Vec<(Vec<M>, usize)> = sched.map_count(machines, |d| {
+        let mut inbox = Vec::new();
+        let mut words = 0usize;
+        for s in 0..senders {
+            // SAFETY: destination tasks touch disjoint matrix cells —
+            // distinct `d` values index distinct residues mod `machines`
+            // — and each cell is drained exactly once.
+            let bucket = unsafe { &mut *cells.slot(s * machines + d) };
+            words += bucket.iter().map(WordSized::words).sum::<usize>();
+            inbox.append(bucket);
+        }
+        (inbox, words)
+    });
+    drop(matrix); // only empty buffers remain
+    let (inboxes, in_words) = assembled.into_iter().unzip();
+    Delivery { inboxes, in_words }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::ThreadPoolExecutor;
+    use crate::rng::DetRng;
+    use crate::superstep::SchedulePolicy;
+    use std::sync::Arc;
+
+    fn sched(threads: usize, policy: SchedulePolicy) -> Scheduler {
+        Scheduler::new(Arc::new(ThreadPoolExecutor::new(threads)), policy)
+    }
+
+    /// Random all-to-all traffic: both planes must deliver identical
+    /// inboxes and word counts at every thread count.
+    #[test]
+    fn planes_are_bit_identical() {
+        for (machines, volume, seed) in [(1usize, 5usize, 1u64), (4, 40, 2), (9, 200, 3)] {
+            let staged: Vec<Vec<(MachineId, u64)>> = (0..machines)
+                .map(|s| {
+                    let mut rng = DetRng::derive(seed, &[s as u64]);
+                    (0..volume)
+                        .map(|k| ((rng.range(machines as u64)) as usize, (s * 1000 + k) as u64))
+                        .collect()
+                })
+                .collect();
+            let outboxes = || -> Vec<Outbox<u64>> {
+                staged
+                    .iter()
+                    .map(|msgs| {
+                        let mut out = Outbox::new(machines);
+                        for &(dst, m) in msgs {
+                            out.send(dst, m);
+                        }
+                        out
+                    })
+                    .collect()
+            };
+            let s1 = sched(1, SchedulePolicy::Dynamic);
+            let reference = route(RouterKind::Merge, &s1, machines, outboxes());
+            for threads in [1usize, 2, 4] {
+                for policy in [SchedulePolicy::Dynamic, SchedulePolicy::Static] {
+                    let s = sched(threads, policy);
+                    let got = route(RouterKind::Batched, &s, machines, outboxes());
+                    assert_eq!(got.inboxes, reference.inboxes, "threads {threads}");
+                    assert_eq!(got.in_words, reference.in_words, "threads {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delivery_is_sender_then_send_order() {
+        let s = sched(4, SchedulePolicy::Static);
+        let mut outboxes: Vec<Outbox<u64>> = (0..3).map(|_| Outbox::new(3)).collect();
+        outboxes[2].send(0, 20);
+        outboxes[2].send(0, 21);
+        outboxes[0].send(0, 1);
+        outboxes[1].send(2, 12);
+        let d = route(RouterKind::Batched, &s, 3, outboxes);
+        assert_eq!(d.inboxes[0], vec![1, 20, 21]);
+        assert!(d.inboxes[1].is_empty());
+        assert_eq!(d.inboxes[2], vec![12]);
+        assert_eq!(d.in_words, vec![3, 0, 1]);
+    }
+
+    #[test]
+    fn sparse_rounds_take_the_direct_path_and_still_agree() {
+        // Below the batching cutoff (cell occupancy under 1/4) the
+        // batched plane delegates to the merge assembly; delivery and
+        // word counts must be indistinguishable.
+        let s = sched(4, SchedulePolicy::Static);
+        for volume in [0usize, 1, 5] {
+            let outboxes = || -> Vec<Outbox<u64>> {
+                let mut obs: Vec<Outbox<u64>> = (0..8).map(|_| Outbox::new(8)).collect();
+                for k in 0..volume {
+                    obs[k % 8].send((k * 3) % 8, k as u64);
+                }
+                obs
+            };
+            let merge = route(RouterKind::Merge, &s, 8, outboxes());
+            let batched = route(RouterKind::Batched, &s, 8, outboxes());
+            assert_eq!(batched.inboxes, merge.inboxes, "volume {volume}");
+            assert_eq!(batched.in_words, merge.in_words, "volume {volume}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn outbox_rejects_bad_destination() {
+        Outbox::new(2).send(2, 7u64);
+    }
+
+    #[test]
+    fn outbox_accounting() {
+        let mut out = Outbox::new(4);
+        assert!(out.is_empty());
+        out.send(3, vec![1u64, 2, 3]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.staged_words(), 4); // 1 length word + 3 payload
+        assert_eq!(RouterKind::Batched.name(), "batched");
+    }
+}

@@ -1,0 +1,359 @@
+//! Superstep scheduling: how per-machine tasks are laid onto OS threads.
+//!
+//! One superstep of the MRC/MPC model runs the same computation on every
+//! machine (the paper's "map" / "reduce" halves of a round). The
+//! [`Scheduler`] decides *which OS thread executes which shard's task*,
+//! on top of the raw [`Executor`] seam:
+//!
+//! * [`SchedulePolicy::Dynamic`] — tasks claim shard indices from the
+//!   executor's shared counter (the work-conserving schedule the classic
+//!   runtime uses; good when per-shard work is skewed).
+//! * [`SchedulePolicy::Static`] — shards are partitioned into
+//!   `threads` contiguous blocks up front ([`StaticAssignment`]) and each
+//!   block is executed by exactly one worker, with **no work stealing**.
+//!   This is the schedule of a real sharded deployment, where shard state
+//!   is pinned to its worker and cannot migrate mid-superstep.
+//!
+//! Either way every ordered observable is reconstructed in shard-id
+//! order, so a run is bit-identical across policies, executors and
+//! thread counts; only host wall-clock differs. [`RuntimeKind`] bundles a
+//! schedule with a routing plane ([`crate::router::RouterKind`]) into the
+//! two cluster runtimes (`Classic` / `Shard`), selectable per run via
+//! [`crate::cluster::ClusterConfig::runtime`] or process-wide via the
+//! `MRLR_BACKEND` environment variable.
+
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use crate::executor::{Executor, RawSlots};
+use crate::router::RouterKind;
+
+/// How shard tasks are assigned to executor threads within one superstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Threads claim shard indices dynamically from a shared counter
+    /// (work-conserving; the classic runtime).
+    #[default]
+    Dynamic,
+    /// Work-stealing-free static shard→thread assignment: contiguous
+    /// blocks of shards, one block per thread ([`StaticAssignment`]).
+    Static,
+}
+
+/// Which cluster runtime executes the supersteps: a (schedule, router)
+/// pair. Both runtimes are **bit-identical** in every model-level
+/// observable — solutions, message delivery, [`crate::metrics::Metrics`] —
+/// so the choice is an execution-substrate knob exactly like the thread
+/// count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeKind {
+    /// Dynamic scheduling + sequential global message merge (the
+    /// pre-shard engine, kept as the reference path).
+    #[default]
+    Classic,
+    /// Static shard→thread assignment + per-destination batched routing
+    /// ([`RouterKind::Batched`]) — the engine behind `Backend::Shard`.
+    Shard,
+}
+
+impl RuntimeKind {
+    /// The schedule this runtime uses.
+    pub fn schedule(self) -> SchedulePolicy {
+        match self {
+            RuntimeKind::Classic => SchedulePolicy::Dynamic,
+            RuntimeKind::Shard => SchedulePolicy::Static,
+        }
+    }
+
+    /// The routing plane this runtime uses.
+    pub fn router(self) -> RouterKind {
+        match self {
+            RuntimeKind::Classic => RouterKind::Merge,
+            RuntimeKind::Shard => RouterKind::Batched,
+        }
+    }
+
+    /// Short name for traces and bench labels (`"classic"` / `"shard"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RuntimeKind::Classic => "classic",
+            RuntimeKind::Shard => "shard",
+        }
+    }
+}
+
+/// The process-wide default runtime: `MRLR_BACKEND=shard` selects the
+/// sharded runtime, anything else (including unset or `mr`) the classic
+/// one. Read once and cached, like [`crate::executor::default_threads`].
+/// The CI
+/// matrix runs the whole suite under both values — legal because the
+/// runtimes are bit-identical.
+pub fn default_runtime() -> RuntimeKind {
+    static DEFAULT: OnceLock<RuntimeKind> = OnceLock::new();
+    *DEFAULT.get_or_init(
+        || match std::env::var("MRLR_BACKEND").ok().as_deref().map(str::trim) {
+            Some("shard") => RuntimeKind::Shard,
+            _ => RuntimeKind::Classic,
+        },
+    )
+}
+
+/// Balanced contiguous partition of `count` shards over `workers`
+/// threads: worker `w` owns [`StaticAssignment::chunk`]`(w)`, fixed for
+/// the whole superstep (no stealing). The first `count % workers` chunks
+/// are one shard larger, so block sizes differ by at most 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticAssignment {
+    count: usize,
+    workers: usize,
+}
+
+impl StaticAssignment {
+    /// An assignment of `count` shards to at most `workers` threads
+    /// (clamped so no worker owns an empty chunk unless `count == 0`).
+    pub fn new(count: usize, workers: usize) -> Self {
+        StaticAssignment {
+            count,
+            workers: workers.max(1).min(count.max(1)),
+        }
+    }
+
+    /// Number of non-empty chunks.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The shard range owned by worker `w`.
+    pub fn chunk(&self, w: usize) -> Range<usize> {
+        debug_assert!(w < self.workers);
+        let base = self.count / self.workers;
+        let extra = self.count % self.workers;
+        let lo = w * base + w.min(extra);
+        let hi = lo + base + usize::from(w < extra);
+        lo..hi
+    }
+}
+
+/// One timed executor pass over all shards: per-index results in shard-id
+/// order plus the host wall-clock observations the cluster feeds into
+/// [`crate::metrics::Metrics::record_timing`].
+pub struct Pass<R> {
+    /// Per-shard results, in shard-id order regardless of schedule.
+    pub results: Vec<R>,
+    /// Wall-clock nanoseconds for the whole pass.
+    pub wall_nanos: u64,
+    /// Nanoseconds spent in each shard's task, in shard-id order.
+    pub task_nanos: Vec<u64>,
+}
+
+/// An [`Executor`] plus a [`SchedulePolicy`]: everything the cluster
+/// facade needs to run one superstep's worth of shard tasks.
+pub struct Scheduler {
+    exec: Arc<dyn Executor>,
+    policy: SchedulePolicy,
+}
+
+impl Scheduler {
+    /// A scheduler running `policy` on `exec`.
+    pub fn new(exec: Arc<dyn Executor>, policy: SchedulePolicy) -> Self {
+        Scheduler { exec, policy }
+    }
+
+    /// The underlying executor.
+    pub fn executor(&self) -> &Arc<dyn Executor> {
+        &self.exec
+    }
+
+    /// The schedule in force.
+    pub fn policy(&self) -> SchedulePolicy {
+        self.policy
+    }
+
+    /// OS threads available to a pass.
+    pub fn threads(&self) -> usize {
+        self.exec.threads()
+    }
+
+    /// Runs `task(i)` for every `i in 0..count` under the policy:
+    /// dynamically claimed indices, or one contiguous
+    /// [`StaticAssignment`] chunk per executor task.
+    fn run(&self, count: usize, task: &(dyn Fn(usize) + Sync)) {
+        match self.policy {
+            SchedulePolicy::Dynamic => self.exec.run(count, task),
+            SchedulePolicy::Static => {
+                let assignment = StaticAssignment::new(count, self.exec.threads());
+                if count == 0 {
+                    return;
+                }
+                self.exec.run(assignment.workers(), &|w| {
+                    for i in assignment.chunk(w) {
+                        task(i);
+                    }
+                });
+            }
+        }
+    }
+
+    /// Runs `f(i)` for every index and returns the results **in index
+    /// order** regardless of schedule.
+    pub(crate) fn map_count<R, F>(&self, count: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let mut out: Vec<Option<R>> = (0..count).map(|_| None).collect();
+        let slots = RawSlots::new(out.as_mut_ptr());
+        self.run(count, &|i| {
+            // SAFETY: each index is claimed exactly once (dynamic counter
+            // or disjoint static chunks), so each slot is written exactly
+            // once with no aliasing.
+            unsafe { *slots.slot(i) = Some(f(i)) };
+        });
+        out.into_iter()
+            .map(|s| s.expect("scheduler ran every index"))
+            .collect()
+    }
+
+    /// Index-ordered map over shared references.
+    pub fn map_ref<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.map_count(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Index-ordered map with exclusive access to each item.
+    pub fn map_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        let states = RawSlots::new(items.as_mut_ptr());
+        // SAFETY: disjoint indices give exclusive access to `items[i]`.
+        self.map_count(items.len(), |i| f(i, unsafe { &mut *states.slot(i) }))
+    }
+
+    /// [`Scheduler::map_mut`] with per-task and whole-pass wall-clock
+    /// observation — the shape of every metered cluster superstep.
+    pub fn timed_mut<T, R, F>(&self, items: &mut [T], f: F) -> Pass<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        let pass = Instant::now();
+        let timed = self.map_mut(items, |i, t| {
+            let t0 = Instant::now();
+            let r = f(i, t);
+            (r, t0.elapsed().as_nanos() as u64)
+        });
+        let wall_nanos = pass.elapsed().as_nanos() as u64;
+        let (results, task_nanos) = timed.into_iter().unzip();
+        Pass {
+            results,
+            wall_nanos,
+            task_nanos,
+        }
+    }
+
+    /// [`Scheduler::map_ref`] with timing (read-only passes such as
+    /// `aggregate` extraction).
+    pub fn timed_ref<T, R, F>(&self, items: &[T], f: F) -> Pass<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let pass = Instant::now();
+        let timed = self.map_ref(items, |i, t| {
+            let t0 = Instant::now();
+            let r = f(i, t);
+            (r, t0.elapsed().as_nanos() as u64)
+        });
+        let wall_nanos = pass.elapsed().as_nanos() as u64;
+        let (results, task_nanos) = timed.into_iter().unzip();
+        Pass {
+            results,
+            wall_nanos,
+            task_nanos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{SeqExecutor, ThreadPoolExecutor};
+
+    #[test]
+    fn static_assignment_is_a_balanced_partition() {
+        for (count, workers) in [(10usize, 3usize), (7, 7), (100, 8), (3, 9), (0, 4), (1, 1)] {
+            let a = StaticAssignment::new(count, workers);
+            let mut covered = Vec::new();
+            let mut sizes = Vec::new();
+            for w in 0..a.workers() {
+                let chunk = a.chunk(w);
+                sizes.push(chunk.len());
+                covered.extend(chunk);
+            }
+            assert_eq!(covered, (0..count).collect::<Vec<_>>(), "{count}/{workers}");
+            if let (Some(&max), Some(&min)) = (sizes.iter().max(), sizes.iter().min()) {
+                assert!(max - min <= 1, "unbalanced chunks {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn policies_agree_bit_for_bit() {
+        let items: Vec<usize> = (0..257).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        for threads in [1usize, 2, 4] {
+            for policy in [SchedulePolicy::Dynamic, SchedulePolicy::Static] {
+                let sched = Scheduler::new(Arc::new(ThreadPoolExecutor::new(threads)), policy);
+                assert_eq!(sched.map_ref(&items, |_, &x| x * x), expected);
+                let mut mutable = items.clone();
+                let lens = sched.map_mut(&mut mutable, |i, x| {
+                    *x += i;
+                    *x
+                });
+                assert_eq!(lens, items.iter().map(|&x| 2 * x).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn timed_passes_report_per_task_nanos() {
+        let sched = Scheduler::new(Arc::new(SeqExecutor), SchedulePolicy::Static);
+        let mut items = vec![0u64; 8];
+        let pass = sched.timed_mut(&mut items, |i, x| {
+            *x = i as u64;
+            i
+        });
+        assert_eq!(pass.results, (0..8).collect::<Vec<_>>());
+        assert_eq!(pass.task_nanos.len(), 8);
+        assert!(pass.wall_nanos > 0);
+        let ro = sched.timed_ref(&items, |_, &x| x);
+        assert_eq!(ro.results, (0..8u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runtime_kinds_pick_their_layers() {
+        assert_eq!(RuntimeKind::Classic.schedule(), SchedulePolicy::Dynamic);
+        assert_eq!(RuntimeKind::Classic.router(), RouterKind::Merge);
+        assert_eq!(RuntimeKind::Shard.schedule(), SchedulePolicy::Static);
+        assert_eq!(RuntimeKind::Shard.router(), RouterKind::Batched);
+        assert_eq!(RuntimeKind::Shard.name(), "shard");
+    }
+
+    #[test]
+    fn empty_and_degenerate_counts() {
+        let sched = Scheduler::new(Arc::new(ThreadPoolExecutor::new(4)), SchedulePolicy::Static);
+        let empty: Vec<usize> = sched.map_count(0, |_| unreachable!("no tasks"));
+        assert!(empty.is_empty());
+        assert_eq!(sched.map_count(1, |i| i), vec![0]);
+    }
+}

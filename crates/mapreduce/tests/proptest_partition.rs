@@ -1,0 +1,131 @@
+//! Property-based tests of the data partitioners (`partition.rs`): the
+//! balanced-assignment invariants the sharded runtime leans on.
+//!
+//! * **Every key is routed** — each partitioner places every key on
+//!   exactly one machine in range, and [`split`] conserves items.
+//! * **Per-shard load stays within the µ bound** — with the paper's
+//!   shape `M = ⌈records/η⌉`, block placement puts at most
+//!   `η = ⌈records/M⌉` keys on a machine, and hash placement stays
+//!   within a constant factor of the mean w.h.p. (the Chernoff-style
+//!   bound behind Theorems 2.4/3.3/5.6, tested at a generous constant).
+//! * **Placement is stable under permuted input** — a partitioner is a
+//!   pure function of the key, so shuffling the input stream changes
+//!   neither the per-machine membership nor the within-machine relative
+//!   order of equal-destination items beyond the stream's own order.
+
+use proptest::prelude::*;
+
+use mrlr_mapreduce::partition::{
+    balance_stats, split, BlockPartitioner, HashPartitioner, Partitioner, RangePartitioner,
+};
+use mrlr_mapreduce::rng::DetRng;
+
+proptest! {
+    #[test]
+    fn hash_routes_every_key_in_range(seed in any::<u64>(), machines in 1usize..40, keys in 1u64..5_000) {
+        let p = HashPartitioner::new(seed, machines);
+        for key in 0..keys.min(500) {
+            let m = p.place(key);
+            prop_assert!(m < machines, "key {key} routed to {m} of {machines}");
+            prop_assert_eq!(m, p.place(key), "placement must be pure");
+        }
+    }
+
+    #[test]
+    fn split_conserves_items_exactly_once(seed in any::<u64>(), machines in 1usize..20, n in 0usize..2_000) {
+        let items: Vec<u64> = (0..n as u64).collect();
+        let p = HashPartitioner::new(seed, machines);
+        let parts = split(items, |&x| x, &p);
+        prop_assert_eq!(parts.len(), machines);
+        let mut seen: Vec<u64> = parts.iter().flatten().copied().collect();
+        prop_assert_eq!(seen.len(), n, "every key routed exactly once");
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n as u64).collect::<Vec<_>>());
+        // Each machine holds exactly the keys the partitioner maps to it.
+        for (m, part) in parts.iter().enumerate() {
+            prop_assert!(part.iter().all(|&x| p.place(x) == m));
+        }
+    }
+
+    /// The paper's shape: `M = ⌈records/η⌉` machines. Block placement is
+    /// the deterministic worst-case layout of Theorem 2.4 and must put at
+    /// most `η` keys on a machine (exactly the `n^{1+µ}` budget).
+    #[test]
+    fn block_load_meets_the_mu_bound(records in 1u64..100_000, eta in 1u64..4_000) {
+        let machines = records.div_ceil(eta).max(1) as usize;
+        let p = BlockPartitioner::new(records, machines);
+        let counts: Vec<usize> = (0..machines)
+            .map(|m| {
+                let (lo, hi) = p.block(m);
+                (hi - lo) as usize
+            })
+            .collect();
+        prop_assert_eq!(counts.iter().sum::<usize>(), records as usize);
+        let eta_cap = records.div_ceil(machines as u64) as usize;
+        prop_assert!(eta_cap <= eta as usize + 1);
+        for (m, &c) in counts.iter().enumerate() {
+            prop_assert!(c <= eta_cap, "machine {m} holds {c} > η' = {eta_cap}");
+        }
+        // Near-equal blocks: sizes differ by at most one.
+        let s = balance_stats(&counts);
+        prop_assert!(s.max - s.min <= 1, "blocks unbalanced: {s:?}");
+    }
+
+    /// Hash placement balances any key set w.h.p.: with ≥ 64 keys per
+    /// machine the max load stays within 2× the mean (the shim's
+    /// deterministic seeds make this reproducible, and the bound is far
+    /// looser than the Chernoff tail it stands in for).
+    #[test]
+    fn hash_load_is_balanced(seed in any::<u64>(), machines in 1usize..16) {
+        let keys = (machines as u64) * 256;
+        let p = HashPartitioner::new(seed, machines);
+        let mut counts = vec![0usize; machines];
+        for key in 0..keys {
+            counts[p.place(key)] += 1;
+        }
+        let s = balance_stats(&counts);
+        prop_assert!(s.min > 0, "an empty shard at {keys} keys: {s:?}");
+        prop_assert!(s.imbalance <= 2.0, "imbalance {} at {machines} machines", s.imbalance);
+    }
+
+    /// Placement is a pure function of the key, so permuting the input
+    /// stream permutes nothing across machines: memberships are equal
+    /// and each machine's content order is the stream order restricted
+    /// to its keys.
+    #[test]
+    fn split_is_stable_under_permuted_input(seed in any::<u64>(), machines in 1usize..12, n in 0usize..500) {
+        let items: Vec<u64> = (0..n as u64).collect();
+        let mut shuffled = items.clone();
+        DetRng::new(seed ^ 0x5bfe).shuffle(&mut shuffled);
+        let p = HashPartitioner::new(seed, machines);
+        let a = split(items, |&x| x, &p);
+        let b = split(shuffled.clone(), |&x| x, &p);
+        for m in 0..machines {
+            let mut am = a[m].clone();
+            let mut bm = b[m].clone();
+            // Same membership…
+            am.sort_unstable();
+            bm.sort_unstable();
+            prop_assert_eq!(&am, &bm, "machine {} membership changed", m);
+            // …and b's order is the shuffled stream restricted to m.
+            let expect: Vec<u64> = shuffled.iter().copied().filter(|&x| p.place(x) == m).collect();
+            prop_assert_eq!(&b[m], &expect);
+        }
+    }
+
+    #[test]
+    fn range_partitioner_routes_every_key(bounds in proptest::collection::btree_set(1u64..10_000, 0..8), probe in any::<u64>()) {
+        let bounds: Vec<u64> = bounds.into_iter().collect(); // sorted, distinct
+        let machines = bounds.len() + 1;
+        let p = RangePartitioner::new(bounds.clone());
+        prop_assert_eq!(p.machines(), machines);
+        let m = p.place(probe);
+        prop_assert!(m < machines);
+        // The chosen machine's range actually contains the key.
+        let lo = if m == 0 { 0 } else { bounds[m - 1] };
+        prop_assert!(probe >= lo);
+        if m < bounds.len() {
+            prop_assert!(probe < bounds[m]);
+        }
+    }
+}

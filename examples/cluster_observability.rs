@@ -13,7 +13,7 @@
 use mrlr::core::api::{Instance, Registry};
 use mrlr::core::mr::MrConfig;
 use mrlr::graph::generators;
-use mrlr::mapreduce::faults::{apply, FaultPlan};
+use mrlr::mapreduce::faults::{apply, apply_measured, FaultPlan};
 use mrlr::mapreduce::trace::Timeline;
 use mrlr::mapreduce::ComputeModel;
 
@@ -127,4 +127,17 @@ fn main() {
         priced.slowdown_factor()
     );
     println!("  (outputs are unchanged by faults: shuffle files are durable — the MapReduce recovery contract)");
+
+    // Same plan, but stragglers priced from the run's *measured*
+    // per-superstep skew instead of the synthetic 3x multiplier (which
+    // remains the fallback when timings are masked).
+    let empirical = apply_measured(&metrics, &plan);
+    println!(
+        "  measured-skew pricing: makespan {:.1} round-units ({} of {} stragglers priced \
+         from observed skew, worst observed {:.2}x)",
+        empirical.makespan,
+        empirical.stragglers_measured,
+        empirical.stragglers_applied,
+        metrics.max_straggler_skew(),
+    );
 }

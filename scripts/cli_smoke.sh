@@ -4,8 +4,12 @@
 # against the checked-in golden files AND re-verifying every golden
 # offline with `mrlr verify`. Runs the same matrix as
 # crates/cli/tests/cli_smoke.rs (the matrix file is the single source of
-# truth for both); CI invokes this under MRLR_THREADS=1 and
-# MRLR_THREADS=4, so format *and* thread determinism are pinned.
+# truth for both); CI invokes this under MRLR_THREADS={1,4} crossed with
+# MRLR_BACKEND={mr,shard} — the env var swaps the cluster runtime under
+# Backend::Mr, and because the runtimes are bit-identical the SAME golden
+# files must match on every axis. An explicit `--backend shard` solve is
+# additionally diffed against the mr golden modulo the backend tag, and
+# the batch document is audited whole by `mrlr verify <batch.json>`.
 # Regenerate goldens after an intentional format change with
 # `MRLR_UPDATE_GOLDEN=1 cargo test -p mrlr-cli`.
 set -euo pipefail
@@ -33,15 +37,26 @@ while IFS='|' read -r key family gen_args solve_args; do
   echo "ok: $key (diff + verify)"
 done < "$matrix"
 
+# Explicit shard backend: the payload is bit-identical to the mr golden
+# (only the backend tag differs), and the stored report still verifies.
+mrlr solve matching --input "$work/matching.inst" --backend shard \
+  --format json --mask-timings --out "$work/matching.shard.json"
+sed 's/"backend": "shard"/"backend": "mr"/' "$work/matching.shard.json" \
+  | diff -u "$golden/matching.json" -
+mrlr verify "$work/matching.inst" "$work/matching.shard.json" --quiet
+echo "ok: shard backend (diff modulo tag + verify)"
+
 cp "$golden/batch.manifest" "$work/batch.manifest"
 mrlr batch "$work/batch.manifest" --mask-timings --out "$work/batch.json"
 diff -u "$golden/batch.json" "$work/batch.json"
 mrlr batch "$work/batch.manifest" --mask-timings --format csv --out "$work/batch.csv"
 diff -u "$golden/batch.csv" "$work/batch.csv"
-echo "ok: batch"
+# Audit the whole batch document offline (error slots are skipped).
+mrlr verify "$work/batch.json" --quiet
+echo "ok: batch (diff + verify)"
 
 mrlr list --format json > "$work/list.json"
 diff -u "$golden/list.json" "$work/list.json"
 echo "ok: list"
 
-echo "cli smoke passed (MRLR_THREADS=${MRLR_THREADS:-unset})"
+echo "cli smoke passed (MRLR_THREADS=${MRLR_THREADS:-unset}, MRLR_BACKEND=${MRLR_BACKEND:-unset})"

@@ -113,6 +113,43 @@ fn every_registry_key_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn shard_backend_is_bit_identical_to_mr_for_every_key() {
+    // The fourth backend's contract: `Backend::Shard` (static
+    // shard→thread scheduling + per-destination batched routing) returns
+    // bit-identical Reports — solution, certificate (witness included)
+    // and model-level Metrics — to `Backend::Mr`, per registry key, at
+    // 1 and 4 executor threads.
+    let registry = Registry::with_defaults();
+    let mut keys_checked = 0usize;
+    for (name, instance, cfg) in workloads() {
+        for threads in [1usize, 4] {
+            let cfg = cfg.with_threads(threads);
+            let mr = registry
+                .solve_with(name, Backend::Mr, &instance, &cfg)
+                .unwrap_or_else(|e| panic!("{name} mr x{threads}: {e}"));
+            let shard = registry
+                .solve_with(name, Backend::Shard, &instance, &cfg)
+                .unwrap_or_else(|e| panic!("{name} shard x{threads}: {e}"));
+            assert_eq!(shard.backend, Backend::Shard, "{name}");
+            assert_eq!(
+                shard.solution, mr.solution,
+                "{name}: solution diverged on the shard runtime x{threads}"
+            );
+            assert_eq!(
+                shard.certificate, mr.certificate,
+                "{name}: certificate/witness diverged on the shard runtime x{threads}"
+            );
+            assert_eq!(
+                shard.metrics, mr.metrics,
+                "{name}: metrics diverged on the shard runtime x{threads}"
+            );
+        }
+        keys_checked += 1;
+    }
+    assert_eq!(keys_checked, Registry::with_defaults().algorithms().len());
+}
+
+#[test]
 fn repeated_threaded_runs_are_bit_identical_to_each_other() {
     // Beyond seq-vs-threaded: two runs on the same 4-thread pool (whose
     // schedules certainly differ) must also agree exactly.

@@ -205,6 +205,30 @@ fn rlr_and_mr_backends_of_the_same_driver_agree() {
 }
 
 #[test]
+fn shard_backend_matches_mr_bit_for_bit() {
+    // `Backend::Shard` runs the same drivers with the same coins on the
+    // sharded runtime; per key, its Report must equal the Mr one in
+    // every model-level observable (the legacy-equivalence test above
+    // then transitively ties Shard to the free-function entry points).
+    let registry = Registry::with_defaults();
+    for (name, instance, cfg) in workloads() {
+        let mr = registry
+            .solve_with(name, Backend::Mr, &instance, &cfg)
+            .unwrap_or_else(|e| panic!("{name} mr: {e}"));
+        let shard = registry
+            .solve_with(name, Backend::Shard, &instance, &cfg)
+            .unwrap_or_else(|e| panic!("{name} shard: {e}"));
+        assert_eq!(shard.solution, mr.solution, "{name}: shard vs mr diverged");
+        assert_eq!(
+            shard.certificate.witness, mr.certificate.witness,
+            "{name}: witnesses diverged"
+        );
+        assert_eq!(shard.metrics, mr.metrics, "{name}: metrics diverged");
+        assert_eq!(shard.backend, Backend::Shard);
+    }
+}
+
+#[test]
 fn seq_backend_is_feasible_everywhere() {
     // Seq twins run different (deterministic reference) algorithms, so no
     // bit-equivalence — but every solution must pass the same validator.
