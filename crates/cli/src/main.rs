@@ -32,7 +32,7 @@ use mrlr_bench::workloads::{self, GenParams};
 use mrlr_core::api::{witness, Backend, Instance, Registry, Report, Solution};
 use mrlr_core::io::{self, CertificateMode, Json, TimingMode};
 use mrlr_core::mr::MrConfig;
-use mrlr_mapreduce::Timeline;
+use mrlr_mapreduce::{SpawnKind, Timeline, WorkerKill};
 
 const USAGE: &str = "mrlr — greedy and local ratio algorithms in the MapReduce model
 
@@ -41,22 +41,27 @@ USAGE:
     mrlr gen   <family> [--n N] [--m M] [--c C] [--gamma G] [--f F]
                [--delta D] [--max-len L] [--left L] [--w-min W] [--w-max W]
                [--unweighted] [--eps E] [--b-max B] [--seed S] [--out PATH]
-    mrlr solve <algorithm> --input PATH [--backend seq|rlr|mr|shard]
+    mrlr solve <algorithm> --input PATH [--backend seq|rlr|mr|shard|dist]
                [--mu MU] [--seed S] [--threads N] [--machines M]
+               [--workers N] [--kill W@S]
                [--format text|json|csv] [--certificates full|summary]
                [--mask-timings] [--timings-csv PATH] [--out PATH]
     mrlr verify <instance> <report.json> [--quiet]
     mrlr verify <batch.json> [--instances-dir DIR] [--quiet]
-    mrlr batch <manifest> [--backend seq|rlr|mr|shard] [--format json|csv]
+    mrlr batch <manifest> [--backend seq|rlr|mr|shard|dist] [--format json|csv]
                [--certificates full|summary] [--mask-timings] [--out PATH]
 
 Run `mrlr list` for the algorithm keys and generator families (with the
 backends each key supports). The cluster shape is auto-derived from the
 instance and `--mu` exactly as the paper parameterizes it; `--threads`
 (default: MRLR_THREADS, else sequential) changes wall-clock only, and the
-two cluster backends (`mr` on the classic engine, `shard` on the sharded
-runtime; MRLR_BACKEND sets the default engine for `mr`) return
-bit-identical solutions, metrics and witnesses.
+three cluster backends (`mr` on the classic engine, `shard` on the
+sharded runtime, `dist` on the master/worker control plane over real
+processes; MRLR_BACKEND sets the default engine for `mr`) return
+bit-identical solutions, metrics and witnesses. Under `--backend dist`,
+`--workers` sets the worker-process count (default: MRLR_DIST_WORKERS,
+else 2) and `--kill W@S` kills worker W at superstep S to demonstrate
+fault-tolerant recovery — the report is bit-identical anyway.
 
 JSON reports embed a re-checkable certificate witness (dual vectors,
 local-ratio stack transcripts, maximality blockers) unless
@@ -72,6 +77,12 @@ written away from its manifest), skips slots that recorded an error
 ";
 
 fn main() -> ExitCode {
+    // Dist-worker re-entry: when a master spawned this process as a
+    // worker, the rendezvous socket variable is set and the process
+    // serves the shuffle-region protocol instead of parsing a command.
+    if std::env::var_os(mrlr_mapreduce::dist::worker::SOCKET_ENV).is_some() {
+        std::process::exit(mrlr_mapreduce::dist::worker::worker_main());
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (command, rest) = match args.split_first() {
         Some((c, rest)) => (c.as_str(), rest),
@@ -197,18 +208,44 @@ fn timing_mode(flags: &mut Flags) -> TimingMode {
     }
 }
 
-/// `--backend` for `solve` and `batch`; `mr` (the default) and `shard`
-/// are the bit-identical cluster pair.
+/// `--backend` for `solve` and `batch`, parsed against [`Backend::ALL`]
+/// (the single source of truth for backend names — `mrlr list` and the
+/// README table derive from the same slice); `mr` is the default, and
+/// the cluster backends (`mr`/`shard`/`dist`) are bit-identical.
 fn parse_backend(flags: &mut Flags) -> Result<Backend, CliError> {
-    match flags.take("backend").as_deref() {
-        None | Some("mr") => Ok(Backend::Mr),
-        Some("shard") => Ok(Backend::Shard),
-        Some("rlr") => Ok(Backend::Rlr),
-        Some("seq") => Ok(Backend::Seq),
-        Some(other) => Err(CliError::usage(format!(
-            "unknown backend `{other}` (expected seq, rlr, mr or shard)"
-        ))),
+    match flags.take("backend") {
+        None => Ok(Backend::Mr),
+        Some(raw) => Backend::ALL
+            .into_iter()
+            .find(|b| b.to_string() == raw)
+            .ok_or_else(|| {
+                let names: Vec<String> = Backend::ALL.iter().map(Backend::to_string).collect();
+                CliError::usage(format!(
+                    "unknown backend `{raw}` (expected one of: {})",
+                    names.join(", ")
+                ))
+            }),
     }
+}
+
+/// `--kill W@S`: kill worker `W` when it acknowledges superstep `S`
+/// (dist backend only — the master recovers it and the run completes
+/// bit-identically).
+fn parse_kill(flags: &mut Flags) -> Result<Option<WorkerKill>, CliError> {
+    let Some(raw) = flags.take("kill") else {
+        return Ok(None);
+    };
+    let parsed = raw.split_once('@').and_then(|(w, s)| {
+        Some(WorkerKill {
+            worker: w.parse().ok()?,
+            superstep: s.parse().ok()?,
+        })
+    });
+    parsed.map(Some).ok_or_else(|| {
+        CliError::usage(format!(
+            "bad value `{raw}` for --kill (expected <worker>@<superstep>, e.g. 1@3)"
+        ))
+    })
 }
 
 fn certificate_mode(flags: &mut Flags) -> Result<CertificateMode, CliError> {
@@ -410,6 +447,8 @@ fn cmd_solve(args: &[String]) -> Result<(), CliError> {
         .unwrap_or(io::manifest::DEFAULT_SEED);
     let threads = flags.take_parsed("threads")?;
     let machines = flags.take_parsed("machines")?;
+    let workers = flags.take_parsed("workers")?;
+    let kill = parse_kill(&mut flags)?;
     let format = flags.take("format").unwrap_or_else(|| "text".into());
     let timings_csv = flags.take("timings-csv");
     let out = flags.take("out");
@@ -421,10 +460,32 @@ fn cmd_solve(args: &[String]) -> Result<(), CliError> {
     };
 
     let instance = load_instance(&input)?;
-    let cfg = configure(&instance, mu, seed, threads, machines);
+    let mut cfg = configure(&instance, mu, seed, threads, machines);
+    if backend == Backend::Dist {
+        // An explicit dist solve exercises the real thing: worker
+        // processes over Unix sockets (this binary re-enters as the
+        // worker; see the hook at the top of `main`).
+        cfg = cfg.with_spawn(SpawnKind::Process);
+    }
+    if let Some(w) = workers {
+        cfg = cfg.with_workers(w);
+    }
+    if let Some(k) = kill {
+        cfg = cfg.with_worker_kill(k);
+    }
     let report = Registry::with_defaults()
         .solve_with(algorithm, backend, &instance, &cfg)
         .map_err(|e| CliError::runtime(e.to_string()))?;
+
+    // Fault recoveries are host-level observables (never serialized into
+    // the report, which stays bit-identical to a clean run): narrate
+    // them on stderr so operators — and the fault-injection smoke — can
+    // see the kill actually fired.
+    if let Some(metrics) = report.metrics.as_ref() {
+        for line in Timeline::from_metrics(metrics).annotations() {
+            eprintln!("note: {line}");
+        }
+    }
 
     if let Some(path) = timings_csv {
         let csv = report
@@ -603,8 +664,13 @@ fn verify_batch(
 
 // --------------------------------------------------------------- batch --
 
-fn job_cfg(instance: &Instance, job: &io::JobSpec) -> MrConfig {
-    configure(instance, job.mu, job.seed, job.threads, None)
+fn job_cfg(instance: &Instance, job: &io::JobSpec, backend: Backend) -> MrConfig {
+    let cfg = configure(instance, job.mu, job.seed, job.threads, None);
+    if backend == Backend::Dist {
+        cfg.with_spawn(SpawnKind::Process)
+    } else {
+        cfg
+    }
 }
 
 fn cmd_batch(args: &[String]) -> Result<(), CliError> {
@@ -647,7 +713,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             let jobs: Vec<(&str, MrConfig)> = manifest
                 .jobs
                 .iter()
-                .map(|job| (job.algorithm.as_str(), job_cfg(instance, job)))
+                .map(|job| (job.algorithm.as_str(), job_cfg(instance, job, backend)))
                 .collect();
             registry
                 .solve_batch_with(backend, std::slice::from_ref(instance), &jobs)

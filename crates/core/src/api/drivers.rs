@@ -36,15 +36,17 @@ fn seq_err(e: String) -> MrError {
     MrError::Infeasible(e)
 }
 
-/// The cluster shape a `Mr`/`Shard` run uses: `Backend::Shard` forces the
-/// sharded runtime ([`RuntimeKind::Shard`]); `Backend::Mr` keeps the
-/// config's (env-default) runtime. This is the single shard-aware entry
-/// every cluster driver dispatches through — the run itself is the same
-/// `mr::*::run` either way, so Rlr/Mr/Shard reports (witnesses included)
-/// are bit-identical.
+/// The cluster shape a `Mr`/`Shard`/`Dist` run uses: `Backend::Shard`
+/// forces the sharded runtime ([`RuntimeKind::Shard`]), `Backend::Dist`
+/// the distributed master/worker runtime ([`RuntimeKind::Dist`]);
+/// `Backend::Mr` keeps the config's (env-default) runtime. This is the
+/// single runtime-aware entry every cluster driver dispatches through —
+/// the run itself is the same `mr::*::run` in all cases, so
+/// Rlr/Mr/Shard/Dist reports (witnesses included) are bit-identical.
 fn cluster_cfg(backend: Backend, cfg: &MrConfig) -> MrConfig {
     match backend {
         Backend::Shard => cfg.with_runtime(RuntimeKind::Shard),
+        Backend::Dist => cfg.with_runtime(RuntimeKind::Dist),
         _ => *cfg,
     }
 }
@@ -93,7 +95,7 @@ impl Driver for SetCoverFDriver {
         let (sol, metrics) = match self.backend {
             Backend::Seq => (seq::local_ratio_set_cover(sys).map_err(seq_err)?, None),
             Backend::Rlr => (rlr::approx_set_cover_f(sys, cfg.eta, cfg.seed)?, None),
-            Backend::Mr | Backend::Shard => {
+            Backend::Mr | Backend::Shard | Backend::Dist => {
                 let (s, m) = mr::set_cover::run(sys, cluster_cfg(self.backend, cfg))?;
                 (s, Some(m))
             }
@@ -149,7 +151,7 @@ impl Driver for GreedySetCoverDriver {
                 let (s, _trace) = hungry::hungry_set_cover(sys, params)?;
                 (s, None)
             }
-            Backend::Mr | Backend::Shard => {
+            Backend::Mr | Backend::Shard | Backend::Dist => {
                 let (s, _trace, m) =
                     mr::set_cover_greedy::run(sys, params, cluster_cfg(self.backend, cfg))?;
                 (s, Some(m))
@@ -196,7 +198,7 @@ impl Driver for VertexCoverDriver {
                 let sys = inst.as_set_system();
                 (rlr::approx_set_cover_f(&sys, cfg.eta, cfg.seed)?, None)
             }
-            Backend::Mr | Backend::Shard => {
+            Backend::Mr | Backend::Shard | Backend::Dist => {
                 let (s, m) = mr::vertex_cover::run(
                     &inst.graph,
                     &inst.weights,
@@ -241,7 +243,7 @@ impl Driver for MatchingDriver {
         let (sol, metrics) = match self.backend {
             Backend::Seq => (seq::local_ratio_matching(g), None),
             Backend::Rlr => (rlr::approx_max_matching(g, cfg.eta, cfg.seed)?, None),
-            Backend::Mr | Backend::Shard => {
+            Backend::Mr | Backend::Shard | Backend::Dist => {
                 let (s, m) = mr::matching::run(g, cluster_cfg(self.backend, cfg))?;
                 (s, Some(m))
             }
@@ -300,7 +302,7 @@ impl Driver for BMatchingDriver {
                 rlr::approx_b_matching(&inst.graph, &inst.b, Self::params(inst, cfg))?,
                 None,
             ),
-            Backend::Mr | Backend::Shard => {
+            Backend::Mr | Backend::Shard | Backend::Dist => {
                 let (s, m) = mr::bmatching::run(
                     &inst.graph,
                     &inst.b,
@@ -371,11 +373,11 @@ impl Driver for MisDriver {
             (Backend::Seq, _) => (seq::greedy_mis(g), None),
             (Backend::Rlr, MisVariant::Mis1) => (hungry::mis_simple(g, params)?, None),
             (Backend::Rlr, MisVariant::Mis2) => (hungry::mis_fast(g, params)?, None),
-            (Backend::Mr | Backend::Shard, MisVariant::Mis1) => {
+            (Backend::Mr | Backend::Shard | Backend::Dist, MisVariant::Mis1) => {
                 let (s, m) = mr::mis::run_simple(g, params, cluster_cfg(self.backend, cfg))?;
                 (s, Some(m))
             }
-            (Backend::Mr | Backend::Shard, MisVariant::Mis2) => {
+            (Backend::Mr | Backend::Shard | Backend::Dist, MisVariant::Mis2) => {
                 let (s, m) = mr::mis::run_fast(g, params, cluster_cfg(self.backend, cfg))?;
                 (s, Some(m))
             }
@@ -417,7 +419,7 @@ impl Driver for CliqueDriver {
         let (sol, metrics) = match self.backend {
             Backend::Seq => (seq::greedy_maximal_clique(g), None),
             Backend::Rlr => (hungry::maximal_clique(g, params)?, None),
-            Backend::Mr | Backend::Shard => {
+            Backend::Mr | Backend::Shard | Backend::Dist => {
                 let (s, m) = mr::clique::run(g, params, cluster_cfg(self.backend, cfg))?;
                 (s, Some(m))
             }
@@ -533,12 +535,12 @@ impl Driver for ColouringDriver {
                 None,
             ),
             (Backend::Rlr, true) => (colouring::edge_colouring(g, kappa, limit, cfg.seed)?, None),
-            (Backend::Mr | Backend::Shard, false) => {
+            (Backend::Mr | Backend::Shard | Backend::Dist, false) => {
                 let (s, m) =
                     mr::colouring::run_vertex(g, kappa, limit, cluster_cfg(self.backend, cfg))?;
                 (s, Some(m))
             }
-            (Backend::Mr | Backend::Shard, true) => {
+            (Backend::Mr | Backend::Shard | Backend::Dist, true) => {
                 let (s, m) =
                     mr::colouring::run_edge(g, kappa, limit, cluster_cfg(self.backend, cfg))?;
                 (s, Some(m))

@@ -7,16 +7,19 @@
 //!
 //! * [`Problem`] names a problem family and ties together its instance,
 //!   solution and verification-certificate types.
-//! * [`Driver`] is one algorithm for one problem, available in up to four
+//! * [`Driver`] is one algorithm for one problem, available in up to five
 //!   [`Backend`]s: `Seq` (deterministic sequential reference), `Rlr` (the
 //!   paper's randomized in-memory driver from [`crate::rlr`],
 //!   [`crate::hungry`] or [`crate::colouring`]), `Mr` (the cluster
-//!   implementation from [`crate::mr`] on the classic engine) and `Shard`
+//!   implementation from [`crate::mr`] on the classic engine), `Shard`
 //!   (the same cluster implementation on the sharded runtime — static
-//!   shard→thread scheduling with per-destination batched routing). For
-//!   identical seeds the `Rlr`, `Mr` and `Shard` backends return
-//!   **bit-identical** solutions; the cluster backends additionally
-//!   report honest (and mutually identical) [`Metrics`].
+//!   shard→thread scheduling with per-destination batched routing) and
+//!   `Dist` (the same implementation again, shuffling through the
+//!   master/worker control plane of [`mrlr_mapreduce::dist`] with
+//!   fault-tolerant re-execution). For identical seeds the `Rlr`, `Mr`,
+//!   `Shard` and `Dist` backends return **bit-identical** solutions; the
+//!   cluster backends additionally report honest (and mutually
+//!   identical) [`Metrics`].
 //! * [`Report`] uniformly bundles the solution with its certificate,
 //!   cluster metrics and wall-clock timing.
 //! * [`Registry`] enumerates every driver under a stable string key
@@ -92,11 +95,24 @@ pub enum Backend {
     /// routing). Same drivers, same coins — `Report`s (solution,
     /// `Metrics`, witness) are **bit-identical** to `Mr`.
     Shard,
+    /// The cluster implementation on the distributed runtime
+    /// ([`mrlr_mapreduce::RuntimeKind::Dist`]): a master/worker control
+    /// plane over real OS transport, with heartbeats and fault-tolerant
+    /// re-execution of killed workers ([`mrlr_mapreduce::dist`]). Same
+    /// drivers, same coins — `Report`s are **bit-identical** to `Mr` and
+    /// `Shard`, even across an injected worker kill.
+    Dist,
 }
 
 impl Backend {
-    /// All backends, in `Seq < Rlr < Mr < Shard` order.
-    pub const ALL: [Backend; 4] = [Backend::Seq, Backend::Rlr, Backend::Mr, Backend::Shard];
+    /// All backends, in `Seq < Rlr < Mr < Shard < Dist` order.
+    pub const ALL: [Backend; 5] = [
+        Backend::Seq,
+        Backend::Rlr,
+        Backend::Mr,
+        Backend::Shard,
+        Backend::Dist,
+    ];
 }
 
 impl fmt::Display for Backend {
@@ -106,6 +122,7 @@ impl fmt::Display for Backend {
             Backend::Rlr => "rlr",
             Backend::Mr => "mr",
             Backend::Shard => "shard",
+            Backend::Dist => "dist",
         })
     }
 }
@@ -153,8 +170,8 @@ pub struct Report<S> {
     /// by the algorithm under test).
     pub certificate: Certificate,
     /// Cluster metrics; `Some` exactly for the cluster backends
-    /// ([`Backend::Mr`] and [`Backend::Shard`], which report identical
-    /// metrics), `None` for the in-memory ones.
+    /// ([`Backend::Mr`], [`Backend::Shard`] and [`Backend::Dist`], which
+    /// report identical metrics), `None` for the in-memory ones.
     pub metrics: Option<Metrics>,
     /// Wall-clock time of the solve call, including the certificate
     /// verification (the production path a registry consumer pays).
@@ -229,10 +246,15 @@ mod tests {
     #[test]
     fn backend_order_and_display() {
         assert!(Backend::Seq < Backend::Rlr && Backend::Rlr < Backend::Mr);
-        assert!(Backend::Mr < Backend::Shard);
+        assert!(Backend::Mr < Backend::Shard && Backend::Shard < Backend::Dist);
         assert_eq!(Backend::Mr.to_string(), "mr");
         assert_eq!(Backend::Shard.to_string(), "shard");
-        assert_eq!(Backend::ALL.len(), 4);
+        assert_eq!(Backend::Dist.to_string(), "dist");
+        assert_eq!(Backend::ALL.len(), 5);
+        // Display names are unique and stable — CLI parsing and golden
+        // files key off them.
+        let names: Vec<String> = Backend::ALL.iter().map(Backend::to_string).collect();
+        assert_eq!(names, ["seq", "rlr", "mr", "shard", "dist"]);
     }
 
     #[test]

@@ -27,9 +27,10 @@
 //! *witness* column names the [`Witness`](super::Witness) kind each
 //! driver's [`Certificate`](super::Certificate) carries, re-checkable
 //! offline via [`super::witness::audit`] / `mrlr verify`. Every key runs
-//! on all four [`Backend`]s ([`AlgorithmInfo::backends`]); the two
+//! on all five [`Backend`]s ([`AlgorithmInfo::backends`]); the three
 //! cluster backends (`mr` on the classic engine, `shard` on the sharded
-//! runtime) return bit-identical reports.
+//! runtime, `dist` on the master/worker control plane) return
+//! bit-identical reports.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -146,9 +147,9 @@ pub struct AlgorithmInfo {
     /// (`cover-dual` / `stack` / `maximality` / `properness`).
     pub witness: &'static str,
     /// Backends this key supports, in `Backend::ALL` order. Every paper
-    /// key runs on all four; the cluster pair (`mr`, `shard`) is
-    /// bit-identical (a cross-check against [`Registry::backends`] lives
-    /// in the tests).
+    /// key runs on all five; the cluster backends (`mr`, `shard`,
+    /// `dist`) are bit-identical (a cross-check against
+    /// [`Registry::backends`] lives in the tests).
     pub backends: &'static [Backend],
 }
 
@@ -449,7 +450,7 @@ impl Registry {
 
     /// A registry holding all eight paper algorithms (ten registry keys —
     /// MIS and colouring contribute two each) in every backend that
-    /// implements them: 40 entries, four [`Backend`]s per key.
+    /// implements them: 50 entries, five [`Backend`]s per key.
     pub fn with_defaults() -> Self {
         let mut r = Registry::new();
         for backend in Backend::ALL {
@@ -537,10 +538,11 @@ impl Registry {
         self.solve_batch_with(Backend::Mr, instances, jobs)
     }
 
-    /// [`Registry::solve_batch`] on an explicit backend (`Mr` and `Shard`
-    /// are the metered cluster pair and return bit-identical reports;
-    /// `Seq`/`Rlr` batches skip the cluster entirely but still share the
-    /// distribution-cache scope, which is simply idle for them).
+    /// [`Registry::solve_batch`] on an explicit backend (`Mr`, `Shard`
+    /// and `Dist` are the metered cluster backends and return
+    /// bit-identical reports; `Seq`/`Rlr` batches skip the cluster
+    /// entirely but still share the distribution-cache scope, which is
+    /// simply idle for them).
     pub fn solve_batch_with(
         &self,
         backend: Backend,
@@ -651,7 +653,7 @@ mod tests {
     #[test]
     fn defaults_cover_all_algorithms_and_backends() {
         let r = Registry::with_defaults();
-        assert_eq!(r.len(), 40);
+        assert_eq!(r.len(), 50);
         let names = r.algorithms();
         for name in [
             "b-matching",

@@ -24,7 +24,7 @@ pub mod set_cover;
 pub mod set_cover_greedy;
 pub mod vertex_cover;
 
-use mrlr_mapreduce::{ClusterConfig, Enforcement, RuntimeKind};
+use mrlr_mapreduce::{ClusterConfig, DistParams, Enforcement, RuntimeKind, SpawnKind, WorkerKill};
 
 /// Execution-substrate parameters of a cluster run: how many OS threads
 /// the simulator may use for machine supersteps, and which runtime
@@ -36,11 +36,17 @@ pub struct ExecConfig {
     /// Executor threads: `0`/`1` = sequential, `t > 1` = a shared
     /// `t`-thread pool ([`mrlr_mapreduce::executor`]).
     pub threads: usize,
-    /// Cluster runtime: `Classic` (dynamic scheduling + merge routing)
-    /// or `Shard` (static shard→thread assignment + per-destination
-    /// batched routing — what `Backend::Shard` forces). Defaults to the
-    /// `MRLR_BACKEND` environment variable.
+    /// Cluster runtime: `Classic` (dynamic scheduling + merge routing),
+    /// `Shard` (static shard→thread assignment + per-destination
+    /// batched routing — what `Backend::Shard` forces), or `Dist` (the
+    /// master/worker control plane over real transport — what
+    /// `Backend::Dist` forces). Defaults to the `MRLR_BACKEND`
+    /// environment variable.
     pub runtime: RuntimeKind,
+    /// Distributed-session parameters (worker count, spawn mode, fault
+    /// injection). Only consulted when [`ExecConfig::runtime`] is
+    /// [`RuntimeKind::Dist`].
+    pub dist: DistParams,
 }
 
 impl ExecConfig {
@@ -49,6 +55,7 @@ impl ExecConfig {
     pub const SEQ: ExecConfig = ExecConfig {
         threads: 1,
         runtime: RuntimeKind::Classic,
+        dist: DistParams::DEFAULT,
     };
 
     /// A `threads`-thread pool on the process-default runtime.
@@ -56,6 +63,7 @@ impl ExecConfig {
         ExecConfig {
             threads,
             runtime: mrlr_mapreduce::default_runtime(),
+            dist: DistParams::DEFAULT,
         }
     }
 
@@ -65,6 +73,7 @@ impl ExecConfig {
         ExecConfig {
             threads: mrlr_mapreduce::default_threads(),
             runtime: mrlr_mapreduce::default_runtime(),
+            dist: DistParams::DEFAULT,
         }
     }
 }
@@ -192,6 +201,29 @@ impl MrConfig {
         self
     }
 
+    /// Overrides the distributed worker count (see
+    /// [`mrlr_mapreduce::DistParams::workers`]; only consulted under
+    /// [`RuntimeKind::Dist`]).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.exec.dist.workers = workers;
+        self
+    }
+
+    /// Overrides the distributed spawn mode (thread- vs process-backed
+    /// workers; only consulted under [`RuntimeKind::Dist`]).
+    pub fn with_spawn(mut self, spawn: SpawnKind) -> Self {
+        self.exec.dist.spawn = spawn;
+        self
+    }
+
+    /// Injects a worker kill at a chosen superstep (fault-tolerance
+    /// testing; only consulted under [`RuntimeKind::Dist`]). The master
+    /// recovers the worker and the run's outputs stay bit-identical.
+    pub fn with_worker_kill(mut self, kill: WorkerKill) -> Self {
+        self.exec.dist.kill = Some(kill);
+        self
+    }
+
     /// Switches to record-only enforcement (measure, don't fail).
     pub fn recording(mut self) -> Self {
         self.enforcement = Enforcement::Record;
@@ -209,6 +241,7 @@ impl MrConfig {
             threads: self.exec.threads,
             runtime: self.exec.runtime,
             seed: self.seed,
+            dist: self.exec.dist.into(),
         }
     }
 

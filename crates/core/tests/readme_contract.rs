@@ -1,0 +1,39 @@
+//! The README's backends table is documentation of `Backend::ALL` —
+//! this test keeps the two in lockstep so adding (or renaming) a
+//! backend without updating the README fails CI, exactly like the CLI
+//! parser and `mrlr list`, which derive from the same slice.
+
+use mrlr_core::api::Backend;
+
+#[test]
+fn readme_backends_table_matches_backend_all() {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"))
+        .expect("workspace README.md");
+    // The table rows are `| `backend` | description |` lines following
+    // the `| Backend | What runs |` header.
+    let mut rows = Vec::new();
+    let mut in_table = false;
+    for line in readme.lines() {
+        if line.starts_with("| Backend |") {
+            in_table = true;
+            continue;
+        }
+        if in_table {
+            if line.starts_with("|---") {
+                continue;
+            }
+            let Some(cell) = line
+                .strip_prefix("| `")
+                .and_then(|rest| rest.split('`').next())
+            else {
+                break; // table ended
+            };
+            rows.push(cell.to_string());
+        }
+    }
+    let expected: Vec<String> = Backend::ALL.iter().map(Backend::to_string).collect();
+    assert_eq!(
+        rows, expected,
+        "README backends table diverged from Backend::ALL"
+    );
+}

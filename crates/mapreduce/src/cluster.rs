@@ -31,6 +31,7 @@
 
 use std::sync::Arc;
 
+use crate::dist::{DistConfig, DistSession, Wire};
 use crate::error::{CapacityKind, MrError, MrResult};
 use crate::executor::{self, Executor};
 use crate::metrics::{Metrics, RoundKind, Violation};
@@ -78,6 +79,10 @@ pub struct ClusterConfig {
     /// Seed of the machine-local shard RNG streams
     /// ([`Shard::rng_mut`](crate::shard::Shard::rng_mut)).
     pub seed: u64,
+    /// Distributed-session shape (workers, spawn mode, fault injections).
+    /// Only consulted when [`ClusterConfig::runtime`] is
+    /// [`RuntimeKind::Dist`].
+    pub dist: DistConfig,
 }
 
 impl ClusterConfig {
@@ -96,6 +101,7 @@ impl ClusterConfig {
             threads: executor::default_threads(),
             runtime: superstep::default_runtime(),
             seed: 0,
+            dist: DistConfig::default(),
         }
     }
 
@@ -126,6 +132,12 @@ impl ClusterConfig {
     /// Sets the enforcement mode.
     pub fn with_enforcement(mut self, e: Enforcement) -> Self {
         self.enforcement = e;
+        self
+    }
+
+    /// Sets the distributed-session shape (see [`ClusterConfig::dist`]).
+    pub fn with_dist(mut self, dist: DistConfig) -> Self {
+        self.dist = dist;
         self
     }
 
@@ -175,6 +187,8 @@ pub struct Cluster<S> {
     central_extra: usize,
     sched: Scheduler,
     router: RouterKind,
+    /// Live master/worker session when the runtime is [`RuntimeKind::Dist`].
+    dist: Option<DistSession>,
 }
 
 impl<S: MachineState> Cluster<S> {
@@ -207,6 +221,10 @@ impl<S: MachineState> Cluster<S> {
         let sched = Scheduler::new(exec, cfg.runtime.schedule());
         let router = cfg.runtime.router();
         let shards = shards_from_states(states, cfg.seed);
+        let dist = match cfg.runtime {
+            RuntimeKind::Dist => Some(DistSession::launch(cfg.machines, cfg.seed, &cfg.dist)?),
+            _ => None,
+        };
         let mut cluster = Cluster {
             cfg,
             shards,
@@ -214,6 +232,7 @@ impl<S: MachineState> Cluster<S> {
             central_extra: 0,
             sched,
             router,
+            dist,
         };
         cluster.check_states()?;
         Ok(cluster)
@@ -312,6 +331,19 @@ impl<S: MachineState> Cluster<S> {
         }
     }
 
+    /// Drives the dist control plane (when active) through the barrier of
+    /// the superstep just counted: every primitive passes through here, so
+    /// the open/ack round-trip doubles as the worker heartbeat — and the
+    /// place where a dead worker is detected and recovered. Refreshes the
+    /// transport summary in [`Metrics::dist`] afterwards.
+    fn dist_sync(&mut self) -> MrResult<()> {
+        if let Some(session) = self.dist.as_mut() {
+            session.open(self.metrics.supersteps)?;
+            self.metrics.dist = Some(session.summary());
+        }
+        Ok(())
+    }
+
     fn check_states(&mut self) -> MrResult<()> {
         let sizes: Vec<usize> = self.sched.map_ref(&self.shards, |_, shard| shard.words());
         let peak = sizes.iter().copied().max().unwrap_or(0);
@@ -332,6 +364,7 @@ impl<S: MachineState> Cluster<S> {
         F: Fn(MachineId, &mut S) + Sync,
     {
         self.metrics.supersteps += 1;
+        self.dist_sync()?;
         let pass = self
             .sched
             .timed_mut(&mut self.shards, |id, shard| f(id, shard.state_mut()));
@@ -344,14 +377,17 @@ impl<S: MachineState> Cluster<S> {
     /// machine and stages messages; `consume` runs on every machine with the
     /// messages addressed to it (ordered by sender id, then send order).
     /// Delivery goes through the configured routing plane
-    /// ([`ClusterConfig::runtime`]); the inboxes are identical either way.
+    /// ([`ClusterConfig::runtime`]) — for [`RuntimeKind::Dist`], the
+    /// master/worker shuffle over real transport; the inboxes are
+    /// identical either way.
     pub fn exchange<M, P, C>(&mut self, produce: P, consume: C) -> MrResult<()>
     where
-        M: WordSized + Send,
+        M: WordSized + Send + Wire,
         P: Fn(MachineId, &mut S, &mut Outbox<M>) + Sync,
         C: Fn(MachineId, &mut S, Vec<M>) + Sync,
     {
         self.metrics.supersteps += 1;
+        self.dist_sync()?;
         let machines = self.cfg.machines;
         // Meter outgoing volume per machine while producing. Machines run
         // concurrently on the scheduler; results come back in machine-id
@@ -367,8 +403,16 @@ impl<S: MachineState> Cluster<S> {
         let (outboxes, out_words): (Vec<Outbox<M>>, Vec<usize>) = pass.results.into_iter().unzip();
 
         // Deliver: stable order (sender id, then send order within sender),
-        // identical across routing planes.
-        let delivery = router::route(self.router, &self.sched, machines, outboxes);
+        // identical across routing planes — including the dist shuffle,
+        // whose workers bucket the serialized batches in arrival order.
+        let delivery = match self.dist.as_mut() {
+            Some(session) => {
+                let d = session.exchange(self.metrics.supersteps, outboxes)?;
+                self.metrics.dist = Some(session.summary());
+                d
+            }
+            None => router::route(self.router, &self.sched, machines, outboxes),
+        };
 
         let max_out = out_words.iter().copied().max().unwrap_or(0);
         let max_in = delivery.in_words.iter().copied().max().unwrap_or(0);
@@ -407,6 +451,7 @@ impl<S: MachineState> Cluster<S> {
         P: Fn(MachineId, &mut S) -> Vec<M> + Sync,
     {
         self.metrics.supersteps += 1;
+        self.dist_sync()?;
         let central = self.cfg.central;
         let pass = self.sched.timed_mut(&mut self.shards, |id, shard| {
             let batch = produce(id, shard.state_mut());
@@ -437,6 +482,7 @@ impl<S: MachineState> Cluster<S> {
     /// subsequent closures; this call accounts for its movement.
     pub fn broadcast_words(&mut self, words: usize) -> MrResult<usize> {
         self.metrics.supersteps += 1;
+        self.dist_sync()?;
         let depth = tree_depth(self.cfg.machines, self.cfg.tree_fanout);
         let hop_out = words.saturating_mul(self.cfg.tree_fanout);
         for _ in 0..depth {
@@ -471,6 +517,7 @@ impl<S: MachineState> Cluster<S> {
         C: Fn(T, T) -> T,
     {
         self.metrics.supersteps += 1;
+        self.dist_sync()?;
         let pass = self
             .sched
             .timed_ref(&self.shards, |id, shard| extract(id, shard.state()));

@@ -1,0 +1,611 @@
+//! The master side of the dist protocol: spawn, barrier, shuffle, heal.
+//!
+//! A [`DistSession`] owns `W` workers (threads or processes, see
+//! [`super::SpawnKind`]), each assigned one contiguous shard block of the
+//! cluster's [`crate::superstep::StaticAssignment`]. The cluster facade
+//! drives it with two calls per superstep: `DistSession::open` — the
+//! barrier-and-heartbeat every primitive passes through — and, for
+//! `exchange` supersteps, `DistSession::exchange`, which serializes the
+//! staged outboxes into per-worker batch frames, collects the assembled
+//! inbox regions back, and decodes them into the router's
+//! `Delivery` shape.
+//!
+//! **Recovery.** Any failed read from a worker (EOF after an injected
+//! kill, a transport error, a read timeout) declares that worker dead.
+//! The master respawns it, re-establishes its block identity with a fresh
+//! `Assign` (the deterministic `(cluster seed, shard id)` keys make the
+//! new worker interchangeable with the old one), reopens the current
+//! barrier, and — when the death interrupted an exchange — replays the
+//! retained batch bytes of that exchange before re-flushing. Every
+//! recovery is recorded as a [`crate::metrics::RecoveryEvent`]; region
+//! digests ([`super::wire::region_digest`]) prove the healed region
+//! matches its claimed `(seed, shard)` identity.
+
+use std::io::{self, Write as _};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::error::{MrError, MrResult};
+use crate::metrics::{DistSummary, RecoveryEvent, WorkerShuffle};
+use crate::rng::mix2;
+use crate::router::{Delivery, Outbox};
+use crate::superstep::StaticAssignment;
+use crate::words::WordSized;
+
+use super::transport::{frame_bytes, read_frame, write_frame};
+use super::wire::{decode_value, encode_value, region_digest, Frame, Wire};
+use super::worker::{self, SOCKET_ENV, WORKER_BIN_ENV};
+use super::{DistConfig, SpawnKind};
+
+/// Master-side read timeout: a worker that cannot answer within this
+/// window is declared dead and recovered.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long to wait for a spawned worker process to connect.
+const ACCEPT_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn dist_err(e: impl std::fmt::Display) -> MrError {
+    MrError::Dist(e.to_string())
+}
+
+/// Resolves a requested worker count: explicit value, else the
+/// `MRLR_DIST_WORKERS` environment variable, else 2.
+pub fn default_workers(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::env::var("MRLR_DIST_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or(2)
+}
+
+enum WorkerJoin {
+    Thread(Option<JoinHandle<()>>),
+    Process(Child),
+}
+
+struct WorkerHandle {
+    stream: UnixStream,
+    join: WorkerJoin,
+    /// Pending injected kill (cleared on respawn so recovery converges).
+    kill_at: Option<u64>,
+    shuffle: WorkerShuffle,
+}
+
+struct Rendezvous {
+    listener: UnixListener,
+    path: PathBuf,
+}
+
+impl Drop for Rendezvous {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// A live distributed session: the workers, their shard-block assignment,
+/// and the recovery machinery. Created by the cluster facade when the
+/// runtime is `RuntimeKind::Dist`; torn down (with an orderly `Shutdown`)
+/// on drop.
+pub struct DistSession {
+    workers: Vec<WorkerHandle>,
+    assignment: StaticAssignment,
+    /// Shard id → owning worker.
+    owner: Vec<usize>,
+    machines: usize,
+    seed: u64,
+    spawn: SpawnKind,
+    rendezvous: Option<Rendezvous>,
+    recoveries: Vec<RecoveryEvent>,
+    shuffle_nanos: u64,
+}
+
+impl DistSession {
+    /// Spawns and assigns the workers for a cluster of `machines` shards
+    /// seeded by `seed`, then ping-pongs each one to verify liveness.
+    pub(crate) fn launch(machines: usize, seed: u64, cfg: &DistConfig) -> MrResult<Self> {
+        let assignment = StaticAssignment::new(machines, default_workers(cfg.workers));
+        let n = assignment.workers();
+        let mut owner = vec![0usize; machines];
+        for w in 0..n {
+            for shard in assignment.chunk(w) {
+                owner[shard] = w;
+            }
+        }
+        let rendezvous = match cfg.spawn {
+            SpawnKind::Thread => None,
+            SpawnKind::Process => Some(bind_rendezvous()?),
+        };
+        let mut session = DistSession {
+            workers: Vec::with_capacity(n),
+            assignment,
+            owner,
+            machines,
+            seed,
+            spawn: cfg.spawn,
+            rendezvous,
+            recoveries: Vec::new(),
+            shuffle_nanos: 0,
+        };
+        for w in 0..n {
+            let (stream, join) = session.spawn_endpoint()?;
+            // First matching kill wins; workers outside `0..n` can't fire.
+            let kill_at = cfg
+                .kills
+                .iter()
+                .find(|k| k.worker == w)
+                .map(|k| k.superstep as u64);
+            session.workers.push(WorkerHandle {
+                stream,
+                join,
+                kill_at,
+                shuffle: WorkerShuffle {
+                    worker: w,
+                    ..WorkerShuffle::default()
+                },
+            });
+            session.assign(w)?;
+        }
+        // Heartbeat: every worker must answer a ping before the run starts.
+        for w in 0..n {
+            let nonce = mix2(seed, w as u64);
+            write_frame(&mut session.workers[w].stream, &Frame::Ping { nonce })
+                .map_err(dist_err)?;
+            match read_frame(&mut session.workers[w].stream).map_err(dist_err)? {
+                Frame::Pong { nonce: echoed } if echoed == nonce => {}
+                other => return Err(dist_err(format!("worker {w} bad ping reply: {other:?}"))),
+            }
+        }
+        Ok(session)
+    }
+
+    /// Number of live workers.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Transport summary for [`crate::metrics::Metrics::dist`].
+    pub fn summary(&self) -> DistSummary {
+        DistSummary {
+            workers: self.workers.len(),
+            shuffle: self.workers.iter().map(|w| w.shuffle.clone()).collect(),
+            recoveries: self.recoveries.clone(),
+            shuffle_nanos: self.shuffle_nanos,
+        }
+    }
+
+    /// Opens superstep `superstep` on every worker: the barrier all five
+    /// cluster primitives pass through, doubling as the heartbeat. A
+    /// worker that fails to ack is recovered on the spot.
+    pub(crate) fn open(&mut self, superstep: usize) -> MrResult<()> {
+        let s = superstep as u64;
+        for wh in &mut self.workers {
+            // Write errors are swallowed: a dead peer is detected (and
+            // healed) at the matching read below.
+            let _ = write_frame(&mut wh.stream, &Frame::Open { superstep: s });
+        }
+        for w in 0..self.workers.len() {
+            if self.expect_ack(w, s).is_ok() {
+                continue;
+            }
+            self.recover_barrier(w, s)?;
+        }
+        Ok(())
+    }
+
+    /// Runs the distributed shuffle for one exchange superstep: staged
+    /// outboxes out to the owning workers, assembled inbox regions back,
+    /// decoded into the router's delivery shape. Delivery order is the
+    /// router contract — `(sender id, send order)` — because senders are
+    /// serialized in id order and workers bucket in arrival order.
+    pub(crate) fn exchange<M: WordSized + Wire>(
+        &mut self,
+        superstep: usize,
+        outboxes: Vec<Outbox<M>>,
+    ) -> MrResult<Delivery<M>> {
+        let t0 = Instant::now();
+        let s = superstep as u64;
+        let n = self.workers.len();
+        let mut per_worker: Vec<Vec<(u64, Vec<u8>)>> = (0..n).map(|_| Vec::new()).collect();
+        for outbox in outboxes {
+            for (dst, msg) in outbox.msgs {
+                per_worker[self.owner[dst]].push((dst as u64, encode_value(&msg)));
+            }
+        }
+        // One batch + flush per worker, written before any read (the
+        // protocol's deadlock-freedom invariant). The raw bytes are
+        // retained until the region is safely back, so a worker death
+        // mid-exchange can be replayed to its replacement.
+        let mut retained: Vec<Vec<u8>> = Vec::with_capacity(n);
+        for (w, msgs) in per_worker.into_iter().enumerate() {
+            let mut bytes = frame_bytes(&Frame::Batch { superstep: s, msgs });
+            bytes.extend_from_slice(&frame_bytes(&Frame::Flush { superstep: s }));
+            self.workers[w].shuffle.bytes_out += bytes.len() as u64;
+            self.workers[w].shuffle.batches += 1;
+            let _ = self.workers[w].stream.write_all(&bytes);
+            retained.push(bytes);
+        }
+        let mut inboxes: Vec<Vec<M>> = (0..self.machines).map(|_| Vec::new()).collect();
+        let mut in_words = vec![0usize; self.machines];
+        for (w, kept) in retained.iter().enumerate() {
+            let region = match self.read_region(w, s) {
+                Ok(region) => region,
+                Err(_) => self.recover_exchange(w, s, kept)?,
+            };
+            for (shard, payloads) in region {
+                let shard = shard as usize;
+                for payload in payloads {
+                    let msg: M = decode_value(&payload)
+                        .map_err(|e| dist_err(format!("worker {w} inbox payload: {e}")))?;
+                    in_words[shard] += msg.words();
+                    inboxes[shard].push(msg);
+                }
+            }
+        }
+        self.shuffle_nanos += t0.elapsed().as_nanos() as u64;
+        Ok(Delivery { inboxes, in_words })
+    }
+
+    /// Reads and validates one worker's inbox region for superstep `s`.
+    fn read_region(&mut self, w: usize, s: u64) -> io::Result<Vec<(u64, Vec<Vec<u8>>)>> {
+        let frame = read_frame(&mut self.workers[w].stream)?;
+        let bytes = frame_bytes(&frame).len() as u64;
+        self.workers[w].shuffle.bytes_in += bytes;
+        match frame {
+            Frame::Inboxes {
+                superstep,
+                shards,
+                digest,
+            } if superstep == s => {
+                // Re-derive the digest from the received bytes under the
+                // master's own seed: ties the region to the deterministic
+                // `(seed, shard id)` identity it claims.
+                if digest != region_digest(self.seed, &shards) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("worker {w} region digest mismatch at superstep {s}"),
+                    ));
+                }
+                let expected = self.assignment.chunk(w);
+                let ids: Vec<u64> = shards.iter().map(|(id, _)| *id).collect();
+                if ids != (expected.start as u64..expected.end as u64).collect::<Vec<_>>() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("worker {w} returned shards {ids:?}, owns {expected:?}"),
+                    ));
+                }
+                Ok(shards)
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("worker {w} expected Inboxes({s}), got {other:?}"),
+            )),
+        }
+    }
+
+    fn expect_ack(&mut self, w: usize, s: u64) -> io::Result<()> {
+        match read_frame(&mut self.workers[w].stream)? {
+            Frame::Ack { superstep } if superstep == s => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("worker {w} expected Ack({s}), got {other:?}"),
+            )),
+        }
+    }
+
+    /// Recovery path A — death detected at a barrier: respawn, reassign,
+    /// reopen. Nothing to replay; the worker's buckets were empty.
+    fn recover_barrier(&mut self, w: usize, s: u64) -> MrResult<()> {
+        let t0 = Instant::now();
+        self.respawn(w)?;
+        write_frame(&mut self.workers[w].stream, &Frame::Open { superstep: s })
+            .map_err(dist_err)?;
+        self.expect_ack(w, s).map_err(dist_err)?;
+        self.recoveries.push(RecoveryEvent {
+            worker: w,
+            superstep: s as usize,
+            wall_nanos: t0.elapsed().as_nanos() as u64,
+            replayed_bytes: 0,
+        });
+        Ok(())
+    }
+
+    /// Recovery path B — death detected mid-exchange: respawn, reassign,
+    /// reopen the barrier, replay the retained batch bytes, re-flush, and
+    /// take the region from the replacement.
+    fn recover_exchange(
+        &mut self,
+        w: usize,
+        s: u64,
+        retained: &[u8],
+    ) -> MrResult<Vec<(u64, Vec<Vec<u8>>)>> {
+        let t0 = Instant::now();
+        self.respawn(w)?;
+        write_frame(&mut self.workers[w].stream, &Frame::Open { superstep: s })
+            .map_err(dist_err)?;
+        self.expect_ack(w, s).map_err(dist_err)?;
+        self.workers[w]
+            .stream
+            .write_all(retained)
+            .map_err(dist_err)?;
+        let region = self.read_region(w, s).map_err(dist_err)?;
+        self.recoveries.push(RecoveryEvent {
+            worker: w,
+            superstep: s as usize,
+            wall_nanos: t0.elapsed().as_nanos() as u64,
+            replayed_bytes: retained.len() as u64,
+        });
+        Ok(region)
+    }
+
+    /// Replaces worker `w`'s endpoint with a freshly spawned one and
+    /// re-establishes its block identity (kill trap cleared: an injected
+    /// fault fires at most once, so recovery converges).
+    fn respawn(&mut self, w: usize) -> MrResult<()> {
+        let (stream, join) = self.spawn_endpoint()?;
+        let old = std::mem::replace(
+            &mut self.workers[w],
+            WorkerHandle {
+                stream,
+                join,
+                kill_at: None,
+                shuffle: WorkerShuffle::default(),
+            },
+        );
+        self.workers[w].shuffle = old.shuffle.clone();
+        reap(old);
+        self.assign(w)
+    }
+
+    /// Sends worker `w` its `Assign` frame and waits for the ack.
+    fn assign(&mut self, w: usize) -> MrResult<()> {
+        let chunk = self.assignment.chunk(w);
+        let frame = Frame::Assign {
+            worker: w as u64,
+            shard_lo: chunk.start as u64,
+            shard_hi: chunk.end as u64,
+            machines: self.machines as u64,
+            seed: self.seed,
+            kill_at: self.workers[w].kill_at,
+        };
+        write_frame(&mut self.workers[w].stream, &frame).map_err(dist_err)?;
+        self.expect_ack(w, 0).map_err(dist_err)
+    }
+
+    /// Creates one worker endpoint under the session's spawn mode.
+    fn spawn_endpoint(&self) -> MrResult<(UnixStream, WorkerJoin)> {
+        match self.spawn {
+            SpawnKind::Thread => {
+                let (master, worker_side) = UnixStream::pair().map_err(dist_err)?;
+                let join = std::thread::Builder::new()
+                    .name("mrlr-dist-worker".into())
+                    .spawn(move || {
+                        // Injected kills return Ok; real errors surface to
+                        // the master as failed reads, so the thread result
+                        // carries no extra signal.
+                        let _ = worker::serve(worker_side);
+                    })
+                    .map_err(dist_err)?;
+                master
+                    .set_read_timeout(Some(READ_TIMEOUT))
+                    .map_err(dist_err)?;
+                Ok((master, WorkerJoin::Thread(Some(join))))
+            }
+            SpawnKind::Process => {
+                let rendezvous = self
+                    .rendezvous
+                    .as_ref()
+                    .expect("process spawn binds a rendezvous at launch");
+                let bin = match std::env::var_os(WORKER_BIN_ENV) {
+                    Some(p) => PathBuf::from(p),
+                    None => std::env::current_exe().map_err(dist_err)?,
+                };
+                let mut child = Command::new(&bin)
+                    .env(SOCKET_ENV, &rendezvous.path)
+                    .stdin(Stdio::null())
+                    .spawn()
+                    .map_err(|e| dist_err(format!("spawn {}: {e}", bin.display())))?;
+                let stream = accept_with_timeout(&rendezvous.listener, &mut child)?;
+                stream
+                    .set_read_timeout(Some(READ_TIMEOUT))
+                    .map_err(dist_err)?;
+                Ok((stream, WorkerJoin::Process(child)))
+            }
+        }
+    }
+}
+
+impl Drop for DistSession {
+    fn drop(&mut self) {
+        for wh in &mut self.workers {
+            let _ = write_frame(&mut wh.stream, &Frame::Shutdown);
+            let _ = wh.stream.shutdown(std::net::Shutdown::Both);
+        }
+        for wh in self.workers.drain(..) {
+            reap(wh);
+        }
+    }
+}
+
+/// Joins or waits out a replaced/terminated worker endpoint.
+fn reap(handle: WorkerHandle) {
+    let _ = handle.stream.shutdown(std::net::Shutdown::Both);
+    match handle.join {
+        WorkerJoin::Thread(mut join) => {
+            if let Some(join) = join.take() {
+                let _ = join.join();
+            }
+        }
+        WorkerJoin::Process(mut child) => {
+            // Give an orderly exit a moment, then force it.
+            for _ in 0..100 {
+                match child.try_wait() {
+                    Ok(Some(_)) => return,
+                    Ok(None) => std::thread::sleep(Duration::from_millis(5)),
+                    Err(_) => break,
+                }
+            }
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Monotonic suffix for rendezvous socket paths (plus the pid, so
+/// concurrent sessions — and concurrent test processes — cannot collide).
+static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn bind_rendezvous() -> MrResult<Rendezvous> {
+    let path = std::env::temp_dir().join(format!(
+        "mrlr-dist-{}-{}.sock",
+        std::process::id(),
+        SOCKET_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_file(&path);
+    let listener =
+        UnixListener::bind(&path).map_err(|e| dist_err(format!("bind {}: {e}", path.display())))?;
+    listener.set_nonblocking(true).map_err(dist_err)?;
+    Ok(Rendezvous { listener, path })
+}
+
+/// Accepts one worker connection, polling so a child that dies before
+/// connecting fails fast instead of hanging the master.
+fn accept_with_timeout(listener: &UnixListener, child: &mut Child) -> MrResult<UnixStream> {
+    let deadline = Instant::now() + ACCEPT_TIMEOUT;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false).map_err(dist_err)?;
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if let Ok(Some(status)) = child.try_wait() {
+                    return Err(dist_err(format!(
+                        "worker process exited before connecting: {status}"
+                    )));
+                }
+                if Instant::now() >= deadline {
+                    return Err(dist_err("timed out waiting for worker to connect"));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(dist_err(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::SeqExecutor;
+    use crate::router::{route, RouterKind};
+    use crate::superstep::{SchedulePolicy, Scheduler};
+    use std::sync::Arc;
+
+    fn outboxes(machines: usize, volume: usize, seed: u64) -> Vec<Outbox<u64>> {
+        (0..machines)
+            .map(|s| {
+                let mut rng = crate::rng::DetRng::derive(seed, &[s as u64]);
+                let mut out = Outbox::new(machines);
+                for k in 0..volume {
+                    out.send(rng.range(machines as u64) as usize, (s * 1000 + k) as u64);
+                }
+                out
+            })
+            .collect()
+    }
+
+    fn reference(machines: usize, volume: usize, seed: u64) -> Delivery<u64> {
+        let sched = Scheduler::new(Arc::new(SeqExecutor), SchedulePolicy::Dynamic);
+        route(
+            RouterKind::Merge,
+            &sched,
+            machines,
+            outboxes(machines, volume, seed),
+        )
+    }
+
+    #[test]
+    fn dist_exchange_matches_the_reference_router() {
+        for workers in [1usize, 2, 4] {
+            let machines = 9;
+            let cfg = DistConfig {
+                workers,
+                ..DistConfig::default()
+            };
+            let mut session = DistSession::launch(machines, 42, &cfg).unwrap();
+            session.open(1).unwrap();
+            let got = session.exchange(1, outboxes(machines, 50, 7)).unwrap();
+            let want = reference(machines, 50, 7);
+            assert_eq!(got.inboxes, want.inboxes, "workers {workers}");
+            assert_eq!(got.in_words, want.in_words, "workers {workers}");
+            let summary = session.summary();
+            assert_eq!(summary.workers, workers.min(machines));
+            assert!(summary.shuffle.iter().any(|s| s.bytes_out > 0));
+            assert!(summary.recoveries.is_empty());
+        }
+    }
+
+    #[test]
+    fn killed_worker_is_recovered_with_replay() {
+        let machines = 8;
+        let cfg = DistConfig {
+            workers: 2,
+            kills: vec![crate::faults::WorkerKill {
+                worker: 1,
+                superstep: 2,
+            }],
+            ..DistConfig::default()
+        };
+        let mut session = DistSession::launch(machines, 5, &cfg).unwrap();
+        session.open(1).unwrap();
+        let d1 = session.exchange(1, outboxes(machines, 30, 1)).unwrap();
+        assert_eq!(d1.inboxes, reference(machines, 30, 1).inboxes);
+        // Superstep 2 arms the kill; the worker dies at the flush, after
+        // ingesting the batch — recovery must replay it.
+        session.open(2).unwrap();
+        let d2 = session.exchange(2, outboxes(machines, 30, 2)).unwrap();
+        let want = reference(machines, 30, 2);
+        assert_eq!(d2.inboxes, want.inboxes);
+        assert_eq!(d2.in_words, want.in_words);
+        let summary = session.summary();
+        assert_eq!(summary.recoveries.len(), 1);
+        let r = &summary.recoveries[0];
+        assert_eq!((r.worker, r.superstep), (1, 2));
+        assert!(r.replayed_bytes > 0, "mid-exchange death replays batches");
+        // The healed session keeps working.
+        session.open(3).unwrap();
+        let d3 = session.exchange(3, outboxes(machines, 30, 3)).unwrap();
+        assert_eq!(d3.inboxes, reference(machines, 30, 3).inboxes);
+    }
+
+    #[test]
+    fn kill_at_a_barrier_recovers_without_replay() {
+        // Arm at superstep 1; the next frame is Open(2), so the death is
+        // detected at a barrier, not mid-exchange.
+        let cfg = DistConfig {
+            workers: 2,
+            kills: vec![crate::faults::WorkerKill {
+                worker: 0,
+                superstep: 1,
+            }],
+            ..DistConfig::default()
+        };
+        let mut session = DistSession::launch(4, 9, &cfg).unwrap();
+        session.open(1).unwrap();
+        session.open(2).unwrap();
+        let summary = session.summary();
+        assert_eq!(summary.recoveries.len(), 1);
+        assert_eq!(summary.recoveries[0].replayed_bytes, 0);
+        assert_eq!(summary.recoveries[0].superstep, 2);
+        // Exchanges still work after a barrier recovery.
+        let d = session.exchange(2, outboxes(4, 20, 4)).unwrap();
+        assert_eq!(d.inboxes, reference(4, 20, 4).inboxes);
+    }
+}

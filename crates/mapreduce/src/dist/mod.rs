@@ -1,0 +1,128 @@
+//! The distributed runtime: a master/worker control plane over real OS
+//! transport, with fault-tolerant re-execution.
+//!
+//! The in-process runtimes (`Classic`, `Shard`) proved the engine's
+//! observables are bit-identical across schedules and routers; this
+//! module crosses a real process boundary without giving that up. The
+//! split follows from one constraint — driver closures cannot be
+//! serialized — so the **master** keeps the shard states, closures and
+//! RNG streams and runs the per-shard compute (it *is* the paper's
+//! central machine), while each **worker** owns the *shuffle region* of a
+//! contiguous shard block ([`crate::superstep::StaticAssignment`]): it
+//! ingests the exchange traffic addressed to its block over a
+//! Unix-domain-socket transport, buckets it per destination shard in the
+//! router's `(sender id, send order)` delivery order, and hands the
+//! assembled inboxes back at the flush barrier, digest-stamped with the
+//! block's deterministic `(cluster seed, shard id)` identity keys.
+//!
+//! Fault tolerance is the point: the master heartbeats workers through
+//! the barrier protocol, a [`crate::faults::FaultPlan`] can kill a worker
+//! at a chosen superstep ([`crate::faults::WorkerKill`]), and the master
+//! recovers by respawning the worker, re-establishing its block from the
+//! `(seed, shard)` identity keys, and replaying the retained batch
+//! traffic of the interrupted exchange. Because delivery order and shard
+//! RNG streams are pure functions of the configuration, a recovered run
+//! produces **bit-identical** reports — solutions, certificates,
+//! witnesses and model [`crate::metrics::Metrics`] — to a fault-free one,
+//! which `mrlr verify` can prove offline.
+//!
+//! Submodules: [`wire`] (canonical byte encoding + frames), [`transport`]
+//! (length-prefixed framing), [`worker`] (the serve loop), [`master`]
+//! (the control plane and recovery).
+
+pub mod master;
+pub mod transport;
+pub mod wire;
+pub mod worker;
+
+pub use master::DistSession;
+pub use wire::{Frame, Wire, WireError, WireReader};
+
+use crate::faults::WorkerKill;
+
+/// How the master materializes workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpawnKind {
+    /// Workers are OS threads speaking the full wire protocol over
+    /// socketpairs — the same frames and recovery paths as real
+    /// processes, embeddable in any test binary. The default.
+    #[default]
+    Thread,
+    /// Workers are separate OS processes connected over a Unix-domain
+    /// socket. The worker binary is resolved from
+    /// [`worker::WORKER_BIN_ENV`], falling back to `current_exe` (the
+    /// `mrlr` CLI re-enters as a worker when [`worker::SOCKET_ENV`] is
+    /// set).
+    Process,
+}
+
+impl SpawnKind {
+    /// Short name for traces and bench labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpawnKind::Thread => "thread",
+            SpawnKind::Process => "process",
+        }
+    }
+}
+
+/// Configuration of a distributed session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistConfig {
+    /// Requested worker count; `0` reads `MRLR_DIST_WORKERS` (default 2).
+    /// Always clamped so no worker owns an empty shard block.
+    pub workers: usize,
+    /// Thread- or process-backed workers.
+    pub spawn: SpawnKind,
+    /// Live fault injections (from
+    /// [`crate::faults::FaultPlan::worker_kills`]).
+    pub kills: Vec<WorkerKill>,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            workers: 0,
+            spawn: SpawnKind::Thread,
+            kills: Vec::new(),
+        }
+    }
+}
+
+/// `Copy` projection of [`DistConfig`] for configs that must stay
+/// `Copy`/`const`-constructible (e.g. `mrlr_core`'s `ExecConfig`): at
+/// most one pending kill instead of a list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistParams {
+    /// Requested worker count; `0` = environment default.
+    pub workers: usize,
+    /// Thread- or process-backed workers.
+    pub spawn: SpawnKind,
+    /// At most one live worker kill.
+    pub kill: Option<WorkerKill>,
+}
+
+impl DistParams {
+    /// No explicit workers, thread spawn, no kill.
+    pub const DEFAULT: DistParams = DistParams {
+        workers: 0,
+        spawn: SpawnKind::Thread,
+        kill: None,
+    };
+}
+
+impl Default for DistParams {
+    fn default() -> Self {
+        DistParams::DEFAULT
+    }
+}
+
+impl From<DistParams> for DistConfig {
+    fn from(p: DistParams) -> Self {
+        DistConfig {
+            workers: p.workers,
+            spawn: p.spawn,
+            kills: p.kill.into_iter().collect(),
+        }
+    }
+}

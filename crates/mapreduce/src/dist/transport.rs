@@ -1,0 +1,106 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! A frame on the wire is a `u32` little-endian body length followed by
+//! the body (a [`Frame`]'s [`crate::dist::wire::Wire`] encoding). The length is sanity-capped
+//! at [`MAX_FRAME`] so a corrupted prefix cannot trigger a gigantic
+//! allocation. Decode failures surface as `io::ErrorKind::InvalidData`
+//! carrying the [`crate::dist::wire::WireError`] text (with its byte
+//! offset).
+//!
+//! The protocol is deadlock-free by construction: the master completes
+//! all writes to a worker before reading that worker's response, and
+//! workers only write in response to a frame — neither side ever blocks
+//! on a write while the peer blocks on its own write.
+
+use std::io::{self, Read, Write};
+
+use super::wire::{decode_value, encode_value, Frame};
+
+/// Upper bound on a frame body (1 GiB): far above any real exchange,
+/// small enough to reject corrupted length prefixes outright.
+pub const MAX_FRAME: usize = 1 << 30;
+
+/// Writes one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    let body = encode_value(frame);
+    if body.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame body of {} bytes exceeds MAX_FRAME", body.len()),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&body)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame, validating the length cap and the
+/// body encoding.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix)?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    decode_value::<Frame>(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Encodes a frame to its on-wire bytes (prefix + body) without writing —
+/// used by the master to retain replayable shuffle traffic.
+pub fn frame_bytes(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_frame(&mut out, frame).expect("Vec writes cannot fail");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_survive_a_stream() {
+        let frames = vec![
+            Frame::Open { superstep: 3 },
+            Frame::Batch {
+                superstep: 3,
+                msgs: vec![(0, vec![9, 9]), (7, vec![])],
+            },
+            Frame::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut cursor = io::Cursor::new(buf);
+        for f in &frames {
+            assert_eq!(&read_frame(&mut cursor).unwrap(), f);
+        }
+        // EOF after the last frame.
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn corrupted_body_reports_wire_offset() {
+        let mut buf = frame_bytes(&Frame::Ping { nonce: 1 });
+        buf[4] = 0xEE; // frame tag byte, right after the 4-byte prefix
+        let err = read_frame(&mut io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("byte 0"), "{err}");
+    }
+}

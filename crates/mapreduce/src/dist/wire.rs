@@ -1,0 +1,676 @@
+//! Hand-rolled length-free wire encoding for the dist transport.
+//!
+//! Every value that crosses the master↔worker boundary implements
+//! [`Wire`]: a fixed, little-endian, self-delimiting byte layout with no
+//! external dependencies — the same discipline as `mrlr_core::io`'s JSON
+//! writer, applied to bytes. The encoding is **canonical** (one byte
+//! string per value) so digests over encoded payloads are well defined,
+//! and decoding is **total**: every error is a [`WireError`] carrying the
+//! byte offset where decoding failed, mirroring the line/column style of
+//! the text formats.
+//!
+//! Layout rules (all integers little-endian, fixed width):
+//!
+//! * `u8..u128`, `i8..i128`: native width.
+//! * `usize`/`isize`: 8 bytes (`u64`/`i64`); decoding checks the value
+//!   fits the host width.
+//! * `f32`/`f64`: IEEE bit patterns via `to_bits`.
+//! * `bool`: one byte, `0` or `1` — anything else is a decode error.
+//! * `char`: validated `u32` scalar value.
+//! * `()`: zero bytes.
+//! * `Option<T>`: tag byte `0`/`1`, then the value if `1`.
+//! * `Vec<T>`: `u64` length, then the elements. Decoding never
+//!   pre-reserves more than the bytes that remain can justify, so a
+//!   corrupted length cannot balloon memory.
+//! * `String`: `u64` byte length, then validated UTF-8.
+//! * Tuples (2–5): fields in order, no framing.
+//!
+//! The impl family deliberately mirrors `crate::words::WordSized`, so any
+//! message type the cluster can meter it can also ship.
+
+use std::fmt;
+
+use crate::rng::{mix2, mix_tags};
+use crate::words::Payload;
+
+/// A decoding failure: where it happened and why.
+///
+/// `offset` is the byte position in the frame body at which the decoder
+/// gave up — truncation reports the position where more bytes were
+/// needed, corruption the position of the offending byte(s).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Byte offset into the buffer at which decoding failed.
+    pub offset: usize,
+    /// Human-readable description of the failure.
+    pub reason: String,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire error at byte {}: {}", self.offset, self.reason)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Cursor over a received byte buffer, tracking the offset for errors.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Current byte offset (where the next read starts).
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes exactly `n` bytes, or reports truncation at the current
+    /// offset.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(self.error(format!(
+                "truncated: needed {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let bytes = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(bytes)
+    }
+
+    /// A [`WireError`] at the current offset.
+    pub fn error(&self, reason: impl Into<String>) -> WireError {
+        WireError {
+            offset: self.pos,
+            reason: reason.into(),
+        }
+    }
+
+    /// Asserts the buffer is fully consumed (canonical encodings have no
+    /// trailing bytes).
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            let n = self.remaining();
+            return Err(self.error(format!("{n} trailing bytes after value")));
+        }
+        Ok(())
+    }
+}
+
+/// A value with a canonical byte encoding for the dist transport.
+pub trait Wire: Sized {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value, advancing the reader past exactly the bytes
+    /// [`Wire::encode`] would have written.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+}
+
+/// Encodes a value into a fresh buffer.
+pub fn encode_value<T: Wire>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode(&mut out);
+    out
+}
+
+/// Decodes a value from a complete buffer, rejecting trailing bytes.
+pub fn decode_value<T: Wire>(buf: &[u8]) -> Result<T, WireError> {
+    let mut r = WireReader::new(buf);
+    let value = T::decode(&mut r)?;
+    r.finish()?;
+    Ok(value)
+}
+
+macro_rules! impl_wire_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Wire for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                let bytes = r.take(std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().expect("exact take")))
+            }
+        }
+    )*};
+}
+
+impl_wire_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128);
+
+impl Wire for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let at = r.pos();
+        let v = u64::decode(r)?;
+        usize::try_from(v).map_err(|_| WireError {
+            offset: at,
+            reason: format!("usize {v} exceeds host width"),
+        })
+    }
+}
+
+impl Wire for isize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as i64).encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let at = r.pos();
+        let v = i64::decode(r)?;
+        isize::try_from(v).map_err(|_| WireError {
+            offset: at,
+            reason: format!("isize {v} exceeds host width"),
+        })
+    }
+}
+
+impl Wire for f32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(f32::from_bits(u32::decode(r)?))
+    }
+}
+
+impl Wire for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(f64::from_bits(u64::decode(r)?))
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let at = r.pos();
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError {
+                offset: at,
+                reason: format!("invalid bool byte {b:#04x}"),
+            }),
+        }
+    }
+}
+
+impl Wire for char {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u32).encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let at = r.pos();
+        let v = u32::decode(r)?;
+        char::from_u32(v).ok_or_else(|| WireError {
+            offset: at,
+            reason: format!("invalid char scalar {v:#x}"),
+        })
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let at = r.pos();
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            b => Err(WireError {
+                offset: at,
+                reason: format!("invalid Option tag {b:#04x}"),
+            }),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let at = r.pos();
+        let len = u64::decode(r)?;
+        let len = usize::try_from(len).map_err(|_| WireError {
+            offset: at,
+            reason: format!("vector length {len} exceeds host width"),
+        })?;
+        // Never trust the announced length for allocation: each element is
+        // at least one byte on the wire (except zero-sized ones, which
+        // can't be Vec'd meaningfully), so cap the reserve by what remains.
+        let mut items = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            items.push(T::decode(r)?);
+        }
+        Ok(items)
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = usize::decode(r)?;
+        let start = r.pos();
+        let bytes = r.take(len)?;
+        let s = std::str::from_utf8(bytes).map_err(|e| WireError {
+            offset: start + e.valid_up_to(),
+            reason: "invalid UTF-8 in string".to_string(),
+        })?;
+        Ok(s.to_string())
+    }
+}
+
+impl Wire for Payload {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Payload(usize::decode(r)?))
+    }
+}
+
+macro_rules! impl_wire_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            fn encode(&self, out: &mut Vec<u8>) {
+                $(self.$idx.encode(out);)+
+            }
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                Ok(($($name::decode(r)?,)+))
+            }
+        }
+    };
+}
+
+impl_wire_tuple!(A: 0, B: 1);
+impl_wire_tuple!(A: 0, B: 1, C: 2);
+impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// Domain-separation tag of the inbox-region digests.
+const REGION_TAG: u64 = 0x6469_7374_2164_6967; // "dist!dig"
+
+/// Deterministic digest over a worker's assembled inbox region for one
+/// exchange: folds `(cluster seed, shard id)` identity keys with every
+/// payload's bytes. Master and worker compute it with this same function;
+/// a mismatch means the region does not correspond to the deterministic
+/// `(seed, shard)` streams it claims to, which recovery treats as fatal.
+pub fn region_digest(seed: u64, shards: &[(u64, Vec<Vec<u8>>)]) -> u64 {
+    let mut h = mix_tags(seed, &[REGION_TAG]);
+    for (shard, inbox) in shards {
+        h = mix2(h, mix_tags(seed, &[REGION_TAG, *shard]));
+        h = mix2(h, inbox.len() as u64);
+        for payload in inbox {
+            h = mix2(h, payload.len() as u64);
+            for chunk in payload.chunks(8) {
+                let mut word = [0u8; 8];
+                word[..chunk.len()].copy_from_slice(chunk);
+                h = mix2(h, u64::from_le_bytes(word));
+            }
+        }
+    }
+    h
+}
+
+/// One control or data frame of the master↔worker protocol.
+///
+/// Every frame is a tag byte followed by its fields' [`Wire`] encodings;
+/// [`decode_value`] rejects unknown tags and trailing bytes. The protocol
+/// is strictly master-driven: workers only ever write in response to a
+/// frame the master sent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Master → worker, first frame on a connection: own shards
+    /// `shard_lo..shard_hi` of `machines`, seeded by `seed`. `kill_at`
+    /// arms the fault-injection trap door (die after acking that
+    /// superstep's barrier). Acked with [`Frame::Ack`]`{superstep: 0}`.
+    Assign {
+        /// Worker index `0..workers`.
+        worker: u64,
+        /// First owned shard (inclusive).
+        shard_lo: u64,
+        /// Past-the-end owned shard (exclusive).
+        shard_hi: u64,
+        /// Total simulated machines in the cluster.
+        machines: u64,
+        /// Cluster seed; shard RNG streams derive from `(seed, shard)`.
+        seed: u64,
+        /// Injected fault: die after acking this superstep's barrier.
+        kill_at: Option<u64>,
+    },
+    /// Master → worker: barrier opening superstep `superstep`. Doubles as
+    /// the heartbeat — a worker that cannot ack is declared dead.
+    Open {
+        /// The superstep being opened.
+        superstep: u64,
+    },
+    /// Worker → master: barrier/assignment acknowledgement.
+    Ack {
+        /// The acknowledged superstep (0 for the assignment ack).
+        superstep: u64,
+    },
+    /// Master → worker: a shuffle batch for this worker's shard block.
+    /// `msgs` are `(destination shard, encoded message)` pairs in global
+    /// `(sender id, send order)` — the worker buckets them per shard in
+    /// arrival order, which reproduces the router's delivery order.
+    Batch {
+        /// The superstep this batch belongs to.
+        superstep: u64,
+        /// `(destination shard, canonical message bytes)` in delivery order.
+        msgs: Vec<(u64, Vec<u8>)>,
+    },
+    /// Master → worker: no more batches for `superstep`; assemble and
+    /// return the inbox region.
+    Flush {
+        /// The superstep being flushed.
+        superstep: u64,
+    },
+    /// Worker → master: the assembled inboxes of every owned shard (in
+    /// shard order, empty inboxes included) plus their [`region_digest`].
+    Inboxes {
+        /// The flushed superstep.
+        superstep: u64,
+        /// `(shard id, inbox payloads in delivery order)` for the block.
+        shards: Vec<(u64, Vec<Vec<u8>>)>,
+        /// [`region_digest`] over `shards` under the cluster seed.
+        digest: u64,
+    },
+    /// Master → worker: liveness probe.
+    Ping {
+        /// Echo value.
+        nonce: u64,
+    },
+    /// Worker → master: liveness reply echoing the probe's nonce.
+    Pong {
+        /// Echoed value.
+        nonce: u64,
+    },
+    /// Master → worker: orderly teardown.
+    Shutdown,
+}
+
+const TAG_ASSIGN: u8 = 0;
+const TAG_OPEN: u8 = 1;
+const TAG_ACK: u8 = 2;
+const TAG_BATCH: u8 = 3;
+const TAG_FLUSH: u8 = 4;
+const TAG_INBOXES: u8 = 5;
+const TAG_PING: u8 = 6;
+const TAG_PONG: u8 = 7;
+const TAG_SHUTDOWN: u8 = 8;
+
+impl Wire for Frame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Assign {
+                worker,
+                shard_lo,
+                shard_hi,
+                machines,
+                seed,
+                kill_at,
+            } => {
+                out.push(TAG_ASSIGN);
+                worker.encode(out);
+                shard_lo.encode(out);
+                shard_hi.encode(out);
+                machines.encode(out);
+                seed.encode(out);
+                kill_at.encode(out);
+            }
+            Frame::Open { superstep } => {
+                out.push(TAG_OPEN);
+                superstep.encode(out);
+            }
+            Frame::Ack { superstep } => {
+                out.push(TAG_ACK);
+                superstep.encode(out);
+            }
+            Frame::Batch { superstep, msgs } => {
+                out.push(TAG_BATCH);
+                superstep.encode(out);
+                msgs.encode(out);
+            }
+            Frame::Flush { superstep } => {
+                out.push(TAG_FLUSH);
+                superstep.encode(out);
+            }
+            Frame::Inboxes {
+                superstep,
+                shards,
+                digest,
+            } => {
+                out.push(TAG_INBOXES);
+                superstep.encode(out);
+                shards.encode(out);
+                digest.encode(out);
+            }
+            Frame::Ping { nonce } => {
+                out.push(TAG_PING);
+                nonce.encode(out);
+            }
+            Frame::Pong { nonce } => {
+                out.push(TAG_PONG);
+                nonce.encode(out);
+            }
+            Frame::Shutdown => out.push(TAG_SHUTDOWN),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let at = r.pos();
+        let tag = u8::decode(r)?;
+        match tag {
+            TAG_ASSIGN => Ok(Frame::Assign {
+                worker: u64::decode(r)?,
+                shard_lo: u64::decode(r)?,
+                shard_hi: u64::decode(r)?,
+                machines: u64::decode(r)?,
+                seed: u64::decode(r)?,
+                kill_at: Option::<u64>::decode(r)?,
+            }),
+            TAG_OPEN => Ok(Frame::Open {
+                superstep: u64::decode(r)?,
+            }),
+            TAG_ACK => Ok(Frame::Ack {
+                superstep: u64::decode(r)?,
+            }),
+            TAG_BATCH => Ok(Frame::Batch {
+                superstep: u64::decode(r)?,
+                msgs: Vec::<(u64, Vec<u8>)>::decode(r)?,
+            }),
+            TAG_FLUSH => Ok(Frame::Flush {
+                superstep: u64::decode(r)?,
+            }),
+            TAG_INBOXES => Ok(Frame::Inboxes {
+                superstep: u64::decode(r)?,
+                shards: Vec::<(u64, Vec<Vec<u8>>)>::decode(r)?,
+                digest: u64::decode(r)?,
+            }),
+            TAG_PING => Ok(Frame::Ping {
+                nonce: u64::decode(r)?,
+            }),
+            TAG_PONG => Ok(Frame::Pong {
+                nonce: u64::decode(r)?,
+            }),
+            TAG_SHUTDOWN => Ok(Frame::Shutdown),
+            t => Err(WireError {
+                offset: at,
+                reason: format!("unknown frame tag {t:#04x}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = encode_value(&value);
+        assert_eq!(decode_value::<T>(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(0u8);
+        round_trip(u16::MAX);
+        round_trip(0xDEAD_BEEFu32);
+        round_trip(u64::MAX);
+        round_trip(u128::MAX);
+        round_trip(-1i8);
+        round_trip(i64::MIN);
+        round_trip(usize::MAX);
+        round_trip(-3isize);
+        round_trip(1.5f32);
+        round_trip(-0.0f64);
+        round_trip(true);
+        round_trip('🦀');
+        round_trip(());
+        round_trip(Payload(42));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(Option::<u32>::None);
+        round_trip(Some(7u64));
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Vec::<u64>::new());
+        round_trip(String::from("héllo 🦀"));
+        round_trip((1u32, 2u64));
+        round_trip((1u8, 2u16, 3u32, 4u64, 5u128));
+        round_trip(vec![(0u64, vec![1u8, 2]), (3, vec![])]);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected_with_offset() {
+        let mut bytes = encode_value(&7u32);
+        bytes.push(0);
+        let err = decode_value::<u32>(&bytes).unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.reason.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn truncation_reports_the_failing_offset() {
+        let bytes = encode_value(&(1u64, 2u64));
+        let err = decode_value::<(u64, u64)>(&bytes[..12]).unwrap_err();
+        assert_eq!(err.offset, 8, "second field starts at byte 8: {err}");
+    }
+
+    #[test]
+    fn corrupted_tags_report_offsets() {
+        let err = decode_value::<bool>(&[9]).unwrap_err();
+        assert_eq!(err.offset, 0);
+        let mut opt = encode_value(&Some(1u8));
+        opt[0] = 7;
+        let err = decode_value::<Option<u8>>(&opt).unwrap_err();
+        assert!(err.reason.contains("Option tag"), "{err}");
+        let err = decode_value::<char>(&0xD800u32.to_le_bytes()).unwrap_err();
+        assert!(err.reason.contains("char"), "{err}");
+        let mut s = encode_value(&String::from("ab"));
+        s[9] = 0xFF;
+        let err = decode_value::<String>(&s).unwrap_err();
+        assert_eq!(err.offset, 9, "invalid byte position: {err}");
+    }
+
+    #[test]
+    fn corrupt_vec_length_does_not_balloon() {
+        // Announce 2^60 elements with a 3-byte body: must error, not OOM.
+        let mut bytes = encode_value(&(1u64 << 60));
+        bytes.extend_from_slice(&[1, 2, 3]);
+        let err = decode_value::<Vec<u64>>(&bytes).unwrap_err();
+        assert!(err.reason.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for frame in [
+            Frame::Assign {
+                worker: 1,
+                shard_lo: 4,
+                shard_hi: 8,
+                machines: 16,
+                seed: 42,
+                kill_at: Some(3),
+            },
+            Frame::Open { superstep: 7 },
+            Frame::Ack { superstep: 0 },
+            Frame::Batch {
+                superstep: 2,
+                msgs: vec![(5, vec![1, 2, 3]), (6, vec![])],
+            },
+            Frame::Flush { superstep: 2 },
+            Frame::Inboxes {
+                superstep: 2,
+                shards: vec![(4, vec![vec![1], vec![2, 3]]), (5, vec![])],
+                digest: 0xABCD,
+            },
+            Frame::Ping { nonce: 99 },
+            Frame::Pong { nonce: 99 },
+            Frame::Shutdown,
+        ] {
+            let bytes = encode_value(&frame);
+            assert_eq!(decode_value::<Frame>(&bytes).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn unknown_frame_tag_is_an_error() {
+        let err = decode_value::<Frame>(&[0xEE]).unwrap_err();
+        assert_eq!(err.offset, 0);
+        assert!(err.reason.contains("unknown frame tag"), "{err}");
+    }
+
+    #[test]
+    fn region_digest_separates_contents_and_identity() {
+        let region = vec![(0u64, vec![vec![1u8, 2, 3]]), (1, vec![])];
+        let same = region.clone();
+        assert_eq!(region_digest(7, &region), region_digest(7, &same));
+        // Different seed, shard id, payload → different digest.
+        assert_ne!(region_digest(7, &region), region_digest(8, &region));
+        let moved = vec![(0u64, vec![]), (1, vec![vec![1u8, 2, 3]])];
+        assert_ne!(region_digest(7, &region), region_digest(7, &moved));
+        let flipped = vec![(0u64, vec![vec![1u8, 2, 4]]), (1, vec![])];
+        assert_ne!(region_digest(7, &region), region_digest(7, &flipped));
+    }
+}

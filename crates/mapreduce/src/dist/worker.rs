@@ -1,0 +1,301 @@
+//! The worker side of the dist protocol: a shuffle region server.
+//!
+//! A worker owns one contiguous block of shards for the lifetime of a
+//! run. Because driver closures cannot cross a process boundary, the
+//! master keeps the shard *states* and runs the per-shard compute; what a
+//! worker owns is the shards' **shuffle region** — it ingests
+//! [`Frame::Batch`] traffic addressed to its block, buckets payloads per
+//! destination shard in arrival order (exactly the router's
+//! `(sender id, send order)` delivery order), and returns the assembled
+//! inboxes at [`Frame::Flush`], digest-stamped with the block's
+//! deterministic `(cluster seed, shard id)` identity keys. The loop is
+//! fully monomorphic over opaque payload bytes, so one worker binary
+//! serves every algorithm in the registry.
+//!
+//! Fault injection lives here too: an [`Frame::Assign`] can carry
+//! `kill_at`. The worker acks that superstep's barrier normally and then
+//! *arms*; it dies silently at the next `Open` or `Flush` — after having
+//! ingested that superstep's batches, so recovery must replay them.
+
+use std::io;
+use std::os::unix::net::UnixStream;
+
+use super::transport::{read_frame, write_frame};
+use super::wire::{region_digest, Frame};
+
+/// Environment variable carrying the rendezvous socket path to spawned
+/// worker processes. A process that sees it set should call
+/// [`worker_main`] instead of its normal entry point.
+pub const SOCKET_ENV: &str = "MRLR_DIST_SOCKET";
+
+/// Environment variable overriding the worker binary the master spawns in
+/// process mode (defaults to `std::env::current_exe`).
+pub const WORKER_BIN_ENV: &str = "MRLR_DIST_WORKER_BIN";
+
+/// State of one assigned shard block.
+struct Block {
+    shard_lo: u64,
+    seed: u64,
+    kill_at: Option<u64>,
+    /// Per-shard payload buckets, indexed by `shard - shard_lo`.
+    buckets: Vec<Vec<Vec<u8>>>,
+}
+
+/// Serves the dist protocol on `stream` until shutdown, disconnect, or an
+/// armed injected kill fires. Used directly by thread-mode workers and via
+/// [`worker_main`] by process-mode workers.
+pub fn serve(stream: UnixStream) -> io::Result<()> {
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    let mut block: Option<Block> = None;
+    let mut armed = false;
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(f) => f,
+            // Master hung up (e.g. its Drop closed the socket): done.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match frame {
+            Frame::Assign {
+                shard_lo,
+                shard_hi,
+                seed,
+                kill_at,
+                ..
+            } => {
+                let shards = (shard_hi - shard_lo) as usize;
+                block = Some(Block {
+                    shard_lo,
+                    seed,
+                    kill_at,
+                    buckets: (0..shards).map(|_| Vec::new()).collect(),
+                });
+                armed = false;
+                write_frame(&mut writer, &Frame::Ack { superstep: 0 })?;
+            }
+            Frame::Open { superstep } => {
+                if armed {
+                    // Injected death: vanish without acking the barrier.
+                    return Ok(());
+                }
+                write_frame(&mut writer, &Frame::Ack { superstep })?;
+                if let Some(b) = &block {
+                    if b.kill_at == Some(superstep) {
+                        armed = true;
+                    }
+                }
+            }
+            Frame::Batch { msgs, .. } => {
+                let b = block.as_mut().ok_or_else(unassigned)?;
+                for (dst, payload) in msgs {
+                    let slot = dst
+                        .checked_sub(b.shard_lo)
+                        .map(|i| i as usize)
+                        .filter(|&i| i < b.buckets.len())
+                        .ok_or_else(|| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("shard {dst} outside assigned block"),
+                            )
+                        })?;
+                    b.buckets[slot].push(payload);
+                }
+            }
+            Frame::Flush { superstep } => {
+                if armed {
+                    // Injected death mid-exchange: batches ingested, inboxes
+                    // never returned — the master must replay.
+                    return Ok(());
+                }
+                let b = block.as_mut().ok_or_else(unassigned)?;
+                let shards: Vec<(u64, Vec<Vec<u8>>)> = b
+                    .buckets
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, bucket)| (b.shard_lo + i as u64, std::mem::take(bucket)))
+                    .collect();
+                let digest = region_digest(b.seed, &shards);
+                write_frame(
+                    &mut writer,
+                    &Frame::Inboxes {
+                        superstep,
+                        shards,
+                        digest,
+                    },
+                )?;
+            }
+            Frame::Ping { nonce } => write_frame(&mut writer, &Frame::Pong { nonce })?,
+            Frame::Shutdown => return Ok(()),
+            Frame::Ack { .. } | Frame::Inboxes { .. } | Frame::Pong { .. } => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "worker received a worker→master frame",
+                ));
+            }
+        }
+    }
+}
+
+fn unassigned() -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, "frame received before Assign")
+}
+
+/// Entry point for a spawned worker process: connects to the socket named
+/// by [`SOCKET_ENV`] and serves until shutdown. Returns the process exit
+/// code.
+pub fn worker_main() -> i32 {
+    let path = match std::env::var(SOCKET_ENV) {
+        Ok(p) => p,
+        Err(_) => {
+            eprintln!("mrlr-dist-worker: {SOCKET_ENV} not set");
+            return 2;
+        }
+    };
+    let stream = match UnixStream::connect(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mrlr-dist-worker: connect {path}: {e}");
+            return 2;
+        }
+    };
+    match serve(stream) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("mrlr-dist-worker: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn talk(stream: &mut UnixStream, frame: &Frame) -> Frame {
+        write_frame(stream, frame).unwrap();
+        read_frame(stream).unwrap()
+    }
+
+    #[test]
+    fn worker_assembles_inboxes_in_arrival_order() {
+        let (mut master, worker) = UnixStream::pair().unwrap();
+        let handle = std::thread::spawn(move || serve(worker));
+        let ack = talk(
+            &mut master,
+            &Frame::Assign {
+                worker: 0,
+                shard_lo: 2,
+                shard_hi: 5,
+                machines: 8,
+                seed: 7,
+                kill_at: None,
+            },
+        );
+        assert_eq!(ack, Frame::Ack { superstep: 0 });
+        assert_eq!(
+            talk(&mut master, &Frame::Open { superstep: 1 }),
+            Frame::Ack { superstep: 1 }
+        );
+        write_frame(
+            &mut master,
+            &Frame::Batch {
+                superstep: 1,
+                msgs: vec![(2, vec![1]), (4, vec![2]), (2, vec![3])],
+            },
+        )
+        .unwrap();
+        let reply = talk(&mut master, &Frame::Flush { superstep: 1 });
+        let expect_shards = vec![
+            (2u64, vec![vec![1u8], vec![3]]),
+            (3, vec![]),
+            (4, vec![vec![2]]),
+        ];
+        assert_eq!(
+            reply,
+            Frame::Inboxes {
+                superstep: 1,
+                digest: region_digest(7, &expect_shards),
+                shards: expect_shards,
+            }
+        );
+        // Buckets drained: next flush returns empty inboxes.
+        let reply = talk(&mut master, &Frame::Flush { superstep: 2 });
+        if let Frame::Inboxes { shards, .. } = reply {
+            assert!(shards.iter().all(|(_, inbox)| inbox.is_empty()));
+        } else {
+            panic!("expected Inboxes, got {reply:?}");
+        }
+        write_frame(&mut master, &Frame::Shutdown).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn armed_worker_dies_after_acking_the_kill_superstep() {
+        let (mut master, worker) = UnixStream::pair().unwrap();
+        let handle = std::thread::spawn(move || serve(worker));
+        talk(
+            &mut master,
+            &Frame::Assign {
+                worker: 1,
+                shard_lo: 0,
+                shard_hi: 2,
+                machines: 2,
+                seed: 1,
+                kill_at: Some(3),
+            },
+        );
+        // Supersteps before the kill point behave normally.
+        assert_eq!(
+            talk(&mut master, &Frame::Open { superstep: 2 }),
+            Frame::Ack { superstep: 2 }
+        );
+        // The kill superstep is still acked (the master must not detect
+        // the death before the barrier) ...
+        assert_eq!(
+            talk(&mut master, &Frame::Open { superstep: 3 }),
+            Frame::Ack { superstep: 3 }
+        );
+        // ... it even ingests the superstep's batches ...
+        write_frame(
+            &mut master,
+            &Frame::Batch {
+                superstep: 3,
+                msgs: vec![(0, vec![9])],
+            },
+        )
+        .unwrap();
+        // ... and then dies at the flush instead of returning inboxes.
+        write_frame(&mut master, &Frame::Flush { superstep: 3 }).unwrap();
+        handle.join().unwrap().unwrap();
+        let err = read_frame(&mut master).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn batch_outside_block_is_rejected() {
+        let (mut master, worker) = UnixStream::pair().unwrap();
+        let handle = std::thread::spawn(move || serve(worker));
+        talk(
+            &mut master,
+            &Frame::Assign {
+                worker: 0,
+                shard_lo: 4,
+                shard_hi: 6,
+                machines: 8,
+                seed: 0,
+                kill_at: None,
+            },
+        );
+        write_frame(
+            &mut master,
+            &Frame::Batch {
+                superstep: 1,
+                msgs: vec![(0, vec![1])],
+            },
+        )
+        .unwrap();
+        let err = handle.join().unwrap().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -66,6 +66,10 @@ pub enum MrError {
     /// The problem instance admits no feasible solution
     /// (e.g. an element of a set-cover instance contained in no set).
     Infeasible(String),
+    /// The distributed transport failed unrecoverably (a worker died more
+    /// times than the retry budget allows, a region digest mismatched, or
+    /// the protocol was violated).
+    Dist(String),
 }
 
 impl fmt::Display for MrError {
@@ -86,6 +90,7 @@ impl fmt::Display for MrError {
             }
             MrError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
             MrError::Infeasible(msg) => write!(f, "infeasible instance: {msg}"),
+            MrError::Dist(msg) => write!(f, "dist transport: {msg}"),
         }
     }
 }

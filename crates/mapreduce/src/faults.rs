@@ -66,10 +66,25 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
+/// A *live* fault injection: kill worker `worker` of a [`crate::dist`]
+/// session once it has acked superstep `superstep`'s barrier. Unlike
+/// [`FaultEvent`]s — which price simulated faults post-hoc — worker kills
+/// are executed for real by the dist transport, and the master's recovery
+/// (respawn + deterministic re-derivation + batch replay) must reproduce
+/// the fault-free run bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerKill {
+    /// The dist worker to kill (`0..workers`).
+    pub worker: usize,
+    /// The 1-based superstep after whose barrier ack the worker dies.
+    pub superstep: usize,
+}
+
 /// A set of fault events to price against a run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
+    kills: Vec<WorkerKill>,
 }
 
 impl FaultPlan {
@@ -83,7 +98,10 @@ impl FaultPlan {
                 assert!(s.is_finite() && s >= 1.0, "slowdown must be >= 1, got {s}");
             }
         }
-        FaultPlan { events }
+        FaultPlan {
+            events,
+            kills: Vec::new(),
+        }
     }
 
     /// A plan with no faults.
@@ -123,7 +141,25 @@ impl FaultPlan {
                 }
             }
         }
-        FaultPlan { events }
+        FaultPlan {
+            events,
+            kills: Vec::new(),
+        }
+    }
+
+    /// Adds a live worker kill (see [`WorkerKill`]). Kills are injected
+    /// and survived by the dist transport at run time; the post-hoc
+    /// pricing functions ([`apply`] / [`apply_measured`]) ignore them,
+    /// since their cost is *measured* — it lands in
+    /// [`crate::metrics::RecoveryEvent::wall_nanos`], not in a model.
+    pub fn kill_worker(mut self, worker: usize, superstep: usize) -> Self {
+        self.kills.push(WorkerKill { worker, superstep });
+        self
+    }
+
+    /// The plan's live worker kills.
+    pub fn worker_kills(&self) -> &[WorkerKill] {
+        &self.kills
     }
 
     /// The plan's events.
@@ -184,10 +220,54 @@ impl RecoveryReport {
     }
 }
 
+/// How one straggler event of a plan was priced by [`apply_measured`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StragglerCost {
+    /// The struck round's superstep carried real timing signal; the
+    /// straggler was priced at the observed skew (clamped to ≥ 1).
+    Measured {
+        /// The struck 1-based round.
+        round: usize,
+        /// The observed (clamped) skew used as the slowdown.
+        skew: f64,
+    },
+    /// The struck superstep carried **no** timing signal (masked
+    /// timings, synthetic metrics, or no measurable work): the event's
+    /// synthetic multiplier was used instead. Previously this fallback
+    /// was silent; it is now an explicit outcome callers can log (see
+    /// [`crate::trace::Timeline::annotate_straggler_pricing`]).
+    SyntheticFallback {
+        /// The struck 1-based round.
+        round: usize,
+        /// The plan's synthetic multiplier that was fallen back to.
+        multiplier: f64,
+    },
+}
+
+/// Result of [`apply_measured`]: the priced report plus how each applied
+/// straggler's cost was obtained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredRecovery {
+    /// The priced outcome (same shape [`apply`] returns).
+    pub report: RecoveryReport,
+    /// One entry per straggler event that landed on an executed round, in
+    /// plan order: measured skew or explicit synthetic fallback.
+    pub pricing: Vec<StragglerCost>,
+}
+
+impl MeasuredRecovery {
+    /// The pricing entries that fell back to the synthetic multiplier.
+    pub fn fallbacks(&self) -> impl Iterator<Item = &StragglerCost> {
+        self.pricing
+            .iter()
+            .filter(|c| matches!(c, StragglerCost::SyntheticFallback { .. }))
+    }
+}
+
 /// Prices `plan` against the per-round records in `metrics`, costing
 /// every straggler at its event's synthetic multiplier.
 pub fn apply(metrics: &Metrics, plan: &FaultPlan) -> RecoveryReport {
-    price(metrics, plan, false)
+    price(metrics, plan, false).report
 }
 
 /// Prices `plan` with **measured** straggler costs: a straggler striking
@@ -200,19 +280,23 @@ pub fn apply(metrics: &Metrics, plan: &FaultPlan) -> RecoveryReport {
 /// it is used whenever the struck superstep carries no timing signal
 /// (timings masked to zero for golden-file determinism, synthetic
 /// `Metrics` built by [`Metrics::record_round`] alone, or passes with no
-/// measurable work). [`RecoveryReport::stragglers_measured`] counts how
-/// many events were priced from measurements.
-pub fn apply_measured(metrics: &Metrics, plan: &FaultPlan) -> RecoveryReport {
+/// measurable work). Every fallback is reported explicitly as a
+/// [`StragglerCost::SyntheticFallback`] entry in the returned
+/// [`MeasuredRecovery::pricing`];
+/// [`RecoveryReport::stragglers_measured`] still counts the events priced
+/// from measurements.
+pub fn apply_measured(metrics: &Metrics, plan: &FaultPlan) -> MeasuredRecovery {
     price(metrics, plan, true)
 }
 
-fn price(metrics: &Metrics, plan: &FaultPlan, measured: bool) -> RecoveryReport {
+fn price(metrics: &Metrics, plan: &FaultPlan, measured: bool) -> MeasuredRecovery {
     let base_rounds = metrics.rounds;
     let mut round_slowdown = vec![1.0f64; base_rounds + 1];
     let mut round_crashed = vec![false; base_rounds + 1];
     let mut crashes_applied = 0usize;
     let mut stragglers_applied = 0usize;
     let mut stragglers_measured = 0usize;
+    let mut pricing = Vec::new();
     for e in plan.events() {
         if e.round == 0 || e.round > base_rounds || e.machine >= metrics.machines {
             continue;
@@ -231,9 +315,20 @@ fn price(metrics: &Metrics, plan: &FaultPlan, measured: bool) -> RecoveryReport 
                     {
                         Some(skew) => {
                             stragglers_measured += 1;
-                            skew.max(1.0)
+                            let skew = skew.max(1.0);
+                            pricing.push(StragglerCost::Measured {
+                                round: e.round,
+                                skew,
+                            });
+                            skew
                         }
-                        None => synthetic,
+                        None => {
+                            pricing.push(StragglerCost::SyntheticFallback {
+                                round: e.round,
+                                multiplier: synthetic,
+                            });
+                            synthetic
+                        }
                     }
                 } else {
                     synthetic
@@ -245,14 +340,17 @@ fn price(metrics: &Metrics, plan: &FaultPlan, measured: bool) -> RecoveryReport 
     }
     let redo_rounds = round_crashed.iter().filter(|&&c| c).count();
     let makespan: f64 = round_slowdown[1..].iter().sum::<f64>() + redo_rounds as f64;
-    RecoveryReport {
-        base_rounds,
-        redo_rounds,
-        effective_rounds: base_rounds + redo_rounds,
-        makespan,
-        crashes_applied,
-        stragglers_applied,
-        stragglers_measured,
+    MeasuredRecovery {
+        report: RecoveryReport {
+            base_rounds,
+            redo_rounds,
+            effective_rounds: base_rounds + redo_rounds,
+            makespan,
+            crashes_applied,
+            stragglers_applied,
+            stragglers_measured,
+        },
+        pricing,
     }
 }
 
@@ -408,7 +506,15 @@ mod tests {
         let r = apply_measured(&m, &plan);
         // Round 1's superstep measured skew 600 / (800/4) = 3.0; the
         // synthetic 10× multiplier is not used.
-        assert_eq!(r.stragglers_measured, 1);
+        assert_eq!(r.report.stragglers_measured, 1);
+        assert_eq!(
+            r.pricing,
+            vec![StragglerCost::Measured {
+                round: 1,
+                skew: 3.0
+            }]
+        );
+        let r = r.report;
         assert!((r.makespan - (3.0 + 1.0)).abs() < 1e-12, "{}", r.makespan);
         // The synthetic path still prices the same plan at 10×.
         let synthetic = apply(&m, &plan);
@@ -427,8 +533,9 @@ mod tests {
             kind: FaultKind::Straggler(5.0),
         }]);
         let r = apply_measured(&m, &plan);
-        assert_eq!(r.stragglers_measured, 1);
-        assert!((r.makespan - 2.0).abs() < 1e-12);
+        assert_eq!(r.report.stragglers_measured, 1);
+        assert!((r.report.makespan - 2.0).abs() < 1e-12);
+        assert!(r.fallbacks().next().is_none());
     }
 
     #[test]
@@ -443,9 +550,44 @@ mod tests {
             kind: FaultKind::Straggler(2.5),
         }]);
         let measured = apply_measured(&m, &plan);
-        assert_eq!(measured.stragglers_measured, 0);
-        assert_eq!(measured, apply(&m, &plan));
-        assert!((measured.makespan - 4.5).abs() < 1e-12);
+        assert_eq!(measured.report.stragglers_measured, 0);
+        assert_eq!(measured.report, apply(&m, &plan));
+        assert!((measured.report.makespan - 4.5).abs() < 1e-12);
+        // Regression: the fallback is no longer silent — it must surface
+        // as an explicit pricing entry carrying the multiplier used.
+        assert_eq!(
+            measured.pricing,
+            vec![StragglerCost::SyntheticFallback {
+                round: 2,
+                multiplier: 2.5
+            }]
+        );
+        assert_eq!(measured.fallbacks().count(), 1);
+    }
+
+    #[test]
+    fn worker_kills_ride_the_plan_but_are_not_priced() {
+        let m = run_of(3, 4);
+        let plan = FaultPlan::none().kill_worker(1, 2).kill_worker(0, 3);
+        assert_eq!(
+            plan.worker_kills(),
+            &[
+                WorkerKill {
+                    worker: 1,
+                    superstep: 2
+                },
+                WorkerKill {
+                    worker: 0,
+                    superstep: 3
+                }
+            ]
+        );
+        // Kills are executed live by the dist transport and recovered
+        // bit-identically; the post-hoc cost model must ignore them.
+        let r = apply(&m, &plan);
+        assert_eq!(r.redo_rounds, 0);
+        assert_eq!(r.crashes_applied, 0);
+        assert!((r.makespan - 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -83,8 +83,8 @@ type JobMarker<I, K, V, O> = std::marker::PhantomData<fn(I) -> (K, V, O)>;
 impl<I, K, V, O, MF, RF> MapReduceJob<I, K, V, O, MF, RF>
 where
     I: WordSized + Send + Sync,
-    K: Key + WordSized + Sync,
-    V: WordSized + Send + Sync,
+    K: Key + WordSized + Sync + crate::dist::Wire,
+    V: WordSized + Send + Sync + crate::dist::Wire,
     O: WordSized + Send + Sync,
     MF: Fn(&I, &mut Emitter<K, V>) + Sync,
     RF: Fn(&K, Vec<V>) -> Vec<O> + Sync,

@@ -33,14 +33,16 @@
 //!
 //! ## The runtime seam
 //!
-//! [`cluster::ClusterConfig::runtime`] selects which of the two engines
+//! [`cluster::ClusterConfig::runtime`] selects which of the three engines
 //! ([`superstep::RuntimeKind`]) executes the supersteps: `Classic`
-//! (dynamic index claiming + sequential global message merge) or `Shard`
+//! (dynamic index claiming + sequential global message merge), `Shard`
 //! (work-stealing-free static shard→thread assignment +
 //! [`router::RouterKind::Batched`] per-destination routing — the engine
-//! behind the solver API's `Backend::Shard`). Both are **bit-identical**
-//! in every model-level observable; the `MRLR_BACKEND` environment
-//! variable sets the process default.
+//! behind the solver API's `Backend::Shard`), or `Dist` (the [`dist`]
+//! master/worker control plane: real OS transport, barrier heartbeats and
+//! fault-tolerant re-execution — the engine behind `Backend::Dist`). All
+//! are **bit-identical** in every model-level observable; the
+//! `MRLR_BACKEND` environment variable sets the process default.
 //!
 //! ## The executor seam
 //!
@@ -75,6 +77,7 @@
 
 pub mod bitset;
 pub mod cluster;
+pub mod dist;
 pub mod error;
 pub mod executor;
 pub mod faults;
@@ -93,10 +96,16 @@ pub use bitset::Bitset;
 pub use cluster::{
     tree_depth, Cluster, ClusterConfig, Enforcement, MachineId, MachineState, Outbox,
 };
+pub use dist::{DistConfig, DistParams, SpawnKind, Wire, WireError, WireReader};
 pub use error::{CapacityKind, MrError, MrResult};
 pub use executor::{default_threads, executor_for, Executor, SeqExecutor, ThreadPoolExecutor};
-pub use faults::{FaultEvent, FaultKind, FaultPlan, RecoveryReport};
-pub use metrics::{Metrics, RoundKind, RoundRecord, SuperstepTiming, Violation};
+pub use faults::{
+    FaultEvent, FaultKind, FaultPlan, MeasuredRecovery, RecoveryReport, StragglerCost, WorkerKill,
+};
+pub use metrics::{
+    DistSummary, Metrics, RecoveryEvent, RoundKind, RoundRecord, SuperstepTiming, Violation,
+    WorkerShuffle,
+};
 pub use model::{paper_graph_regime, ComputeModel, ModelCheck};
 pub use partition::{
     balance_stats, split, BalanceStats, BlockPartitioner, HashPartitioner, Partitioner,

@@ -90,6 +90,52 @@ impl SuperstepTiming {
     }
 }
 
+/// Per-worker shuffle traffic of a [`crate::dist`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerShuffle {
+    /// Worker index.
+    pub worker: usize,
+    /// Transport bytes the master sent this worker (batch + flush frames).
+    pub bytes_out: u64,
+    /// Transport bytes received back from this worker (inbox frames).
+    pub bytes_in: u64,
+    /// Number of batch frames sent.
+    pub batches: u64,
+}
+
+/// One fault recovery performed by the dist master: a worker died and its
+/// shard block was re-established from the deterministic `(cluster seed,
+/// shard id)` streams plus replayed shuffle traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// The worker that died and was respawned.
+    pub worker: usize,
+    /// The superstep at which the death was detected.
+    pub superstep: usize,
+    /// Host wall-clock nanoseconds the recovery took (nondeterministic).
+    pub wall_nanos: u64,
+    /// Retained batch bytes replayed to the respawned worker (0 when the
+    /// death was detected at a barrier, outside an exchange).
+    pub replayed_bytes: u64,
+}
+
+/// Transport-level summary of a [`crate::dist`] run. Like
+/// [`Metrics::superstep_timings`] this is an observation of the *host*
+/// (byte counts depend on worker count; recovery times on the scheduler),
+/// so it is excluded from [`Metrics`] equality — a dist run's `Metrics`
+/// stay bit-identical to the in-process runtimes'.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DistSummary {
+    /// Number of workers the session ran with.
+    pub workers: usize,
+    /// Per-worker shuffle traffic, indexed by worker.
+    pub shuffle: Vec<WorkerShuffle>,
+    /// Every fault recovery the master performed, in detection order.
+    pub recoveries: Vec<RecoveryEvent>,
+    /// Host wall-clock nanoseconds spent inside distributed exchanges.
+    pub shuffle_nanos: u64,
+}
+
 /// A recorded (non-fatal, in `Record` mode) capacity violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -139,6 +185,9 @@ pub struct Metrics {
     /// Host wall-clock timings, one per executor pass (excluded from
     /// `PartialEq`; see the type-level docs).
     pub superstep_timings: Vec<SuperstepTiming>,
+    /// Transport summary of a distributed run; `None` for the in-process
+    /// runtimes (excluded from `PartialEq`; see [`DistSummary`]).
+    pub dist: Option<DistSummary>,
 }
 
 impl PartialEq for Metrics {
@@ -159,6 +208,7 @@ impl PartialEq for Metrics {
             per_round,
             violations,
             superstep_timings: _, // host wall-clock: excluded from equality
+            dist: _,              // host transport detail: excluded too
         } = self;
         *machines == other.machines
             && *capacity == other.capacity
@@ -355,6 +405,24 @@ mod tests {
         m.supersteps = 2;
         m.record_timing(0, &[0, 0]);
         assert_eq!(m.superstep_skew(2), None, "masked timings carry no signal");
+    }
+
+    #[test]
+    fn dist_summary_is_ignored_by_equality() {
+        let a = Metrics::new(4, 100);
+        let mut b = a.clone();
+        b.dist = Some(DistSummary {
+            workers: 2,
+            shuffle: vec![WorkerShuffle::default()],
+            recoveries: vec![RecoveryEvent {
+                worker: 0,
+                superstep: 1,
+                wall_nanos: 123,
+                replayed_bytes: 456,
+            }],
+            shuffle_nanos: 789,
+        });
+        assert_eq!(a, b, "transport detail must not affect metrics equality");
     }
 
     #[test]

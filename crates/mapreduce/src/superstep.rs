@@ -18,8 +18,8 @@
 //! order, so a run is bit-identical across policies, executors and
 //! thread counts; only host wall-clock differs. [`RuntimeKind`] bundles a
 //! schedule with a routing plane ([`crate::router::RouterKind`]) into the
-//! two cluster runtimes (`Classic` / `Shard`), selectable per run via
-//! [`crate::cluster::ClusterConfig::runtime`] or process-wide via the
+//! cluster runtimes (`Classic` / `Shard` / `Dist`), selectable per run
+//! via [`crate::cluster::ClusterConfig::runtime`] or process-wide via the
 //! `MRLR_BACKEND` environment variable.
 
 use std::ops::Range;
@@ -42,10 +42,10 @@ pub enum SchedulePolicy {
 }
 
 /// Which cluster runtime executes the supersteps: a (schedule, router)
-/// pair. Both runtimes are **bit-identical** in every model-level
-/// observable — solutions, message delivery, [`crate::metrics::Metrics`] —
-/// so the choice is an execution-substrate knob exactly like the thread
-/// count.
+/// pair, plus — for [`RuntimeKind::Dist`] — a transport. All runtimes
+/// are **bit-identical** in every model-level observable — solutions,
+/// message delivery, [`crate::metrics::Metrics`] — so the choice is an
+/// execution-substrate knob exactly like the thread count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RuntimeKind {
     /// Dynamic scheduling + sequential global message merge (the
@@ -55,6 +55,11 @@ pub enum RuntimeKind {
     /// Static shard→thread assignment + per-destination batched routing
     /// ([`RouterKind::Batched`]) — the engine behind `Backend::Shard`.
     Shard,
+    /// The distributed master/worker engine ([`crate::dist`]): static
+    /// shard→worker blocks, exchanges shuffled through a real transport
+    /// with barrier heartbeats and fault recovery — the engine behind
+    /// `Backend::Dist`.
+    Dist,
 }
 
 impl RuntimeKind {
@@ -62,38 +67,42 @@ impl RuntimeKind {
     pub fn schedule(self) -> SchedulePolicy {
         match self {
             RuntimeKind::Classic => SchedulePolicy::Dynamic,
-            RuntimeKind::Shard => SchedulePolicy::Static,
+            RuntimeKind::Shard | RuntimeKind::Dist => SchedulePolicy::Static,
         }
     }
 
-    /// The routing plane this runtime uses.
+    /// The routing plane this runtime uses (for `Dist` the plane that
+    /// backs any exchange the transport does not carry).
     pub fn router(self) -> RouterKind {
         match self {
             RuntimeKind::Classic => RouterKind::Merge,
-            RuntimeKind::Shard => RouterKind::Batched,
+            RuntimeKind::Shard | RuntimeKind::Dist => RouterKind::Batched,
         }
     }
 
-    /// Short name for traces and bench labels (`"classic"` / `"shard"`).
+    /// Short name for traces and bench labels
+    /// (`"classic"` / `"shard"` / `"dist"`).
     pub fn name(self) -> &'static str {
         match self {
             RuntimeKind::Classic => "classic",
             RuntimeKind::Shard => "shard",
+            RuntimeKind::Dist => "dist",
         }
     }
 }
 
 /// The process-wide default runtime: `MRLR_BACKEND=shard` selects the
-/// sharded runtime, anything else (including unset or `mr`) the classic
-/// one. Read once and cached, like [`crate::executor::default_threads`].
-/// The CI
-/// matrix runs the whole suite under both values — legal because the
+/// sharded runtime, `MRLR_BACKEND=dist` the distributed one, anything
+/// else (including unset or `mr`) the classic one. Read once and cached,
+/// like [`crate::executor::default_threads`]. The CI
+/// matrix runs the whole suite under all values — legal because the
 /// runtimes are bit-identical.
 pub fn default_runtime() -> RuntimeKind {
     static DEFAULT: OnceLock<RuntimeKind> = OnceLock::new();
     *DEFAULT.get_or_init(
         || match std::env::var("MRLR_BACKEND").ok().as_deref().map(str::trim) {
             Some("shard") => RuntimeKind::Shard,
+            Some("dist") => RuntimeKind::Dist,
             _ => RuntimeKind::Classic,
         },
     )
@@ -347,6 +356,9 @@ mod tests {
         assert_eq!(RuntimeKind::Shard.schedule(), SchedulePolicy::Static);
         assert_eq!(RuntimeKind::Shard.router(), RouterKind::Batched);
         assert_eq!(RuntimeKind::Shard.name(), "shard");
+        assert_eq!(RuntimeKind::Dist.schedule(), SchedulePolicy::Static);
+        assert_eq!(RuntimeKind::Dist.router(), RouterKind::Batched);
+        assert_eq!(RuntimeKind::Dist.name(), "dist");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 
 use std::fmt;
 
+use crate::faults::StragglerCost;
 use crate::metrics::{Metrics, RoundKind, SuperstepTiming};
 
 /// One row of a [`Timeline`]: a communication round plus running totals.
@@ -67,13 +68,20 @@ pub struct KindSummary {
 pub struct Timeline {
     rows: Vec<TimelineRow>,
     timings: Vec<SuperstepTiming>,
+    annotations: Vec<String>,
 }
 
 impl PartialEq for Timeline {
     fn eq(&self, other: &Self) -> bool {
         // Exhaustive destructuring: a new field must be explicitly
         // classified as model-level (compared) or host-level (ignored).
-        let Timeline { rows, timings: _ } = self;
+        // Annotations describe host events (recoveries, pricing
+        // fallbacks) — never model observables — so they are ignored.
+        let Timeline {
+            rows,
+            timings: _,
+            annotations: _,
+        } = self;
         *rows == other.rows
     }
 }
@@ -99,9 +107,43 @@ impl Timeline {
                 }
             })
             .collect();
+        let mut annotations = Vec::new();
+        if let Some(dist) = &metrics.dist {
+            for r in &dist.recoveries {
+                annotations.push(format!(
+                    "recovery: worker {} respawned at superstep {} (replayed {} bytes, {} ns)",
+                    r.worker, r.superstep, r.replayed_bytes, r.wall_nanos
+                ));
+            }
+        }
         Timeline {
             rows,
             timings: metrics.superstep_timings.clone(),
+            annotations,
+        }
+    }
+
+    /// Host-event annotations: distributed-runtime recoveries (one line
+    /// per [`crate::metrics::RecoveryEvent`], added by
+    /// [`Timeline::from_metrics`]) and straggler-pricing fallbacks
+    /// ([`Timeline::annotate_straggler_pricing`]). Excluded from
+    /// equality, like the timings.
+    pub fn annotations(&self) -> &[String] {
+        &self.annotations
+    }
+
+    /// Logs every synthetic-fallback straggler pricing outcome (see
+    /// [`crate::faults::StragglerCost::SyntheticFallback`] and
+    /// [`crate::faults::MeasuredRecovery`]) as an annotation line, making
+    /// the previously silent fallback visible in rendered traces.
+    pub fn annotate_straggler_pricing(&mut self, pricing: &[StragglerCost]) {
+        for cost in pricing {
+            if let StragglerCost::SyntheticFallback { round, multiplier } = cost {
+                self.annotations.push(format!(
+                    "straggler pricing: round {round} had no timing signal, \
+                     fell back to synthetic multiplier {multiplier}"
+                ));
+            }
         }
     }
 
@@ -426,6 +468,54 @@ mod tests {
             Timeline::from_metrics(&fast).timing_csv().lines().count(),
             2
         );
+    }
+
+    #[test]
+    fn recoveries_surface_as_annotations_but_not_equality() {
+        use crate::metrics::{DistSummary, RecoveryEvent};
+        let clean = sample_metrics();
+        let mut healed = clean.clone();
+        healed.dist = Some(DistSummary {
+            workers: 2,
+            recoveries: vec![RecoveryEvent {
+                worker: 1,
+                superstep: 3,
+                wall_nanos: 1234,
+                replayed_bytes: 456,
+            }],
+            ..DistSummary::default()
+        });
+        let t_clean = Timeline::from_metrics(&clean);
+        let t_healed = Timeline::from_metrics(&healed);
+        assert!(t_clean.annotations().is_empty());
+        assert_eq!(t_healed.annotations().len(), 1);
+        assert!(
+            t_healed.annotations()[0].contains("worker 1 respawned at superstep 3"),
+            "got: {}",
+            t_healed.annotations()[0]
+        );
+        assert!(t_healed.annotations()[0].contains("replayed 456 bytes"));
+        // Recovery is a host event: the timelines still compare equal.
+        assert_eq!(t_clean, t_healed);
+    }
+
+    #[test]
+    fn synthetic_fallbacks_are_annotated() {
+        let mut t = Timeline::from_metrics(&sample_metrics());
+        t.annotate_straggler_pricing(&[
+            StragglerCost::Measured {
+                round: 1,
+                skew: 3.0,
+            },
+            StragglerCost::SyntheticFallback {
+                round: 2,
+                multiplier: 2.5,
+            },
+        ]);
+        // Only the fallback is logged; measured pricing is the normal path.
+        assert_eq!(t.annotations().len(), 1);
+        assert!(t.annotations()[0].contains("round 2"));
+        assert!(t.annotations()[0].contains("synthetic multiplier 2.5"));
     }
 
     #[test]

@@ -134,10 +134,11 @@ fn main() {
     let empirical = apply_measured(&metrics, &plan);
     println!(
         "  measured-skew pricing: makespan {:.1} round-units ({} of {} stragglers priced \
-         from observed skew, worst observed {:.2}x)",
-        empirical.makespan,
-        empirical.stragglers_measured,
-        empirical.stragglers_applied,
+         from observed skew, {} synthetic fallbacks, worst observed {:.2}x)",
+        empirical.report.makespan,
+        empirical.report.stragglers_measured,
+        empirical.report.stragglers_applied,
+        empirical.fallbacks().count(),
         metrics.max_straggler_skew(),
     );
 }

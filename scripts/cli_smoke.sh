@@ -5,11 +5,12 @@
 # offline with `mrlr verify`. Runs the same matrix as
 # crates/cli/tests/cli_smoke.rs (the matrix file is the single source of
 # truth for both); CI invokes this under MRLR_THREADS={1,4} crossed with
-# MRLR_BACKEND={mr,shard} — the env var swaps the cluster runtime under
-# Backend::Mr, and because the runtimes are bit-identical the SAME golden
-# files must match on every axis. An explicit `--backend shard` solve is
-# additionally diffed against the mr golden modulo the backend tag, and
-# the batch document is audited whole by `mrlr verify <batch.json>`.
+# MRLR_BACKEND={mr,shard,dist} — the env var swaps the cluster runtime
+# under Backend::Mr, and because the runtimes are bit-identical the SAME
+# golden files must match on every axis. Explicit `--backend shard` and
+# `--backend dist` solves are additionally diffed against the mr golden
+# modulo the backend tag (the dist leg spawns real worker processes),
+# and the batch document is audited whole by `mrlr verify <batch.json>`.
 # Regenerate goldens after an intentional format change with
 # `MRLR_UPDATE_GOLDEN=1 cargo test -p mrlr-cli`.
 set -euo pipefail
@@ -45,6 +46,15 @@ sed 's/"backend": "shard"/"backend": "mr"/' "$work/matching.shard.json" \
   | diff -u "$golden/matching.json" -
 mrlr verify "$work/matching.inst" "$work/matching.shard.json" --quiet
 echo "ok: shard backend (diff modulo tag + verify)"
+
+# Explicit dist backend: worker processes over the Unix-socket control
+# plane; the payload is still bit-identical to the mr golden.
+mrlr solve matching --input "$work/matching.inst" --backend dist --workers 2 \
+  --format json --mask-timings --out "$work/matching.dist.json"
+sed 's/"backend": "dist"/"backend": "mr"/' "$work/matching.dist.json" \
+  | diff -u "$golden/matching.json" -
+mrlr verify "$work/matching.inst" "$work/matching.dist.json" --quiet
+echo "ok: dist backend (diff modulo tag + verify)"
 
 cp "$golden/batch.manifest" "$work/batch.manifest"
 mrlr batch "$work/batch.manifest" --mask-timings --out "$work/batch.json"
