@@ -1,0 +1,512 @@
+//! Routing hot-path benchmark: maintains the committed `BENCH_exec.json`
+//! perf trajectory.
+//!
+//! Two sections feed the artifact:
+//!
+//! * `router` — synthetic all-to-all exchange supersteps driven straight
+//!   through [`Cluster::exchange`], comparing the sequential `Merge`
+//!   reference plane (backend `mr`) against the concurrent plane
+//!   (backend `shard`) at 1 and 4 threads, for a one-word and a
+//!   container-payload message shape. Destinations are drawn from the
+//!   machine-local shard RNG stream ([`mrlr_mapreduce::Shard::rng_mut`]);
+//!   final state checksums and `Metrics` are asserted bit-identical
+//!   across every leg before anything is reported.
+//! * `registry` — three representative algorithm keys solved through
+//!   the registry across threads {1, 4} × backends {mr, shard}, each leg
+//!   asserted bit-identical (solution and `Metrics`) to the `mr`
+//!   reference run.
+//!
+//! Each row records wall-time, peak inbox bytes and allocator traffic
+//! per superstep, counted by a `#[global_allocator]` shim compiled into
+//! this bin only. Rows carry a `phase` tag (`before` / `after`):
+//! regeneration replaces only the rows of the phase being measured and
+//! keeps the other phase's rows, so the committed file accumulates the
+//! trajectory across PRs instead of overwriting it.
+//!
+//! Usage:
+//!   `bench_exec [--quick] [--phase before|after] [out.json]`
+//!     measure and rewrite the given phase (default `after`,
+//!     default path `BENCH_exec.json`).
+//!   `bench_exec --check [out.json]`
+//!     CI mode: run the quick equivalence assertions (Merge vs the
+//!     concurrent plane) without touching the file, then fail unless the
+//!     committed artifact already has rows for both phases of both
+//!     sections.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use mrlr_bench::{vertex_weights, weighted_graph};
+use mrlr_core::api::{Backend, Instance, Registry, VertexWeightedGraph};
+use mrlr_core::io::{parse_json, JsonValue};
+use mrlr_core::mr::MrConfig;
+use mrlr_mapreduce::cluster::{Cluster, ClusterConfig, Outbox};
+use mrlr_mapreduce::{DetRng, Metrics, RuntimeKind, Wire, WordSized};
+
+// ---------------------------------------------------------------------------
+// Counting allocator (this bin only): every heap allocation and
+// reallocation bumps a counter, so a superstep loop's allocator traffic
+// is the counter delta around it. Deallocations are uncounted — the
+// metric is "new memory requests per superstep", the thing the columnar
+// plane's buffer reuse is meant to eliminate.
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: defers to the system allocator; the counters are simple
+// relaxed atomics with no allocation of their own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (
+        ALLOC_CALLS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Router section: synthetic exchange supersteps.
+
+#[derive(Clone, Copy)]
+struct RouterParams {
+    machines: usize,
+    /// Messages staged per machine per superstep.
+    volume: usize,
+    /// Measured supersteps (after warm-up).
+    supersteps: usize,
+    /// Unmeasured supersteps that warm buffer pools first.
+    warmup: usize,
+}
+
+const ROUTER_FULL: RouterParams = RouterParams {
+    machines: 32,
+    volume: 256,
+    supersteps: 48,
+    warmup: 2,
+};
+const ROUTER_QUICK: RouterParams = RouterParams {
+    machines: 8,
+    volume: 64,
+    supersteps: 8,
+    warmup: 2,
+};
+const ROUTER_SEED: u64 = 42;
+
+/// Per-machine resident state of the synthetic workload: a machine-local
+/// RNG stream (seeded once from `Shard::rng_mut`) plus an order-sensitive
+/// checksum over everything received.
+struct RouterState {
+    rng: DetRng,
+    checksum: u64,
+    received: u64,
+}
+
+impl WordSized for RouterState {
+    fn words(&self) -> usize {
+        4
+    }
+}
+
+struct RouterMeasurement {
+    checksums: Vec<u64>,
+    metrics: Metrics,
+    wall_nanos: u128,
+    allocs_per_superstep: u64,
+    alloc_bytes_per_superstep: u64,
+}
+
+/// Runs the synthetic workload on one (runtime, threads) leg. `build`
+/// turns a destination-selecting RNG draw into the message payload and
+/// `digest` folds a received message into the checksum; both are pure,
+/// so every leg sees identical traffic.
+fn run_router<M, B, D>(
+    runtime: RuntimeKind,
+    threads: usize,
+    p: RouterParams,
+    build: B,
+    digest: D,
+) -> RouterMeasurement
+where
+    M: WordSized + Send + Wire + 'static,
+    B: Fn(u64) -> M + Sync,
+    D: Fn(&M) -> u64 + Sync,
+{
+    let capacity = (p.volume + 2) * 64 * p.machines;
+    let cfg = ClusterConfig::new(p.machines, capacity)
+        .with_runtime(runtime)
+        .with_threads(threads)
+        .with_seed(ROUTER_SEED);
+    let states: Vec<RouterState> = (0..p.machines)
+        .map(|_| RouterState {
+            rng: DetRng::new(0),
+            checksum: 0,
+            received: 0,
+        })
+        .collect();
+    let mut cluster = Cluster::new(cfg, states).expect("cluster");
+    // Machine-local coins: each machine's destination stream derives from
+    // its own shard RNG, not from a stateless hash of the message id.
+    for id in 0..p.machines {
+        let shard = cluster.shard_mut(id);
+        let seed = shard.rng_mut().next_u64();
+        shard.state_mut().rng = DetRng::new(seed);
+    }
+    let machines = p.machines;
+    let volume = p.volume;
+    let superstep = |cluster: &mut Cluster<RouterState>| {
+        cluster
+            .exchange(
+                |_, st: &mut RouterState, out: &mut Outbox<M>| {
+                    for _ in 0..volume {
+                        let draw = st.rng.next_u64();
+                        out.send((draw % machines as u64) as usize, build(draw));
+                    }
+                },
+                |_, st: &mut RouterState, inbox| {
+                    for msg in inbox {
+                        st.checksum = st
+                            .checksum
+                            .wrapping_mul(0x100_0000_01b3)
+                            .wrapping_add(digest(&msg));
+                        st.received += 1;
+                    }
+                },
+            )
+            .expect("exchange");
+    };
+    for _ in 0..p.warmup {
+        superstep(&mut cluster);
+    }
+    let (calls0, bytes0) = alloc_snapshot();
+    let start = Instant::now();
+    for _ in 0..p.supersteps {
+        superstep(&mut cluster);
+    }
+    let wall_nanos = start.elapsed().as_nanos();
+    let (calls1, bytes1) = alloc_snapshot();
+    let (states, metrics) = cluster.into_parts();
+    RouterMeasurement {
+        checksums: states.iter().map(|s| s.checksum).collect(),
+        metrics,
+        wall_nanos,
+        allocs_per_superstep: (calls1 - calls0) / p.supersteps as u64,
+        alloc_bytes_per_superstep: (bytes1 - bytes0) / p.supersteps as u64,
+    }
+}
+
+/// All router legs for one message shape; asserts every leg bit-identical
+/// to the (mr, 1 thread) reference before reporting.
+fn router_rows<M, B, D>(
+    rows: &mut Vec<String>,
+    phase: &str,
+    workload: &str,
+    p: RouterParams,
+    build: B,
+    digest: D,
+) where
+    M: WordSized + Send + Wire + 'static,
+    B: Fn(u64) -> M + Sync + Copy,
+    D: Fn(&M) -> u64 + Sync + Copy,
+{
+    let legs = [("mr", RuntimeKind::Classic), ("shard", RuntimeKind::Shard)];
+    let reference = run_router::<M, _, _>(RuntimeKind::Classic, 1, p, build, digest);
+    for (backend, runtime) in legs {
+        for threads in [1usize, 4] {
+            let m = run_router::<M, _, _>(runtime, threads, p, build, digest);
+            assert_eq!(
+                m.checksums, reference.checksums,
+                "{workload}: {backend} threads={threads} diverged from reference"
+            );
+            assert_eq!(
+                m.metrics, reference.metrics,
+                "{workload}: {backend} threads={threads} metrics diverged"
+            );
+            let mut row = String::new();
+            let _ = write!(
+                row,
+                "{{\"section\": \"router\", \"phase\": \"{phase}\", \"workload\": \"{workload}\", \
+                 \"backend\": \"{backend}\", \"plane\": \"{}\", \"threads\": {threads}, \
+                 \"machines\": {}, \"volume\": {}, \"supersteps\": {}, \
+                 \"wall_nanos\": {}, \"wall_nanos_per_superstep\": {}, \
+                 \"allocs_per_superstep\": {}, \"alloc_bytes_per_superstep\": {}, \
+                 \"peak_inbox_bytes\": {}}}",
+                runtime.router().name(),
+                p.machines,
+                p.volume,
+                p.supersteps,
+                m.wall_nanos,
+                m.wall_nanos / p.supersteps as u128,
+                m.allocs_per_superstep,
+                m.alloc_bytes_per_superstep,
+                m.metrics.peak_in_words * 8,
+            );
+            rows.push(row);
+            eprintln!(
+                "router/{workload} {backend} t{threads}: \
+                 {} allocs/superstep, {} ns/superstep",
+                m.allocs_per_superstep,
+                m.wall_nanos / p.supersteps as u128
+            );
+        }
+    }
+}
+
+fn router_section(rows: &mut Vec<String>, phase: &str, quick: bool) {
+    let p = if quick { ROUTER_QUICK } else { ROUTER_FULL };
+    // One-word messages: the hot shape, where per-message overhead is
+    // everything.
+    router_rows::<u64, _, _>(rows, phase, "u64", p, |draw| draw, |m| *m);
+    // Container messages: exercises header-word accounting and payload
+    // moves through the delivery pass.
+    router_rows::<Vec<u64>, _, _>(
+        rows,
+        phase,
+        "vec3",
+        p,
+        |draw| vec![draw, draw ^ 0xff, draw >> 7],
+        |m| m.iter().fold(0u64, |a, x| a.wrapping_add(*x)),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Registry section: whole solves through the public API.
+
+const REG_FULL_N: usize = 400;
+const REG_QUICK_N: usize = 120;
+const REG_C: f64 = 0.5;
+const REG_MU: f64 = 0.25;
+const REG_SEED: u64 = 42;
+
+fn registry_workloads(quick: bool) -> Vec<(&'static str, Instance, MrConfig)> {
+    let n = if quick { REG_QUICK_N } else { REG_FULL_N };
+    let g = weighted_graph(n, REG_C, REG_SEED);
+    let m = g.m();
+    let cfg = MrConfig::auto(n, m, REG_MU, REG_SEED);
+    vec![
+        ("matching", Instance::Graph(g.clone()), cfg),
+        (
+            "vertex-cover",
+            Instance::VertexWeighted(VertexWeightedGraph::new(
+                g.clone(),
+                vertex_weights(n, REG_SEED),
+            )),
+            cfg,
+        ),
+        ("vertex-colouring", Instance::Graph(g), cfg),
+    ]
+}
+
+fn registry_section(rows: &mut Vec<String>, phase: &str, quick: bool) {
+    let registry = Registry::with_defaults();
+    for (key, instance, cfg) in registry_workloads(quick) {
+        let reference = registry
+            .solve_with(key, Backend::Mr, &instance, &cfg)
+            .expect("reference run");
+        for (backend_name, backend) in [("mr", Backend::Mr), ("shard", Backend::Shard)] {
+            for threads in [1usize, 4] {
+                let leg_cfg = cfg.with_threads(threads);
+                let (calls0, bytes0) = alloc_snapshot();
+                let report = registry
+                    .solve_with(key, backend, &instance, &leg_cfg)
+                    .expect("solve");
+                let (calls1, bytes1) = alloc_snapshot();
+                assert_eq!(
+                    report.solution, reference.solution,
+                    "{key}: {backend_name} threads={threads} diverged"
+                );
+                assert_eq!(
+                    report.metrics, reference.metrics,
+                    "{key}: {backend_name} threads={threads} metrics diverged"
+                );
+                let metrics = report.metrics.as_ref().expect("cluster metrics");
+                let supersteps = metrics.supersteps.max(1) as u64;
+                let mut row = String::new();
+                let _ = write!(
+                    row,
+                    "{{\"section\": \"registry\", \"phase\": \"{phase}\", \
+                     \"algorithm\": \"{key}\", \"backend\": \"{backend_name}\", \
+                     \"threads\": {threads}, \"supersteps\": {}, \"rounds\": {}, \
+                     \"wall_nanos\": {}, \"allocs_per_superstep\": {}, \
+                     \"alloc_bytes_per_superstep\": {}, \"peak_inbox_bytes\": {}}}",
+                    metrics.supersteps,
+                    metrics.rounds,
+                    report.wall.as_nanos(),
+                    (calls1 - calls0) / supersteps,
+                    (bytes1 - bytes0) / supersteps,
+                    metrics.peak_in_words * 8,
+                );
+                rows.push(row);
+            }
+        }
+        eprintln!("registry/{key}: mr + shard at threads {{1,4}}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Artifact assembly: keep the other phase's rows, replace this phase's.
+
+fn render_value(v: &JsonValue, out: &mut String) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        JsonValue::Num(raw) => out.push_str(raw),
+        JsonValue::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        JsonValue::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_value(item, out);
+            }
+            out.push(']');
+        }
+        JsonValue::Obj(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{k}\": ");
+                render_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Rows already in the artifact whose `phase` differs from the one being
+/// re-measured, re-rendered verbatim.
+fn kept_rows(path: &str, phase: &str) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let doc = parse_json(&text).expect("existing artifact parses");
+    let rows = doc
+        .get("rows")
+        .and_then(JsonValue::as_arr)
+        .expect("artifact has a rows array");
+    rows.iter()
+        .filter(|row| row.get("phase").and_then(JsonValue::as_str) != Some(phase))
+        .map(|row| {
+            let mut s = String::new();
+            render_value(row, &mut s);
+            s
+        })
+        .collect()
+}
+
+fn write_artifact(path: &str, rows: &[String]) {
+    let mut out = String::from("{\n  \"bench\": \"exec\",\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(out, "    {row}{sep}");
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, &out).expect("write artifact");
+    println!("wrote {path} ({} rows)", rows.len());
+}
+
+/// CI gate: the committed artifact must already carry both phases of
+/// both sections, i.e. the trajectory is present and regenerations did
+/// not drop the historical rows.
+fn check_artifact(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("--check: cannot read {path}: {e}"));
+    let doc = parse_json(&text).expect("artifact parses");
+    let rows = doc
+        .get("rows")
+        .and_then(JsonValue::as_arr)
+        .expect("artifact has a rows array");
+    for section in ["router", "registry"] {
+        for phase in ["before", "after"] {
+            let count = rows
+                .iter()
+                .filter(|r| {
+                    r.get("section").and_then(JsonValue::as_str) == Some(section)
+                        && r.get("phase").and_then(JsonValue::as_str) == Some(phase)
+                })
+                .count();
+            assert!(
+                count > 0,
+                "--check: {path} has no rows for section={section} phase={phase}"
+            );
+            println!("ok: {section}/{phase}: {count} rows");
+        }
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut check = false;
+    let mut phase = String::from("after");
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--phase" => {
+                phase = args.next().expect("--phase needs a value");
+                assert!(
+                    phase == "before" || phase == "after",
+                    "--phase must be before|after"
+                );
+            }
+            other if !other.starts_with('-') => out_path = Some(other.to_string()),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_exec.json".into());
+
+    if check {
+        // Fast equivalence gate first: any Merge-vs-concurrent-plane
+        // divergence panics inside router_rows before the file is judged.
+        let mut scratch = Vec::new();
+        router_section(&mut scratch, "check", true);
+        check_artifact(&out_path);
+        println!("check passed");
+        return;
+    }
+
+    let mut rows = kept_rows(&out_path, &phase);
+    router_section(&mut rows, &phase, quick);
+    registry_section(&mut rows, &phase, quick);
+    write_artifact(&out_path, &rows);
+}

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 
 use mrlr_graph::{EdgeId, Graph, VertexId};
 use mrlr_mapreduce::rng::DetRng;
-use mrlr_mapreduce::{Cluster, Metrics, MrError, MrResult, WordSized};
+use mrlr_mapreduce::{Bitset, Cluster, Metrics, MrError, MrResult, WordSized};
 
 use crate::mr::{dist_cache, MrConfig};
 use crate::rlr::bmatching::{push_budget, BMatchingParams, BMATCH_RNG_TAG};
@@ -242,6 +242,9 @@ pub(crate) fn run(
         // pushes of the heaviest-by-current-modified-weight sampled edges.
         sample.sort_unstable_by_key(|&(v, e, _, _)| (v, e));
         let mut pushed_now: Vec<EdgeId> = Vec::new();
+        // Bitset shadow of `pushed_now` for O(1) membership in the inner
+        // best-edge scan (the Vec stays as the ordered broadcast payload).
+        let mut pushed_bits = Bitset::new(g.m());
         let mut touched: Vec<VertexId> = Vec::new();
         let mut idx = 0usize;
         while idx < sample.len() {
@@ -255,7 +258,7 @@ pub(crate) fn run(
             for _ in 0..budget {
                 let mut best: Option<(f64, usize)> = None;
                 for (pos, &(e, o, w)) in group.iter().enumerate() {
-                    if pushed_now.contains(&e) || !lr.alive(v, o, w) {
+                    if pushed_bits.get(e as usize) || !lr.alive(v, o, w) {
                         continue;
                     }
                     let m = lr.modified(v, o, w);
@@ -270,6 +273,7 @@ pub(crate) fn run(
                 let Some((_, pos)) = best else { break };
                 let (e, o, w) = group.swap_remove(pos);
                 if lr.push(e, v, o, w) {
+                    pushed_bits.set(e as usize);
                     pushed_now.push(e);
                     touched.push(v);
                     touched.push(o);

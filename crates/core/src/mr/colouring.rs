@@ -128,7 +128,7 @@ pub(crate) fn run_vertex(
             s.input.clear();
         },
         |_, s, inbox| {
-            s.received = inbox;
+            s.received = inbox.into_vec();
         },
     )?;
 
@@ -299,7 +299,7 @@ pub(crate) fn run_edge(
             s.input.clear();
         },
         |_, s, inbox| {
-            s.received = inbox;
+            s.received = inbox.into_vec();
         },
     )?;
 

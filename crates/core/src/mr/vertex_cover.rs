@@ -13,7 +13,7 @@
 
 use mrlr_graph::{EdgeId, Graph, VertexId};
 use mrlr_mapreduce::rng::coin;
-use mrlr_mapreduce::{Cluster, Metrics, MrError, MrResult, WordSized};
+use mrlr_mapreduce::{Bitset, Cluster, Metrics, MrError, MrResult, WordSized};
 
 use crate::mr::{dist_cache, MrConfig, SET_COVER_SAMPLE_SLACK};
 use crate::rlr::setcover::{sample_probability, SC_COIN_TAG};
@@ -225,12 +225,17 @@ pub(crate) fn run(g: &Graph, weights: &[f64], cfg: MrConfig) -> MrResult<(CoverR
             |_, _s, _inbox| {},
         )?;
         // Hop 2: each vertex machine forwards the chosen bit to the edges
-        // of its chosen vertices; edge machines mark them covered.
-        let delta2 = delta.clone();
+        // of its chosen vertices; edge machines mark them covered. A Bitset
+        // over the vertex ids makes the per-record membership check O(1)
+        // instead of a binary search per vertex record.
+        let mut delta_bits = Bitset::new(g.n());
+        for &v in &delta {
+            delta_bits.set(v as usize);
+        }
         cluster.exchange::<EdgeId, _, _>(
             |_, s, out| {
                 for vr in &s.vertices {
-                    if delta2.binary_search(&vr.v).is_ok() {
+                    if delta_bits.get(vr.v as usize) {
                         for &e in &vr.edges {
                             out.send(edge_place(e), e);
                         }

@@ -4,7 +4,8 @@
 //! * [`crate::shard`] — each machine's state, RNG and space accounting
 //!   live in a [`Shard`] that owns them exclusively;
 //! * [`crate::router`] — the routing plane that delivers exchanged
-//!   messages (sequential merge or per-destination batched buffers);
+//!   messages (sequential merge, or a columnar counting sort into a
+//!   pooled flat arena);
 //! * [`crate::superstep`] — the scheduler that lays shard tasks onto OS
 //!   threads (dynamic claiming or work-stealing-free static assignment).
 //!
@@ -35,12 +36,12 @@ use crate::dist::{DistConfig, DistSession, Wire};
 use crate::error::{CapacityKind, MrError, MrResult};
 use crate::executor::{self, Executor};
 use crate::metrics::{Metrics, RoundKind, Violation};
-use crate::router::{self, RouterKind};
+use crate::router::{self, RouterKind, RouterScratch};
 use crate::shard::{shards_from_states, Shard};
 use crate::superstep::{self, RuntimeKind, Scheduler};
 use crate::words::WordSized;
 
-pub use crate::router::Outbox;
+pub use crate::router::{Inbox, Outbox};
 pub use crate::shard::{MachineId, MachineState};
 
 /// What to do when a word budget is exceeded.
@@ -187,6 +188,8 @@ pub struct Cluster<S> {
     central_extra: usize,
     sched: Scheduler,
     router: RouterKind,
+    /// Pooled routing buffers, reused across exchange supersteps.
+    scratch: RouterScratch,
     /// Live master/worker session when the runtime is [`RuntimeKind::Dist`].
     dist: Option<DistSession>,
 }
@@ -232,6 +235,7 @@ impl<S: MachineState> Cluster<S> {
             central_extra: 0,
             sched,
             router,
+            scratch: RouterScratch::default(),
             dist,
         };
         cluster.check_states()?;
@@ -375,32 +379,42 @@ impl<S: MachineState> Cluster<S> {
 
     /// One round of point-to-point communication. `produce` runs on every
     /// machine and stages messages; `consume` runs on every machine with the
-    /// messages addressed to it (ordered by sender id, then send order).
-    /// Delivery goes through the configured routing plane
+    /// [`Inbox`] of messages addressed to it (ordered by sender id, then
+    /// send order). Delivery goes through the configured routing plane
     /// ([`ClusterConfig::runtime`]) — for [`RuntimeKind::Dist`], the
     /// master/worker shuffle over real transport; the inboxes are
-    /// identical either way.
+    /// identical either way. Outbox columns and inbox arenas are pooled
+    /// ([`RouterScratch`]), so steady-state exchanges reuse the previous
+    /// superstep's buffers instead of allocating.
     pub fn exchange<M, P, C>(&mut self, produce: P, consume: C) -> MrResult<()>
     where
-        M: WordSized + Send + Wire,
+        M: WordSized + Send + Wire + 'static,
         P: Fn(MachineId, &mut S, &mut Outbox<M>) + Sync,
-        C: Fn(MachineId, &mut S, Vec<M>) + Sync,
+        C: Fn(MachineId, &mut S, Inbox<M>) + Sync,
     {
         self.metrics.supersteps += 1;
         self.dist_sync()?;
         let machines = self.cfg.machines;
         // Meter outgoing volume per machine while producing. Machines run
         // concurrently on the scheduler; results come back in machine-id
-        // order regardless of schedule.
-        let pass = self.sched.timed_mut(&mut self.shards, |id, shard| {
-            let mut out = Outbox::new(machines);
-            produce(id, shard.state_mut(), &mut out);
-            let words = out.staged_words();
-            (out, words)
+        // order regardless of schedule. Each machine stages into pooled
+        // column buffers recycled from an earlier superstep.
+        let boxes: Vec<Outbox<M>> = (0..machines)
+            .map(|_| {
+                let (msgs, dsts) = self.scratch.take_columns::<M>();
+                Outbox::with_buffers(machines, msgs, dsts)
+            })
+            .collect();
+        let mut staging: Vec<(&mut Shard<S>, Outbox<M>)> =
+            self.shards.iter_mut().zip(boxes).collect();
+        let pass = self.sched.timed_mut(&mut staging, |id, (shard, out)| {
+            produce(id, shard.state_mut(), out);
+            out.staged_words()
         });
+        let out_words: Vec<usize> = pass.results;
+        let outboxes: Vec<Outbox<M>> = staging.into_iter().map(|(_, out)| out).collect();
         self.metrics
             .record_timing(pass.wall_nanos, &pass.task_nanos);
-        let (outboxes, out_words): (Vec<Outbox<M>>, Vec<usize>) = pass.results.into_iter().unzip();
 
         // Deliver: stable order (sender id, then send order within sender),
         // identical across routing planes — including the dist shuffle,
@@ -411,11 +425,17 @@ impl<S: MachineState> Cluster<S> {
                 self.metrics.dist = Some(session.summary());
                 d
             }
-            None => router::route(self.router, &self.sched, machines, outboxes),
+            None => router::route(
+                self.router,
+                &self.sched,
+                machines,
+                outboxes,
+                &mut self.scratch,
+            ),
         };
 
         let max_out = out_words.iter().copied().max().unwrap_or(0);
-        let max_in = delivery.in_words.iter().copied().max().unwrap_or(0);
+        let max_in = delivery.in_words().iter().copied().max().unwrap_or(0);
         let total: usize = out_words.iter().sum();
         self.metrics
             .record_round(RoundKind::Exchange, max_out, max_in, total);
@@ -423,19 +443,23 @@ impl<S: MachineState> Cluster<S> {
         for (id, used) in out_words.into_iter().enumerate() {
             self.budget(id, CapacityKind::Outbox, used)?;
         }
-        for (id, used) in delivery.in_words.iter().copied().enumerate() {
+        for (id, used) in delivery.in_words().iter().copied().enumerate() {
             self.budget(id, CapacityKind::Inbox, used)?;
         }
 
         // Consume concurrently: each machine owns its shard and its inbox
         // (delivery order above was fixed in sender-id order, so neither
         // the schedule nor the routing plane can leak into observables).
-        let mut pairs: Vec<(&mut Shard<S>, Vec<M>)> =
-            self.shards.iter_mut().zip(delivery.inboxes).collect();
+        // SAFETY: `buffers` (the arena backing flat inboxes) lives until
+        // after the pass below has dropped every inbox.
+        let (inboxes, buffers) = unsafe { delivery.into_inboxes() };
+        let mut pairs: Vec<(&mut Shard<S>, Inbox<M>)> =
+            self.shards.iter_mut().zip(inboxes).collect();
         let pass = self.sched.timed_mut(&mut pairs, |id, (shard, inbox)| {
             consume(id, shard.state_mut(), std::mem::take(inbox));
         });
         drop(pairs);
+        buffers.recycle(&mut self.scratch);
         self.metrics
             .record_timing(pass.wall_nanos, &pass.task_nanos);
         self.check_states()

@@ -213,8 +213,8 @@ impl DistSession {
         let s = superstep as u64;
         let n = self.workers.len();
         let mut per_worker: Vec<Vec<(u64, Vec<u8>)>> = (0..n).map(|_| Vec::new()).collect();
-        for outbox in outboxes {
-            for (dst, msg) in outbox.msgs {
+        for mut outbox in outboxes {
+            for (dst, msg) in outbox.drain_pairs() {
                 per_worker[self.owner[dst]].push((dst as u64, encode_value(&msg)));
             }
         }
@@ -249,7 +249,10 @@ impl DistSession {
             }
         }
         self.shuffle_nanos += t0.elapsed().as_nanos() as u64;
-        Ok(Delivery { inboxes, in_words })
+        // Deliveries stay nested here: the decoded regions arrive
+        // per-worker and the retained batch bytes — not pooled buffers —
+        // are what fault recovery replays (see `crate::router` docs).
+        Ok(Delivery::from_nested(inboxes, in_words))
     }
 
     /// Reads and validates one worker's inbox region for superstep `s`.
@@ -504,7 +507,7 @@ fn accept_with_timeout(listener: &UnixListener, child: &mut Child) -> MrResult<U
 mod tests {
     use super::*;
     use crate::executor::SeqExecutor;
-    use crate::router::{route, RouterKind};
+    use crate::router::{route, RouterKind, RouterScratch};
     use crate::superstep::{SchedulePolicy, Scheduler};
     use std::sync::Arc;
 
@@ -528,6 +531,7 @@ mod tests {
             &sched,
             machines,
             outboxes(machines, volume, seed),
+            &mut RouterScratch::default(),
         )
     }
 
@@ -543,8 +547,8 @@ mod tests {
             session.open(1).unwrap();
             let got = session.exchange(1, outboxes(machines, 50, 7)).unwrap();
             let want = reference(machines, 50, 7);
-            assert_eq!(got.inboxes, want.inboxes, "workers {workers}");
-            assert_eq!(got.in_words, want.in_words, "workers {workers}");
+            assert_eq!(got.nested(), want.nested(), "workers {workers}");
+            assert_eq!(got.in_words(), want.in_words(), "workers {workers}");
             let summary = session.summary();
             assert_eq!(summary.workers, workers.min(machines));
             assert!(summary.shuffle.iter().any(|s| s.bytes_out > 0));
@@ -566,14 +570,14 @@ mod tests {
         let mut session = DistSession::launch(machines, 5, &cfg).unwrap();
         session.open(1).unwrap();
         let d1 = session.exchange(1, outboxes(machines, 30, 1)).unwrap();
-        assert_eq!(d1.inboxes, reference(machines, 30, 1).inboxes);
+        assert_eq!(d1.nested(), reference(machines, 30, 1).nested());
         // Superstep 2 arms the kill; the worker dies at the flush, after
         // ingesting the batch — recovery must replay it.
         session.open(2).unwrap();
         let d2 = session.exchange(2, outboxes(machines, 30, 2)).unwrap();
         let want = reference(machines, 30, 2);
-        assert_eq!(d2.inboxes, want.inboxes);
-        assert_eq!(d2.in_words, want.in_words);
+        assert_eq!(d2.nested(), want.nested());
+        assert_eq!(d2.in_words(), want.in_words());
         let summary = session.summary();
         assert_eq!(summary.recoveries.len(), 1);
         let r = &summary.recoveries[0];
@@ -582,7 +586,7 @@ mod tests {
         // The healed session keeps working.
         session.open(3).unwrap();
         let d3 = session.exchange(3, outboxes(machines, 30, 3)).unwrap();
-        assert_eq!(d3.inboxes, reference(machines, 30, 3).inboxes);
+        assert_eq!(d3.nested(), reference(machines, 30, 3).nested());
     }
 
     #[test]
@@ -606,6 +610,6 @@ mod tests {
         assert_eq!(summary.recoveries[0].superstep, 2);
         // Exchanges still work after a barrier recovery.
         let d = session.exchange(2, outboxes(4, 20, 4)).unwrap();
-        assert_eq!(d.inboxes, reference(4, 20, 4).inboxes);
+        assert_eq!(d.nested(), reference(4, 20, 4).nested());
     }
 }

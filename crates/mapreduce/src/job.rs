@@ -83,8 +83,8 @@ type JobMarker<I, K, V, O> = std::marker::PhantomData<fn(I) -> (K, V, O)>;
 impl<I, K, V, O, MF, RF> MapReduceJob<I, K, V, O, MF, RF>
 where
     I: WordSized + Send + Sync,
-    K: Key + WordSized + Sync + crate::dist::Wire,
-    V: WordSized + Send + Sync + crate::dist::Wire,
+    K: Key + WordSized + Sync + crate::dist::Wire + 'static,
+    V: WordSized + Send + Sync + crate::dist::Wire + 'static,
     O: WordSized + Send + Sync,
     MF: Fn(&I, &mut Emitter<K, V>) + Sync,
     RF: Fn(&K, Vec<V>) -> Vec<O> + Sync,
@@ -205,7 +205,7 @@ where
             |_, s, inbox| {
                 // Group by key, deterministically (sort is stable; inbox
                 // arrives in sender order).
-                let mut pairs = inbox;
+                let mut pairs = inbox.into_vec();
                 pairs.sort_by(|a, b| a.0.cmp(&b.0));
                 for (k, v) in pairs {
                     match s.groups.last_mut() {

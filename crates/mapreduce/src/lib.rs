@@ -37,7 +37,7 @@
 //! ([`superstep::RuntimeKind`]) executes the supersteps: `Classic`
 //! (dynamic index claiming + sequential global message merge), `Shard`
 //! (work-stealing-free static shard→thread assignment +
-//! [`router::RouterKind::Batched`] per-destination routing — the engine
+//! [`router::RouterKind::Columnar`] counting-sort routing — the engine
 //! behind the solver API's `Backend::Shard`), or `Dist` (the [`dist`]
 //! master/worker control plane: real OS transport, barrier heartbeats and
 //! fault-tolerant re-execution — the engine behind `Backend::Dist`). All
@@ -94,7 +94,7 @@ pub mod words;
 
 pub use bitset::Bitset;
 pub use cluster::{
-    tree_depth, Cluster, ClusterConfig, Enforcement, MachineId, MachineState, Outbox,
+    tree_depth, Cluster, ClusterConfig, Enforcement, Inbox, MachineId, MachineState, Outbox,
 };
 pub use dist::{DistConfig, DistParams, SpawnKind, Wire, WireError, WireReader};
 pub use error::{CapacityKind, MrError, MrResult};

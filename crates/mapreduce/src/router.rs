@@ -6,20 +6,52 @@
 //! the router decides is how the host performs the shuffle:
 //!
 //! * [`RouterKind::Merge`] — one sequential global pass over all
-//!   outboxes, appending each message to its destination (the original
-//!   engine; the reference plane).
-//! * [`RouterKind::Batched`] — each sender first splits its outbox into
-//!   **per-destination batched buffers**, then every destination's inbox
-//!   is assembled independently (and concurrently, on the scheduler) by
-//!   concatenating the senders' buffers for that destination in
-//!   sender-id order. No global pass, no shared append point — the
-//!   shuffle parallelizes over destinations, which is how a real sharded
-//!   runtime moves data.
+//!   outboxes, appending each message to a freshly allocated inbox per
+//!   destination (the original engine; the reference plane).
+//! * [`RouterKind::Columnar`] — outboxes are *columnar* (one flat
+//!   message column plus a parallel destination column; see [`Outbox`]),
+//!   and delivery is a counting sort: count messages per destination,
+//!   prefix-sum the counts into per-machine `(offset, len)` ranges, then
+//!   scatter every message into a single flat inbox **arena** at its
+//!   destination's cursor. Senders are processed in id order and the
+//!   scatter is stable, so each destination's range reads back in
+//!   exactly `(sender id, send order)` — the same order the merge plane
+//!   produces. With enough traffic the count and scatter passes run
+//!   concurrently over senders (each sender owns a disjoint row of the
+//!   count matrix and a disjoint set of arena cursors); sparse rounds
+//!   take a sequential two-pass counting sort, which is already
+//!   `O(messages + machines)` with no nested buffers.
 //!
 //! Both planes deliver every inbox in exactly the same order — sender id
 //! ascending, send order within a sender — so routing is **bit-identical**
 //! across planes, schedules and thread counts. The equivalence is
 //! asserted here and end-to-end by the cluster's runtime tests.
+//!
+//! ## Buffer reuse: [`RouterScratch`]
+//!
+//! The columnar plane's buffers — outbox columns, the inbox arena, and
+//! the `usize` count/cursor/range scratch — are pooled in a
+//! [`RouterScratch`] owned by the cluster and threaded through every
+//! exchange. After the consume pass drains the arena, its capacity (and
+//! every outbox column's) goes back to the pool, so steady-state
+//! supersteps perform no message-buffer allocation at all: the per-type
+//! pool is keyed by `TypeId`, which is why exchanged messages are
+//! `'static`. Word accounting rides the same passes: an [`Outbox`]
+//! tracks its staged words incrementally (O(1) [`Outbox::len`]-style
+//! queries) and per-destination `in_words` are accumulated during the
+//! counting pass, not by a separate walk over delivered messages.
+//!
+//! [`RouterScratch`] reuse is an *in-process* optimisation: the
+//! `Backend::Dist` shuffle instead serializes outboxes to per-worker
+//! batches and must retain those encoded bytes for fault-tolerant
+//! replay (a respawned worker is re-sent the batches the dead one had
+//! ingested), so its deliveries are built nested from the decoded
+//! regions (`Delivery::from_nested`) and the pool only recycles the
+//! staging columns. Replay correctness never depends on pooled memory:
+//! the retained bytes, not the buffers, are the recovery source.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
 
 use crate::executor::RawSlots;
 use crate::shard::MachineId;
@@ -32,9 +64,9 @@ pub enum RouterKind {
     /// Sequential global merge over all outboxes (the reference plane).
     #[default]
     Merge,
-    /// Per-destination batched buffers, assembled concurrently per
-    /// destination.
-    Batched,
+    /// Columnar outboxes delivered by a (concurrent) counting sort into
+    /// a flat, pooled inbox arena.
+    Columnar,
 }
 
 impl RouterKind {
@@ -42,31 +74,52 @@ impl RouterKind {
     pub fn name(self) -> &'static str {
         match self {
             RouterKind::Merge => "merge",
-            RouterKind::Batched => "batched",
+            RouterKind::Columnar => "columnar",
         }
     }
 }
 
-/// Outgoing messages staged by one machine during a superstep.
+/// Outgoing messages staged by one machine during a superstep, stored
+/// columnar: a flat message column plus a parallel destination column.
+/// Staged word volume is tracked incrementally at [`Outbox::send`], so
+/// metering reads it in O(1) instead of re-walking the messages.
 #[derive(Debug)]
 pub struct Outbox<M> {
     machines: usize,
-    pub(crate) msgs: Vec<(MachineId, M)>,
+    pub(crate) msgs: Vec<M>,
+    pub(crate) dsts: Vec<MachineId>,
+    staged_words: usize,
 }
 
 impl<M> Outbox<M> {
-    /// An empty outbox addressing `machines` destinations.
+    /// An empty outbox addressing `machines` destinations (tests stage
+    /// outboxes directly; the cluster always supplies pooled buffers).
+    #[cfg(test)]
     pub(crate) fn new(machines: usize) -> Self {
+        Outbox::with_buffers(machines, Vec::new(), Vec::new())
+    }
+
+    /// An empty outbox reusing pooled column buffers (capacity kept from
+    /// an earlier superstep).
+    pub(crate) fn with_buffers(machines: usize, msgs: Vec<M>, dsts: Vec<MachineId>) -> Self {
+        debug_assert!(msgs.is_empty() && dsts.is_empty());
         Outbox {
             machines,
-            msgs: Vec::new(),
+            msgs,
+            dsts,
+            staged_words: 0,
         }
     }
 
     /// Stages `msg` for delivery to `dst` at the start of the next round.
-    pub fn send(&mut self, dst: MachineId, msg: M) {
+    pub fn send(&mut self, dst: MachineId, msg: M)
+    where
+        M: WordSized,
+    {
         assert!(dst < self.machines, "destination {dst} out of range");
-        self.msgs.push((dst, msg));
+        self.staged_words += msg.words();
+        self.msgs.push(msg);
+        self.dsts.push(dst);
     }
 
     /// Number of staged messages.
@@ -79,106 +132,521 @@ impl<M> Outbox<M> {
         self.msgs.is_empty()
     }
 
-    /// Total staged words (the sender's metered outgoing volume).
-    pub(crate) fn staged_words(&self) -> usize
-    where
-        M: WordSized,
-    {
-        self.msgs.iter().map(|(_, m)| m.words()).sum()
+    /// Total staged words (the sender's metered outgoing volume),
+    /// accumulated at [`Outbox::send`] time.
+    pub(crate) fn staged_words(&self) -> usize {
+        self.staged_words
+    }
+
+    /// Drains the staged `(destination, message)` pairs in send order,
+    /// leaving the column buffers empty with capacity intact.
+    pub(crate) fn drain_pairs(&mut self) -> impl Iterator<Item = (MachineId, M)> + '_ {
+        self.staged_words = 0;
+        self.dsts.drain(..).zip(self.msgs.drain(..))
+    }
+
+    /// Consumes the outbox, returning its (emptied) column buffers to be
+    /// pooled.
+    fn into_buffers(mut self) -> (Vec<M>, Vec<MachineId>) {
+        self.msgs.clear();
+        self.dsts.clear();
+        (self.msgs, self.dsts)
     }
 }
 
-/// Delivered messages: one inbox per destination plus the per-destination
-/// word volume the cluster budgets against machine memory.
+/// Delivered messages for one exchange round: every destination's inbox
+/// plus the per-destination word volume the cluster budgets against
+/// machine memory.
+///
+/// The representation depends on the plane that built it — the merge
+/// plane and the dist shuffle deliver one `Vec` per destination, the
+/// columnar plane one flat arena with per-destination `(offset, len)`
+/// ranges — but both read back identically through [`Inbox`] views.
 pub(crate) struct Delivery<M> {
-    /// Per-destination inboxes, ordered by (sender id, send order).
-    pub inboxes: Vec<Vec<M>>,
+    repr: Repr<M>,
+    in_words: Vec<usize>,
+}
+
+enum Repr<M> {
+    /// One owned buffer per destination (merge plane, dist shuffle).
+    Nested(Vec<Vec<M>>),
+    /// One flat arena; destination `d` owns `arena[ranges[d].0 ..][.. ranges[d].1]`.
+    Flat {
+        arena: Vec<M>,
+        ranges: Vec<(usize, usize)>,
+    },
+}
+
+impl<M> Delivery<M> {
+    /// Wraps per-destination buffers produced outside the router (the
+    /// dist shuffle's decoded regions).
+    pub(crate) fn from_nested(inboxes: Vec<Vec<M>>, in_words: Vec<usize>) -> Self {
+        debug_assert_eq!(inboxes.len(), in_words.len());
+        Delivery {
+            repr: Repr::Nested(inboxes),
+            in_words,
+        }
+    }
+
     /// Words received per destination.
-    pub in_words: Vec<usize>,
+    pub(crate) fn in_words(&self) -> &[usize] {
+        &self.in_words
+    }
+
+    /// Splits the delivery into one [`Inbox`] per destination plus the
+    /// buffers backing them.
+    ///
+    /// # Safety
+    ///
+    /// For a flat delivery the inboxes read straight out of the returned
+    /// [`DeliveryBuffers`]' arena; the caller must keep the buffers
+    /// alive until every inbox has been dropped (and only then recycle
+    /// them).
+    pub(crate) unsafe fn into_inboxes(self) -> (Vec<Inbox<M>>, DeliveryBuffers<M>) {
+        match self.repr {
+            Repr::Nested(inboxes) => {
+                let views = inboxes.into_iter().map(Inbox::owned).collect();
+                (
+                    views,
+                    DeliveryBuffers {
+                        arena: None,
+                        ranges: None,
+                        in_words: self.in_words,
+                    },
+                )
+            }
+            Repr::Flat { mut arena, ranges } => {
+                let base = arena.as_mut_ptr();
+                // Ownership of the elements moves to the inboxes (each
+                // element belongs to exactly one range); the arena keeps
+                // only the allocation, for recycling.
+                unsafe { arena.set_len(0) };
+                let views = ranges
+                    .iter()
+                    .map(|&(off, len)| unsafe { Inbox::raw(base.add(off), len) })
+                    .collect();
+                (
+                    views,
+                    DeliveryBuffers {
+                        arena: Some(arena),
+                        ranges: Some(ranges),
+                        in_words: self.in_words,
+                    },
+                )
+            }
+        }
+    }
+
+    /// Materializes every inbox as an owned `Vec` — test-only view for
+    /// comparing planes.
+    #[cfg(test)]
+    pub(crate) fn nested(&self) -> Vec<Vec<M>>
+    where
+        M: Clone,
+    {
+        match &self.repr {
+            Repr::Nested(inboxes) => inboxes.clone(),
+            Repr::Flat { arena, ranges } => ranges
+                .iter()
+                .map(|&(off, len)| arena[off..off + len].to_vec())
+                .collect(),
+        }
+    }
+}
+
+/// The buffers backing a round's [`Inbox`]es, held by the cluster for
+/// the duration of the consume pass and then recycled into the
+/// [`RouterScratch`] pool.
+pub(crate) struct DeliveryBuffers<M> {
+    arena: Option<Vec<M>>,
+    ranges: Option<Vec<(usize, usize)>>,
+    in_words: Vec<usize>,
+}
+
+impl<M> DeliveryBuffers<M> {
+    /// Returns the backing buffers (arena capacity, range and word
+    /// vectors) to the pool. Call after the consume pass has dropped
+    /// every [`Inbox`].
+    pub(crate) fn recycle(self, scratch: &mut RouterScratch)
+    where
+        M: Send + 'static,
+    {
+        if let Some(arena) = self.arena {
+            debug_assert!(arena.is_empty());
+            scratch.typed::<M>().arenas.push(arena);
+        }
+        if let Some(ranges) = self.ranges {
+            scratch.put_ranges(ranges);
+        }
+        scratch.put_usizes(self.in_words);
+    }
+}
+
+/// The messages delivered to one machine in one exchange round, in
+/// `(sender id, send order)` order. Iterate it (it is an exact-size
+/// iterator yielding owned messages) or take the whole batch with
+/// [`Inbox::into_vec`].
+pub struct Inbox<M> {
+    repr: InboxRepr<M>,
+}
+
+enum InboxRepr<M> {
+    /// Messages owned outright (merge plane, dist shuffle).
+    Owned(std::vec::IntoIter<M>),
+    /// A range of the columnar plane's arena; elements are owned by this
+    /// inbox (read out by value, leftovers dropped in place) while the
+    /// allocation stays with the cluster's [`DeliveryBuffers`].
+    Raw { next: *mut M, remaining: usize },
+}
+
+// SAFETY: an `Inbox` owns the elements it points at exclusively (the
+// arena ranges are disjoint and the arena's length was zeroed), so it
+// can move to another thread whenever the element type can.
+unsafe impl<M: Send> Send for Inbox<M> {}
+
+impl<M> Default for Inbox<M> {
+    fn default() -> Self {
+        Inbox::owned(Vec::new())
+    }
+}
+
+impl<M> Inbox<M> {
+    pub(crate) fn owned(msgs: Vec<M>) -> Self {
+        Inbox {
+            repr: InboxRepr::Owned(msgs.into_iter()),
+        }
+    }
+
+    /// # Safety
+    ///
+    /// `base .. base + len` must be initialized elements this inbox may
+    /// take ownership of, backed by an allocation that outlives it.
+    pub(crate) unsafe fn raw(base: *mut M, len: usize) -> Self {
+        Inbox {
+            repr: InboxRepr::Raw {
+                next: base,
+                remaining: len,
+            },
+        }
+    }
+
+    /// Messages not yet read.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            InboxRepr::Owned(iter) => iter.len(),
+            InboxRepr::Raw { remaining, .. } => *remaining,
+        }
+    }
+
+    /// True when every message has been read (or none arrived).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Moves the remaining messages into an owned `Vec`.
+    pub fn into_vec(self) -> Vec<M> {
+        self.collect()
+    }
+}
+
+impl<M> Iterator for Inbox<M> {
+    type Item = M;
+
+    fn next(&mut self) -> Option<M> {
+        match &mut self.repr {
+            InboxRepr::Owned(iter) => iter.next(),
+            InboxRepr::Raw { next, remaining } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                // SAFETY: `next` points at an initialized element this
+                // inbox owns; advancing consumes it exactly once.
+                let msg = unsafe { next.read() };
+                *next = unsafe { next.add(1) };
+                *remaining -= 1;
+                Some(msg)
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.len();
+        (n, Some(n))
+    }
+}
+
+impl<M> ExactSizeIterator for Inbox<M> {}
+
+impl<M> Drop for Inbox<M> {
+    fn drop(&mut self) {
+        if let InboxRepr::Raw { next, remaining } = &mut self.repr {
+            // SAFETY: the unread elements are still owned by this inbox;
+            // drop them in place (the allocation itself belongs to the
+            // cluster's DeliveryBuffers).
+            while *remaining > 0 {
+                unsafe {
+                    next.drop_in_place();
+                    *next = next.add(1);
+                }
+                *remaining -= 1;
+            }
+        }
+    }
+}
+
+/// Pooled buffers reused across exchange rounds (owned by the cluster,
+/// threaded through the crate-internal `route`): outbox columns and inbox arenas per
+/// message type, plus the type-independent `usize` count/cursor/range
+/// scratch. Steady-state supersteps on the columnar plane draw
+/// everything from here and return it after the consume pass, so they
+/// allocate no message buffers at all.
+#[derive(Default)]
+pub struct RouterScratch {
+    usizes: Vec<Vec<usize>>,
+    ranges: Vec<Vec<(usize, usize)>>,
+    typed: HashMap<TypeId, Box<dyn Any + Send>>,
+}
+
+struct TypedPool<M> {
+    arenas: Vec<Vec<M>>,
+    columns: Vec<(Vec<M>, Vec<MachineId>)>,
+}
+
+impl<M> Default for TypedPool<M> {
+    fn default() -> Self {
+        TypedPool {
+            arenas: Vec::new(),
+            columns: Vec::new(),
+        }
+    }
+}
+
+impl RouterScratch {
+    fn typed<M: Send + 'static>(&mut self) -> &mut TypedPool<M> {
+        self.typed
+            .entry(TypeId::of::<M>())
+            .or_insert_with(|| Box::new(TypedPool::<M>::default()))
+            .downcast_mut::<TypedPool<M>>()
+            .expect("pool entry matches its TypeId")
+    }
+
+    /// A zeroed `usize` buffer of length `n`.
+    pub(crate) fn take_usizes(&mut self, n: usize) -> Vec<usize> {
+        let mut v = self.usizes.pop().unwrap_or_default();
+        v.clear();
+        v.resize(n, 0);
+        v
+    }
+
+    pub(crate) fn put_usizes(&mut self, v: Vec<usize>) {
+        self.usizes.push(v);
+    }
+
+    fn take_ranges(&mut self, n: usize) -> Vec<(usize, usize)> {
+        let mut v = self.ranges.pop().unwrap_or_default();
+        v.clear();
+        v.resize(n, (0, 0));
+        v
+    }
+
+    fn put_ranges(&mut self, v: Vec<(usize, usize)>) {
+        self.ranges.push(v);
+    }
+
+    /// Pooled outbox column buffers (empty, capacity retained).
+    pub(crate) fn take_columns<M: Send + 'static>(&mut self) -> (Vec<M>, Vec<MachineId>) {
+        self.typed::<M>().columns.pop().unwrap_or_default()
+    }
+
+    fn put_columns<M: Send + 'static>(&mut self, columns: (Vec<M>, Vec<MachineId>)) {
+        self.typed::<M>().columns.push(columns);
+    }
+
+    fn take_arena<M: Send + 'static>(&mut self) -> Vec<M> {
+        let arena = self.typed::<M>().arenas.pop().unwrap_or_default();
+        debug_assert!(arena.is_empty());
+        arena
+    }
 }
 
 /// Routes all staged outboxes to their destinations under `kind`. The
 /// outboxes arrive in sender-id order (one per machine); the returned
-/// inboxes are identical for every plane.
-pub(crate) fn route<M: WordSized + Send>(
+/// inboxes are identical for every plane. Emptied outbox columns (and,
+/// for the columnar plane, count scratch) are recycled into `scratch`.
+pub(crate) fn route<M: WordSized + Send + 'static>(
     kind: RouterKind,
     sched: &Scheduler,
     machines: usize,
     outboxes: Vec<Outbox<M>>,
+    scratch: &mut RouterScratch,
 ) -> Delivery<M> {
     match kind {
-        RouterKind::Merge => route_merge(machines, outboxes),
-        RouterKind::Batched => route_batched(sched, machines, outboxes),
+        RouterKind::Merge => route_merge(machines, outboxes, scratch),
+        RouterKind::Columnar => route_columnar(sched, machines, outboxes, scratch),
     }
 }
 
-/// The reference plane: one sequential pass, stable by construction.
-fn route_merge<M: WordSized>(machines: usize, outboxes: Vec<Outbox<M>>) -> Delivery<M> {
+/// The reference plane: one sequential pass appending into freshly
+/// allocated per-destination buffers, stable by construction. Kept
+/// deliberately independent of the columnar machinery (no arena, no
+/// counting sort) so the equivalence tests compare two genuinely
+/// different implementations.
+fn route_merge<M: WordSized + Send + 'static>(
+    machines: usize,
+    outboxes: Vec<Outbox<M>>,
+    scratch: &mut RouterScratch,
+) -> Delivery<M> {
     let mut inboxes: Vec<Vec<M>> = (0..machines).map(|_| Vec::new()).collect();
     let mut in_words = vec![0usize; machines];
-    for outbox in outboxes {
-        for (dst, msg) in outbox.msgs {
+    for mut outbox in outboxes {
+        for (dst, msg) in outbox.drain_pairs() {
             in_words[dst] += msg.words();
             inboxes[dst].push(msg);
         }
+        scratch.put_columns(outbox.into_buffers());
     }
-    Delivery { inboxes, in_words }
+    Delivery::from_nested(inboxes, in_words)
 }
 
-/// The batched plane: split each outbox into per-destination buffers
-/// (concurrently over senders), then assemble each inbox (concurrently
-/// over destinations) by concatenating the senders' buffers for that
-/// destination in sender-id order — the same delivery order the merge
-/// plane produces, without its global sequential pass.
+/// The columnar plane: a counting sort into one flat arena.
 ///
-/// The buffer matrix costs `Θ(senders × machines)` cells per exchange,
-/// which only pays when there is enough traffic to amortize it: batching
-/// engages only when the average cell occupancy is at least 1/4 (matrix
-/// work `O(messages)`), and sparse rounds route through the
-/// `O(messages)` merge assembly instead. The cutoff is a pure function
-/// of the message counts and both paths deliver identically, so it
-/// cannot leak into observables.
-fn route_batched<M: WordSized + Send>(
+/// Counting and word accounting happen in a single pass over the
+/// destination columns; the stable scatter processes senders in id
+/// order, so destination `d`'s range reads back in `(sender id, send
+/// order)` — the merge plane's order. Dense rounds (cell occupancy of
+/// the sender × machine count matrix at least 1/4) run both passes
+/// concurrently over senders; sparse rounds and single-threaded
+/// schedulers use the sequential two-pass sort, which allocates nothing
+/// beyond the pooled scratch either.
+fn route_columnar<M: WordSized + Send + 'static>(
     sched: &Scheduler,
     machines: usize,
-    outboxes: Vec<Outbox<M>>,
+    mut outboxes: Vec<Outbox<M>>,
+    scratch: &mut RouterScratch,
 ) -> Delivery<M> {
     let senders = outboxes.len();
     let total: usize = outboxes.iter().map(Outbox::len).sum();
-    if total.saturating_mul(4) < senders.saturating_mul(machines) {
-        return route_merge(machines, outboxes);
+    let mut arena: Vec<M> = scratch.take_arena();
+    arena.reserve(total);
+    let mut in_words = scratch.take_usizes(machines);
+    let mut ranges = scratch.take_ranges(machines);
+
+    let parallel =
+        sched.threads() > 1 && total.saturating_mul(4) >= senders.saturating_mul(machines);
+    if parallel {
+        // Concurrent counting sort. Stage 1: sender `s` fills row `s` of
+        // the count and word matrices (disjoint rows, so the pass
+        // parallelizes over senders with no synchronization).
+        let mut counts = scratch.take_usizes(senders * machines);
+        let mut words = scratch.take_usizes(senders * machines);
+        let count_rows = RawSlots::new(counts.as_mut_ptr());
+        let word_rows = RawSlots::new(words.as_mut_ptr());
+        sched.map_mut(&mut outboxes, |s, outbox| {
+            // SAFETY: sender `s` writes only its own `machines`-wide row;
+            // rows are disjoint and the matrices outlive the pass.
+            let (crow, wrow) = unsafe {
+                (
+                    std::slice::from_raw_parts_mut(count_rows.slot(s * machines), machines),
+                    std::slice::from_raw_parts_mut(word_rows.slot(s * machines), machines),
+                )
+            };
+            for (&dst, msg) in outbox.dsts.iter().zip(&outbox.msgs) {
+                crow[dst] += 1;
+                wrow[dst] += msg.words();
+            }
+        });
+        // Column-major prefix sum: destination ranges in machine order,
+        // sender order within a destination. `counts[s][d]` becomes the
+        // arena cursor where sender `s`'s block for `d` starts.
+        let mut offset = 0usize;
+        for (d, range) in ranges.iter_mut().enumerate() {
+            let start = offset;
+            let mut dwords = 0usize;
+            for s in 0..senders {
+                let cell = s * machines + d;
+                let c = counts[cell];
+                counts[cell] = offset;
+                offset += c;
+                dwords += words[cell];
+            }
+            *range = (start, offset - start);
+            in_words[d] = dwords;
+        }
+        debug_assert_eq!(offset, total);
+        // Stage 2: stable scatter, concurrent over senders. Each sender
+        // moves its messages to its own cursor block per destination;
+        // blocks are disjoint by construction of the prefix sums.
+        let cursor_rows = RawSlots::new(counts.as_mut_ptr());
+        let arena_base = RawSlots::new(arena.as_mut_ptr());
+        sched.map_mut(&mut outboxes, |s, outbox| {
+            let n = outbox.msgs.len();
+            let msgs = outbox.msgs.as_mut_ptr();
+            // SAFETY: the messages are moved out exactly once each (the
+            // column's length is zeroed first, so nothing double-drops),
+            // into arena slots this sender's cursors own exclusively.
+            unsafe {
+                outbox.msgs.set_len(0);
+                let cursors =
+                    std::slice::from_raw_parts_mut(cursor_rows.slot(s * machines), machines);
+                for i in 0..n {
+                    let dst = *outbox.dsts.get_unchecked(i);
+                    arena_base.slot(cursors[dst]).write(msgs.add(i).read());
+                    cursors[dst] += 1;
+                }
+            }
+            outbox.dsts.clear();
+            outbox.staged_words = 0;
+        });
+        // SAFETY: every slot in 0..total was written exactly once above.
+        unsafe { arena.set_len(total) };
+        scratch.put_usizes(counts);
+        scratch.put_usizes(words);
+    } else {
+        // Sequential counting sort: count + account words in one pass,
+        // prefix, then a stable scatter in sender order.
+        let mut cursors = scratch.take_usizes(machines);
+        for outbox in &outboxes {
+            for (&dst, msg) in outbox.dsts.iter().zip(&outbox.msgs) {
+                cursors[dst] += 1;
+                in_words[dst] += msg.words();
+            }
+        }
+        let mut offset = 0usize;
+        for (d, range) in ranges.iter_mut().enumerate() {
+            let count = cursors[d];
+            *range = (offset, count);
+            cursors[d] = offset;
+            offset += count;
+        }
+        debug_assert_eq!(offset, total);
+        let arena_base = arena.as_mut_ptr();
+        for outbox in &mut outboxes {
+            let n = outbox.msgs.len();
+            let msgs = outbox.msgs.as_mut_ptr();
+            // SAFETY: as in the parallel scatter — each message moves
+            // exactly once into a slot owned by its (sender, dst) block.
+            unsafe {
+                outbox.msgs.set_len(0);
+                for i in 0..n {
+                    let dst = *outbox.dsts.get_unchecked(i);
+                    arena_base.add(cursors[dst]).write(msgs.add(i).read());
+                    cursors[dst] += 1;
+                }
+            }
+            outbox.dsts.clear();
+            outbox.staged_words = 0;
+        }
+        // SAFETY: every slot in 0..total was written exactly once above.
+        unsafe { arena.set_len(total) };
+        scratch.put_usizes(cursors);
     }
-    // Stage 1: per-sender destination buffers. Row `s` holds sender `s`'s
-    // messages bucketed by destination, each bucket in send order.
-    let mut outboxes = outboxes;
-    let rows: Vec<Vec<Vec<M>>> = sched.map_mut(&mut outboxes, |_, outbox| {
-        let mut row: Vec<Vec<M>> = (0..machines).map(|_| Vec::new()).collect();
-        for (dst, msg) in outbox.msgs.drain(..) {
-            row[dst].push(msg);
-        }
-        row
-    });
-    // Flatten to a senders × machines buffer matrix; destination `d` owns
-    // exactly the cells `s * machines + d`.
-    let mut matrix: Vec<Vec<M>> = rows.into_iter().flatten().collect();
-    debug_assert_eq!(matrix.len(), senders * machines);
-    let cells = RawSlots::new(matrix.as_mut_ptr());
-    let assembled: Vec<(Vec<M>, usize)> = sched.map_count(machines, |d| {
-        let mut inbox = Vec::new();
-        let mut words = 0usize;
-        for s in 0..senders {
-            // SAFETY: destination tasks touch disjoint matrix cells —
-            // distinct `d` values index distinct residues mod `machines`
-            // — and each cell is drained exactly once.
-            let bucket = unsafe { &mut *cells.slot(s * machines + d) };
-            words += bucket.iter().map(WordSized::words).sum::<usize>();
-            inbox.append(bucket);
-        }
-        (inbox, words)
-    });
-    drop(matrix); // only empty buffers remain
-    let (inboxes, in_words) = assembled.into_iter().unzip();
-    Delivery { inboxes, in_words }
+    for outbox in outboxes {
+        scratch.put_columns(outbox.into_buffers());
+    }
+    Delivery {
+        repr: Repr::Flat { arena, ranges },
+        in_words,
+    }
 }
 
 #[cfg(test)]
@@ -219,37 +687,77 @@ mod tests {
                     .collect()
             };
             let s1 = sched(1, SchedulePolicy::Dynamic);
-            let reference = route(RouterKind::Merge, &s1, machines, outboxes());
+            let mut scratch = RouterScratch::default();
+            let reference = route(RouterKind::Merge, &s1, machines, outboxes(), &mut scratch);
             for threads in [1usize, 2, 4] {
                 for policy in [SchedulePolicy::Dynamic, SchedulePolicy::Static] {
                     let s = sched(threads, policy);
-                    let got = route(RouterKind::Batched, &s, machines, outboxes());
-                    assert_eq!(got.inboxes, reference.inboxes, "threads {threads}");
-                    assert_eq!(got.in_words, reference.in_words, "threads {threads}");
+                    let got = route(RouterKind::Columnar, &s, machines, outboxes(), &mut scratch);
+                    assert_eq!(got.nested(), reference.nested(), "threads {threads}");
+                    assert_eq!(got.in_words(), reference.in_words(), "threads {threads}");
                 }
             }
+        }
+    }
+
+    /// Buffer pooling across rounds must not perturb delivery: run many
+    /// supersteps of varying volume through one scratch and compare each
+    /// against a fresh merge reference.
+    #[test]
+    fn pooled_scratch_is_invisible_across_rounds() {
+        let machines = 6;
+        let s4 = sched(4, SchedulePolicy::Static);
+        let s1 = sched(1, SchedulePolicy::Dynamic);
+        let mut scratch = RouterScratch::default();
+        for round in 0..12u64 {
+            let volume = [0usize, 3, 77, 5, 200][round as usize % 5];
+            let outboxes = || -> Vec<Outbox<u64>> {
+                (0..machines)
+                    .map(|s| {
+                        let mut rng = DetRng::derive(round, &[s as u64]);
+                        let mut out = Outbox::new(machines);
+                        for _ in 0..volume {
+                            out.send(rng.range(machines as u64) as usize, rng.next_u64());
+                        }
+                        out
+                    })
+                    .collect()
+            };
+            let mut fresh = RouterScratch::default();
+            let want = route(RouterKind::Merge, &s1, machines, outboxes(), &mut fresh);
+            let got = route(
+                RouterKind::Columnar,
+                &s4,
+                machines,
+                outboxes(),
+                &mut scratch,
+            );
+            assert_eq!(got.nested(), want.nested(), "round {round}");
+            assert_eq!(got.in_words(), want.in_words(), "round {round}");
         }
     }
 
     #[test]
     fn delivery_is_sender_then_send_order() {
         let s = sched(4, SchedulePolicy::Static);
+        let mut scratch = RouterScratch::default();
         let mut outboxes: Vec<Outbox<u64>> = (0..3).map(|_| Outbox::new(3)).collect();
         outboxes[2].send(0, 20);
         outboxes[2].send(0, 21);
         outboxes[0].send(0, 1);
         outboxes[1].send(2, 12);
-        let d = route(RouterKind::Batched, &s, 3, outboxes);
-        assert_eq!(d.inboxes[0], vec![1, 20, 21]);
-        assert!(d.inboxes[1].is_empty());
-        assert_eq!(d.inboxes[2], vec![12]);
-        assert_eq!(d.in_words, vec![3, 0, 1]);
+        let d = route(RouterKind::Columnar, &s, 3, outboxes, &mut scratch);
+        let inboxes = d.nested();
+        assert_eq!(inboxes[0], vec![1, 20, 21]);
+        assert!(inboxes[1].is_empty());
+        assert_eq!(inboxes[2], vec![12]);
+        assert_eq!(d.in_words(), &[3, 0, 1]);
     }
 
     #[test]
-    fn sparse_rounds_take_the_direct_path_and_still_agree() {
-        // Below the batching cutoff (cell occupancy under 1/4) the
-        // batched plane delegates to the merge assembly; delivery and
+    fn sparse_rounds_take_the_sequential_path_and_still_agree() {
+        // Below the density cutoff (cell occupancy under 1/4) the
+        // columnar plane uses the sequential counting sort; delivery and
         // word counts must be indistinguishable.
         let s = sched(4, SchedulePolicy::Static);
         for volume in [0usize, 1, 5] {
@@ -260,11 +768,73 @@ mod tests {
                 }
                 obs
             };
-            let merge = route(RouterKind::Merge, &s, 8, outboxes());
-            let batched = route(RouterKind::Batched, &s, 8, outboxes());
-            assert_eq!(batched.inboxes, merge.inboxes, "volume {volume}");
-            assert_eq!(batched.in_words, merge.in_words, "volume {volume}");
+            let mut scratch = RouterScratch::default();
+            let merge = route(RouterKind::Merge, &s, 8, outboxes(), &mut scratch);
+            let columnar = route(RouterKind::Columnar, &s, 8, outboxes(), &mut scratch);
+            assert_eq!(columnar.nested(), merge.nested(), "volume {volume}");
+            assert_eq!(columnar.in_words(), merge.in_words(), "volume {volume}");
         }
+    }
+
+    /// Satellite regression: `in_words`, now folded into the delivery
+    /// pass, must match the old definition — a separate walk summing
+    /// `words()` over each delivered inbox — on a mixed-size workload.
+    #[test]
+    fn in_words_matches_recomputation_on_mixed_workload() {
+        let machines = 5;
+        let outboxes = || -> Vec<Outbox<Vec<u64>>> {
+            (0..machines)
+                .map(|s| {
+                    let mut rng = DetRng::derive(99, &[s as u64]);
+                    let mut out = Outbox::new(machines);
+                    for _ in 0..60 {
+                        let len = rng.range(7) as usize; // includes empty payloads
+                        let payload: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+                        out.send(rng.range(machines as u64) as usize, payload);
+                    }
+                    out
+                })
+                .collect()
+        };
+        let mut scratch = RouterScratch::default();
+        for (kind, threads) in [(RouterKind::Merge, 1), (RouterKind::Columnar, 4)] {
+            let s = sched(threads, SchedulePolicy::Dynamic);
+            let d = route(kind, &s, machines, outboxes(), &mut scratch);
+            let recomputed: Vec<usize> = d
+                .nested()
+                .iter()
+                .map(|inbox| inbox.iter().map(WordSized::words).sum())
+                .collect();
+            assert_eq!(d.in_words(), &recomputed[..], "{:?}", kind);
+        }
+    }
+
+    /// Inbox views hand out messages by value in delivery order; unread
+    /// messages are dropped cleanly (exercised via the drop-counting
+    /// payload under Miri-style scrutiny in CI's normal test run).
+    #[test]
+    fn inbox_views_read_back_the_arena() {
+        let s = sched(2, SchedulePolicy::Dynamic);
+        let mut scratch = RouterScratch::default();
+        let mut outboxes: Vec<Outbox<String>> = (0..3).map(|_| Outbox::new(3)).collect();
+        outboxes[0].send(1, "a".into());
+        outboxes[1].send(1, "b".into());
+        outboxes[2].send(0, "c".into());
+        outboxes[2].send(1, "d".into());
+        let d = route(RouterKind::Columnar, &s, 3, outboxes, &mut scratch);
+        // SAFETY: buffers outlive the inboxes below.
+        let (mut views, buffers) = unsafe { d.into_inboxes() };
+        assert_eq!(views.iter().map(Inbox::len).collect::<Vec<_>>(), [1, 3, 0]);
+        let middle = views.remove(1);
+        assert_eq!(middle.into_vec(), ["a", "b", "d"]);
+        let mut first = views.remove(0);
+        assert_eq!(first.next(), Some("c".into()));
+        assert!(first.is_empty());
+        drop(first);
+        drop(views); // the empty inbox, never read
+        buffers.recycle(&mut scratch);
+        // The arena capacity survived for the next round.
+        assert!(scratch.take_arena::<String>().capacity() >= 4);
     }
 
     #[test]
@@ -280,6 +850,8 @@ mod tests {
         out.send(3, vec![1u64, 2, 3]);
         assert_eq!(out.len(), 1);
         assert_eq!(out.staged_words(), 4); // 1 length word + 3 payload
-        assert_eq!(RouterKind::Batched.name(), "batched");
+        out.send(0, vec![9u64]);
+        assert_eq!(out.staged_words(), 6); // incremental, still exact
+        assert_eq!(RouterKind::Columnar.name(), "columnar");
     }
 }

@@ -52,8 +52,10 @@ pub enum RuntimeKind {
     /// pre-shard engine, kept as the reference path).
     #[default]
     Classic,
-    /// Static shard→thread assignment + per-destination batched routing
-    /// ([`RouterKind::Batched`]) — the engine behind `Backend::Shard`.
+    /// Static shard→thread assignment + columnar counting-sort routing
+    /// ([`RouterKind::Columnar`]) with pooled
+    /// [`RouterScratch`](crate::router::RouterScratch) buffers — the
+    /// engine behind `Backend::Shard`.
     Shard,
     /// The distributed master/worker engine ([`crate::dist`]): static
     /// shard→worker blocks, exchanges shuffled through a real transport
@@ -76,7 +78,7 @@ impl RuntimeKind {
     pub fn router(self) -> RouterKind {
         match self {
             RuntimeKind::Classic => RouterKind::Merge,
-            RuntimeKind::Shard | RuntimeKind::Dist => RouterKind::Batched,
+            RuntimeKind::Shard | RuntimeKind::Dist => RouterKind::Columnar,
         }
     }
 
@@ -354,10 +356,10 @@ mod tests {
         assert_eq!(RuntimeKind::Classic.schedule(), SchedulePolicy::Dynamic);
         assert_eq!(RuntimeKind::Classic.router(), RouterKind::Merge);
         assert_eq!(RuntimeKind::Shard.schedule(), SchedulePolicy::Static);
-        assert_eq!(RuntimeKind::Shard.router(), RouterKind::Batched);
+        assert_eq!(RuntimeKind::Shard.router(), RouterKind::Columnar);
         assert_eq!(RuntimeKind::Shard.name(), "shard");
         assert_eq!(RuntimeKind::Dist.schedule(), SchedulePolicy::Static);
-        assert_eq!(RuntimeKind::Dist.router(), RouterKind::Batched);
+        assert_eq!(RuntimeKind::Dist.router(), RouterKind::Columnar);
         assert_eq!(RuntimeKind::Dist.name(), "dist");
     }
 

@@ -1,0 +1,139 @@
+//! Property-based tests of [`mrlr_mapreduce::bitset::Bitset`] against a
+//! `HashSet` model, plus deterministic edge cases at word boundaries.
+//!
+//! The bitset backs the hot membership checks in the driver distribution
+//! step (removed-vertex sets in MIS, chosen-vertex deltas in vertex cover,
+//! pushed-edge sets in b-matching), so its `set`/`clear` return values and
+//! iteration order are load-bearing for bit-identical outputs.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use mrlr_mapreduce::bitset::Bitset;
+
+proptest! {
+    /// set/clear/get round-trip against a HashSet model, including the
+    /// was-clear/was-set return values both drivers rely on.
+    #[test]
+    fn ops_match_hashset_model(
+        len in 1usize..300,
+        ops_seed in proptest::collection::vec((0usize..300, 0u8..3), 0..200),
+    ) {
+        let mut bs = Bitset::new(len);
+        let mut model: HashSet<usize> = HashSet::new();
+        for (raw, kind) in ops_seed {
+            let i = raw % len;
+            match kind {
+                0 => prop_assert_eq!(bs.set(i), model.insert(i)),
+                1 => prop_assert_eq!(bs.clear(i), model.remove(&i)),
+                _ => prop_assert_eq!(bs.get(i), model.contains(&i)),
+            }
+        }
+        prop_assert_eq!(bs.count(), model.len());
+        let ones: Vec<usize> = bs.iter_ones().collect();
+        let mut expect: Vec<usize> = model.into_iter().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(ones, expect);
+    }
+
+    /// iter_ones is ascending, in range, and a fixed point: rebuilding a
+    /// bitset from its own iteration reproduces it exactly.
+    #[test]
+    fn iter_ones_round_trips(
+        len in 0usize..300,
+        picks in proptest::collection::vec(0usize..300, 0..100),
+    ) {
+        let mut bs = Bitset::new(len);
+        for p in picks {
+            if len > 0 {
+                bs.set(p % len);
+            }
+        }
+        let ones: Vec<usize> = bs.iter_ones().collect();
+        prop_assert!(ones.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(ones.iter().all(|&i| i < len.max(1)));
+        let mut rebuilt = Bitset::new(len);
+        for &i in &ones {
+            prop_assert!(rebuilt.set(i));
+        }
+        prop_assert_eq!(rebuilt, bs);
+    }
+
+    /// union/intersect agree with the HashSet model operations.
+    #[test]
+    fn union_intersect_match_model(
+        len in 1usize..200,
+        xs in proptest::collection::vec(0usize..200, 0..80),
+        ys in proptest::collection::vec(0usize..200, 0..80),
+    ) {
+        let mut a = Bitset::new(len);
+        let mut b = Bitset::new(len);
+        let ma: HashSet<usize> = xs.iter().map(|&x| x % len).collect();
+        let mb: HashSet<usize> = ys.iter().map(|&y| y % len).collect();
+        for &i in &ma { a.set(i); }
+        for &i in &mb { b.set(i); }
+        let mut u = a.clone();
+        u.union_with(&b);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        let mut eu: Vec<usize> = ma.union(&mb).copied().collect();
+        let mut ei: Vec<usize> = ma.intersection(&mb).copied().collect();
+        eu.sort_unstable();
+        ei.sort_unstable();
+        prop_assert_eq!(u.iter_ones().collect::<Vec<_>>(), eu);
+        prop_assert_eq!(i.iter_ones().collect::<Vec<_>>(), ei);
+    }
+
+    /// `full(len)` sets exactly the ids below `len`, never the padding bits
+    /// of the last word — for any length, including word-boundary ones.
+    #[test]
+    fn full_is_exactly_the_range(len in 0usize..300) {
+        let f = Bitset::full(len);
+        prop_assert_eq!(f.len(), len);
+        prop_assert_eq!(f.count(), len);
+        prop_assert_eq!(f.iter_ones().collect::<Vec<_>>(), (0..len).collect::<Vec<_>>());
+        // Clearing every bit empties it, proving no stray padding bits.
+        let mut g = f.clone();
+        for i in 0..len {
+            prop_assert!(g.clear(i));
+        }
+        prop_assert_eq!(g.count(), 0);
+    }
+}
+
+/// `is_empty` reflects a zero-length range, not a zero count — and the
+/// word-boundary lengths (0, exactly one word, non-multiple of 64) all
+/// behave consistently.
+#[test]
+fn empty_and_boundary_lengths() {
+    let zero = Bitset::new(0);
+    assert!(zero.is_empty());
+    assert_eq!(zero.len(), 0);
+    assert_eq!(zero.count(), 0);
+    assert_eq!(zero.iter_ones().count(), 0);
+    assert!(Bitset::full(0).is_empty());
+
+    // len == 64: exactly one word, no second word allocated.
+    let mut one_word = Bitset::new(64);
+    assert!(!one_word.is_empty());
+    assert!(one_word.set(63));
+    assert!(one_word.get(63));
+    assert_eq!(one_word.count(), 1);
+    assert_eq!(Bitset::full(64).count(), 64);
+
+    // len % 64 != 0: last word is partial.
+    let mut partial = Bitset::new(65);
+    assert!(partial.set(64));
+    assert_eq!(partial.iter_ones().collect::<Vec<_>>(), vec![64]);
+    let f = Bitset::full(65);
+    assert_eq!(f.count(), 65);
+    assert!(f.get(64));
+
+    // A cleared-out bitset is not `is_empty` — the range is still there.
+    let mut b = Bitset::new(3);
+    b.set(1);
+    assert!(b.clear(1));
+    assert_eq!(b.count(), 0);
+    assert!(!b.is_empty());
+}

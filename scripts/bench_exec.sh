@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# One-command regeneration of the committed BENCH_exec.json perf
+# trajectory. Runs the executor/routing benchmark (crates/bench
+# bench_exec) in release mode and rewrites the `after` rows in place —
+# rows from the other phase are preserved, so the before/after pairs in
+# the committed file stay comparable across regenerations. The bench
+# itself asserts Merge-vs-columnar bit-identity (checksums + Metrics)
+# before emitting any row; a divergence panics instead of writing.
+#
+#   ./scripts/bench_exec.sh             # full run, rewrites BENCH_exec.json
+#   ./scripts/bench_exec.sh --quick     # small sizes, for a fast sanity pass
+#   ./scripts/bench_exec.sh --phase before   # re-measure the baseline rows
+#
+# Validate the committed artifact without touching it:
+#   cargo run --release -p mrlr-bench --bin bench_exec -- --check
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+cargo build -q --release -p mrlr-bench --bin bench_exec
+cargo run -q --release -p mrlr-bench --bin bench_exec -- "$@" BENCH_exec.json
+cargo run -q --release -p mrlr-bench --bin bench_exec -- --check BENCH_exec.json
+echo "BENCH_exec.json regenerated and checked"
