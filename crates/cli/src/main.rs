@@ -29,7 +29,7 @@
 use std::process::ExitCode;
 
 use mrlr_bench::workloads::{self, GenParams};
-use mrlr_core::api::{witness, Backend, Instance, Registry, Report, Solution};
+use mrlr_core::api::{witness, Backend, Instance, Registry};
 use mrlr_core::io::{self, CertificateMode, Json, TimingMode};
 use mrlr_core::mr::MrConfig;
 use mrlr_mapreduce::{SpawnKind, Timeline, WorkerKill};
@@ -50,6 +50,18 @@ USAGE:
     mrlr verify <batch.json> [--instances-dir DIR] [--quiet]
     mrlr batch <manifest> [--backend seq|rlr|mr|shard|dist] [--format json|csv]
                [--certificates full|summary] [--mask-timings] [--out PATH]
+    mrlr serve --socket PATH [--max-inflight N] [--queue N]
+               [--timeout-millis T] [--hold-millis H]
+    mrlr client solve <algorithm> --socket PATH --input PATH
+               [--backend seq|rlr|mr|shard|dist] [--mu MU] [--seed S]
+               [--threads N] [--machines M] [--workers N]
+               [--format text|json|csv] [--certificates full|summary]
+               [--mask-timings] [--timeout-millis T] [--out PATH]
+    mrlr client batch <manifest> --socket PATH [--backend seq|rlr|mr|shard|dist]
+               [--format json|csv] [--certificates full|summary]
+               [--mask-timings] [--timeout-millis T] [--out PATH]
+    mrlr client verify <instance> <report.json> --socket PATH [--quiet]
+    mrlr client ping|stats|shutdown --socket PATH
 
 Run `mrlr list` for the algorithm keys and generator families (with the
 backends each key supports). The cluster shape is auto-derived from the
@@ -74,6 +86,17 @@ the document's directory — or --instances-dir when the document was
 written away from its manifest), skips slots that recorded an error
 (they claim nothing, matching `batch`'s exit-code semantics), and exits
 1 if any audited slot fails.
+
+`mrlr serve` runs the solver as a persistent daemon on a Unix socket:
+thread pools and distribution snapshots stay warm across requests, at
+most --max-inflight requests solve concurrently (--queue more may wait,
+further arrivals are rejected with a `busy` error, exit 1), every wait
+is bounded by --timeout-millis, and identical concurrent solves are
+coalesced onto one solver run. `mrlr client` is the matching front end:
+`client solve`/`client batch` read local files, solve on the daemon, and
+print documents byte-identical to the offline commands; `client verify`
+audits a stored report on the daemon; `ping`/`stats`/`shutdown` manage
+it. Progress and serve statistics arrive as `note:` lines on stderr.
 ";
 
 fn main() -> ExitCode {
@@ -97,6 +120,8 @@ fn main() -> ExitCode {
         "solve" => cmd_solve(rest),
         "verify" => cmd_verify(rest),
         "batch" => cmd_batch(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -707,7 +732,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     // One solve_batch per instance: job cluster shapes are auto-derived
     // from each instance, and the batch scope still amortizes executor
     // warm-up and distribution across the jobs that share a shape.
-    let results: Vec<Vec<Result<Report<Solution>, String>>> = instances
+    let results: io::BatchResults = instances
         .iter()
         .map(|instance| {
             let jobs: Vec<(&str, MrConfig)> = manifest
@@ -724,73 +749,301 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         })
         .collect();
 
+    // The renderers are shared with `mrlr serve`, which is what keeps
+    // served batch documents byte-identical to these offline ones.
     let content = match format.as_str() {
-        "json" => {
-            let jobs_json = manifest
-                .jobs
-                .iter()
-                .map(|j| {
-                    Json::Obj(vec![
-                        ("algorithm", Json::str(&*j.algorithm)),
-                        ("mu", Json::F64(j.mu)),
-                        ("seed", Json::U64(j.seed)),
-                        (
-                            "threads",
-                            j.threads.map_or(Json::Null, |t| Json::U64(t as u64)),
-                        ),
-                    ])
-                })
-                .collect();
-            let results_json = results
-                .iter()
-                .map(|per_instance| {
-                    Json::Arr(
-                        per_instance
-                            .iter()
-                            .map(|slot| match slot {
-                                Ok(report) => io::report_json_with(report, timing, certificates),
-                                Err(e) => Json::Obj(vec![("error", Json::str(&**e))]),
-                            })
-                            .collect(),
-                    )
-                })
-                .collect();
-            Json::Obj(vec![
-                (
-                    "instances",
-                    Json::Arr(manifest.instances.iter().map(Json::str).collect()),
-                ),
-                ("jobs", Json::Arr(jobs_json)),
-                ("results", Json::Arr(results_json)),
-            ])
-            .render()
-        }
-        "csv" => {
-            let mut csv = format!("instance,{},error\n", io::REPORT_CSV_HEADER);
-            for (path, per_instance) in manifest.instances.iter().zip(&results) {
-                for (job, slot) in manifest.jobs.iter().zip(per_instance) {
-                    match slot {
-                        Ok(report) => {
-                            csv.push_str(&format!(
-                                "{path},{},\n",
-                                io::report_csv_row(report, timing)
-                            ));
-                        }
-                        Err(e) => {
-                            let empty = io::REPORT_CSV_HEADER.split(',').count() - 1;
-                            csv.push_str(&format!(
-                                "{path},{}{},{}\n",
-                                job.algorithm,
-                                ",".repeat(empty),
-                                e.replace([',', '\n'], ";")
-                            ));
-                        }
-                    }
-                }
-            }
-            csv
-        }
+        "json" => io::batch_json(
+            &manifest.instances,
+            &manifest.jobs,
+            &results,
+            timing,
+            certificates,
+        )
+        .render(),
+        "csv" => io::batch_csv(&manifest.instances, &manifest.jobs, &results, timing),
         other => return Err(CliError::usage(format!("unknown format `{other}`"))),
     };
     write_output(out, &content)
+}
+
+// --------------------------------------------------------------- serve --
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let mut flags = Flags::parse(args, &[])?;
+    let socket = flags
+        .take("socket")
+        .ok_or_else(|| CliError::usage("serve needs --socket <path>"))?;
+    let mut cfg = mrlr_serve::ServeConfig::new(socket);
+    if let Some(n) = flags.take_parsed("max-inflight")? {
+        if n == 0 {
+            return Err(CliError::usage("--max-inflight must be at least 1"));
+        }
+        cfg.max_inflight = n;
+    }
+    if let Some(n) = flags.take_parsed("queue")? {
+        cfg.queue = n;
+    }
+    if let Some(t) = flags.take_parsed::<u64>("timeout-millis")? {
+        cfg.timeout = std::time::Duration::from_millis(t);
+    }
+    if let Some(h) = flags.take_parsed::<u64>("hold-millis")? {
+        cfg.hold = std::time::Duration::from_millis(h);
+    }
+    // The daemon is this binary, so dist solves get real worker
+    // processes via the same re-entry hook `mrlr solve --backend dist`
+    // uses (workers are spawned and reaped per solve).
+    cfg.dist_spawn = SpawnKind::Process;
+    if !flags.finish()?.is_empty() {
+        return Err(CliError::usage("serve takes no positional arguments"));
+    }
+    mrlr_serve::serve(cfg)
+        .map(|_| ())
+        .map_err(|e| CliError::runtime(e.to_string()))
+}
+
+// -------------------------------------------------------------- client --
+
+/// `--format`/`--mask-timings`/`--certificates` for the remote
+/// commands, translated into the wire-level rendering options the
+/// daemon applies server-side.
+fn render_opts(
+    flags: &mut Flags,
+    default_format: &str,
+) -> Result<mrlr_serve::RenderOpts, CliError> {
+    let mask = flags.take("mask-timings").is_some();
+    let certificates = certificate_mode(&mut *flags)?;
+    let format = match flags
+        .take("format")
+        .unwrap_or_else(|| default_format.into())
+        .as_str()
+    {
+        "text" => mrlr_serve::ReportFormat::Text,
+        "json" => mrlr_serve::ReportFormat::Json,
+        "csv" => mrlr_serve::ReportFormat::Csv,
+        other => return Err(CliError::usage(format!("unknown format `{other}`"))),
+    };
+    Ok(mrlr_serve::RenderOpts {
+        format,
+        mask_timings: mask,
+        certificates_full: certificates == CertificateMode::Full,
+    })
+}
+
+fn connect(flags: &mut Flags) -> Result<mrlr_serve::Client, CliError> {
+    let socket = flags
+        .take("socket")
+        .ok_or_else(|| CliError::usage("client needs --socket <path>"))?;
+    mrlr_serve::Client::connect(&socket)
+        .map_err(|e| CliError::runtime(format!("cannot connect to {socket}: {e}")))
+}
+
+/// Runs a remote solve/batch conversation to its document, narrating
+/// `note:` frames on stderr exactly like the offline commands narrate
+/// their Timeline annotations.
+fn run_served(
+    client: &mut mrlr_serve::Client,
+    request: &mrlr_serve::Request,
+    out: Option<String>,
+) -> Result<(), CliError> {
+    let served = client
+        .solve(request, &mut |line| eprintln!("note: {line}"))
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    if served.coalesced {
+        eprintln!("note: coalesced onto a concurrent identical request");
+    }
+    write_output(out, &served.content)
+}
+
+fn client_solve(args: &[String]) -> Result<(), CliError> {
+    let mut flags = Flags::parse(args, &["mask-timings"])?;
+    let render = render_opts(&mut flags, "text")?;
+    let mut client = connect(&mut flags)?;
+    let input = flags
+        .take("input")
+        .ok_or_else(|| CliError::usage("client solve needs --input <path>"))?;
+    let backend = parse_backend(&mut flags)?;
+    let mu = flags.take_parsed("mu")?.unwrap_or(io::manifest::DEFAULT_MU);
+    if !(mu.is_finite() && mu > 0.0) {
+        return Err(CliError::usage(format!(
+            "--mu must be positive and finite (got {mu})"
+        )));
+    }
+    let seed = flags
+        .take_parsed("seed")?
+        .unwrap_or(io::manifest::DEFAULT_SEED);
+    let threads = flags.take_parsed::<u64>("threads")?;
+    let machines = flags.take_parsed::<u64>("machines")?;
+    let workers = flags.take_parsed::<u64>("workers")?;
+    let timeout_millis = flags.take_parsed::<u64>("timeout-millis")?.unwrap_or(0);
+    let out = flags.take("out");
+    let positional = flags.finish()?;
+    let [algorithm] = positional.as_slice() else {
+        return Err(CliError::usage(
+            "client solve needs exactly one <algorithm> argument",
+        ));
+    };
+    let instance_text = std::fs::read_to_string(&input)
+        .map_err(|e| CliError::runtime(format!("cannot read {input}: {e}")))?;
+    let request = mrlr_serve::Request::Solve {
+        spec: mrlr_serve::SolveSpec {
+            algorithm: algorithm.clone(),
+            backend: backend.to_string(),
+            instance_text,
+            mu_bits: mu.to_bits(),
+            seed,
+            threads,
+            machines,
+            workers,
+        },
+        render,
+        timeout_millis,
+    };
+    run_served(&mut client, &request, out)
+}
+
+fn client_batch(args: &[String]) -> Result<(), CliError> {
+    let mut flags = Flags::parse(args, &["mask-timings"])?;
+    let render = render_opts(&mut flags, "json")?;
+    let mut client = connect(&mut flags)?;
+    let backend = parse_backend(&mut flags)?;
+    let timeout_millis = flags.take_parsed::<u64>("timeout-millis")?.unwrap_or(0);
+    let out = flags.take("out");
+    let positional = flags.finish()?;
+    let [manifest_path] = positional.as_slice() else {
+        return Err(CliError::usage(
+            "client batch needs exactly one <manifest> argument",
+        ));
+    };
+    let text = std::fs::read_to_string(manifest_path)
+        .map_err(|e| CliError::runtime(format!("cannot read {manifest_path}: {e}")))?;
+    let manifest = io::parse_manifest(&text)
+        .map_err(|e| CliError::runtime(format!("{manifest_path}: {e}")))?;
+    // The client reads the instance files (manifest-relative, like
+    // `mrlr batch`) and ships their text; the daemon never touches the
+    // local filesystem.
+    let base = std::path::Path::new(manifest_path)
+        .parent()
+        .unwrap_or_else(|| std::path::Path::new("."));
+    let instances = manifest
+        .instances
+        .iter()
+        .map(|rel| {
+            let path = base.join(rel);
+            std::fs::read_to_string(&path)
+                .map(|text| (rel.clone(), text))
+                .map_err(|e| CliError::runtime(format!("cannot read {}: {e}", path.display())))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let jobs = manifest
+        .jobs
+        .iter()
+        .map(|j| mrlr_serve::BatchJob {
+            algorithm: j.algorithm.clone(),
+            mu_bits: j.mu.to_bits(),
+            seed: j.seed,
+            threads: j.threads.map(|t| t as u64),
+        })
+        .collect();
+    let request = mrlr_serve::Request::Batch {
+        instances,
+        jobs,
+        backend: backend.to_string(),
+        render,
+        timeout_millis,
+    };
+    run_served(&mut client, &request, out)
+}
+
+fn client_verify(args: &[String]) -> Result<(), CliError> {
+    let mut flags = Flags::parse(args, &["quiet"])?;
+    let quiet = flags.take("quiet").is_some();
+    let mut client = connect(&mut flags)?;
+    let positional = flags.finish()?;
+    let [instance_path, report_path] = positional.as_slice() else {
+        return Err(CliError::usage(
+            "client verify needs <instance> and <report.json> arguments",
+        ));
+    };
+    let instance_text = std::fs::read_to_string(instance_path)
+        .map_err(|e| CliError::runtime(format!("cannot read {instance_path}: {e}")))?;
+    let report_json = std::fs::read_to_string(report_path)
+        .map_err(|e| CliError::runtime(format!("cannot read {report_path}: {e}")))?;
+    let (algorithm, backend, checks) = client
+        .verify(instance_text, report_json)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    if !quiet {
+        for check in &checks {
+            println!("ok: {check}");
+        }
+        println!("verified: {algorithm} ({backend}) report against {instance_path}");
+    }
+    Ok(())
+}
+
+fn cmd_client(args: &[String]) -> Result<(), CliError> {
+    let (action, rest) = match args.split_first() {
+        Some((a, rest)) => (a.as_str(), rest),
+        None => {
+            return Err(CliError::usage(
+                "client needs an action: solve, batch, verify, ping, stats or shutdown",
+            ))
+        }
+    };
+    match action {
+        "solve" => client_solve(rest),
+        "batch" => client_batch(rest),
+        "verify" => client_verify(rest),
+        "ping" => {
+            let mut flags = Flags::parse(rest, &[])?;
+            let mut client = connect(&mut flags)?;
+            let nonce = flags.take_parsed::<u64>("nonce")?.unwrap_or(0);
+            flags.finish()?;
+            let echoed = client
+                .ping(nonce)
+                .map_err(|e| CliError::runtime(e.to_string()))?;
+            if echoed != nonce {
+                return Err(CliError::runtime(format!(
+                    "daemon echoed nonce {echoed}, expected {nonce}"
+                )));
+            }
+            println!("pong {echoed}");
+            Ok(())
+        }
+        "stats" => {
+            let mut flags = Flags::parse(rest, &[])?;
+            let mut client = connect(&mut flags)?;
+            flags.finish()?;
+            let stats = client
+                .stats()
+                .map_err(|e| CliError::runtime(e.to_string()))?;
+            print!(
+                "{}",
+                Json::Obj(vec![
+                    ("requests", Json::U64(stats.requests)),
+                    ("solver_runs", Json::U64(stats.solver_runs)),
+                    ("coalesce_hits", Json::U64(stats.coalesce_hits)),
+                    ("busy_rejects", Json::U64(stats.busy_rejects)),
+                    ("timeouts", Json::U64(stats.timeouts)),
+                    ("inflight_high_water", Json::U64(stats.inflight_high_water)),
+                    (
+                        "queue_depth_high_water",
+                        Json::U64(stats.queue_depth_high_water),
+                    ),
+                ])
+                .render()
+            );
+            Ok(())
+        }
+        "shutdown" => {
+            let mut flags = Flags::parse(rest, &[])?;
+            let mut client = connect(&mut flags)?;
+            flags.finish()?;
+            client
+                .shutdown()
+                .map_err(|e| CliError::runtime(e.to_string()))?;
+            println!("daemon drained and exited");
+            Ok(())
+        }
+        other => Err(CliError::usage(format!("unknown client action `{other}`"))),
+    }
 }

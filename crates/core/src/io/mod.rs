@@ -33,8 +33,8 @@ pub use instance::{parse_instance, render_instance};
 pub use json::{parse_json, Json, JsonValue};
 pub use manifest::{parse_manifest, JobSpec, Manifest};
 pub use report::{
-    metrics_json, report_csv_row, report_json, report_json_with, report_text, solution_json,
-    TimingMode, REPORT_CSV_HEADER,
+    batch_csv, batch_json, metrics_json, report_csv_row, report_json, report_json_with,
+    report_text, solution_json, BatchResults, TimingMode, REPORT_CSV_HEADER,
 };
 
 /// A parse failure with its 1-based line and column position (`0` for

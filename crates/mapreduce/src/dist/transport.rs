@@ -14,15 +14,17 @@
 
 use std::io::{self, Read, Write};
 
-use super::wire::{decode_value, encode_value, Frame};
+use super::wire::{decode_value, encode_value, Frame, Wire};
 
 /// Upper bound on a frame body (1 GiB): far above any real exchange,
 /// small enough to reject corrupted length prefixes outright.
 pub const MAX_FRAME: usize = 1 << 30;
 
-/// Writes one length-prefixed frame.
-pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
-    let body = encode_value(frame);
+/// Writes one length-prefixed [`Wire`] value. The framing layer is
+/// protocol-agnostic: the dist master/worker frames and the serve
+/// request/response frames share this exact byte discipline.
+pub fn write_wire_frame<W: Write, T: Wire>(w: &mut W, value: &T) -> io::Result<()> {
+    let body = encode_value(value);
     if body.len() > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -34,9 +36,9 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads one length-prefixed frame, validating the length cap and the
-/// body encoding.
-pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
+/// Reads one length-prefixed [`Wire`] value, validating the length cap
+/// and the body encoding (trailing bytes inside the body are rejected).
+pub fn read_wire_frame<R: Read, T: Wire>(r: &mut R) -> io::Result<T> {
     let mut prefix = [0u8; 4];
     r.read_exact(&mut prefix)?;
     let len = u32::from_le_bytes(prefix) as usize;
@@ -48,8 +50,18 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
     }
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
-    decode_value::<Frame>(&body)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    decode_value::<T>(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Writes one length-prefixed dist protocol frame.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    write_wire_frame(w, frame)
+}
+
+/// Reads one length-prefixed dist protocol frame, validating the length
+/// cap and the body encoding.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
+    read_wire_frame(r)
 }
 
 /// Encodes a frame to its on-wire bytes (prefix + body) without writing —
@@ -85,6 +97,21 @@ mod tests {
         // EOF after the last frame.
         let err = read_frame(&mut cursor).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn generic_wire_values_survive_a_stream() {
+        // The framing layer is not tied to the dist `Frame`: any `Wire`
+        // value (here the serve-style string payload) frames identically.
+        let mut buf = Vec::new();
+        write_wire_frame(&mut buf, &String::from("hello")).unwrap();
+        write_wire_frame(&mut buf, &(7u64, vec![1u8, 2, 3])).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_wire_frame::<_, String>(&mut cursor).unwrap(), "hello");
+        assert_eq!(
+            read_wire_frame::<_, (u64, Vec<u8>)>(&mut cursor).unwrap(),
+            (7, vec![1, 2, 3])
+        );
     }
 
     #[test]

@@ -103,8 +103,8 @@ pub use faults::{
     FaultEvent, FaultKind, FaultPlan, MeasuredRecovery, RecoveryReport, StragglerCost, WorkerKill,
 };
 pub use metrics::{
-    DistSummary, Metrics, RecoveryEvent, RoundKind, RoundRecord, SuperstepTiming, Violation,
-    WorkerShuffle,
+    DistSummary, Metrics, RecoveryEvent, RoundKind, RoundRecord, ServeSummary, SuperstepTiming,
+    Violation, WorkerShuffle,
 };
 pub use model::{paper_graph_regime, ComputeModel, ModelCheck};
 pub use partition::{

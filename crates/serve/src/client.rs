@@ -1,0 +1,197 @@
+//! Blocking client for the `mrlr serve` protocol.
+//!
+//! A [`Client`] wraps one Unix-stream connection and drives the
+//! request/response conversation: send a request frame, consume
+//! [`Response::Admitted`] / [`Response::Note`] progress frames (notes
+//! go to a caller-supplied sink, which the CLI prints as `note:` lines
+//! on stderr), and return the terminal frame. Overload is a typed
+//! outcome — [`ClientError::Busy`] — never a hang.
+
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use mrlr_mapreduce::dist::transport::{read_wire_frame, write_wire_frame};
+
+use crate::protocol::{Request, Response, StatsSnapshot};
+
+/// Why a request did not produce its terminal document.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (daemon gone, malformed frame).
+    Io(io::Error),
+    /// Admission control rejected the request: the daemon is at its
+    /// in-flight limit and the wait queue is full.
+    Busy {
+        /// Requests holding slots when the rejection was issued.
+        in_flight: u64,
+        /// Requests queued when the rejection was issued.
+        queued: u64,
+        /// The daemon's in-flight slot limit.
+        limit: u64,
+    },
+    /// The daemon answered with an error frame (parse/solver/audit
+    /// failure, timeout, shutdown in progress).
+    Remote(String),
+    /// The daemon answered with a frame the conversation does not
+    /// allow at this point.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Busy {
+                in_flight,
+                queued,
+                limit,
+            } => write!(
+                f,
+                "busy: {in_flight} in flight, {queued} queued (limit {limit})"
+            ),
+            ClientError::Remote(m) => write!(f, "{m}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A served report document plus how it was produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Served {
+    /// The rendered document, byte-identical to offline CLI output.
+    pub content: String,
+    /// True when the daemon coalesced this request onto another
+    /// request's solver run.
+    pub coalesced: bool,
+}
+
+/// One connection to a `mrlr serve` daemon.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to the daemon's socket.
+    pub fn connect(socket: impl AsRef<Path>) -> io::Result<Client> {
+        Ok(Client {
+            stream: UnixStream::connect(socket)?,
+        })
+    }
+
+    /// Sends one raw request frame.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        write_wire_frame(&mut self.stream, request)
+    }
+
+    /// Reads one raw response frame.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        read_wire_frame(&mut self.stream)
+    }
+
+    /// Sends `request` and drives the conversation to its terminal
+    /// frame, feeding every note line to `notes`.
+    fn roundtrip(
+        &mut self,
+        request: &Request,
+        notes: &mut dyn FnMut(&str),
+    ) -> Result<Response, ClientError> {
+        self.send(request)?;
+        loop {
+            match self.recv()? {
+                Response::Admitted => {}
+                Response::Note { line } => notes(&line),
+                Response::Busy {
+                    in_flight,
+                    queued,
+                    limit,
+                } => {
+                    return Err(ClientError::Busy {
+                        in_flight,
+                        queued,
+                        limit,
+                    })
+                }
+                Response::Error { message } => return Err(ClientError::Remote(message)),
+                terminal => return Ok(terminal),
+            }
+        }
+    }
+
+    /// Runs a solve (or batch) request to completion and returns the
+    /// rendered document.
+    pub fn solve(
+        &mut self,
+        request: &Request,
+        notes: &mut dyn FnMut(&str),
+    ) -> Result<Served, ClientError> {
+        match self.roundtrip(request, notes)? {
+            Response::Report { content, coalesced } => Ok(Served { content, coalesced }),
+            other => Err(ClientError::Protocol(format!(
+                "expected a report frame, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Audits a stored report on the daemon; returns `(algorithm,
+    /// backend, check descriptions)` on a clean audit.
+    pub fn verify(
+        &mut self,
+        instance_text: String,
+        report_json: String,
+    ) -> Result<(String, String, Vec<String>), ClientError> {
+        let request = Request::Verify {
+            instance_text,
+            report_json,
+        };
+        match self.roundtrip(&request, &mut |_| {})? {
+            Response::VerifyOk {
+                algorithm,
+                backend,
+                checks,
+            } => Ok((algorithm, backend, checks)),
+            other => Err(ClientError::Protocol(format!(
+                "expected a verify frame, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe; returns the echoed nonce.
+    pub fn ping(&mut self, nonce: u64) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::Ping { nonce }, &mut |_| {})? {
+            Response::Pong { nonce } => Ok(nonce),
+            other => Err(ClientError::Protocol(format!(
+                "expected a pong frame, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Snapshots the daemon's counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.roundtrip(&Request::Stats, &mut |_| {})? {
+            Response::Stats { stats } => Ok(stats),
+            other => Err(ClientError::Protocol(format!(
+                "expected a stats frame, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the daemon to drain and exit. Returns once the daemon has
+    /// acknowledged with its farewell frame.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown, &mut |_| {})? {
+            Response::Bye => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected a bye frame, got {other:?}"
+            ))),
+        }
+    }
+}

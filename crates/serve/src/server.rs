@@ -1,0 +1,1002 @@
+//! The `mrlr serve` daemon: a Unix-socket listener that keeps solver
+//! infrastructure warm across requests.
+//!
+//! Three mechanisms sit between `accept()` and the registry:
+//!
+//! * **Admission control** (`Gate`): at most `max_inflight` requests
+//!   hold solver slots concurrently; up to `queue` more wait (bounded,
+//!   with a per-request deadline). When both are full the daemon
+//!   answers [`Response::Busy`] *immediately* — overload is an explicit
+//!   frame, never a hang.
+//! * **Request coalescing** (`Coalescer`): concurrent solves with
+//!   byte-identical [`SolveSpec`] encodings share one solver run. The
+//!   first arrival becomes the *runner* (and pays admission); later
+//!   arrivals attach as *waiters*, consume no slot, and receive the
+//!   same bit-identical `Report` the runner produced — each waiter
+//!   renders its own view of the shared run.
+//! * **Warm execution**: every solve routes through
+//!   `Registry::solve_batch_with`, which resolves thread pools from the
+//!   process-wide executor cache and opens the batch-scoped
+//!   `dist_cache` around each instance — repeated shapes reuse warmed
+//!   pools and per-machine distribution snapshots exactly as `mrlr
+//!   batch` does offline.
+//!
+//! Shutdown is graceful: a [`Request::Shutdown`] flips the drain flag
+//! (queued and future requests are rejected with an error frame),
+//! in-flight work completes, every connection thread is joined, and the
+//! socket file is removed — no orphan connections, and under
+//! `SpawnKind::Process` no orphan dist workers (worker children are
+//! killed and reaped by `DistSession`'s `Drop` when each solve ends).
+
+use std::collections::HashMap;
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use mrlr_core::api::{witness, Backend, Instance, Registry, Report, Solution};
+use mrlr_core::io::{self as core_io, CertificateMode, TimingMode};
+use mrlr_core::mr::MrConfig;
+use mrlr_mapreduce::dist::transport::{write_wire_frame, MAX_FRAME};
+use mrlr_mapreduce::dist::wire::decode_value;
+use mrlr_mapreduce::{SpawnKind, Timeline};
+
+use crate::protocol::{
+    BatchJob, RenderOpts, ReportFormat, Request, Response, SolveSpec, StatsSnapshot,
+};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Path of the Unix socket to listen on (a stale file is replaced).
+    pub socket: PathBuf,
+    /// Admission slots: requests solving concurrently.
+    pub max_inflight: usize,
+    /// Bounded admission wait queue; a request arriving when both the
+    /// slots and the queue are full is rejected with `Busy`.
+    pub queue: usize,
+    /// Default per-request wait budget (admission + shared-run wait)
+    /// for requests that do not set their own `timeout_millis`.
+    pub timeout: Duration,
+    /// Test/bench hook: after computing a result the runner holds its
+    /// admission slot (and its coalescing entry) for this long before
+    /// publishing — makes coalesced pairs and `Busy` rejections
+    /// deterministic to provoke. Zero in production.
+    pub hold: Duration,
+    /// How dist-backend solves spawn workers. The CLI daemon uses
+    /// `Process` (real worker processes, reaped per solve); in-process
+    /// embeddings and tests keep the default `Thread`.
+    pub dist_spawn: SpawnKind,
+}
+
+impl ServeConfig {
+    /// A daemon on `socket` with production defaults: 2 slots, 4 queue
+    /// entries, 30 s budget, no hold, thread-spawned dist workers.
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            socket: socket.into(),
+            max_inflight: 2,
+            queue: 4,
+            timeout: Duration::from_secs(30),
+            hold: Duration::ZERO,
+            dist_spawn: SpawnKind::Thread,
+        }
+    }
+}
+
+// ------------------------------------------------------------- counters --
+
+#[derive(Default)]
+struct Stats {
+    requests: AtomicU64,
+    solver_runs: AtomicU64,
+    coalesce_hits: AtomicU64,
+    busy_rejects: AtomicU64,
+    timeouts: AtomicU64,
+    inflight_high_water: AtomicU64,
+    queue_depth_high_water: AtomicU64,
+}
+
+impl Stats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn high_water(counter: &AtomicU64, depth: usize) {
+        counter.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            solver_runs: self.solver_runs.load(Ordering::Relaxed),
+            coalesce_hits: self.coalesce_hits.load(Ordering::Relaxed),
+            busy_rejects: self.busy_rejects.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            inflight_high_water: self.inflight_high_water.load(Ordering::Relaxed),
+            queue_depth_high_water: self.queue_depth_high_water.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ------------------------------------------------------ admission gate --
+
+struct GateState {
+    active: usize,
+    queued: usize,
+    draining: bool,
+}
+
+/// Bounded in-flight slots plus a bounded wait queue over a condvar.
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+    max_inflight: usize,
+    queue: usize,
+}
+
+enum Admission {
+    Admitted,
+    Busy { in_flight: usize, queued: usize },
+    TimedOut,
+    Draining,
+}
+
+impl Gate {
+    fn new(max_inflight: usize, queue: usize) -> Self {
+        Gate {
+            state: Mutex::new(GateState {
+                active: 0,
+                queued: 0,
+                draining: false,
+            }),
+            cv: Condvar::new(),
+            max_inflight: max_inflight.max(1),
+            queue,
+        }
+    }
+
+    fn acquire(&self, timeout: Duration, stats: &Stats) -> Admission {
+        let mut s = self.state.lock().expect("gate poisoned");
+        if s.draining {
+            return Admission::Draining;
+        }
+        if s.active < self.max_inflight {
+            s.active += 1;
+            Stats::high_water(&stats.inflight_high_water, s.active);
+            return Admission::Admitted;
+        }
+        if s.queued >= self.queue {
+            return Admission::Busy {
+                in_flight: s.active,
+                queued: s.queued,
+            };
+        }
+        s.queued += 1;
+        Stats::high_water(&stats.queue_depth_high_water, s.queued);
+        let deadline = Instant::now() + timeout;
+        loop {
+            if s.draining {
+                s.queued -= 1;
+                return Admission::Draining;
+            }
+            if s.active < self.max_inflight {
+                s.queued -= 1;
+                s.active += 1;
+                Stats::high_water(&stats.inflight_high_water, s.active);
+                return Admission::Admitted;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                s.queued -= 1;
+                return Admission::TimedOut;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(s, deadline - now)
+                .expect("gate poisoned");
+            s = guard;
+        }
+    }
+
+    fn release(&self) {
+        let mut s = self.state.lock().expect("gate poisoned");
+        s.active -= 1;
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    fn drain(&self) {
+        let mut s = self.state.lock().expect("gate poisoned");
+        s.draining = true;
+        drop(s);
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------- coalescing --
+
+/// Outcome of one (possibly shared) solver run.
+#[derive(Clone)]
+enum RunOutcome {
+    /// The run completed; the report fans out to every attached waiter.
+    Done(Arc<Report<Solution>>),
+    /// The run failed (admission rejection, parse or solver error); the
+    /// message fans out instead.
+    Failed(String),
+}
+
+/// One in-flight coalesced run: the runner publishes here, waiters park
+/// on the condvar.
+struct Job {
+    slot: Mutex<Option<RunOutcome>>,
+    cv: Condvar,
+}
+
+impl Job {
+    fn new() -> Self {
+        Job {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, outcome: RunOutcome) {
+        let mut slot = self.slot.lock().expect("job poisoned");
+        *slot = Some(outcome);
+        drop(slot);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self, timeout: Duration) -> Option<RunOutcome> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.slot.lock().expect("job poisoned");
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return Some(outcome.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(slot, deadline - now)
+                .expect("job poisoned");
+            slot = guard;
+        }
+    }
+}
+
+enum Ticket {
+    /// First arrival for this key: run the solver and publish.
+    Runner(Arc<Job>),
+    /// An identical run is in flight: park and share its outcome.
+    Waiter(Arc<Job>),
+}
+
+/// The in-flight run table, keyed by canonical [`SolveSpec`] bytes.
+struct Coalescer {
+    jobs: Mutex<HashMap<Vec<u8>, Arc<Job>>>,
+}
+
+impl Coalescer {
+    fn new() -> Self {
+        Coalescer {
+            jobs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn join(&self, key: &[u8]) -> Ticket {
+        let mut jobs = self.jobs.lock().expect("coalescer poisoned");
+        if let Some(job) = jobs.get(key) {
+            Ticket::Waiter(Arc::clone(job))
+        } else {
+            let job = Arc::new(Job::new());
+            jobs.insert(key.to_vec(), Arc::clone(&job));
+            Ticket::Runner(job)
+        }
+    }
+
+    /// Publishes the runner's outcome and retires the key — later
+    /// identical requests start a fresh run.
+    fn publish(&self, key: &[u8], job: &Job, outcome: RunOutcome) {
+        job.publish(outcome);
+        self.jobs.lock().expect("coalescer poisoned").remove(key);
+    }
+}
+
+// -------------------------------------------------------------- engine --
+
+/// Bounded cache of parsed instances keyed by their exact text, so a
+/// hot instance is parsed once across requests (the per-request
+/// `dist_cache` scope then shares distribution snapshots *within* each
+/// run). Cleared wholesale when it outgrows its cap — correctness never
+/// depends on a hit.
+struct ParseCache {
+    map: Mutex<HashMap<String, Arc<Instance>>>,
+}
+
+const PARSE_CACHE_CAP: usize = 64;
+
+impl ParseCache {
+    fn new() -> Self {
+        ParseCache {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn get_or_parse(&self, text: &str) -> Result<Arc<Instance>, String> {
+        if let Some(hit) = self.map.lock().expect("cache poisoned").get(text) {
+            return Ok(Arc::clone(hit));
+        }
+        let parsed = Arc::new(core_io::parse_instance(text).map_err(|e| e.to_string())?);
+        let mut map = self.map.lock().expect("cache poisoned");
+        if map.len() >= PARSE_CACHE_CAP {
+            map.clear();
+        }
+        map.insert(text.to_string(), Arc::clone(&parsed));
+        Ok(parsed)
+    }
+}
+
+struct Engine {
+    cfg: ServeConfig,
+    registry: Registry,
+    gate: Gate,
+    coalescer: Coalescer,
+    parse_cache: ParseCache,
+    stats: Stats,
+    shutdown: AtomicBool,
+}
+
+/// What a connection thread tells the accept loop after each request.
+enum Flow {
+    Continue,
+    Hangup,
+}
+
+impl Engine {
+    fn new(cfg: ServeConfig) -> Self {
+        let gate = Gate::new(cfg.max_inflight, cfg.queue);
+        Engine {
+            registry: Registry::with_defaults(),
+            gate,
+            coalescer: Coalescer::new(),
+            parse_cache: ParseCache::new(),
+            stats: Stats::default(),
+            shutdown: AtomicBool::new(false),
+            cfg,
+        }
+    }
+
+    fn budget(&self, timeout_millis: u64) -> Duration {
+        if timeout_millis == 0 {
+            self.cfg.timeout
+        } else {
+            Duration::from_millis(timeout_millis)
+        }
+    }
+
+    fn parse_backend(&self, name: &str) -> Result<Backend, String> {
+        Backend::ALL
+            .into_iter()
+            .find(|b| b.to_string() == name)
+            .ok_or_else(|| {
+                let names: Vec<String> = Backend::ALL.iter().map(Backend::to_string).collect();
+                format!(
+                    "unknown backend `{name}` (expected one of: {})",
+                    names.join(", ")
+                )
+            })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn job_cfg(
+        &self,
+        instance: &Instance,
+        backend: Backend,
+        mu: f64,
+        seed: u64,
+        threads: Option<u64>,
+        machines: Option<u64>,
+        workers: Option<u64>,
+    ) -> Result<MrConfig, String> {
+        if !(mu.is_finite() && mu > 0.0) {
+            return Err(format!("mu must be positive and finite (got {mu})"));
+        }
+        let mut cfg = instance.auto_config(mu, seed);
+        if let Some(t) = threads {
+            cfg = cfg.with_threads(t as usize);
+        }
+        if let Some(m) = machines {
+            cfg = cfg.with_machines(m as usize);
+        }
+        if backend == Backend::Dist {
+            cfg = cfg.with_spawn(self.cfg.dist_spawn);
+            if let Some(w) = workers {
+                cfg = cfg.with_workers(w as usize);
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Runs one solve on warm infrastructure: the single-job batch path
+    /// resolves pooled executors and opens the `dist_cache` scope, so a
+    /// served solve shares exactly the machinery of `mrlr batch`.
+    fn run_solve(&self, spec: &SolveSpec) -> RunOutcome {
+        let backend = match self.parse_backend(&spec.backend) {
+            Ok(b) => b,
+            Err(e) => return RunOutcome::Failed(e),
+        };
+        let instance = match self.parse_cache.get_or_parse(&spec.instance_text) {
+            Ok(i) => i,
+            Err(e) => return RunOutcome::Failed(format!("instance: {e}")),
+        };
+        let cfg = match self.job_cfg(
+            &instance,
+            backend,
+            spec.mu(),
+            spec.seed,
+            spec.threads,
+            spec.machines,
+            spec.workers,
+        ) {
+            Ok(c) => c,
+            Err(e) => return RunOutcome::Failed(e),
+        };
+        Stats::bump(&self.stats.solver_runs);
+        let jobs = [(spec.algorithm.as_str(), cfg)];
+        let slot = self
+            .registry
+            .solve_batch_with(backend, std::slice::from_ref(&*instance), &jobs)
+            .remove(0)
+            .remove(0);
+        match slot {
+            Ok(report) => RunOutcome::Done(Arc::new(report)),
+            Err(e) => RunOutcome::Failed(e.to_string()),
+        }
+    }
+
+    fn render_report(&self, report: &Report<Solution>, render: RenderOpts) -> String {
+        let timing = if render.mask_timings {
+            TimingMode::Masked
+        } else {
+            TimingMode::Real
+        };
+        let certificates = if render.certificates_full {
+            CertificateMode::Full
+        } else {
+            CertificateMode::Summary
+        };
+        match render.format {
+            ReportFormat::Json => core_io::report_json_with(report, timing, certificates).render(),
+            ReportFormat::Csv => format!(
+                "{}\n{}\n",
+                core_io::REPORT_CSV_HEADER,
+                core_io::report_csv_row(report, timing)
+            ),
+            ReportFormat::Text => core_io::report_text(report, timing),
+        }
+    }
+
+    /// Host-event annotation lines for a served report: the offline
+    /// ones (dist recoveries) plus the serve counters, stamped through
+    /// [`mrlr_mapreduce::ServeSummary`] so they ride the same
+    /// `Timeline` pathway — and stay out of the rendered document.
+    fn notes_for(&self, report: &Report<Solution>) -> Vec<String> {
+        let Some(metrics) = report.metrics.as_ref() else {
+            return Vec::new();
+        };
+        let mut stamped = metrics.clone();
+        stamped.serve = Some(self.stats.snapshot().to_summary());
+        Timeline::from_metrics(&stamped).annotations().to_vec()
+    }
+
+    fn handle_solve(
+        &self,
+        stream: &mut UnixStream,
+        spec: &SolveSpec,
+        render: RenderOpts,
+        timeout_millis: u64,
+    ) -> io::Result<()> {
+        Stats::bump(&self.stats.requests);
+        let budget = self.budget(timeout_millis);
+        let key = spec.coalesce_key();
+        match self.coalescer.join(&key) {
+            Ticket::Waiter(job) => {
+                Stats::bump(&self.stats.coalesce_hits);
+                match job.wait(budget) {
+                    Some(RunOutcome::Done(report)) => {
+                        for line in self.notes_for(&report) {
+                            write_wire_frame(stream, &Response::Note { line })?;
+                        }
+                        let content = self.render_report(&report, render);
+                        write_wire_frame(
+                            stream,
+                            &Response::Report {
+                                content,
+                                coalesced: true,
+                            },
+                        )
+                    }
+                    Some(RunOutcome::Failed(message)) => {
+                        write_wire_frame(stream, &Response::Error { message })
+                    }
+                    None => {
+                        Stats::bump(&self.stats.timeouts);
+                        write_wire_frame(
+                            stream,
+                            &Response::Error {
+                                message: format!(
+                                    "timed out after {budget:?} waiting for the shared run"
+                                ),
+                            },
+                        )
+                    }
+                }
+            }
+            Ticket::Runner(job) => match self.gate.acquire(budget, &self.stats) {
+                Admission::Admitted => {
+                    write_wire_frame(stream, &Response::Admitted)?;
+                    let outcome = self.run_solve(spec);
+                    if !self.cfg.hold.is_zero() {
+                        // Keep the slot and the coalescing entry alive so
+                        // tests can provoke Busy/coalesced paths on cue.
+                        std::thread::sleep(self.cfg.hold);
+                    }
+                    self.coalescer.publish(&key, &job, outcome.clone());
+                    self.gate.release();
+                    match outcome {
+                        RunOutcome::Done(report) => {
+                            for line in self.notes_for(&report) {
+                                write_wire_frame(stream, &Response::Note { line })?;
+                            }
+                            let content = self.render_report(&report, render);
+                            write_wire_frame(
+                                stream,
+                                &Response::Report {
+                                    content,
+                                    coalesced: false,
+                                },
+                            )
+                        }
+                        RunOutcome::Failed(message) => {
+                            write_wire_frame(stream, &Response::Error { message })
+                        }
+                    }
+                }
+                Admission::Busy { in_flight, queued } => {
+                    Stats::bump(&self.stats.busy_rejects);
+                    self.coalescer.publish(
+                        &key,
+                        &job,
+                        RunOutcome::Failed("rejected: daemon busy".to_string()),
+                    );
+                    write_wire_frame(
+                        stream,
+                        &Response::Busy {
+                            in_flight: in_flight as u64,
+                            queued: queued as u64,
+                            limit: self.gate.max_inflight as u64,
+                        },
+                    )
+                }
+                Admission::TimedOut => {
+                    Stats::bump(&self.stats.timeouts);
+                    self.coalescer.publish(
+                        &key,
+                        &job,
+                        RunOutcome::Failed("rejected: admission timed out".to_string()),
+                    );
+                    write_wire_frame(
+                        stream,
+                        &Response::Error {
+                            message: format!("timed out after {budget:?} waiting for admission"),
+                        },
+                    )
+                }
+                Admission::Draining => {
+                    self.coalescer.publish(
+                        &key,
+                        &job,
+                        RunOutcome::Failed("rejected: daemon shutting down".to_string()),
+                    );
+                    write_wire_frame(
+                        stream,
+                        &Response::Error {
+                            message: "daemon is shutting down".to_string(),
+                        },
+                    )
+                }
+            },
+        }
+    }
+
+    fn handle_batch(
+        &self,
+        stream: &mut UnixStream,
+        instances: &[(String, String)],
+        jobs: &[BatchJob],
+        backend_name: &str,
+        render: RenderOpts,
+        timeout_millis: u64,
+    ) -> io::Result<()> {
+        Stats::bump(&self.stats.requests);
+        let budget = self.budget(timeout_millis);
+        match self.gate.acquire(budget, &self.stats) {
+            Admission::Busy { in_flight, queued } => {
+                Stats::bump(&self.stats.busy_rejects);
+                return write_wire_frame(
+                    stream,
+                    &Response::Busy {
+                        in_flight: in_flight as u64,
+                        queued: queued as u64,
+                        limit: self.gate.max_inflight as u64,
+                    },
+                );
+            }
+            Admission::TimedOut => {
+                Stats::bump(&self.stats.timeouts);
+                return write_wire_frame(
+                    stream,
+                    &Response::Error {
+                        message: format!("timed out after {budget:?} waiting for admission"),
+                    },
+                );
+            }
+            Admission::Draining => {
+                return write_wire_frame(
+                    stream,
+                    &Response::Error {
+                        message: "daemon is shutting down".to_string(),
+                    },
+                );
+            }
+            Admission::Admitted => {}
+        }
+        write_wire_frame(stream, &Response::Admitted)?;
+        let result = self.run_batch(stream, instances, jobs, backend_name, render);
+        self.gate.release();
+        match result {
+            Ok(Ok(content)) => write_wire_frame(
+                stream,
+                &Response::Report {
+                    content,
+                    coalesced: false,
+                },
+            ),
+            Ok(Err(message)) => write_wire_frame(stream, &Response::Error { message }),
+            Err(io_err) => Err(io_err),
+        }
+    }
+
+    /// The grid run behind a batch request. The outer `Result` is a
+    /// transport failure (connection gone mid-stream); the inner one is
+    /// a request failure reported back as an error frame.
+    fn run_batch(
+        &self,
+        stream: &mut UnixStream,
+        instances: &[(String, String)],
+        jobs: &[BatchJob],
+        backend_name: &str,
+        render: RenderOpts,
+    ) -> io::Result<Result<String, String>> {
+        let backend = match self.parse_backend(backend_name) {
+            Ok(b) => b,
+            Err(e) => return Ok(Err(e)),
+        };
+        if matches!(render.format, ReportFormat::Text) {
+            return Ok(Err(
+                "batch documents render as json or csv, not text".to_string()
+            ));
+        }
+        let mut parsed: Vec<Arc<Instance>> = Vec::with_capacity(instances.len());
+        for (path, text) in instances {
+            match self.parse_cache.get_or_parse(text) {
+                Ok(i) => parsed.push(i),
+                Err(e) => return Ok(Err(format!("{path}: {e}"))),
+            }
+        }
+        let specs: Vec<core_io::JobSpec> = jobs
+            .iter()
+            .map(|j| core_io::JobSpec {
+                algorithm: j.algorithm.clone(),
+                mu: f64::from_bits(j.mu_bits),
+                seed: j.seed,
+                threads: j.threads.map(|t| t as usize),
+            })
+            .collect();
+        // One solve_batch per instance, like the offline CLI: shapes are
+        // auto-derived per instance and the batch scope amortizes
+        // executor warm-up and distribution snapshots across its jobs.
+        let mut results: core_io::BatchResults = Vec::with_capacity(parsed.len());
+        for (idx, instance) in parsed.iter().enumerate() {
+            let mut cfgs: Vec<(&str, MrConfig)> = Vec::with_capacity(specs.len());
+            for spec in &specs {
+                match self.job_cfg(
+                    instance,
+                    backend,
+                    spec.mu,
+                    spec.seed,
+                    spec.threads.map(|t| t as u64),
+                    None,
+                    None,
+                ) {
+                    Ok(cfg) => cfgs.push((spec.algorithm.as_str(), cfg)),
+                    Err(e) => return Ok(Err(format!("{}: {e}", instances[idx].0))),
+                }
+            }
+            Stats::bump(&self.stats.solver_runs);
+            let rows = self
+                .registry
+                .solve_batch_with(backend, std::slice::from_ref(&**instance), &cfgs)
+                .remove(0)
+                .into_iter()
+                .map(|slot| slot.map_err(|e| e.to_string()))
+                .collect();
+            results.push(rows);
+            write_wire_frame(
+                stream,
+                &Response::Note {
+                    line: format!(
+                        "batch: instance {}/{} ({}) done",
+                        idx + 1,
+                        parsed.len(),
+                        instances[idx].0
+                    ),
+                },
+            )?;
+        }
+        let timing = if render.mask_timings {
+            TimingMode::Masked
+        } else {
+            TimingMode::Real
+        };
+        let certificates = if render.certificates_full {
+            CertificateMode::Full
+        } else {
+            CertificateMode::Summary
+        };
+        let paths: Vec<String> = instances.iter().map(|(p, _)| p.clone()).collect();
+        let content = match render.format {
+            ReportFormat::Json => {
+                core_io::batch_json(&paths, &specs, &results, timing, certificates).render()
+            }
+            ReportFormat::Csv => core_io::batch_csv(&paths, &specs, &results, timing),
+            ReportFormat::Text => unreachable!("rejected above"),
+        };
+        Ok(Ok(content))
+    }
+
+    fn handle_verify(
+        &self,
+        stream: &mut UnixStream,
+        instance_text: &str,
+        report_json: &str,
+    ) -> io::Result<()> {
+        Stats::bump(&self.stats.requests);
+        match self.gate.acquire(self.cfg.timeout, &self.stats) {
+            Admission::Busy { in_flight, queued } => {
+                Stats::bump(&self.stats.busy_rejects);
+                return write_wire_frame(
+                    stream,
+                    &Response::Busy {
+                        in_flight: in_flight as u64,
+                        queued: queued as u64,
+                        limit: self.gate.max_inflight as u64,
+                    },
+                );
+            }
+            Admission::TimedOut => {
+                Stats::bump(&self.stats.timeouts);
+                return write_wire_frame(
+                    stream,
+                    &Response::Error {
+                        message: "timed out waiting for admission".to_string(),
+                    },
+                );
+            }
+            Admission::Draining => {
+                return write_wire_frame(
+                    stream,
+                    &Response::Error {
+                        message: "daemon is shutting down".to_string(),
+                    },
+                );
+            }
+            Admission::Admitted => {}
+        }
+        let outcome = self.run_verify(instance_text, report_json);
+        self.gate.release();
+        match outcome {
+            Ok((algorithm, backend, checks)) => write_wire_frame(
+                stream,
+                &Response::VerifyOk {
+                    algorithm,
+                    backend,
+                    checks,
+                },
+            ),
+            Err(message) => write_wire_frame(stream, &Response::Error { message }),
+        }
+    }
+
+    fn run_verify(
+        &self,
+        instance_text: &str,
+        report_json: &str,
+    ) -> Result<(String, String, Vec<String>), String> {
+        let instance = self
+            .parse_cache
+            .get_or_parse(instance_text)
+            .map_err(|e| format!("instance: {e}"))?;
+        let stored = core_io::parse_report(report_json).map_err(|e| format!("report: {e}"))?;
+        let witness = stored.witness.as_ref().ok_or_else(|| {
+            "certificate has no witness — re-solve with full certificates to produce a \
+             re-verifiable report"
+                .to_string()
+        })?;
+        let checks = witness::audit(
+            &instance,
+            &stored.algorithm,
+            &stored.solution,
+            &stored.claims,
+            witness,
+        )
+        .map_err(|e| e.to_string())?;
+        Ok((stored.algorithm, stored.backend, checks))
+    }
+
+    fn handle_request(&self, stream: &mut UnixStream, request: Request) -> io::Result<Flow> {
+        match request {
+            Request::Solve {
+                spec,
+                render,
+                timeout_millis,
+            } => {
+                self.handle_solve(stream, &spec, render, timeout_millis)?;
+                Ok(Flow::Continue)
+            }
+            Request::Batch {
+                instances,
+                jobs,
+                backend,
+                render,
+                timeout_millis,
+            } => {
+                self.handle_batch(stream, &instances, &jobs, &backend, render, timeout_millis)?;
+                Ok(Flow::Continue)
+            }
+            Request::Verify {
+                instance_text,
+                report_json,
+            } => {
+                self.handle_verify(stream, &instance_text, &report_json)?;
+                Ok(Flow::Continue)
+            }
+            Request::Ping { nonce } => {
+                write_wire_frame(stream, &Response::Pong { nonce })?;
+                Ok(Flow::Continue)
+            }
+            Request::Stats => {
+                write_wire_frame(
+                    stream,
+                    &Response::Stats {
+                        stats: self.stats.snapshot(),
+                    },
+                )?;
+                Ok(Flow::Continue)
+            }
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                self.gate.drain();
+                write_wire_frame(stream, &Response::Bye)?;
+                // Unblock the accept loop so it can observe the flag.
+                let _ = UnixStream::connect(&self.cfg.socket);
+                Ok(Flow::Hangup)
+            }
+        }
+    }
+
+    /// Reads the next request frame, polling the drain flag while the
+    /// connection is idle. The read timeout only ever interrupts us
+    /// *between* frames (zero bytes buffered): once a frame has started
+    /// arriving we keep reading until it completes, so draining cannot
+    /// tear a frame apart. Returns `None` on hangup, malformed frames,
+    /// or a drain observed at a frame boundary.
+    fn read_request_interruptible(&self, stream: &mut UnixStream) -> Option<Request> {
+        use std::io::Read;
+        const POLL: Duration = Duration::from_millis(100);
+        stream.set_read_timeout(Some(POLL)).ok()?;
+        let mut fill = |buf: &mut [u8], at_boundary: bool| -> Option<()> {
+            let mut have = 0usize;
+            while have < buf.len() {
+                match stream.read(&mut buf[have..]) {
+                    Ok(0) => return None, // peer hung up
+                    Ok(n) => have += n,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock
+                                | io::ErrorKind::TimedOut
+                                | io::ErrorKind::Interrupted
+                        ) =>
+                    {
+                        if at_boundary && have == 0 && self.shutdown.load(Ordering::SeqCst) {
+                            return None; // idle connection at drain time
+                        }
+                    }
+                    Err(_) => return None,
+                }
+            }
+            Some(())
+        };
+        let mut header = [0u8; 4];
+        fill(&mut header, true)?;
+        let len = u32::from_le_bytes(header) as usize;
+        if len > MAX_FRAME {
+            return None;
+        }
+        let mut body = vec![0u8; len];
+        fill(&mut body, false)?;
+        decode_value::<Request>(&body).ok()
+    }
+
+    /// Serves one connection until the peer hangs up, shuts the daemon
+    /// down, or the daemon drains while the connection is idle.
+    /// Transport errors just end the connection — the daemon never dies
+    /// because one client misbehaved.
+    fn serve_connection(&self, mut stream: UnixStream) {
+        while let Some(request) = self.read_request_interruptible(&mut stream) {
+            match self.handle_request(&mut stream, request) {
+                Ok(Flow::Continue) => {}
+                Ok(Flow::Hangup) | Err(_) => return,
+            }
+        }
+    }
+}
+
+/// Runs the daemon on `cfg.socket` until a client sends
+/// [`Request::Shutdown`]. Blocks the calling thread; connections are
+/// served on one thread each. Returns the final counter snapshot after
+/// every in-flight connection has drained and the socket file is gone.
+pub fn serve(cfg: ServeConfig) -> io::Result<StatsSnapshot> {
+    // Replace a stale socket file (e.g. from a killed daemon) so
+    // restarts are idempotent.
+    let _ = std::fs::remove_file(&cfg.socket);
+    let listener = UnixListener::bind(&cfg.socket)?;
+    let socket = cfg.socket.clone();
+    let engine = Arc::new(Engine::new(cfg));
+    eprintln!("mrlr serve: listening on {}", socket.display());
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        let (stream, _) = listener.accept()?;
+        if engine.shutdown.load(Ordering::SeqCst) {
+            // The drain wake-up (or a client racing shutdown): refuse by
+            // closing immediately; queued/in-flight work still completes.
+            drop(stream);
+            break;
+        }
+        let engine = Arc::clone(&engine);
+        handles.retain(|h| !h.is_finished());
+        handles.push(std::thread::spawn(move || engine.serve_connection(stream)));
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let _ = std::fs::remove_file(&socket);
+    let snapshot = engine.stats.snapshot();
+    // Surface the lifetime counters the way every host event surfaces:
+    // as Timeline annotations, printed as `note:` lines.
+    let metrics = mrlr_mapreduce::Metrics {
+        serve: Some(snapshot.to_summary()),
+        ..mrlr_mapreduce::Metrics::default()
+    };
+    for line in Timeline::from_metrics(&metrics).annotations() {
+        eprintln!("note: {line}");
+    }
+    Ok(snapshot)
+}

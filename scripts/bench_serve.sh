@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# One-command regeneration of the committed BENCH_serve.json serving
+# benchmark. Runs the load generator (crates/bench bench_serve) in
+# release mode against throwaway daemons: a sequential latency scenario
+# (p50/p99/throughput), a coalescing burst (identical concurrent
+# requests must share solver runs), and an overload scenario (a
+# 1-slot/0-queue daemon must reject with busy, not hang). The bench
+# asserts the served report is byte-identical to a direct
+# Registry::solve before emitting any row.
+#
+#   ./scripts/bench_serve.sh            # full run, rewrites BENCH_serve.json
+#   ./scripts/bench_serve.sh --quick    # small instance, for a fast sanity pass
+#
+# Validate the committed artifact without touching it:
+#   cargo run --release -p mrlr-bench --bin bench_serve -- --check
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+cargo build -q --release -p mrlr-bench --bin bench_serve
+cargo run -q --release -p mrlr-bench --bin bench_serve -- "$@" BENCH_serve.json
+cargo run -q --release -p mrlr-bench --bin bench_serve -- --check BENCH_serve.json
+echo "BENCH_serve.json regenerated and checked"
