@@ -6,6 +6,7 @@
 
 #![warn(missing_docs)]
 
+pub mod sweep;
 pub mod workloads;
 
 use mrlr_core::exact;

@@ -1,0 +1,223 @@
+//! Sweep specs: a small TOML-ish file describing a whole family of
+//! generated instances — one knob swept over a list of values, every
+//! other knob fixed — consumed by `mrlr gen --sweep` and by
+//! `bench_scale`'s size ladder.
+//!
+//! ```text
+//! # the bench_scale ladder: m = n^{1.4} edges
+//! family = "densified"
+//! c = 0.4
+//! seed = 7
+//! sweep = "n"
+//! values = [1000, 19307, 100000]
+//! out = "scale_n{n}.inst"
+//! ```
+//!
+//! `family` names a [`workloads`] family; `sweep` names the knob to vary
+//! (the `mrlr gen` flag vocabulary of [`workloads::set_knob`]); `values`
+//! lists the settings; every other `key = value` line fixes a knob; the
+//! optional `out` is a filename pattern where `{<knob>}` expands to the
+//! swept value. Lines starting with `#` and blank lines are ignored.
+
+use mrlr_core::api::Instance;
+
+use crate::workloads::{self, GenParams};
+
+/// A parsed sweep spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// The workload family every point builds.
+    pub family: String,
+    /// The fixed knobs (defaults + every non-reserved `key = value` line).
+    pub base: GenParams,
+    /// The swept knob's name.
+    pub knob: String,
+    /// The swept values, in file order.
+    pub values: Vec<String>,
+    /// Output filename pattern (`{<knob>}` expands per point), if given.
+    pub out: Option<String>,
+}
+
+/// One point of an expanded sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The swept value, verbatim.
+    pub value: String,
+    /// Full parameters for this point.
+    pub params: GenParams,
+    /// Expanded output filename (pattern, or `<family>-<knob><value>.inst`).
+    pub out: String,
+}
+
+fn unquote(raw: &str) -> &str {
+    let t = raw.trim();
+    t.strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .unwrap_or(t)
+}
+
+impl SweepSpec {
+    /// Parses a sweep file. Errors are human-readable and carry the
+    /// 1-based line number.
+    pub fn parse(text: &str) -> Result<SweepSpec, String> {
+        let mut family: Option<String> = None;
+        let mut knob: Option<String> = None;
+        let mut values: Option<Vec<String>> = None;
+        let mut out: Option<String> = None;
+        let mut fixed: Vec<(String, String)> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {line_no}: expected `key = value`"));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "family" => family = Some(unquote(value).to_string()),
+                "sweep" => knob = Some(unquote(value).to_string()),
+                "out" => out = Some(unquote(value).to_string()),
+                "values" => {
+                    let inner = value
+                        .strip_prefix('[')
+                        .and_then(|v| v.strip_suffix(']'))
+                        .ok_or_else(|| {
+                            format!("line {line_no}: `values` must be a [v, v, …] list")
+                        })?;
+                    let list: Vec<String> = inner
+                        .split(',')
+                        .map(|v| unquote(v).to_string())
+                        .filter(|v| !v.is_empty())
+                        .collect();
+                    if list.is_empty() {
+                        return Err(format!("line {line_no}: `values` list is empty"));
+                    }
+                    values = Some(list);
+                }
+                other => fixed.push((other.to_string(), unquote(value).to_string())),
+            }
+        }
+        let family = family.ok_or("sweep spec needs a `family = \"…\"` line")?;
+        if workloads::family(&family).is_none() {
+            return Err(format!("unknown family `{family}`"));
+        }
+        let knob = knob.ok_or("sweep spec needs a `sweep = \"<knob>\"` line")?;
+        let values = values.ok_or("sweep spec needs a `values = [...]` line")?;
+        let mut base = GenParams::default();
+        for (key, value) in &fixed {
+            workloads::set_knob(&mut base, key, value)?;
+        }
+        // Validate the swept knob's name (and each value) eagerly so a
+        // bad spec fails at parse time, not on the third ladder rung.
+        for value in &values {
+            workloads::set_knob(&mut base.clone(), &knob, value)
+                .map_err(|e| format!("swept knob: {e}"))?;
+        }
+        Ok(SweepSpec {
+            family,
+            base,
+            knob,
+            values,
+            out,
+        })
+    }
+
+    /// Expands the sweep into its points, one [`GenParams`] per value.
+    pub fn points(&self) -> Vec<SweepPoint> {
+        self.values
+            .iter()
+            .map(|value| {
+                let mut params = self.base.clone();
+                workloads::set_knob(&mut params, &self.knob, value)
+                    .expect("values validated at parse time");
+                let out = match &self.out {
+                    Some(pattern) => pattern.replace(&format!("{{{}}}", self.knob), value),
+                    None => format!("{}-{}{}.inst", self.family, self.knob, value),
+                };
+                SweepPoint {
+                    value: value.clone(),
+                    params,
+                    out,
+                }
+            })
+            .collect()
+    }
+
+    /// Builds the instance of one point.
+    pub fn build(&self, point: &SweepPoint) -> Result<Instance, String> {
+        workloads::build(&self.family, &point.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = "\
+# ladder
+family = \"densified\"
+c = 0.3
+seed = 9
+sweep = \"n\"
+values = [10, 20, 40]
+out = \"scale_n{n}.inst\"
+";
+
+    #[test]
+    fn parses_and_expands() {
+        let spec = SweepSpec::parse(SPEC).unwrap();
+        assert_eq!(spec.family, "densified");
+        assert_eq!(spec.knob, "n");
+        assert_eq!(spec.values, ["10", "20", "40"]);
+        let points = spec.points();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[1].params.n, 20);
+        assert_eq!(points[1].params.c, 0.3);
+        assert_eq!(points[1].params.seed, 9);
+        assert_eq!(points[1].out, "scale_n20.inst");
+        // Each point builds, and matches a direct workloads build.
+        let direct = workloads::build("densified", &points[2].params).unwrap();
+        assert_eq!(spec.build(&points[2]).unwrap(), direct);
+    }
+
+    #[test]
+    fn default_out_pattern_and_missing_out() {
+        let spec =
+            SweepSpec::parse("family = \"gnm\"\nsweep = \"m\"\nvalues = [5, 6]\nn = 10\n").unwrap();
+        assert_eq!(spec.points()[0].out, "gnm-m5.inst");
+        assert_eq!(spec.points()[0].params.m, Some(5));
+        assert_eq!(spec.points()[0].params.n, 10);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert!(SweepSpec::parse("family = \"densified\"\nnot a kv line\n")
+            .unwrap_err()
+            .contains("line 2"));
+        assert!(SweepSpec::parse("sweep = \"n\"\nvalues = [1]\n")
+            .unwrap_err()
+            .contains("family"));
+        assert!(
+            SweepSpec::parse("family = \"nope\"\nsweep = \"n\"\nvalues = [1]\n")
+                .unwrap_err()
+                .contains("unknown family")
+        );
+        assert!(
+            SweepSpec::parse("family = \"gnm\"\nsweep = \"n\"\nvalues = 3\n")
+                .unwrap_err()
+                .contains("list")
+        );
+        assert!(
+            SweepSpec::parse("family = \"gnm\"\nsweep = \"bogus\"\nvalues = [1]\n")
+                .unwrap_err()
+                .contains("unknown knob")
+        );
+        assert!(
+            SweepSpec::parse("family = \"gnm\"\nsweep = \"n\"\nvalues = [x]\n")
+                .unwrap_err()
+                .contains("bad value")
+        );
+    }
+}

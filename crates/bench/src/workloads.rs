@@ -326,6 +326,71 @@ pub fn family(name: &str) -> Option<&'static FamilySpec> {
     FAMILIES.iter().find(|f| f.name == name)
 }
 
+/// Sets one knob of `params` by its CLI flag name (`n`, `m`, `c`,
+/// `gamma`, `f`, `delta`, `max-len`, `left`, `w-min`, `w-max`,
+/// `unweighted`, `eps`, `b-max`, `seed`) — the shared vocabulary of
+/// `mrlr gen` flags, [`parse_spec`] strings and sweep files.
+pub fn set_knob(params: &mut GenParams, key: &str, value: &str) -> Result<(), String> {
+    fn parse<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+        value
+            .parse()
+            .map_err(|_| format!("bad value `{value}` for knob `{key}`"))
+    }
+    match key {
+        "n" => params.n = parse(key, value)?,
+        "m" => params.m = Some(parse(key, value)?),
+        "c" => params.c = parse(key, value)?,
+        "gamma" => params.gamma = parse(key, value)?,
+        "f" => params.f = parse(key, value)?,
+        "delta" => params.delta = parse(key, value)?,
+        "max-len" => params.max_len = parse(key, value)?,
+        "left" => params.left = Some(parse(key, value)?),
+        "w-min" => params.w_min = parse(key, value)?,
+        "w-max" => params.w_max = parse(key, value)?,
+        "unweighted" => params.unweighted = parse(key, value)?,
+        "eps" => params.eps = parse(key, value)?,
+        "b-max" => params.b_max = parse(key, value)?,
+        "seed" => params.seed = parse(key, value)?,
+        other => return Err(format!("unknown knob `{other}`")),
+    }
+    Ok(())
+}
+
+/// Parses a one-line generator spec `family:knob=value,knob=value,…`
+/// (knobs optional: `densified`, `densified:n=1000,c=0.4,seed=7`) into
+/// the family name and its parameters. The knob vocabulary is exactly
+/// the `mrlr gen` flag set ([`set_knob`]); the bare switch `unweighted`
+/// may omit `=true`. This is the `mrlr solve --gen <spec>` syntax: a
+/// solve can name its instance instead of reading one from disk.
+pub fn parse_spec(spec: &str) -> Result<(String, GenParams), String> {
+    let (name, knobs) = match spec.split_once(':') {
+        None => (spec, ""),
+        Some((name, knobs)) => (name, knobs),
+    };
+    if family(name).is_none() {
+        let names: Vec<&str> = FAMILIES.iter().map(|f| f.name).collect();
+        return Err(format!(
+            "unknown family `{name}` (expected one of: {})",
+            names.join(", ")
+        ));
+    }
+    let mut params = GenParams::default();
+    for knob in knobs.split(',').filter(|k| !k.is_empty()) {
+        match knob.split_once('=') {
+            Some((key, value)) => set_knob(&mut params, key.trim(), value.trim())?,
+            None if knob.trim() == "unweighted" => params.unweighted = true,
+            None => return Err(format!("knob `{knob}` needs a value (knob=value)")),
+        }
+    }
+    Ok((name.to_string(), params))
+}
+
+/// [`parse_spec`] + [`build`]: a whole instance from one spec string.
+pub fn build_spec(spec: &str) -> Result<Instance, String> {
+    let (name, params) = parse_spec(spec)?;
+    build(&name, &params)
+}
+
 /// Builds an instance of `name` from `params`.
 pub fn build(name: &str, params: &GenParams) -> Result<Instance, String> {
     let spec = family(name).ok_or_else(|| {
@@ -426,6 +491,39 @@ mod tests {
                 "{family}"
             );
         }
+    }
+
+    #[test]
+    fn spec_strings_mirror_the_gen_flags() {
+        // Bare family name = defaults.
+        let (name, p) = parse_spec("densified").unwrap();
+        assert_eq!(name, "densified");
+        assert_eq!(p, GenParams::default());
+        // Knobbed spec builds the same instance as the explicit params.
+        let (name, p) = parse_spec("gnm:n=30,m=80,seed=9,w-min=0.5,w-max=2.5").unwrap();
+        let explicit = GenParams {
+            n: 30,
+            m: Some(80),
+            seed: 9,
+            w_min: 0.5,
+            w_max: 2.5,
+            ..GenParams::default()
+        };
+        assert_eq!(p, explicit);
+        assert_eq!(build(&name, &p).unwrap(), build("gnm", &explicit).unwrap());
+        // The bare switch form.
+        let (_, p) = parse_spec("gnm:unweighted,n=12").unwrap();
+        assert!(p.unweighted);
+        assert_eq!(p.n, 12);
+        // Errors are located strings.
+        assert!(parse_spec("no-such:n=3")
+            .unwrap_err()
+            .contains("unknown family"));
+        assert!(parse_spec("gnm:bogus=3")
+            .unwrap_err()
+            .contains("unknown knob"));
+        assert!(parse_spec("gnm:n=x").unwrap_err().contains("bad value"));
+        assert!(parse_spec("gnm:n").unwrap_err().contains("needs a value"));
     }
 
     #[test]

@@ -28,8 +28,9 @@
 
 use std::process::ExitCode;
 
+use mrlr_bench::sweep::SweepSpec;
 use mrlr_bench::workloads::{self, GenParams};
-use mrlr_core::api::{witness, Backend, Instance, Registry};
+use mrlr_core::api::{self, witness, Backend, Instance, Registry, Solution, Witness};
 use mrlr_core::io::{self, CertificateMode, Json, TimingMode};
 use mrlr_core::mr::MrConfig;
 use mrlr_mapreduce::{SpawnKind, Timeline, WorkerKill};
@@ -40,13 +41,19 @@ USAGE:
     mrlr list  [--format text|json]
     mrlr gen   <family> [--n N] [--m M] [--c C] [--gamma G] [--f F]
                [--delta D] [--max-len L] [--left L] [--w-min W] [--w-max W]
-               [--unweighted] [--eps E] [--b-max B] [--seed S] [--out PATH]
-    mrlr solve <algorithm> --input PATH [--backend seq|rlr|mr|shard|dist]
+               [--unweighted] [--eps E] [--b-max B] [--seed S]
+               [--out PATH | --pipe]
+    mrlr gen   --sweep SPEC [--out-dir DIR]
+    mrlr solve <algorithm> (--input PATH|- | --gen FAMILY[:knob=v,...])
+               [--stream] [--backend seq|rlr|mr|shard|dist]
                [--mu MU] [--seed S] [--threads N] [--machines M]
                [--workers N] [--kill W@S]
-               [--format text|json|csv] [--certificates full|summary]
+               [--format text|json|csv]
+               [--certificates full|summary|committed]
+               [--chunk-len N] [--witness-out PATH]
                [--mask-timings] [--timings-csv PATH] [--out PATH]
-    mrlr verify <instance> <report.json> [--quiet]
+    mrlr verify <instance> <report.json> [--witness TRANSCRIPT [--chunk K]]
+               [--quiet]
     mrlr verify <batch.json> [--instances-dir DIR] [--quiet]
     mrlr batch <manifest> [--backend seq|rlr|mr|shard|dist] [--format json|csv]
                [--certificates full|summary] [--mask-timings] [--out PATH]
@@ -74,6 +81,19 @@ bit-identical solutions, metrics and witnesses. Under `--backend dist`,
 `--workers` sets the worker-process count (default: MRLR_DIST_WORKERS,
 else 2) and `--kill W@S` kills worker W at superstep S to demonstrate
 fault-tolerant recovery — the report is bit-identical anyway.
+
+Out-of-core runs never materialize the instance centrally: `mrlr gen
+--pipe` streams a generated instance to stdout line by line, `--gen
+FAMILY:knob=v,...` solves straight from the generator, `--input -`
+reads stdin, and `--stream` (key `matching`, cluster backends) feeds
+records directly into per-machine blocks as they parse — the report is
+bit-identical to the materialized path. `gen --sweep SPEC` expands a
+TOML-ish sweep file (one swept knob over a value list) into one
+instance file per point. `--certificates committed` replaces a large
+witness with a chunked Merkle commitment in the report and writes the
+full transcript to `--witness-out`; `mrlr verify --witness TRANSCRIPT`
+re-authenticates every chunk and replays the opened witness, and
+`--chunk K` audits one chunk alone against its authentication path.
 
 JSON reports embed a re-checkable certificate witness (dual vectors,
 local-ratio stack transcripts, maximality blockers) unless
@@ -283,6 +303,63 @@ fn certificate_mode(flags: &mut Flags) -> Result<CertificateMode, CliError> {
     }
 }
 
+/// Default chunk length for `--certificates committed`.
+const DEFAULT_CHUNK_LEN: usize = 256;
+
+/// `--certificates committed`: replace the report's witness with a
+/// chunked Merkle commitment and write the openable transcript sidecar
+/// to `witness_out`.
+struct CommitRequest {
+    chunk_len: usize,
+    witness_out: String,
+}
+
+/// `--certificates full|summary|committed` plus the commitment knobs
+/// (`solve` only — `batch` and the client keep the two-mode
+/// [`certificate_mode`]).
+fn solve_certificate_flags(
+    flags: &mut Flags,
+) -> Result<(CertificateMode, Option<CommitRequest>), CliError> {
+    let chunk_len = flags.take_parsed::<usize>("chunk-len")?;
+    let witness_out = flags.take("witness-out");
+    let mode = flags.take("certificates");
+    match mode.as_deref() {
+        Some("committed") => {
+            let witness_out = witness_out.ok_or_else(|| {
+                CliError::usage(
+                    "--certificates committed needs --witness-out <path> for the \
+                     transcript sidecar (without it the commitment could never be opened)",
+                )
+            })?;
+            let chunk_len = chunk_len.unwrap_or(DEFAULT_CHUNK_LEN);
+            if chunk_len == 0 {
+                return Err(CliError::usage("--chunk-len must be at least 1"));
+            }
+            Ok((
+                CertificateMode::Full,
+                Some(CommitRequest {
+                    chunk_len,
+                    witness_out,
+                }),
+            ))
+        }
+        None | Some("full") | Some("summary") => {
+            if chunk_len.is_some() || witness_out.is_some() {
+                return Err(CliError::usage(
+                    "--chunk-len/--witness-out require --certificates committed",
+                ));
+            }
+            match mode.as_deref() {
+                Some("summary") => Ok((CertificateMode::Summary, None)),
+                _ => Ok((CertificateMode::Full, None)),
+            }
+        }
+        Some(other) => Err(CliError::usage(format!(
+            "unknown certificate mode `{other}` (expected full, summary or committed)"
+        ))),
+    }
+}
+
 // ---------------------------------------------------------------- list --
 
 fn cmd_list(args: &[String]) -> Result<(), CliError> {
@@ -381,7 +458,22 @@ fn cmd_list(args: &[String]) -> Result<(), CliError> {
 // ----------------------------------------------------------------- gen --
 
 fn cmd_gen(args: &[String]) -> Result<(), CliError> {
-    let mut flags = Flags::parse(args, &["unweighted"])?;
+    let mut flags = Flags::parse(args, &["unweighted", "pipe"])?;
+    let pipe = flags.take("pipe").is_some();
+    if let Some(spec_path) = flags.take("sweep") {
+        if pipe {
+            return Err(CliError::usage(
+                "--sweep writes one file per point; it cannot combine with --pipe",
+            ));
+        }
+        let out_dir = flags.take("out-dir").unwrap_or_else(|| ".".into());
+        if !flags.finish()?.is_empty() {
+            return Err(CliError::usage(
+                "gen --sweep takes no positional arguments (family and knobs live in the spec)",
+            ));
+        }
+        return gen_sweep(&spec_path, &out_dir);
+    }
     let mut params = GenParams::default();
     if let Some(n) = flags.take_parsed("n")? {
         params.n = n;
@@ -420,12 +512,49 @@ fn cmd_gen(args: &[String]) -> Result<(), CliError> {
         params.seed = s;
     }
     let out = flags.take("out");
+    if pipe && out.is_some() {
+        return Err(CliError::usage("--pipe streams to stdout; drop --out"));
+    }
     let positional = flags.finish()?;
     let [family] = positional.as_slice() else {
         return Err(CliError::usage("gen needs exactly one <family> argument"));
     };
     let instance = workloads::build(family, &params).map_err(CliError::usage)?;
-    write_output(out, &io::render_instance(&instance))
+    if pipe {
+        // Stream line-by-line — byte-identical to the --out rendering
+        // (write_instance is render_instance's underlying writer), but
+        // without ever holding the whole document in memory.
+        let stdout = std::io::stdout();
+        let mut w = std::io::BufWriter::new(stdout.lock());
+        io::write_instance(&mut w, &instance)
+            .and_then(|()| std::io::Write::flush(&mut w))
+            .map_err(|e| CliError::runtime(format!("cannot write to stdout: {e}")))
+    } else {
+        write_output(out, &io::render_instance(&instance))
+    }
+}
+
+/// `gen --sweep`: expands a sweep-spec file into one instance file per
+/// swept value, streamed straight to disk.
+fn gen_sweep(spec_path: &str, out_dir: &str) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| CliError::runtime(format!("cannot read {spec_path}: {e}")))?;
+    let spec =
+        SweepSpec::parse(&text).map_err(|e| CliError::runtime(format!("{spec_path}: {e}")))?;
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| CliError::runtime(format!("cannot create {out_dir}: {e}")))?;
+    for point in spec.points() {
+        let instance = spec.build(&point).map_err(CliError::runtime)?;
+        let path = std::path::Path::new(out_dir).join(&point.out);
+        let file = std::fs::File::create(&path)
+            .map_err(|e| CliError::runtime(format!("cannot write {}: {e}", path.display())))?;
+        let mut w = std::io::BufWriter::new(file);
+        io::write_instance(&mut w, &instance)
+            .and_then(|()| std::io::Write::flush(&mut w))
+            .map_err(|e| CliError::runtime(format!("cannot write {}: {e}", path.display())))?;
+        println!("wrote {} ({} = {})", path.display(), spec.knob, point.value);
+    }
+    Ok(())
 }
 
 // --------------------------------------------------------------- solve --
@@ -453,13 +582,34 @@ fn configure(
     cfg
 }
 
+/// Where `solve` takes its instance from.
+enum Source {
+    /// `--input <path>`.
+    File(String),
+    /// `--input -`.
+    Stdin,
+    /// `--gen FAMILY[:knob=v,...]` — built in memory, never on disk.
+    Gen(String),
+}
+
 fn cmd_solve(args: &[String]) -> Result<(), CliError> {
-    let mut flags = Flags::parse(args, &["mask-timings"])?;
+    let mut flags = Flags::parse(args, &["mask-timings", "stream"])?;
     let timing = timing_mode(&mut flags);
-    let certificates = certificate_mode(&mut flags)?;
-    let input = flags
-        .take("input")
-        .ok_or_else(|| CliError::usage("solve needs --input <path>"))?;
+    let (certificates, commit_request) = solve_certificate_flags(&mut flags)?;
+    let source = match (flags.take("input"), flags.take("gen")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::usage("--input and --gen are mutually exclusive"))
+        }
+        (Some(path), None) if path == "-" => Source::Stdin,
+        (Some(path), None) => Source::File(path),
+        (None, Some(spec)) => Source::Gen(spec),
+        (None, None) => {
+            return Err(CliError::usage(
+                "solve needs --input <path|-> or --gen <family[:knob=v,...]>",
+            ))
+        }
+    };
+    let stream = flags.take("stream").is_some();
     let backend = parse_backend(&mut flags)?;
     let mu = flags.take_parsed("mu")?.unwrap_or(io::manifest::DEFAULT_MU);
     if !(mu.is_finite() && mu > 0.0) {
@@ -484,23 +634,99 @@ fn cmd_solve(args: &[String]) -> Result<(), CliError> {
         ));
     };
 
-    let instance = load_instance(&input)?;
-    let mut cfg = configure(&instance, mu, seed, threads, machines);
-    if backend == Backend::Dist {
-        // An explicit dist solve exercises the real thing: worker
-        // processes over Unix sockets (this binary re-enters as the
-        // worker; see the hook at the top of `main`).
-        cfg = cfg.with_spawn(SpawnKind::Process);
+    let report = if stream {
+        if algorithm != "matching" {
+            return Err(CliError::usage(format!(
+                "--stream supports the `matching` key only (got `{algorithm}`); \
+                 other keys use the materialized path"
+            )));
+        }
+        // The cluster shape derives from the header counts (n, m) —
+        // exactly the numbers `Instance::auto_config` would use — so the
+        // streamed report is bit-identical to the materialized one.
+        let configure = move |n: usize, m: usize| {
+            let mut cfg = MrConfig::auto(n, m.max(1), mu, seed);
+            if let Some(t) = threads {
+                cfg = cfg.with_threads(t);
+            }
+            if let Some(m) = machines {
+                cfg = cfg.with_machines(m);
+            }
+            if backend == Backend::Dist {
+                cfg = cfg.with_spawn(SpawnKind::Process);
+            }
+            if let Some(w) = workers {
+                cfg = cfg.with_workers(w);
+            }
+            if let Some(k) = kill {
+                cfg = cfg.with_worker_kill(k);
+            }
+            cfg
+        };
+        let streamed = match source {
+            Source::File(path) => {
+                let file = std::fs::File::open(&path)
+                    .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+                api::solve_matching_stream(file, io::DEFAULT_BUF_LEN, backend, configure)
+                    .map_err(|e| CliError::runtime(format!("{path}: {e}")))?
+            }
+            Source::Stdin => api::solve_matching_stream(
+                std::io::stdin().lock(),
+                io::DEFAULT_BUF_LEN,
+                backend,
+                configure,
+            )
+            .map_err(|e| CliError::runtime(format!("<stdin>: {e}")))?,
+            Source::Gen(spec) => {
+                let instance = workloads::build_spec(&spec).map_err(CliError::usage)?;
+                let Instance::Graph(g) = &instance else {
+                    return Err(CliError::runtime(format!(
+                        "--stream needs a `graph` instance; `{spec}` generates {}",
+                        instance.kind()
+                    )));
+                };
+                api::solve_matching_stream_from_graph(g, backend, configure)
+                    .map_err(|e| CliError::runtime(format!("{spec}: {e}")))?
+            }
+        };
+        streamed.map(Solution::Matching)
+    } else {
+        let instance = match source {
+            Source::File(path) => load_instance(&path)?,
+            Source::Stdin => {
+                let mut text = String::new();
+                std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut text)
+                    .map_err(|e| CliError::runtime(format!("cannot read stdin: {e}")))?;
+                io::parse_instance(&text).map_err(|e| CliError::runtime(format!("<stdin>: {e}")))?
+            }
+            Source::Gen(spec) => workloads::build_spec(&spec).map_err(CliError::usage)?,
+        };
+        let mut cfg = configure(&instance, mu, seed, threads, machines);
+        if backend == Backend::Dist {
+            // An explicit dist solve exercises the real thing: worker
+            // processes over Unix sockets (this binary re-enters as the
+            // worker; see the hook at the top of `main`).
+            cfg = cfg.with_spawn(SpawnKind::Process);
+        }
+        if let Some(w) = workers {
+            cfg = cfg.with_workers(w);
+        }
+        if let Some(k) = kill {
+            cfg = cfg.with_worker_kill(k);
+        }
+        Registry::with_defaults()
+            .solve_with(algorithm, backend, &instance, &cfg)
+            .map_err(|e| CliError::runtime(e.to_string()))?
+    };
+    let mut report = report;
+
+    if let Some(request) = &commit_request {
+        let commitment = api::commit_witness(&report.certificate.witness, request.chunk_len)
+            .map_err(|e| CliError::runtime(format!("cannot commit witness: {e}")))?;
+        std::fs::write(&request.witness_out, &commitment.transcript)
+            .map_err(|e| CliError::runtime(format!("cannot write {}: {e}", request.witness_out)))?;
+        report.certificate.witness = commitment.witness;
     }
-    if let Some(w) = workers {
-        cfg = cfg.with_workers(w);
-    }
-    if let Some(k) = kill {
-        cfg = cfg.with_worker_kill(k);
-    }
-    let report = Registry::with_defaults()
-        .solve_with(algorithm, backend, &instance, &cfg)
-        .map_err(|e| CliError::runtime(e.to_string()))?;
 
     // Fault recoveries are host-level observables (never serialized into
     // the report, which stays bit-identical to a clean run): narrate
@@ -568,6 +794,11 @@ fn cmd_verify(args: &[String]) -> Result<(), CliError> {
     let mut flags = Flags::parse(args, &["quiet"])?;
     let quiet = flags.take("quiet").is_some();
     let instances_dir = flags.take("instances-dir");
+    let witness_path = flags.take("witness");
+    let chunk = flags.take_parsed::<usize>("chunk")?;
+    if chunk.is_some() && witness_path.is_none() {
+        return Err(CliError::usage("--chunk needs --witness <transcript>"));
+    }
     let positional = flags.finish()?;
     match positional.as_slice() {
         [instance_path, report_path] => {
@@ -581,7 +812,12 @@ fn cmd_verify(args: &[String]) -> Result<(), CliError> {
                 .map_err(|e| CliError::runtime(format!("cannot read {report_path}: {e}")))?;
             let stored = io::parse_report(&text)
                 .map_err(|e| CliError::runtime(format!("{report_path}: {e}")))?;
-            let checks = audit_stored(&instance, &stored, report_path)?;
+            let checks = match &witness_path {
+                Some(transcript_path) => {
+                    audit_committed_stored(&instance, &stored, report_path, transcript_path, chunk)?
+                }
+                None => audit_stored(&instance, &stored, report_path)?,
+            };
             if !quiet {
                 for check in &checks {
                     println!("ok: {check}");
@@ -593,10 +829,51 @@ fn cmd_verify(args: &[String]) -> Result<(), CliError> {
             }
             Ok(())
         }
-        [batch_path] => verify_batch(batch_path, instances_dir.as_deref(), quiet),
+        [batch_path] => {
+            if witness_path.is_some() {
+                return Err(CliError::usage(
+                    "--witness applies to single-report verification, not batch documents",
+                ));
+            }
+            verify_batch(batch_path, instances_dir.as_deref(), quiet)
+        }
         _ => Err(CliError::usage(
             "verify needs <instance> and <report.json> arguments (or one <batch.json>)",
         )),
+    }
+}
+
+/// `verify --witness`: audits a committed-witness report against its
+/// transcript sidecar — the full open-and-replay audit, or (with
+/// `--chunk K`) a single chunk against its authentication path.
+fn audit_committed_stored(
+    instance: &Instance,
+    stored: &io::StoredReport,
+    report_path: &str,
+    transcript_path: &str,
+    chunk: Option<usize>,
+) -> Result<Vec<String>, CliError> {
+    let Some(witness @ Witness::Committed { .. }) = &stored.witness else {
+        return Err(CliError::runtime(format!(
+            "{report_path}: --witness only applies to a committed-witness report \
+             (this report stores a plain witness — verify it without --witness)"
+        )));
+    };
+    let transcript = std::fs::read_to_string(transcript_path)
+        .map_err(|e| CliError::runtime(format!("cannot read {transcript_path}: {e}")))?;
+    match chunk {
+        Some(index) => api::audit_chunk(witness, &transcript, index)
+            .map(|check| vec![check])
+            .map_err(|e| CliError::runtime(format!("{transcript_path}: {e}"))),
+        None => api::audit_committed(
+            instance,
+            &stored.algorithm,
+            &stored.solution,
+            &stored.claims,
+            witness,
+            &transcript,
+        )
+        .map_err(|e| CliError::runtime(format!("{transcript_path}: {e}"))),
     }
 }
 

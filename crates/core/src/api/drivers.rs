@@ -43,7 +43,7 @@ fn seq_err(e: String) -> MrError {
 /// single runtime-aware entry every cluster driver dispatches through —
 /// the run itself is the same `mr::*::run` in all cases, so
 /// Rlr/Mr/Shard/Dist reports (witnesses included) are bit-identical.
-fn cluster_cfg(backend: Backend, cfg: &MrConfig) -> MrConfig {
+pub(crate) fn cluster_cfg(backend: Backend, cfg: &MrConfig) -> MrConfig {
     match backend {
         Backend::Shard => cfg.with_runtime(RuntimeKind::Shard),
         Backend::Dist => cfg.with_runtime(RuntimeKind::Dist),

@@ -49,9 +49,11 @@
 //! assert!(report.metrics.as_ref().unwrap().rounds > 0);
 //! ```
 
+pub mod commit;
 mod drivers;
 mod problems;
 mod registry;
+pub mod stream;
 pub mod witness;
 
 use std::fmt;
@@ -61,6 +63,7 @@ use mrlr_mapreduce::{Metrics, MrResult};
 
 use crate::mr::MrConfig;
 
+pub use commit::{audit_chunk, audit_committed, commit_witness, open_witness, Commitment, Digest};
 pub use drivers::{
     BMatchingDriver, CliqueDriver, ColouringDriver, EdgeLimit, GreedySetCoverDriver,
     MatchingDriver, MisDriver, MisVariant, SetCoverFDriver, VertexCoverDriver,
@@ -75,6 +78,7 @@ pub use registry::{
     AlgorithmInfo, ErasedDriver, FromInstance, Instance, InstanceKind, IntoSolution, Registry,
     Solution, ALGORITHM_INFO, ALL_BACKENDS,
 };
+pub use stream::{solve_matching_stream, solve_matching_stream_from_graph, StreamError};
 pub use witness::{audit, audit_report, AuditError, Claims, Witness};
 
 /// Which implementation of an algorithm a [`Driver`] runs.

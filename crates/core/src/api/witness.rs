@@ -60,7 +60,9 @@ pub struct AuditError {
 }
 
 impl AuditError {
-    fn new(location: impl Into<String>, message: impl Into<String>) -> Self {
+    /// A failed check at `location` (a dotted path into the report or its
+    /// sidecar transcript).
+    pub fn new(location: impl Into<String>, message: impl Into<String>) -> Self {
         AuditError {
             location: location.into(),
             message: message.into(),
@@ -106,6 +108,22 @@ pub enum Witness {
         /// number of colours used.
         colour_counts: Vec<usize>,
     },
+    /// A hashed commitment to a stack or cover-dual transcript that lives
+    /// in a sidecar file: the report stays `O(1)` words while the full
+    /// transcript remains auditable chunk by chunk (see
+    /// [`super::commit`]). Produced by `mrlr solve --certificates
+    /// committed`; audited by [`super::commit::audit_committed`].
+    Committed {
+        /// Kind tag of the committed transcript (`"stack"` or
+        /// `"cover-dual"`).
+        of: String,
+        /// Total entry count of the transcript.
+        entries: usize,
+        /// Entries per chunk (the last chunk may be shorter).
+        chunk_len: usize,
+        /// The shape-bound Merkle root.
+        root: super::commit::Digest,
+    },
 }
 
 impl Witness {
@@ -116,6 +134,7 @@ impl Witness {
             Witness::Stack { .. } => "stack",
             Witness::Maximality { .. } => "maximality",
             Witness::Properness { .. } => "properness",
+            Witness::Committed { .. } => "committed",
         }
     }
 }
@@ -860,6 +879,14 @@ pub fn audit(
     claims: &Claims,
     witness: &Witness,
 ) -> Result<Vec<String>, AuditError> {
+    if let Witness::Committed { .. } = witness {
+        return Err(AuditError::new(
+            "witness",
+            "committed witness: the sidecar transcript is required to audit it — \
+             use `mrlr verify --witness <transcript>` (crate users: \
+             `commit::audit_committed`)",
+        ));
+    }
     let mut checks = Vec::new();
     let wrong_solution = |expected: &str| {
         AuditError::new(

@@ -72,6 +72,17 @@ pub fn witness_json(w: &Witness) -> Json {
                 Json::Arr(colour_counts.iter().map(|&c| Json::count(c)).collect()),
             ));
         }
+        Witness::Committed {
+            of,
+            entries,
+            chunk_len,
+            root,
+        } => {
+            fields.push(("of", Json::str(of)));
+            fields.push(("entries", Json::count(*entries)));
+            fields.push(("chunk_len", Json::count(*chunk_len)));
+            fields.push(("root", Json::str(root.to_string())));
+        }
     }
     Json::Obj(fields)
 }
@@ -193,6 +204,21 @@ pub fn parse_witness(v: &JsonValue) -> Result<Witness, IoError> {
                 .collect::<Result<_, _>>()?;
             Ok(Witness::Maximality { blockers })
         }
+        "committed" => {
+            let root_hex = need_str(v, "root", loc)?;
+            let root = crate::api::commit::Digest::from_hex(root_hex).ok_or_else(|| {
+                field_err(
+                    "certificate.witness.root",
+                    "not a 64-hex-digit commitment digest",
+                )
+            })?;
+            Ok(Witness::Committed {
+                of: need_str(v, "of", loc)?.to_string(),
+                entries: need_u64(v, "entries", loc)? as usize,
+                chunk_len: need_u64(v, "chunk_len", loc)? as usize,
+                root,
+            })
+        }
         "properness" => Ok(Witness::Properness {
             max_degree: need_u64(v, "max_degree", loc)? as usize,
             colour_counts: need_arr(v, "colour_counts", loc)?
@@ -306,8 +332,9 @@ pub fn parse_report_value(root: &JsonValue) -> Result<StoredReport, IoError> {
 /// (no claims to audit).
 #[derive(Debug, Clone, PartialEq)]
 pub enum BatchSlot {
-    /// A stored report, auditable like any single-report document.
-    Report(StoredReport),
+    /// A stored report, auditable like any single-report document
+    /// (boxed: a report dwarfs the error string next door).
+    Report(Box<StoredReport>),
     /// The error string the batch isolated into this slot.
     Error(String),
 }
@@ -372,7 +399,7 @@ pub fn parse_batch(text: &str) -> Result<StoredBatch, IoError> {
                     |(j, slot)| match slot.get("error").and_then(JsonValue::as_str) {
                         Some(e) => Ok(BatchSlot::Error(e.to_string())),
                         None => parse_report_value(slot)
-                            .map(BatchSlot::Report)
+                            .map(|r| BatchSlot::Report(Box::new(r)))
                             .map_err(|e| field_err(&format!("results[{i}][{j}]"), &e.message)),
                     },
                 )
@@ -407,6 +434,12 @@ mod tests {
             Witness::Properness {
                 max_degree: 7,
                 colour_counts: vec![3, 2, 1],
+            },
+            Witness::Committed {
+                of: "stack".into(),
+                entries: 1234,
+                chunk_len: 256,
+                root: crate::api::commit::Hasher::new(1).finish(),
             },
         ];
         for w in &cases {

@@ -22,369 +22,101 @@
 //! then parsing is the identity on every well-formed instance (asserted by
 //! the round-trip proptests).
 
-use std::fmt::Write as _;
+use std::io::Write;
 
-use mrlr_graph::{Edge, Graph, VertexId};
-use mrlr_setsys::{ElemId, SetSystem};
+use mrlr_graph::Graph;
 
-use super::{tokens, IoError};
-use crate::api::{BMatchingInstance, Instance, VertexWeightedGraph};
-
-fn err(line: usize, col: usize, message: impl Into<String>) -> IoError {
-    IoError {
-        line,
-        col,
-        message: message.into(),
-    }
-}
-
-/// A cursor over the tokens of one line, tracking columns for errors.
-struct Line<'a> {
-    no: usize,
-    toks: std::vec::IntoIter<(usize, &'a str)>,
-    /// Column just past the last token, for "missing token" errors.
-    end_col: usize,
-}
-
-impl<'a> Line<'a> {
-    fn new(no: usize, raw: &'a str) -> Self {
-        let toks = tokens(raw);
-        let end_col = toks.last().map_or(1, |(c, t)| c + t.len());
-        Line {
-            no,
-            toks: toks.into_iter(),
-            end_col,
-        }
-    }
-
-    fn next(&mut self, what: &str) -> Result<(usize, &'a str), IoError> {
-        self.toks
-            .next()
-            .ok_or_else(|| err(self.no, self.end_col, format!("missing {what}")))
-    }
-
-    fn maybe_next(&mut self) -> Option<(usize, &'a str)> {
-        self.toks.next()
-    }
-
-    fn finish(&mut self) -> Result<(), IoError> {
-        match self.toks.next() {
-            Some((col, tok)) => Err(err(self.no, col, format!("unexpected trailing `{tok}`"))),
-            None => Ok(()),
-        }
-    }
-
-    fn parse<T: std::str::FromStr>(&mut self, what: &str) -> Result<(usize, T), IoError> {
-        let (col, tok) = self.next(what)?;
-        let v = tok
-            .parse()
-            .map_err(|_| err(self.no, col, format!("bad {what} `{tok}`")))?;
-        Ok((col, v))
-    }
-}
-
-fn check_weight(w: f64, line: usize, col: usize, what: &str) -> Result<(), IoError> {
-    if w.is_finite() && w > 0.0 {
-        Ok(())
-    } else {
-        Err(err(
-            line,
-            col,
-            format!("{what} {w} must be positive and finite"),
-        ))
-    }
-}
+use super::stream::{InstanceSink, StreamParser};
+use super::IoError;
+use crate::api::Instance;
 
 /// Serializes `inst` in the unified format. The output is canonical:
 /// parsing it back yields a bit-identical instance, and rendering that
 /// parse yields byte-identical text.
 pub fn render_instance(inst: &Instance) -> String {
-    let mut out = String::new();
+    let mut out = Vec::new();
+    write_instance(&mut out, inst).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("the unified format is ASCII")
+}
+
+/// Streams `inst` in the unified format straight into `w`, line by line —
+/// no whole-document `String` is built, so `mrlr gen --pipe` can emit an
+/// instance far larger than memory into a pipe. [`render_instance`] is
+/// this function collected into a `String`, so the two are byte-identical
+/// by construction.
+pub fn write_instance<W: Write>(w: &mut W, inst: &Instance) -> std::io::Result<()> {
     match inst {
         Instance::Graph(g) => {
-            let _ = writeln!(out, "p graph {} {}", g.n(), g.m());
-            render_edges(&mut out, g);
+            writeln!(w, "p graph {} {}", g.n(), g.m())?;
+            write_edges(w, g)?;
         }
         Instance::VertexWeighted(vw) => {
-            let _ = writeln!(out, "p vertex-weighted {} {}", vw.graph.n(), vw.graph.m());
-            render_edges(&mut out, &vw.graph);
-            for (v, w) in vw.weights.iter().enumerate() {
-                let _ = writeln!(out, "n {v} {w:?}");
+            writeln!(w, "p vertex-weighted {} {}", vw.graph.n(), vw.graph.m())?;
+            write_edges(w, &vw.graph)?;
+            for (v, weight) in vw.weights.iter().enumerate() {
+                writeln!(w, "n {v} {weight:?}")?;
             }
         }
         Instance::BMatching(bm) => {
-            let _ = writeln!(
-                out,
+            writeln!(
+                w,
                 "p b-matching {} {} {:?}",
                 bm.graph.n(),
                 bm.graph.m(),
                 bm.eps
-            );
-            render_edges(&mut out, &bm.graph);
+            )?;
+            write_edges(w, &bm.graph)?;
             for (v, b) in bm.b.iter().enumerate() {
-                let _ = writeln!(out, "n {v} {b}");
+                writeln!(w, "n {v} {b}")?;
             }
         }
         Instance::SetSystem(sys) => {
-            let _ = writeln!(out, "p set-system {} {}", sys.universe(), sys.n_sets());
+            writeln!(w, "p set-system {} {}", sys.universe(), sys.n_sets())?;
             for (i, set) in sys.sets().iter().enumerate() {
-                let _ = write!(out, "s {:?}", sys.weight(i as u32));
+                write!(w, "s {:?}", sys.weight(i as u32))?;
                 for &j in set {
-                    let _ = write!(out, " {j}");
+                    write!(w, " {j}")?;
                 }
-                out.push('\n');
+                writeln!(w)?;
             }
         }
     }
-    out
+    Ok(())
 }
 
-fn render_edges(out: &mut String, g: &Graph) {
+fn write_edges<W: Write>(w: &mut W, g: &Graph) -> std::io::Result<()> {
     for e in g.edges() {
         if e.w == 1.0 {
-            let _ = writeln!(out, "e {} {}", e.u, e.v);
+            writeln!(w, "e {} {}", e.u, e.v)?;
         } else {
-            let _ = writeln!(out, "e {} {} {:?}", e.u, e.v, e.w);
+            writeln!(w, "e {} {} {:?}", e.u, e.v, e.w)?;
         }
     }
+    Ok(())
 }
 
 /// Parses the unified format produced by [`render_instance`] (or written
 /// by hand). Errors carry the 1-based line and column of the offending
 /// token.
+///
+/// This is the materialized entry point, built on the chunked
+/// [`StreamParser`] of [`super::stream`] with an [`InstanceSink`] — so
+/// the streamed and materialized paths share one validator by
+/// construction, and report identical errors on identical input (the
+/// chunking proptests assert this at every buffer size).
 pub fn parse_instance(text: &str) -> Result<Instance, IoError> {
-    let mut lines = text
-        .lines()
-        .enumerate()
-        .map(|(i, l)| (i + 1, l))
-        .filter(|(_, l)| {
-            let t = l.trim_start();
-            let c_comment =
-                t == "c" || (t.starts_with('c') && t[1..].starts_with(char::is_whitespace));
-            !(t.is_empty() || t.starts_with('#') || c_comment)
-        })
-        .map(|(no, raw)| Line::new(no, raw));
-
-    let mut problem = lines
-        .next()
-        .ok_or_else(|| err(0, 0, "empty input: missing problem line `p <kind> …`"))?;
-    let (pcol, ptag) = problem.next("problem line")?;
-    if ptag != "p" {
-        return Err(err(
-            problem.no,
-            pcol,
-            format!("expected problem line `p <kind> …`, found `{ptag}`"),
-        ));
-    }
-    let (kcol, kind) = problem.next("instance kind")?;
-    match kind {
-        "graph" | "vertex-weighted" | "b-matching" => {
-            let (_, n) = problem.parse::<usize>("vertex count")?;
-            let (_, m) = problem.parse::<usize>("edge count")?;
-            let eps = if kind == "b-matching" {
-                let (ecol, eps) = problem.parse::<f64>("eps")?;
-                check_weight(eps, problem.no, ecol, "eps")?;
-                Some(eps)
-            } else {
-                None
-            };
-            problem.finish()?;
-            parse_graph_body(lines, kind, n, m, eps)
-        }
-        "set-system" => {
-            let (_, universe) = problem.parse::<usize>("universe size")?;
-            let (_, n_sets) = problem.parse::<usize>("set count")?;
-            problem.finish()?;
-            parse_set_body(lines, universe, n_sets)
-        }
-        other => Err(err(
-            problem.no,
-            kcol,
-            format!(
-                "unknown instance kind `{other}` \
-                 (expected graph, vertex-weighted, b-matching or set-system)"
-            ),
-        )),
-    }
-}
-
-fn parse_graph_body<'a>(
-    lines: impl Iterator<Item = Line<'a>>,
-    kind: &str,
-    n: usize,
-    m: usize,
-    eps: Option<f64>,
-) -> Result<Instance, IoError> {
-    let needs_vertex_data = kind != "graph";
-    let mut edges: Vec<Edge> = Vec::with_capacity(m);
-    let mut seen = std::collections::HashSet::with_capacity(m * 2);
-    // One slot per vertex: weight (vertex-weighted) or capacity (b-matching).
-    let mut vertex_data: Vec<Option<f64>> = vec![None; n];
-    for mut line in lines {
-        let (tcol, tag) = line.next("record")?;
-        match tag {
-            "e" => {
-                let (ucol, u) = line.parse::<VertexId>("endpoint")?;
-                let (vcol, v) = line.parse::<VertexId>("endpoint")?;
-                let w = match line.maybe_next() {
-                    None => 1.0,
-                    Some((wcol, tok)) => {
-                        let w: f64 = tok
-                            .parse()
-                            .map_err(|_| err(line.no, wcol, format!("bad weight `{tok}`")))?;
-                        check_weight(w, line.no, wcol, "weight")?;
-                        w
-                    }
-                };
-                line.finish()?;
-                if (u as usize) >= n {
-                    return Err(err(
-                        line.no,
-                        ucol,
-                        format!("vertex {u} out of range 0..{n}"),
-                    ));
-                }
-                if (v as usize) >= n {
-                    return Err(err(
-                        line.no,
-                        vcol,
-                        format!("vertex {v} out of range 0..{n}"),
-                    ));
-                }
-                if u == v {
-                    return Err(err(line.no, vcol, format!("self-loop at vertex {u}")));
-                }
-                let (a, b) = (u.min(v), u.max(v));
-                if !seen.insert(((a as u64) << 32) | b as u64) {
-                    return Err(err(line.no, ucol, format!("duplicate edge ({a}, {b})")));
-                }
-                edges.push(Edge::new(u, v, w));
-            }
-            "n" if needs_vertex_data => {
-                let (vcol, v) = line.parse::<usize>("vertex id")?;
-                if v >= n {
-                    return Err(err(
-                        line.no,
-                        vcol,
-                        format!("vertex {v} out of range 0..{n}"),
-                    ));
-                }
-                let value = if kind == "b-matching" {
-                    let (bcol, b) = line.parse::<u32>("capacity")?;
-                    if b == 0 {
-                        return Err(err(line.no, bcol, "capacity must be at least 1"));
-                    }
-                    b as f64
-                } else {
-                    let (wcol, w) = line.parse::<f64>("vertex weight")?;
-                    check_weight(w, line.no, wcol, "vertex weight")?;
-                    w
-                };
-                line.finish()?;
-                if vertex_data[v].replace(value).is_some() {
-                    return Err(err(line.no, vcol, format!("duplicate data for vertex {v}")));
-                }
-            }
-            other => {
-                let expected = if needs_vertex_data {
-                    "`e` or `n`"
-                } else {
-                    "`e`"
-                };
-                return Err(err(
-                    line.no,
-                    tcol,
-                    format!("unexpected record `{other}` (expected {expected})"),
-                ));
-            }
-        }
-    }
-    if edges.len() != m {
-        return Err(err(
-            0,
-            0,
-            format!("problem line promised {m} edges, found {}", edges.len()),
-        ));
-    }
-    if needs_vertex_data {
-        if let Some(v) = vertex_data.iter().position(Option::is_none) {
-            return Err(err(0, 0, format!("vertex {v} has no `n` line")));
-        }
-    }
-    let graph = Graph::new(n, edges);
-    Ok(match kind {
-        "graph" => Instance::Graph(graph),
-        "vertex-weighted" => Instance::VertexWeighted(VertexWeightedGraph::new(
-            graph,
-            vertex_data.into_iter().map(|w| w.unwrap()).collect(),
-        )),
-        _ => Instance::BMatching(BMatchingInstance::new(
-            graph,
-            vertex_data.into_iter().map(|b| b.unwrap() as u32).collect(),
-            eps.expect("b-matching header carries eps"),
-        )),
-    })
-}
-
-fn parse_set_body<'a>(
-    lines: impl Iterator<Item = Line<'a>>,
-    universe: usize,
-    n_sets: usize,
-) -> Result<Instance, IoError> {
-    let mut sets: Vec<Vec<ElemId>> = Vec::with_capacity(n_sets);
-    let mut weights: Vec<f64> = Vec::with_capacity(n_sets);
-    for mut line in lines {
-        let (tcol, tag) = line.next("record")?;
-        if tag != "s" {
-            return Err(err(
-                line.no,
-                tcol,
-                format!("unexpected record `{tag}` (expected `s`)"),
-            ));
-        }
-        let (wcol, w) = line.parse::<f64>("set weight")?;
-        check_weight(w, line.no, wcol, "set weight")?;
-        let mut elems: Vec<ElemId> = Vec::new();
-        while let Some((ecol, tok)) = line.maybe_next() {
-            let j: ElemId = tok
-                .parse()
-                .map_err(|_| err(line.no, ecol, format!("bad element `{tok}`")))?;
-            if (j as usize) >= universe {
-                return Err(err(
-                    line.no,
-                    ecol,
-                    format!("element {j} out of range 0..{universe}"),
-                ));
-            }
-            if let Some(&last) = elems.last() {
-                if last >= j {
-                    return Err(err(
-                        line.no,
-                        ecol,
-                        format!("elements must be strictly increasing ({last} then {j})"),
-                    ));
-                }
-            }
-            elems.push(j);
-        }
-        weights.push(w);
-        sets.push(elems);
-    }
-    if sets.len() != n_sets {
-        return Err(err(
-            0,
-            0,
-            format!("problem line promised {n_sets} sets, found {}", sets.len()),
-        ));
-    }
-    Ok(Instance::SetSystem(SetSystem::new(universe, sets, weights)))
+    let mut parser = StreamParser::new(InstanceSink::default());
+    parser.feed_str(text)?;
+    parser.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::{BMatchingInstance, VertexWeightedGraph};
     use mrlr_graph::generators;
     use mrlr_setsys::generators as setgen;
+    use mrlr_setsys::SetSystem;
 
     fn sample_graph() -> Graph {
         generators::with_uniform_weights(&generators::densified(20, 0.4, 3), 1.0, 9.0, 3)

@@ -24,17 +24,22 @@ pub mod instance;
 pub mod json;
 pub mod manifest;
 pub mod report;
+pub mod stream;
 
 pub use certificate::{
     is_batch_document, parse_batch, parse_report, parse_witness, witness_json, BatchSlot,
     CertificateMode, StoredBatch, StoredReport,
 };
-pub use instance::{parse_instance, render_instance};
+pub use instance::{parse_instance, render_instance, write_instance};
 pub use json::{parse_json, Json, JsonValue};
 pub use manifest::{parse_manifest, JobSpec, Manifest};
 pub use report::{
     batch_csv, batch_json, metrics_json, report_csv_row, report_json, report_json_with,
     report_text, solution_json, BatchResults, TimingMode, REPORT_CSV_HEADER,
+};
+pub use stream::{
+    read_instance, stream_records, InstanceSink, Record, RecordSink, StreamHeader, StreamParser,
+    DEFAULT_BUF_LEN,
 };
 
 /// A parse failure with its 1-based line and column position (`0` for

@@ -15,13 +15,15 @@
 //! (`p = η/|E_i|`, fail if `Σ|E'_v| > 8η`), push centrally, broadcast `ϕ`
 //! deltas.
 
+use std::collections::HashMap;
+
 use mrlr_graph::{EdgeId, Graph, VertexId};
 use mrlr_mapreduce::rng::coin;
-use mrlr_mapreduce::{Cluster, Metrics, MrError, MrResult, WordSized};
+use mrlr_mapreduce::{Cluster, Ingest, Metrics, MrError, MrResult, WordSized};
 
 use crate::mr::{dist_cache, MrConfig, CENTRAL_FINISH_SLACK, MATCHING_GATHER_SLACK};
 use crate::rlr::matching::MATCH_COIN_TAG;
-use crate::seq::local_ratio_matching::{finish, MatchingLocalRatio};
+use crate::seq::local_ratio_matching::{finish_with, MatchingLocalRatio};
 use crate::types::{MatchingResult, POS_TOL};
 
 #[derive(Clone)]
@@ -141,9 +143,117 @@ pub(crate) fn run(g: &Graph, cfg: MrConfig) -> MrResult<(MatchingResult, Metrics
         }
         states
     });
+    let outcome = run_states(states, n, g.m(), cfg)?;
+    Ok((outcome.result, outcome.metrics))
+}
+
+/// Everything a run of Algorithm 4 produces: the solution, the cluster
+/// metrics, and the endpoints/weights of every stacked edge — the latter
+/// is what lets the streamed path certify its result without a central
+/// [`Graph`] (the stack is `O(n log n)` edges w.h.p., not `O(m)`).
+pub(crate) struct RunOutcome {
+    pub(crate) result: MatchingResult,
+    pub(crate) metrics: Metrics,
+    /// `edge id → (u, v, original weight)` for every pushed edge.
+    pub(crate) pushed: HashMap<EdgeId, (VertexId, VertexId, f64)>,
+    /// Vertex count of the instance.
+    pub(crate) n: usize,
+}
+
+/// Per-machine state for a matching run built *without* a central graph:
+/// edge records stream in ascending edge-id order (the materialized
+/// [`Graph`]'s id order) and are scattered to both endpoints' machines via
+/// [`MrConfig::place`] — the exact layout [`run`] builds from a central
+/// adjacency, reproduced incrementally, so the solve downstream is
+/// bit-identical.
+pub(crate) struct StreamedMatching {
+    cfg: MrConfig,
+    n: usize,
+    m: usize,
+    /// Edge halves `(owner vertex, edge id, other endpoint, weight)`
+    /// accumulating per machine.
+    halves: Ingest<(VertexId, EdgeId, VertexId, f64)>,
+}
+
+impl StreamedMatching {
+    /// A builder for a `p graph <n> <m>` stream under `cfg`.
+    pub(crate) fn new(n: usize, m: usize, cfg: MrConfig) -> MrResult<Self> {
+        if cfg.eta == 0 {
+            return Err(MrError::BadConfig("eta must be positive".into()));
+        }
+        Ok(StreamedMatching {
+            cfg,
+            n,
+            m,
+            halves: Ingest::new(cfg.machines),
+        })
+    }
+
+    /// Routes edge `e = {u, v}` (weight `w`) to both endpoints' machines.
+    /// Edges must arrive in ascending id order.
+    pub(crate) fn push_edge(
+        &mut self,
+        e: EdgeId,
+        u: VertexId,
+        v: VertexId,
+        w: f64,
+    ) -> MrResult<()> {
+        self.halves.push(self.cfg.place(u as u64), (u, e, v, w))?;
+        self.halves.push(self.cfg.place(v as u64), (v, e, u, w))
+    }
+
+    /// Finalizes the per-machine states and runs Algorithm 4. The states
+    /// are bit-identical to what [`run`] builds centrally: vertices in
+    /// ascending id order per machine, incidence lists in ascending edge
+    /// id (arrival order, kept by the stable sort).
+    pub(crate) fn solve(self) -> MrResult<RunOutcome> {
+        let StreamedMatching { cfg, n, m, halves } = self;
+        // Which vertices each machine owns, ascending (isolated vertices
+        // included — the materialized layout gives every vertex an entry).
+        let mut owners: Vec<Vec<VertexId>> = (0..cfg.machines).map(|_| Vec::new()).collect();
+        for v in 0..n {
+            owners[cfg.place(v as u64)].push(v as VertexId);
+        }
+        let mut states: Vec<MatchState> = Vec::with_capacity(cfg.machines);
+        for (dst, mut block) in halves.into_blocks().into_iter().enumerate() {
+            // Stable: per-vertex groups keep ascending edge-id arrival order.
+            block.sort_by_key(|&(v, _, _, _)| v);
+            let mut vertices = Vec::with_capacity(owners[dst].len());
+            let mut pos = 0usize;
+            for &v in &owners[dst] {
+                let start = pos;
+                while pos < block.len() && block[pos].0 == v {
+                    pos += 1;
+                }
+                vertices.push(VertexAdj {
+                    v,
+                    inc: block[start..pos]
+                        .iter()
+                        .map(|&(_, e, o, w)| (e, o, w))
+                        .collect(),
+                });
+            }
+            drop(block); // free each flat block before converting the next
+            states.push(MatchState {
+                vertices,
+                phi: vec![0.0; n],
+            });
+        }
+        run_states(states, n, m, cfg)
+    }
+}
+
+/// The Algorithm 4 driver loop over prepared per-machine states — shared
+/// verbatim by the materialized ([`run`]) and streamed
+/// ([`StreamedMatching::solve`]) paths, so both produce bit-identical
+/// solutions, witnesses and [`Metrics`]. Central bookkeeping records the
+/// endpoints of every pushed edge, which is all the unwind and the
+/// certificate ever look up — `O(stack)` words, never `O(m)`.
+fn run_states(states: Vec<MatchState>, n: usize, m: usize, cfg: MrConfig) -> MrResult<RunOutcome> {
     let mut cluster = Cluster::new(cfg.cluster(), states)?;
 
     let mut lr = MatchingLocalRatio::new(n);
+    let mut pushed: HashMap<EdgeId, (VertexId, VertexId, f64)> = HashMap::new();
     cluster.charge_central(n + 2)?;
 
     let mut iteration = 0usize;
@@ -172,7 +282,9 @@ pub(crate) fn run(g: &Graph, cfg: MrConfig) -> MrResult<(MatchingResult, Metrics
                 })?;
             residual.sort_unstable_by_key(|&(e, _, _, _)| e);
             for (e, u, v, w) in residual {
-                lr.push(e, u, v, w);
+                if lr.push(e, u, v, w) {
+                    pushed.insert(e, (u, v, w));
+                }
             }
             break;
         }
@@ -230,6 +342,7 @@ pub(crate) fn run(g: &Graph, cfg: MrConfig) -> MrResult<(MatchingResult, Metrics
             }
             if let Some((_, e, o, w)) = best {
                 if lr.push(e, v, o, w) {
+                    pushed.insert(e, (v, o, w));
                     touched.push(v);
                     touched.push(o);
                 }
@@ -250,14 +363,19 @@ pub(crate) fn run(g: &Graph, cfg: MrConfig) -> MrResult<(MatchingResult, Metrics
         // Charge the growing central stack.
         cluster.charge_central(n + 2 + 2 * lr.stack_len())?;
 
-        if iteration > 64 + 4 * g.m() {
+        if iteration > 64 + 4 * m {
             return Err(cluster.fail("iteration budget exhausted"));
         }
     }
 
-    let result = finish(g, lr, iteration);
+    let result = finish_with(n, lr, iteration, |id| pushed[&id]);
     let (_, metrics) = cluster.into_parts();
-    Ok((result, metrics))
+    Ok(RunOutcome {
+        result,
+        metrics,
+        pushed,
+        n,
+    })
 }
 
 #[cfg(test)]

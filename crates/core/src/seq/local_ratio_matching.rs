@@ -94,13 +94,28 @@ impl MatchingLocalRatio {
     /// Unwinds the stack, adding edges greedily (latest pushed first) when
     /// both endpoints are free. Returns matching edge ids, ascending.
     pub fn unwind(&self, g: &Graph) -> Vec<EdgeId> {
-        let mut used = vec![false; g.n()];
+        self.unwind_with(g.n(), |id| {
+            let e = g.edge(id);
+            (e.u, e.v, e.w)
+        })
+    }
+
+    /// [`MatchingLocalRatio::unwind`] against any edge lookup — the
+    /// streamed driver has no central [`Graph`], only the recorded
+    /// endpoints of the `O(n log n)` stacked edges, which is all the
+    /// unwind ever consults.
+    pub fn unwind_with(
+        &self,
+        n: usize,
+        edge: impl Fn(EdgeId) -> (VertexId, VertexId, f64),
+    ) -> Vec<EdgeId> {
+        let mut used = vec![false; n];
         let mut matching = Vec::new();
         for &(id, _) in self.stack.iter().rev() {
-            let e = g.edge(id);
-            if !used[e.u as usize] && !used[e.v as usize] {
-                used[e.u as usize] = true;
-                used[e.v as usize] = true;
+            let (u, v, _) = edge(id);
+            if !used[u as usize] && !used[v as usize] {
+                used[u as usize] = true;
+                used[v as usize] = true;
                 matching.push(id);
             }
         }
@@ -128,8 +143,24 @@ pub fn local_ratio_matching(g: &Graph) -> MatchingResult {
 }
 
 pub(crate) fn finish(g: &Graph, lr: MatchingLocalRatio, iterations: usize) -> MatchingResult {
-    let matching = lr.unwind(g);
-    let weight: f64 = matching.iter().map(|&e| g.edge(e).w).sum();
+    finish_with(g.n(), lr, iterations, |id| {
+        let e = g.edge(id);
+        (e.u, e.v, e.w)
+    })
+}
+
+/// [`finish`] against any edge lookup (see
+/// [`MatchingLocalRatio::unwind_with`]): unwinds and sums the matching
+/// weight in ascending edge-id order — the same float summation order as
+/// the materialized path, so results are bit-identical.
+pub(crate) fn finish_with(
+    n: usize,
+    lr: MatchingLocalRatio,
+    iterations: usize,
+    edge: impl Fn(EdgeId) -> (VertexId, VertexId, f64),
+) -> MatchingResult {
+    let matching = lr.unwind_with(n, &edge);
+    let weight: f64 = matching.iter().map(|&e| edge(e).2).sum();
     debug_assert!(
         weight + 1e-6 >= lr.gain(),
         "unwound matching weight {} below stack gain {}",

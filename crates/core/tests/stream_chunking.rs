@@ -1,0 +1,178 @@
+//! Property tests of the chunked streaming parser: feeding a document
+//! through [`StreamParser::feed`] in arbitrary byte-sized chunks (or
+//! through [`read_instance`] at arbitrary buffer lengths) is
+//! bit-identical to the one-shot [`parse_instance`] — same instance on
+//! well-formed input, same located [`IoError`] (line *and* column) on
+//! every strict prefix and every corrupted document.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+
+use mrlr_core::api::{BMatchingInstance, Instance, VertexWeightedGraph};
+use mrlr_core::io::{
+    parse_instance, read_instance, render_instance, InstanceSink, IoError, StreamParser,
+};
+use mrlr_graph::{Edge, Graph};
+use mrlr_setsys::SetSystem;
+
+/// Strategy: an arbitrary weighted simple graph (mix of unit and
+/// non-dyadic weights, like the round-trip proptests).
+fn arb_graph(nmax: usize, mmax: usize) -> impl Strategy<Value = Graph> {
+    (1usize..=nmax).prop_flat_map(move |n| {
+        proptest::collection::vec(((0..n as u32), (0..n as u32), 1u32..100_000), 0..=mmax).prop_map(
+            move |raw| {
+                let mut seen = std::collections::HashSet::new();
+                let mut edges = Vec::new();
+                for (a, b, w) in raw {
+                    if a == b {
+                        continue;
+                    }
+                    let key = (a.min(b), a.max(b));
+                    if seen.insert(key) {
+                        let w = if w % 5 == 0 { 1.0 } else { w as f64 / 977.0 };
+                        edges.push(Edge::new(key.0, key.1, w));
+                    }
+                }
+                Graph::new(n, edges)
+            },
+        )
+    })
+}
+
+fn arb_system(nmax: usize, mmax: usize) -> impl Strategy<Value = SetSystem> {
+    (1usize..=nmax, 1usize..=mmax).prop_flat_map(|(n, m)| {
+        (
+            proptest::collection::vec(proptest::collection::vec(0u32..m as u32, 0..=m), n),
+            proptest::collection::vec(1u32..100_000, n),
+        )
+            .prop_map(move |(sets, weights)| {
+                let sets: Vec<Vec<u32>> = sets
+                    .into_iter()
+                    .map(|mut s| {
+                        s.sort_unstable();
+                        s.dedup();
+                        s
+                    })
+                    .collect();
+                let weights = weights.into_iter().map(|w| w as f64 / 977.0).collect();
+                SetSystem::new(m, sets, weights)
+            })
+    })
+}
+
+/// Strategy: the instance kinds multiplexed, so one property covers all
+/// four format variants. The weight/capacity pools are as long as the
+/// largest `n` `arb_graph` can produce, so `take(g.n())` always yields
+/// exactly one entry per vertex.
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        0usize..4,
+        arb_graph(14, 36),
+        proptest::collection::vec(1u32..100_000, 14),
+        proptest::collection::vec(1u32..6, 14),
+        1u32..400,
+        arb_system(12, 20),
+    )
+        .prop_map(|(kind, g, wraw, braw, eps_num, sys)| match kind {
+            0 => Instance::Graph(g),
+            1 => {
+                let weights: Vec<f64> =
+                    wraw.iter().take(g.n()).map(|&w| w as f64 / 977.0).collect();
+                Instance::VertexWeighted(VertexWeightedGraph::new(g, weights))
+            }
+            2 => {
+                let b: Vec<u32> = braw.iter().take(g.n()).copied().collect();
+                Instance::BMatching(BMatchingInstance::new(g, b, eps_num as f64 / 128.0))
+            }
+            _ => Instance::SetSystem(sys),
+        })
+}
+
+/// Feeds `text` through the streaming parser in chunks whose sizes cycle
+/// through `chunks` — the adversarial schedule: chunk boundaries land
+/// mid-token, mid-line, mid-float, everywhere.
+fn parse_chunked(text: &str, chunks: &[usize]) -> Result<Instance, IoError> {
+    let bytes = text.as_bytes();
+    let mut parser = StreamParser::new(InstanceSink::default());
+    let mut pos = 0;
+    let mut i = 0;
+    while pos < bytes.len() {
+        let len = chunks[i % chunks.len()].clamp(1, bytes.len() - pos);
+        i += 1;
+        parser.feed(&bytes[pos..pos + len])?;
+        pos += len;
+    }
+    parser.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Well-formed documents: every chunk schedule and every reader
+    /// buffer length reproduces the one-shot parse bit-for-bit.
+    #[test]
+    fn chunked_parse_is_bit_identical(
+        inst in arb_instance(),
+        chunks in proptest::collection::vec(1usize..=17, 1..8),
+        buf_len in 1usize..=64,
+    ) {
+        let text = render_instance(&inst);
+        prop_assert_eq!(parse_chunked(&text, &chunks), Ok(inst.clone()));
+        prop_assert_eq!(read_instance(Cursor::new(text.as_bytes()), buf_len), Ok(inst));
+    }
+
+    /// Strict prefixes: truncating the document anywhere (even mid-token)
+    /// yields the same outcome — and on failure the same line+column —
+    /// from the chunked and the one-shot parser.
+    #[test]
+    fn prefixes_report_identical_errors(
+        inst in arb_instance(),
+        chunks in proptest::collection::vec(1usize..=13, 1..6),
+        cut in 0.0f64..1.0,
+    ) {
+        let text = render_instance(&inst);
+        let prefix = &text[..(text.len() as f64 * cut) as usize];
+        prop_assert_eq!(parse_chunked(prefix, &chunks), parse_instance(prefix));
+    }
+
+    /// Corrupted documents: overwriting one byte anywhere yields the
+    /// same outcome (instance, or error with identical line+column and
+    /// message) from both parsers.
+    #[test]
+    fn corruption_reports_identical_errors(
+        inst in arb_instance(),
+        chunks in proptest::collection::vec(1usize..=13, 1..6),
+        at in 0.0f64..1.0,
+        junk_idx in 0usize..5,
+    ) {
+        let mut bytes = render_instance(&inst).into_bytes();
+        prop_assume!(!bytes.is_empty());
+        let at = ((bytes.len() - 1) as f64 * at) as usize;
+        bytes[at] = [b'x', b'#', b' ', b'-', b'9'][junk_idx];
+        let text = String::from_utf8(bytes).unwrap();
+        prop_assert_eq!(parse_chunked(&text, &chunks), parse_instance(&text));
+    }
+}
+
+/// The documented prefix semantics on a concrete document, nailing down
+/// the exact positions the property above compares.
+#[test]
+fn prefix_errors_carry_exact_positions() {
+    let text = "p graph 3 2\ne 0 1 2.5\ne 1 2\n";
+    let full = parse_instance(text).unwrap();
+    // A prefix that cuts a whole record: file-level count mismatch.
+    assert_eq!(
+        parse_instance(&text[..22]).unwrap_err().to_string(),
+        "problem line promised 2 edges, found 1"
+    );
+    // A prefix that cuts mid-line: the truncated token is the error.
+    assert_eq!(
+        parse_chunked(&text[..15], &[1]),
+        parse_instance(&text[..15])
+    );
+    // Chunked at every size from 1 up: same instance.
+    for size in 1..=text.len() {
+        assert_eq!(parse_chunked(text, &[size]), Ok(full.clone()));
+    }
+}

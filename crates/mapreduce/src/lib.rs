@@ -81,6 +81,7 @@ pub mod dist;
 pub mod error;
 pub mod executor;
 pub mod faults;
+pub mod ingest;
 pub mod job;
 pub mod metrics;
 pub mod model;
@@ -102,6 +103,7 @@ pub use executor::{default_threads, executor_for, Executor, SeqExecutor, ThreadP
 pub use faults::{
     FaultEvent, FaultKind, FaultPlan, MeasuredRecovery, RecoveryReport, StragglerCost, WorkerKill,
 };
+pub use ingest::Ingest;
 pub use metrics::{
     DistSummary, Metrics, RecoveryEvent, RoundKind, RoundRecord, ServeSummary, SuperstepTiming,
     Violation, WorkerShuffle,
