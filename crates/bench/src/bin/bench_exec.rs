@@ -1,7 +1,7 @@
 //! Routing hot-path benchmark: maintains the committed `BENCH_exec.json`
 //! perf trajectory.
 //!
-//! Two sections feed the artifact:
+//! Three sections feed the artifact:
 //!
 //! * `router` — synthetic all-to-all exchange supersteps driven straight
 //!   through [`Cluster::exchange`], comparing the sequential `Merge`
@@ -15,13 +15,21 @@
 //!   the registry across threads {1, 4} × backends {mr, shard}, each leg
 //!   asserted bit-identical (solution and `Metrics`) to the `mr`
 //!   reference run.
+//! * `payload` — the vec3 container workload staged on the flat payload
+//!   plane ([`Cluster::exchange_payload`]) against the nested
+//!   `Vec<u64>`-message shape it replaces, plus an `mis2` registry leg
+//!   whose sample shuffles ride that plane. This section re-measures
+//!   BOTH phases every run (the two planes coexist in the same build),
+//!   so the before/after allocation gap is always an apples-to-apples
+//!   pair from one binary.
 //!
 //! Each row records wall-time, peak inbox bytes and allocator traffic
 //! per superstep, counted by a `#[global_allocator]` shim compiled into
 //! this bin only. Rows carry a `phase` tag (`before` / `after`):
 //! regeneration replaces only the rows of the phase being measured and
-//! keeps the other phase's rows, so the committed file accumulates the
-//! trajectory across PRs instead of overwriting it.
+//! keeps the other phase's rows (`payload` rows are always re-measured),
+//! so the committed file accumulates the trajectory across PRs instead
+//! of overwriting it.
 //!
 //! Usage:
 //!   `bench_exec [--quick] [--phase before|after] [out.json]`
@@ -29,9 +37,11 @@
 //!     default path `BENCH_exec.json`).
 //!   `bench_exec --check [out.json]`
 //!     CI mode: run the quick equivalence assertions (Merge vs the
-//!     concurrent plane) without touching the file, then fail unless the
-//!     committed artifact already has rows for both phases of both
-//!     sections.
+//!     concurrent plane, nested vs payload plane) without touching the
+//!     file, then fail unless the committed artifact already has rows
+//!     for both phases of every section, and fail if any freshly
+//!     measured columnar-plane row allocates more than 25% (plus a +16
+//!     absolute grace) over its committed `after` baseline.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -43,7 +53,7 @@ use mrlr_core::api::{Backend, Instance, Registry, VertexWeightedGraph};
 use mrlr_core::io::{parse_json, JsonValue};
 use mrlr_core::mr::MrConfig;
 use mrlr_mapreduce::cluster::{Cluster, ClusterConfig, Outbox};
-use mrlr_mapreduce::{DetRng, Metrics, RuntimeKind, Wire, WordSized};
+use mrlr_mapreduce::{DetRng, Metrics, PayloadOutbox, RuntimeKind, Wire, WordSized};
 
 // ---------------------------------------------------------------------------
 // Counting allocator (this bin only): every heap allocation and
@@ -138,6 +148,59 @@ struct RouterMeasurement {
     alloc_bytes_per_superstep: u64,
 }
 
+/// Builds the synthetic-workload cluster for one (runtime, threads)
+/// leg, with each machine's destination stream seeded from its own
+/// shard RNG (machine-local coins, not a stateless hash of the
+/// message id).
+fn router_cluster(runtime: RuntimeKind, threads: usize, p: RouterParams) -> Cluster<RouterState> {
+    let capacity = (p.volume + 2) * 64 * p.machines;
+    let cfg = ClusterConfig::new(p.machines, capacity)
+        .with_runtime(runtime)
+        .with_threads(threads)
+        .with_seed(ROUTER_SEED);
+    let states: Vec<RouterState> = (0..p.machines)
+        .map(|_| RouterState {
+            rng: DetRng::new(0),
+            checksum: 0,
+            received: 0,
+        })
+        .collect();
+    let mut cluster = Cluster::new(cfg, states).expect("cluster");
+    for id in 0..p.machines {
+        let shard = cluster.shard_mut(id);
+        let seed = shard.rng_mut().next_u64();
+        shard.state_mut().rng = DetRng::new(seed);
+    }
+    cluster
+}
+
+/// Warm-up, then measured supersteps around the allocator snapshot;
+/// shared by every router-shaped workload.
+fn measure_router(
+    mut cluster: Cluster<RouterState>,
+    p: RouterParams,
+    superstep: impl Fn(&mut Cluster<RouterState>),
+) -> RouterMeasurement {
+    for _ in 0..p.warmup {
+        superstep(&mut cluster);
+    }
+    let (calls0, bytes0) = alloc_snapshot();
+    let start = Instant::now();
+    for _ in 0..p.supersteps {
+        superstep(&mut cluster);
+    }
+    let wall_nanos = start.elapsed().as_nanos();
+    let (calls1, bytes1) = alloc_snapshot();
+    let (states, metrics) = cluster.into_parts();
+    RouterMeasurement {
+        checksums: states.iter().map(|s| s.checksum).collect(),
+        metrics,
+        wall_nanos,
+        allocs_per_superstep: (calls1 - calls0) / p.supersteps as u64,
+        alloc_bytes_per_superstep: (bytes1 - bytes0) / p.supersteps as u64,
+    }
+}
+
 /// Runs the synthetic workload on one (runtime, threads) leg. `build`
 /// turns a destination-selecting RNG draw into the message payload and
 /// `digest` folds a received message into the checksum; both are pure,
@@ -154,29 +217,10 @@ where
     B: Fn(u64) -> M + Sync,
     D: Fn(&M) -> u64 + Sync,
 {
-    let capacity = (p.volume + 2) * 64 * p.machines;
-    let cfg = ClusterConfig::new(p.machines, capacity)
-        .with_runtime(runtime)
-        .with_threads(threads)
-        .with_seed(ROUTER_SEED);
-    let states: Vec<RouterState> = (0..p.machines)
-        .map(|_| RouterState {
-            rng: DetRng::new(0),
-            checksum: 0,
-            received: 0,
-        })
-        .collect();
-    let mut cluster = Cluster::new(cfg, states).expect("cluster");
-    // Machine-local coins: each machine's destination stream derives from
-    // its own shard RNG, not from a stateless hash of the message id.
-    for id in 0..p.machines {
-        let shard = cluster.shard_mut(id);
-        let seed = shard.rng_mut().next_u64();
-        shard.state_mut().rng = DetRng::new(seed);
-    }
+    let cluster = router_cluster(runtime, threads, p);
     let machines = p.machines;
     let volume = p.volume;
-    let superstep = |cluster: &mut Cluster<RouterState>| {
+    measure_router(cluster, p, |cluster| {
         cluster
             .exchange(
                 |_, st: &mut RouterState, out: &mut Outbox<M>| {
@@ -196,25 +240,76 @@ where
                 },
             )
             .expect("exchange");
-    };
-    for _ in 0..p.warmup {
-        superstep(&mut cluster);
-    }
-    let (calls0, bytes0) = alloc_snapshot();
-    let start = Instant::now();
-    for _ in 0..p.supersteps {
-        superstep(&mut cluster);
-    }
-    let wall_nanos = start.elapsed().as_nanos();
-    let (calls1, bytes1) = alloc_snapshot();
-    let (states, metrics) = cluster.into_parts();
-    RouterMeasurement {
-        checksums: states.iter().map(|s| s.checksum).collect(),
-        metrics,
-        wall_nanos,
-        allocs_per_superstep: (calls1 - calls0) / p.supersteps as u64,
-        alloc_bytes_per_superstep: (bytes1 - bytes0) / p.supersteps as u64,
-    }
+    })
+}
+
+/// The vec3 workload restaged on the flat payload plane: head `()`
+/// (zero words) plus three `u64` elements, so each message meters
+/// 0 + 1 + 3 = 4 words — exactly the `Vec<u64>` shape it replaces —
+/// and the RNG draws are identical, so checksums and `Metrics` must
+/// match the nested-plane runs bit for bit.
+fn run_router_payload(runtime: RuntimeKind, threads: usize, p: RouterParams) -> RouterMeasurement {
+    let cluster = router_cluster(runtime, threads, p);
+    let machines = p.machines;
+    let volume = p.volume;
+    measure_router(cluster, p, |cluster| {
+        cluster
+            .exchange_payload(
+                |_, st: &mut RouterState, out: &mut PayloadOutbox<(), u64>| {
+                    for _ in 0..volume {
+                        let draw = st.rng.next_u64();
+                        let mut w = out.push_payload((draw % machines as u64) as usize, ());
+                        w.push(draw);
+                        w.push(draw ^ 0xff);
+                        w.push(draw >> 7);
+                    }
+                },
+                |_, st: &mut RouterState, mut inbox| {
+                    while let Some(((), payload)) = inbox.next_msg() {
+                        let digest = payload.iter().fold(0u64, |a, x| a.wrapping_add(*x));
+                        st.checksum = st
+                            .checksum
+                            .wrapping_mul(0x100_0000_01b3)
+                            .wrapping_add(digest);
+                        st.received += 1;
+                    }
+                },
+            )
+            .expect("exchange_payload");
+    })
+}
+
+/// Renders one router-shaped measurement as an artifact row.
+#[allow(clippy::too_many_arguments)]
+fn router_row(
+    section: &str,
+    phase: &str,
+    workload: &str,
+    backend: &str,
+    plane: &str,
+    threads: usize,
+    p: RouterParams,
+    m: &RouterMeasurement,
+) -> String {
+    let mut row = String::new();
+    let _ = write!(
+        row,
+        "{{\"section\": \"{section}\", \"phase\": \"{phase}\", \"workload\": \"{workload}\", \
+         \"backend\": \"{backend}\", \"plane\": \"{plane}\", \"threads\": {threads}, \
+         \"machines\": {}, \"volume\": {}, \"supersteps\": {}, \
+         \"wall_nanos\": {}, \"wall_nanos_per_superstep\": {}, \
+         \"allocs_per_superstep\": {}, \"alloc_bytes_per_superstep\": {}, \
+         \"peak_inbox_bytes\": {}}}",
+        p.machines,
+        p.volume,
+        p.supersteps,
+        m.wall_nanos,
+        m.wall_nanos / p.supersteps as u128,
+        m.allocs_per_superstep,
+        m.alloc_bytes_per_superstep,
+        m.metrics.peak_in_words * 8,
+    );
+    row
 }
 
 /// All router legs for one message shape; asserts every leg bit-identical
@@ -244,26 +339,10 @@ fn router_rows<M, B, D>(
                 m.metrics, reference.metrics,
                 "{workload}: {backend} threads={threads} metrics diverged"
             );
-            let mut row = String::new();
-            let _ = write!(
-                row,
-                "{{\"section\": \"router\", \"phase\": \"{phase}\", \"workload\": \"{workload}\", \
-                 \"backend\": \"{backend}\", \"plane\": \"{}\", \"threads\": {threads}, \
-                 \"machines\": {}, \"volume\": {}, \"supersteps\": {}, \
-                 \"wall_nanos\": {}, \"wall_nanos_per_superstep\": {}, \
-                 \"allocs_per_superstep\": {}, \"alloc_bytes_per_superstep\": {}, \
-                 \"peak_inbox_bytes\": {}}}",
-                runtime.router().name(),
-                p.machines,
-                p.volume,
-                p.supersteps,
-                m.wall_nanos,
-                m.wall_nanos / p.supersteps as u128,
-                m.allocs_per_superstep,
-                m.alloc_bytes_per_superstep,
-                m.metrics.peak_in_words * 8,
-            );
-            rows.push(row);
+            let plane = runtime.router().name();
+            rows.push(router_row(
+                "router", phase, workload, backend, plane, threads, p, &m,
+            ));
             eprintln!(
                 "router/{workload} {backend} t{threads}: \
                  {} allocs/superstep, {} ns/superstep",
@@ -274,6 +353,17 @@ fn router_rows<M, B, D>(
     }
 }
 
+fn vec3_build(draw: u64) -> Vec<u64> {
+    vec![draw, draw ^ 0xff, draw >> 7]
+}
+
+// `run_router` digests take `&M` with `M = Vec<u64>`, so `&Vec` is the
+// required signature here, not a pessimization.
+#[allow(clippy::ptr_arg)]
+fn vec3_digest(m: &Vec<u64>) -> u64 {
+    m.iter().fold(0u64, |a, x| a.wrapping_add(*x))
+}
+
 fn router_section(rows: &mut Vec<String>, phase: &str, quick: bool) {
     let p = if quick { ROUTER_QUICK } else { ROUTER_FULL };
     // One-word messages: the hot shape, where per-message overhead is
@@ -281,14 +371,7 @@ fn router_section(rows: &mut Vec<String>, phase: &str, quick: bool) {
     router_rows::<u64, _, _>(rows, phase, "u64", p, |draw| draw, |m| *m);
     // Container messages: exercises header-word accounting and payload
     // moves through the delivery pass.
-    router_rows::<Vec<u64>, _, _>(
-        rows,
-        phase,
-        "vec3",
-        p,
-        |draw| vec![draw, draw ^ 0xff, draw >> 7],
-        |m| m.iter().fold(0u64, |a, x| a.wrapping_add(*x)),
-    );
+    router_rows::<Vec<u64>, _, _>(rows, phase, "vec3", p, vec3_build, vec3_digest);
 }
 
 // ---------------------------------------------------------------------------
@@ -366,6 +449,109 @@ fn registry_section(rows: &mut Vec<String>, phase: &str, quick: bool) {
 }
 
 // ---------------------------------------------------------------------------
+// Payload section: the flat payload plane against the nested Vec plane
+// it replaces, measured as a before/after pair from the same binary.
+
+/// Router-shaped payload legs plus the `mis2` registry leg. The
+/// `before` rows are the vec3 `Vec<u64>`-message shape (one heap
+/// allocation per staged message plus one per delivered copy); the
+/// `after` rows stage the identical traffic through
+/// [`Cluster::exchange_payload`] writer handles into pooled flat
+/// columns. Head `()` + 3 elements meters 0 + 1 + 3 = 4 words — the
+/// same as `Vec<u64>` with 3 elements — and both planes consume the
+/// same RNG draws, so every leg of both phases is asserted
+/// bit-identical (checksums + `Metrics`) to the nested Classic/t1
+/// reference before any row is emitted.
+fn payload_section(rows: &mut Vec<String>, quick: bool) {
+    let p = if quick { ROUTER_QUICK } else { ROUTER_FULL };
+    let reference =
+        run_router::<Vec<u64>, _, _>(RuntimeKind::Classic, 1, p, vec3_build, vec3_digest);
+    let legs = [("mr", RuntimeKind::Classic), ("shard", RuntimeKind::Shard)];
+    for (backend, runtime) in legs {
+        for threads in [1usize, 4] {
+            let before = run_router::<Vec<u64>, _, _>(runtime, threads, p, vec3_build, vec3_digest);
+            let after = run_router_payload(runtime, threads, p);
+            for (phase, workload, m) in [("before", "vec3", &before), ("after", "payload", &after)]
+            {
+                assert_eq!(
+                    m.checksums, reference.checksums,
+                    "payload/{workload}: {backend} threads={threads} diverged from reference"
+                );
+                assert_eq!(
+                    m.metrics, reference.metrics,
+                    "payload/{workload}: {backend} threads={threads} metrics diverged"
+                );
+                let plane = runtime.router().name();
+                rows.push(router_row(
+                    "payload", phase, workload, backend, plane, threads, p, m,
+                ));
+            }
+            eprintln!(
+                "payload {backend} t{threads}: {} → {} allocs/superstep",
+                before.allocs_per_superstep, after.allocs_per_superstep
+            );
+        }
+    }
+    payload_registry_rows(rows, quick);
+}
+
+/// The `mis2` solve through the registry: its sample shuffles ride the
+/// payload plane, so this leg records what the flat columns buy at the
+/// whole-algorithm level. Each leg is asserted bit-identical (solution
+/// and `Metrics`) to the `mr` reference run.
+fn payload_registry_rows(rows: &mut Vec<String>, quick: bool) {
+    let registry = Registry::with_defaults();
+    let n = if quick { REG_QUICK_N } else { REG_FULL_N };
+    let g = weighted_graph(n, REG_C, REG_SEED);
+    let cfg = MrConfig::auto(n, g.m(), REG_MU, REG_SEED);
+    let instance = Instance::Graph(g);
+    let reference = registry
+        .solve_with("mis2", Backend::Mr, &instance, &cfg)
+        .expect("mis2 reference run");
+    for (backend_name, plane, backend) in [
+        ("mr", "merge", Backend::Mr),
+        ("shard", "columnar", Backend::Shard),
+    ] {
+        for threads in [1usize, 4] {
+            let leg_cfg = cfg.with_threads(threads);
+            let (calls0, bytes0) = alloc_snapshot();
+            let report = registry
+                .solve_with("mis2", backend, &instance, &leg_cfg)
+                .expect("mis2 solve");
+            let (calls1, bytes1) = alloc_snapshot();
+            assert_eq!(
+                report.solution, reference.solution,
+                "mis2: {backend_name} threads={threads} diverged"
+            );
+            assert_eq!(
+                report.metrics, reference.metrics,
+                "mis2: {backend_name} threads={threads} metrics diverged"
+            );
+            let metrics = report.metrics.as_ref().expect("cluster metrics");
+            let supersteps = metrics.supersteps.max(1) as u64;
+            let mut row = String::new();
+            let _ = write!(
+                row,
+                "{{\"section\": \"payload\", \"phase\": \"after\", \
+                 \"workload\": \"mis2\", \"backend\": \"{backend_name}\", \
+                 \"plane\": \"{plane}\", \"threads\": {threads}, \
+                 \"supersteps\": {}, \"rounds\": {}, \"wall_nanos\": {}, \
+                 \"allocs_per_superstep\": {}, \"alloc_bytes_per_superstep\": {}, \
+                 \"peak_inbox_bytes\": {}}}",
+                metrics.supersteps,
+                metrics.rounds,
+                report.wall.as_nanos(),
+                (calls1 - calls0) / supersteps,
+                (bytes1 - bytes0) / supersteps,
+                metrics.peak_in_words * 8,
+            );
+            rows.push(row);
+        }
+    }
+    eprintln!("payload/mis2: mr + shard at threads {{1,4}}");
+}
+
+// ---------------------------------------------------------------------------
 // Artifact assembly: keep the other phase's rows, replace this phase's.
 
 fn render_value(v: &JsonValue, out: &mut String) {
@@ -412,7 +598,9 @@ fn render_value(v: &JsonValue, out: &mut String) {
 }
 
 /// Rows already in the artifact whose `phase` differs from the one being
-/// re-measured, re-rendered verbatim.
+/// re-measured, re-rendered verbatim. `payload`-section rows are always
+/// dropped: that section re-measures both of its phases on every run,
+/// so keeping the old rows would duplicate them.
 fn kept_rows(path: &str, phase: &str) -> Vec<String> {
     let Ok(text) = std::fs::read_to_string(path) else {
         return Vec::new();
@@ -423,7 +611,10 @@ fn kept_rows(path: &str, phase: &str) -> Vec<String> {
         .and_then(JsonValue::as_arr)
         .expect("artifact has a rows array");
     rows.iter()
-        .filter(|row| row.get("phase").and_then(JsonValue::as_str) != Some(phase))
+        .filter(|row| {
+            row.get("phase").and_then(JsonValue::as_str) != Some(phase)
+                && row.get("section").and_then(JsonValue::as_str) != Some("payload")
+        })
         .map(|row| {
             let mut s = String::new();
             render_value(row, &mut s);
@@ -444,17 +635,10 @@ fn write_artifact(path: &str, rows: &[String]) {
 }
 
 /// CI gate: the committed artifact must already carry both phases of
-/// both sections, i.e. the trajectory is present and regenerations did
+/// every section, i.e. the trajectory is present and regenerations did
 /// not drop the historical rows.
-fn check_artifact(path: &str) {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("--check: cannot read {path}: {e}"));
-    let doc = parse_json(&text).expect("artifact parses");
-    let rows = doc
-        .get("rows")
-        .and_then(JsonValue::as_arr)
-        .expect("artifact has a rows array");
-    for section in ["router", "registry"] {
+fn check_artifact(path: &str, rows: &[JsonValue]) {
+    for section in ["router", "registry", "payload"] {
         for phase in ["before", "after"] {
             let count = rows
                 .iter()
@@ -470,6 +654,64 @@ fn check_artifact(path: &str) {
             println!("ok: {section}/{phase}: {count} rows");
         }
     }
+}
+
+/// CI alloc-regression gate: every freshly measured columnar-plane row
+/// must stay within `max(base * 5/4, base + 16)` of the
+/// allocs-per-superstep its committed `after` baseline records (25%
+/// slack, with an absolute +16 grace so single-digit baselines don't
+/// flake on allocator noise). The fresh rows run at QUICK sizes, which
+/// are never larger than the committed full-size run, so a failure
+/// here means the columnar plane regressed for certain; a pass at
+/// quick size is the conservative direction.
+fn alloc_gate(committed: &[JsonValue], measured: &[String]) {
+    let key_of = |row: &JsonValue| -> Option<(String, String, String, u64)> {
+        if row.get("plane").and_then(JsonValue::as_str) != Some("columnar") {
+            return None;
+        }
+        Some((
+            row.get("section").and_then(JsonValue::as_str)?.to_string(),
+            row.get("workload").and_then(JsonValue::as_str)?.to_string(),
+            row.get("backend").and_then(JsonValue::as_str)?.to_string(),
+            row.get("threads").and_then(JsonValue::as_u64)?,
+        ))
+    };
+    let baselines: Vec<_> = committed
+        .iter()
+        .filter(|r| r.get("phase").and_then(JsonValue::as_str) == Some("after"))
+        .filter_map(|r| {
+            let key = key_of(r)?;
+            let base = r.get("allocs_per_superstep").and_then(JsonValue::as_u64)?;
+            Some((key, base))
+        })
+        .collect();
+    let mut gated = 0usize;
+    for row in measured {
+        let row = parse_json(row).expect("measured row renders as JSON");
+        let Some(key) = key_of(&row) else { continue };
+        let Some(&(_, base)) = baselines.iter().find(|(k, _)| *k == key) else {
+            continue;
+        };
+        let got = row
+            .get("allocs_per_superstep")
+            .and_then(JsonValue::as_u64)
+            .expect("measured row has allocs_per_superstep");
+        let allowed = (base * 5 / 4).max(base + 16);
+        assert!(
+            got <= allowed,
+            "--check: alloc regression on {key:?}: measured {got} allocs/superstep \
+             exceeds allowed {allowed} (committed baseline {base})"
+        );
+        println!(
+            "ok: allocs {}/{} {} t{}: {got} <= {allowed} (baseline {base})",
+            key.0, key.1, key.2, key.3
+        );
+        gated += 1;
+    }
+    assert!(
+        gated > 0,
+        "--check: no columnar rows were gated — baseline rows missing from the artifact"
+    );
 }
 
 fn main() {
@@ -496,11 +738,21 @@ fn main() {
     let out_path = out_path.unwrap_or_else(|| "BENCH_exec.json".into());
 
     if check {
-        // Fast equivalence gate first: any Merge-vs-concurrent-plane
-        // divergence panics inside router_rows before the file is judged.
+        // Fast equivalence gates first: any Merge-vs-concurrent-plane or
+        // nested-vs-payload-plane divergence panics inside the section
+        // runners before the file is judged.
         let mut scratch = Vec::new();
         router_section(&mut scratch, "check", true);
-        check_artifact(&out_path);
+        payload_section(&mut scratch, true);
+        let text = std::fs::read_to_string(&out_path)
+            .unwrap_or_else(|e| panic!("--check: cannot read {out_path}: {e}"));
+        let doc = parse_json(&text).expect("artifact parses");
+        let rows = doc
+            .get("rows")
+            .and_then(JsonValue::as_arr)
+            .expect("artifact has a rows array");
+        check_artifact(&out_path, rows);
+        alloc_gate(rows, &scratch);
         println!("check passed");
         return;
     }
@@ -508,5 +760,6 @@ fn main() {
     let mut rows = kept_rows(&out_path, &phase);
     router_section(&mut rows, &phase, quick);
     registry_section(&mut rows, &phase, quick);
+    payload_section(&mut rows, quick);
     write_artifact(&out_path, &rows);
 }

@@ -42,6 +42,9 @@ struct BMatchState {
     eps: f64,
     /// Edge id → (vertex slot, incidence slot) pairs on this machine.
     index: HashMap<EdgeId, Vec<(usize, usize)>>,
+    /// Round-local alive-incidence staging, reused across sampling rounds
+    /// (empty between supersteps; never part of the metered state words).
+    scratch: Vec<(EdgeId, VertexId, f64)>,
 }
 
 impl BMatchState {
@@ -157,6 +160,7 @@ pub(crate) fn run(
                 phi: vec![0.0; n],
                 eps: params.eps,
                 index: HashMap::new(),
+                scratch: Vec::new(),
             })
             .collect();
         for v in 0..n {
@@ -217,13 +221,17 @@ pub(crate) fn run(
         let mut sample: Vec<(VertexId, EdgeId, VertexId, f64)> =
             cluster.gather(|_, s: &mut BMatchState| {
                 let mut out = Vec::new();
+                // One state-held staging buffer per machine, reused every
+                // vertex and every round — not a fresh Vec per vertex.
+                let mut alive_inc = std::mem::take(&mut s.scratch);
                 for va in &s.vertices {
-                    let alive_inc: Vec<(EdgeId, VertexId, f64)> = va
-                        .inc
-                        .iter()
-                        .filter(|&&(_, o, w, p)| s.edge_alive(va.v, o, w, p))
-                        .map(|&(e, o, w, _)| (e, o, w))
-                        .collect();
+                    alive_inc.clear();
+                    alive_inc.extend(
+                        va.inc
+                            .iter()
+                            .filter(|&&(_, o, w, p)| s.edge_alive(va.v, o, w, p))
+                            .map(|&(e, o, w, _)| (e, o, w)),
+                    );
                     if alive_inc.is_empty() {
                         continue;
                     }
@@ -235,6 +243,8 @@ pub(crate) fn run(
                         out.push((va.v, e, o, w));
                     }
                 }
+                alive_inc.clear();
+                s.scratch = alive_inc;
                 out
             })?;
 
@@ -247,9 +257,10 @@ pub(crate) fn run(
         let mut pushed_bits = Bitset::new(g.m());
         let mut touched: Vec<VertexId> = Vec::new();
         let mut idx = 0usize;
+        let mut group: Vec<(EdgeId, VertexId, f64)> = Vec::new();
         while idx < sample.len() {
             let v = sample[idx].0;
-            let mut group: Vec<(EdgeId, VertexId, f64)> = Vec::new();
+            group.clear();
             while idx < sample.len() && sample[idx].0 == v {
                 group.push((sample[idx].1, sample[idx].2, sample[idx].3));
                 idx += 1;
@@ -284,17 +295,21 @@ pub(crate) fn run(
         touched.dedup();
         pushed_now.sort_unstable();
 
-        // Broadcast ϕ deltas and pushed edge ids; machines refresh.
+        // Broadcast ϕ deltas and pushed edge ids; machines refresh. The
+        // refresh closure borrows the broadcast value instead of moving
+        // clones of both lists into it.
         let phi_delta: Vec<(VertexId, f64)> = touched
             .iter()
             .map(|&v| (v, lr.phis()[v as usize]))
             .collect();
-        cluster.broadcast(&(phi_delta.clone(), pushed_now.clone()))?;
-        cluster.local(move |_, s: &mut BMatchState| {
-            for &(v, phi) in &phi_delta {
+        let update = (phi_delta, pushed_now);
+        cluster.broadcast(&update)?;
+        cluster.local(|_, s: &mut BMatchState| {
+            let (phi_delta, pushed_now) = &update;
+            for &(v, phi) in phi_delta {
                 s.phi[v as usize] = phi;
             }
-            for &e in &pushed_now {
+            for &e in pushed_now {
                 if let Some(slots) = s.index.get(&e) {
                     for &(vs, ps) in slots {
                         s.vertices[vs].inc[ps].3 = true;

@@ -129,6 +129,11 @@ pub(crate) fn run_vertex(
         },
         |_, s, inbox| {
             s.received = inbox.into_vec();
+            // Sort once at receipt: `(group, edge)` keys are unique, so
+            // this is deterministic on every routing plane, and both the
+            // Lemma 6.2 guard and the colouring pass then scan grouped
+            // data without cloning or re-sorting.
+            s.received.sort_unstable_by_key(|&(grp, e, _, _)| (grp, e));
         },
     )?;
 
@@ -138,8 +143,7 @@ pub(crate) fn run_vertex(
             |_, s: &ColourChunk| {
                 let mut best: (u64, u64) = (0, 0); // (count, group)
                 let mut idx = 0usize;
-                let mut rec = s.received.clone();
-                rec.sort_unstable_by_key(|&(grp, e, _, _)| (grp, e));
+                let rec = &s.received; // sorted by (group, edge) at receipt
                 while idx < rec.len() {
                     let grp = rec[idx].0;
                     let mut count = 0u64;
@@ -166,8 +170,7 @@ pub(crate) fn run_vertex(
     // Colour each owned group locally with the same greedy subroutine the
     // in-memory driver uses.
     cluster.local(move |_, s: &mut ColourChunk| {
-        let mut rec = std::mem::take(&mut s.received);
-        rec.sort_unstable_by_key(|&(grp, e, _, _)| (grp, e));
+        let rec = std::mem::take(&mut s.received); // sorted at receipt
         let mut idx = 0usize;
         while idx < rec.len() {
             let grp = rec[idx].0;
@@ -300,24 +303,31 @@ pub(crate) fn run_edge(
         },
         |_, s, inbox| {
             s.received = inbox.into_vec();
+            // Sort once at receipt (see the vertex-colouring exchange).
+            s.received.sort_unstable_by_key(|&(grp, e, _, _)| (grp, e));
         },
     )?;
 
     if let Some(limit) = edge_limit {
         let worst = cluster.aggregate(
             |_, s: &ColourChunk| {
-                let mut counts: Vec<(u64, u64)> = Vec::new();
-                for &(grp, _, _, _) in &s.received {
-                    match counts.iter_mut().find(|(gg, _)| *gg == grp) {
-                        Some((_, c)) => *c += 1,
-                        None => counts.push((grp, 1)),
+                // Grouped scan over the pre-sorted incidence; `>=` keeps
+                // the old `.max()` tie-break (greatest group id wins).
+                let mut best: (u64, u64) = (0, 0); // (count, group)
+                let mut idx = 0usize;
+                let rec = &s.received;
+                while idx < rec.len() {
+                    let grp = rec[idx].0;
+                    let mut count = 0u64;
+                    while idx < rec.len() && rec[idx].0 == grp {
+                        count += 1;
+                        idx += 1;
+                    }
+                    if count >= best.0 {
+                        best = (count, grp);
                     }
                 }
-                counts
-                    .into_iter()
-                    .map(|(gg, c)| (c, gg))
-                    .max()
-                    .unwrap_or((0, 0))
+                best
             },
             |a, b| if a.0 >= b.0 { a } else { b },
         )?;
@@ -330,8 +340,7 @@ pub(crate) fn run_edge(
     }
 
     cluster.local(move |_, s: &mut ColourChunk| {
-        let mut rec = std::mem::take(&mut s.received);
-        rec.sort_unstable_by_key(|&(grp, e, _, _)| (grp, e));
+        let rec = std::mem::take(&mut s.received); // sorted at receipt
         let mut idx = 0usize;
         while idx < rec.len() {
             let grp = rec[idx].0;

@@ -11,7 +11,9 @@
 //! `I`/`N⁺(I)` and re-evaluate candidates mid-round.
 
 use mrlr_graph::{Graph, VertexId};
-use mrlr_mapreduce::{Bitset, Cluster, Metrics, MrError, MrResult, WordSized};
+use mrlr_mapreduce::{
+    Bitset, Cluster, Metrics, MrError, MrResult, PayloadBatch, PayloadSink, WordSized,
+};
 
 use crate::hungry::mis::{degree_class, group_choice, MisParams, MIS_RNG_TAG};
 use crate::mr::{dist_cache, MrConfig};
@@ -72,13 +74,20 @@ impl MisChunk {
         }
     }
 
-    /// Alive neighbours of a record (uses the replicated removed bitmap).
-    pub fn alive_nbrs(&self, rec: &VertexRec) -> Vec<VertexId> {
-        rec.nbrs
-            .iter()
-            .copied()
-            .filter(|&w| !self.removed.get(w as usize))
-            .collect()
+    /// Streams a record's alive neighbours (via the replicated removed
+    /// bitmap) into a payload sink under `head` — the zero-alloc
+    /// replacement for the old `alive_nbrs(...) -> Vec<VertexId>`, which
+    /// allocated one list per sampled vertex per round.
+    pub fn sink_alive_nbrs<H>(&self, sink: &mut PayloadSink<H, VertexId>, head: H, rec: &VertexRec)
+    where
+        H: Copy + WordSized,
+    {
+        let mut w = sink.begin(head);
+        for &x in &rec.nbrs {
+            if !self.removed.get(x as usize) {
+                w.push(x);
+            }
+        }
     }
 }
 
@@ -146,38 +155,50 @@ impl CentralRound {
     }
 }
 
-type SampleMsg = (u64, u64, VertexId, Vec<VertexId>); // (class, group, v, alive nbrs)
+/// Per-sample fixed-width head on the payload plane: `(class, group, v)`;
+/// the variable-size alive-neighbour list rides in the flat element arena.
+/// Word count (3 + 1 + len) is identical to the `(u64, u64, VertexId,
+/// Vec<VertexId>)` tuple it replaced, so metrics and goldens don't move.
+type SampleHead = (u64, u64, VertexId);
 
 /// Processes gathered samples group-by-group, `accept(class)` giving the
 /// degree threshold; returns the removal delta. Ordering matches the
 /// in-memory drivers: groups ascending, members ascending, max current
-/// degree wins (first max = smallest id).
-fn process_groups(sample: &mut [SampleMsg], round: &mut CentralRound, accept: impl Fn(u64) -> f64) {
-    sample.sort_unstable_by_key(|&(c, g, v, _)| (c, g, v));
+/// degree wins (first max = smallest id). The batch stays flat — sorting
+/// permutes an index column, never the neighbour lists.
+fn process_groups(
+    sample: &PayloadBatch<SampleHead, VertexId>,
+    round: &mut CentralRound,
+    accept: impl Fn(u64) -> f64,
+) {
+    // `(class, group, v)` keys are unique (a vertex samples at most once),
+    // so the index sort reproduces the old in-place message sort exactly.
+    let mut order: Vec<usize> = (0..sample.len()).collect();
+    order.sort_unstable_by_key(|&i| sample.head(i));
     let mut idx = 0usize;
-    while idx < sample.len() {
-        let (c, gid) = (sample[idx].0, sample[idx].1);
-        let mut best: Option<(usize, usize)> = None; // (degree, index)
-        while idx < sample.len() && sample[idx].0 == c && sample[idx].1 == gid {
-            let (_, _, v, ref list) = sample[idx];
+    while idx < order.len() {
+        let (c, gid, _) = sample.head(order[idx]);
+        let mut best: Option<(usize, usize)> = None; // (degree, batch index)
+        while idx < order.len() {
+            let (c2, g2, v) = sample.head(order[idx]);
+            if (c2, g2) != (c, gid) {
+                break;
+            }
             if !round.removed_now.get(v as usize) {
-                let d = round.current_degree(list);
+                let d = round.current_degree(sample.payload(order[idx]));
                 if (d as f64) >= accept(c) {
                     best = match best {
-                        None => Some((d, idx)),
-                        Some((bd, _)) if d > bd => Some((d, idx)),
-                        other => {
-                            let _ = &other;
-                            other
-                        }
+                        None => Some((d, order[idx])),
+                        Some((bd, _)) if d > bd => Some((d, order[idx])),
+                        other => other,
                     };
                 }
             }
             idx += 1;
         }
         if let Some((_, bi)) = best {
-            let (_, _, v, list) = sample[bi].clone();
-            round.add(v, &list);
+            let (_, _, v) = sample.head(bi);
+            round.add(v, sample.payload(bi));
         }
     }
 }
@@ -185,21 +206,22 @@ fn process_groups(sample: &mut [SampleMsg], round: &mut CentralRound, accept: im
 /// The final central round: gathers the residual graph and finishes with
 /// the greedy MIS in ascending vertex order. Returns the chosen vertices.
 fn central_finish(cluster: &mut Cluster<MisChunk>, n: usize) -> MrResult<Vec<VertexId>> {
-    let mut residual: Vec<(VertexId, Vec<VertexId>)> = cluster.gather(|_, s: &mut MisChunk| {
-        let mut out = Vec::new();
-        for rec in &s.recs {
-            if rec.alive {
-                out.push((rec.v, s.alive_nbrs(rec)));
+    let residual: PayloadBatch<VertexId, VertexId> =
+        cluster.gather_payload(|_, s: &mut MisChunk, sink| {
+            for rec in &s.recs {
+                if rec.alive {
+                    s.sink_alive_nbrs(sink, rec.v, rec);
+                }
             }
-        }
-        out
-    })?;
-    residual.sort_unstable_by_key(|&(v, _)| v);
+        })?;
+    let mut order: Vec<usize> = (0..residual.len()).collect();
+    order.sort_unstable_by_key(|&i| residual.head(i));
     let mut round = CentralRound::new(n);
     let mut chosen = Vec::new();
-    for (v, list) in residual {
+    for i in order {
+        let v = residual.head(i);
         if !round.removed_now.get(v as usize) {
-            round.add(v, &list);
+            round.add(v, residual.payload(i));
             chosen.push(v);
         }
     }
@@ -314,30 +336,29 @@ pub(crate) fn run_fast(
         let alpha = params.alpha;
         let gs = params.group_size;
         let sizes = class_sizes.clone();
-        let mut sample: Vec<SampleMsg> = cluster.gather(move |_, s: &mut MisChunk| {
-            let mut out = Vec::new();
-            for r in &s.recs {
-                if !r.alive || r.d_alive == 0 {
-                    continue;
+        let sample: PayloadBatch<SampleHead, VertexId> =
+            cluster.gather_payload(move |_, s: &mut MisChunk, sink| {
+                for r in &s.recs {
+                    if !r.alive || r.d_alive == 0 {
+                        continue;
+                    }
+                    let i = degree_class(r.d_alive, nf, alpha, num_classes);
+                    let groups_count = nf.powf((i + 1) as f64 * alpha).ceil() as usize;
+                    if let Some(gid) = group_choice(
+                        seed,
+                        &[MIS_RNG_TAG, 0x6d32, k as u64, i as u64],
+                        r.v as u64,
+                        groups_count,
+                        gs,
+                        sizes[i] as usize,
+                    ) {
+                        s.sink_alive_nbrs(sink, (i as u64, gid as u64, r.v), r);
+                    }
                 }
-                let i = degree_class(r.d_alive, nf, alpha, num_classes);
-                let groups_count = nf.powf((i + 1) as f64 * alpha).ceil() as usize;
-                if let Some(gid) = group_choice(
-                    seed,
-                    &[MIS_RNG_TAG, 0x6d32, k as u64, i as u64],
-                    r.v as u64,
-                    groups_count,
-                    gs,
-                    sizes[i] as usize,
-                ) {
-                    out.push((i as u64, gid as u64, r.v, s.alive_nbrs(r)));
-                }
-            }
-            out
-        })?;
+            })?;
 
         let mut round = CentralRound::new(n);
-        process_groups(&mut sample, &mut round, |c| {
+        process_groups(&sample, &mut round, |c| {
             nf.powf(1.0 - (c as f64 + 1.0) * params.alpha)
         });
         for &v in &round.added {
@@ -454,19 +475,21 @@ pub(crate) fn run_simple(
             })?;
             if heavy_count < groups_target {
                 // Stragglers of this phase go to the central machine.
-                let mut stragglers: Vec<(VertexId, Vec<VertexId>)> =
-                    cluster.gather(move |_, s: &mut MisChunk| {
-                        s.recs
-                            .iter()
-                            .filter(|r| r.alive && r.d_alive as f64 >= tau)
-                            .map(|r| (r.v, s.alive_nbrs(r)))
-                            .collect::<Vec<_>>()
+                let stragglers: PayloadBatch<VertexId, VertexId> =
+                    cluster.gather_payload(move |_, s: &mut MisChunk, sink| {
+                        for r in &s.recs {
+                            if r.alive && r.d_alive as f64 >= tau {
+                                s.sink_alive_nbrs(sink, r.v, r);
+                            }
+                        }
                     })?;
-                stragglers.sort_unstable_by_key(|&(v, _)| v);
+                let mut order: Vec<usize> = (0..stragglers.len()).collect();
+                order.sort_unstable_by_key(|&i| stragglers.head(i));
                 let mut round = CentralRound::new(n);
-                for (v, list) in stragglers {
+                for i in order {
+                    let v = stragglers.head(i);
                     if !round.removed_now.get(v as usize) {
-                        round.add(v, &list);
+                        round.add(v, stragglers.payload(i));
                         in_i[v as usize] = true;
                     }
                 }
@@ -485,28 +508,27 @@ pub(crate) fn run_simple(
 
             let seed = params.seed;
             let gs = params.group_size;
-            let mut sample: Vec<SampleMsg> = cluster.gather(move |_, s: &mut MisChunk| {
-                let mut out = Vec::new();
-                for r in &s.recs {
-                    if !r.alive || (r.d_alive as f64) < tau {
-                        continue;
+            let sample: PayloadBatch<SampleHead, VertexId> =
+                cluster.gather_payload(move |_, s: &mut MisChunk, sink| {
+                    for r in &s.recs {
+                        if !r.alive || (r.d_alive as f64) < tau {
+                            continue;
+                        }
+                        if let Some(gid) = group_choice(
+                            seed,
+                            &[MIS_RNG_TAG, i as u64, guard as u64],
+                            r.v as u64,
+                            groups_target,
+                            gs,
+                            heavy_count,
+                        ) {
+                            s.sink_alive_nbrs(sink, (0u64, gid as u64, r.v), r);
+                        }
                     }
-                    if let Some(gid) = group_choice(
-                        seed,
-                        &[MIS_RNG_TAG, i as u64, guard as u64],
-                        r.v as u64,
-                        groups_target,
-                        gs,
-                        heavy_count,
-                    ) {
-                        out.push((0u64, gid as u64, r.v, s.alive_nbrs(r)));
-                    }
-                }
-                out
-            })?;
+                })?;
 
             let mut round = CentralRound::new(n);
-            process_groups(&mut sample, &mut round, |_| tau);
+            process_groups(&sample, &mut round, |_| tau);
             for &v in &round.added {
                 in_i[v as usize] = true;
             }

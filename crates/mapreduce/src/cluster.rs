@@ -36,6 +36,7 @@ use crate::dist::{DistConfig, DistSession, Wire};
 use crate::error::{CapacityKind, MrError, MrResult};
 use crate::executor::{self, Executor};
 use crate::metrics::{Metrics, RoundKind, Violation};
+use crate::payload::{self, PayloadBatch, PayloadInbox, PayloadOutbox, PayloadSink};
 use crate::router::{self, RouterKind, RouterScratch};
 use crate::shard::{shards_from_states, Shard};
 use crate::superstep::{self, RuntimeKind, Scheduler};
@@ -421,7 +422,7 @@ impl<S: MachineState> Cluster<S> {
         // whose workers bucket the serialized batches in arrival order.
         let delivery = match self.dist.as_mut() {
             Some(session) => {
-                let d = session.exchange(self.metrics.supersteps, outboxes)?;
+                let d = session.exchange(self.metrics.supersteps, outboxes, &mut self.scratch)?;
                 self.metrics.dist = Some(session.summary());
                 d
             }
@@ -440,11 +441,30 @@ impl<S: MachineState> Cluster<S> {
         self.metrics
             .record_round(RoundKind::Exchange, max_out, max_in, total);
 
+        let mut budget_err = None;
         for (id, used) in out_words.into_iter().enumerate() {
-            self.budget(id, CapacityKind::Outbox, used)?;
+            if let Err(e) = self.budget(id, CapacityKind::Outbox, used) {
+                budget_err = Some(e);
+                break;
+            }
         }
-        for (id, used) in delivery.in_words().iter().copied().enumerate() {
-            self.budget(id, CapacityKind::Inbox, used)?;
+        if budget_err.is_none() {
+            for (id, used) in delivery.in_words().iter().copied().enumerate() {
+                if let Err(e) = self.budget(id, CapacityKind::Inbox, used) {
+                    budget_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = budget_err {
+            // A budget violation skips the consume pass but must still
+            // return the delivery's pooled buffers — the leak class where
+            // an early `?` exit dropped taken scratch on the floor.
+            // SAFETY: the inboxes are dropped before the buffers recycle.
+            let (inboxes, buffers) = unsafe { delivery.into_inboxes() };
+            drop(inboxes);
+            buffers.recycle(&mut self.scratch);
+            return Err(e);
         }
 
         // Consume concurrently: each machine owns its shard and its inbox
@@ -462,6 +482,119 @@ impl<S: MachineState> Cluster<S> {
         buffers.recycle(&mut self.scratch);
         self.metrics
             .record_timing(pass.wall_nanos, &pass.task_nanos);
+        self.check_states()
+    }
+
+    /// One round of point-to-point **variable-size** messages: each
+    /// message is a `Copy` head plus a payload of `Copy` elements, staged
+    /// flat in a [`PayloadOutbox`] (whole slices via
+    /// [`PayloadOutbox::send`], or element-by-element through
+    /// [`PayloadOutbox::push_payload`] writer handles) and read back from
+    /// a [`PayloadInbox`] as zero-copy `(head, &[T])` slices. Metering,
+    /// delivery order and budgets are identical to [`Cluster::exchange`]
+    /// with `(head, Vec<T>)` tuple messages — a payload message costs
+    /// `head.words() + 1 + Σ element words` — but steady-state supersteps
+    /// perform no per-message allocation on any layer: staging, routing
+    /// ([`RouterKind::Columnar`]'s two-axis counting sort), the dist wire,
+    /// and consumption all run through pooled flat buffers.
+    pub fn exchange_payload<H, T, P, C>(&mut self, produce: P, consume: C) -> MrResult<()>
+    where
+        H: Copy + WordSized + Send + Wire + 'static,
+        T: Copy + WordSized + Send + Wire + 'static,
+        P: Fn(MachineId, &mut S, &mut PayloadOutbox<H, T>) + Sync,
+        C: Fn(MachineId, &mut S, PayloadInbox<H, T>) + Sync,
+    {
+        self.metrics.supersteps += 1;
+        self.dist_sync()?;
+        let machines = self.cfg.machines;
+        #[cfg(debug_assertions)]
+        let pooled_before = self.scratch.pooled_buffers();
+        let boxes: Vec<PayloadOutbox<H, T>> = (0..machines)
+            .map(|_| {
+                let (heads, dsts) = self.scratch.take_columns::<H>();
+                let lens = self.scratch.take_usizes_empty();
+                let elems = self.scratch.take_arena::<T>();
+                PayloadOutbox::with_buffers(machines, heads, dsts, lens, elems)
+            })
+            .collect();
+        let mut staging: Vec<(&mut Shard<S>, PayloadOutbox<H, T>)> =
+            self.shards.iter_mut().zip(boxes).collect();
+        let pass = self.sched.timed_mut(&mut staging, |id, (shard, out)| {
+            produce(id, shard.state_mut(), out);
+            out.staged_words()
+        });
+        let out_words: Vec<usize> = pass.results;
+        let outboxes: Vec<PayloadOutbox<H, T>> = staging.into_iter().map(|(_, out)| out).collect();
+        self.metrics
+            .record_timing(pass.wall_nanos, &pass.task_nanos);
+
+        let delivery = match self.dist.as_mut() {
+            Some(session) => {
+                let d = session.exchange_payload(
+                    self.metrics.supersteps,
+                    outboxes,
+                    &mut self.scratch,
+                )?;
+                self.metrics.dist = Some(session.summary());
+                d
+            }
+            None => payload::route_payload(
+                self.router,
+                &self.sched,
+                machines,
+                outboxes,
+                &mut self.scratch,
+            ),
+        };
+
+        let max_out = out_words.iter().copied().max().unwrap_or(0);
+        let max_in = delivery.in_words().iter().copied().max().unwrap_or(0);
+        let total: usize = out_words.iter().sum();
+        self.metrics
+            .record_round(RoundKind::Exchange, max_out, max_in, total);
+
+        let mut budget_err = None;
+        for (id, used) in out_words.into_iter().enumerate() {
+            if let Err(e) = self.budget(id, CapacityKind::Outbox, used) {
+                budget_err = Some(e);
+                break;
+            }
+        }
+        if budget_err.is_none() {
+            for (id, used) in delivery.in_words().iter().copied().enumerate() {
+                if let Err(e) = self.budget(id, CapacityKind::Inbox, used) {
+                    budget_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = budget_err {
+            // SAFETY: the inboxes are dropped before the buffers recycle.
+            let (inboxes, buffers) = unsafe { delivery.into_inboxes() };
+            drop(inboxes);
+            buffers.recycle(&mut self.scratch);
+            return Err(e);
+        }
+
+        // SAFETY: `buffers` (the arenas backing flat inboxes) lives until
+        // after the pass below has dropped every inbox.
+        let (inboxes, buffers) = unsafe { delivery.into_inboxes() };
+        let mut pairs: Vec<(&mut Shard<S>, PayloadInbox<H, T>)> =
+            self.shards.iter_mut().zip(inboxes).collect();
+        let pass = self.sched.timed_mut(&mut pairs, |id, (shard, inbox)| {
+            consume(id, shard.state_mut(), std::mem::take(inbox));
+        });
+        drop(pairs);
+        buffers.recycle(&mut self.scratch);
+        self.metrics
+            .record_timing(pass.wall_nanos, &pass.task_nanos);
+        // Every buffer an exchange takes must come back: the pool may
+        // warm up (grow) but can never shrink across a superstep.
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            self.scratch.pooled_buffers() >= pooled_before,
+            "router scratch leaked pooled buffers across a payload exchange"
+        );
         self.check_states()
     }
 
@@ -498,6 +631,82 @@ impl<S: MachineState> Cluster<S> {
         self.budget(central, CapacityKind::CentralGather, central_used)?;
 
         Ok(batches.into_iter().flatten().collect())
+    }
+
+    /// One round of all-machines-to-central with **variable-size**
+    /// messages: every machine stages `(head, payload)` pairs into a
+    /// pooled flat [`PayloadSink`] (no `Vec` per message), and the driver
+    /// receives one [`PayloadBatch`] — all messages flattened in machine
+    /// order, payloads readable as `&[T]` slices. Metering and budgets
+    /// are identical to [`Cluster::gather`] shipping `(head, Vec<T>)`
+    /// tuples: a message costs `head.words() + 1 + Σ element words`.
+    pub fn gather_payload<H, T, P>(&mut self, produce: P) -> MrResult<PayloadBatch<H, T>>
+    where
+        H: Copy + WordSized + Send + 'static,
+        T: Copy + WordSized + Send + 'static,
+        P: Fn(MachineId, &mut S, &mut PayloadSink<H, T>) + Sync,
+    {
+        self.metrics.supersteps += 1;
+        self.dist_sync()?;
+        let central = self.cfg.central;
+        let machines = self.cfg.machines;
+        #[cfg(debug_assertions)]
+        let pooled_before = self.scratch.pooled_buffers();
+        let sinks: Vec<PayloadSink<H, T>> = (0..machines)
+            .map(|_| {
+                let heads = self.scratch.take_arena::<H>();
+                let lens = self.scratch.take_usizes_empty();
+                let elems = self.scratch.take_arena::<T>();
+                PayloadSink::with_buffers(heads, lens, elems)
+            })
+            .collect();
+        let mut staging: Vec<(&mut Shard<S>, PayloadSink<H, T>)> =
+            self.shards.iter_mut().zip(sinks).collect();
+        let pass = self.sched.timed_mut(&mut staging, |id, (shard, sink)| {
+            produce(id, shard.state_mut(), sink);
+            sink.words()
+        });
+        let out_words: Vec<usize> = pass.results;
+        let sinks: Vec<PayloadSink<H, T>> = staging.into_iter().map(|(_, sink)| sink).collect();
+        self.metrics
+            .record_timing(pass.wall_nanos, &pass.task_nanos);
+        let total: usize = out_words.iter().sum();
+        let max_out = out_words.iter().copied().max().unwrap_or(0);
+        self.metrics
+            .record_round(RoundKind::Gather, max_out, total, total);
+
+        let mut budget_err = None;
+        for (id, used) in out_words.into_iter().enumerate() {
+            if let Err(e) = self.budget(id, CapacityKind::Outbox, used) {
+                budget_err = Some(e);
+                break;
+            }
+        }
+        if budget_err.is_none() {
+            let central_used = self.shards[central].words() + self.central_extra + total;
+            self.metrics.peak_central_words = self.metrics.peak_central_words.max(central_used);
+            if let Err(e) = self.budget(central, CapacityKind::CentralGather, central_used) {
+                budget_err = Some(e);
+            }
+        }
+        // Flatten in machine order; the sinks' pooled buffers go back
+        // even when a budget violation aborts the gather.
+        let mut batch = PayloadBatch::default();
+        for mut sink in sinks {
+            if budget_err.is_none() {
+                batch.append_sink(&mut sink);
+            }
+            sink.recycle_into(&mut self.scratch);
+        }
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            self.scratch.pooled_buffers() >= pooled_before,
+            "router scratch leaked pooled buffers across a payload gather"
+        );
+        match budget_err {
+            Some(e) => Err(e),
+            None => Ok(batch),
+        }
     }
 
     /// Metered broadcast of a `words`-word payload from the central machine

@@ -22,6 +22,7 @@
 //! matches its claimed `(seed, shard)` identity.
 
 use std::io::{self, Write as _};
+use std::ops::Range;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
@@ -31,13 +32,17 @@ use std::time::{Duration, Instant};
 
 use crate::error::{MrError, MrResult};
 use crate::metrics::{DistSummary, RecoveryEvent, WorkerShuffle};
+use crate::payload::{PayloadDelivery, PayloadOutbox};
 use crate::rng::mix2;
-use crate::router::{Delivery, Outbox};
+use crate::router::{Delivery, Outbox, RouterScratch};
 use crate::superstep::StaticAssignment;
 use crate::words::WordSized;
 
-use super::transport::{frame_bytes, read_frame, write_frame};
-use super::wire::{decode_value, encode_value, region_digest, Frame, Wire};
+use super::transport::{read_frame, read_frame_body, write_frame};
+use super::wire::{
+    decode_value, digest_fold_payload, digest_fold_shard, digest_init, BatchStream, Frame,
+    RegionWalker, Wire, WireError, WireReader,
+};
 use super::worker::{self, SOCKET_ENV, WORKER_BIN_ENV};
 use super::{DistConfig, SpawnKind};
 
@@ -104,6 +109,12 @@ pub struct DistSession {
     rendezvous: Option<Rendezvous>,
     recoveries: Vec<RecoveryEvent>,
     shuffle_nanos: u64,
+    /// Recycled batch-frame byte buffers (one per worker at steady state):
+    /// the retained replayable bytes of an exchange return here once every
+    /// region is safely back, so serialization stops allocating per round.
+    frame_pool: Vec<Vec<u8>>,
+    /// Reused raw region body (one in flight at a time).
+    region_buf: Vec<u8>,
 }
 
 impl DistSession {
@@ -132,6 +143,8 @@ impl DistSession {
             rendezvous,
             recoveries: Vec::new(),
             shuffle_nanos: 0,
+            frame_pool: Vec::new(),
+            region_buf: Vec::new(),
         };
         for w in 0..n {
             let (stream, join) = session.spawn_endpoint()?;
@@ -204,49 +217,61 @@ impl DistSession {
     /// decoded into the router's delivery shape. Delivery order is the
     /// router contract — `(sender id, send order)` — because senders are
     /// serialized in id order and workers bucket in arrival order.
-    pub(crate) fn exchange<M: WordSized + Wire>(
+    ///
+    /// Batch frames are streamed straight out of the staged columns into
+    /// pooled byte buffers ([`BatchStream`]) and regions are walked in
+    /// place from one reused body buffer ([`RegionWalker`]) — the
+    /// per-message `Vec<u8>` staging of the original implementation is
+    /// gone, and the outbox columns return to `scratch`. The wire bytes,
+    /// digest discipline and retained-replay recovery are unchanged.
+    pub(crate) fn exchange<M: WordSized + Wire + Send + 'static>(
         &mut self,
         superstep: usize,
         outboxes: Vec<Outbox<M>>,
+        scratch: &mut RouterScratch,
     ) -> MrResult<Delivery<M>> {
         let t0 = Instant::now();
         let s = superstep as u64;
-        let n = self.workers.len();
-        let mut per_worker: Vec<Vec<(u64, Vec<u8>)>> = (0..n).map(|_| Vec::new()).collect();
-        for mut outbox in outboxes {
-            for (dst, msg) in outbox.drain_pairs() {
-                per_worker[self.owner[dst]].push((dst as u64, encode_value(&msg)));
+        let mut streams = self.batch_streams(s);
+        for outbox in &outboxes {
+            for (i, &dst) in outbox.dsts.iter().enumerate() {
+                streams[self.owner[dst]].push_with(dst as u64, |out| outbox.msgs[i].encode(out));
             }
         }
-        // One batch + flush per worker, written before any read (the
-        // protocol's deadlock-freedom invariant). The raw bytes are
-        // retained until the region is safely back, so a worker death
-        // mid-exchange can be replayed to its replacement.
-        let mut retained: Vec<Vec<u8>> = Vec::with_capacity(n);
-        for (w, msgs) in per_worker.into_iter().enumerate() {
-            let mut bytes = frame_bytes(&Frame::Batch { superstep: s, msgs });
-            bytes.extend_from_slice(&frame_bytes(&Frame::Flush { superstep: s }));
-            self.workers[w].shuffle.bytes_out += bytes.len() as u64;
-            self.workers[w].shuffle.batches += 1;
-            let _ = self.workers[w].stream.write_all(&bytes);
-            retained.push(bytes);
+        for outbox in outboxes {
+            scratch.put_columns(outbox.into_buffers());
         }
+        let retained = self.send_batches(streams, s);
         let mut inboxes: Vec<Vec<M>> = (0..self.machines).map(|_| Vec::new()).collect();
-        let mut in_words = vec![0usize; self.machines];
-        for (w, kept) in retained.iter().enumerate() {
-            let region = match self.read_region(w, s) {
-                Ok(region) => region,
-                Err(_) => self.recover_exchange(w, s, kept)?,
-            };
-            for (shard, payloads) in region {
-                let shard = shard as usize;
-                for payload in payloads {
-                    let msg: M = decode_value(&payload)
-                        .map_err(|e| dist_err(format!("worker {w} inbox payload: {e}")))?;
-                    in_words[shard] += msg.words();
-                    inboxes[shard].push(msg);
+        let mut in_words = scratch.take_usizes(self.machines);
+        let mut body = std::mem::take(&mut self.region_buf);
+        let outcome = (|| -> MrResult<()> {
+            for (w, kept) in retained.iter().enumerate() {
+                if self.read_region_raw(w, s, &mut body).is_err() {
+                    self.recover_exchange_raw(w, s, kept, &mut body)?;
+                }
+                // The body is validated (digest + shard identity), so the
+                // walk cannot fail structurally; message decode errors are
+                // genuine corruption and stay fatal.
+                let (_, mut walker) = RegionWalker::open(&body).map_err(dist_err)?;
+                while let Some((shard, count)) = walker.next_shard().map_err(dist_err)? {
+                    let shard = shard as usize;
+                    for _ in 0..count {
+                        let payload = walker.next_payload().map_err(dist_err)?;
+                        let msg: M = decode_value(payload)
+                            .map_err(|e| dist_err(format!("worker {w} inbox payload: {e}")))?;
+                        in_words[shard] += msg.words();
+                        inboxes[shard].push(msg);
+                    }
                 }
             }
+            Ok(())
+        })();
+        self.region_buf = body;
+        self.frame_pool.extend(retained);
+        if let Err(e) = outcome {
+            scratch.put_usizes(in_words);
+            return Err(e);
         }
         self.shuffle_nanos += t0.elapsed().as_nanos() as u64;
         // Deliveries stay nested here: the decoded regions arrive
@@ -255,41 +280,141 @@ impl DistSession {
         Ok(Delivery::from_nested(inboxes, in_words))
     }
 
-    /// Reads and validates one worker's inbox region for superstep `s`.
-    fn read_region(&mut self, w: usize, s: u64) -> io::Result<Vec<(u64, Vec<Vec<u8>>)>> {
-        let frame = read_frame(&mut self.workers[w].stream)?;
-        let bytes = frame_bytes(&frame).len() as u64;
-        self.workers[w].shuffle.bytes_in += bytes;
-        match frame {
-            Frame::Inboxes {
-                superstep,
-                shards,
-                digest,
-            } if superstep == s => {
-                // Re-derive the digest from the received bytes under the
-                // master's own seed: ties the region to the deterministic
-                // `(seed, shard id)` identity it claims.
-                if digest != region_digest(self.seed, &shards) {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("worker {w} region digest mismatch at superstep {s}"),
-                    ));
-                }
-                let expected = self.assignment.chunk(w);
-                let ids: Vec<u64> = shards.iter().map(|(id, _)| *id).collect();
-                if ids != (expected.start as u64..expected.end as u64).collect::<Vec<_>>() {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("worker {w} returned shards {ids:?}, owns {expected:?}"),
-                    ));
-                }
-                Ok(shards)
+    /// The payload-plane shuffle: like [`DistSession::exchange`], but the
+    /// staged `(head, [element])` messages stream onto the wire directly
+    /// from the flat payload columns, and the returned regions decode
+    /// straight into pooled flat arenas — a [`PayloadDelivery`] in its
+    /// zero-copy `Flat` representation, never a nested `Vec<Vec<_>>`.
+    ///
+    /// Each message's wire bytes are exactly the canonical encoding of the
+    /// `(head, Vec<element>)` tuple it replaces, so workers (which treat
+    /// payloads as opaque bytes), region digests and recovery replay need
+    /// no changes. Flat assembly is possible because regions arrive in
+    /// worker order and [`StaticAssignment`] blocks are contiguous and
+    /// ascending: shards stream back in exact destination order.
+    pub(crate) fn exchange_payload<H, T>(
+        &mut self,
+        superstep: usize,
+        outboxes: Vec<PayloadOutbox<H, T>>,
+        scratch: &mut RouterScratch,
+    ) -> MrResult<PayloadDelivery<H, T>>
+    where
+        H: Copy + WordSized + Wire + Send + 'static,
+        T: Copy + WordSized + Wire + Send + 'static,
+    {
+        let t0 = Instant::now();
+        let s = superstep as u64;
+        let mut streams = self.batch_streams(s);
+        for outbox in &outboxes {
+            let mut off = 0usize;
+            for (i, &dst) in outbox.dsts.iter().enumerate() {
+                let len = outbox.lens[i];
+                let elems = &outbox.elems[off..off + len];
+                off += len;
+                streams[self.owner[dst]].push_with(dst as u64, |out| {
+                    outbox.heads[i].encode(out);
+                    (len as u64).encode(out);
+                    for e in elems {
+                        e.encode(out);
+                    }
+                });
             }
-            other => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("worker {w} expected Inboxes({s}), got {other:?}"),
-            )),
         }
+        for outbox in outboxes {
+            outbox.recycle_into(scratch);
+        }
+        let retained = self.send_batches(streams, s);
+        let mut heads: Vec<H> = scratch.take_arena();
+        let mut elems: Vec<T> = scratch.take_arena();
+        let mut spans = scratch.take_ranges_empty();
+        let mut ranges = scratch.take_ranges(self.machines);
+        let mut in_words = scratch.take_usizes(self.machines);
+        let mut body = std::mem::take(&mut self.region_buf);
+        let outcome = (|| -> MrResult<()> {
+            for (w, kept) in retained.iter().enumerate() {
+                if self.read_region_raw(w, s, &mut body).is_err() {
+                    self.recover_exchange_raw(w, s, kept, &mut body)?;
+                }
+                let wire = |e: WireError| dist_err(format!("worker {w} inbox payload: {e}"));
+                let (_, mut walker) = RegionWalker::open(&body).map_err(dist_err)?;
+                while let Some((shard, count)) = walker.next_shard().map_err(dist_err)? {
+                    let shard = shard as usize;
+                    let mstart = heads.len();
+                    let mut words = 0usize;
+                    for _ in 0..count {
+                        let payload = walker.next_payload().map_err(dist_err)?;
+                        let mut r = WireReader::new(payload);
+                        let head = H::decode(&mut r).map_err(wire)?;
+                        let plen = usize::decode(&mut r).map_err(wire)?;
+                        let estart = elems.len();
+                        let mut msg_words = head.words() + 1;
+                        for _ in 0..plen {
+                            let e = T::decode(&mut r).map_err(wire)?;
+                            msg_words += e.words();
+                            elems.push(e);
+                        }
+                        r.finish().map_err(wire)?;
+                        heads.push(head);
+                        spans.push((estart, plen));
+                        words += msg_words;
+                    }
+                    ranges[shard] = (mstart, heads.len() - mstart);
+                    in_words[shard] = words;
+                }
+            }
+            Ok(())
+        })();
+        self.region_buf = body;
+        self.frame_pool.extend(retained);
+        if let Err(e) = outcome {
+            heads.clear();
+            elems.clear();
+            scratch.put_arena(heads);
+            scratch.put_arena(elems);
+            scratch.put_ranges(spans);
+            scratch.put_ranges(ranges);
+            scratch.put_usizes(in_words);
+            return Err(e);
+        }
+        self.shuffle_nanos += t0.elapsed().as_nanos() as u64;
+        Ok(PayloadDelivery::from_flat(
+            heads, spans, elems, ranges, in_words,
+        ))
+    }
+
+    /// One [`BatchStream`] per worker, seeded from the frame pool.
+    fn batch_streams(&mut self, s: u64) -> Vec<BatchStream> {
+        (0..self.workers.len())
+            .map(|_| BatchStream::begin(self.frame_pool.pop().unwrap_or_default(), s))
+            .collect()
+    }
+
+    /// Finishes and writes one batch + flush per worker, written before
+    /// any read (the protocol's deadlock-freedom invariant). The raw
+    /// bytes are retained until the region is safely back, so a worker
+    /// death mid-exchange can be replayed to its replacement.
+    fn send_batches(&mut self, streams: Vec<BatchStream>, s: u64) -> Vec<Vec<u8>> {
+        let mut retained: Vec<Vec<u8>> = Vec::with_capacity(streams.len());
+        for (w, stream) in streams.into_iter().enumerate() {
+            let bytes = stream.finish(s);
+            self.workers[w].shuffle.bytes_out += bytes.len() as u64;
+            self.workers[w].shuffle.batches += 1;
+            let _ = self.workers[w].stream.write_all(&bytes);
+            retained.push(bytes);
+        }
+        retained
+    }
+
+    /// Reads one worker's raw inbox-region frame body into `body` and
+    /// fully validates it — claimed superstep, shard identity against the
+    /// worker's assigned block, and the region digest under the master's
+    /// own seed — without decoding any message payload. Validation runs
+    /// *before* anything is trusted into delivery buffers, so a failure
+    /// here is recoverable exactly like a transport error.
+    fn read_region_raw(&mut self, w: usize, s: u64, body: &mut Vec<u8>) -> io::Result<()> {
+        read_frame_body(&mut self.workers[w].stream, body)?;
+        self.workers[w].shuffle.bytes_in += (4 + body.len()) as u64;
+        validate_region(body, self.seed, s, self.assignment.chunk(w), w)
     }
 
     fn expect_ack(&mut self, w: usize, s: u64) -> io::Result<()> {
@@ -321,13 +446,14 @@ impl DistSession {
 
     /// Recovery path B — death detected mid-exchange: respawn, reassign,
     /// reopen the barrier, replay the retained batch bytes, re-flush, and
-    /// take the region from the replacement.
-    fn recover_exchange(
+    /// take (and re-validate) the raw region from the replacement.
+    fn recover_exchange_raw(
         &mut self,
         w: usize,
         s: u64,
         retained: &[u8],
-    ) -> MrResult<Vec<(u64, Vec<Vec<u8>>)>> {
+        body: &mut Vec<u8>,
+    ) -> MrResult<()> {
         let t0 = Instant::now();
         self.respawn(w)?;
         write_frame(&mut self.workers[w].stream, &Frame::Open { superstep: s })
@@ -337,14 +463,14 @@ impl DistSession {
             .stream
             .write_all(retained)
             .map_err(dist_err)?;
-        let region = self.read_region(w, s).map_err(dist_err)?;
+        self.read_region_raw(w, s, body).map_err(dist_err)?;
         self.recoveries.push(RecoveryEvent {
             worker: w,
             superstep: s as usize,
             wall_nanos: t0.elapsed().as_nanos() as u64,
             replayed_bytes: retained.len() as u64,
         });
-        Ok(region)
+        Ok(())
     }
 
     /// Replaces worker `w`'s endpoint with a freshly spawned one and
@@ -434,6 +560,60 @@ impl Drop for DistSession {
             reap(wh);
         }
     }
+}
+
+/// Validates one raw `Inboxes` frame body: the claimed superstep, the
+/// shard ids against worker `w`'s assigned block (ascending, complete),
+/// and the trailing digest against a streaming re-derivation under the
+/// master's `seed` — the exact fold of
+/// [`crate::dist::wire::region_digest`], computed while walking the raw
+/// bytes so the region is never materialized as nested vectors.
+fn validate_region(
+    body: &[u8],
+    seed: u64,
+    s: u64,
+    expected: Range<usize>,
+    w: usize,
+) -> io::Result<()> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let wire = |e: WireError| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("worker {w} inbox region: {e}"),
+        )
+    };
+    let (superstep, mut walker) = RegionWalker::open(body).map_err(wire)?;
+    if superstep != s {
+        return Err(bad(format!(
+            "worker {w} expected Inboxes({s}), got superstep {superstep}"
+        )));
+    }
+    let mut h = digest_init(seed);
+    let mut next_shard = expected.start as u64;
+    while let Some((shard, count)) = walker.next_shard().map_err(wire)? {
+        if shard != next_shard || shard >= expected.end as u64 {
+            return Err(bad(format!(
+                "worker {w} returned shard {shard}, owns {expected:?}"
+            )));
+        }
+        next_shard += 1;
+        h = digest_fold_shard(h, seed, shard, count);
+        for _ in 0..count {
+            h = digest_fold_payload(h, walker.next_payload().map_err(wire)?);
+        }
+    }
+    if next_shard != expected.end as u64 {
+        return Err(bad(format!(
+            "worker {w} returned shards ending at {next_shard}, owns {expected:?}"
+        )));
+    }
+    let digest = walker.finish().map_err(wire)?;
+    if digest != h {
+        return Err(bad(format!(
+            "worker {w} region digest mismatch at superstep {s}"
+        )));
+    }
+    Ok(())
 }
 
 /// Joins or waits out a replaced/terminated worker endpoint.
@@ -543,9 +723,12 @@ mod tests {
                 workers,
                 ..DistConfig::default()
             };
+            let mut scratch = RouterScratch::default();
             let mut session = DistSession::launch(machines, 42, &cfg).unwrap();
             session.open(1).unwrap();
-            let got = session.exchange(1, outboxes(machines, 50, 7)).unwrap();
+            let got = session
+                .exchange(1, outboxes(machines, 50, 7), &mut scratch)
+                .unwrap();
             let want = reference(machines, 50, 7);
             assert_eq!(got.nested(), want.nested(), "workers {workers}");
             assert_eq!(got.in_words(), want.in_words(), "workers {workers}");
@@ -553,6 +736,85 @@ mod tests {
             assert_eq!(summary.workers, workers.min(machines));
             assert!(summary.shuffle.iter().any(|s| s.bytes_out > 0));
             assert!(summary.recoveries.is_empty());
+        }
+    }
+
+    #[test]
+    fn dist_payload_exchange_matches_the_nested_exchange() {
+        use crate::payload::PayloadOutbox;
+        // The payload plane and the tuple plane must be byte-identical on
+        // the wire and word-identical in the delivery: stage the same
+        // traffic both ways and compare everything, including the shuffle
+        // byte counters.
+        let machines = 7;
+        let volume = 40;
+        let stage_tuples = |seed: u64| -> Vec<Outbox<(u64, Vec<u32>)>> {
+            (0..machines)
+                .map(|sender| {
+                    let mut rng = crate::rng::DetRng::derive(seed, &[sender as u64]);
+                    let mut out = Outbox::new(machines);
+                    for k in 0..volume {
+                        let dst = rng.range(machines as u64) as usize;
+                        let len = (rng.range(5)) as usize;
+                        let elems: Vec<u32> =
+                            (0..len).map(|j| (sender * 100 + k + j) as u32).collect();
+                        out.send(dst, ((sender * 1000 + k) as u64, elems));
+                    }
+                    out
+                })
+                .collect()
+        };
+        let stage_payloads = |seed: u64| -> Vec<PayloadOutbox<u64, u32>> {
+            (0..machines)
+                .map(|sender| {
+                    let mut rng = crate::rng::DetRng::derive(seed, &[sender as u64]);
+                    let mut out = PayloadOutbox::new(machines);
+                    for k in 0..volume {
+                        let dst = rng.range(machines as u64) as usize;
+                        let len = (rng.range(5)) as usize;
+                        let mut w = out.push_payload(dst, (sender * 1000 + k) as u64);
+                        for j in 0..len {
+                            w.push((sender * 100 + k + j) as u32);
+                        }
+                    }
+                    out
+                })
+                .collect()
+        };
+        for workers in [1usize, 3] {
+            let cfg = DistConfig {
+                workers,
+                ..DistConfig::default()
+            };
+            let mut scratch = RouterScratch::default();
+            let mut nested_session = DistSession::launch(machines, 11, &cfg).unwrap();
+            nested_session.open(1).unwrap();
+            let want = nested_session
+                .exchange(1, stage_tuples(13), &mut scratch)
+                .unwrap();
+            let mut session = DistSession::launch(machines, 11, &cfg).unwrap();
+            session.open(1).unwrap();
+            let got = session
+                .exchange_payload(1, stage_payloads(13), &mut scratch)
+                .unwrap();
+            assert_eq!(got.in_words(), want.in_words(), "workers {workers}");
+            let (mut inboxes, buffers) = unsafe { got.into_inboxes() };
+            for (m, want_msgs) in want.nested().iter().enumerate() {
+                let mut seen = Vec::new();
+                while let Some((head, elems)) = inboxes[m].next_msg() {
+                    seen.push((head, elems.to_vec()));
+                }
+                assert_eq!(&seen, want_msgs, "machine {m}, workers {workers}");
+            }
+            drop(inboxes);
+            buffers.recycle(&mut scratch);
+            // Identical bytes moved on identical worker topologies.
+            let a = nested_session.summary();
+            let b = session.summary();
+            for (x, y) in a.shuffle.iter().zip(b.shuffle.iter()) {
+                assert_eq!(x.bytes_out, y.bytes_out, "workers {workers}");
+                assert_eq!(x.bytes_in, y.bytes_in, "workers {workers}");
+            }
         }
     }
 
@@ -567,14 +829,19 @@ mod tests {
             }],
             ..DistConfig::default()
         };
+        let mut scratch = RouterScratch::default();
         let mut session = DistSession::launch(machines, 5, &cfg).unwrap();
         session.open(1).unwrap();
-        let d1 = session.exchange(1, outboxes(machines, 30, 1)).unwrap();
+        let d1 = session
+            .exchange(1, outboxes(machines, 30, 1), &mut scratch)
+            .unwrap();
         assert_eq!(d1.nested(), reference(machines, 30, 1).nested());
         // Superstep 2 arms the kill; the worker dies at the flush, after
         // ingesting the batch — recovery must replay it.
         session.open(2).unwrap();
-        let d2 = session.exchange(2, outboxes(machines, 30, 2)).unwrap();
+        let d2 = session
+            .exchange(2, outboxes(machines, 30, 2), &mut scratch)
+            .unwrap();
         let want = reference(machines, 30, 2);
         assert_eq!(d2.nested(), want.nested());
         assert_eq!(d2.in_words(), want.in_words());
@@ -585,7 +852,9 @@ mod tests {
         assert!(r.replayed_bytes > 0, "mid-exchange death replays batches");
         // The healed session keeps working.
         session.open(3).unwrap();
-        let d3 = session.exchange(3, outboxes(machines, 30, 3)).unwrap();
+        let d3 = session
+            .exchange(3, outboxes(machines, 30, 3), &mut scratch)
+            .unwrap();
         assert_eq!(d3.nested(), reference(machines, 30, 3).nested());
     }
 
@@ -609,7 +878,9 @@ mod tests {
         assert_eq!(summary.recoveries[0].replayed_bytes, 0);
         assert_eq!(summary.recoveries[0].superstep, 2);
         // Exchanges still work after a barrier recovery.
-        let d = session.exchange(2, outboxes(4, 20, 4)).unwrap();
+        let d = session
+            .exchange(2, outboxes(4, 20, 4), &mut RouterScratch::default())
+            .unwrap();
         assert_eq!(d.nested(), reference(4, 20, 4).nested());
     }
 }

@@ -64,6 +64,25 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
     read_wire_frame(r)
 }
 
+/// Reads one length-prefixed frame's raw body into `buf` (cleared and
+/// refilled; capacity is kept). This is the pooled path of the dist
+/// shuffle: the master reuses one region buffer across supersteps and
+/// walks the raw body in place instead of decoding a nested [`Frame`].
+pub(crate) fn read_frame_body<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> io::Result<()> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix)?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    r.read_exact(buf)
+}
+
 /// Encodes a frame to its on-wire bytes (prefix + body) without writing —
 /// used by the master to retain replayable shuffle traffic.
 pub fn frame_bytes(frame: &Frame) -> Vec<u8> {

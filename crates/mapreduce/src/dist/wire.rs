@@ -30,6 +30,7 @@
 
 use std::fmt;
 
+use super::transport::MAX_FRAME;
 use crate::rng::{mix2, mix_tags};
 use crate::words::Payload;
 
@@ -335,20 +336,166 @@ const REGION_TAG: u64 = 0x6469_7374_2164_6967; // "dist!dig"
 /// a mismatch means the region does not correspond to the deterministic
 /// `(seed, shard)` streams it claims to, which recovery treats as fatal.
 pub fn region_digest(seed: u64, shards: &[(u64, Vec<Vec<u8>>)]) -> u64 {
-    let mut h = mix_tags(seed, &[REGION_TAG]);
+    let mut h = digest_init(seed);
     for (shard, inbox) in shards {
-        h = mix2(h, mix_tags(seed, &[REGION_TAG, *shard]));
-        h = mix2(h, inbox.len() as u64);
+        h = digest_fold_shard(h, seed, *shard, inbox.len() as u64);
         for payload in inbox {
-            h = mix2(h, payload.len() as u64);
-            for chunk in payload.chunks(8) {
-                let mut word = [0u8; 8];
-                word[..chunk.len()].copy_from_slice(chunk);
-                h = mix2(h, u64::from_le_bytes(word));
-            }
+            h = digest_fold_payload(h, payload);
         }
     }
     h
+}
+
+/// Start of a streaming [`region_digest`] computation: the master folds
+/// the same digest while *walking* a raw region body (no nested
+/// materialization) via [`RegionWalker`].
+pub(crate) fn digest_init(seed: u64) -> u64 {
+    mix_tags(seed, &[REGION_TAG])
+}
+
+/// Folds one shard header (identity key + payload count).
+pub(crate) fn digest_fold_shard(h: u64, seed: u64, shard: u64, payloads: u64) -> u64 {
+    mix2(mix2(h, mix_tags(seed, &[REGION_TAG, shard])), payloads)
+}
+
+/// Folds one payload's bytes (length, then zero-padded 8-byte words).
+pub(crate) fn digest_fold_payload(mut h: u64, payload: &[u8]) -> u64 {
+    h = mix2(h, payload.len() as u64);
+    for chunk in payload.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = mix2(h, u64::from_le_bytes(word));
+    }
+    h
+}
+
+/// Streams one worker's `Batch` + `Flush` frames for a superstep
+/// directly into a (pooled) byte buffer: the length prefixes and the
+/// message count are reserved up front and patched at the end, so the
+/// master serializes a shuffle without staging a `Vec<u8>` per message
+/// or re-encoding whole frames. The bytes produced are identical to
+/// `frame_bytes(&Frame::Batch{..})` followed by
+/// `frame_bytes(&Frame::Flush{..})` — workers, retained-replay recovery
+/// and the digest discipline are untouched.
+pub(crate) struct BatchStream {
+    buf: Vec<u8>,
+    count: u64,
+    count_at: usize,
+}
+
+impl BatchStream {
+    /// Begins a batch for `superstep` in `buf` (cleared; capacity kept).
+    pub(crate) fn begin(mut buf: Vec<u8>, superstep: u64) -> Self {
+        buf.clear();
+        buf.extend_from_slice(&[0u8; 4]); // frame length, patched in finish
+        buf.push(TAG_BATCH);
+        superstep.encode(&mut buf);
+        let count_at = buf.len();
+        buf.extend_from_slice(&[0u8; 8]); // message count, patched in finish
+        BatchStream {
+            buf,
+            count: 0,
+            count_at,
+        }
+    }
+
+    /// Appends one `(dst, message)` pair; `write` streams the message's
+    /// canonical bytes straight into the buffer (the per-message length
+    /// prefix is reserved and patched afterwards).
+    pub(crate) fn push_with(&mut self, dst: u64, write: impl FnOnce(&mut Vec<u8>)) {
+        dst.encode(&mut self.buf);
+        let len_at = self.buf.len();
+        self.buf.extend_from_slice(&[0u8; 8]);
+        write(&mut self.buf);
+        let len = (self.buf.len() - len_at - 8) as u64;
+        self.buf[len_at..len_at + 8].copy_from_slice(&len.to_le_bytes());
+        self.count += 1;
+    }
+
+    /// Patches the reserved prefixes and appends the `Flush` frame,
+    /// returning the combined on-wire bytes.
+    pub(crate) fn finish(mut self, superstep: u64) -> Vec<u8> {
+        self.buf[self.count_at..self.count_at + 8].copy_from_slice(&self.count.to_le_bytes());
+        let body = self.buf.len() - 4;
+        assert!(
+            body <= MAX_FRAME,
+            "batch frame body of {body} bytes exceeds MAX_FRAME"
+        );
+        self.buf[..4].copy_from_slice(&(body as u32).to_le_bytes());
+        self.buf.extend_from_slice(&9u32.to_le_bytes()); // Flush body: tag + superstep
+        self.buf.push(TAG_FLUSH);
+        superstep.encode(&mut self.buf);
+        self.buf
+    }
+}
+
+/// Walks a raw `Inboxes` frame body in place — shard headers and payload
+/// byte slices in wire order — without materializing the nested region.
+/// The master walks each region twice: a validation pass (digest + shard
+/// identity, before trusting any payload) and a decode pass that lands
+/// messages straight into delivery buffers.
+pub(crate) struct RegionWalker<'a> {
+    r: WireReader<'a>,
+    shards_left: u64,
+    payloads_left: u64,
+}
+
+impl<'a> RegionWalker<'a> {
+    /// Opens a raw frame body, expecting an `Inboxes` frame; returns the
+    /// superstep it claims plus the walker positioned at the first shard.
+    pub(crate) fn open(body: &'a [u8]) -> Result<(u64, Self), WireError> {
+        let mut r = WireReader::new(body);
+        let at = r.pos();
+        let tag = u8::decode(&mut r)?;
+        if tag != TAG_INBOXES {
+            return Err(WireError {
+                offset: at,
+                reason: format!("expected Inboxes frame, got tag {tag:#04x}"),
+            });
+        }
+        let superstep = u64::decode(&mut r)?;
+        let shards_left = u64::decode(&mut r)?;
+        Ok((
+            superstep,
+            RegionWalker {
+                r,
+                shards_left,
+                payloads_left: 0,
+            },
+        ))
+    }
+
+    /// The next shard header `(shard id, payload count)`, or `None` after
+    /// the last shard. Call only once the previous shard's payloads have
+    /// all been taken.
+    pub(crate) fn next_shard(&mut self) -> Result<Option<(u64, u64)>, WireError> {
+        debug_assert_eq!(self.payloads_left, 0, "previous shard not drained");
+        if self.shards_left == 0 {
+            return Ok(None);
+        }
+        self.shards_left -= 1;
+        let shard = u64::decode(&mut self.r)?;
+        let payloads = u64::decode(&mut self.r)?;
+        self.payloads_left = payloads;
+        Ok(Some((shard, payloads)))
+    }
+
+    /// The current shard's next payload as a raw byte slice.
+    pub(crate) fn next_payload(&mut self) -> Result<&'a [u8], WireError> {
+        debug_assert!(self.payloads_left > 0, "no payloads left in this shard");
+        self.payloads_left -= 1;
+        let len = usize::decode(&mut self.r)?;
+        self.r.take(len)
+    }
+
+    /// After the last shard: reads the trailing digest and rejects any
+    /// trailing bytes (the body must be exactly one canonical frame).
+    pub(crate) fn finish(mut self) -> Result<u64, WireError> {
+        debug_assert_eq!(self.shards_left, 0, "shards not fully walked");
+        let digest = u64::decode(&mut self.r)?;
+        self.r.finish()?;
+        Ok(digest)
+    }
 }
 
 /// One control or data frame of the master↔worker protocol.
@@ -659,6 +806,71 @@ mod tests {
         let err = decode_value::<Frame>(&[0xEE]).unwrap_err();
         assert_eq!(err.offset, 0);
         assert!(err.reason.contains("unknown frame tag"), "{err}");
+    }
+
+    #[test]
+    fn batch_stream_bytes_match_the_frame_encoding() {
+        use crate::dist::transport::frame_bytes;
+        // The streaming encoder must be byte-identical to encoding the
+        // whole Batch + Flush frames — workers and retained-replay
+        // recovery depend on it.
+        let msgs: Vec<(u64, Vec<u8>)> = vec![(5, vec![1, 2, 3]), (6, vec![]), (0, vec![9; 20])];
+        let mut want = frame_bytes(&Frame::Batch {
+            superstep: 3,
+            msgs: msgs.clone(),
+        });
+        want.extend_from_slice(&frame_bytes(&Frame::Flush { superstep: 3 }));
+        let mut stream = BatchStream::begin(vec![0xAA; 64], 3); // dirty pooled buffer
+        for (dst, payload) in &msgs {
+            stream.push_with(*dst, |out| out.extend_from_slice(payload));
+        }
+        assert_eq!(stream.finish(3), want);
+        // Empty batches frame identically too.
+        let mut want = frame_bytes(&Frame::Batch {
+            superstep: 9,
+            msgs: vec![],
+        });
+        want.extend_from_slice(&frame_bytes(&Frame::Flush { superstep: 9 }));
+        assert_eq!(BatchStream::begin(Vec::new(), 9).finish(9), want);
+    }
+
+    #[test]
+    fn region_walker_walks_an_inboxes_frame() {
+        let shards = vec![
+            (4u64, vec![vec![1u8], vec![2, 3, 4, 5, 6, 7, 8, 9, 10]]),
+            (5, vec![]),
+            (6, vec![vec![]]),
+        ];
+        let digest = region_digest(7, &shards);
+        let body = encode_value(&Frame::Inboxes {
+            superstep: 2,
+            shards: shards.clone(),
+            digest,
+        });
+        let (superstep, mut walker) = RegionWalker::open(&body).unwrap();
+        assert_eq!(superstep, 2);
+        let mut h = digest_init(7);
+        let mut seen = Vec::new();
+        while let Some((shard, count)) = walker.next_shard().unwrap() {
+            h = digest_fold_shard(h, 7, shard, count);
+            let mut payloads = Vec::new();
+            for _ in 0..count {
+                let p = walker.next_payload().unwrap();
+                h = digest_fold_payload(h, p);
+                payloads.push(p.to_vec());
+            }
+            seen.push((shard, payloads));
+        }
+        assert_eq!(seen, shards);
+        // The streaming fold is exactly `region_digest`.
+        assert_eq!(walker.finish().unwrap(), digest);
+        assert_eq!(h, digest);
+        // A non-Inboxes body is rejected at open.
+        let err = match RegionWalker::open(&encode_value(&Frame::Ack { superstep: 2 })) {
+            Err(e) => e,
+            Ok(_) => panic!("an Ack body must not open as a region"),
+        };
+        assert!(err.reason.contains("expected Inboxes"), "{err}");
     }
 
     #[test]

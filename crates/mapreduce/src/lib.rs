@@ -86,6 +86,7 @@ pub mod job;
 pub mod metrics;
 pub mod model;
 pub mod partition;
+pub mod payload;
 pub mod rng;
 pub mod router;
 pub mod shard;
@@ -112,6 +113,9 @@ pub use model::{paper_graph_regime, ComputeModel, ModelCheck};
 pub use partition::{
     balance_stats, split, BalanceStats, BlockPartitioner, HashPartitioner, Partitioner,
     RangePartitioner,
+};
+pub use payload::{
+    PayloadBatch, PayloadInbox, PayloadOutbox, PayloadSink, PayloadSinkWriter, PayloadWriter,
 };
 pub use rng::{coin, mix2, mix_tags, unit_f64, DetRng};
 pub use router::RouterKind;

@@ -147,7 +147,7 @@ impl<M> Outbox<M> {
 
     /// Consumes the outbox, returning its (emptied) column buffers to be
     /// pooled.
-    fn into_buffers(mut self) -> (Vec<M>, Vec<MachineId>) {
+    pub(crate) fn into_buffers(mut self) -> (Vec<M>, Vec<MachineId>) {
         self.msgs.clear();
         self.dsts.clear();
         (self.msgs, self.dsts)
@@ -404,7 +404,7 @@ impl<M> Drop for Inbox<M> {
 pub struct RouterScratch {
     usizes: Vec<Vec<usize>>,
     ranges: Vec<Vec<(usize, usize)>>,
-    typed: HashMap<TypeId, Box<dyn Any + Send>>,
+    typed: HashMap<TypeId, Box<dyn AnyPool>>,
 }
 
 struct TypedPool<M> {
@@ -421,13 +421,47 @@ impl<M> Default for TypedPool<M> {
     }
 }
 
+/// Type-erased view of a [`TypedPool`] that still answers "how many
+/// buffers do you hold" — the hook behind
+/// [`RouterScratch::pooled_buffers`], which the cluster uses to assert
+/// that exchange rounds return every buffer they take (the leak class
+/// where an early `?` exit dropped taken scratch on the floor).
+trait AnyPool: Any + Send {
+    // Referenced from debug assertions (and tests) only.
+    #[cfg_attr(not(any(debug_assertions, test)), allow(dead_code))]
+    fn buffers(&self) -> usize;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<M: Send + 'static> AnyPool for TypedPool<M> {
+    fn buffers(&self) -> usize {
+        self.arenas.len() + self.columns.len()
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
 impl RouterScratch {
     fn typed<M: Send + 'static>(&mut self) -> &mut TypedPool<M> {
         self.typed
             .entry(TypeId::of::<M>())
             .or_insert_with(|| Box::new(TypedPool::<M>::default()))
+            .as_any_mut()
             .downcast_mut::<TypedPool<M>>()
             .expect("pool entry matches its TypeId")
+    }
+
+    /// Total buffers currently resting in the pool, across every type.
+    /// Steady-state supersteps must leave this non-decreasing: whatever a
+    /// round takes it must put back once the consume pass finishes, even
+    /// on budget-violation exits. The cluster debug-asserts exactly that
+    /// after each exchange.
+    #[cfg_attr(not(any(debug_assertions, test)), allow(dead_code))]
+    pub(crate) fn pooled_buffers(&self) -> usize {
+        self.usizes.len()
+            + self.ranges.len()
+            + self.typed.values().map(|p| p.buffers()).sum::<usize>()
     }
 
     /// A zeroed `usize` buffer of length `n`.
@@ -442,14 +476,30 @@ impl RouterScratch {
         self.usizes.push(v);
     }
 
-    fn take_ranges(&mut self, n: usize) -> Vec<(usize, usize)> {
+    /// An empty `usize` buffer (capacity retained) for push-style use —
+    /// the payload plane's `lens` column.
+    pub(crate) fn take_usizes_empty(&mut self) -> Vec<usize> {
+        let mut v = self.usizes.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    pub(crate) fn take_ranges(&mut self, n: usize) -> Vec<(usize, usize)> {
         let mut v = self.ranges.pop().unwrap_or_default();
         v.clear();
         v.resize(n, (0, 0));
         v
     }
 
-    fn put_ranges(&mut self, v: Vec<(usize, usize)>) {
+    /// An empty range buffer (capacity retained) for push-style use —
+    /// the dist payload decode builds spans incrementally.
+    pub(crate) fn take_ranges_empty(&mut self) -> Vec<(usize, usize)> {
+        let mut v = self.ranges.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    pub(crate) fn put_ranges(&mut self, v: Vec<(usize, usize)>) {
         self.ranges.push(v);
     }
 
@@ -458,14 +508,19 @@ impl RouterScratch {
         self.typed::<M>().columns.pop().unwrap_or_default()
     }
 
-    fn put_columns<M: Send + 'static>(&mut self, columns: (Vec<M>, Vec<MachineId>)) {
+    pub(crate) fn put_columns<M: Send + 'static>(&mut self, columns: (Vec<M>, Vec<MachineId>)) {
         self.typed::<M>().columns.push(columns);
     }
 
-    fn take_arena<M: Send + 'static>(&mut self) -> Vec<M> {
+    pub(crate) fn take_arena<M: Send + 'static>(&mut self) -> Vec<M> {
         let arena = self.typed::<M>().arenas.pop().unwrap_or_default();
         debug_assert!(arena.is_empty());
         arena
+    }
+
+    pub(crate) fn put_arena<M: Send + 'static>(&mut self, arena: Vec<M>) {
+        debug_assert!(arena.is_empty());
+        self.typed::<M>().arenas.push(arena);
     }
 }
 
@@ -497,7 +552,7 @@ fn route_merge<M: WordSized + Send + 'static>(
     scratch: &mut RouterScratch,
 ) -> Delivery<M> {
     let mut inboxes: Vec<Vec<M>> = (0..machines).map(|_| Vec::new()).collect();
-    let mut in_words = vec![0usize; machines];
+    let mut in_words = scratch.take_usizes(machines);
     for mut outbox in outboxes {
         for (dst, msg) in outbox.drain_pairs() {
             in_words[dst] += msg.words();

@@ -2,16 +2,21 @@
 # One-command regeneration of the committed BENCH_exec.json perf
 # trajectory. Runs the executor/routing benchmark (crates/bench
 # bench_exec) in release mode and rewrites the `after` rows in place —
-# rows from the other phase are preserved, so the before/after pairs in
-# the committed file stay comparable across regenerations. The bench
-# itself asserts Merge-vs-columnar bit-identity (checksums + Metrics)
-# before emitting any row; a divergence panics instead of writing.
+# rows from the other phase are preserved (except the `payload`
+# section, which re-measures both of its phases every run), so the
+# before/after pairs in the committed file stay comparable across
+# regenerations. The bench itself asserts Merge-vs-columnar and
+# nested-vs-payload-plane bit-identity (checksums + Metrics) before
+# emitting any row; a divergence panics instead of writing.
 #
 #   ./scripts/bench_exec.sh             # full run, rewrites BENCH_exec.json
 #   ./scripts/bench_exec.sh --quick     # small sizes, for a fast sanity pass
 #   ./scripts/bench_exec.sh --phase before   # re-measure the baseline rows
 #
-# Validate the committed artifact without touching it:
+# Validate the committed artifact without touching it (also the CI
+# alloc-regression gate: fails if any freshly measured columnar row
+# exceeds its committed allocs-per-superstep baseline by more than 25%
+# plus a +16 absolute grace):
 #   cargo run --release -p mrlr-bench --bin bench_exec -- --check
 set -euo pipefail
 
